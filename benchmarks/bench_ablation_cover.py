@@ -1,0 +1,61 @@
+"""Ablation benchmarks for the design choices called out in DESIGN.md.
+
+* How much does the null/existence filter add to ``minimumCover``?
+* How much work does the candidate-key restriction save compared with the
+  ``naive`` enumeration (the paper's "+5 fields ⇒ ×200 vs ×2" comparison)?
+* How does cover computation scale with the number of keys (the other axis
+  of Fig. 7(c), applied to ``minimumCover`` itself)?
+"""
+
+import pytest
+
+from repro.core.minimum_cover import minimum_cover_from_keys
+from repro.core.naive import naive_minimum_cover
+from repro.relational.fd import equivalent
+
+
+@pytest.mark.benchmark(group="ablation-existence-filter")
+@pytest.mark.parametrize("require_existence", [False, True], ids=["ident-only", "with-existence"])
+def test_existence_filter_cost(benchmark, workload_cache, require_existence):
+    workload = workload_cache(40, 5, 15)
+    result = benchmark(
+        minimum_cover_from_keys,
+        workload.keys,
+        workload.rule,
+        require_existence=require_existence,
+    )
+    assert result.cover
+
+
+@pytest.mark.benchmark(group="ablation-naive-vs-cover")
+@pytest.mark.parametrize("algorithm", ["minimumCover", "naive"])
+@pytest.mark.parametrize("num_fields", [6, 10])
+def test_plus_fields_blowup(benchmark, workload_cache, algorithm, num_fields):
+    workload = workload_cache(num_fields, 3, 8)
+    if algorithm == "minimumCover":
+        result = benchmark(minimum_cover_from_keys, workload.keys, workload.rule)
+    else:
+        result = benchmark.pedantic(
+            naive_minimum_cover,
+            args=(workload.keys, workload.rule),
+            kwargs={"max_fields": 12},
+            rounds=1,
+            iterations=1,
+        )
+    assert result.cover is not None
+
+
+@pytest.mark.benchmark(group="ablation-cover-vs-keys")
+@pytest.mark.parametrize("num_keys", [10, 50, 100])
+def test_cover_cost_vs_key_count(benchmark, workload_cache, num_keys):
+    workload = workload_cache(30, 5, num_keys)
+    result = benchmark(minimum_cover_from_keys, workload.keys, workload.rule)
+    assert result.cover
+
+
+def test_both_algorithms_agree_on_the_benchmark_workload(workload_cache):
+    """Sanity (not timing): the ablation baselines compute the same cover."""
+    workload = workload_cache(8, 3, 8)
+    fast = minimum_cover_from_keys(workload.keys, workload.rule)
+    slow = naive_minimum_cover(workload.keys, workload.rule, max_fields=8)
+    assert equivalent(fast.cover, slow.cover)

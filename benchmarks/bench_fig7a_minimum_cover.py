@@ -1,0 +1,54 @@
+"""Figure 7(a): minimum-cover computation time vs. number of fields.
+
+The paper reports that Algorithm ``minimumCover`` scales polynomially in the
+number of fields of the universal relation (≤ 35 s at 200 fields, ≈ 2 min at
+500 fields on 2003 hardware), while the ``naive`` baseline becomes unusable
+beyond a handful of fields.  These benchmarks sweep the same parameter;
+``naive`` is only run on small field counts (the blow-up is the point).
+"""
+
+import pytest
+
+from repro.core.minimum_cover import minimum_cover_from_keys
+from repro.core.naive import naive_minimum_cover
+
+
+FIELD_GRID = [10, 25, 50, 100, 200]
+NAIVE_FIELD_GRID = [5, 8, 10, 12]
+DEPTH = 5
+KEYS = 10
+
+
+@pytest.mark.benchmark(group="fig7a-minimumCover")
+@pytest.mark.parametrize("num_fields", FIELD_GRID)
+def test_minimum_cover_scaling_with_fields(benchmark, workload_cache, num_fields):
+    workload = workload_cache(num_fields, DEPTH, KEYS)
+    result = benchmark(minimum_cover_from_keys, workload.keys, workload.rule)
+    assert len(result.cover) > 0
+
+
+@pytest.mark.benchmark(group="fig7a-naive")
+@pytest.mark.parametrize("num_fields", NAIVE_FIELD_GRID)
+def test_naive_scaling_with_fields(benchmark, workload_cache, num_fields):
+    workload = workload_cache(num_fields, min(3, num_fields), 8)
+    result = benchmark.pedantic(
+        naive_minimum_cover,
+        args=(workload.keys, workload.rule),
+        kwargs={"max_fields": max(NAIVE_FIELD_GRID)},
+        rounds=1,
+        iterations=1,
+    )
+    assert result.cover is not None
+
+
+@pytest.mark.benchmark(group="fig7a-500-fields")
+def test_minimum_cover_500_fields(benchmark, workload_cache):
+    """The paper's largest cover experiment (500 fields)."""
+    workload = workload_cache(500, DEPTH, KEYS)
+    result = benchmark.pedantic(
+        minimum_cover_from_keys,
+        args=(workload.keys, workload.rule),
+        rounds=1,
+        iterations=1,
+    )
+    assert len(result.cover) > 0

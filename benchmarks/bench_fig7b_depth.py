@@ -1,0 +1,35 @@
+"""Figure 7(b): effect of table-tree depth on propagation checking.
+
+Fixed fields = 15 and keys = 10 (the paper's setting, chosen to match the
+depths of real DTDs), depth swept from 3 to 10.  Both algorithms should be
+nearly insensitive to depth, with Algorithm ``propagation`` far cheaper than
+the cover-based ``GminimumCover``.
+"""
+
+import pytest
+
+from repro.core.gminimum_cover import gminimum_cover_check
+from repro.core.propagation import check_propagation
+
+
+DEPTH_GRID = [3, 5, 8, 10]
+FIELDS = 15
+KEYS = 10
+
+
+@pytest.mark.benchmark(group="fig7b-propagation")
+@pytest.mark.parametrize("depth", DEPTH_GRID)
+def test_propagation_vs_depth(benchmark, workload_cache, depth):
+    workload = workload_cache(FIELDS, depth, KEYS)
+    fd = workload.sample_fd()
+    result = benchmark(check_propagation, workload.keys, workload.rule, fd)
+    assert result.identified
+
+
+@pytest.mark.benchmark(group="fig7b-GminimumCover")
+@pytest.mark.parametrize("depth", DEPTH_GRID)
+def test_gminimum_cover_vs_depth(benchmark, workload_cache, depth):
+    workload = workload_cache(FIELDS, depth, KEYS)
+    fd = workload.sample_fd()
+    result = benchmark(gminimum_cover_check, workload.keys, workload.rule, fd)
+    assert result.identified

@@ -1,0 +1,60 @@
+"""Figure 7(c): effect of the number of XML keys on propagation checking.
+
+Fields = 15, depth = 5 (same shape as the paper), with the number of keys
+swept.  The paper observes a roughly linear growth for ``propagation`` and a
+steeper one for ``GminimumCover``; the spot checks with large field counts
+(200 fields / 50 vs 100 keys, 1000 fields for ``propagation``) are included
+as single-round pedantic benchmarks.
+"""
+
+import pytest
+
+from repro.core.gminimum_cover import gminimum_cover_check
+from repro.core.propagation import check_propagation
+
+
+KEY_GRID = [10, 25, 50, 100]
+FIELDS = 15
+DEPTH = 5
+
+
+@pytest.mark.benchmark(group="fig7c-propagation")
+@pytest.mark.parametrize("num_keys", KEY_GRID)
+def test_propagation_vs_keys(benchmark, workload_cache, num_keys):
+    workload = workload_cache(FIELDS, DEPTH, num_keys)
+    fd = workload.sample_fd()
+    result = benchmark(check_propagation, workload.keys, workload.rule, fd)
+    assert result.identified
+
+
+@pytest.mark.benchmark(group="fig7c-GminimumCover")
+@pytest.mark.parametrize("num_keys", KEY_GRID)
+def test_gminimum_cover_vs_keys(benchmark, workload_cache, num_keys):
+    workload = workload_cache(FIELDS, DEPTH, num_keys)
+    fd = workload.sample_fd()
+    result = benchmark(gminimum_cover_check, workload.keys, workload.rule, fd)
+    assert result.identified
+
+
+@pytest.mark.benchmark(group="fig7c-spot-checks")
+@pytest.mark.parametrize("num_fields,num_keys", [(200, 50), (200, 100), (1000, 50), (1000, 100)])
+def test_propagation_spot_checks_large_relations(benchmark, workload_cache, num_fields, num_keys):
+    """The paper: propagation stays in seconds even at 200–1000 fields."""
+    workload = workload_cache(num_fields, 10, num_keys)
+    fd = workload.sample_fd()
+    result = benchmark.pedantic(
+        check_propagation, args=(workload.keys, workload.rule, fd), rounds=1, iterations=1
+    )
+    assert result is not None
+
+
+@pytest.mark.benchmark(group="fig7c-spot-checks-gmin")
+@pytest.mark.parametrize("num_fields,num_keys", [(200, 50), (150, 100)])
+def test_gminimum_cover_spot_checks_large_relations(benchmark, workload_cache, num_fields, num_keys):
+    """The paper: GminimumCover needs minutes where propagation needs seconds."""
+    workload = workload_cache(num_fields, 10, num_keys)
+    fd = workload.sample_fd()
+    result = benchmark.pedantic(
+        gminimum_cover_check, args=(workload.keys, workload.rule, fd), rounds=1, iterations=1
+    )
+    assert result is not None

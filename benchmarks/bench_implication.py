@@ -1,0 +1,58 @@
+"""Micro-benchmarks of the implication oracle (Algorithm ``implication``).
+
+Section 6 attributes the running-time behaviour of both checking algorithms
+to the cost of the implication oracle, which grows with the size of the key
+set; these benchmarks isolate that cost (and the benefit of memoisation).
+"""
+
+import pytest
+
+from repro.keys.implication import ImplicationEngine
+from repro.xmlmodel.paths import contains, parse_path
+
+
+@pytest.mark.benchmark(group="implication-engine")
+@pytest.mark.parametrize("num_keys", [10, 50, 100])
+def test_implication_query_cost_vs_key_count(benchmark, workload_cache, num_keys):
+    workload = workload_cache(15, 5, num_keys)
+    context = parse_path("//lvl0/lvl1")
+    target = parse_path("lvl2")
+
+    def fresh_engine_query():
+        engine = ImplicationEngine(workload.keys)
+        return engine.implies_parts(context, target, {"k2"})
+
+    assert benchmark(fresh_engine_query)
+
+
+@pytest.mark.benchmark(group="implication-memoisation")
+def test_memoised_queries_amortise(benchmark, workload_cache):
+    workload = workload_cache(15, 5, 50)
+    engine = ImplicationEngine(workload.keys)
+    queries = [
+        (parse_path("//lvl0"), parse_path("lvl1"), frozenset({"k1"})),
+        (parse_path("//lvl0/lvl1"), parse_path("lvl2"), frozenset({"k2"})),
+        (parse_path("//lvl0/lvl1/lvl2"), parse_path("lvl3"), frozenset({"k3"})),
+        (parse_path("//lvl0/lvl1/lvl2/lvl3"), parse_path("lvl4"), frozenset({"k4"})),
+    ]
+
+    def run_batch():
+        return [engine.implies_parts(*query) for query in queries]
+
+    results = benchmark(run_batch)
+    assert all(results)
+
+
+@pytest.mark.benchmark(group="path-containment")
+@pytest.mark.parametrize(
+    "covered,covering",
+    [
+        ("//lvl0/lvl1/lvl2/lvl3/lvl4", "//lvl0//lvl4"),
+        ("a/b/c/d/e/f/g/h", "//h"),
+        ("//book/chapter/section", "//book//section"),
+    ],
+)
+def test_containment_decision(benchmark, covered, covering):
+    covered_expr = parse_path(covered)
+    covering_expr = parse_path(covering)
+    assert benchmark(contains, covering_expr, covered_expr)

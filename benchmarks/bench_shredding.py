@@ -1,0 +1,44 @@
+"""Substrate benchmarks: shredding documents and checking keys on documents.
+
+Not a figure of the paper, but the cost model behind its motivation — the
+consumer repeatedly imports documents through the transformation — and a
+guard against performance regressions in the XML substrate (path evaluation,
+key satisfaction, Cartesian-product shredding).
+"""
+
+import pytest
+
+from repro.keys.satisfaction import satisfies_all
+from repro.transform.evaluate import evaluate_rule
+from repro.xmlmodel.parser import parse_document
+from repro.xmlmodel.serializer import serialize
+
+
+@pytest.mark.benchmark(group="substrate-shredding")
+@pytest.mark.parametrize("fanout", [2, 3, 4])
+def test_shred_universal_relation(benchmark, workload_cache, document_cache, fanout):
+    workload = workload_cache(20, 4, 10)
+    doc = document_cache(20, 4, 10, fanout=fanout)
+    instance = benchmark(evaluate_rule, workload.rule, doc)
+    assert len(instance) == fanout ** 4
+
+
+@pytest.mark.benchmark(group="substrate-key-checking")
+@pytest.mark.parametrize("fanout", [2, 4])
+def test_key_satisfaction_on_documents(benchmark, workload_cache, document_cache, fanout):
+    workload = workload_cache(20, 4, 10)
+    doc = document_cache(20, 4, 10, fanout=fanout)
+    assert benchmark(satisfies_all, doc, workload.keys)
+
+
+@pytest.mark.benchmark(group="substrate-parsing")
+@pytest.mark.parametrize("fanout", [3])
+def test_parse_and_serialize_round_trip(benchmark, document_cache, fanout):
+    doc = document_cache(20, 4, 10, fanout=fanout)
+    text = serialize(doc)
+
+    def round_trip():
+        return parse_document(text)
+
+    reparsed = benchmark(round_trip)
+    assert len(reparsed) == len(doc)

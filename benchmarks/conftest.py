@@ -1,0 +1,50 @@
+"""Shared configuration for the benchmark harness.
+
+Each ``bench_*`` module regenerates one figure (or reported comparison) of
+the paper's evaluation section; see EXPERIMENTS.md for the mapping and for
+measured-vs-paper shapes.  The benchmarks only depend on the synthetic
+workload generators, so they run offline and in a few minutes.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+import pytest
+
+from repro.experiments.generators import generate_document, generate_workload
+
+
+collect_ignore_glob = []
+
+
+@pytest.fixture(scope="session")
+def workload_cache():
+    """Cache of synthetic workloads shared across benchmark parameters."""
+    cache = {}
+
+    def get(num_fields, depth, num_keys, seed=0):
+        key = (num_fields, depth, num_keys, seed)
+        if key not in cache:
+            cache[key] = generate_workload(num_fields, depth=depth, num_keys=num_keys, seed=seed)
+        return cache[key]
+
+    return get
+
+
+@pytest.fixture(scope="session")
+def document_cache(workload_cache):
+    """Cache of generated documents keyed by workload parameters + fanout."""
+    cache = {}
+
+    def get(num_fields, depth, num_keys, fanout=2, seed=0):
+        key = (num_fields, depth, num_keys, fanout, seed)
+        if key not in cache:
+            workload = workload_cache(num_fields, depth, num_keys, seed)
+            cache[key] = generate_document(workload, fanout=fanout, seed=seed)
+        return cache[key]
+
+    return get

@@ -1,0 +1,96 @@
+"""Quickstart: from XML keys to guaranteed relational constraints.
+
+This is the smallest end-to-end tour of the library:
+
+1. build an XML document and state its keys;
+2. define how the document is shredded into a relation (a *table rule*);
+3. ask whether a relational FD is **guaranteed** by the XML keys
+   (Algorithm ``propagation``);
+4. compute a minimum cover of *all* guaranteed FDs (Algorithm
+   ``minimumCover``).
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import (
+    check_propagation,
+    element,
+    document,
+    minimum_cover_from_keys,
+    parse_keys,
+    parse_transformation,
+    satisfies,
+    text,
+    evaluate_rule,
+)
+
+# ----------------------------------------------------------------------
+# 1. An XML document (a tiny product catalogue) ...
+# ----------------------------------------------------------------------
+catalogue = document(
+    element(
+        "catalogue",
+        element(
+            "vendor",
+            {"vid": "acme"},
+            element("name", text("ACME Corp.")),
+            element("product", {"sku": "p-1"}, element("label", text("Anvil"))),
+            element("product", {"sku": "p-2"}, element("label", text("Rocket skates"))),
+        ),
+        element(
+            "vendor",
+            {"vid": "globex"},
+            element("name", text("Globex")),
+            element("product", {"sku": "p-1"}, element("label", text("Mug"))),
+        ),
+    )
+)
+
+# ... and the keys its producer publishes: vendors are identified by @vid,
+# products by @sku *within a vendor*, and each vendor / product has at most
+# one name / label.
+keys = parse_keys(
+    """
+    (., (//vendor, {@vid}))
+    (//vendor, (product, {@sku}))
+    (//vendor, (name, {}))
+    (//vendor/product, (label, {}))
+    """
+)
+assert all(satisfies(catalogue, key) for key in keys)
+
+# ----------------------------------------------------------------------
+# 2. The consumer shreds the document into one wide relation.
+# ----------------------------------------------------------------------
+transformation = parse_transformation(
+    """
+    table Offer
+      var v  <- xr : //vendor
+      var vi <- v  : @vid
+      var vn <- v  : name
+      var p  <- v  : product
+      var ps <- p  : @sku
+      var pl <- p  : label
+      field vendorId   = value(vi)
+      field vendorName = value(vn)
+      field sku        = value(ps)
+      field label      = value(pl)
+    """
+)
+offer_rule = transformation.rule("Offer")
+print(evaluate_rule(offer_rule, catalogue).to_table(), end="\n\n")
+
+# ----------------------------------------------------------------------
+# 3. Which FDs are guaranteed for *every* document satisfying the keys?
+# ----------------------------------------------------------------------
+for fd in ["vendorId -> vendorName", "sku -> label", "vendorId, sku -> label"]:
+    result = check_propagation(keys, offer_rule, fd)
+    print(result.explain(), end="\n\n")
+
+# ----------------------------------------------------------------------
+# 4. All of them at once: the minimum cover.
+# ----------------------------------------------------------------------
+cover = minimum_cover_from_keys(keys, offer_rule)
+print("Minimum cover of the FDs propagated onto Offer:")
+for fd in cover.cover:
+    print(f"  {fd}")

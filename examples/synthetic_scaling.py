@@ -1,0 +1,66 @@
+"""Re-run the paper's evaluation (Figure 7) on synthetic workloads.
+
+Prints one ASCII table per figure panel plus the headline shape checks
+(``minimumCover`` polynomial vs ``naive`` exponential, depth insensitivity,
+``propagation`` ≪ ``GminimumCover``).  Use ``--paper`` for the full-size
+parameter grids of the paper (several minutes) instead of the scaled-down
+default grids (seconds).
+
+Run with:  python examples/synthetic_scaling.py [--paper]
+"""
+
+import argparse
+
+from repro.experiments.figures import (
+    PAPER_7A_FIELDS,
+    PAPER_7C_KEYS,
+    figure_7a,
+    figure_7b,
+    figure_7c,
+    naive_blowup_series,
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--paper", action="store_true", help="use the paper's full parameter grids (slow)"
+    )
+    args = parser.parse_args()
+
+    if args.paper:
+        series_7a = figure_7a(fields_grid=PAPER_7A_FIELDS)
+        series_7b = figure_7b()
+        series_7c = figure_7c(keys_grid=PAPER_7C_KEYS)
+        blowup = naive_blowup_series()
+    else:
+        series_7a = figure_7a()
+        series_7b = figure_7b(depths=(3, 5, 8, 10))
+        series_7c = figure_7c()
+        blowup = naive_blowup_series(fields_grid=(5, 8, 10))
+
+    for series in (series_7a, series_7b, series_7c, blowup):
+        print(series.to_table(), end="\n\n")
+
+    print("Shape checks (cf. Section 6 of the paper):")
+    print(
+        f"  minimumCover growth over the swept field range: "
+        f"{series_7a.growth_ratio('minimumCover'):.1f}x"
+    )
+    if "naive" in series_7a.algorithms():
+        print(
+            f"  naive growth over its (much smaller) field range: "
+            f"{series_7a.growth_ratio('naive'):.1f}x"
+        )
+    print(
+        f"  propagation faster than GminimumCover at every depth: "
+        f"{series_7b.always_faster('propagation', 'GminimumCover')}"
+    )
+    print(
+        f"  propagation faster than GminimumCover at every key count: "
+        f"{series_7c.always_faster('propagation', 'GminimumCover')}"
+    )
+
+
+if __name__ == "__main__":
+    main()

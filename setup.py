@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The environment used for the reproduction has no ``wheel`` package, so PEP 660
+editable installs (which build a wheel) fail; ``pip install -e . --no-use-pep517
+--no-build-isolation`` falls back to ``setup.py develop`` and works offline.
+All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,93 @@
+"""repro — a reproduction of *Propagating XML Constraints to Relations*.
+
+(Davidson, Fan, Hara, Qin — ICDE 2003.)
+
+The library answers two questions about storing XML data in relations:
+
+1. **Is my existing relational design safe?**  Given the XML keys published
+   with the data and the transformation used to shred it, is every declared
+   relational key / FD *guaranteed* by the XML keys?
+   → :func:`repro.core.check_propagation`,
+     :func:`repro.core.check_schema_consistency`.
+
+2. **What is a good relational design?**  Given a universal relation and the
+   XML keys, compute a minimum cover of all propagated FDs and normalise.
+   → :func:`repro.core.minimum_cover_from_keys`,
+     :func:`repro.design.design_from_scratch`.
+
+Everything the algorithms rely on — the XML tree model, the path language,
+XML keys and their implication, the relational FD machinery and the
+transformation (shredding) language — is implemented in the sub-packages
+``xmlmodel``, ``keys``, ``relational`` and ``transform``.
+"""
+
+from repro.xmlmodel import (
+    XMLTree,
+    document,
+    element,
+    parse_document,
+    parse_path,
+    text,
+)
+from repro.keys import XMLKey, parse_key, parse_keys, satisfies, violations
+from repro.relational import (
+    NULL,
+    DatabaseSchema,
+    FDSet,
+    FunctionalDependency,
+    RelationInstance,
+    RelationSchema,
+)
+from repro.transform import (
+    TableRule,
+    TableTree,
+    Transformation,
+    UniversalRelation,
+    evaluate_rule,
+    evaluate_transformation,
+    parse_transformation,
+)
+from repro.core import (
+    check_propagation,
+    check_schema_consistency,
+    gminimum_cover_check,
+    minimum_cover_from_keys,
+    naive_minimum_cover,
+)
+from repro.design import design_from_scratch
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "XMLTree",
+    "document",
+    "element",
+    "text",
+    "parse_document",
+    "parse_path",
+    "XMLKey",
+    "parse_key",
+    "parse_keys",
+    "satisfies",
+    "violations",
+    "NULL",
+    "DatabaseSchema",
+    "FDSet",
+    "FunctionalDependency",
+    "RelationInstance",
+    "RelationSchema",
+    "TableRule",
+    "TableTree",
+    "Transformation",
+    "UniversalRelation",
+    "evaluate_rule",
+    "evaluate_transformation",
+    "parse_transformation",
+    "check_propagation",
+    "check_schema_consistency",
+    "gminimum_cover_check",
+    "minimum_cover_from_keys",
+    "naive_minimum_cover",
+    "design_from_scratch",
+    "__version__",
+]

@@ -1,0 +1,204 @@
+"""Command-line interface.
+
+The four workflows of the library are exposed as sub-commands so that a
+consumer can run the analysis on files without writing Python::
+
+    python -m repro check  --keys keys.txt --transform rules.dsl \
+                           --relation chapter --fd "inBook, number -> name"
+    python -m repro cover  --keys keys.txt --transform rules.dsl --relation U
+    python -m repro design --keys keys.txt --transform rules.dsl --relation U --sql
+    python -m repro shred  --transform rules.dsl --xml data.xml [--keys keys.txt] [--sql]
+    python -m repro bench  [--paper]
+
+File formats: keys files contain one key per line in the paper's notation
+(``K2 = (//book, (chapter, {@number}))``, ``#`` comments allowed);
+transformation files use the DSL of :mod:`repro.transform.dsl`; XML files are
+plain XML.  All commands print to stdout and return a conventional exit code
+(0 = success / property holds, 1 = property fails, 2 = usage error).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.core import (
+    check_propagation,
+    check_schema_consistency,
+    minimum_cover_from_keys,
+)
+from repro.design import design_from_scratch
+from repro.keys import parse_keys, violations
+from repro.relational import sql as sql_module
+from repro.relational.schema import DatabaseSchema
+from repro.transform import evaluate_transformation, parse_transformation
+from repro.xmlmodel import parse_document
+
+
+def _read(path: str) -> str:
+    return Path(path).read_text(encoding="utf-8")
+
+
+def _load_keys(path: Optional[str]):
+    return parse_keys(_read(path)) if path else []
+
+
+def _load_transformation(path: str):
+    return parse_transformation(_read(path))
+
+
+# ----------------------------------------------------------------------
+# Sub-commands
+# ----------------------------------------------------------------------
+def cmd_check(args: argparse.Namespace) -> int:
+    keys = _load_keys(args.keys)
+    transformation = _load_transformation(args.transform)
+    rule = transformation.rule(args.relation)
+    if args.fd:
+        result = check_propagation(keys, rule, args.fd)
+        print(result.explain())
+        return 0 if result.holds else 1
+    # No FD given: check the declared key(s) passed via --key.
+    if not args.key:
+        print("error: provide either --fd or at least one --key", file=sys.stderr)
+        return 2
+    schema = DatabaseSchema([rule.schema(keys=[k.split(",") for k in args.key])])
+    report = check_schema_consistency(keys, transformation, schema)
+    print(report.describe())
+    return 0 if report.consistent else 1
+
+
+def cmd_cover(args: argparse.Namespace) -> int:
+    keys = _load_keys(args.keys)
+    transformation = _load_transformation(args.transform)
+    rule = transformation.rule(args.relation)
+    result = minimum_cover_from_keys(keys, rule, require_existence=args.require_existence)
+    if not result.cover:
+        print("(no functional dependencies are propagated)")
+        return 0
+    for fd in result.cover:
+        print(fd)
+    return 0
+
+
+def cmd_design(args: argparse.Namespace) -> int:
+    keys = _load_keys(args.keys)
+    transformation = _load_transformation(args.transform)
+    rule = transformation.rule(args.relation)
+    result = design_from_scratch(keys, rule, normal_form=args.normal_form)
+    print(result.describe())
+    if args.sql:
+        print()
+        print(sql_module.create_schema(result.schema))
+    return 0
+
+
+def cmd_shred(args: argparse.Namespace) -> int:
+    transformation = _load_transformation(args.transform)
+    tree = parse_document(_read(args.xml))
+    exit_code = 0
+    if args.keys:
+        keys = _load_keys(args.keys)
+        for key in keys:
+            found = violations(tree, key)
+            if found:
+                exit_code = 1
+                print(f"key violated: {key.text}")
+                for violation in found:
+                    print(f"  - {violation}")
+        if exit_code == 0:
+            print(f"document satisfies all {len(keys)} keys")
+    instances = evaluate_transformation(transformation, tree)
+    for name, instance in instances.items():
+        print()
+        if args.sql:
+            print(sql_module.create_table(instance.schema))
+            for statement in sql_module.insert_statements(instance):
+                print(statement)
+        else:
+            print(instance.to_table())
+    return exit_code
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    from repro.experiments.figures import run_all
+
+    for series in run_all(fast=not args.paper):
+        print(series.to_table())
+        print()
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Propagating XML constraints (keys) to relational designs — ICDE 2003 reproduction",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    check = subparsers.add_parser("check", help="check whether an FD / key is propagated")
+    check.add_argument("--keys", required=True, help="file with XML keys (one per line)")
+    check.add_argument("--transform", required=True, help="transformation DSL file")
+    check.add_argument("--relation", required=True, help="relation (table rule) to check")
+    check.add_argument("--fd", help='an FD such as "inBook, number -> name"')
+    check.add_argument(
+        "--key",
+        action="append",
+        default=[],
+        help="declared relational key as a comma-separated attribute list (repeatable)",
+    )
+    check.set_defaults(handler=cmd_check)
+
+    cover = subparsers.add_parser("cover", help="minimum cover of all propagated FDs")
+    cover.add_argument("--keys", required=True)
+    cover.add_argument("--transform", required=True)
+    cover.add_argument("--relation", required=True)
+    cover.add_argument(
+        "--require-existence",
+        action="store_true",
+        help="only keep FDs that also satisfy the null/existence condition",
+    )
+    cover.set_defaults(handler=cmd_cover)
+
+    design = subparsers.add_parser("design", help="derive a normalised relational design")
+    design.add_argument("--keys", required=True)
+    design.add_argument("--transform", required=True)
+    design.add_argument("--relation", required=True, help="the universal relation's rule")
+    design.add_argument("--normal-form", default="BCNF", choices=["BCNF", "3NF", "bcnf", "3nf"])
+    design.add_argument("--sql", action="store_true", help="also print CREATE TABLE statements")
+    design.set_defaults(handler=cmd_design)
+
+    shred = subparsers.add_parser("shred", help="shred an XML document into relations")
+    shred.add_argument("--transform", required=True)
+    shred.add_argument("--xml", required=True, help="XML document to shred")
+    shred.add_argument("--keys", help="optional keys file to validate the document against")
+    shred.add_argument("--sql", action="store_true", help="emit SQL instead of ASCII tables")
+    shred.set_defaults(handler=cmd_shred)
+
+    bench = subparsers.add_parser("bench", help="re-run the paper's Figure 7 experiments")
+    bench.add_argument("--paper", action="store_true", help="use the paper's full grids (slow)")
+    bench.set_defaults(handler=cmd_bench)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except (ValueError, KeyError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests calling main()
+    sys.exit(main())

@@ -1,0 +1,53 @@
+"""The paper's primary contribution: XML key propagation algorithms.
+
+* ``propagation`` — Algorithm ``propagation`` (Fig. 5): is a given FD on a
+  predefined relational view implied by the XML keys?
+* ``minimum_cover`` — Algorithm ``minimumCover``: a polynomial-time minimum
+  cover of *all* FDs propagated onto a universal relation.
+* ``naive`` — Algorithm ``naive``: the exponential enumerate-and-test
+  baseline.
+* ``gminimum_cover`` — ``GminimumCover``: propagation checking by way of the
+  minimum cover plus relational implication.
+* ``checking`` — consistency checking of predefined designs (Example 1.1).
+"""
+
+from repro.core.propagation import (
+    PropagationResult,
+    attribute_field_pairs,
+    attribute_fields_of,
+    check_propagation,
+    propagated_fds,
+)
+from repro.core.minimum_cover import (
+    CandidateKey,
+    MinimumCoverResult,
+    minimum_cover_from_keys,
+)
+from repro.core.naive import TooManyFields, naive_minimum_cover
+from repro.core.gminimum_cover import gminimum_cover_check
+from repro.core.checking import (
+    ConsistencyReport,
+    InstanceCheck,
+    KeyCheck,
+    check_instance,
+    check_schema_consistency,
+)
+
+__all__ = [
+    "PropagationResult",
+    "attribute_field_pairs",
+    "attribute_fields_of",
+    "check_propagation",
+    "propagated_fds",
+    "CandidateKey",
+    "MinimumCoverResult",
+    "minimum_cover_from_keys",
+    "TooManyFields",
+    "naive_minimum_cover",
+    "gminimum_cover_check",
+    "ConsistencyReport",
+    "InstanceCheck",
+    "KeyCheck",
+    "check_instance",
+    "check_schema_consistency",
+]

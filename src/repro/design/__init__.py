@@ -1,0 +1,15 @@
+"""Design refinement workflows built on top of key propagation."""
+
+from repro.design.refine import (
+    DesignResult,
+    design_from_scratch,
+    restrict_rule,
+    validate_existing_design,
+)
+
+__all__ = [
+    "DesignResult",
+    "design_from_scratch",
+    "restrict_rule",
+    "validate_existing_design",
+]

@@ -1,0 +1,32 @@
+"""Experiment harness: the paper's running example, synthetic workload
+generators, timing utilities and the figure series builders."""
+
+from repro.experiments.generators import (
+    SyntheticWorkload,
+    generate_document,
+    generate_workload,
+)
+from repro.experiments.runner import ExperimentSeries, SeriesPoint, time_call
+from repro.experiments.figures import (
+    figure_7a,
+    figure_7b,
+    figure_7c,
+    naive_blowup_series,
+    run_all,
+)
+from repro.experiments import paper_example
+
+__all__ = [
+    "SyntheticWorkload",
+    "generate_document",
+    "generate_workload",
+    "ExperimentSeries",
+    "SeriesPoint",
+    "time_call",
+    "figure_7a",
+    "figure_7b",
+    "figure_7c",
+    "naive_blowup_series",
+    "run_all",
+    "paper_example",
+]

@@ -1,0 +1,227 @@
+"""Synthetic workload generators for the experimental evaluation (Section 6).
+
+The paper evaluates the algorithms on synthetic inputs parameterised by
+
+* ``fields``  — the number of fields of the universal relation (5 … 1000),
+* ``depth``   — the depth of the table tree (3 … 10, matching the depths of
+  real DTDs reported by [Choi, WebDB'02]),
+* ``keys``    — the number of XML keys (10 … 100).
+
+:func:`generate_workload` builds a matching *universal-relation table rule*,
+*key set* and (optionally, via :func:`generate_document`) a random document
+satisfying the keys, so that every experiment of Figure 7 can be re-run and
+the shredding pipeline can be exercised end to end.
+
+Shape of the synthetic data: a spine of nested element types
+``lvl0 / lvl1 / … / lvl{depth-1}`` (one table-tree branch per level).  Every
+level carries a key attribute ``@k{i}`` (a relative key within its parent
+level, the top level being absolutely keyed — so the key set is transitive),
+a configurable number of extra attribute fields ``@a{i}_{j}`` and of
+sub-element fields ``e{i}_{j}`` (each with a "at most one per parent"
+uniqueness key, like ``title`` or ``name`` in the paper's example).  Extra
+keys beyond the spine are alternate keys ``@alt{i}_{j}`` on the levels,
+mirroring e.g. ``isbn`` vs ``isbn13``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.keys.key import XMLKey
+from repro.relational.fd import FunctionalDependency
+from repro.transform.rule import TableRule
+from repro.transform.universal import UniversalRelation
+from repro.xmlmodel.builder import document, element, text
+from repro.xmlmodel.nodes import ElementNode
+from repro.xmlmodel.tree import XMLTree
+
+
+@dataclass
+class SyntheticWorkload:
+    """A generated experiment input: table rule + keys (+ metadata)."""
+
+    rule: TableRule
+    keys: List[XMLKey]
+    depth: int
+    fields: List[str]
+    level_tags: List[str]
+    key_fields: List[str]
+
+    @property
+    def universal(self) -> UniversalRelation:
+        return UniversalRelation(self.rule)
+
+    @property
+    def num_fields(self) -> int:
+        return len(self.fields)
+
+    def sample_fd(self, level: Optional[int] = None) -> FunctionalDependency:
+        """A representative propagated FD: the spine keys down to ``level``
+        determine the first non-key field of that level (used by the
+        propagation benchmarks so that the checked FD actually holds)."""
+        if level is None:
+            level = self.depth - 1
+        level = max(0, min(level, self.depth - 1))
+        lhs = self.key_fields[: level + 1]
+        candidates = [
+            field
+            for field in self.fields
+            if field.startswith(f"e{level}_") or field.startswith(f"a{level}_")
+        ]
+        rhs = candidates[0] if candidates else self.key_fields[level]
+        return FunctionalDependency(lhs, {rhs})
+
+
+def generate_workload(
+    num_fields: int,
+    depth: int = 5,
+    num_keys: int = 10,
+    seed: int = 0,
+) -> SyntheticWorkload:
+    """Generate a universal relation with ``num_fields`` fields and its keys.
+
+    ``depth`` levels are created; each level gets a key attribute (consuming
+    one field and one key), then the remaining fields are spread across the
+    levels round-robin, alternating attribute fields and element fields.
+    Remaining keys (beyond the spine) become "at most one" constraints for
+    the element fields and alternate keys for the attribute fields, so that
+    the requested number of keys is met whenever possible.
+    """
+    if depth < 1:
+        raise ValueError("depth must be at least 1")
+    if num_fields < depth:
+        raise ValueError(f"need at least {depth} fields for a depth-{depth} spine")
+    rng = random.Random(seed)
+
+    level_tags = [f"lvl{i}" for i in range(depth)]
+    rule = TableRule("U")
+    level_vars: List[str] = []
+    for index, tag in enumerate(level_tags):
+        variable = f"v{index}"
+        if index == 0:
+            rule.add_mapping(variable, rule.root_variable, f"//{tag}")
+        else:
+            rule.add_mapping(variable, level_vars[index - 1], tag)
+        level_vars.append(variable)
+
+    keys: List[XMLKey] = []
+    fields: List[str] = []
+    key_fields: List[str] = []
+
+    # Spine key attributes: one per level, keys are relative level-to-level.
+    for index, tag in enumerate(level_tags):
+        attr_field = f"k{index}"
+        attr_var = f"vk{index}"
+        rule.add_mapping(attr_var, level_vars[index], f"@k{index}")
+        rule.add_field(attr_field, attr_var)
+        fields.append(attr_field)
+        key_fields.append(attr_field)
+        context = "." if index == 0 else "//" + "/".join(level_tags[:index])
+        target = "//" + level_tags[0] if index == 0 else level_tags[index]
+        if len(keys) < num_keys:
+            keys.append(
+                XMLKey(context, target, {f"k{index}"}, name=f"spine{index}")
+            )
+
+    # Remaining fields: alternate attribute fields and element fields spread
+    # over the levels round-robin.
+    extra_needed = num_fields - len(fields)
+    element_fields_by_level: Dict[int, List[str]] = {i: [] for i in range(depth)}
+    attribute_fields_by_level: Dict[int, List[str]] = {i: [] for i in range(depth)}
+    counter = 0
+    while extra_needed > 0:
+        level = counter % depth
+        if counter % 2 == 0:
+            name = f"a{level}_{len(attribute_fields_by_level[level])}"
+            variable = f"va_{name}"
+            rule.add_mapping(variable, level_vars[level], f"@{name}")
+            rule.add_field(name, variable)
+            attribute_fields_by_level[level].append(name)
+        else:
+            name = f"e{level}_{len(element_fields_by_level[level])}"
+            variable = f"ve_{name}"
+            rule.add_mapping(variable, level_vars[level], name)
+            rule.add_field(name, variable)
+            element_fields_by_level[level].append(name)
+        fields.append(name)
+        counter += 1
+        extra_needed -= 1
+
+    # Additional keys: uniqueness of element fields, then alternate keys on
+    # attribute fields, until num_keys is reached.
+    level_context = {
+        index: "//" + "/".join(level_tags[: index + 1]) for index in range(depth)
+    }
+    for level in range(depth):
+        for name in element_fields_by_level[level]:
+            if len(keys) >= num_keys:
+                break
+            keys.append(XMLKey(level_context[level], name, (), name=f"unique_{name}"))
+    for level in range(depth):
+        for name in attribute_fields_by_level[level]:
+            if len(keys) >= num_keys:
+                break
+            context = "." if level == 0 else level_context[level - 1]
+            target = "//" + level_tags[0] if level == 0 else level_tags[level]
+            keys.append(XMLKey(context, target, {name}, name=f"alt_{name}"))
+    # If the request still is not met (tiny workloads), pad with duplicates of
+    # the spine keys under fresh names — the paper's experiments scale the
+    # *number* of keys handed to the algorithms.
+    pad_index = 0
+    while len(keys) < num_keys:
+        base = keys[pad_index % depth]
+        keys.append(XMLKey(base.context, base.target, base.attributes, name=f"pad{pad_index}"))
+        pad_index += 1
+
+    rng.shuffle(fields)  # field order should not matter; shuffle to be sure
+    return SyntheticWorkload(
+        rule=rule,
+        keys=keys[:num_keys] if num_keys >= depth else keys,
+        depth=depth,
+        fields=rule.field_names,
+        level_tags=level_tags,
+        key_fields=key_fields,
+    )
+
+
+def generate_document(
+    workload: SyntheticWorkload,
+    fanout: int = 2,
+    seed: int = 0,
+) -> XMLTree:
+    """A random document satisfying the workload's keys.
+
+    ``fanout`` children of the next level are generated under every node of
+    a level; key attributes are numbered so that all keys (spine, alternate
+    and uniqueness) hold by construction.
+    """
+    rng = random.Random(seed)
+    counter = [0]
+
+    element_fields: Dict[int, List[str]] = {i: [] for i in range(workload.depth)}
+    attribute_fields: Dict[int, List[str]] = {i: [] for i in range(workload.depth)}
+    for field in workload.fields:
+        if field.startswith("e"):
+            level = int(field[1:].split("_", 1)[0])
+            element_fields[level].append(field)
+        elif field.startswith("a"):
+            level = int(field[1:].split("_", 1)[0])
+            attribute_fields[level].append(field)
+
+    def build(level: int, ordinal: int) -> ElementNode:
+        counter[0] += 1
+        node = element(workload.level_tags[level], {f"k{level}": str(ordinal)})
+        node.set_attribute(f"uid{level}", str(counter[0]))
+        for name in attribute_fields[level]:
+            node.set_attribute(name, f"{name}-{counter[0]}")
+        for name in element_fields[level]:
+            node.append_child(element(name, text(f"{name}-{counter[0]}")))
+        if level + 1 < workload.depth:
+            for child_ordinal in range(fanout):
+                node.append_child(build(level + 1, child_ordinal))
+        return node
+
+    root_children = [build(0, ordinal) for ordinal in range(fanout)]
+    return document(element("root", *root_children))

@@ -1,0 +1,104 @@
+"""Timing utilities for the experiment harness.
+
+The numbers of Figure 7 are wall-clock times of the algorithms on synthetic
+inputs.  Absolute values on 2026 hardware are incomparable with the paper's
+2003 setup, so what the harness (and EXPERIMENTS.md) reports are the
+*shapes*: growth rates, ratios between algorithms, and sensitivity to each
+parameter.  This module provides a tiny, dependency-free timing helper with
+best-of-``repeat`` semantics and simple tabular rendering shared by the
+figure builders.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+
+def time_call(fn: Callable[[], Any], repeat: int = 1) -> Tuple[float, Any]:
+    """Run ``fn`` ``repeat`` times; return (best wall-clock seconds, last result)."""
+    best = float("inf")
+    result: Any = None
+    for _ in range(max(1, repeat)):
+        start = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+    return best, result
+
+
+@dataclass
+class SeriesPoint:
+    """One measured point of an experiment series."""
+
+    parameters: Dict[str, Any]
+    seconds: Dict[str, float]
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class ExperimentSeries:
+    """A named series of measurements (one figure panel)."""
+
+    name: str
+    description: str
+    x_label: str
+    points: List[SeriesPoint] = field(default_factory=list)
+
+    def add(self, parameters: Dict[str, Any], seconds: Dict[str, float], **extra: Any) -> None:
+        self.points.append(SeriesPoint(parameters=parameters, seconds=seconds, extra=extra))
+
+    def algorithms(self) -> List[str]:
+        names: List[str] = []
+        for point in self.points:
+            for algorithm in point.seconds:
+                if algorithm not in names:
+                    names.append(algorithm)
+        return names
+
+    def column(self, algorithm: str) -> List[float]:
+        return [point.seconds.get(algorithm, float("nan")) for point in self.points]
+
+    def x_values(self) -> List[Any]:
+        return [point.parameters.get(self.x_label) for point in self.points]
+
+    def to_table(self) -> str:
+        """ASCII table: one row per x value, one column per algorithm."""
+        algorithms = self.algorithms()
+        header = [self.x_label] + [f"{name} (s)" for name in algorithms]
+        rows: List[List[str]] = []
+        for point in self.points:
+            row = [str(point.parameters.get(self.x_label))]
+            for algorithm in algorithms:
+                value = point.seconds.get(algorithm)
+                row.append("-" if value is None else f"{value:.4f}")
+            rows.append(row)
+        widths = [len(h) for h in header]
+        for row in rows:
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+        lines = [self.name + " — " + self.description]
+        lines.append(" | ".join(h.ljust(widths[i]) for i, h in enumerate(header)))
+        lines.append("-+-".join("-" * w for w in widths))
+        for row in rows:
+            lines.append(" | ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # Shape checks used by EXPERIMENTS.md and the integration tests.
+    # ------------------------------------------------------------------
+    def growth_ratio(self, algorithm: str) -> float:
+        """Ratio of the last to the first measurement of an algorithm."""
+        values = [v for v in self.column(algorithm) if v == v]  # drop NaN
+        if len(values) < 2 or values[0] <= 0:
+            return float("nan")
+        return values[-1] / values[0]
+
+    def always_faster(self, fast: str, slow: str, tolerance: float = 1.0) -> bool:
+        """Is ``fast`` at most ``tolerance`` × ``slow`` at every point?"""
+        for point in self.points:
+            if fast in point.seconds and slow in point.seconds:
+                if point.seconds[fast] > tolerance * point.seconds[slow]:
+                    return False
+        return True

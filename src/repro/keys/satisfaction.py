@@ -1,0 +1,106 @@
+"""Key satisfaction over documents (Definition 2.1).
+
+A tree ``T`` satisfies a key ``(C, (T', {@a1..@ak}))`` iff for every context
+node ``n ∈ [[C]]`` and every pair ``n1, n2 ∈ n[[T']]``:
+
+1. ``n1`` and ``n2`` each have a (unique) attribute ``@ai`` for every ``i``;
+2. if ``val(n1.@ai) = val(n2.@ai)`` for every ``i`` then ``n1 = n2``.
+
+Because pairs include ``n1 = n2``, condition (1) effectively requires every
+target node to carry all key attributes — this *existence* component is what
+the ``exist`` test of Algorithm ``propagation`` exploits.
+
+Besides the boolean check, :func:`violations` reports every violation found,
+which is how the library reproduces the import failure of Figure 2(a).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.keys.key import XMLKey
+from repro.xmlmodel.nodes import ElementNode, Node
+from repro.xmlmodel.tree import XMLTree
+
+
+@dataclass(frozen=True)
+class KeyViolation:
+    """A single witnessed violation of a key on a document."""
+
+    key: XMLKey
+    context_node_id: Optional[int]
+    kind: str  # "missing-attribute" or "duplicate-value"
+    detail: str
+    node_ids: Tuple[int, ...]
+
+    def __str__(self) -> str:
+        return f"[{self.kind}] {self.detail}"
+
+
+def _attribute_values(node: Node, attributes: Iterable[str]) -> Optional[Tuple[str, ...]]:
+    """Key-attribute value tuple of a target node, or ``None`` if one is missing."""
+    if not isinstance(node, ElementNode):
+        # Attribute/text target nodes carry no attributes; a key with a
+        # non-empty attribute set can therefore never be satisfied by them.
+        return None if list(attributes) else ()
+    values: List[str] = []
+    for name in attributes:
+        attr_node = node.attribute(name)
+        if attr_node is None:
+            return None
+        values.append(attr_node.value)
+    return tuple(values)
+
+
+def violations(tree: XMLTree, key: XMLKey) -> List[KeyViolation]:
+    """All violations of ``key`` on ``tree`` (empty list iff satisfied)."""
+    found: List[KeyViolation] = []
+    attributes = key.attribute_list
+    for context_node in key.context.evaluate(tree.root):
+        targets = key.target.evaluate(context_node)
+        groups: Dict[Tuple[str, ...], List[Node]] = {}
+        for target_node in targets:
+            values = _attribute_values(target_node, attributes)
+            if values is None:
+                found.append(
+                    KeyViolation(
+                        key=key,
+                        context_node_id=context_node.node_id,
+                        kind="missing-attribute",
+                        detail=(
+                            f"target node {target_node.node_id} under context "
+                            f"{context_node.node_id} lacks one of the key attributes "
+                            f"{attributes}"
+                        ),
+                        node_ids=(target_node.node_id or -1,),
+                    )
+                )
+                continue
+            groups.setdefault(values, []).append(target_node)
+        for values, nodes in groups.items():
+            if len(nodes) > 1:
+                ids = tuple(node.node_id or -1 for node in nodes)
+                found.append(
+                    KeyViolation(
+                        key=key,
+                        context_node_id=context_node.node_id,
+                        kind="duplicate-value",
+                        detail=(
+                            f"{len(nodes)} distinct target nodes {ids} under context "
+                            f"{context_node.node_id} share the key value {values!r}"
+                        ),
+                        node_ids=ids,
+                    )
+                )
+    return found
+
+
+def satisfies(tree: XMLTree, key: XMLKey) -> bool:
+    """``tree ⊨ key`` (Definition 2.1)."""
+    return not violations(tree, key)
+
+
+def satisfies_all(tree: XMLTree, keys: Iterable[XMLKey]) -> bool:
+    """``tree ⊨ Σ`` — the document satisfies every key of the set."""
+    return all(satisfies(tree, key) for key in keys)

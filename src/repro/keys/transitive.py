@@ -1,0 +1,102 @@
+"""Transitive key sets and the *precedes* relation (Section 4).
+
+To identify a node within an entire document from relative keys one needs a
+chain of keys reaching up to the root.  The paper formalises this with the
+*precedes* relation:
+
+* ``(Q1, (Q1', S1))`` **immediately precedes** ``(Q2, (Q2', S2))`` when
+  ``Q2 = Q1/Q1'``;
+* *precedes* is the transitive closure of *immediately precedes*;
+* a set ``Σ`` is **transitive** if every relative key of ``Σ`` is preceded by
+  an absolute key of ``Σ``;
+* a node is **keyed** if a transitive subset of ``Σ`` uniquely identifies it.
+
+Example 4.1 of the paper: ``{K1, K2}`` is transitive (a chapter is identified
+by the @isbn of its book plus its own @number) while ``{K2}`` alone is not.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from repro.keys.key import XMLKey
+from repro.xmlmodel.paths import concat, contains
+
+
+def immediately_precedes(first: XMLKey, second: XMLKey) -> bool:
+    """``first`` immediately precedes ``second``: ``second.context = first.context/first.target``.
+
+    Path expressions are compared by language equivalence (mutual
+    containment) rather than syntactic equality, so e.g. ``//book//`` and
+    ``//book`` + ``//`` compose as expected.
+    """
+    composed = concat(first.context, first.target)
+    return contains(composed, second.context) and contains(second.context, composed)
+
+
+def precedes(first: XMLKey, second: XMLKey, keys: Iterable[XMLKey]) -> bool:
+    """Transitive closure of :func:`immediately_precedes` within ``keys``."""
+    pool = list(keys)
+    frontier: List[XMLKey] = [second]
+    seen: Set[XMLKey] = set()
+    while frontier:
+        current = frontier.pop()
+        if current in seen:
+            continue
+        seen.add(current)
+        if immediately_precedes(first, current):
+            return True
+        for candidate in pool:
+            if candidate == current:
+                continue
+            if immediately_precedes(candidate, current):
+                if candidate == first:
+                    return True
+                frontier.append(candidate)
+    return False
+
+
+def is_transitive_set(keys: Iterable[XMLKey]) -> bool:
+    """Is ``Σ`` transitive (Definition in Section 4)?
+
+    Every relative key must be preceded by an absolute key of the set.
+    Absolute keys are trivially fine.
+    """
+    pool = list(keys)
+    absolute = [key for key in pool if key.is_absolute]
+    for key in pool:
+        if key.is_absolute:
+            continue
+        if not any(precedes(anchor, key, pool) for anchor in absolute):
+            return False
+    return True
+
+
+def chain_to_root(key: XMLKey, keys: Iterable[XMLKey]) -> List[XMLKey]:
+    """A chain of keys ``[absolute, ..., key]`` witnessing transitivity.
+
+    Returns the empty list when no chain exists.  The chain is found by a
+    breadth-first search over the *immediately precedes* relation, so it is a
+    shortest witness.
+    """
+    pool = [candidate for candidate in keys]
+    if key.is_absolute:
+        return [key]
+    # Breadth-first search backwards from `key` towards an absolute key.
+    frontier: List[List[XMLKey]] = [[key]]
+    visited: Set[XMLKey] = {key}
+    while frontier:
+        next_frontier: List[List[XMLKey]] = []
+        for chain in frontier:
+            head = chain[0]
+            for candidate in pool:
+                if candidate in visited:
+                    continue
+                if immediately_precedes(candidate, head):
+                    new_chain = [candidate] + chain
+                    if candidate.is_absolute:
+                        return new_chain
+                    visited.add(candidate)
+                    next_frontier.append(new_chain)
+        frontier = next_frontier
+    return []

@@ -1,0 +1,116 @@
+"""Rendering ``K@`` keys in XML-Schema identity-constraint style.
+
+The paper adopts the concise ``(C, (T, {@a1..@ak}))`` notation "because it is
+more concise than that of XML Schema" — but producers often publish their
+constraints as ``xs:key`` / ``xs:unique`` elements (selector + fields).  This
+module converts between the two notations for the overlapping fragment:
+
+* a key with attributes maps to ``xs:key`` with ``xs:selector xpath=C/T`` and
+  one ``xs:field xpath="@a"`` per attribute;
+* a key with an empty attribute set (an "at most one" constraint) maps to
+  ``xs:unique`` over the node itself (``xs:field xpath="."``) — the closest
+  XML Schema idiom;
+* relative keys are emitted as keys *scoped under* their context path, which
+  is recorded in the ``selector`` as ``context :: target`` so the round trip
+  is loss-free (plain XML Schema cannot express relative keys directly; the
+  scoping element is where the constraint would be attached).
+
+The conversion intentionally refuses XML Schema constructs outside ``K@``
+(keyref / foreign keys): by Theorem 3.2 their propagation is undecidable.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, List
+
+from repro.keys.key import XMLKey
+from repro.transform.validate import UnsupportedFeature
+from repro.xmlmodel.paths import parse_path
+
+
+def _xpath_of(path_text: str) -> str:
+    """Render a path expression in XPath spelling (``.//`` for ``//``)."""
+    if path_text == ".":
+        return "."
+    return path_text.replace("//", ".//", 1) if path_text.startswith("//") else path_text
+
+
+def key_to_schema(key: XMLKey, indent: str = "") -> str:
+    """Render one key as an ``xs:key`` / ``xs:unique`` element."""
+    name = key.name or f"key_{abs(hash(key)) % 10_000}"
+    selector = _xpath_of(key.target.text)
+    if not key.is_absolute:
+        selector = f"{_xpath_of(key.context.text)} :: {selector}"
+    tag = "xs:key" if key.attributes else "xs:unique"
+    lines = [f'{indent}<{tag} name="{name}">']
+    lines.append(f'{indent}  <xs:selector xpath="{selector}"/>')
+    if key.attributes:
+        for attribute in key.attribute_list:
+            lines.append(f'{indent}  <xs:field xpath="@{attribute}"/>')
+    else:
+        lines.append(f'{indent}  <xs:field xpath="."/>')
+    lines.append(f"{indent}</{tag}>")
+    return "\n".join(lines)
+
+
+def keys_to_schema(keys: Iterable[XMLKey]) -> str:
+    """Render a whole key set as an annotation block."""
+    body = "\n".join(key_to_schema(key, indent="  ") for key in keys)
+    return "<xs:annotation><!-- K@ keys -->\n" + body + "\n</xs:annotation>"
+
+
+_KEY_RE = re.compile(
+    r"<xs:(?P<tag>key|unique|keyref)\s+name=\"(?P<name>[^\"]*)\"(?P<body>.*?)</xs:(?P=tag)>",
+    re.DOTALL,
+)
+_SELECTOR_RE = re.compile(r"<xs:selector\s+xpath=\"(?P<xpath>[^\"]*)\"\s*/>")
+_FIELD_RE = re.compile(r"<xs:field\s+xpath=\"(?P<xpath>[^\"]*)\"\s*/>")
+
+
+def schema_to_keys(source: str) -> List[XMLKey]:
+    """Parse ``xs:key`` / ``xs:unique`` elements back into ``K@`` keys.
+
+    ``xs:keyref`` elements are rejected with an explanation (Theorem 3.2);
+    fields that are not attributes (and not the ``.`` self-field of an
+    ``xs:unique``) are outside ``K@`` and rejected as well.
+    """
+    keys: List[XMLKey] = []
+    for match in _KEY_RE.finditer(source):
+        tag = match.group("tag")
+        if tag == "keyref":
+            raise UnsupportedFeature("foreign-key")
+        name = match.group("name") or None
+        body = match.group("body")
+        selector_match = _SELECTOR_RE.search(body)
+        if selector_match is None:
+            raise ValueError(f"identity constraint {name!r} lacks an xs:selector")
+        selector = selector_match.group("xpath").strip()
+        if "::" in selector:
+            context_text, target_text = (part.strip() for part in selector.split("::", 1))
+        else:
+            context_text, target_text = ".", selector
+        attributes: List[str] = []
+        for field_match in _FIELD_RE.finditer(body):
+            xpath = field_match.group("xpath").strip()
+            if xpath == ".":
+                continue
+            if not xpath.startswith("@") or "/" in xpath:
+                raise UnsupportedFeature("foreign-key" if tag == "keyref" else "selection")
+            attributes.append(xpath.lstrip("@"))
+        keys.append(
+            XMLKey(
+                _path_from_xpath(context_text),
+                _path_from_xpath(target_text),
+                attributes,
+                name=name,
+            )
+        )
+    return keys
+
+
+def _path_from_xpath(xpath: str):
+    text = xpath.strip()
+    if text.startswith(".//"):
+        text = text[1:]
+    return parse_path(text)

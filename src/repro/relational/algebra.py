@@ -1,0 +1,139 @@
+"""A small relational algebra over :class:`RelationInstance`.
+
+The transformation language of the paper can express only projection,
+Cartesian product and a limited union.  Theorem 3.1 shows why: as soon as
+the transformation language can express *all* of relational algebra
+(selection, product, union **and difference**), key propagation becomes
+undecidable (by reduction from equivalence of relational algebra queries).
+
+This module implements the operators so that the boundary can be
+demonstrated concretely (see ``repro.transform.validate`` which refuses
+selection/difference in table rules, and the tests exercising both sides),
+and so that instances produced by shredding can be cross-checked in tests.
+All operators use set semantics (duplicates eliminated) and require
+compatible schemas where relevant.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional, Sequence
+
+from repro.relational.instance import NULL, RelationInstance, Row, is_null
+from repro.relational.schema import RelationSchema
+
+
+def _ensure_union_compatible(left: RelationInstance, right: RelationInstance) -> None:
+    if tuple(left.schema.attributes) != tuple(right.schema.attributes):
+        raise ValueError(
+            "union/difference require identical attribute lists: "
+            f"{left.schema.attributes} vs {right.schema.attributes}"
+        )
+
+
+def project(instance: RelationInstance, attributes: Sequence[str], name: Optional[str] = None) -> RelationInstance:
+    """π_attributes(instance) with duplicate elimination."""
+    for attribute in attributes:
+        if attribute not in instance.schema.attributes:
+            raise ValueError(f"unknown attribute {attribute!r} in projection")
+    schema = RelationSchema(name or f"project_{instance.schema.name}", list(attributes))
+    result = RelationInstance(schema)
+    seen = set()
+    for row in instance:
+        values = {attribute: row.get_value(attribute) for attribute in attributes}
+        projected = Row(values)
+        if projected not in seen:
+            seen.add(projected)
+            result.rows.append(projected)
+    return result
+
+
+def select(
+    instance: RelationInstance,
+    predicate: Callable[[Row], bool],
+    name: Optional[str] = None,
+) -> RelationInstance:
+    """σ_predicate(instance)."""
+    schema = RelationSchema(name or f"select_{instance.schema.name}", list(instance.schema.attributes))
+    result = RelationInstance(schema)
+    for row in instance:
+        if predicate(row):
+            result.rows.append(Row(row.as_dict()))
+    return result
+
+
+def product(
+    left: RelationInstance,
+    right: RelationInstance,
+    name: Optional[str] = None,
+) -> RelationInstance:
+    """Cartesian product; overlapping attribute names are prefixed."""
+    overlap = set(left.schema.attributes) & set(right.schema.attributes)
+    attributes: List[str] = list(left.schema.attributes)
+    rename = {}
+    for attribute in right.schema.attributes:
+        if attribute in overlap:
+            renamed = f"{right.schema.name}.{attribute}"
+            rename[attribute] = renamed
+            attributes.append(renamed)
+        else:
+            rename[attribute] = attribute
+            attributes.append(attribute)
+    schema = RelationSchema(name or f"{left.schema.name}_x_{right.schema.name}", attributes)
+    result = RelationInstance(schema)
+    for left_row in left:
+        for right_row in right:
+            values = left_row.as_dict()
+            for attribute in right.schema.attributes:
+                values[rename[attribute]] = right_row.get_value(attribute)
+            result.rows.append(Row(values))
+    return result
+
+
+def union(left: RelationInstance, right: RelationInstance, name: Optional[str] = None) -> RelationInstance:
+    _ensure_union_compatible(left, right)
+    schema = RelationSchema(name or f"{left.schema.name}_union", list(left.schema.attributes))
+    result = RelationInstance(schema)
+    seen = set()
+    for row in list(left) + list(right):
+        if row not in seen:
+            seen.add(row)
+            result.rows.append(row)
+    return result
+
+
+def difference(left: RelationInstance, right: RelationInstance, name: Optional[str] = None) -> RelationInstance:
+    _ensure_union_compatible(left, right)
+    schema = RelationSchema(name or f"{left.schema.name}_minus", list(left.schema.attributes))
+    result = RelationInstance(schema)
+    right_rows = set(right)
+    seen = set()
+    for row in left:
+        if row not in right_rows and row not in seen:
+            seen.add(row)
+            result.rows.append(row)
+    return result
+
+
+def natural_join(left: RelationInstance, right: RelationInstance, name: Optional[str] = None) -> RelationInstance:
+    """Natural join on the shared attributes (nulls never join)."""
+    shared = [a for a in left.schema.attributes if a in right.schema.attributes]
+    attributes = list(left.schema.attributes) + [
+        a for a in right.schema.attributes if a not in shared
+    ]
+    schema = RelationSchema(name or f"{left.schema.name}_join_{right.schema.name}", attributes)
+    result = RelationInstance(schema)
+    for left_row in left:
+        for right_row in right:
+            if any(
+                is_null(left_row.get_value(a))
+                or is_null(right_row.get_value(a))
+                or left_row.get_value(a) != right_row.get_value(a)
+                for a in shared
+            ):
+                continue
+            values = left_row.as_dict()
+            for attribute in right.schema.attributes:
+                if attribute not in shared:
+                    values[attribute] = right_row.get_value(attribute)
+            result.rows.append(Row(values))
+    return result

@@ -1,0 +1,254 @@
+"""Functional dependencies, Armstrong closure, covers and ``minimize``.
+
+This module provides the relational FD machinery the paper relies on:
+
+* :class:`FunctionalDependency` — an FD ``X → Y`` over attribute names;
+* :func:`attribute_closure` — ``X+`` under a set of FDs (linear-time
+  fixpoint, the standard algorithm);
+* :func:`implies_fd` / :func:`equivalent` — implication and equivalence of
+  FD sets via closures (Armstrong's axioms are sound and complete, so
+  closure-based implication is exact);
+* :func:`minimize` — the ``minimize`` routine of Section 5 (quadratic in the
+  number of FDs): first drop extraneous LHS attributes, then drop redundant
+  FDs, producing a non-redundant cover;
+* :func:`minimum_cover` — canonical/minimum cover (singleton RHS, merged
+  back per LHS on request).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.relational.schema import AttrSetLike, attr_set
+
+
+class FunctionalDependency:
+    """An FD ``X → Y`` with ``X`` and ``Y`` sets of attribute names."""
+
+    __slots__ = ("lhs", "rhs")
+
+    def __init__(self, lhs: AttrSetLike, rhs: AttrSetLike) -> None:
+        self.lhs: FrozenSet[str] = attr_set(lhs)
+        self.rhs: FrozenSet[str] = attr_set(rhs)
+        if not self.rhs:
+            raise ValueError("an FD needs a non-empty right-hand side")
+
+    # ------------------------------------------------------------------
+    @property
+    def is_trivial(self) -> bool:
+        """``X → Y`` is trivial when ``Y ⊆ X`` (reflexivity)."""
+        return self.rhs <= self.lhs
+
+    @property
+    def attributes(self) -> FrozenSet[str]:
+        return self.lhs | self.rhs
+
+    def decompose(self) -> List["FunctionalDependency"]:
+        """Split into singleton-RHS FDs (the form used internally)."""
+        return [FunctionalDependency(self.lhs, {attribute}) for attribute in sorted(self.rhs)]
+
+    def with_lhs(self, lhs: AttrSetLike) -> "FunctionalDependency":
+        return FunctionalDependency(lhs, self.rhs)
+
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FunctionalDependency):
+            return NotImplemented
+        return self.lhs == other.lhs and self.rhs == other.rhs
+
+    def __hash__(self) -> int:
+        return hash((self.lhs, self.rhs))
+
+    def __repr__(self) -> str:
+        return f"FD({self.text!r})"
+
+    def __str__(self) -> str:
+        return self.text
+
+    @property
+    def text(self) -> str:
+        lhs = ", ".join(sorted(self.lhs)) if self.lhs else "∅"
+        rhs = ", ".join(sorted(self.rhs))
+        return f"{lhs} -> {rhs}"
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def parse(text: str) -> "FunctionalDependency":
+        """Parse ``"a, b -> c"`` (also accepts ``→``)."""
+        normalised = text.replace("→", "->")
+        if "->" not in normalised:
+            raise ValueError(f"not an FD: {text!r}")
+        lhs_text, rhs_text = normalised.split("->", 1)
+        lhs = [part.strip() for part in lhs_text.split(",") if part.strip()]
+        rhs = [part.strip() for part in rhs_text.split(",") if part.strip()]
+        return FunctionalDependency(lhs, rhs)
+
+
+FD = FunctionalDependency
+
+FDLike = Union[FunctionalDependency, str, Tuple[AttrSetLike, AttrSetLike]]
+
+
+def coerce_fd(value: FDLike) -> FunctionalDependency:
+    """Coerce strings / pairs into :class:`FunctionalDependency`."""
+    if isinstance(value, FunctionalDependency):
+        return value
+    if isinstance(value, str):
+        return FunctionalDependency.parse(value)
+    lhs, rhs = value
+    return FunctionalDependency(lhs, rhs)
+
+
+class FDSet:
+    """An ordered, duplicate-free collection of FDs."""
+
+    def __init__(self, fds: Iterable[FDLike] = ()) -> None:
+        self._fds: List[FunctionalDependency] = []
+        self._seen: Set[FunctionalDependency] = set()
+        for fd in fds:
+            self.add(fd)
+
+    def add(self, fd: FDLike) -> FunctionalDependency:
+        coerced = coerce_fd(fd)
+        if coerced not in self._seen:
+            self._seen.add(coerced)
+            self._fds.append(coerced)
+        return coerced
+
+    def __iter__(self) -> Iterator[FunctionalDependency]:
+        return iter(self._fds)
+
+    def __len__(self) -> int:
+        return len(self._fds)
+
+    def __contains__(self, fd: FDLike) -> bool:
+        return coerce_fd(fd) in self._seen
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FDSet):
+            return NotImplemented
+        return self._seen == other._seen
+
+    def as_list(self) -> List[FunctionalDependency]:
+        return list(self._fds)
+
+    def attributes(self) -> FrozenSet[str]:
+        result: Set[str] = set()
+        for fd in self._fds:
+            result |= fd.attributes
+        return frozenset(result)
+
+    def implies(self, fd: FDLike) -> bool:
+        return implies_fd(self._fds, fd)
+
+    def closure(self, attributes: AttrSetLike) -> FrozenSet[str]:
+        return attribute_closure(attributes, self._fds)
+
+    def minimize(self) -> "FDSet":
+        return FDSet(minimize(self._fds))
+
+    def __repr__(self) -> str:
+        return "FDSet([" + ", ".join(str(fd) for fd in self._fds) + "])"
+
+    def describe(self) -> str:
+        return "\n".join(str(fd) for fd in self._fds)
+
+
+# ----------------------------------------------------------------------
+# Closure / implication
+# ----------------------------------------------------------------------
+def attribute_closure(attributes: AttrSetLike, fds: Iterable[FDLike]) -> FrozenSet[str]:
+    """Compute ``X+`` with respect to a set of FDs (fixpoint iteration)."""
+    closure: Set[str] = set(attr_set(attributes))
+    pool = [coerce_fd(fd) for fd in fds]
+    changed = True
+    while changed:
+        changed = False
+        for fd in pool:
+            if fd.lhs <= closure and not fd.rhs <= closure:
+                closure |= fd.rhs
+                changed = True
+    return frozenset(closure)
+
+
+def implies_fd(fds: Iterable[FDLike], candidate: FDLike) -> bool:
+    """Does the FD set imply ``candidate`` (by Armstrong's axioms)?"""
+    fd = coerce_fd(candidate)
+    pool = [coerce_fd(item) for item in fds]
+    return fd.rhs <= attribute_closure(fd.lhs, pool)
+
+
+def equivalent(first: Iterable[FDLike], second: Iterable[FDLike]) -> bool:
+    """Are two FD sets equivalent (each implies every FD of the other)?"""
+    first_pool = [coerce_fd(fd) for fd in first]
+    second_pool = [coerce_fd(fd) for fd in second]
+    return all(implies_fd(second_pool, fd) for fd in first_pool) and all(
+        implies_fd(first_pool, fd) for fd in second_pool
+    )
+
+
+# ----------------------------------------------------------------------
+# minimize — Section 5 of the paper (after Beeri & Bernstein)
+# ----------------------------------------------------------------------
+def remove_extraneous_attributes(fds: Iterable[FDLike]) -> List[FunctionalDependency]:
+    """Drop extraneous attributes from every LHS (lines 1–4 of ``minimize``)."""
+    pool = [coerce_fd(fd) for fd in fds]
+    result: List[FunctionalDependency] = []
+    for index, fd in enumerate(pool):
+        lhs = set(fd.lhs)
+        for attribute in sorted(fd.lhs):
+            if attribute not in lhs:
+                continue
+            trimmed = lhs - {attribute}
+            # The attribute is extraneous when the trimmed LHS still
+            # determines the RHS under the *whole* set of FDs.
+            if fd.rhs <= attribute_closure(trimmed, pool):
+                lhs = trimmed
+        reduced = FunctionalDependency(lhs, fd.rhs)
+        pool[index] = reduced
+        result.append(reduced)
+    return result
+
+
+def remove_redundant_fds(fds: Iterable[FDLike]) -> List[FunctionalDependency]:
+    """Drop FDs implied by the remaining ones (lines 5–8 of ``minimize``)."""
+    pool = [coerce_fd(fd) for fd in fds]
+    result = list(pool)
+    for fd in list(pool):
+        others = [other for other in result if other is not fd]
+        if implies_fd(others, fd):
+            result = others
+    return result
+
+
+def minimize(fds: Iterable[FDLike]) -> List[FunctionalDependency]:
+    """The ``minimize`` function of Section 5: a non-redundant cover.
+
+    Trivial FDs are dropped first (they are implied by reflexivity), then
+    extraneous LHS attributes, then redundant FDs.
+    """
+    pool = [coerce_fd(fd) for fd in fds if not coerce_fd(fd).is_trivial]
+    pool = remove_extraneous_attributes(pool)
+    pool = remove_redundant_fds(pool)
+    return pool
+
+
+def minimum_cover(fds: Iterable[FDLike], merge_lhs: bool = False) -> List[FunctionalDependency]:
+    """A minimum (canonical) cover: singleton RHS, no extraneous attributes,
+    no redundant FDs.  With ``merge_lhs`` the FDs sharing a LHS are merged
+    back into a single FD (the classical "minimal cover" presentation).
+    """
+    singleton: List[FunctionalDependency] = []
+    for fd in fds:
+        singleton.extend(coerce_fd(fd).decompose())
+    reduced = minimize(singleton)
+    if not merge_lhs:
+        return reduced
+    merged: Dict[FrozenSet[str], Set[str]] = {}
+    order: List[FrozenSet[str]] = []
+    for fd in reduced:
+        if fd.lhs not in merged:
+            merged[fd.lhs] = set()
+            order.append(fd.lhs)
+        merged[fd.lhs] |= fd.rhs
+    return [FunctionalDependency(lhs, merged[lhs]) for lhs in order]

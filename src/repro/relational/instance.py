@@ -1,0 +1,256 @@
+"""Relation instances with nulls and the paper's FD semantics.
+
+XML is semistructured, so shredding may produce tuples with missing fields.
+Section 3 of the paper therefore adopts a specific semantics of an FD
+``X → Y`` over an instance possibly containing nulls:
+
+1. for any tuple ``t``, if ``t[X]`` contains a null then so does ``t[Y]``;
+2. for tuples ``t1, t2`` neither of which contains a null, if
+   ``t1[X] = t2[X]`` then ``t1[Y] = t2[Y]``.
+
+:class:`RelationInstance` implements relations as multisets of rows (bags),
+which is what the Cartesian-product shredding semantics naturally produces,
+with helpers to deduplicate, check FDs under the semantics above, and verify
+declared keys (reporting violations like the ones of Figure 2(a)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.relational.schema import AttrSetLike, RelationSchema, attr_set
+
+
+class NullType:
+    """Singleton marker for SQL-style NULL (distinct from empty strings)."""
+
+    _instance: Optional["NullType"] = None
+
+    def __new__(cls) -> "NullType":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "NULL"
+
+    def __bool__(self) -> bool:
+        return False
+
+    def __eq__(self, other: object) -> bool:
+        # NULL never compares equal to anything, including itself, mirroring
+        # three-valued logic; identity checks (`is NULL`) are used instead.
+        return False
+
+    def __hash__(self) -> int:
+        return hash("repro-null")
+
+
+NULL = NullType()
+
+Value = Union[str, NullType]
+
+
+def is_null(value: object) -> bool:
+    """True iff ``value`` is the NULL marker (or Python ``None``)."""
+    return value is NULL or value is None
+
+
+class Row(Mapping[str, Value]):
+    """One tuple of a relation instance: an immutable attribute → value map."""
+
+    __slots__ = ("_values",)
+
+    def __init__(self, values: Mapping[str, Value]) -> None:
+        normalised = {}
+        for attribute, value in values.items():
+            normalised[attribute] = NULL if is_null(value) else value
+        self._values: Dict[str, Value] = normalised
+
+    def __getitem__(self, attribute: str) -> Value:
+        return self._values[attribute]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def get_value(self, attribute: str) -> Value:
+        return self._values.get(attribute, NULL)
+
+    def project(self, attributes: AttrSetLike) -> Tuple[Value, ...]:
+        """Values of the given attributes, in sorted attribute order."""
+        return tuple(self.get_value(attribute) for attribute in sorted(attr_set(attributes)))
+
+    def has_null(self, attributes: Optional[AttrSetLike] = None) -> bool:
+        """Does the row contain a null among ``attributes`` (default: all)?"""
+        names = attr_set(attributes) if attributes is not None else set(self._values)
+        return any(is_null(self.get_value(name)) for name in names)
+
+    def as_dict(self) -> Dict[str, Value]:
+        return dict(self._values)
+
+    def _freeze(self) -> Tuple[Tuple[str, object], ...]:
+        return tuple(
+            (attribute, "\0NULL\0" if is_null(value) else value)
+            for attribute, value in sorted(self._values.items())
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Row):
+            return NotImplemented
+        return self._freeze() == other._freeze()
+
+    def __hash__(self) -> int:
+        return hash(self._freeze())
+
+    def __repr__(self) -> str:
+        rendered = ", ".join(f"{key}={value!r}" for key, value in sorted(self._values.items()))
+        return f"Row({rendered})"
+
+
+@dataclass(frozen=True)
+class FDViolation:
+    """Witness of an FD violation under the paper's null semantics."""
+
+    kind: str  # "null-determinant" or "value-conflict"
+    detail: str
+
+
+class RelationInstance:
+    """A (bag) instance of a relation schema."""
+
+    def __init__(self, schema: RelationSchema, rows: Iterable[Mapping[str, Value]] = ()) -> None:
+        self.schema = schema
+        self.rows: List[Row] = []
+        for row in rows:
+            self.add_row(row)
+
+    # ------------------------------------------------------------------
+    # Population
+    # ------------------------------------------------------------------
+    def add_row(self, values: Mapping[str, Value]) -> Row:
+        unknown = set(values) - set(self.schema.attributes)
+        if unknown:
+            raise ValueError(
+                f"row mentions attributes {sorted(unknown)} absent from "
+                f"schema {self.schema.name!r}"
+            )
+        complete = {attribute: values.get(attribute, NULL) for attribute in self.schema.attributes}
+        row = Row(complete)
+        self.rows.append(row)
+        return row
+
+    def extend(self, rows: Iterable[Mapping[str, Value]]) -> None:
+        for row in rows:
+            self.add_row(row)
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self.rows)
+
+    def distinct(self) -> "RelationInstance":
+        """Set-semantics copy of the instance (duplicates removed)."""
+        result = RelationInstance(self.schema)
+        seen = set()
+        for row in self.rows:
+            if row not in seen:
+                seen.add(row)
+                result.rows.append(row)
+        return result
+
+    def values(self, attribute: str) -> List[Value]:
+        return [row.get_value(attribute) for row in self.rows]
+
+    # ------------------------------------------------------------------
+    # Constraint checking
+    # ------------------------------------------------------------------
+    def fd_violations(self, lhs: AttrSetLike, rhs: AttrSetLike) -> List[FDViolation]:
+        """Violations of ``lhs → rhs`` under the null semantics of Section 3."""
+        lhs_attrs = attr_set(lhs)
+        rhs_attrs = attr_set(rhs)
+        violations: List[FDViolation] = []
+        # Condition (1): a null determinant forces a null dependent.
+        for index, row in enumerate(self.rows):
+            if row.has_null(lhs_attrs) and not row.has_null(rhs_attrs):
+                violations.append(
+                    FDViolation(
+                        kind="null-determinant",
+                        detail=(
+                            f"tuple #{index} has a null among {sorted(lhs_attrs)} but none "
+                            f"among {sorted(rhs_attrs)}"
+                        ),
+                    )
+                )
+        # Condition (2): agreement on the determinant forces agreement on the
+        # dependent, for tuples free of nulls.
+        groups: Dict[Tuple[Value, ...], Tuple[int, Tuple[Value, ...]]] = {}
+        for index, row in enumerate(self.rows):
+            if row.has_null():
+                continue
+            determinant = row.project(lhs_attrs)
+            dependent = row.project(rhs_attrs)
+            if determinant in groups:
+                first_index, first_dependent = groups[determinant]
+                if first_dependent != dependent:
+                    violations.append(
+                        FDViolation(
+                            kind="value-conflict",
+                            detail=(
+                                f"tuples #{first_index} and #{index} agree on "
+                                f"{sorted(lhs_attrs)}={list(determinant)} but disagree on "
+                                f"{sorted(rhs_attrs)}: {list(first_dependent)} vs {list(dependent)}"
+                            ),
+                        )
+                    )
+            else:
+                groups[determinant] = (index, dependent)
+        return violations
+
+    def satisfies_fd(self, lhs: AttrSetLike, rhs: AttrSetLike) -> bool:
+        return not self.fd_violations(lhs, rhs)
+
+    def key_violations(self, key: Optional[AttrSetLike] = None) -> List[FDViolation]:
+        """Violations of a declared key (default: the schema's primary key)."""
+        if key is None:
+            if self.schema.primary_key is None:
+                raise ValueError(f"schema {self.schema.name!r} declares no key")
+            key = self.schema.primary_key
+        return self.fd_violations(key, set(self.schema.attributes))
+
+    def satisfies_key(self, key: Optional[AttrSetLike] = None) -> bool:
+        return not self.key_violations(key)
+
+    # ------------------------------------------------------------------
+    # Pretty-printing (used by the examples)
+    # ------------------------------------------------------------------
+    def to_table(self, max_rows: Optional[int] = None) -> str:
+        """ASCII rendering in the style of Figure 2 of the paper."""
+        attributes = list(self.schema.attributes)
+        rows = self.rows if max_rows is None else self.rows[:max_rows]
+        rendered_rows = [
+            ["NULL" if is_null(row.get_value(attribute)) else str(row.get_value(attribute)) for attribute in attributes]
+            for row in rows
+        ]
+        widths = [len(attribute) for attribute in attributes]
+        for rendered in rendered_rows:
+            for column, cell in enumerate(rendered):
+                widths[column] = max(widths[column], len(cell))
+        header = " | ".join(attribute.ljust(widths[i]) for i, attribute in enumerate(attributes))
+        separator = "-+-".join("-" * width for width in widths)
+        lines = [f"{self.schema.name}", header, separator]
+        for rendered in rendered_rows:
+            lines.append(" | ".join(cell.ljust(widths[i]) for i, cell in enumerate(rendered)))
+        if max_rows is not None and len(self.rows) > max_rows:
+            lines.append(f"... ({len(self.rows) - max_rows} more rows)")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"RelationInstance({self.schema.name}, rows={len(self.rows)})"

@@ -1,0 +1,194 @@
+"""Candidate keys, FD projection, BCNF and 3NF.
+
+These are the classical design tools (Abiteboul–Hull–Vianu / Beeri–Bernstein)
+that the paper plugs its propagated minimum cover into: Example 1.2 and
+Example 3.1 decompose the universal relation into BCNF guided by the cover
+computed from the XML keys.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.relational.fd import (
+    FDLike,
+    FunctionalDependency,
+    attribute_closure,
+    coerce_fd,
+    minimum_cover,
+)
+from repro.relational.schema import AttrSetLike, RelationSchema, attr_set
+
+
+def candidate_keys(
+    attributes: AttrSetLike, fds: Iterable[FDLike], limit: Optional[int] = None
+) -> List[FrozenSet[str]]:
+    """All candidate keys of a relation (minimal determining sets).
+
+    The computation is exponential in the worst case (as it must be); the
+    optional ``limit`` stops the enumeration after that many keys have been
+    found, which is plenty for design purposes.
+    """
+    attrs = attr_set(attributes)
+    pool = [coerce_fd(fd) for fd in fds]
+    # Attributes never appearing on any RHS must be part of every key.
+    rhs_attrs: Set[str] = set()
+    for fd in pool:
+        rhs_attrs |= fd.rhs
+    mandatory = frozenset(attrs - rhs_attrs)
+    optional = sorted(attrs - mandatory)
+
+    keys: List[FrozenSet[str]] = []
+    if attribute_closure(mandatory, pool) >= attrs:
+        return [mandatory]
+    for size in range(0, len(optional) + 1):
+        for extra in combinations(optional, size):
+            candidate = mandatory | frozenset(extra)
+            if any(existing <= candidate for existing in keys):
+                continue
+            if attribute_closure(candidate, pool) >= attrs:
+                keys.append(candidate)
+                if limit is not None and len(keys) >= limit:
+                    return keys
+    return keys
+
+
+def is_superkey(attributes: AttrSetLike, schema_attributes: AttrSetLike, fds: Iterable[FDLike]) -> bool:
+    return attr_set(schema_attributes) <= attribute_closure(attributes, list(fds))
+
+
+def project_fds(
+    attributes: AttrSetLike, fds: Iterable[FDLike], minimize_result: bool = True
+) -> List[FunctionalDependency]:
+    """Project a set of FDs onto a subset of attributes.
+
+    This is the inherently exponential operation of [Gottlob, PODS'87] that
+    the paper contrasts its polynomial ``minimumCover`` against: for every
+    subset ``X`` of the projected attributes, emit ``X → (X+ ∩ attributes)``.
+    Intended for the small schemas produced by decomposition, not for
+    universal relations with hundreds of fields.
+    """
+    attrs = sorted(attr_set(attributes))
+    pool = [coerce_fd(fd) for fd in fds]
+    projected: List[FunctionalDependency] = []
+    for size in range(1, len(attrs) + 1):
+        for subset in combinations(attrs, size):
+            closure = attribute_closure(subset, pool)
+            rhs = (closure & set(attrs)) - set(subset)
+            if rhs:
+                projected.append(FunctionalDependency(subset, rhs))
+    if minimize_result:
+        return minimum_cover(projected, merge_lhs=True)
+    return projected
+
+
+def is_bcnf(attributes: AttrSetLike, fds: Iterable[FDLike]) -> bool:
+    """Is the relation (with these FDs, already projected) in BCNF?"""
+    attrs = attr_set(attributes)
+    pool = [coerce_fd(fd) for fd in fds]
+    for fd in pool:
+        if fd.is_trivial:
+            continue
+        if not attrs <= attribute_closure(fd.lhs, pool):
+            return False
+    return True
+
+
+def is_3nf(attributes: AttrSetLike, fds: Iterable[FDLike]) -> bool:
+    """Is the relation in 3NF (every RHS attribute prime or LHS a superkey)?"""
+    attrs = attr_set(attributes)
+    pool = [coerce_fd(fd) for fd in fds]
+    keys = candidate_keys(attrs, pool)
+    prime = set().union(*keys) if keys else set()
+    for fd in pool:
+        if fd.is_trivial:
+            continue
+        if attrs <= attribute_closure(fd.lhs, pool):
+            continue
+        if not (fd.rhs - fd.lhs) <= prime:
+            return False
+    return True
+
+
+def bcnf_decompose(
+    name: str,
+    attributes: Sequence[str],
+    fds: Iterable[FDLike],
+) -> List[RelationSchema]:
+    """Lossless-join BCNF decomposition of ``name(attributes)`` under ``fds``.
+
+    The classical recursive algorithm: pick a violating FD ``X → Y`` (with
+    ``Y`` expanded to ``X+``), split into ``(X ∪ X+)`` and
+    ``(attributes − (X+ − X))``, and recurse with projected FDs.  Sub-relation
+    names are derived from the attribute that "leads" each fragment for
+    readability; every produced schema carries its candidate keys.
+    """
+    pool = [coerce_fd(fd) for fd in fds]
+    fragments = _bcnf_recurse(tuple(attributes), pool)
+    schemas: List[RelationSchema] = []
+    for index, fragment in enumerate(fragments):
+        fragment_fds = project_fds(fragment, pool)
+        keys = candidate_keys(fragment, fragment_fds)
+        schema_name = f"{name}_{index + 1}" if len(fragments) > 1 else name
+        schemas.append(RelationSchema(schema_name, sorted(fragment), keys=keys or [fragment]))
+    return schemas
+
+
+def _bcnf_recurse(
+    attributes: Tuple[str, ...], fds: List[FunctionalDependency]
+) -> List[FrozenSet[str]]:
+    attrs = frozenset(attributes)
+    local_fds = project_fds(attrs, fds)
+    for fd in local_fds:
+        if fd.is_trivial:
+            continue
+        closure = attribute_closure(fd.lhs, local_fds)
+        if attrs <= closure:
+            continue
+        # Violation: split around fd.lhs.
+        first = frozenset(fd.lhs | (closure & attrs))
+        second = frozenset((attrs - (closure & attrs)) | fd.lhs)
+        left = _bcnf_recurse(tuple(sorted(first)), fds)
+        right = _bcnf_recurse(tuple(sorted(second)), fds)
+        merged = left + [fragment for fragment in right if fragment not in left]
+        return merged
+    return [attrs]
+
+
+def synthesize_3nf(
+    name: str,
+    attributes: Sequence[str],
+    fds: Iterable[FDLike],
+) -> List[RelationSchema]:
+    """Bernstein-style 3NF synthesis from a minimum cover.
+
+    Groups the FDs of the minimum cover by LHS, creates one relation per
+    group, and adds a relation holding a candidate key of the whole schema if
+    none of the groups contains one (guaranteeing a lossless join).
+    """
+    pool = minimum_cover(fds, merge_lhs=True)
+    attrs = attr_set(attributes)
+    schemas: List[RelationSchema] = []
+    covered: Set[FrozenSet[str]] = set()
+    for index, fd in enumerate(pool):
+        fragment = frozenset(fd.lhs | fd.rhs)
+        if any(fragment <= existing for existing in covered):
+            continue
+        covered.add(fragment)
+        schemas.append(
+            RelationSchema(f"{name}_{index + 1}", sorted(fragment), keys=[fd.lhs if fd.lhs else fragment])
+        )
+    global_keys = candidate_keys(attrs, pool, limit=1)
+    global_key = global_keys[0] if global_keys else attrs
+    if not any(global_key <= frozenset(schema.attributes) for schema in schemas):
+        schemas.append(RelationSchema(f"{name}_key", sorted(global_key), keys=[global_key]))
+    # Attributes mentioned in no FD still have to be stored somewhere.
+    mentioned: Set[str] = set()
+    for schema in schemas:
+        mentioned |= set(schema.attributes)
+    leftover = attrs - mentioned
+    if leftover:
+        key_and_leftover = sorted(global_key | leftover)
+        schemas.append(RelationSchema(f"{name}_rest", key_and_leftover, keys=[key_and_leftover]))
+    return schemas

@@ -1,0 +1,112 @@
+"""SQL emission for refined designs.
+
+Once :func:`repro.design.design_from_scratch` (or a hand-written schema plus
+:func:`repro.core.check_schema_consistency`) has produced a relational design
+whose keys are *guaranteed* by the XML keys, the natural next step for a
+consumer is to create the tables and load the shredded data.  This module
+emits portable SQL:
+
+* :func:`create_table` / :func:`create_schema` — ``CREATE TABLE`` statements
+  with ``PRIMARY KEY`` and ``UNIQUE`` constraints taken from the declared
+  (propagated) keys;
+* :func:`insert_statements` — ``INSERT`` statements for a relation instance
+  (``NULL`` for the paper's null marker, values escaped);
+* :func:`load_script` — the full script for a shredded database.
+
+Only textual SQL is produced (no driver dependency); the dialect is the
+common core of SQLite / PostgreSQL / MySQL.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional
+
+from repro.relational.instance import RelationInstance, is_null
+from repro.relational.schema import DatabaseSchema, RelationSchema
+
+
+def quote_identifier(name: str) -> str:
+    """Quote an SQL identifier (double quotes, doubled inside)."""
+    return '"' + name.replace('"', '""') + '"'
+
+
+def quote_literal(value: object) -> str:
+    """Render a value as an SQL literal (strings quoted, NULL for nulls)."""
+    if is_null(value):
+        return "NULL"
+    text = str(value)
+    return "'" + text.replace("'", "''") + "'"
+
+
+def create_table(
+    schema: RelationSchema,
+    column_type: str = "TEXT",
+    if_not_exists: bool = False,
+) -> str:
+    """``CREATE TABLE`` for one relation schema.
+
+    The first declared key becomes the ``PRIMARY KEY``; further keys become
+    ``UNIQUE`` constraints.  All columns share ``column_type`` (the
+    transformation language produces strings — the ``value()`` of a node).
+    """
+    clause_exists = "IF NOT EXISTS " if if_not_exists else ""
+    lines = [f"CREATE TABLE {clause_exists}{quote_identifier(schema.name)} ("]
+    column_lines = [
+        f"    {quote_identifier(attribute)} {column_type}" for attribute in schema.attributes
+    ]
+    constraint_lines: List[str] = []
+    if schema.primary_key:
+        columns = ", ".join(quote_identifier(a) for a in sorted(schema.primary_key))
+        constraint_lines.append(f"    PRIMARY KEY ({columns})")
+    for extra_key in schema.keys[1:]:
+        columns = ", ".join(quote_identifier(a) for a in sorted(extra_key))
+        constraint_lines.append(f"    UNIQUE ({columns})")
+    lines.append(",\n".join(column_lines + constraint_lines))
+    lines.append(");")
+    return "\n".join(lines)
+
+
+def create_schema(
+    schema: DatabaseSchema,
+    column_type: str = "TEXT",
+    if_not_exists: bool = False,
+) -> str:
+    """``CREATE TABLE`` statements for every relation of a database schema."""
+    return "\n\n".join(
+        create_table(relation, column_type=column_type, if_not_exists=if_not_exists)
+        for relation in schema
+    )
+
+
+def insert_statements(instance: RelationInstance, batch: bool = False) -> List[str]:
+    """``INSERT`` statements for every row of an instance.
+
+    With ``batch=True`` a single multi-row ``INSERT`` is produced (one
+    statement, many value tuples), otherwise one statement per row.
+    """
+    table = quote_identifier(instance.schema.name)
+    columns = ", ".join(quote_identifier(a) for a in instance.schema.attributes)
+    tuples = [
+        "(" + ", ".join(quote_literal(row.get_value(a)) for a in instance.schema.attributes) + ")"
+        for row in instance
+    ]
+    if not tuples:
+        return []
+    if batch:
+        return [f"INSERT INTO {table} ({columns}) VALUES\n  " + ",\n  ".join(tuples) + ";"]
+    return [f"INSERT INTO {table} ({columns}) VALUES {values};" for values in tuples]
+
+
+def load_script(
+    schema: DatabaseSchema,
+    instances: Mapping[str, RelationInstance],
+    column_type: str = "TEXT",
+) -> str:
+    """A complete DDL + DML script for a shredded database."""
+    parts: List[str] = [create_schema(schema, column_type=column_type)]
+    for relation in schema:
+        instance = instances.get(relation.name)
+        if instance is None or len(instance) == 0:
+            continue
+        parts.append("\n".join(insert_statements(instance)))
+    return "\n\n".join(part for part in parts if part)

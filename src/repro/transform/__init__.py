@@ -1,0 +1,59 @@
+"""The transformation language of the paper (Definition 2.2) and its engine.
+
+* ``rule`` — table rules (field rules + variable mappings) and transformations;
+* ``validate`` — well-formedness checking and the decidability frontier;
+* ``table_tree`` — the tree representation used by the algorithms (Fig. 3/4);
+* ``evaluate`` — shredding documents into relation instances;
+* ``dsl`` — a small textual syntax for transformations;
+* ``universal`` — universal relations for the design-from-scratch workflow.
+"""
+
+from repro.transform.rule import (
+    DEFAULT_ROOT_VARIABLE,
+    FieldRule,
+    TableRule,
+    Transformation,
+    VariableMapping,
+)
+from repro.transform.validate import (
+    InvalidTableRule,
+    UnsupportedFeature,
+    ValidationReport,
+    assert_valid,
+    reject_unsupported,
+    validate_rule,
+    validate_transformation,
+)
+from repro.transform.table_tree import TableTree
+from repro.transform.evaluate import evaluate_rule, evaluate_transformation
+from repro.transform.dsl import (
+    DSLSyntaxError,
+    parse_rule,
+    parse_transformation,
+    render_transformation,
+)
+from repro.transform.universal import UniversalRelation, universal_from_transformation
+
+__all__ = [
+    "DEFAULT_ROOT_VARIABLE",
+    "FieldRule",
+    "TableRule",
+    "Transformation",
+    "VariableMapping",
+    "InvalidTableRule",
+    "UnsupportedFeature",
+    "ValidationReport",
+    "assert_valid",
+    "reject_unsupported",
+    "validate_rule",
+    "validate_transformation",
+    "TableTree",
+    "evaluate_rule",
+    "evaluate_transformation",
+    "DSLSyntaxError",
+    "parse_rule",
+    "parse_transformation",
+    "render_transformation",
+    "UniversalRelation",
+    "universal_from_transformation",
+]

@@ -1,0 +1,98 @@
+"""A small textual DSL for transformations.
+
+The paper writes table rules as::
+
+    Rule(section) = {inChapt: value(z1), number: value(z2), name: value(z3)},
+        zc <- xr//book/chapter, z1 <- zc/@number,
+        zs <- zc/section, z2 <- zs/@number, z3 <- zs/name
+
+The DSL below is an equivalent line-oriented form that avoids the ambiguity
+between ``/`` as a path constructor and as the separator of the mapping::
+
+    table section
+      var zc <- xr : //book/chapter
+      var z1 <- zc : @number
+      var zs <- zc : section
+      var z2 <- zs : @number
+      var z3 <- zs : name
+      field inChapt = value(z1)
+      field number  = value(z2)
+      field name    = value(z3)
+
+Several ``table`` blocks form a transformation; ``#`` starts a comment.
+``universal`` is accepted as a synonym of ``table`` for readability when a
+single universal-relation rule is being defined.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional
+
+from repro.transform.rule import DEFAULT_ROOT_VARIABLE, TableRule, Transformation
+
+_TABLE_RE = re.compile(r"^(table|universal)\s+(?P<name>\w+)\s*(?:root\s+(?P<root>\w+))?$")
+_VAR_RE = re.compile(r"^var\s+(?P<var>\w+)\s*<-\s*(?P<source>\w+)\s*:\s*(?P<path>\S+)$")
+_FIELD_RE = re.compile(r"^field\s+(?P<field>\w+)\s*=\s*(?:value\(\s*(?P<var_call>\w+)\s*\)|(?P<var_plain>\w+))$")
+
+
+class DSLSyntaxError(ValueError):
+    """Raised when the DSL source cannot be parsed."""
+
+    def __init__(self, message: str, line_number: int, line: str) -> None:
+        super().__init__(f"line {line_number}: {message}: {line!r}")
+        self.line_number = line_number
+        self.line = line
+
+
+def parse_transformation(source: str, name: str = "sigma") -> Transformation:
+    """Parse a multi-table DSL document into a :class:`Transformation`."""
+    transformation = Transformation(name=name)
+    current: Optional[TableRule] = None
+    for line_number, raw_line in enumerate(source.splitlines(), start=1):
+        line = raw_line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        table_match = _TABLE_RE.match(line)
+        if table_match:
+            root = table_match.group("root") or DEFAULT_ROOT_VARIABLE
+            current = TableRule(table_match.group("name"), root_variable=root)
+            transformation.add_rule(current)
+            continue
+        if current is None:
+            raise DSLSyntaxError("statement before any 'table' declaration", line_number, raw_line)
+        var_match = _VAR_RE.match(line)
+        if var_match:
+            current.add_mapping(
+                var_match.group("var"), var_match.group("source"), var_match.group("path")
+            )
+            continue
+        field_match = _FIELD_RE.match(line)
+        if field_match:
+            variable = field_match.group("var_call") or field_match.group("var_plain")
+            current.add_field(field_match.group("field"), variable)
+            continue
+        raise DSLSyntaxError("unrecognised statement", line_number, raw_line)
+    return transformation
+
+
+def parse_rule(source: str) -> TableRule:
+    """Parse a DSL document containing exactly one table rule."""
+    transformation = parse_transformation(source)
+    rules: List[TableRule] = list(transformation)
+    if len(rules) != 1:
+        raise ValueError(f"expected exactly one table rule, found {len(rules)}")
+    return rules[0]
+
+
+def render_transformation(transformation: Transformation) -> str:
+    """Render a transformation back into DSL text (round-trips with parse)."""
+    blocks: List[str] = []
+    for rule in transformation:
+        lines = [f"table {rule.relation}" + (f" root {rule.root_variable}" if rule.root_variable != DEFAULT_ROOT_VARIABLE else "")]
+        for mapping in rule.mappings:
+            lines.append(f"  var {mapping.variable} <- {mapping.source} : {mapping.path.text}")
+        for field_rule in rule.fields:
+            lines.append(f"  field {field_rule.field} = value({field_rule.variable})")
+        blocks.append("\n".join(lines))
+    return "\n\n".join(blocks)

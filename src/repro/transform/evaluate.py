@@ -1,0 +1,112 @@
+"""Shredding: evaluating a transformation over a document (Section 2).
+
+Given an XML tree ``T`` and a table rule ``Rule(R)``, the rule maps ``T`` to
+an instance of ``R``: every variable ``y ← w/P`` ranges over ``w[[P]]`` (the
+root variable over the document root), a field ``A: value(y)`` is populated
+with the pre-order-traversal string of the node bound to ``y``, and
+
+* when ``w[[P]]`` is empty, ``value(y)`` (and everything below ``y``) is
+  ``NULL`` — XML is semistructured, missing sub-elements are expected;
+* when ``w[[P]]`` has several nodes, an implicit Cartesian product is taken
+  so that every node is covered (Example 2.5).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional
+
+from repro.relational.instance import NULL, RelationInstance, Value
+from repro.relational.schema import DatabaseSchema, RelationSchema
+from repro.transform.rule import TableRule, Transformation
+from repro.transform.table_tree import TableTree
+from repro.xmlmodel.nodes import Node
+from repro.xmlmodel.tree import XMLTree
+
+
+def evaluate_rule(
+    rule: TableRule,
+    tree: XMLTree,
+    schema: Optional[RelationSchema] = None,
+    deduplicate: bool = True,
+) -> RelationInstance:
+    """Evaluate one table rule over a document, producing a relation instance.
+
+    ``schema`` may carry declared keys (e.g. the consumer's predefined
+    design); by default the schema induced by the field rules is used.
+    ``deduplicate`` applies set semantics (the paper's instances are sets);
+    pass ``False`` to keep the raw Cartesian-product bag.
+    """
+    table_tree = TableTree(rule)
+    target_schema = schema if schema is not None else rule.schema()
+    instance = RelationInstance(target_schema)
+
+    # Bindings are built variable by variable in parent-before-child order;
+    # every binding maps each processed variable to a node or to None (null).
+    bindings: List[Dict[str, Optional[Node]]] = [{rule.root_variable: tree.root}]
+    for variable in _topological_order(table_tree):
+        if variable == rule.root_variable:
+            continue
+        path = table_tree.path_from_parent(variable)
+        parent = table_tree.parent(variable)
+        expanded: List[Dict[str, Optional[Node]]] = []
+        for binding in bindings:
+            parent_node = binding.get(parent)
+            if parent_node is None:
+                new_binding = dict(binding)
+                new_binding[variable] = None
+                expanded.append(new_binding)
+                continue
+            nodes = path.evaluate(parent_node)
+            if not nodes:
+                new_binding = dict(binding)
+                new_binding[variable] = None
+                expanded.append(new_binding)
+                continue
+            for node in nodes:
+                new_binding = dict(binding)
+                new_binding[variable] = node
+                expanded.append(new_binding)
+        bindings = expanded
+
+    for binding in bindings:
+        row: Dict[str, Value] = {}
+        for field_rule in rule.fields:
+            node = binding.get(field_rule.variable)
+            row[field_rule.field] = NULL if node is None else XMLTree.value(node)
+        instance.add_row(row)
+
+    return instance.distinct() if deduplicate else instance
+
+
+def evaluate_transformation(
+    transformation: Transformation,
+    tree: XMLTree,
+    schema: Optional[DatabaseSchema] = None,
+    deduplicate: bool = True,
+) -> Dict[str, RelationInstance]:
+    """Evaluate every table rule of ``σ`` over the document.
+
+    Returns a mapping from relation name to instance.  When a target
+    ``schema`` is supplied its relation schemas (with their declared keys)
+    are used; otherwise the schemas induced by the field rules are used.
+    """
+    instances: Dict[str, RelationInstance] = {}
+    for rule in transformation:
+        relation_schema = None
+        if schema is not None and rule.relation in schema:
+            relation_schema = schema.relation(rule.relation)
+        instances[rule.relation] = evaluate_rule(
+            rule, tree, schema=relation_schema, deduplicate=deduplicate
+        )
+    return instances
+
+
+def _topological_order(table_tree: TableTree) -> List[str]:
+    """Variables in parent-before-child order (BFS from the root variable)."""
+    order: List[str] = []
+    frontier = [table_tree.root]
+    while frontier:
+        current = frontier.pop(0)
+        order.append(current)
+        frontier.extend(table_tree.children(current))
+    return order

@@ -1,0 +1,190 @@
+"""Table trees — the tree representation of table rules (Section 2, Fig. 3/4).
+
+A table rule can be drawn as a node-labelled tree by treating ``//`` as a
+special node label: each variable of the rule corresponds to a unique node,
+intermediate labels of multi-step paths become anonymous nodes, and the edge
+structure follows the variable mappings.  The propagation algorithms only
+need the *variable-level* structure — parents, ancestor chains and the path
+expression ``path(w, x)`` between two variables — which this class exposes,
+plus rendering helpers that reproduce the figures of the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.transform.rule import TableRule
+from repro.transform.validate import validate_rule
+from repro.xmlmodel.paths import PathExpression, concat
+
+
+class TableTree:
+    """Variable-level view of a table rule's table tree."""
+
+    def __init__(self, rule: TableRule, validate: bool = True) -> None:
+        if validate:
+            validate_rule(rule).raise_if_invalid()
+        self.rule = rule
+        self.root = rule.root_variable
+        self._parent: Dict[str, Optional[str]] = {self.root: None}
+        self._path_from_parent: Dict[str, PathExpression] = {self.root: PathExpression.epsilon()}
+        self._children: Dict[str, List[str]] = {self.root: []}
+        for mapping in rule.mappings:
+            self._parent[mapping.variable] = mapping.source
+            self._path_from_parent[mapping.variable] = mapping.path
+            self._children.setdefault(mapping.source, []).append(mapping.variable)
+            self._children.setdefault(mapping.variable, [])
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    @property
+    def variables(self) -> List[str]:
+        return list(self._parent)
+
+    def parent(self, variable: str) -> Optional[str]:
+        """The parent variable (``None`` for the root)."""
+        self._check(variable)
+        return self._parent[variable]
+
+    def children(self, variable: str) -> List[str]:
+        self._check(variable)
+        return list(self._children.get(variable, []))
+
+    def path_from_parent(self, variable: str) -> PathExpression:
+        self._check(variable)
+        return self._path_from_parent[variable]
+
+    def ancestors(self, variable: str, include_self: bool = False) -> List[str]:
+        """Ancestor chain from the root variable down to ``variable``.
+
+        Lines 1–5 of Algorithm ``propagation`` build exactly this list.
+        """
+        self._check(variable)
+        chain: List[str] = [variable] if include_self else []
+        current = self._parent[variable]
+        while current is not None:
+            chain.append(current)
+            current = self._parent[current]
+        chain.reverse()
+        return chain
+
+    def is_ancestor(self, ancestor: str, descendant: str, strict: bool = False) -> bool:
+        self._check(ancestor)
+        self._check(descendant)
+        if ancestor == descendant:
+            return not strict
+        return ancestor in self.ancestors(descendant)
+
+    def descendants(self, variable: str, include_self: bool = False) -> List[str]:
+        self._check(variable)
+        result: List[str] = [variable] if include_self else []
+        frontier = list(self._children.get(variable, []))
+        while frontier:
+            current = frontier.pop(0)
+            result.append(current)
+            frontier.extend(self._children.get(current, []))
+        return result
+
+    def path_between(self, ancestor: str, descendant: str) -> PathExpression:
+        """The path expression ``path(ancestor, descendant)`` of the paper.
+
+        Defined only when ``ancestor`` is an ancestor-or-self of
+        ``descendant``; raises ``ValueError`` otherwise.
+        """
+        self._check(ancestor)
+        self._check(descendant)
+        if ancestor == descendant:
+            return PathExpression.epsilon()
+        segments: List[PathExpression] = []
+        current: Optional[str] = descendant
+        while current is not None and current != ancestor:
+            segments.append(self._path_from_parent[current])
+            current = self._parent[current]
+        if current is None:
+            raise ValueError(f"{ancestor!r} is not an ancestor of {descendant!r}")
+        segments.reverse()
+        return concat(*segments)
+
+    def path_from_root(self, variable: str) -> PathExpression:
+        return self.path_between(self.root, variable)
+
+    # ------------------------------------------------------------------
+    # Fields and attributes
+    # ------------------------------------------------------------------
+    def field_variable(self, field: str) -> str:
+        return self.rule.field_variable(field)
+
+    def fields(self) -> List[str]:
+        return self.rule.field_names
+
+    def attribute_fields(self, variable: str) -> Dict[str, str]:
+        """Fields populated by an *attribute of* ``variable``.
+
+        Returns a mapping ``attribute name → field name`` for every field
+        rule ``A: value(y)`` where ``y ← variable/@a``.  This is the set
+        ``β`` built in line 13 of Algorithm ``propagation``.
+        """
+        self._check(variable)
+        result: Dict[str, str] = {}
+        for child in self._children.get(variable, []):
+            path = self._path_from_parent[child]
+            if not path.is_attribute_step:
+                continue
+            attribute_name = path.steps[0].name or ""
+            for field in self.rule.fields_of_variable(child):
+                result[attribute_name] = field
+        return result
+
+    def fields_from_attributes_of(self, variable: str, fields: Iterable[str]) -> Dict[str, str]:
+        """Restrict :meth:`attribute_fields` to a given set of fields."""
+        wanted = set(fields)
+        return {
+            attribute: field
+            for attribute, field in self.attribute_fields(variable).items()
+            if field in wanted
+        }
+
+    # ------------------------------------------------------------------
+    # Metrics / rendering
+    # ------------------------------------------------------------------
+    @property
+    def depth(self) -> int:
+        """Depth of the table tree counting intermediate label nodes."""
+        deepest = 0
+        for variable in self.variables:
+            total = sum(
+                self._path_from_parent[ancestor].length
+                for ancestor in self.ancestors(variable, include_self=True)
+            )
+            deepest = max(deepest, total)
+        return deepest
+
+    @property
+    def size(self) -> int:
+        """Total number of steps over all mappings (the paper's ``|T_R|``)."""
+        return sum(path.length for variable, path in self._path_from_parent.items())
+
+    def render(self) -> str:
+        """ASCII rendering of the table tree (variables and their paths)."""
+        lines: List[str] = []
+
+        def visit(variable: str, indent: int) -> None:
+            path = self._path_from_parent[variable]
+            label = "." if variable == self.root else path.text
+            fields = self.rule.fields_of_variable(variable)
+            suffix = f"  [{', '.join(fields)}]" if fields else ""
+            lines.append("  " * indent + f"{label} ({variable}){suffix}")
+            for child in self._children.get(variable, []):
+                visit(child, indent + 1)
+
+        visit(self.root, 0)
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    def _check(self, variable: str) -> None:
+        if variable not in self._parent:
+            raise KeyError(f"Rule({self.rule.relation}) has no variable {variable!r}")
+
+    def __repr__(self) -> str:
+        return f"TableTree({self.rule.relation!r}, variables={len(self._parent)})"

@@ -1,0 +1,112 @@
+"""Universal relations (Section 3, Example 3.1).
+
+In the design-from-scratch scenario the designer specifies a *universal
+relation*: "simply the collection of all the fields of interest, along with a
+table rule that defines these fields".  This module provides a thin wrapper
+bundling the table rule with its induced schema, plus a helper that derives a
+universal relation from an existing multi-table transformation by merging the
+per-relation rules over a shared spine of variables (the construction used in
+Example 3.1, where the ``book``/``chapter``/``section`` rules collapse into
+one rule for ``U``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.relational.schema import RelationSchema
+from repro.transform.rule import TableRule, Transformation
+from repro.transform.table_tree import TableTree
+from repro.xmlmodel.paths import PathExpression
+
+
+class UniversalRelation:
+    """A universal relation: a single table rule plus its induced schema."""
+
+    def __init__(self, rule: TableRule) -> None:
+        self.rule = rule
+        self.table_tree = TableTree(rule)
+
+    @property
+    def name(self) -> str:
+        return self.rule.relation
+
+    @property
+    def fields(self) -> List[str]:
+        return self.rule.field_names
+
+    @property
+    def schema(self) -> RelationSchema:
+        return self.rule.schema()
+
+    def __repr__(self) -> str:
+        return f"UniversalRelation({self.name!r}, fields={self.fields})"
+
+
+def universal_from_transformation(
+    transformation: Transformation,
+    name: str = "U",
+    field_names: Optional[Mapping[Tuple[str, str], str]] = None,
+) -> UniversalRelation:
+    """Merge the rules of a transformation into a single universal relation.
+
+    Variables with identical (root-relative) paths are identified; fields are
+    renamed ``<relation><Field>`` by default (e.g. ``book`` + ``isbn`` →
+    ``bookIsbn``, as in Example 3.1) or via the ``field_names`` mapping keyed
+    by ``(relation, field)``.
+    """
+    merged = TableRule(name)
+    # Map from a canonical (root-relative path) to the merged variable name.
+    canonical: Dict[PathExpression, str] = {}
+    counter = 0
+
+    def merged_variable(path_from_root: PathExpression, suggested: str) -> str:
+        nonlocal counter
+        if path_from_root.is_epsilon:
+            return merged.root_variable
+        if path_from_root in canonical:
+            return canonical[path_from_root]
+        counter += 1
+        variable = f"v{counter}" if merged.has_variable(suggested) else suggested
+        canonical[path_from_root] = variable
+        return variable
+
+    for rule in transformation:
+        tree = TableTree(rule)
+        # Create merged variables for every variable of this rule, walking
+        # parents before children so that mapping sources already exist.
+        for variable in _parent_first(tree):
+            if variable == rule.root_variable:
+                continue
+            path_from_root = tree.path_from_root(variable)
+            parent = tree.parent(variable) or rule.root_variable
+            parent_path = tree.path_from_root(parent)
+            merged_parent = (
+                merged.root_variable
+                if parent_path.is_epsilon
+                else canonical[parent_path]
+            )
+            merged_name = merged_variable(path_from_root, variable)
+            if not merged.has_variable(merged_name):
+                merged.add_mapping(merged_name, merged_parent, tree.path_from_parent(variable))
+        for field_rule in rule.fields:
+            source_variable = field_rule.variable
+            path_from_root = tree.path_from_root(source_variable)
+            merged_name = (
+                merged.root_variable if path_from_root.is_epsilon else canonical[path_from_root]
+            )
+            default_field = rule.relation + field_rule.field[:1].upper() + field_rule.field[1:]
+            target_field = (field_names or {}).get((rule.relation, field_rule.field), default_field)
+            if target_field not in merged.field_names:
+                merged.add_field(target_field, merged_name)
+    return UniversalRelation(merged)
+
+
+def _parent_first(tree: TableTree) -> List[str]:
+    order: List[str] = []
+    frontier = [tree.root]
+    while frontier:
+        current = frontier.pop(0)
+        order.append(current)
+        frontier.extend(tree.children(current))
+    return order

@@ -1,0 +1,163 @@
+"""Well-formedness validation of table rules (Definition 2.2).
+
+Besides the structural conditions of the definition, the validator also
+rejects constructs whose addition would push the transformation language
+past the decidability frontier established in Section 3 — selection
+predicates and set difference cannot be smuggled in through the rule syntax
+(Theorem 3.1), and a helpful error explains why.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set
+
+from repro.transform.rule import TableRule, Transformation
+
+
+class InvalidTableRule(ValueError):
+    """Raised when a table rule violates Definition 2.2."""
+
+    def __init__(self, relation: str, problems: List[str]) -> None:
+        listing = "\n  - ".join(problems)
+        super().__init__(f"Rule({relation}) is not well-formed:\n  - {listing}")
+        self.relation = relation
+        self.problems = problems
+
+
+@dataclass
+class ValidationReport:
+    """Collected validation problems for a table rule."""
+
+    relation: str
+    problems: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.problems
+
+    def raise_if_invalid(self) -> None:
+        if self.problems:
+            raise InvalidTableRule(self.relation, self.problems)
+
+
+def validate_rule(rule: TableRule) -> ValidationReport:
+    """Check a single table rule against Definition 2.2."""
+    report = ValidationReport(rule.relation)
+    problems = report.problems
+    variables = set(rule.variables)
+
+    if not rule.fields:
+        problems.append("the rule defines no field rules")
+
+    # Field rules must reference declared variables.
+    for field_rule in rule.fields:
+        if field_rule.variable not in variables:
+            problems.append(
+                f"field {field_rule.field!r} uses undeclared variable {field_rule.variable!r}"
+            )
+
+    # Mappings: sources must be declared, paths non-empty, simple unless the
+    # source is the root variable, and every variable must reach the root.
+    sources_with_children: Set[str] = set()
+    for mapping in rule.mappings:
+        sources_with_children.add(mapping.source)
+        if mapping.source not in variables:
+            problems.append(
+                f"variable {mapping.variable!r} is mapped from undeclared variable "
+                f"{mapping.source!r}"
+            )
+        if mapping.path.is_epsilon:
+            problems.append(
+                f"variable {mapping.variable!r} is mapped via the empty path; every variable "
+                "must correspond to a distinct node of the table tree"
+            )
+        if mapping.source != rule.root_variable and not mapping.path.is_simple:
+            problems.append(
+                f"variable {mapping.variable!r} uses '//' in a mapping whose parent is "
+                f"{mapping.source!r}; only mappings from the root variable may use '//'"
+            )
+
+    # Connectivity to the root variable (and absence of cycles).
+    for variable in rule.variables:
+        if variable == rule.root_variable:
+            continue
+        seen: Set[str] = set()
+        current = variable
+        while True:
+            if current == rule.root_variable:
+                break
+            if current in seen:
+                problems.append(f"variable {variable!r} is caught in a mapping cycle")
+                break
+            seen.add(current)
+            try:
+                current = rule.mapping(current).source
+            except KeyError:
+                problems.append(f"variable {variable!r} is not connected to the root variable")
+                break
+            if current not in variables:
+                problems.append(f"variable {variable!r} is not connected to the root variable")
+                break
+
+    # Field variables must be leaves of the table tree.
+    for field_rule in rule.fields:
+        if field_rule.variable in sources_with_children:
+            problems.append(
+                f"field {field_rule.field!r} is defined as value({field_rule.variable!r}) but "
+                f"{field_rule.variable!r} also has outgoing mappings; field variables must be "
+                "leaves of the table tree"
+            )
+
+    return report
+
+
+def validate_transformation(transformation: Transformation) -> Dict[str, ValidationReport]:
+    """Validate every rule of a transformation; returns reports by relation."""
+    return {rule.relation: validate_rule(rule) for rule in transformation}
+
+
+def assert_valid(transformation_or_rule) -> None:
+    """Raise :class:`InvalidTableRule` if anything is ill-formed."""
+    if isinstance(transformation_or_rule, TableRule):
+        validate_rule(transformation_or_rule).raise_if_invalid()
+        return
+    for report in validate_transformation(transformation_or_rule).values():
+        report.raise_if_invalid()
+
+
+# ----------------------------------------------------------------------
+# The decidability frontier of Section 3
+# ----------------------------------------------------------------------
+_UNSUPPORTED_OPERATORS = {
+    "selection": (
+        "selection predicates are not part of the transformation language: together with "
+        "product, union and difference they yield full relational algebra, for which key "
+        "propagation is undecidable (Theorem 3.1)"
+    ),
+    "difference": (
+        "set difference is not part of the transformation language: full relational algebra "
+        "makes key propagation undecidable (Theorem 3.1)"
+    ),
+    "foreign-key": (
+        "foreign keys are not propagated: implication of XML keys and foreign keys is "
+        "undecidable even under identity mappings (Theorem 3.2), so only keys of the class "
+        "K@ are supported"
+    ),
+}
+
+
+class UnsupportedFeature(NotImplementedError):
+    """Raised when a caller requests a feature beyond the decidable fragment."""
+
+    def __init__(self, feature: str) -> None:
+        explanation = _UNSUPPORTED_OPERATORS.get(
+            feature, f"feature {feature!r} is outside the supported fragment"
+        )
+        super().__init__(explanation)
+        self.feature = feature
+
+
+def reject_unsupported(feature: str) -> None:
+    """Always raises :class:`UnsupportedFeature` with the paper's justification."""
+    raise UnsupportedFeature(feature)

@@ -1,0 +1,64 @@
+"""Programmatic document construction helpers.
+
+These small factory functions make it convenient to build the trees used in
+examples and tests, e.g. the document of Figure 1:
+
+>>> from repro.xmlmodel import document, element, text
+>>> doc = document(
+...     element("r",
+...         element("book", {"isbn": "123"},
+...             element("title", text("XML")))))
+>>> doc.root.label
+'r'
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Union
+
+from repro.xmlmodel.nodes import ElementNode, Node, TextNode
+from repro.xmlmodel.tree import XMLTree
+
+Child = Union[Node, str]
+
+
+def text(content: str) -> TextNode:
+    """Create a text node."""
+    return TextNode(content)
+
+
+def attr(name: str, value: str) -> Dict[str, str]:
+    """Create a single-attribute mapping (sugar for dict literals)."""
+    return {name: value}
+
+
+def element(
+    tag: str,
+    attributes: Optional[Dict[str, str]] = None,
+    *children: Child,
+) -> ElementNode:
+    """Create an element with optional attributes and children.
+
+    ``attributes`` may be omitted entirely, in which case the second
+    positional argument is treated as the first child:
+
+    >>> element("title", text("XML")).text_content()
+    'XML'
+    """
+    node = ElementNode(tag)
+    if attributes is not None and not isinstance(attributes, dict):
+        children = (attributes,) + children
+        attributes = None
+    for name, value in (attributes or {}).items():
+        node.set_attribute(name, str(value))
+    for child in children:
+        if isinstance(child, str):
+            node.append_child(TextNode(child))
+        else:
+            node.append_child(child)
+    return node
+
+
+def document(root: ElementNode) -> XMLTree:
+    """Wrap a root element into an :class:`XMLTree` (assigning node ids)."""
+    return XMLTree(root)

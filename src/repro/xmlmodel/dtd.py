@@ -1,0 +1,334 @@
+"""A small DTD subsystem: parsing, validation and constraint extraction.
+
+The paper deliberately keeps keys *orthogonal* to typing (DTDs / XML Schema
+types are ignored by the propagation algorithms), but documents being
+exchanged usually do come with a DTD, and the related CPI approach
+[Lee & Chu, ER 2000] derives relational constraints from it.  This module
+provides that companion substrate:
+
+* :func:`parse_dtd` — parse ``<!ELEMENT …>`` and ``<!ATTLIST …>``
+  declarations (content models are kept as token lists; the validator checks
+  child-name membership and attribute constraints rather than full regular
+  expression conformance, which the propagation framework never needs);
+* :meth:`DTD.validate` — report violations of a document against the DTD
+  (unknown elements, undeclared/missing/fixed attributes, duplicate IDs,
+  dangling IDREFs, unexpected children);
+* :func:`keys_from_dtd` — the CPI-style bridge: every ``ID`` attribute gives
+  an absolute XML key ``(., (//element, {@attr}))`` of the class ``K@``;
+* :meth:`DTD.required_attributes` — ``#REQUIRED`` attributes, i.e. the
+  existence facts that complement the ``exist`` test of Fig. 5.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.keys.key import XMLKey
+from repro.xmlmodel.nodes import ElementNode
+from repro.xmlmodel.tree import XMLTree
+
+
+class DTDSyntaxError(ValueError):
+    """Raised when a DTD declaration cannot be parsed."""
+
+
+@dataclass(frozen=True)
+class AttributeDecl:
+    """One attribute declaration of an ``<!ATTLIST …>``."""
+
+    element: str
+    name: str
+    attr_type: str  # CDATA, ID, IDREF, IDREFS, NMTOKEN, enumeration "(a|b)"
+    default: str  # "#REQUIRED", "#IMPLIED", "#FIXED", or a literal default
+
+    @property
+    def is_required(self) -> bool:
+        return self.default == "#REQUIRED" or self.is_fixed
+
+    @property
+    def is_fixed(self) -> bool:
+        return self.default.startswith("#FIXED")
+
+    @property
+    def fixed_value(self) -> Optional[str]:
+        if not self.is_fixed:
+            return None
+        remainder = self.default[len("#FIXED") :].strip()
+        return remainder.strip("'\"") if remainder else None
+
+    @property
+    def is_id(self) -> bool:
+        return self.attr_type == "ID"
+
+    @property
+    def is_idref(self) -> bool:
+        return self.attr_type in {"IDREF", "IDREFS"}
+
+
+@dataclass
+class ElementDecl:
+    """One ``<!ELEMENT …>`` declaration."""
+
+    name: str
+    content_model: str  # raw content model text, e.g. "(title, chapter*)"
+
+    @property
+    def is_empty(self) -> bool:
+        return self.content_model.upper() == "EMPTY"
+
+    @property
+    def is_any(self) -> bool:
+        return self.content_model.upper() == "ANY"
+
+    @property
+    def allows_text(self) -> bool:
+        return "#PCDATA" in self.content_model or self.is_any
+
+    def allowed_children(self) -> Set[str]:
+        """Child element names mentioned in the content model."""
+        if self.is_empty:
+            return set()
+        model = self.content_model.replace("#PCDATA", " ")
+        names = re.findall(r"[A-Za-z_][\w.\-]*", model)
+        return {name for name in names if name.upper() not in {"EMPTY", "ANY"}}
+
+
+@dataclass(frozen=True)
+class DTDViolation:
+    """A single validation problem."""
+
+    kind: str
+    detail: str
+    node_id: Optional[int] = None
+
+    def __str__(self) -> str:
+        return f"[{self.kind}] {self.detail}"
+
+
+@dataclass
+class DTD:
+    """A parsed DTD: element and attribute declarations."""
+
+    elements: Dict[str, ElementDecl] = field(default_factory=dict)
+    attributes: Dict[Tuple[str, str], AttributeDecl] = field(default_factory=dict)
+    root_name: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def attributes_of(self, element: str) -> List[AttributeDecl]:
+        return [decl for (owner, _), decl in self.attributes.items() if owner == element]
+
+    def required_attributes(self, element: Optional[str] = None) -> List[AttributeDecl]:
+        """All ``#REQUIRED`` / ``#FIXED`` attributes (existence facts)."""
+        decls = self.attributes.values()
+        return [
+            decl
+            for decl in decls
+            if decl.is_required and (element is None or decl.element == element)
+        ]
+
+    def id_attributes(self) -> List[AttributeDecl]:
+        return [decl for decl in self.attributes.values() if decl.is_id]
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def validate(self, tree: XMLTree) -> List[DTDViolation]:
+        """Validate a document; returns the (possibly empty) violation list."""
+        violations: List[DTDViolation] = []
+        seen_ids: Dict[str, int] = {}
+        referenced_ids: List[Tuple[str, Optional[int]]] = []
+
+        if self.root_name and tree.root.label != self.root_name:
+            violations.append(
+                DTDViolation(
+                    kind="wrong-root",
+                    detail=f"document root is <{tree.root.label}>, DTD declares <{self.root_name}>",
+                    node_id=tree.root.node_id,
+                )
+            )
+
+        for element in tree.iter_elements():
+            decl = self.elements.get(element.label)
+            if decl is None:
+                violations.append(
+                    DTDViolation(
+                        kind="undeclared-element",
+                        detail=f"element <{element.label}> is not declared",
+                        node_id=element.node_id,
+                    )
+                )
+                continue
+            violations.extend(self._validate_children(element, decl))
+            violations.extend(
+                self._validate_attributes(element, seen_ids, referenced_ids)
+            )
+
+        for value, node_id in referenced_ids:
+            if value not in seen_ids:
+                violations.append(
+                    DTDViolation(
+                        kind="dangling-idref",
+                        detail=f"IDREF value {value!r} does not match any ID in the document",
+                        node_id=node_id,
+                    )
+                )
+        return violations
+
+    def is_valid(self, tree: XMLTree) -> bool:
+        return not self.validate(tree)
+
+    def _validate_children(self, element: ElementNode, decl: ElementDecl) -> List[DTDViolation]:
+        violations: List[DTDViolation] = []
+        allowed = decl.allowed_children()
+        for child in element.children:
+            if child.is_text():
+                if child.text.strip() and not decl.allows_text:  # type: ignore[attr-defined]
+                    violations.append(
+                        DTDViolation(
+                            kind="unexpected-text",
+                            detail=f"element <{element.label}> does not allow character data",
+                            node_id=element.node_id,
+                        )
+                    )
+                continue
+            if decl.is_any:
+                continue
+            if child.label not in allowed:
+                violations.append(
+                    DTDViolation(
+                        kind="unexpected-child",
+                        detail=(
+                            f"element <{element.label}> does not allow child <{child.label}> "
+                            f"(content model: {decl.content_model})"
+                        ),
+                        node_id=child.node_id,
+                    )
+                )
+        return violations
+
+    def _validate_attributes(
+        self,
+        element: ElementNode,
+        seen_ids: Dict[str, int],
+        referenced_ids: List[Tuple[str, Optional[int]]],
+    ) -> List[DTDViolation]:
+        violations: List[DTDViolation] = []
+        declared = {decl.name: decl for decl in self.attributes_of(element.label)}
+        for attr_node in element.attributes.values():
+            decl = declared.get(attr_node.name)
+            if decl is None:
+                violations.append(
+                    DTDViolation(
+                        kind="undeclared-attribute",
+                        detail=f"attribute @{attr_node.name} of <{element.label}> is not declared",
+                        node_id=element.node_id,
+                    )
+                )
+                continue
+            if decl.is_fixed and decl.fixed_value is not None and attr_node.value != decl.fixed_value:
+                violations.append(
+                    DTDViolation(
+                        kind="fixed-attribute-mismatch",
+                        detail=(
+                            f"attribute @{attr_node.name} of <{element.label}> must be "
+                            f"{decl.fixed_value!r}, found {attr_node.value!r}"
+                        ),
+                        node_id=element.node_id,
+                    )
+                )
+            if decl.is_id:
+                if attr_node.value in seen_ids:
+                    violations.append(
+                        DTDViolation(
+                            kind="duplicate-id",
+                            detail=f"ID value {attr_node.value!r} is used more than once",
+                            node_id=element.node_id,
+                        )
+                    )
+                else:
+                    seen_ids[attr_node.value] = element.node_id or -1
+            if decl.is_idref:
+                for token in attr_node.value.split():
+                    referenced_ids.append((token, element.node_id))
+        for name, decl in declared.items():
+            if decl.is_required and element.attribute(name) is None:
+                violations.append(
+                    DTDViolation(
+                        kind="missing-required-attribute",
+                        detail=f"element <{element.label}> lacks required attribute @{name}",
+                        node_id=element.node_id,
+                    )
+                )
+        return violations
+
+
+# ----------------------------------------------------------------------
+# Parsing
+# ----------------------------------------------------------------------
+_ELEMENT_RE = re.compile(r"<!ELEMENT\s+(?P<name>[\w.\-]+)\s+(?P<model>.+?)>", re.DOTALL)
+_ATTLIST_RE = re.compile(r"<!ATTLIST\s+(?P<element>[\w.\-]+)\s+(?P<body>.+?)>", re.DOTALL)
+_ATTDEF_RE = re.compile(
+    r"(?P<name>[\w.\-]+)\s+(?P<type>CDATA|ID|IDREFS|IDREF|NMTOKENS|NMTOKEN|ENTITY|ENTITIES|\([^)]*\))\s+"
+    r"(?P<default>#REQUIRED|#IMPLIED|#FIXED\s+(\"[^\"]*\"|'[^']*')|\"[^\"]*\"|'[^']*')",
+    re.DOTALL,
+)
+
+
+def parse_dtd(source: str, root_name: Optional[str] = None) -> DTD:
+    """Parse the ``<!ELEMENT>`` / ``<!ATTLIST>`` declarations of a DTD."""
+    without_comments = re.sub(r"<!--.*?-->", "", source, flags=re.DOTALL)
+    dtd = DTD(root_name=root_name)
+    for match in _ELEMENT_RE.finditer(without_comments):
+        name = match.group("name")
+        dtd.elements[name] = ElementDecl(name=name, content_model=match.group("model").strip())
+        if dtd.root_name is None and root_name is None:
+            dtd.root_name = name  # first declared element, the usual convention
+    for match in _ATTLIST_RE.finditer(without_comments):
+        element = match.group("element")
+        body = match.group("body")
+        for attr_match in _ATTDEF_RE.finditer(body):
+            decl = AttributeDecl(
+                element=element,
+                name=attr_match.group("name"),
+                attr_type=attr_match.group("type").strip(),
+                default=" ".join(attr_match.group("default").split()),
+            )
+            dtd.attributes[(element, decl.name)] = decl
+    if not dtd.elements and not dtd.attributes:
+        raise DTDSyntaxError("no ELEMENT or ATTLIST declarations found")
+    return dtd
+
+
+# ----------------------------------------------------------------------
+# The CPI-style bridge to XML keys
+# ----------------------------------------------------------------------
+def keys_from_dtd(dtd: DTD) -> List[XMLKey]:
+    """Derive ``K@`` keys from a DTD (the bridge to [Lee & Chu, ER 2000]).
+
+    Every ``ID`` attribute is unique document-wide, which is exactly the
+    absolute key ``(., (//element, {@attr}))``; the derived keys can be fed
+    straight into the propagation algorithms (possibly merged with keys
+    stated by the data provider).
+    """
+    keys: List[XMLKey] = []
+    for decl in dtd.id_attributes():
+        keys.append(
+            XMLKey(".", f"//{decl.element}", {decl.name}, name=f"dtd_id_{decl.element}_{decl.name}")
+        )
+    return keys
+
+
+def existence_facts(dtd: DTD) -> Dict[str, Set[str]]:
+    """Attributes guaranteed to exist on every occurrence of an element.
+
+    These are the ``#REQUIRED`` (and ``#FIXED``) attributes — the same kind
+    of fact the ``exist`` test of Fig. 5 extracts from keys.
+    """
+    facts: Dict[str, Set[str]] = {}
+    for decl in dtd.required_attributes():
+        facts.setdefault(decl.element, set()).add(decl.name)
+    return facts

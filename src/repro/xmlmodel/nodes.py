@@ -1,0 +1,231 @@
+"""Node classes for the XML tree model.
+
+The paper models an XML document as a node-labelled tree (Figure 1) with
+three kinds of nodes:
+
+* **element** nodes, labelled with their tag name (``E`` nodes in Fig. 1);
+* **attribute** nodes, labelled ``@name`` and carrying a string value
+  (``A`` nodes);
+* **text** nodes carrying character data (``S`` nodes).
+
+Node identity matters: keys are defined in terms of node identifiers, not
+values, so every node object is identified by ``id(node)`` within a tree and
+additionally receives a numeric ``node_id`` in document (pre-order) order
+once it is attached to an :class:`repro.xmlmodel.tree.XMLTree`.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Iterator, List, Optional
+
+
+class NodeKind(enum.Enum):
+    """Kind of a node in the XML tree model."""
+
+    ELEMENT = "element"
+    ATTRIBUTE = "attribute"
+    TEXT = "text"
+
+
+class Node:
+    """Base class of all nodes in the tree model.
+
+    Attributes
+    ----------
+    parent:
+        The parent node, or ``None`` for a detached node / the root element.
+    node_id:
+        Document-order identifier assigned when the node is attached to an
+        :class:`~repro.xmlmodel.tree.XMLTree`; ``None`` until then.
+    """
+
+    __slots__ = ("parent", "node_id")
+
+    kind: NodeKind
+
+    def __init__(self) -> None:
+        self.parent: Optional["ElementNode"] = None
+        self.node_id: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # Structural helpers shared by all node kinds.
+    # ------------------------------------------------------------------
+    @property
+    def label(self) -> str:
+        """Node label as used by the path language."""
+        raise NotImplementedError
+
+    def is_element(self) -> bool:
+        return self.kind is NodeKind.ELEMENT
+
+    def is_attribute(self) -> bool:
+        return self.kind is NodeKind.ATTRIBUTE
+
+    def is_text(self) -> bool:
+        return self.kind is NodeKind.TEXT
+
+    def ancestors(self) -> Iterator["ElementNode"]:
+        """Yield proper ancestors from the parent up to the root."""
+        current = self.parent
+        while current is not None:
+            yield current
+            current = current.parent
+
+    def root(self) -> "Node":
+        """Return the root of the tree this node belongs to."""
+        node: Node = self
+        while node.parent is not None:
+            node = node.parent
+        return node
+
+    def depth(self) -> int:
+        """Number of edges between this node and the root."""
+        return sum(1 for _ in self.ancestors())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        ident = "?" if self.node_id is None else str(self.node_id)
+        return f"<{self.__class__.__name__} {self.label!r} id={ident}>"
+
+
+class TextNode(Node):
+    """A character-data node (``S`` nodes in Fig. 1 of the paper)."""
+
+    __slots__ = ("text",)
+
+    kind = NodeKind.TEXT
+
+    def __init__(self, text: str) -> None:
+        super().__init__()
+        self.text = text
+
+    @property
+    def label(self) -> str:
+        return "#text"
+
+
+class AttributeNode(Node):
+    """An attribute node, labelled ``@name`` and carrying a string value."""
+
+    __slots__ = ("name", "value")
+
+    kind = NodeKind.ATTRIBUTE
+
+    def __init__(self, name: str, value: str) -> None:
+        super().__init__()
+        if name.startswith("@"):
+            name = name[1:]
+        self.name = name
+        self.value = value
+
+    @property
+    def label(self) -> str:
+        return "@" + self.name
+
+
+class ElementNode(Node):
+    """An element node with ordered children and named attributes.
+
+    Children are a mix of :class:`ElementNode` and :class:`TextNode` objects
+    kept in document order.  Attributes are unordered (per XML) but are kept
+    in insertion order for deterministic serialization.
+    """
+
+    __slots__ = ("tag", "children", "attributes")
+
+    kind = NodeKind.ELEMENT
+
+    def __init__(self, tag: str) -> None:
+        super().__init__()
+        self.tag = tag
+        self.children: List[Node] = []
+        self.attributes: Dict[str, AttributeNode] = {}
+
+    @property
+    def label(self) -> str:
+        return self.tag
+
+    # ------------------------------------------------------------------
+    # Mutation API
+    # ------------------------------------------------------------------
+    def append_child(self, child: Node) -> Node:
+        """Attach ``child`` (element or text) as the last child."""
+        if child.is_attribute():
+            raise TypeError("attributes must be added with set_attribute()")
+        child.parent = self
+        self.children.append(child)
+        return child
+
+    def set_attribute(self, name: str, value: str) -> AttributeNode:
+        """Set attribute ``name`` to ``value``, replacing any existing one.
+
+        XML guarantees at most one attribute of a given name per element,
+        which is exactly the uniqueness property the key semantics of
+        Definition 2.1 relies on.
+        """
+        node = AttributeNode(name, value)
+        node.parent = self
+        self.attributes[node.name] = node
+        return node
+
+    def remove_attribute(self, name: str) -> None:
+        if name.startswith("@"):
+            name = name[1:]
+        self.attributes.pop(name, None)
+
+    # ------------------------------------------------------------------
+    # Read API
+    # ------------------------------------------------------------------
+    def attribute(self, name: str) -> Optional[AttributeNode]:
+        """Return the attribute node named ``name`` (with or without '@')."""
+        if name.startswith("@"):
+            name = name[1:]
+        return self.attributes.get(name)
+
+    def attribute_value(self, name: str) -> Optional[str]:
+        node = self.attribute(name)
+        return None if node is None else node.value
+
+    def child_elements(self, tag: Optional[str] = None) -> List["ElementNode"]:
+        """Child elements, optionally filtered by tag."""
+        result = []
+        for child in self.children:
+            if child.is_element() and (tag is None or child.label == tag):
+                result.append(child)
+        return result
+
+    def text_content(self) -> str:
+        """Concatenation of all descendant text, in document order."""
+        parts: List[str] = []
+        for node in self.iter_preorder():
+            if node.is_text():
+                parts.append(node.text)  # type: ignore[attr-defined]
+        return "".join(parts)
+
+    def iter_preorder(self, include_attributes: bool = False) -> Iterator[Node]:
+        """Pre-order traversal of the subtree rooted at this element.
+
+        Attribute nodes are visited directly after their owning element when
+        ``include_attributes`` is true, mirroring the node numbering of
+        Fig. 1 in the paper.
+        """
+        stack: List[Node] = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            if node.is_element():
+                # Children are pushed first so that attribute nodes (pushed
+                # afterwards) are popped, and therefore visited, before them.
+                stack.extend(reversed(node.children))  # type: ignore[attr-defined]
+                if include_attributes:
+                    for attr_node in reversed(list(node.attributes.values())):  # type: ignore[attr-defined]
+                        stack.append(attr_node)
+
+    def iter_descendant_or_self_elements(self) -> Iterator["ElementNode"]:
+        """All element nodes in the subtree, including this one (for ``//``)."""
+        for node in self.iter_preorder():
+            if node.is_element():
+                yield node  # type: ignore[misc]
+
+    def __len__(self) -> int:
+        return len(self.children)

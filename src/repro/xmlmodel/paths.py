@@ -1,0 +1,380 @@
+"""The path language ``PL`` of the paper.
+
+Section 2 defines path expressions by the grammar::
+
+    P ::= epsilon | l | P/P | //P
+
+where ``epsilon`` is the empty path, ``l`` a node label, ``/`` concatenation
+(child axis) and ``//`` descendant-or-self.  A path expression denotes a set
+of label paths; ``n[[P]]`` is the set of nodes reached from node ``n`` by a
+path in that set.
+
+This module provides:
+
+* :class:`PathExpression` — an immutable, normalised sequence of steps;
+* :func:`parse_path` — parsing of the textual syntax (``"//book/chapter"``,
+  ``"@isbn"``, ``""``/``"."`` for epsilon, ...);
+* evaluation over the tree model (:meth:`PathExpression.evaluate`);
+* language containment (:func:`contains`), the decision procedure needed by
+  the key-implication rules (context/target containment, ``exist``);
+* concatenation (:func:`concat`) used to compose context and target paths.
+
+Attribute labels (``@name``) are ordinary labels for the purposes of the
+language, with one semantic restriction mirroring the XML data model: the
+``//`` step only traverses *element* nodes, so an attribute step is never
+absorbed by ``//`` during containment checking and attribute nodes have no
+descendants during evaluation.
+"""
+
+from __future__ import annotations
+
+import enum
+from functools import lru_cache
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.xmlmodel.nodes import ElementNode, Node
+
+
+class StepKind(enum.Enum):
+    """Kind of a single step of a path expression."""
+
+    LABEL = "label"
+    ATTRIBUTE = "attribute"
+    DESCENDANT = "descendant"
+
+
+class PathStep:
+    """One step of a path expression (a label, an attribute, or ``//``)."""
+
+    __slots__ = ("kind", "name")
+
+    def __init__(self, kind: StepKind, name: Optional[str] = None) -> None:
+        if kind is StepKind.DESCENDANT and name is not None:
+            raise ValueError("a descendant step carries no name")
+        if kind is not StepKind.DESCENDANT and not name:
+            raise ValueError("label and attribute steps need a name")
+        self.kind = kind
+        self.name = name
+
+    # Convenience constructors -----------------------------------------
+    @staticmethod
+    def label(name: str) -> "PathStep":
+        if name.startswith("@"):
+            return PathStep(StepKind.ATTRIBUTE, name[1:])
+        return PathStep(StepKind.LABEL, name)
+
+    @staticmethod
+    def attribute(name: str) -> "PathStep":
+        return PathStep(StepKind.ATTRIBUTE, name.lstrip("@"))
+
+    @staticmethod
+    def descendant() -> "PathStep":
+        return PathStep(StepKind.DESCENDANT)
+
+    # Value semantics ----------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PathStep):
+            return NotImplemented
+        return self.kind is other.kind and self.name == other.name
+
+    def __hash__(self) -> int:
+        return hash((self.kind, self.name))
+
+    def __repr__(self) -> str:
+        return f"PathStep({self.text!r})"
+
+    @property
+    def text(self) -> str:
+        if self.kind is StepKind.DESCENDANT:
+            return "//"
+        if self.kind is StepKind.ATTRIBUTE:
+            return f"@{self.name}"
+        return str(self.name)
+
+    def matches_label(self, label: str) -> bool:
+        """Does this (non-descendant) step match a concrete node label?"""
+        if self.kind is StepKind.LABEL:
+            return label == self.name
+        if self.kind is StepKind.ATTRIBUTE:
+            return label == f"@{self.name}"
+        raise ValueError("a descendant step does not match a single label")
+
+
+PathLike = Union["PathExpression", str, Sequence[PathStep]]
+
+
+class PathExpression:
+    """An immutable, normalised path expression.
+
+    Normalisation collapses adjacent ``//`` steps (``////`` ≡ ``//``), which
+    preserves the denoted language and makes equality/hashing meaningful.
+    """
+
+    __slots__ = ("steps",)
+
+    def __init__(self, steps: Iterable[PathStep] = ()) -> None:
+        normalised: List[PathStep] = []
+        for step in steps:
+            if (
+                step.kind is StepKind.DESCENDANT
+                and normalised
+                and normalised[-1].kind is StepKind.DESCENDANT
+            ):
+                continue
+            normalised.append(step)
+        self.steps: Tuple[PathStep, ...] = tuple(normalised)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @staticmethod
+    def epsilon() -> "PathExpression":
+        return _EPSILON
+
+    @staticmethod
+    def of(value: PathLike) -> "PathExpression":
+        """Coerce a string / step sequence / expression into an expression."""
+        if isinstance(value, PathExpression):
+            return value
+        if isinstance(value, str):
+            return parse_path(value)
+        return PathExpression(value)
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    @property
+    def is_epsilon(self) -> bool:
+        return not self.steps
+
+    @property
+    def is_simple(self) -> bool:
+        """True when the expression contains no ``//`` step (Def. 2.2)."""
+        return all(step.kind is not StepKind.DESCENDANT for step in self.steps)
+
+    @property
+    def is_attribute_step(self) -> bool:
+        """True when the expression is a single attribute step ``@a``."""
+        return len(self.steps) == 1 and self.steps[0].kind is StepKind.ATTRIBUTE
+
+    @property
+    def ends_with_attribute(self) -> bool:
+        return bool(self.steps) and self.steps[-1].kind is StepKind.ATTRIBUTE
+
+    @property
+    def length(self) -> int:
+        """Number of steps (the paper's ``|P|``)."""
+        return len(self.steps)
+
+    def labels(self) -> List[str]:
+        """The concrete labels of a simple expression (raises otherwise)."""
+        if not self.is_simple:
+            raise ValueError("labels() is only defined for simple paths")
+        return [step.text for step in self.steps]
+
+    # ------------------------------------------------------------------
+    # Algebra
+    # ------------------------------------------------------------------
+    def __truediv__(self, other: PathLike) -> "PathExpression":
+        return concat(self, other)
+
+    def prefixes(self) -> Iterator[Tuple["PathExpression", "PathExpression"]]:
+        """All splits ``(P1, P2)`` with ``self = P1/P2``.
+
+        Used by the target-to-context inference rule of key implication: from
+        key ``(C, (P1/P2, S))`` one may derive ``(C/P1, (P2, S))``.
+        """
+        for cut in range(len(self.steps) + 1):
+            yield (
+                PathExpression(self.steps[:cut]),
+                PathExpression(self.steps[cut:]),
+            )
+
+    # ------------------------------------------------------------------
+    # Evaluation:  n[[P]]
+    # ------------------------------------------------------------------
+    def evaluate(self, node: Node) -> List[Node]:
+        """Return ``node[[P]]`` — nodes reachable from ``node`` via ``P``.
+
+        The result preserves document order and contains no duplicates.
+        """
+        results: List[Node] = []
+        seen = set()
+        for reached in _evaluate_steps(node, self.steps, 0):
+            key = id(reached)
+            if key not in seen:
+                seen.add(key)
+                results.append(reached)
+        return results
+
+    def matches(self, labels: Sequence[str]) -> bool:
+        """Does the concrete label path belong to the language of ``self``?
+
+        ``labels`` is a sequence such as ``["book", "chapter", "@number"]``.
+        """
+        concrete = PathExpression(PathStep.label(label) for label in labels)
+        return contains(self, concrete)
+
+    def contained_in(self, other: PathLike) -> bool:
+        """``self ⊆ other`` (language containment)."""
+        return contains(PathExpression.of(other), self)
+
+    # ------------------------------------------------------------------
+    # Value semantics / rendering
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PathExpression):
+            return NotImplemented
+        return self.steps == other.steps
+
+    def __hash__(self) -> int:
+        return hash(self.steps)
+
+    def __repr__(self) -> str:
+        return f"PathExpression({self.text!r})"
+
+    def __str__(self) -> str:
+        return self.text
+
+    @property
+    def text(self) -> str:
+        if not self.steps:
+            return "."
+        parts: List[str] = []
+        for index, step in enumerate(self.steps):
+            if step.kind is StepKind.DESCENDANT:
+                parts.append("//")
+            else:
+                if index > 0 and self.steps[index - 1].kind is not StepKind.DESCENDANT:
+                    parts.append("/")
+                parts.append(step.text)
+        return "".join(parts)
+
+
+_EPSILON = PathExpression(())
+
+
+# ----------------------------------------------------------------------
+# Parsing
+# ----------------------------------------------------------------------
+_EPSILON_SPELLINGS = {"", ".", "epsilon", "ε"}
+
+
+def parse_path(text: str) -> PathExpression:
+    """Parse the textual syntax of path expressions.
+
+    Examples: ``""`` / ``"."`` (epsilon), ``"//book"``, ``"book/chapter"``,
+    ``"//book/chapter/@number"``, ``"author/contact"``, ``"//"``.
+    """
+    stripped = text.strip()
+    if stripped in _EPSILON_SPELLINGS:
+        return PathExpression.epsilon()
+    steps: List[PathStep] = []
+    i = 0
+    length = len(stripped)
+    while i < length:
+        if stripped.startswith("//", i):
+            steps.append(PathStep.descendant())
+            i += 2
+            continue
+        if stripped[i] == "/":
+            i += 1
+            continue
+        j = i
+        while j < length and stripped[j] != "/":
+            j += 1
+        name = stripped[i:j].strip()
+        if not name:
+            raise ValueError(f"empty step in path expression {text!r}")
+        steps.append(PathStep.label(name))
+        i = j
+    return PathExpression(steps)
+
+
+# ----------------------------------------------------------------------
+# Concatenation
+# ----------------------------------------------------------------------
+def concat(*parts: PathLike) -> PathExpression:
+    """Concatenate path expressions: ``concat(P, Q) = P/Q``."""
+    steps: List[PathStep] = []
+    for part in parts:
+        steps.extend(PathExpression.of(part).steps)
+    return PathExpression(steps)
+
+
+# ----------------------------------------------------------------------
+# Evaluation helpers
+# ----------------------------------------------------------------------
+def _evaluate_steps(node: Node, steps: Tuple[PathStep, ...], index: int) -> Iterator[Node]:
+    if index == len(steps):
+        yield node
+        return
+    step = steps[index]
+    if step.kind is StepKind.DESCENDANT:
+        # descendant-or-self over element nodes; attribute/text nodes have
+        # only themselves.
+        if isinstance(node, ElementNode):
+            for descendant in node.iter_descendant_or_self_elements():
+                yield from _evaluate_steps(descendant, steps, index + 1)
+        else:
+            yield from _evaluate_steps(node, steps, index + 1)
+        return
+    if not isinstance(node, ElementNode):
+        return
+    if step.kind is StepKind.ATTRIBUTE:
+        attr_node = node.attribute(step.name or "")
+        if attr_node is not None:
+            yield from _evaluate_steps(attr_node, steps, index + 1)
+        return
+    for child in node.child_elements(step.name):
+        yield from _evaluate_steps(child, steps, index + 1)
+
+
+# ----------------------------------------------------------------------
+# Containment
+# ----------------------------------------------------------------------
+def contains(covering: PathLike, covered: PathLike) -> bool:
+    """Decide ``L(covered) ⊆ L(covering)``.
+
+    The decision procedure is the standard dynamic program for the
+    ``{/, //}`` fragment (no wildcards, no branching): a ``//`` step of the
+    *covering* expression may absorb any sequence of element labels of the
+    covered expression, and a ``//`` step of the covered expression can only
+    be covered by a ``//`` step.  The procedure is sound and complete for
+    this fragment under an unbounded label alphabet.
+    """
+    covering_expr = PathExpression.of(covering)
+    covered_expr = PathExpression.of(covered)
+    return _containment(covered_expr.steps, covering_expr.steps)
+
+
+def _containment(covered: Tuple[PathStep, ...], covering: Tuple[PathStep, ...]) -> bool:
+    @lru_cache(maxsize=None)
+    def recurse(i: int, j: int) -> bool:
+        exhausted_covered = i == len(covered)
+        exhausted_covering = j == len(covering)
+        if exhausted_covered and exhausted_covering:
+            return True
+        if exhausted_covered:
+            # epsilon must belong to the remaining covering language.
+            return all(step.kind is StepKind.DESCENDANT for step in covering[j:])
+        if exhausted_covering:
+            return False
+        covered_step = covered[i]
+        covering_step = covering[j]
+        if covered_step.kind is StepKind.DESCENDANT:
+            if covering_step.kind is StepKind.DESCENDANT:
+                #  L(// P') ⊆ L(// Q')  iff  L(P') ⊆ L(// Q')
+                return recurse(i + 1, j)
+            # A concrete label cannot cover the arbitrary paths of '//'.
+            return False
+        if covering_step.kind is StepKind.DESCENDANT:
+            # '//' absorbs element labels (not attribute steps), or matches
+            # the empty path and moves on.
+            absorb = (
+                covered_step.kind is StepKind.LABEL and recurse(i + 1, j)
+            )
+            return absorb or recurse(i, j + 1)
+        return covered_step == covering_step and recurse(i + 1, j + 1)
+
+    return recurse(0, 0)

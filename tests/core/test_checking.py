@@ -1,0 +1,78 @@
+"""Consistency checking of predefined designs (Example 1.1 as an API)."""
+
+import pytest
+
+from repro.core.checking import check_instance, check_schema_consistency
+from repro.experiments.paper_example import (
+    initial_chapter_design,
+    paper_schema,
+    paper_transformation,
+    refined_chapter_design,
+)
+from repro.relational.schema import DatabaseSchema, RelationSchema
+
+
+class TestStaticConsistency:
+    def test_initial_design_is_inconsistent(self, paper_keys):
+        transformation, schema = initial_chapter_design()
+        report = check_schema_consistency(paper_keys, transformation, schema)
+        assert not report.consistent
+        assert len(report.failures()) == 1
+        assert report.failures()[0].key == frozenset({"bookTitle", "chapterNum"})
+
+    def test_refined_design_is_consistent(self, paper_keys):
+        transformation, schema = refined_chapter_design()
+        report = check_schema_consistency(paper_keys, transformation, schema)
+        assert report.consistent
+        assert all(check.guaranteed for check in report.checks)
+
+    def test_paper_schema_mixed_verdicts(self, paper_keys):
+        # Example 4.2 / 1.2: chapter's key is guaranteed, book's key is not
+        # (isbn does not determine author), section's key is not.
+        report = check_schema_consistency(paper_keys, paper_transformation(), paper_schema())
+        verdicts = {check.relation: check.guaranteed for check in report.checks}
+        assert verdicts == {"book": False, "chapter": True, "section": False}
+
+    def test_relations_without_rules_are_skipped(self, paper_keys):
+        transformation, schema = refined_chapter_design()
+        schema.add(RelationSchema("orphan", ["a"], keys=[{"a"}]))
+        report = check_schema_consistency(paper_keys, transformation, schema)
+        assert all(check.relation != "orphan" for check in report.checks)
+
+    def test_key_spanning_all_attributes_is_trivially_guaranteed(self, paper_keys):
+        transformation, _ = refined_chapter_design()
+        schema = DatabaseSchema(
+            [
+                RelationSchema(
+                    "Chapter",
+                    ["isbn", "chapterNum", "chapterName"],
+                    keys=[{"isbn", "chapterNum", "chapterName"}],
+                )
+            ]
+        )
+        report = check_schema_consistency(paper_keys, transformation, schema)
+        assert report.consistent
+
+    def test_describe_summarises(self, paper_keys):
+        transformation, schema = initial_chapter_design()
+        text = check_schema_consistency(paper_keys, transformation, schema).describe()
+        assert "NOT guaranteed" in text
+        assert "INCONSISTENT" in text
+
+
+class TestDynamicInstanceCheck:
+    def test_initial_design_violated_by_figure1(self, figure1):
+        transformation, schema = initial_chapter_design()
+        checks = check_instance(transformation, schema, figure1)
+        assert not checks["Chapter"].ok
+        assert checks["Chapter"].rows == 3
+
+    def test_refined_design_clean_on_figure1(self, figure1):
+        transformation, schema = refined_chapter_design()
+        checks = check_instance(transformation, schema, figure1)
+        assert checks["Chapter"].ok
+
+    def test_violation_messages_name_the_offending_tuples(self, figure1):
+        transformation, schema = initial_chapter_design()
+        checks = check_instance(transformation, schema, figure1)
+        assert any("agree on" in message for message in checks["Chapter"].key_violations)

@@ -1,0 +1,203 @@
+"""Algorithm ``minimumCover`` — unit and paper-example tests (Section 5)."""
+
+import pytest
+
+from repro.core.minimum_cover import minimum_cover_from_keys
+from repro.core.propagation import check_propagation
+from repro.experiments.paper_example import EXPECTED_MINIMUM_COVER
+from repro.keys.key import parse_keys
+from repro.relational.fd import FunctionalDependency, equivalent, implies_fd
+from repro.transform.dsl import parse_rule
+
+
+class TestPaperExample31:
+    def test_cover_matches_the_paper(self, paper_keys, universal):
+        cover = minimum_cover_from_keys(paper_keys, universal)
+        assert set(cover.cover) == set(EXPECTED_MINIMUM_COVER)
+
+    def test_cover_is_nonredundant(self, paper_keys, universal):
+        cover = minimum_cover_from_keys(paper_keys, universal).cover
+        for fd in cover:
+            others = [other for other in cover if other != fd]
+            assert not implies_fd(others, fd)
+
+    def test_every_generated_fd_is_individually_propagated(self, paper_keys, universal):
+        result = minimum_cover_from_keys(paper_keys, universal)
+        for fd in result.generated:
+            check = check_propagation(
+                paper_keys, universal.rule, fd, check_existence=False
+            )
+            assert check.holds, f"{fd} is not propagated"
+
+    def test_candidate_keys_reported(self, paper_keys, universal):
+        result = minimum_cover_from_keys(paper_keys, universal)
+        # The chapter variable yc is keyed by {bookIsbn, chapNum}.
+        chapter_candidates = result.candidate_keys["yc"]
+        assert any(c.fields == frozenset({"bookIsbn", "chapNum"}) for c in chapter_candidates)
+        assert result.representative["yc"] == frozenset({"bookIsbn", "chapNum"})
+
+    def test_author_not_determined(self, paper_keys, universal):
+        cover = minimum_cover_from_keys(paper_keys, universal).cover
+        assert not implies_fd(cover, "bookIsbn -> bookAuthor")
+
+    def test_require_existence_gives_same_cover_here(self, paper_keys, universal):
+        default = minimum_cover_from_keys(paper_keys, universal)
+        strict = minimum_cover_from_keys(paper_keys, universal, require_existence=True)
+        assert equivalent(default.cover, strict.cover)
+
+    def test_result_is_iterable_and_sized(self, paper_keys, universal):
+        result = minimum_cover_from_keys(paper_keys, universal)
+        assert len(result) == 4
+        assert list(result) == result.cover
+        assert "bookIsbn" in result.describe()
+
+
+class TestAccepsRuleOrUniversal:
+    def test_accepts_plain_table_rule(self, paper_keys, universal):
+        from_rule = minimum_cover_from_keys(paper_keys, universal.rule)
+        from_universal = minimum_cover_from_keys(paper_keys, universal)
+        assert set(from_rule.cover) == set(from_universal.cover)
+
+
+class TestSmallSchemas:
+    def test_single_absolute_key(self):
+        rule = parse_rule(
+            """
+            universal U
+              var p <- xr : //product
+              var s <- p  : @sku
+              var n <- p  : name
+              field sku  = value(s)
+              field name = value(n)
+            """
+        )
+        keys = parse_keys(
+            """
+            (., (//product, {@sku}))
+            (//product, (name, {}))
+            """
+        )
+        cover = minimum_cover_from_keys(keys, rule).cover
+        assert cover == [FunctionalDependency({"sku"}, {"name"})]
+
+    def test_without_uniqueness_key_nothing_is_determined(self):
+        rule = parse_rule(
+            """
+            universal U
+              var p <- xr : //product
+              var s <- p  : @sku
+              var n <- p  : name
+              field sku  = value(s)
+              field name = value(n)
+            """
+        )
+        keys = parse_keys("(., (//product, {@sku}))")
+        # A product may have several <name> children, so sku -> name is not
+        # guaranteed without the at-most-one constraint.
+        assert minimum_cover_from_keys(keys, rule).cover == []
+
+    def test_alternate_keys_of_the_same_node_become_equivalent(self):
+        rule = parse_rule(
+            """
+            universal U
+              var b <- xr : //book
+              var i <- b  : @isbn
+              var j <- b  : @isbn13
+              var t <- b  : title
+              field isbn   = value(i)
+              field isbn13 = value(j)
+              field title  = value(t)
+            """
+        )
+        keys = parse_keys(
+            """
+            (., (//book, {@isbn}))
+            (., (//book, {@isbn13}))
+            (//book, (title, {}))
+            """
+        )
+        cover = minimum_cover_from_keys(keys, rule).cover
+        assert implies_fd(cover, "isbn -> isbn13")
+        assert implies_fd(cover, "isbn13 -> isbn")
+        assert implies_fd(cover, "isbn -> title")
+        assert implies_fd(cover, "isbn13 -> title")
+
+    def test_multi_attribute_key(self):
+        rule = parse_rule(
+            """
+            universal U
+              var c <- xr : //conf
+              var a <- c  : @acr
+              var y <- c  : @year
+              var n <- c  : name
+              field acr  = value(a)
+              field year = value(y)
+              field name = value(n)
+            """
+        )
+        keys = parse_keys(
+            """
+            (., (//conf, {@acr, @year}))
+            (//conf, (name, {}))
+            """
+        )
+        cover = minimum_cover_from_keys(keys, rule).cover
+        assert implies_fd(cover, "acr, year -> name")
+        assert not implies_fd(cover, "acr -> name")
+
+    def test_key_skipping_an_intermediate_level(self):
+        # Sections are keyed *within a book* directly (skipping chapters).
+        rule = parse_rule(
+            """
+            universal U
+              var b  <- xr : //book
+              var bi <- b  : @isbn
+              var c  <- b  : chapter
+              var cn <- c  : @num
+              var s  <- c  : section
+              var sid<- s  : @sid
+              var sn <- s  : name
+              field isbn   = value(bi)
+              field chapNum= value(cn)
+              field secId  = value(sid)
+              field secName= value(sn)
+            """
+        )
+        keys = parse_keys(
+            """
+            (., (//book, {@isbn}))
+            (//book, (chapter, {@num}))
+            (//book, (chapter/section, {@sid}))
+            (//book/chapter/section, (name, {}))
+            """
+        )
+        cover = minimum_cover_from_keys(keys, rule).cover
+        # Both the chapter-based and the book-based identifications hold.
+        assert implies_fd(cover, "isbn, secId -> secName")
+        assert implies_fd(cover, "isbn, chapNum, secId -> secName")
+        assert not implies_fd(cover, "secId -> secName")
+
+    def test_fields_of_unkeyed_branches_do_not_appear(self, paper_keys):
+        rule = parse_rule(
+            """
+            universal U
+              var b <- xr : //book
+              var i <- b  : @isbn
+              var r <- b  : review
+              var rn<- r  : note
+              field isbn = value(i)
+              field note = value(rn)
+            """
+        )
+        cover = minimum_cover_from_keys(paper_keys, rule).cover
+        # reviews are not keyed / not unique, so nothing determines `note`.
+        assert not implies_fd(cover, "isbn -> note")
+
+    def test_empty_key_set(self, universal):
+        assert minimum_cover_from_keys([], universal).cover == []
+
+
+class TestStatistics:
+    def test_implication_queries_counted(self, paper_keys, universal):
+        result = minimum_cover_from_keys(paper_keys, universal)
+        assert result.implication_queries > 0

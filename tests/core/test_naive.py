@@ -1,0 +1,52 @@
+"""Algorithm ``naive`` — correctness and its agreement with ``minimumCover``."""
+
+import pytest
+
+from repro.core.minimum_cover import minimum_cover_from_keys
+from repro.core.naive import TooManyFields, naive_minimum_cover
+from repro.experiments.generators import generate_workload
+from repro.experiments.paper_example import EXPECTED_MINIMUM_COVER
+from repro.relational.fd import equivalent, implies_fd
+
+
+class TestPaperExample:
+    def test_naive_cover_equivalent_to_paper_cover(self, paper_keys, universal):
+        result = naive_minimum_cover(paper_keys, universal, max_fields=8)
+        assert equivalent(result.cover, list(EXPECTED_MINIMUM_COVER))
+
+    def test_naive_agrees_with_minimum_cover(self, paper_keys, universal):
+        fast = minimum_cover_from_keys(paper_keys, universal)
+        slow = naive_minimum_cover(paper_keys, universal, max_fields=8)
+        assert equivalent(fast.cover, slow.cover)
+
+    def test_naive_cover_is_nonredundant(self, paper_keys, universal):
+        cover = naive_minimum_cover(paper_keys, universal, max_fields=8).cover
+        for fd in cover:
+            others = [other for other in cover if other != fd]
+            assert not implies_fd(others, fd)
+
+
+class TestGuards:
+    def test_field_cap(self, paper_keys, universal):
+        with pytest.raises(TooManyFields):
+            naive_minimum_cover(paper_keys, universal, max_fields=4)
+
+    def test_lhs_size_bound_still_equivalent_here(self, paper_keys, universal):
+        # The paper's cover has LHSs of size at most 3.
+        bounded = naive_minimum_cover(paper_keys, universal, max_fields=8, max_lhs_size=3)
+        assert equivalent(bounded.cover, list(EXPECTED_MINIMUM_COVER))
+
+
+class TestAgreementOnSyntheticWorkloads:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_same_cover_small_workloads(self, seed):
+        workload = generate_workload(num_fields=7, depth=3, num_keys=6, seed=seed)
+        fast = minimum_cover_from_keys(workload.keys, workload.rule)
+        slow = naive_minimum_cover(workload.keys, workload.rule, max_fields=8)
+        assert equivalent(fast.cover, slow.cover)
+
+    def test_same_cover_with_more_keys_than_levels(self):
+        workload = generate_workload(num_fields=8, depth=2, num_keys=8, seed=3)
+        fast = minimum_cover_from_keys(workload.keys, workload.rule)
+        slow = naive_minimum_cover(workload.keys, workload.rule, max_fields=8)
+        assert equivalent(fast.cover, slow.cover)

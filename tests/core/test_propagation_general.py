@@ -1,0 +1,271 @@
+"""Adversarial / structural tests for Algorithm ``propagation``.
+
+Beyond the paper's worked examples, these scenarios exercise the corners of
+the algorithm: keys that skip intermediate levels, alternate keys, attribute
+weakening, multi-attribute keys, descendant contexts, and the interplay of
+the identification and existence conditions.
+"""
+
+import pytest
+
+from repro.core.minimum_cover import minimum_cover_from_keys
+from repro.core.naive import naive_minimum_cover
+from repro.core.propagation import check_propagation
+from repro.keys.key import parse_keys
+from repro.relational.fd import equivalent, implies_fd
+from repro.transform.dsl import parse_rule
+
+
+def rule_library():
+    """book(isbn) / chapter(num) / section(sid) universal-style rule."""
+    return parse_rule(
+        """
+        universal U
+          var b  <- xr : //book
+          var bi <- b  : @isbn
+          var bt <- b  : title
+          var c  <- b  : chapter
+          var cn <- c  : @num
+          var cm <- c  : name
+          var s  <- c  : section
+          var si <- s  : @sid
+          var sm <- s  : name
+          field isbn    = value(bi)
+          field title   = value(bt)
+          field chapNum = value(cn)
+          field chapName= value(cm)
+          field secId   = value(si)
+          field secName = value(sm)
+        """
+    )
+
+
+class TestSkippingIntermediateLevels:
+    KEYS = parse_keys(
+        """
+        (., (//book, {@isbn}))
+        (//book, (chapter/section, {@sid}))
+        (//book/chapter/section, (name, {}))
+        """
+    )
+
+    def test_book_scoped_section_key_propagates_without_chapter_key(self):
+        rule = rule_library()
+        assert check_propagation(self.KEYS, rule, "isbn, secId -> secName").holds
+
+    def test_chapter_fields_remain_undetermined(self):
+        rule = rule_library()
+        assert not check_propagation(self.KEYS, rule, "isbn, chapNum -> chapName").holds
+        assert not check_propagation(self.KEYS, rule, "isbn -> chapNum").holds
+
+    def test_section_key_relative_to_chapter_is_derived_by_target_to_context(self):
+        # Even though the key is stated relative to book, the chain
+        # book -> chapter -> section still works because target-to-context
+        # pushes the context down.
+        rule = rule_library()
+        keys = self.KEYS + parse_keys("(//book, (chapter, {@num}))")
+        assert check_propagation(keys, rule, "isbn, chapNum, secId -> secName").holds
+
+    def test_cover_contains_the_skipping_fd(self):
+        rule = rule_library()
+        cover = minimum_cover_from_keys(self.KEYS, rule).cover
+        assert implies_fd(cover, "isbn, secId -> secName")
+        assert not implies_fd(cover, "secId -> secName")
+
+
+class TestAlternateKeys:
+    KEYS = parse_keys(
+        """
+        (., (//book, {@isbn}))
+        (., (//book, {@doi}))
+        (//book, (title, {}))
+        """
+    )
+
+    RULE = parse_rule(
+        """
+        universal U
+          var b <- xr : //book
+          var i <- b  : @isbn
+          var d <- b  : @doi
+          var t <- b  : title
+          field isbn  = value(i)
+          field doi   = value(d)
+          field title = value(t)
+        """
+    )
+
+    def test_either_key_determines_title(self):
+        assert check_propagation(self.KEYS, self.RULE, "isbn -> title").holds
+        assert check_propagation(self.KEYS, self.RULE, "doi -> title").holds
+
+    def test_keys_determine_each_other(self):
+        assert check_propagation(self.KEYS, self.RULE, "isbn -> doi").holds
+        assert check_propagation(self.KEYS, self.RULE, "doi -> isbn").holds
+
+    def test_cover_is_equivalent_to_naive(self):
+        fast = minimum_cover_from_keys(self.KEYS, self.RULE)
+        slow = naive_minimum_cover(self.KEYS, self.RULE)
+        assert equivalent(fast.cover, slow.cover)
+
+
+class TestMultiAttributeKeys:
+    KEYS = parse_keys(
+        """
+        (., (//flight, {@carrier, @number, @date}))
+        (//flight, (gate, {}))
+        """
+    )
+
+    RULE = parse_rule(
+        """
+        universal U
+          var f <- xr : //flight
+          var c <- f  : @carrier
+          var n <- f  : @number
+          var d <- f  : @date
+          var g <- f  : gate
+          field carrier = value(c)
+          field number  = value(n)
+          field date    = value(d)
+          field gate    = value(g)
+        """
+    )
+
+    def test_full_key_needed(self):
+        assert check_propagation(self.KEYS, self.RULE, "carrier, number, date -> gate").holds
+        assert not check_propagation(self.KEYS, self.RULE, "carrier, number -> gate").holds
+        assert not check_propagation(self.KEYS, self.RULE, "date -> gate").holds
+
+    def test_superset_of_the_key_also_works(self):
+        assert check_propagation(
+            self.KEYS, self.RULE, "carrier, number, date, gate -> gate"
+        ).holds
+
+    def test_cover_contains_exactly_the_key_fd(self):
+        cover = minimum_cover_from_keys(self.KEYS, self.RULE).cover
+        assert len(cover) == 1
+        assert implies_fd(cover, "carrier, date, number -> gate")
+
+
+class TestDescendantContexts:
+    """Keys whose context itself uses // (deeply scoped relative keys)."""
+
+    KEYS = parse_keys(
+        """
+        (., (//part, {@pid}))
+        (//part, (component, {@cid}))
+        (//part//component, (label, {}))
+        """
+    )
+
+    RULE = parse_rule(
+        """
+        universal U
+          var p  <- xr : //part
+          var pi <- p  : @pid
+          var c  <- p  : component
+          var ci <- c  : @cid
+          var cl <- c  : label
+          field pid   = value(pi)
+          field cid   = value(ci)
+          field label = value(cl)
+        """
+    )
+
+    def test_descendant_context_covers_child_structure(self):
+        # The uniqueness constraint is stated for components *anywhere* below
+        # a part; the rule nests components directly, which is contained.
+        assert check_propagation(self.KEYS, self.RULE, "pid, cid -> label").holds
+
+    def test_component_alone_insufficient(self):
+        assert not check_propagation(self.KEYS, self.RULE, "cid -> label").holds
+
+
+class TestExistenceInterplay:
+    KEYS = parse_keys(
+        """
+        (., (//emp, {@id}))
+        (//emp, (office, {}))
+        (//emp/office, (phone, {}))
+        """
+    )
+
+    RULE = parse_rule(
+        """
+        universal U
+          var e  <- xr : //emp
+          var ei <- e  : @id
+          var o  <- e  : office
+          var on <- o  : @room
+          var ph <- o  : phone
+          field empId = value(ei)
+          field room  = value(on)
+          field phone = value(ph)
+        """
+    )
+
+    def test_identification_through_unique_intermediate(self):
+        # office is unique under emp, so emp's key identifies the phone node
+        # (prefix-uniqueness composition).
+        result = check_propagation(self.KEYS, self.RULE, "empId -> phone")
+        assert result.holds
+
+    def test_room_attribute_is_determined_but_not_a_determinant(self):
+        assert check_propagation(self.KEYS, self.RULE, "empId -> room").holds
+        assert not check_propagation(self.KEYS, self.RULE, "room -> empId").holds
+
+    def test_room_on_lhs_fails_existence_but_not_identification(self):
+        # @room is not required to exist by any key, so condition (1) blocks
+        # the FD even though identification succeeds via empId.
+        result = check_propagation(self.KEYS, self.RULE, "empId, room -> phone")
+        assert result.identified
+        assert not result.existence_ok
+        assert not result.holds
+        relaxed = check_propagation(
+            self.KEYS, self.RULE, "empId, room -> phone", check_existence=False
+        )
+        assert relaxed.holds
+
+    def test_cover_under_both_semantics(self):
+        default = minimum_cover_from_keys(self.KEYS, self.RULE)
+        strict = minimum_cover_from_keys(self.KEYS, self.RULE, require_existence=True)
+        # Identification-only: empId determines room and phone.
+        assert implies_fd(default.cover, "empId -> room")
+        assert implies_fd(default.cover, "empId -> phone")
+        # The strict cover is a subset (every FD still individually valid).
+        for fd in strict.cover:
+            assert implies_fd(default.cover, fd)
+
+
+class TestRootLevelUniqueness:
+    KEYS = parse_keys(
+        """
+        (., (config, {}))
+        (., (config/owner, {}))
+        """
+    )
+
+    RULE = parse_rule(
+        """
+        universal U
+          var c <- xr : config
+          var o <- c  : owner
+          var v <- c  : version
+          field owner   = value(o)
+          field version = value(v)
+        """
+    )
+
+    def test_document_wide_singletons_yield_empty_lhs_fds(self):
+        # There is at most one config/owner in the whole document, so the
+        # empty set determines it (a "constant" column).
+        result = check_propagation(self.KEYS, self.RULE, ([], {"owner"}))
+        assert result.holds
+
+    def test_version_not_constant(self):
+        assert not check_propagation(self.KEYS, self.RULE, ([], {"version"})).holds
+
+    def test_cover_reports_the_constant(self):
+        cover = minimum_cover_from_keys(self.KEYS, self.RULE).cover
+        assert implies_fd(cover, ([], {"owner"}))

@@ -1,0 +1,143 @@
+"""Algorithm ``propagation`` on the paper's own examples (Section 4)."""
+
+import pytest
+
+from repro.core.propagation import check_propagation, propagated_fds
+from repro.keys.key import parse_keys
+
+
+class TestExample42:
+    """Example 4.2: the two FD checks traced in the paper."""
+
+    def test_isbn_determines_contact_on_book(self, paper_keys, sigma):
+        result = check_propagation(paper_keys, sigma.rule("book"), "isbn -> contact")
+        assert result.holds
+        assert result.identified and result.existence_ok
+
+    def test_section_key_not_propagated(self, paper_keys, sigma):
+        result = check_propagation(
+            paper_keys, sigma.rule("section"), "inChapt, number -> name"
+        )
+        assert not result.holds
+        assert not result.identified
+
+    def test_traces_are_informative(self, paper_keys, sigma):
+        result = check_propagation(paper_keys, sigma.rule("book"), "isbn -> contact")
+        text = result.explain()
+        assert "PROPAGATED" in text
+        assert "keyed" in text
+
+
+class TestIntroductionExample:
+    """Example 1.1: the initial vs refined Chapter designs."""
+
+    def test_initial_design_key_not_guaranteed(self, paper_keys):
+        from repro.experiments.paper_example import initial_chapter_design
+
+        transformation, _ = initial_chapter_design()
+        result = check_propagation(
+            paper_keys,
+            transformation.rule("Chapter"),
+            "bookTitle, chapterNum -> chapterName",
+        )
+        assert not result.holds
+
+    def test_refined_design_key_guaranteed(self, paper_keys):
+        from repro.experiments.paper_example import refined_chapter_design
+
+        transformation, _ = refined_chapter_design()
+        result = check_propagation(
+            paper_keys,
+            transformation.rule("Chapter"),
+            "isbn, chapterNum -> chapterName",
+        )
+        assert result.holds
+
+
+class TestBookRelationFDs:
+    def test_isbn_determines_title(self, paper_keys, sigma):
+        assert check_propagation(paper_keys, sigma.rule("book"), "isbn -> title").holds
+
+    def test_isbn_does_not_determine_author(self, paper_keys, sigma):
+        # Example 1.2: a book may have several authors.
+        assert not check_propagation(paper_keys, sigma.rule("book"), "isbn -> author").holds
+
+    def test_title_does_not_determine_isbn(self, paper_keys, sigma):
+        assert not check_propagation(paper_keys, sigma.rule("book"), "title -> isbn").holds
+
+    def test_trivial_fd_propagates(self, paper_keys, sigma):
+        assert check_propagation(paper_keys, sigma.rule("book"), "isbn -> isbn").holds
+
+    def test_trivial_fd_with_unguaranteed_companion_fails_null_condition(self, paper_keys, sigma):
+        # title ∈ {title, isbn} but a tuple may have a null title while isbn is
+        # present?  No: condition (1) concerns the LHS; here LHS={isbn,title}:
+        # if title is null the RHS title is null too, so the FD holds; but the
+        # LHS field title is not attribute-backed, so the algorithm's
+        # existence test rejects it conservatively only when title must be
+        # non-null alongside a non-null RHS — for RHS=title this is fine.
+        result = check_propagation(paper_keys, sigma.rule("book"), "isbn, title -> title")
+        assert result.identified
+        # RHS equals the problematic LHS field, hence no existence obligation.
+        assert result.holds
+
+    def test_nontrivial_rhs_with_element_lhs_rejected_by_existence(self, paper_keys, sigma):
+        # LHS contains the element-defined field `title`, which is not
+        # guaranteed non-null when `contact` is non-null (condition (1)).
+        result = check_propagation(paper_keys, sigma.rule("book"), "isbn, title -> contact")
+        assert result.identified
+        assert not result.existence_ok
+        assert not result.holds
+        assert "title" in result.missing_existence
+
+    def test_identification_only_mode(self, paper_keys, sigma):
+        result = check_propagation(
+            paper_keys, sigma.rule("book"), "isbn, title -> contact", check_existence=False
+        )
+        assert result.holds
+
+
+class TestChapterRelationFDs:
+    def test_inbook_number_determine_name(self, paper_keys, sigma):
+        assert check_propagation(
+            paper_keys, sigma.rule("chapter"), "inBook, number -> name"
+        ).holds
+
+    def test_number_alone_does_not(self, paper_keys, sigma):
+        assert not check_propagation(paper_keys, sigma.rule("chapter"), "number -> name").holds
+
+    def test_inbook_alone_does_not(self, paper_keys, sigma):
+        assert not check_propagation(paper_keys, sigma.rule("chapter"), "inBook -> name").holds
+
+    def test_multi_attribute_rhs(self, paper_keys, sigma):
+        assert check_propagation(
+            paper_keys, sigma.rule("chapter"), "inBook, number -> name, number"
+        ).holds
+        assert not check_propagation(
+            paper_keys, sigma.rule("chapter"), "inBook -> name, number"
+        ).holds
+
+
+class TestErrorsAndBatch:
+    def test_unknown_attribute_rejected(self, paper_keys, sigma):
+        with pytest.raises(ValueError):
+            check_propagation(paper_keys, sigma.rule("book"), "isbn -> publisher")
+
+    def test_batch_helper_shares_engine(self, paper_keys, sigma):
+        results = propagated_fds(
+            paper_keys,
+            sigma.rule("book"),
+            ["isbn -> title", "isbn -> author", "isbn -> contact"],
+        )
+        assert [r.holds for r in results] == [True, False, True]
+
+    def test_empty_key_set_means_nothing_propagates(self, sigma):
+        assert not check_propagation([], sigma.rule("book"), "isbn -> title").holds
+
+    def test_keys_without_names_work(self, sigma):
+        keys = parse_keys(
+            """
+            (., (//book, {@isbn}))
+            (//book, (title, {}))
+            """
+        )
+        assert check_propagation(keys, sigma.rule("book"), "isbn -> title").holds

@@ -1,0 +1,89 @@
+"""The end-to-end design-from-scratch workflow (Examples 1.2 / 3.1)."""
+
+import pytest
+
+from repro.design.refine import design_from_scratch, restrict_rule, validate_existing_design
+from repro.experiments.paper_example import initial_chapter_design
+from repro.relational.fd import implies_fd
+from repro.relational.normalization import is_3nf, is_bcnf, project_fds
+from repro.transform.evaluate import evaluate_transformation
+from repro.transform.validate import validate_rule
+
+
+class TestDesignFromScratch:
+    def test_bcnf_fragments_are_bcnf(self, paper_keys, universal):
+        result = design_from_scratch(paper_keys, universal, normal_form="BCNF")
+        for relation in result.schema:
+            assert is_bcnf(relation.attributes, result.fd_by_relation[relation.name])
+
+    def test_3nf_fragments_are_3nf(self, paper_keys, universal):
+        result = design_from_scratch(paper_keys, universal, normal_form="3NF")
+        for relation in result.schema:
+            local = project_fds(relation.attributes, result.cover.cover)
+            assert is_3nf(relation.attributes, local)
+
+    def test_all_fields_survive_the_decomposition(self, paper_keys, universal):
+        result = design_from_scratch(paper_keys, universal)
+        covered = set()
+        for relation in result.schema:
+            covered |= set(relation.attributes)
+        assert covered == set(universal.fields)
+
+    def test_expected_fragments_present(self, paper_keys, universal):
+        result = design_from_scratch(paper_keys, universal)
+        attribute_sets = [set(r.attributes) for r in result.schema]
+        assert {"bookIsbn", "bookTitle", "authContact"} in attribute_sets
+        assert {"bookIsbn", "chapNum", "chapName"} in attribute_sets
+        assert {"bookIsbn", "chapNum", "secNum", "secName"} in attribute_sets
+
+    def test_fragment_rules_are_wellformed_and_evaluable(self, paper_keys, universal, figure1):
+        result = design_from_scratch(paper_keys, universal)
+        for rule in result.transformation:
+            assert validate_rule(rule).ok
+        instances = evaluate_transformation(result.transformation, figure1, schema=result.schema)
+        assert set(instances) == set(result.schema.relation_names)
+        # The book fragment has exactly the two books.
+        for relation in result.schema:
+            if set(relation.attributes) == {"bookIsbn", "bookTitle", "authContact"}:
+                assert len(instances[relation.name]) == 2
+
+    def test_declared_keys_hold_on_shredded_data(self, paper_keys, universal, figure1):
+        result = design_from_scratch(paper_keys, universal)
+        instances = evaluate_transformation(result.transformation, figure1, schema=result.schema)
+        for relation in result.schema:
+            if set(relation.attributes) == {"bookIsbn", "chapNum", "chapName"}:
+                assert instances[relation.name].satisfies_key()
+
+    def test_custom_relation_names(self, paper_keys, universal):
+        names = {frozenset({"bookIsbn", "bookTitle", "authContact"}): "book"}
+        result = design_from_scratch(paper_keys, universal, relation_names=names)
+        assert "book" in result.schema.relation_names
+
+    def test_unknown_normal_form_rejected(self, paper_keys, universal):
+        with pytest.raises(ValueError):
+            design_from_scratch(paper_keys, universal, normal_form="6NF")
+
+    def test_describe(self, paper_keys, universal):
+        text = design_from_scratch(paper_keys, universal).describe()
+        assert "Minimum cover" in text and "BCNF" in text
+
+
+class TestRestrictRule:
+    def test_restriction_keeps_only_needed_variables(self, universal):
+        restricted = restrict_rule(universal.rule, ["bookIsbn", "bookTitle"], "book")
+        assert set(restricted.field_names) == {"bookIsbn", "bookTitle"}
+        assert validate_rule(restricted).ok
+        assert not restricted.has_variable("zs")
+
+    def test_restriction_is_evaluable(self, universal, figure1):
+        from repro.transform.evaluate import evaluate_rule
+
+        restricted = restrict_rule(universal.rule, ["bookIsbn", "chapNum", "chapName"], "chapter")
+        instance = evaluate_rule(restricted, figure1)
+        assert len(instance) == 3
+
+
+class TestValidateExistingDesign:
+    def test_reexport_behaves_like_core(self, paper_keys):
+        transformation, schema = initial_chapter_design()
+        assert not validate_existing_design(paper_keys, transformation, schema).consistent

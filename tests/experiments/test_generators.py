@@ -1,0 +1,98 @@
+"""Synthetic workload generators used by the benchmark harness."""
+
+import pytest
+
+from repro.experiments.generators import generate_document, generate_workload
+from repro.keys.satisfaction import satisfies_all
+from repro.keys.transitive import is_transitive_set
+from repro.transform.evaluate import evaluate_rule
+from repro.transform.validate import validate_rule
+
+
+class TestGenerateWorkload:
+    def test_requested_field_count(self):
+        for fields in (5, 12, 40):
+            workload = generate_workload(fields, depth=4, num_keys=8)
+            assert workload.num_fields == fields
+
+    def test_requested_key_count(self):
+        for keys in (4, 10, 25):
+            workload = generate_workload(20, depth=4, num_keys=keys)
+            assert len(workload.keys) == keys
+
+    def test_requested_depth(self):
+        for depth in (1, 3, 7):
+            workload = generate_workload(20, depth=depth, num_keys=depth + 2)
+            assert workload.depth == depth
+            assert len(workload.level_tags) == depth
+
+    def test_rule_is_wellformed(self):
+        workload = generate_workload(25, depth=5, num_keys=12)
+        assert validate_rule(workload.rule).ok
+
+    def test_key_set_is_transitive(self):
+        workload = generate_workload(20, depth=5, num_keys=10)
+        assert is_transitive_set(workload.keys)
+
+    def test_sample_fd_uses_spine_keys(self):
+        workload = generate_workload(15, depth=5, num_keys=10)
+        fd = workload.sample_fd()
+        assert set(workload.key_fields) >= set(fd.lhs) or set(fd.lhs) >= set(workload.key_fields[:1])
+        assert len(fd.rhs) == 1
+
+    def test_sample_fd_level_clamped(self):
+        workload = generate_workload(15, depth=5, num_keys=10)
+        assert workload.sample_fd(level=100).lhs == frozenset(workload.key_fields)
+
+    def test_deterministic_for_fixed_seed(self):
+        first = generate_workload(15, depth=4, num_keys=10, seed=5)
+        second = generate_workload(15, depth=4, num_keys=10, seed=5)
+        assert first.fields == second.fields
+        assert first.keys == second.keys
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            generate_workload(3, depth=5)
+        with pytest.raises(ValueError):
+            generate_workload(10, depth=0)
+
+    def test_universal_property(self):
+        workload = generate_workload(10, depth=3, num_keys=6)
+        assert workload.universal.fields == workload.rule.field_names
+
+
+class TestGenerateDocument:
+    def test_document_satisfies_generated_keys(self):
+        workload = generate_workload(12, depth=4, num_keys=10, seed=2)
+        doc = generate_document(workload, fanout=3, seed=2)
+        assert satisfies_all(doc, workload.keys)
+
+    def test_document_depth_matches(self):
+        workload = generate_workload(10, depth=3, num_keys=6)
+        doc = generate_document(workload, fanout=2)
+        assert doc.root.child_elements()[0].label == "lvl0"
+        deepest = doc.elements_by_tag("lvl2")
+        assert deepest and all(node.depth() == 3 for node in deepest)
+
+    def test_shredding_produces_expected_row_count(self):
+        workload = generate_workload(10, depth=3, num_keys=6)
+        doc = generate_document(workload, fanout=2)
+        instance = evaluate_rule(workload.rule, doc)
+        # fanout^depth complete spine combinations.
+        assert len(instance) == 2 ** 3
+
+    def test_shredded_instance_satisfies_propagated_cover(self):
+        from repro.core import minimum_cover_from_keys
+
+        workload = generate_workload(14, depth=4, num_keys=10, seed=4)
+        doc = generate_document(workload, fanout=2, seed=4)
+        instance = evaluate_rule(workload.rule, doc)
+        cover = minimum_cover_from_keys(workload.keys, workload.rule)
+        for fd in cover.cover:
+            assert instance.satisfies_fd(fd.lhs, fd.rhs), str(fd)
+
+    def test_fanout_controls_size(self):
+        workload = generate_workload(8, depth=3, num_keys=6)
+        small = generate_document(workload, fanout=1)
+        large = generate_document(workload, fanout=3)
+        assert len(large) > len(small)

@@ -1,0 +1,45 @@
+"""Unit tests for markdown reporting of experiments and designs."""
+
+from repro.design import design_from_scratch
+from repro.experiments.report import design_report, experiments_report, series_to_markdown
+from repro.experiments.runner import ExperimentSeries
+
+
+def make_series():
+    series = ExperimentSeries(name="Figure X", description="demo", x_label="fields")
+    series.add({"fields": 5}, {"fast": 0.0123, "slow": 0.5})
+    series.add({"fields": 10}, {"fast": 0.02})
+    return series
+
+
+class TestSeriesMarkdown:
+    def test_contains_header_and_rows(self):
+        text = series_to_markdown(make_series())
+        assert text.startswith("### Figure X")
+        assert "| fields | fast (s) | slow (s) |" in text
+        assert "| 5 | 0.0123 | 0.5000 |" in text
+
+    def test_missing_measurements_rendered_as_dash(self):
+        text = series_to_markdown(make_series())
+        assert "—" in text
+
+    def test_experiments_report_combines_series(self):
+        text = experiments_report([make_series(), make_series()])
+        assert text.count("### Figure X") == 2
+        assert text.startswith("# Measured experiment series")
+
+
+class TestDesignReport:
+    def test_report_lists_cover_relations_and_sql(self, paper_keys, universal):
+        result = design_from_scratch(paper_keys, universal)
+        text = design_report(result)
+        assert "# Refined relational design (BCNF)" in text
+        assert "`bookIsbn -> bookTitle`" in text
+        assert "CREATE TABLE" in text
+        for relation in result.schema:
+            assert relation.name in text
+
+    def test_sql_can_be_omitted(self, paper_keys, universal):
+        result = design_from_scratch(paper_keys, universal)
+        text = design_report(result, include_sql=False)
+        assert "CREATE TABLE" not in text

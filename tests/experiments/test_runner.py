@@ -1,0 +1,73 @@
+"""Timing utilities and experiment series containers."""
+
+import math
+
+from repro.experiments.runner import ExperimentSeries, SeriesPoint, time_call
+
+
+class TestTimeCall:
+    def test_returns_result_and_nonnegative_time(self):
+        seconds, result = time_call(lambda: 21 * 2)
+        assert result == 42
+        assert seconds >= 0.0
+
+    def test_repeat_takes_best(self):
+        calls = []
+
+        def work():
+            calls.append(1)
+            return len(calls)
+
+        seconds, result = time_call(work, repeat=3)
+        assert len(calls) == 3
+        assert result == 3
+
+    def test_repeat_minimum_one(self):
+        seconds, result = time_call(lambda: "x", repeat=0)
+        assert result == "x"
+
+
+class TestExperimentSeries:
+    def make_series(self):
+        series = ExperimentSeries(name="demo", description="d", x_label="fields")
+        series.add({"fields": 5}, {"fast": 0.01, "slow": 0.10})
+        series.add({"fields": 10}, {"fast": 0.02, "slow": 0.40})
+        series.add({"fields": 20}, {"fast": 0.04}, note="no slow run")
+        return series
+
+    def test_algorithms_discovered_in_order(self):
+        assert self.make_series().algorithms() == ["fast", "slow"]
+
+    def test_columns_and_x_values(self):
+        series = self.make_series()
+        assert series.x_values() == [5, 10, 20]
+        assert series.column("fast") == [0.01, 0.02, 0.04]
+        assert math.isnan(series.column("slow")[-1])
+
+    def test_growth_ratio(self):
+        series = self.make_series()
+        assert series.growth_ratio("fast") == 4.0
+        assert series.growth_ratio("slow") == 4.0
+
+    def test_growth_ratio_undefined_for_single_point(self):
+        series = ExperimentSeries(name="one", description="d", x_label="x")
+        series.add({"x": 1}, {"algo": 0.5})
+        assert math.isnan(series.growth_ratio("algo"))
+
+    def test_always_faster(self):
+        series = self.make_series()
+        assert series.always_faster("fast", "slow")
+        assert not series.always_faster("slow", "fast")
+        assert series.always_faster("slow", "fast", tolerance=100)
+
+    def test_to_table_renders_every_row(self):
+        table = self.make_series().to_table()
+        assert "fields" in table
+        assert "fast (s)" in table and "slow (s)" in table
+        assert table.count("\n") >= 4
+        assert "-" in table.splitlines()[-1]  # missing slow value rendered as '-'
+
+    def test_points_carry_extra_metadata(self):
+        series = self.make_series()
+        assert isinstance(series.points[2], SeriesPoint)
+        assert series.points[2].extra == {"note": "no slow run"}

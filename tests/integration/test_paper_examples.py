@@ -1,0 +1,111 @@
+"""Integration tests tying every worked example of the paper together."""
+
+import pytest
+
+from repro.core import (
+    check_propagation,
+    check_schema_consistency,
+    minimum_cover_from_keys,
+    naive_minimum_cover,
+)
+from repro.design import design_from_scratch
+from repro.experiments import paper_example as pe
+from repro.keys import satisfies_all
+from repro.relational.fd import equivalent
+from repro.transform import evaluate_transformation
+
+
+class TestFigure1AndExample21:
+    def test_document_satisfies_all_keys(self, figure1, paper_keys):
+        assert satisfies_all(figure1, paper_keys)
+
+    def test_key_names(self, paper_keys):
+        assert [key.name for key in paper_keys] == ["K1", "K2", "K3", "K4", "K5", "K6", "K7"]
+
+    def test_document_statistics(self, figure1):
+        assert len(figure1.elements_by_tag("book")) == 2
+        assert len(figure1.elements_by_tag("chapter")) == 3
+        assert len(figure1.elements_by_tag("section")) == 2
+
+    def test_mutated_document_violates_k1(self, figure1, paper_keys):
+        mutated = figure1.copy()
+        for book in mutated.elements_by_tag("book"):
+            book.set_attribute("isbn", "123")
+        mutated.reindex()
+        assert not satisfies_all(mutated, paper_keys)
+
+
+class TestFigure2:
+    def test_initial_design_produces_figure_2a_and_violates_key(self, figure1):
+        transformation, schema = pe.initial_chapter_design()
+        instance = evaluate_transformation(transformation, figure1, schema=schema)["Chapter"]
+        assert len(instance) == 3
+        assert not instance.satisfies_key()
+
+    def test_refined_design_produces_figure_2b_and_satisfies_key(self, figure1):
+        transformation, schema = pe.refined_chapter_design()
+        instance = evaluate_transformation(transformation, figure1, schema=schema)["Chapter"]
+        assert len(instance) == 3
+        assert instance.satisfies_key()
+
+    def test_static_analysis_matches_dynamic_observation(self, paper_keys):
+        initial_sigma, initial_schema = pe.initial_chapter_design()
+        refined_sigma, refined_schema = pe.refined_chapter_design()
+        assert not check_schema_consistency(paper_keys, initial_sigma, initial_schema).consistent
+        assert check_schema_consistency(paper_keys, refined_sigma, refined_schema).consistent
+
+
+class TestExample31EndToEnd:
+    def test_minimum_cover_and_bcnf_design(self, paper_keys, universal, figure1):
+        cover = minimum_cover_from_keys(paper_keys, universal)
+        assert set(cover.cover) == set(pe.EXPECTED_MINIMUM_COVER)
+
+        design = design_from_scratch(paper_keys, universal)
+        instances = evaluate_transformation(design.transformation, figure1, schema=design.schema)
+        # Every propagated FD must hold on the shredded fragments that
+        # contain its attributes.
+        for relation in design.schema:
+            instance = instances[relation.name]
+            for fd in cover.cover:
+                if fd.attributes <= set(relation.attributes):
+                    assert instance.satisfies_fd(fd.lhs, fd.rhs)
+
+    def test_naive_and_polynomial_algorithms_agree(self, paper_keys, universal):
+        fast = minimum_cover_from_keys(paper_keys, universal)
+        slow = naive_minimum_cover(paper_keys, universal, max_fields=8)
+        assert equivalent(fast.cover, slow.cover)
+
+
+class TestExample42:
+    def test_positive_and_negative_checks(self, paper_keys, sigma):
+        assert check_propagation(paper_keys, sigma.rule("book"), "isbn -> contact").holds
+        assert not check_propagation(
+            paper_keys, sigma.rule("section"), "inChapt, number -> name"
+        ).holds
+
+
+class TestShreddingConsistencyWithPropagation:
+    """Soundness on the concrete document: every FD declared propagated must
+    hold on the instance shredded from Figure 1 (which satisfies the keys)."""
+
+    @pytest.mark.parametrize(
+        "relation,fd",
+        [
+            ("book", "isbn -> title"),
+            ("book", "isbn -> contact"),
+            ("book", "isbn -> author"),
+            ("chapter", "inBook, number -> name"),
+            ("chapter", "inBook -> name"),
+            ("section", "inChapt, number -> name"),
+            ("section", "inChapt -> number"),
+        ],
+    )
+    def test_propagated_implies_satisfied(self, paper_keys, sigma, figure1, relation, fd):
+        result = check_propagation(paper_keys, sigma.rule(relation), fd)
+        if result.holds:
+            instances = evaluate_transformation(sigma, figure1)
+            instance = instances[relation]
+            from repro.relational.fd import coerce_fd
+
+            parsed = coerce_fd(fd)
+            assert instance.satisfies_fd(parsed.lhs, parsed.rhs)

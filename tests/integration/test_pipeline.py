@@ -1,0 +1,118 @@
+"""End-to-end pipeline tests on raw XML text and on synthetic feeds."""
+
+import pytest
+
+from repro import (
+    check_propagation,
+    evaluate_transformation,
+    minimum_cover_from_keys,
+    parse_document,
+    parse_keys,
+    parse_transformation,
+)
+from repro.core import check_instance, check_schema_consistency
+from repro.experiments.generators import generate_document, generate_workload
+from repro.keys import satisfies_all
+from repro.relational.fd import coerce_fd
+from repro.transform import evaluate_rule
+from repro.xmlmodel.serializer import serialize
+
+
+FEED = """
+<proceedings>
+  <conference acronym="ICDE" year="2003">
+    <name>Data Engineering</name>
+    <paper pid="543"><title>Key Propagation</title></paper>
+    <paper pid="544"><title>Another Paper</title></paper>
+  </conference>
+  <conference acronym="ICDE" year="2004">
+    <name>Data Engineering</name>
+    <paper pid="1"><title>Later Paper</title></paper>
+  </conference>
+</proceedings>
+"""
+
+FEED_KEYS = """
+(., (//conference, {@acronym, @year}))
+(//conference, (paper, {@pid}))
+(//conference, (name, {}))
+(//conference/paper, (title, {}))
+"""
+
+FEED_TRANSFORMATION = """
+table paper
+  var c  <- xr : //conference
+  var ca <- c  : @acronym
+  var cy <- c  : @year
+  var p  <- c  : paper
+  var pi <- p  : @pid
+  var pt <- p  : title
+  field acronym = value(ca)
+  field year    = value(cy)
+  field pid     = value(pi)
+  field title   = value(pt)
+"""
+
+
+class TestTextualPipeline:
+    def test_parse_validate_shred_check(self):
+        tree = parse_document(FEED)
+        keys = parse_keys(FEED_KEYS)
+        assert satisfies_all(tree, keys)
+
+        sigma = parse_transformation(FEED_TRANSFORMATION)
+        rule = sigma.rule("paper")
+        instance = evaluate_rule(rule, tree)
+        assert len(instance) == 3
+
+        cover = minimum_cover_from_keys(keys, rule)
+        rendered = {str(fd) for fd in cover.cover}
+        assert "acronym, pid, year -> title" in rendered
+        for fd in cover.cover:
+            assert instance.satisfies_fd(fd.lhs, fd.rhs)
+
+    def test_paper_pid_alone_is_not_enough(self):
+        keys = parse_keys(FEED_KEYS)
+        sigma = parse_transformation(FEED_TRANSFORMATION)
+        result = check_propagation(keys, sigma.rule("paper"), "pid -> title")
+        assert not result.holds
+
+    def test_adding_a_global_key_strengthens_the_cover(self):
+        keys = parse_keys(FEED_KEYS + "\n(., (//conference/paper, {@pid}))")
+        sigma = parse_transformation(FEED_TRANSFORMATION)
+        result = check_propagation(keys, sigma.rule("paper"), "pid -> title")
+        assert result.holds
+
+    def test_round_trip_through_serializer(self):
+        tree = parse_document(FEED)
+        keys = parse_keys(FEED_KEYS)
+        reparsed = parse_document(serialize(tree))
+        assert satisfies_all(reparsed, keys)
+
+
+class TestSyntheticPipeline:
+    def test_full_cycle_on_generated_workload(self):
+        workload = generate_workload(num_fields=12, depth=4, num_keys=9, seed=13)
+        doc = generate_document(workload, fanout=2, seed=13)
+        assert satisfies_all(doc, workload.keys)
+
+        instance = evaluate_rule(workload.rule, doc)
+        cover = minimum_cover_from_keys(workload.keys, workload.rule)
+        assert cover.cover, "the synthetic workload should propagate at least one FD"
+        for fd in cover.cover:
+            assert instance.satisfies_fd(fd.lhs, fd.rhs), str(fd)
+
+    def test_declared_keys_checked_statically_and_dynamically(self):
+        workload = generate_workload(num_fields=10, depth=3, num_keys=8, seed=21)
+        doc = generate_document(workload, fanout=2, seed=21)
+        schema = workload.rule.schema(keys=[set(workload.key_fields)])
+        from repro.relational.schema import DatabaseSchema
+        from repro.transform.rule import Transformation
+
+        sigma = Transformation([workload.rule])
+        db = DatabaseSchema([schema])
+        static = check_schema_consistency(workload.keys, sigma, db)
+        dynamic = check_instance(sigma, db, doc)
+        assert dynamic["U"].rows > 0
+        if static.consistent:
+            assert dynamic["U"].ok

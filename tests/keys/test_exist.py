@@ -1,0 +1,50 @@
+"""Unit tests for the ``exist`` attribute-existence test of Fig. 5."""
+
+from repro.keys.implication import attributes_exist
+from repro.keys.key import parse_keys
+
+
+class TestAttributesExist:
+    def test_empty_attribute_set_trivially_exists(self, paper_keys):
+        assert attributes_exist(paper_keys, "//book", ())
+
+    def test_key_forces_existence_on_its_scope(self, paper_keys):
+        # K1 requires every //book node to carry @isbn.
+        assert attributes_exist(paper_keys, "//book", {"isbn"})
+
+    def test_existence_on_contained_path(self, paper_keys):
+        # r/book ⊆ //book, so @isbn exists there too.
+        assert attributes_exist(paper_keys, "r/book", {"isbn"})
+
+    def test_relative_key_scope(self, paper_keys):
+        # K2's scope is //book/chapter: @number must exist on chapters.
+        assert attributes_exist(paper_keys, "//book/chapter", {"number"})
+
+    def test_not_guaranteed_attribute(self, paper_keys):
+        assert not attributes_exist(paper_keys, "//book", {"publisher"})
+
+    def test_not_guaranteed_on_wider_path(self, paper_keys):
+        # @number is forced on //book/chapter, not on arbitrary chapters.
+        assert not attributes_exist(paper_keys, "//chapter", {"number"})
+
+    def test_multiple_attributes_from_different_keys(self):
+        keys = parse_keys(
+            """
+            (., (//item, {@sku}))
+            (., (//item, {@ean}))
+            """
+        )
+        assert attributes_exist(keys, "//item", {"sku", "ean"})
+        assert not attributes_exist(keys, "//item", {"sku", "ean", "upc"})
+
+    def test_multi_attribute_key(self):
+        keys = parse_keys("(., (//conf, {@acronym, @year}))")
+        assert attributes_exist(keys, "//conf", {"acronym"})
+        assert attributes_exist(keys, "//conf", {"year", "acronym"})
+
+    def test_keys_with_empty_attribute_sets_force_nothing(self):
+        keys = parse_keys("(//book, (title, {}))")
+        assert not attributes_exist(keys, "//book/title", {"id"})
+
+    def test_accepts_at_prefixed_names(self, paper_keys):
+        assert attributes_exist(paper_keys, "//book", {"@isbn"})

@@ -1,0 +1,149 @@
+"""Unit tests for key satisfaction over documents (Definition 2.1)."""
+
+import pytest
+
+from repro.keys.key import XMLKey, parse_key
+from repro.keys.satisfaction import satisfies, satisfies_all, violations
+from repro.xmlmodel.builder import document, element, text
+
+
+@pytest.fixture()
+def library():
+    return document(
+        element(
+            "r",
+            element(
+                "book",
+                {"isbn": "123"},
+                element("title", text("XML")),
+                element("chapter", {"number": "1"}),
+                element("chapter", {"number": "2"}),
+            ),
+            element(
+                "book",
+                {"isbn": "234"},
+                element("title", text("XML")),
+                element("chapter", {"number": "1"}),
+            ),
+        )
+    )
+
+
+class TestAbsoluteKeys:
+    def test_satisfied_absolute_key(self, library):
+        assert satisfies(library, parse_key("(., (//book, {@isbn}))"))
+
+    def test_duplicate_values_violate(self, library):
+        # Titles are not unique: using the title text would not work, but an
+        # attribute-based key on equal values must be reported.
+        tree = document(
+            element(
+                "r",
+                element("book", {"isbn": "1"}),
+                element("book", {"isbn": "1"}),
+            )
+        )
+        key = parse_key("(., (//book, {@isbn}))")
+        found = violations(tree, key)
+        assert len(found) == 1
+        assert found[0].kind == "duplicate-value"
+        assert not satisfies(tree, key)
+
+    def test_missing_attribute_violates(self, library):
+        tree = document(element("r", element("book", {"isbn": "1"}), element("book")))
+        found = violations(tree, parse_key("(., (//book, {@isbn}))"))
+        assert [v.kind for v in found] == ["missing-attribute"]
+
+    def test_empty_target_set_is_satisfied(self, library):
+        assert satisfies(library, parse_key("(., (//magazine, {@id}))"))
+
+    def test_multi_attribute_key(self):
+        tree = document(
+            element(
+                "r",
+                element("conf", {"acr": "ICDE", "year": "2003"}),
+                element("conf", {"acr": "ICDE", "year": "2004"}),
+                element("conf", {"acr": "VLDB", "year": "2003"}),
+            )
+        )
+        assert satisfies(tree, parse_key("(., (//conf, {@acr, @year}))"))
+        assert not satisfies(tree, parse_key("(., (//conf, {@acr}))"))
+
+
+class TestRelativeKeys:
+    def test_relative_key_holds_per_context(self, library):
+        # chapter numbers repeat across books but not within a book.
+        assert satisfies(library, parse_key("(//book, (chapter, {@number}))"))
+        assert not satisfies(library, parse_key("(., (//book/chapter, {@number}))"))
+
+    def test_relative_key_violated_within_one_context(self):
+        tree = document(
+            element(
+                "r",
+                element(
+                    "book",
+                    {"isbn": "1"},
+                    element("chapter", {"number": "1"}),
+                    element("chapter", {"number": "1"}),
+                ),
+            )
+        )
+        key = parse_key("(//book, (chapter, {@number}))")
+        found = violations(tree, key)
+        assert len(found) == 1
+        assert found[0].kind == "duplicate-value"
+
+    def test_violation_reports_context_node(self):
+        tree = document(
+            element(
+                "r",
+                element("book", {"isbn": "1"}, element("chapter", {"number": "1"})),
+                element(
+                    "book",
+                    {"isbn": "2"},
+                    element("chapter", {"number": "7"}),
+                    element("chapter", {"number": "7"}),
+                ),
+            )
+        )
+        found = violations(tree, parse_key("(//book, (chapter, {@number}))"))
+        assert len(found) == 1
+        violating_context = tree.node(found[0].context_node_id)
+        assert violating_context.attribute_value("isbn") == "2"
+
+
+class TestEmptyAttributeKeys:
+    def test_at_most_one_constraint_satisfied(self, library):
+        assert satisfies(library, parse_key("(//book, (title, {}))"))
+
+    def test_at_most_one_constraint_violated(self):
+        tree = document(
+            element("r", element("book", element("title", text("A")), element("title", text("B"))))
+        )
+        found = violations(tree, parse_key("(//book, (title, {}))"))
+        assert len(found) == 1
+        assert found[0].kind == "duplicate-value"
+
+    def test_attribute_target_with_empty_key_paths(self, library):
+        # An element has at most one @isbn attribute, so this always holds.
+        assert satisfies(library, XMLKey("//book", "@isbn", ()))
+
+
+class TestHelpers:
+    def test_satisfies_all(self, library):
+        keys = [
+            parse_key("(., (//book, {@isbn}))"),
+            parse_key("(//book, (chapter, {@number}))"),
+            parse_key("(//book, (title, {}))"),
+        ]
+        assert satisfies_all(library, keys)
+        keys.append(parse_key("(., (//book/chapter, {@number}))"))
+        assert not satisfies_all(library, keys)
+
+    def test_paper_document_satisfies_paper_keys(self, figure1, paper_keys):
+        assert satisfies_all(figure1, paper_keys)
+
+    def test_violation_str_is_informative(self):
+        tree = document(element("r", element("b", {"k": "1"}), element("b", {"k": "1"})))
+        found = violations(tree, parse_key("(., (//b, {@k}))"))
+        assert "duplicate-value" in str(found[0])

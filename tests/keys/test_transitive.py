@@ -1,0 +1,82 @@
+"""Unit tests for transitive key sets and the *precedes* relation."""
+
+from repro.keys.key import parse_key, parse_keys
+from repro.keys.transitive import (
+    chain_to_root,
+    immediately_precedes,
+    is_transitive_set,
+    precedes,
+)
+
+
+K1 = parse_key("K1 = (., (//book, {@isbn}))")
+K2 = parse_key("K2 = (//book, (chapter, {@number}))")
+K6 = parse_key("K6 = (//book/chapter, (section, {@number}))")
+
+
+class TestImmediatelyPrecedes:
+    def test_absolute_precedes_relative(self):
+        # K1's scope (., //book) equals K2's context //book.
+        assert immediately_precedes(K1, K2)
+
+    def test_chain_middle_link(self):
+        assert immediately_precedes(K2, K6)
+
+    def test_not_precedes_in_reverse(self):
+        assert not immediately_precedes(K2, K1)
+        assert not immediately_precedes(K6, K2)
+
+    def test_no_relationship_between_siblings(self):
+        other = parse_key("(//book, (appendix, {@letter}))")
+        assert not immediately_precedes(other, K6)
+
+    def test_language_equivalence_not_syntactic_equality(self):
+        # context '//book//' + target 'chapter' vs context '//book////chapter'
+        first = parse_key("(//book, (//chapter, {@number}))")
+        second = parse_key("(//book//chapter, (section, {@number}))")
+        assert immediately_precedes(first, second)
+
+
+class TestPrecedes:
+    def test_transitive_closure(self):
+        assert precedes(K1, K6, [K1, K2, K6])
+
+    def test_missing_intermediate_breaks_the_chain(self):
+        assert not precedes(K1, K6, [K1, K6])
+
+    def test_direct_precedence_is_included(self):
+        assert precedes(K1, K2, [K1, K2])
+
+
+class TestIsTransitiveSet:
+    def test_paper_example_41_positive(self):
+        # Example 4.1: {K1, K2} is transitive.
+        assert is_transitive_set([K1, K2])
+
+    def test_paper_example_41_negative(self):
+        # Example 4.1: {K2} alone is not.
+        assert not is_transitive_set([K2])
+
+    def test_full_paper_key_set(self, paper_keys):
+        assert is_transitive_set(paper_keys)
+
+    def test_absolute_keys_only(self):
+        assert is_transitive_set([K1])
+        assert is_transitive_set([])
+
+    def test_three_level_chain(self):
+        assert is_transitive_set([K1, K2, K6])
+        assert not is_transitive_set([K1, K6])
+
+
+class TestChainToRoot:
+    def test_chain_for_relative_key(self):
+        chain = chain_to_root(K6, [K1, K2, K6])
+        assert chain == [K1, K2, K6]
+
+    def test_chain_for_absolute_key_is_itself(self):
+        assert chain_to_root(K1, [K1, K2]) == [K1]
+
+    def test_no_chain_returns_empty(self):
+        assert chain_to_root(K6, [K6]) == []
+        assert chain_to_root(K6, [K1, K6]) == []

@@ -1,0 +1,83 @@
+"""Round-tripping keys through the XML-Schema-style notation."""
+
+import pytest
+
+from repro.keys.key import parse_key
+from repro.keys.xmlschema import key_to_schema, keys_to_schema, schema_to_keys
+from repro.transform.validate import UnsupportedFeature
+
+
+class TestRendering:
+    def test_absolute_key_with_attribute(self):
+        rendered = key_to_schema(parse_key("K1 = (., (//book, {@isbn}))"))
+        assert "<xs:key" in rendered
+        assert 'xpath=".//book"' in rendered
+        assert '<xs:field xpath="@isbn"/>' in rendered
+        assert 'name="K1"' in rendered
+
+    def test_relative_key_records_context(self):
+        rendered = key_to_schema(parse_key("K2 = (//book, (chapter, {@number}))"))
+        assert ".//book :: chapter" in rendered
+
+    def test_empty_attribute_set_becomes_unique(self):
+        rendered = key_to_schema(parse_key("K3 = (//book, (title, {}))"))
+        assert "<xs:unique" in rendered
+        assert '<xs:field xpath="."/>' in rendered
+
+    def test_multi_attribute_key(self):
+        rendered = key_to_schema(parse_key("(., (//conf, {@acr, @year}))"))
+        assert rendered.count("<xs:field") == 2
+
+    def test_keys_to_schema_wraps_all(self, paper_keys):
+        block = keys_to_schema(paper_keys)
+        assert block.count("<xs:key") + block.count("<xs:unique") == len(paper_keys)
+
+
+class TestParsing:
+    def test_round_trip_paper_keys(self, paper_keys):
+        block = keys_to_schema(paper_keys)
+        recovered = schema_to_keys(block)
+        assert recovered == list(paper_keys)
+        assert [key.name for key in recovered] == [key.name for key in paper_keys]
+
+    def test_parse_plain_absolute_key(self):
+        source = """
+        <xs:key name="bookKey">
+          <xs:selector xpath=".//book"/>
+          <xs:field xpath="@isbn"/>
+        </xs:key>
+        """
+        keys = schema_to_keys(source)
+        assert len(keys) == 1
+        assert keys[0] == parse_key("(., (//book, {@isbn}))")
+
+    def test_keyref_rejected(self):
+        source = """
+        <xs:keyref name="fk" refer="bookKey">
+          <xs:selector xpath=".//chapter"/>
+          <xs:field xpath="@inBook"/>
+        </xs:keyref>
+        """
+        with pytest.raises(UnsupportedFeature):
+            schema_to_keys(source)
+
+    def test_element_fields_rejected(self):
+        source = """
+        <xs:key name="bad">
+          <xs:selector xpath=".//book"/>
+          <xs:field xpath="title"/>
+        </xs:key>
+        """
+        with pytest.raises(UnsupportedFeature):
+            schema_to_keys(source)
+
+    def test_missing_selector_rejected(self):
+        source = '<xs:key name="broken"><xs:field xpath="@a"/></xs:key>'
+        with pytest.raises(ValueError):
+            schema_to_keys(source)
+
+    def test_recovered_keys_drive_propagation(self, paper_keys, sigma):
+        from repro.core import check_propagation
+
+        recovered = schema_to_keys(keys_to_schema(paper_keys))
+        assert check_propagation(recovered, sigma.rule("book"), "isbn -> contact").holds

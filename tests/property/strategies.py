@@ -1,0 +1,93 @@
+"""Hypothesis strategies shared by the property-based tests (not a conftest)."""
+
+from hypothesis import strategies as st
+
+from repro.xmlmodel.builder import document, element, text
+from repro.xmlmodel.paths import PathExpression, PathStep
+
+
+# ----------------------------------------------------------------------
+# Path expressions over a small label vocabulary
+# ----------------------------------------------------------------------
+LABELS = ["a", "b", "c", "book", "chapter"]
+ATTRIBUTES = ["@x", "@y", "@isbn"]
+
+
+def path_steps():
+    label_step = st.sampled_from(LABELS).map(PathStep.label)
+    attribute_step = st.sampled_from(ATTRIBUTES).map(PathStep.label)
+    descendant_step = st.just(PathStep.descendant())
+    return st.one_of(label_step, descendant_step, attribute_step)
+
+
+def path_expressions(max_size: int = 5):
+    return st.lists(path_steps(), min_size=0, max_size=max_size).map(PathExpression)
+
+
+def element_only_path_expressions(max_size: int = 5):
+    label_step = st.sampled_from(LABELS).map(PathStep.label)
+    descendant_step = st.just(PathStep.descendant())
+    return st.lists(
+        st.one_of(label_step, descendant_step), min_size=0, max_size=max_size
+    ).map(PathExpression)
+
+
+# ----------------------------------------------------------------------
+# Random documents over the book/chapter/section vocabulary that satisfy the
+# paper's keys K1..K7 *by construction*.
+# ----------------------------------------------------------------------
+@st.composite
+def paper_conformant_documents(draw):
+    isbn_counter = 0
+    books = []
+    for _ in range(draw(st.integers(min_value=0, max_value=4))):
+        isbn_counter += 1
+        children = []
+        if draw(st.booleans()):
+            children.append(element("title", text(draw(st.sampled_from(["XML", "SQL", "DB"])))))
+        contact_used = False
+        for author_index in range(draw(st.integers(min_value=0, max_value=2))):
+            author_children = [element("name", text(f"author-{author_index}"))]
+            if not contact_used and draw(st.booleans()):
+                author_children.append(element("contact", text(f"c-{isbn_counter}")))
+                contact_used = True
+            children.append(element("author", *author_children))
+        for chapter_number in range(draw(st.integers(min_value=0, max_value=3))):
+            chapter_children = []
+            if draw(st.booleans()):
+                chapter_children.append(element("name", text(f"ch-{chapter_number}")))
+            for section_number in range(draw(st.integers(min_value=0, max_value=2))):
+                section_children = []
+                if draw(st.booleans()):
+                    section_children.append(element("name", text(f"s-{section_number}")))
+                chapter_children.append(
+                    element("section", {"number": str(section_number)}, *section_children)
+                )
+            children.append(
+                element("chapter", {"number": str(chapter_number)}, *chapter_children)
+            )
+        books.append(element("book", {"isbn": str(isbn_counter)}, *children))
+    return document(element("r", *books))
+
+
+# ----------------------------------------------------------------------
+# Random sets of relational FDs over a small attribute vocabulary
+# ----------------------------------------------------------------------
+FD_ATTRIBUTES = ["a", "b", "c", "d", "e"]
+
+
+def attribute_sets(min_size=0, max_size=3):
+    return st.sets(st.sampled_from(FD_ATTRIBUTES), min_size=min_size, max_size=max_size)
+
+
+@st.composite
+def fd_sets(draw, max_fds: int = 6):
+    from repro.relational.fd import FunctionalDependency
+
+    count = draw(st.integers(min_value=0, max_value=max_fds))
+    fds = []
+    for _ in range(count):
+        lhs = draw(attribute_sets(0, 3))
+        rhs = draw(attribute_sets(1, 2))
+        fds.append(FunctionalDependency(lhs, rhs))
+    return fds

@@ -1,0 +1,65 @@
+"""``minimumCover`` must agree with the exhaustive ``naive`` baseline.
+
+On randomly generated (small) workloads, the polynomial algorithm and the
+exponential enumerate-and-test algorithm must produce Armstrong-equivalent
+covers — this is the property the paper's Section 5 argues analytically.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.minimum_cover import minimum_cover_from_keys
+from repro.core.naive import naive_minimum_cover
+from repro.core.propagation import check_propagation
+from repro.experiments.generators import generate_workload
+from repro.relational.fd import equivalent, implies_fd
+
+
+common_settings = settings(
+    max_examples=12, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+class TestCoverAgreesWithNaive:
+    @common_settings
+    @given(
+        num_fields=st.integers(min_value=4, max_value=7),
+        depth=st.integers(min_value=1, max_value=3),
+        num_keys=st.integers(min_value=2, max_value=8),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_equivalent_covers_on_random_workloads(self, num_fields, depth, num_keys, seed):
+        depth = min(depth, num_fields)
+        workload = generate_workload(num_fields, depth=depth, num_keys=num_keys, seed=seed)
+        fast = minimum_cover_from_keys(workload.keys, workload.rule)
+        slow = naive_minimum_cover(workload.keys, workload.rule, max_fields=num_fields)
+        assert equivalent(fast.cover, slow.cover)
+
+    @common_settings
+    @given(
+        num_fields=st.integers(min_value=4, max_value=7),
+        depth=st.integers(min_value=1, max_value=3),
+        num_keys=st.integers(min_value=2, max_value=6),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_every_cover_fd_is_accepted_by_propagation(self, num_fields, depth, num_keys, seed):
+        depth = min(depth, num_fields)
+        workload = generate_workload(num_fields, depth=depth, num_keys=num_keys, seed=seed)
+        result = minimum_cover_from_keys(workload.keys, workload.rule)
+        for fd in result.cover:
+            assert check_propagation(
+                workload.keys, workload.rule, fd, check_existence=False
+            ).holds, str(fd)
+
+    @common_settings
+    @given(
+        num_fields=st.integers(min_value=4, max_value=6),
+        num_keys=st.integers(min_value=2, max_value=6),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_cover_is_nonredundant(self, num_fields, num_keys, seed):
+        workload = generate_workload(num_fields, depth=2, num_keys=num_keys, seed=seed)
+        cover = minimum_cover_from_keys(workload.keys, workload.rule).cover
+        for index, fd in enumerate(cover):
+            others = cover[:index] + cover[index + 1 :]
+            assert not implies_fd(others, fd)

@@ -1,0 +1,99 @@
+"""Property-based tests for the relational FD machinery."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.relational.fd import (
+    attribute_closure,
+    equivalent,
+    implies_fd,
+    minimize,
+    minimum_cover,
+)
+from repro.relational.normalization import candidate_keys
+
+from tests.property.strategies import FD_ATTRIBUTES, attribute_sets, fd_sets
+
+
+common_settings = settings(
+    max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+class TestClosureLaws:
+    @common_settings
+    @given(attribute_sets(), fd_sets())
+    def test_closure_contains_the_set(self, attrs, fds):
+        assert set(attrs) <= attribute_closure(attrs, fds)
+
+    @common_settings
+    @given(attribute_sets(), fd_sets())
+    def test_closure_is_idempotent(self, attrs, fds):
+        once = attribute_closure(attrs, fds)
+        assert attribute_closure(once, fds) == once
+
+    @common_settings
+    @given(attribute_sets(), attribute_sets(), fd_sets())
+    def test_closure_is_monotone(self, first, second, fds):
+        union = set(first) | set(second)
+        assert attribute_closure(first, fds) <= attribute_closure(union, fds)
+
+    @common_settings
+    @given(fd_sets())
+    def test_every_fd_of_the_set_is_implied(self, fds):
+        for fd in fds:
+            assert implies_fd(fds, fd)
+
+
+class TestCoverLaws:
+    @common_settings
+    @given(fd_sets())
+    def test_minimize_preserves_equivalence(self, fds):
+        assert equivalent(fds, minimize(fds))
+
+    @common_settings
+    @given(fd_sets())
+    def test_minimize_output_is_nonredundant(self, fds):
+        reduced = minimize(fds)
+        for index, fd in enumerate(reduced):
+            others = reduced[:index] + reduced[index + 1 :]
+            assert not implies_fd(others, fd)
+
+    @common_settings
+    @given(fd_sets())
+    def test_minimize_never_grows(self, fds):
+        nontrivial = [fd for fd in fds if not fd.is_trivial]
+        assert len(minimize(fds)) <= len(nontrivial)
+
+    @common_settings
+    @given(fd_sets())
+    def test_minimum_cover_preserves_equivalence(self, fds):
+        assert equivalent(fds, minimum_cover(fds))
+        assert equivalent(fds, minimum_cover(fds, merge_lhs=True))
+
+    @common_settings
+    @given(fd_sets())
+    def test_minimum_cover_has_singleton_rhs(self, fds):
+        assert all(len(fd.rhs) == 1 for fd in minimum_cover(fds))
+
+
+class TestCandidateKeyLaws:
+    @common_settings
+    @given(fd_sets())
+    def test_candidate_keys_determine_everything(self, fds):
+        attrs = set(FD_ATTRIBUTES)
+        for key in candidate_keys(attrs, fds):
+            assert attribute_closure(key, fds) >= attrs
+
+    @common_settings
+    @given(fd_sets())
+    def test_candidate_keys_are_minimal_and_incomparable(self, fds):
+        attrs = set(FD_ATTRIBUTES)
+        keys = candidate_keys(attrs, fds)
+        for key in keys:
+            for attribute in key:
+                assert not attribute_closure(key - {attribute}, fds) >= attrs
+        for first in keys:
+            for second in keys:
+                if first != second:
+                    assert not first <= second

@@ -1,0 +1,96 @@
+"""Soundness of key implication, checked against random conformant documents.
+
+The implication engine may be conservative (answer "no" although the key is
+implied) but must never be unsound: whenever it answers "yes" for a query
+``φ`` against the paper's key set ``Σ``, every document satisfying ``Σ`` must
+satisfy ``φ``.  Random documents over the book/chapter/section vocabulary
+that satisfy ``Σ`` by construction serve as the test pool.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.paper_example import paper_keys
+from repro.keys.implication import ImplicationEngine
+from repro.keys.key import XMLKey
+from repro.keys.satisfaction import satisfies, satisfies_all
+
+from tests.property.strategies import paper_conformant_documents
+
+
+PAPER_KEYS = paper_keys()
+ENGINE = ImplicationEngine(PAPER_KEYS)
+
+CONTEXTS = [".", "//book", "//book/chapter", "//book/chapter/section", "r/book", "//book/author"]
+TARGETS = [
+    ".",
+    "//book",
+    "book",
+    "chapter",
+    "title",
+    "name",
+    "author",
+    "author/contact",
+    "contact",
+    "section",
+    "chapter/section",
+    "chapter/name",
+    "@isbn",
+    "@number",
+]
+ATTRIBUTE_SETS = [(), ("isbn",), ("number",), ("isbn", "number"), ("missing",)]
+
+common_settings = settings(
+    max_examples=80, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+def random_queries():
+    return st.builds(
+        XMLKey,
+        st.sampled_from(CONTEXTS),
+        st.sampled_from(TARGETS),
+        st.sampled_from(ATTRIBUTE_SETS),
+    )
+
+
+class TestGeneratedDocumentsConform:
+    @common_settings
+    @given(paper_conformant_documents())
+    def test_strategy_documents_satisfy_sigma(self, doc):
+        assert satisfies_all(doc, PAPER_KEYS)
+
+
+class TestImplicationSoundness:
+    @common_settings
+    @given(random_queries(), paper_conformant_documents())
+    def test_implied_keys_hold_on_conformant_documents(self, query, doc):
+        if ENGINE.implies(query):
+            assert satisfies(doc, query), query.text
+
+    @common_settings
+    @given(random_queries())
+    def test_implication_is_deterministic(self, query):
+        assert ENGINE.implies(query) == ENGINE.implies(query)
+
+    @common_settings
+    @given(random_queries())
+    def test_fresh_engine_agrees_with_cached_engine(self, query):
+        assert ENGINE.implies(query) == ImplicationEngine(PAPER_KEYS).implies(query)
+
+
+class TestExistSoundness:
+    @common_settings
+    @given(
+        st.sampled_from(["//book", "//book/chapter", "//book/chapter/section", "//book/title"]),
+        st.sampled_from([("isbn",), ("number",), ("isbn", "number"), ("other",)]),
+        paper_conformant_documents(),
+    )
+    def test_exist_answers_hold_on_documents(self, path, attributes, doc):
+        from repro.keys.implication import attributes_exist
+        from repro.xmlmodel.paths import parse_path
+
+        if attributes_exist(PAPER_KEYS, path, attributes):
+            for node in parse_path(path).evaluate(doc.root):
+                for attribute in attributes:
+                    assert node.is_element() and node.attribute(attribute) is not None

@@ -1,0 +1,110 @@
+"""Property-based tests for the path language.
+
+The containment oracle is the foundation of key implication (and hence of
+every propagation result), so its algebraic laws and its agreement with
+concrete evaluation are checked on randomly generated expressions and
+documents.
+"""
+
+from hypothesis import HealthCheck, given, settings
+
+from repro.xmlmodel.paths import PathExpression, concat, contains, parse_path
+
+from tests.property.strategies import (
+    element_only_path_expressions,
+    paper_conformant_documents,
+    path_expressions,
+)
+
+
+common_settings = settings(
+    max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+class TestContainmentLaws:
+    @common_settings
+    @given(path_expressions())
+    def test_reflexive(self, path):
+        assert contains(path, path)
+
+    @common_settings
+    @given(path_expressions(), path_expressions(), path_expressions())
+    def test_transitive(self, first, second, third):
+        if contains(second, first) and contains(third, second):
+            assert contains(third, first)
+
+    @common_settings
+    @given(path_expressions())
+    def test_descendant_covers_every_element_path(self, path):
+        descendant = parse_path("//")
+        if all(step.kind.value != "attribute" for step in path.steps):
+            assert contains(descendant, path)
+
+    @common_settings
+    @given(path_expressions(), path_expressions(), path_expressions(max_size=2))
+    def test_concatenation_is_monotone(self, covered, covering, suffix):
+        if contains(covering, covered):
+            assert contains(concat(covering, suffix), concat(covered, suffix))
+            assert contains(concat(suffix, covering), concat(suffix, covered))
+
+    @common_settings
+    @given(path_expressions())
+    def test_epsilon_concatenation_identity(self, path):
+        assert concat(path, PathExpression.epsilon()) == path
+        assert concat(PathExpression.epsilon(), path) == path
+
+    @common_settings
+    @given(path_expressions(), path_expressions())
+    def test_mutual_containment_means_same_evaluation(self, first, second):
+        # Equivalent expressions must evaluate identically on a fixed tree.
+        if contains(first, second) and contains(second, first):
+            doc = _FIXED_DOC
+            assert {id(n) for n in first.evaluate(doc.root)} == {
+                id(n) for n in second.evaluate(doc.root)
+            }
+
+
+class TestContainmentAgreesWithEvaluation:
+    """If ``P ⊆ Q`` then on every document ``[[P]] ⊆ [[Q]]``."""
+
+    @common_settings
+    @given(
+        element_only_path_expressions(max_size=4),
+        element_only_path_expressions(max_size=4),
+        paper_conformant_documents(),
+    )
+    def test_containment_sound_wrt_evaluation(self, covered, covering, doc):
+        if contains(covering, covered):
+            covered_nodes = {id(node) for node in covered.evaluate(doc.root)}
+            covering_nodes = {id(node) for node in covering.evaluate(doc.root)}
+            assert covered_nodes <= covering_nodes
+
+    @common_settings
+    @given(path_expressions(max_size=4), paper_conformant_documents())
+    def test_evaluation_results_are_unique_nodes(self, path, doc):
+        nodes = path.evaluate(doc.root)
+        assert len(nodes) == len({id(node) for node in nodes})
+
+
+class TestParsingRoundTrip:
+    @common_settings
+    @given(path_expressions())
+    def test_text_round_trips(self, path):
+        assert parse_path(path.text) == path
+
+
+from repro.xmlmodel.builder import document, element, text  # noqa: E402  (fixture data)
+
+_FIXED_DOC = document(
+    element(
+        "r",
+        element(
+            "book",
+            {"isbn": "1", "x": "1"},
+            element("a", element("b", element("c"))),
+            element("chapter", {"y": "2"}, element("a")),
+        ),
+        element("a", element("a", {"x": "3"}, element("b"))),
+    )
+)

@@ -1,0 +1,89 @@
+"""Soundness of propagation: a propagated FD holds on every conformant document.
+
+For random documents satisfying the paper's keys and random FDs over the
+relations of Example 2.4 (and the universal relation of Example 3.1): if
+Algorithm ``propagation`` declares the FD propagated, the instance shredded
+from the document must satisfy it.  This is the defining property of
+``Σ ⊨_σ φ`` and the strongest end-to-end check the library has.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.minimum_cover import minimum_cover_from_keys
+from repro.core.propagation import check_propagation
+from repro.experiments.paper_example import (
+    paper_keys,
+    paper_transformation,
+    universal_relation,
+)
+from repro.keys.implication import ImplicationEngine
+from repro.relational.fd import FunctionalDependency
+from repro.transform.evaluate import evaluate_rule
+
+from tests.property.strategies import paper_conformant_documents
+
+
+PAPER_KEYS = paper_keys()
+ENGINE = ImplicationEngine(PAPER_KEYS)
+SIGMA = paper_transformation()
+UNIVERSAL = universal_relation()
+UNIVERSAL_COVER = minimum_cover_from_keys(PAPER_KEYS, UNIVERSAL).cover
+
+common_settings = settings(
+    max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+def random_fd(fields):
+    return st.builds(
+        FunctionalDependency,
+        st.sets(st.sampled_from(fields), min_size=0, max_size=3),
+        st.sets(st.sampled_from(fields), min_size=1, max_size=1),
+    )
+
+
+class TestPropagationSoundnessOnRelations:
+    @common_settings
+    @given(
+        st.sampled_from(["book", "chapter", "section"]),
+        st.data(),
+        paper_conformant_documents(),
+    )
+    def test_propagated_fd_holds_on_shredded_instance(self, relation, data, doc):
+        rule = SIGMA.rule(relation)
+        fd = data.draw(random_fd(rule.field_names))
+        result = check_propagation(PAPER_KEYS, rule, fd, engine=ENGINE)
+        if result.holds:
+            instance = evaluate_rule(rule, doc)
+            assert instance.satisfies_fd(fd.lhs, fd.rhs), f"{fd} on {relation}"
+
+
+class TestMinimumCoverSoundnessOnUniversalRelation:
+    @common_settings
+    @given(paper_conformant_documents())
+    def test_cover_fds_hold_on_every_conformant_document(self, doc):
+        instance = evaluate_rule(UNIVERSAL.rule, doc)
+        for fd in UNIVERSAL_COVER:
+            assert instance.satisfies_fd(fd.lhs, fd.rhs), str(fd)
+
+    @common_settings
+    @given(st.data(), paper_conformant_documents())
+    def test_propagation_on_universal_relation(self, data, doc):
+        fd = data.draw(random_fd(UNIVERSAL.rule.field_names))
+        result = check_propagation(PAPER_KEYS, UNIVERSAL.rule, fd, engine=ENGINE)
+        if result.holds:
+            instance = evaluate_rule(UNIVERSAL.rule, doc)
+            assert instance.satisfies_fd(fd.lhs, fd.rhs), str(fd)
+
+
+class TestAgreementBetweenCheckers:
+    @common_settings
+    @given(st.data())
+    def test_gminimum_cover_agrees_with_propagation(self, data):
+        from repro.core.gminimum_cover import gminimum_cover_check
+
+        fd = data.draw(random_fd(UNIVERSAL.rule.field_names))
+        direct = check_propagation(PAPER_KEYS, UNIVERSAL.rule, fd, engine=ENGINE)
+        via_cover = gminimum_cover_check(PAPER_KEYS, UNIVERSAL.rule, fd, engine=ENGINE)
+        assert direct.holds == via_cover.holds, str(fd)

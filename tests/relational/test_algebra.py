@@ -1,0 +1,115 @@
+"""Unit tests for the relational-algebra module (the Theorem 3.1 boundary)."""
+
+import pytest
+
+from repro.relational import algebra
+from repro.relational.instance import NULL, RelationInstance
+from repro.relational.schema import RelationSchema
+
+
+@pytest.fixture()
+def books():
+    schema = RelationSchema("book", ["isbn", "title"])
+    return RelationInstance(
+        schema,
+        [
+            {"isbn": "1", "title": "XML"},
+            {"isbn": "2", "title": "XML"},
+            {"isbn": "3", "title": "SQL"},
+        ],
+    )
+
+
+@pytest.fixture()
+def chapters():
+    schema = RelationSchema("chapter", ["isbn", "num"])
+    return RelationInstance(
+        schema,
+        [
+            {"isbn": "1", "num": "1"},
+            {"isbn": "1", "num": "2"},
+            {"isbn": "3", "num": "1"},
+        ],
+    )
+
+
+class TestProject:
+    def test_projection_deduplicates(self, books):
+        result = algebra.project(books, ["title"])
+        assert sorted(row["title"] for row in result) == ["SQL", "XML"]
+
+    def test_projection_order_of_attributes(self, books):
+        result = algebra.project(books, ["title", "isbn"])
+        assert result.schema.attributes == ("title", "isbn")
+
+    def test_unknown_attribute_rejected(self, books):
+        with pytest.raises(ValueError):
+            algebra.project(books, ["missing"])
+
+
+class TestSelect:
+    def test_predicate_filtering(self, books):
+        result = algebra.select(books, lambda row: row["title"] == "XML")
+        assert len(result) == 2
+
+    def test_empty_selection(self, books):
+        assert len(algebra.select(books, lambda row: False)) == 0
+
+
+class TestProduct:
+    def test_cardinality(self, books, chapters):
+        assert len(algebra.product(books, chapters)) == 9
+
+    def test_overlapping_attributes_renamed(self, books, chapters):
+        result = algebra.product(books, chapters)
+        assert "chapter.isbn" in result.schema.attributes
+
+
+class TestUnionDifference:
+    def test_union_deduplicates(self, books):
+        assert len(algebra.union(books, books)) == 3
+
+    def test_union_requires_same_schema(self, books, chapters):
+        with pytest.raises(ValueError):
+            algebra.union(books, chapters)
+
+    def test_difference(self, books):
+        xml_only = algebra.select(books, lambda row: row["title"] == "XML")
+        rest = algebra.difference(books, xml_only)
+        assert sorted(row["isbn"] for row in rest) == ["3"]
+
+    def test_difference_requires_same_schema(self, books, chapters):
+        with pytest.raises(ValueError):
+            algebra.difference(books, chapters)
+
+
+class TestNaturalJoin:
+    def test_join_on_shared_attribute(self, books, chapters):
+        result = algebra.natural_join(books, chapters)
+        assert len(result) == 3
+        assert set(result.schema.attributes) == {"isbn", "title", "num"}
+
+    def test_nulls_never_join(self, books):
+        schema = RelationSchema("extra", ["isbn", "note"])
+        extra = RelationInstance(schema, [{"isbn": NULL, "note": "x"}])
+        assert len(algebra.natural_join(books, extra)) == 0
+
+    def test_join_without_shared_attributes_is_product(self, books):
+        schema = RelationSchema("colour", ["colour"])
+        colours = RelationInstance(schema, [{"colour": "red"}, {"colour": "blue"}])
+        assert len(algebra.natural_join(books, colours)) == 6
+
+
+class TestTheoremBoundary:
+    def test_unsupported_operators_are_refused_in_the_rule_language(self):
+        from repro.transform.validate import UnsupportedFeature, reject_unsupported
+
+        for feature in ("selection", "difference", "foreign-key"):
+            with pytest.raises(UnsupportedFeature):
+                reject_unsupported(feature)
+
+    def test_unsupported_message_mentions_theorem(self):
+        from repro.transform.validate import UnsupportedFeature, reject_unsupported
+
+        with pytest.raises(UnsupportedFeature, match="undecidable"):
+            reject_unsupported("difference")

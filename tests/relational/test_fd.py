@@ -1,0 +1,141 @@
+"""Unit tests for functional dependencies, closures and implication."""
+
+import pytest
+
+from repro.relational.fd import (
+    FDSet,
+    FunctionalDependency,
+    attribute_closure,
+    coerce_fd,
+    equivalent,
+    implies_fd,
+)
+
+
+class TestFunctionalDependency:
+    def test_parse_arrow_syntax(self):
+        fd = FunctionalDependency.parse("isbn, chapterNum -> chapterName")
+        assert fd.lhs == frozenset({"isbn", "chapterNum"})
+        assert fd.rhs == frozenset({"chapterName"})
+
+    def test_parse_unicode_arrow(self):
+        fd = FunctionalDependency.parse("a → b")
+        assert fd.lhs == frozenset({"a"})
+
+    def test_parse_rejects_non_fd(self):
+        with pytest.raises(ValueError):
+            FunctionalDependency.parse("just text")
+
+    def test_empty_rhs_rejected(self):
+        with pytest.raises(ValueError):
+            FunctionalDependency({"a"}, set())
+
+    def test_empty_lhs_allowed(self):
+        fd = FunctionalDependency((), {"a"})
+        assert fd.lhs == frozenset()
+        assert "∅" in fd.text
+
+    def test_trivial_detection(self):
+        assert FunctionalDependency({"a", "b"}, {"a"}).is_trivial
+        assert not FunctionalDependency({"a"}, {"b"}).is_trivial
+
+    def test_decompose_singleton_rhs(self):
+        fd = FunctionalDependency({"a"}, {"b", "c"})
+        parts = fd.decompose()
+        assert len(parts) == 2
+        assert all(len(part.rhs) == 1 for part in parts)
+
+    def test_equality_and_hash(self):
+        assert FunctionalDependency({"a"}, {"b"}) == coerce_fd("a -> b")
+        assert hash(FunctionalDependency({"a"}, {"b"})) == hash(coerce_fd("a -> b"))
+
+    def test_coerce_from_pair(self):
+        fd = coerce_fd(({"a"}, {"b"}))
+        assert fd == FunctionalDependency({"a"}, {"b"})
+
+    def test_text_rendering_sorted(self):
+        assert FunctionalDependency({"b", "a"}, {"c"}).text == "a, b -> c"
+
+    def test_attributes_union(self):
+        assert FunctionalDependency({"a"}, {"b"}).attributes == frozenset({"a", "b"})
+
+
+class TestClosure:
+    FDS = ["a -> b", "b -> c", "c, d -> e"]
+
+    def test_reflexive_base(self):
+        assert attribute_closure({"z"}, self.FDS) == frozenset({"z"})
+
+    def test_chain(self):
+        assert attribute_closure({"a"}, self.FDS) == frozenset({"a", "b", "c"})
+
+    def test_multi_attribute_lhs(self):
+        assert attribute_closure({"a", "d"}, self.FDS) == frozenset({"a", "b", "c", "d", "e"})
+
+    def test_empty_set_closure(self):
+        assert attribute_closure((), ["-> x"] if False else []) == frozenset()
+
+    def test_closure_with_empty_lhs_fd(self):
+        fds = [FunctionalDependency((), {"const"}), "const -> x"]
+        assert attribute_closure((), fds) == frozenset({"const", "x"})
+
+
+class TestImplication:
+    FDS = ["a -> b", "b -> c"]
+
+    def test_transitivity(self):
+        assert implies_fd(self.FDS, "a -> c")
+
+    def test_augmentation(self):
+        assert implies_fd(self.FDS, "a, z -> c")
+
+    def test_reflexivity(self):
+        assert implies_fd([], "a, b -> a")
+
+    def test_non_implication(self):
+        assert not implies_fd(self.FDS, "c -> a")
+
+    def test_union_rule(self):
+        assert implies_fd(self.FDS, "a -> b, c")
+
+    def test_equivalent_sets(self):
+        first = ["a -> b", "b -> c"]
+        second = ["a -> b", "b -> c", "a -> c"]
+        assert equivalent(first, second)
+        assert not equivalent(first, ["a -> b"])
+
+    def test_equivalent_is_symmetric(self):
+        assert equivalent([], [])
+        assert not equivalent(["a -> b"], [])
+
+
+class TestFDSet:
+    def test_deduplicates(self):
+        fds = FDSet(["a -> b", "a -> b"])
+        assert len(fds) == 1
+
+    def test_contains(self):
+        fds = FDSet(["a -> b"])
+        assert "a -> b" in fds
+        assert "a -> c" not in fds
+
+    def test_implies_and_closure(self):
+        fds = FDSet(["a -> b", "b -> c"])
+        assert fds.implies("a -> c")
+        assert fds.closure({"a"}) == frozenset({"a", "b", "c"})
+
+    def test_attributes(self):
+        fds = FDSet(["a -> b", "c -> d"])
+        assert fds.attributes() == frozenset({"a", "b", "c", "d"})
+
+    def test_minimize_returns_fdset(self):
+        fds = FDSet(["a -> b", "b -> c", "a -> c"])
+        reduced = fds.minimize()
+        assert isinstance(reduced, FDSet)
+        assert len(reduced) == 2
+
+    def test_equality(self):
+        assert FDSet(["a -> b", "b -> c"]) == FDSet(["b -> c", "a -> b"])
+
+    def test_describe(self):
+        assert "a -> b" in FDSet(["a -> b"]).describe()

@@ -1,0 +1,183 @@
+"""Unit tests for relation instances, NULL handling and FD checking."""
+
+import pytest
+
+from repro.relational.instance import NULL, RelationInstance, Row, is_null
+from repro.relational.schema import RelationSchema
+
+
+@pytest.fixture()
+def chapter_schema():
+    return RelationSchema(
+        "Chapter", ["bookTitle", "chapterNum", "chapterName"], keys=[{"bookTitle", "chapterNum"}]
+    )
+
+
+@pytest.fixture()
+def figure2a(chapter_schema):
+    """The instance of Figure 2(a)."""
+    return RelationInstance(
+        chapter_schema,
+        [
+            {"bookTitle": "XML", "chapterNum": "1", "chapterName": "Introduction"},
+            {"bookTitle": "XML", "chapterNum": "10", "chapterName": "Conclusion"},
+            {"bookTitle": "XML", "chapterNum": "1", "chapterName": "Getting Acquainted"},
+        ],
+    )
+
+
+class TestNull:
+    def test_null_is_singleton(self):
+        from repro.relational.instance import NullType
+
+        assert NullType() is NULL
+
+    def test_null_is_falsy_and_never_equal(self):
+        assert not NULL
+        assert not (NULL == NULL)
+        assert not (NULL == "x")
+
+    def test_is_null_accepts_none(self):
+        assert is_null(None)
+        assert is_null(NULL)
+        assert not is_null("")
+        assert not is_null("NULL")
+
+
+class TestRow:
+    def test_missing_attributes_default_to_null_via_instance(self, chapter_schema):
+        instance = RelationInstance(chapter_schema, [{"bookTitle": "XML"}])
+        row = instance.rows[0]
+        assert is_null(row["chapterNum"])
+
+    def test_none_normalised_to_null(self):
+        row = Row({"a": None, "b": "x"})
+        assert is_null(row["a"])
+
+    def test_project_sorted_order(self):
+        row = Row({"b": "2", "a": "1"})
+        assert row.project({"b", "a"}) == ("1", "2")
+
+    def test_has_null_subset(self):
+        row = Row({"a": "1", "b": NULL})
+        assert row.has_null()
+        assert row.has_null({"b"})
+        assert not row.has_null({"a"})
+
+    def test_equality_and_hash_with_nulls(self):
+        assert Row({"a": NULL, "b": "1"}) == Row({"a": None, "b": "1"})
+        assert hash(Row({"a": NULL})) == hash(Row({"a": None}))
+        assert Row({"a": NULL}) != Row({"a": "x"})
+
+
+class TestInstanceBasics:
+    def test_unknown_attribute_rejected(self, chapter_schema):
+        instance = RelationInstance(chapter_schema)
+        with pytest.raises(ValueError):
+            instance.add_row({"unknown": "x"})
+
+    def test_len_and_iteration(self, figure2a):
+        assert len(figure2a) == 3
+        assert len(list(figure2a)) == 3
+
+    def test_distinct_removes_duplicates(self, chapter_schema):
+        instance = RelationInstance(
+            chapter_schema,
+            [
+                {"bookTitle": "XML", "chapterNum": "1", "chapterName": "A"},
+                {"bookTitle": "XML", "chapterNum": "1", "chapterName": "A"},
+            ],
+        )
+        assert len(instance.distinct()) == 1
+
+    def test_values_column(self, figure2a):
+        assert figure2a.values("chapterNum") == ["1", "10", "1"]
+
+    def test_to_table_renders_all_rows_and_nulls(self, chapter_schema):
+        instance = RelationInstance(chapter_schema, [{"bookTitle": "XML"}])
+        table = instance.to_table()
+        assert "Chapter" in table and "NULL" in table and "bookTitle" in table
+
+    def test_to_table_max_rows(self, figure2a):
+        table = figure2a.to_table(max_rows=1)
+        assert "more rows" in table
+
+
+class TestFDSemantics:
+    def test_figure2a_violates_its_key(self, figure2a):
+        assert not figure2a.satisfies_key()
+        violations = figure2a.key_violations()
+        assert len(violations) == 1
+        assert violations[0].kind == "value-conflict"
+
+    def test_figure2b_satisfies_its_key(self):
+        schema = RelationSchema(
+            "Chapter", ["isbn", "chapterNum", "chapterName"], keys=[{"isbn", "chapterNum"}]
+        )
+        instance = RelationInstance(
+            schema,
+            [
+                {"isbn": "123", "chapterNum": "1", "chapterName": "Introduction"},
+                {"isbn": "123", "chapterNum": "10", "chapterName": "Conclusion"},
+                {"isbn": "234", "chapterNum": "1", "chapterName": "Getting Acquainted"},
+            ],
+        )
+        assert instance.satisfies_key()
+
+    def test_key_violations_requires_declared_key(self):
+        schema = RelationSchema("r", ["a"])
+        with pytest.raises(ValueError):
+            RelationInstance(schema).key_violations()
+
+    def test_condition2_value_conflict(self, chapter_schema):
+        instance = RelationInstance(
+            chapter_schema,
+            [
+                {"bookTitle": "A", "chapterNum": "1", "chapterName": "x"},
+                {"bookTitle": "A", "chapterNum": "1", "chapterName": "y"},
+            ],
+        )
+        assert not instance.satisfies_fd({"bookTitle", "chapterNum"}, {"chapterName"})
+
+    def test_condition1_null_determinant_with_nonnull_dependent(self, chapter_schema):
+        instance = RelationInstance(
+            chapter_schema,
+            [{"bookTitle": NULL, "chapterNum": "1", "chapterName": "x"}],
+        )
+        violations = instance.fd_violations({"bookTitle"}, {"chapterName"})
+        assert [v.kind for v in violations] == ["null-determinant"]
+
+    def test_condition1_satisfied_when_dependent_also_null(self, chapter_schema):
+        instance = RelationInstance(
+            chapter_schema,
+            [{"bookTitle": NULL, "chapterNum": "1", "chapterName": NULL}],
+        )
+        assert instance.satisfies_fd({"bookTitle"}, {"chapterName"})
+
+    def test_tuples_with_any_null_are_ignored_for_condition2(self, chapter_schema):
+        # Per Section 3, condition (2) only ranges over tuples containing no
+        # null at all.  The second tuple below has a null chapterNum, so the
+        # apparent conflict on chapterName is not a violation; condition (1)
+        # is also fine because its bookTitle (the FD's LHS) is non-null.
+        instance = RelationInstance(
+            chapter_schema,
+            [
+                {"bookTitle": "A", "chapterNum": "1", "chapterName": "x"},
+                {"bookTitle": "A", "chapterNum": NULL, "chapterName": "y"},
+            ],
+        )
+        assert instance.fd_violations({"bookTitle"}, {"chapterName"}) == []
+        # Once the second tuple is null-free the conflict becomes a violation.
+        instance.add_row({"bookTitle": "A", "chapterNum": "2", "chapterName": "y"})
+        assert not instance.satisfies_fd({"bookTitle"}, {"chapterName"})
+
+    def test_multi_attribute_rhs(self, chapter_schema):
+        instance = RelationInstance(
+            chapter_schema,
+            [
+                {"bookTitle": "A", "chapterNum": "1", "chapterName": "x"},
+                {"bookTitle": "A", "chapterNum": "2", "chapterName": "x"},
+            ],
+        )
+        assert not instance.satisfies_fd({"bookTitle"}, {"chapterNum", "chapterName"})
+        assert instance.satisfies_fd({"bookTitle"}, {"bookTitle"})

@@ -1,0 +1,91 @@
+"""Unit tests for relation and database schemas."""
+
+import pytest
+
+from repro.relational.schema import DatabaseSchema, RelationSchema, attr_set
+
+
+class TestAttrSet:
+    def test_string_becomes_singleton(self):
+        assert attr_set("isbn") == frozenset({"isbn"})
+
+    def test_iterable_preserved(self):
+        assert attr_set(["a", "b"]) == frozenset({"a", "b"})
+
+    def test_frozenset_passthrough(self):
+        value = frozenset({"a"})
+        assert attr_set(value) == value
+
+
+class TestRelationSchema:
+    def test_attributes_keep_declaration_order(self):
+        schema = RelationSchema("chapter", ["inBook", "number", "name"])
+        assert schema.attributes == ("inBook", "number", "name")
+
+    def test_duplicate_attributes_rejected(self):
+        with pytest.raises(ValueError):
+            RelationSchema("r", ["a", "a"])
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            RelationSchema("", ["a"])
+
+    def test_declared_keys(self):
+        schema = RelationSchema("chapter", ["inBook", "number", "name"], keys=[{"inBook", "number"}])
+        assert schema.primary_key == frozenset({"inBook", "number"})
+
+    def test_key_with_unknown_attribute_rejected(self):
+        with pytest.raises(ValueError):
+            RelationSchema("r", ["a"], keys=[{"b"}])
+
+    def test_add_key_deduplicates(self):
+        schema = RelationSchema("r", ["a", "b"])
+        schema.add_key({"a"})
+        schema.add_key("a")
+        assert schema.keys == [frozenset({"a"})]
+
+    def test_primary_key_none_when_no_keys(self):
+        assert RelationSchema("r", ["a"]).primary_key is None
+
+    def test_membership_and_iteration(self):
+        schema = RelationSchema("r", ["a", "b"])
+        assert "a" in schema
+        assert "z" not in schema
+        assert list(schema) == ["a", "b"]
+        assert schema.arity == 2
+
+    def test_describe_marks_primary_key(self):
+        schema = RelationSchema("chapter", ["isbn", "num", "name"], keys=[{"isbn", "num"}])
+        description = schema.describe()
+        assert "isbn*" in description and "num*" in description and "name" in description
+
+    def test_equality(self):
+        first = RelationSchema("r", ["a", "b"], keys=[{"a"}])
+        second = RelationSchema("r", ["a", "b"], keys=[{"a"}])
+        assert first == second
+
+
+class TestDatabaseSchema:
+    def test_add_and_lookup(self):
+        db = DatabaseSchema([RelationSchema("book", ["isbn"])])
+        assert db.relation("book").name == "book"
+        assert "book" in db and "magazine" not in db
+
+    def test_duplicate_relation_rejected(self):
+        db = DatabaseSchema([RelationSchema("book", ["isbn"])])
+        with pytest.raises(ValueError):
+            db.add(RelationSchema("book", ["other"]))
+
+    def test_missing_relation_raises(self):
+        with pytest.raises(KeyError):
+            DatabaseSchema().relation("nope")
+
+    def test_iteration_and_len(self):
+        db = DatabaseSchema([RelationSchema("a", ["x"]), RelationSchema("b", ["y"])])
+        assert len(db) == 2
+        assert db.relation_names == ["a", "b"]
+
+    def test_describe_lists_all_relations(self):
+        db = DatabaseSchema([RelationSchema("a", ["x"]), RelationSchema("b", ["y"])])
+        text = db.describe()
+        assert "a(x)" in text and "b(y)" in text

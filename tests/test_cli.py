@@ -1,0 +1,227 @@
+"""End-to-end tests of the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.experiments import paper_example as pe
+from repro.xmlmodel.serializer import serialize
+
+
+KEYS_TEXT = """
+K1 = (., (//book, {@isbn}))
+K2 = (//book, (chapter, {@number}))
+K3 = (//book, (title, {}))
+K4 = (//book/chapter, (name, {}))
+K7 = (//book, (author/contact, {}))
+"""
+
+TRANSFORM_TEXT = """
+table book
+  var xa <- xr : //book
+  var x1 <- xa : @isbn
+  var x2 <- xa : title
+  field isbn  = value(x1)
+  field title = value(x2)
+
+table chapter
+  var ya <- xr : //book
+  var y1 <- ya : @isbn
+  var yc <- ya : chapter
+  var y2 <- yc : @number
+  var y3 <- yc : name
+  field inBook = value(y1)
+  field number = value(y2)
+  field name   = value(y3)
+"""
+
+
+@pytest.fixture()
+def workspace(tmp_path):
+    keys_file = tmp_path / "keys.txt"
+    keys_file.write_text(KEYS_TEXT)
+    transform_file = tmp_path / "rules.dsl"
+    transform_file.write_text(TRANSFORM_TEXT)
+    xml_file = tmp_path / "figure1.xml"
+    xml_file.write_text(serialize(pe.figure1_document(), xml_declaration=True))
+    return {"keys": str(keys_file), "transform": str(transform_file), "xml": str(xml_file)}
+
+
+class TestCheckCommand:
+    def test_propagated_fd_exits_zero(self, workspace, capsys):
+        code = main(
+            [
+                "check",
+                "--keys", workspace["keys"],
+                "--transform", workspace["transform"],
+                "--relation", "chapter",
+                "--fd", "inBook, number -> name",
+            ]
+        )
+        assert code == 0
+        assert "PROPAGATED" in capsys.readouterr().out
+
+    def test_unpropagated_fd_exits_one(self, workspace, capsys):
+        code = main(
+            [
+                "check",
+                "--keys", workspace["keys"],
+                "--transform", workspace["transform"],
+                "--relation", "chapter",
+                "--fd", "number -> name",
+            ]
+        )
+        assert code == 1
+        assert "NOT propagated" in capsys.readouterr().out
+
+    def test_declared_key_mode(self, workspace, capsys):
+        code = main(
+            [
+                "check",
+                "--keys", workspace["keys"],
+                "--transform", workspace["transform"],
+                "--relation", "chapter",
+                "--key", "inBook,number",
+            ]
+        )
+        assert code == 0
+        assert "guaranteed" in capsys.readouterr().out
+
+    def test_missing_fd_and_key_is_usage_error(self, workspace, capsys):
+        code = main(
+            [
+                "check",
+                "--keys", workspace["keys"],
+                "--transform", workspace["transform"],
+                "--relation", "chapter",
+            ]
+        )
+        assert code == 2
+
+    def test_unknown_relation_reports_error(self, workspace, capsys):
+        code = main(
+            [
+                "check",
+                "--keys", workspace["keys"],
+                "--transform", workspace["transform"],
+                "--relation", "nope",
+                "--fd", "a -> b",
+            ]
+        )
+        assert code == 2
+
+    def test_missing_file_reports_error(self, workspace):
+        code = main(
+            [
+                "check",
+                "--keys", "/does/not/exist.txt",
+                "--transform", workspace["transform"],
+                "--relation", "chapter",
+                "--fd", "number -> name",
+            ]
+        )
+        assert code == 2
+
+
+class TestCoverCommand:
+    def test_cover_printed(self, workspace, capsys):
+        code = main(
+            [
+                "cover",
+                "--keys", workspace["keys"],
+                "--transform", workspace["transform"],
+                "--relation", "chapter",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "inBook, number -> name" in out
+
+    def test_empty_cover_message(self, workspace, tmp_path, capsys):
+        empty_keys = tmp_path / "none.txt"
+        empty_keys.write_text("# no keys\n")
+        code = main(
+            [
+                "cover",
+                "--keys", str(empty_keys),
+                "--transform", workspace["transform"],
+                "--relation", "chapter",
+            ]
+        )
+        assert code == 0
+        assert "no functional dependencies" in capsys.readouterr().out
+
+
+class TestDesignCommand:
+    def test_design_with_sql(self, workspace, capsys):
+        code = main(
+            [
+                "design",
+                "--keys", workspace["keys"],
+                "--transform", workspace["transform"],
+                "--relation", "chapter",
+                "--sql",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Minimum cover" in out
+        assert "CREATE TABLE" in out
+
+    def test_3nf_option(self, workspace, capsys):
+        code = main(
+            [
+                "design",
+                "--keys", workspace["keys"],
+                "--transform", workspace["transform"],
+                "--relation", "chapter",
+                "--normal-form", "3NF",
+            ]
+        )
+        assert code == 0
+
+
+class TestShredCommand:
+    def test_tables_printed_and_keys_validated(self, workspace, capsys):
+        code = main(
+            [
+                "shred",
+                "--transform", workspace["transform"],
+                "--xml", workspace["xml"],
+                "--keys", workspace["keys"],
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "satisfies all" in out
+        assert "Introduction" in out
+
+    def test_sql_mode(self, workspace, capsys):
+        code = main(
+            ["shred", "--transform", workspace["transform"], "--xml", workspace["xml"], "--sql"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "INSERT INTO" in out
+
+    def test_violated_keys_reported(self, workspace, tmp_path, capsys):
+        bad_xml = tmp_path / "bad.xml"
+        bad_xml.write_text("<r><book isbn='1'/><book isbn='1'/></r>")
+        code = main(
+            [
+                "shred",
+                "--transform", workspace["transform"],
+                "--xml", str(bad_xml),
+                "--keys", workspace["keys"],
+            ]
+        )
+        assert code == 1
+        assert "key violated" in capsys.readouterr().out
+
+
+class TestParser:
+    def test_subcommand_required(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_module_entry_point_importable(self):
+        import repro.__main__  # noqa: F401  (import must not execute main)

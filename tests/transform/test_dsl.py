@@ -1,0 +1,125 @@
+"""Unit tests for the transformation DSL."""
+
+import pytest
+
+from repro.transform.dsl import (
+    DSLSyntaxError,
+    parse_rule,
+    parse_transformation,
+    render_transformation,
+)
+from repro.xmlmodel.paths import parse_path
+
+
+SIMPLE = """
+# a one-table transformation
+table book
+  var xa <- xr : //book
+  var x1 <- xa : @isbn
+  field isbn = value(x1)
+"""
+
+
+class TestParsing:
+    def test_single_table(self):
+        sigma = parse_transformation(SIMPLE)
+        assert sigma.relation_names == ["book"]
+        rule = sigma.rule("book")
+        assert rule.mapping("xa").path == parse_path("//book")
+        assert rule.field_variable("isbn") == "x1"
+
+    def test_multiple_tables(self):
+        sigma = parse_transformation(
+            SIMPLE
+            + """
+            table chapter
+              var ya <- xr : //book/chapter
+              var y1 <- ya : @number
+              field number = value(y1)
+            """
+        )
+        assert sigma.relation_names == ["book", "chapter"]
+
+    def test_universal_keyword(self):
+        sigma = parse_transformation(
+            """
+            universal U
+              var v <- xr : //a
+              field f = value(v)
+            """
+        )
+        assert sigma.relation_names == ["U"]
+
+    def test_custom_root_variable(self):
+        sigma = parse_transformation(
+            """
+            table t root r0
+              var v <- r0 : //a
+              field f = value(v)
+            """
+        )
+        assert sigma.rule("t").root_variable == "r0"
+
+    def test_field_without_value_wrapper(self):
+        rule = parse_rule(
+            """
+            table t
+              var v <- xr : //a
+              field f = v
+            """
+        )
+        assert rule.field_variable("f") == "v"
+
+    def test_comments_and_blank_lines_ignored(self):
+        rule = parse_rule(
+            """
+            # heading comment
+
+            table t
+              var v <- xr : //a   # trailing comment
+              field f = value(v)
+            """
+        )
+        assert rule.field_names == ["f"]
+
+    def test_parse_rule_requires_exactly_one_table(self):
+        with pytest.raises(ValueError):
+            parse_rule(SIMPLE + "\ntable extra\n  var v <- xr : //x\n  field f = value(v)")
+
+
+class TestErrors:
+    def test_statement_before_table(self):
+        with pytest.raises(DSLSyntaxError):
+            parse_transformation("var v <- xr : //a")
+
+    def test_unrecognised_statement(self):
+        with pytest.raises(DSLSyntaxError) as excinfo:
+            parse_transformation("table t\n  nonsense here")
+        assert excinfo.value.line_number == 2
+
+    def test_malformed_var_line(self):
+        with pytest.raises(DSLSyntaxError):
+            parse_transformation("table t\n  var v < xr : //a")
+
+
+class TestRendering:
+    def test_round_trip(self, sigma):
+        text = render_transformation(sigma)
+        reparsed = parse_transformation(text)
+        assert reparsed.relation_names == sigma.relation_names
+        for rule in sigma:
+            other = reparsed.rule(rule.relation)
+            assert other.field_names == rule.field_names
+            assert {m.variable: (m.source, m.path) for m in other.mappings} == {
+                m.variable: (m.source, m.path) for m in rule.mappings
+            }
+
+    def test_render_mentions_custom_root(self):
+        sigma = parse_transformation(
+            """
+            table t root r0
+              var v <- r0 : //a
+              field f = value(v)
+            """
+        )
+        assert "root r0" in render_transformation(sigma)

@@ -1,0 +1,176 @@
+"""Unit tests for shredding (rule evaluation over documents)."""
+
+import pytest
+
+from repro.relational.instance import is_null
+from repro.relational.schema import RelationSchema
+from repro.transform.dsl import parse_rule
+from repro.transform.evaluate import evaluate_rule, evaluate_transformation
+from repro.xmlmodel.builder import document, element, text
+
+
+class TestPaperInstances:
+    def test_book_instance(self, sigma, figure1):
+        instance = evaluate_rule(sigma.rule("book"), figure1)
+        rows = {(row["isbn"], row["title"]) for row in instance}
+        assert rows == {("123", "XML"), ("234", "XML")}
+
+    def test_chapter_instance_matches_figure_2(self, sigma, figure1):
+        instance = evaluate_rule(sigma.rule("chapter"), figure1)
+        rows = {(row["inBook"], row["number"], row["name"]) for row in instance}
+        assert rows == {
+            ("123", "1", "Introduction"),
+            ("123", "10", "Conclusion"),
+            ("234", "1", "Getting Acquainted"),
+        }
+
+    def test_section_instance_matches_example_2_5(self, sigma, figure1):
+        instance = evaluate_rule(sigma.rule("section"), figure1)
+        complete = {
+            (row["inChapt"], row["number"], row["name"])
+            for row in instance
+            if not row.has_null()
+        }
+        assert complete == {("1", "1", "Fundamentals"), ("1", "2", "Attributes")}
+
+    def test_chapters_without_sections_yield_null_rows(self, sigma, figure1):
+        instance = evaluate_rule(sigma.rule("section"), figure1)
+        null_rows = [row for row in instance if row.has_null()]
+        # chapter 10 of book 123 and chapter 1 of book 234 have no sections.
+        assert len(null_rows) == 2
+        assert all(is_null(row["number"]) and is_null(row["name"]) for row in null_rows)
+
+    def test_missing_author_contact_is_null(self, sigma, figure1):
+        instance = evaluate_rule(sigma.rule("book"), figure1)
+        by_isbn = {row["isbn"]: row for row in instance}
+        assert by_isbn["123"]["contact"] == "tbray@example.org"
+        assert is_null(by_isbn["234"]["contact"])
+
+
+class TestSemanticsDetails:
+    @pytest.fixture()
+    def rule(self):
+        return parse_rule(
+            """
+            table pair
+              var a <- xr : //a
+              var b <- a  : b
+              var c <- a  : c
+              field left  = value(b)
+              field right = value(c)
+            """
+        )
+
+    def test_cartesian_product_of_repeated_children(self, rule):
+        tree = document(
+            element(
+                "r",
+                element("a", element("b", text("b1")), element("b", text("b2")), element("c", text("c1"))),
+            )
+        )
+        instance = evaluate_rule(rule, tree)
+        rows = {(row["left"], row["right"]) for row in instance}
+        assert rows == {("b1", "c1"), ("b2", "c1")}
+
+    def test_full_cartesian_product(self, rule):
+        tree = document(
+            element(
+                "r",
+                element(
+                    "a",
+                    element("b", text("b1")),
+                    element("b", text("b2")),
+                    element("c", text("c1")),
+                    element("c", text("c2")),
+                ),
+            )
+        )
+        assert len(evaluate_rule(rule, tree)) == 4
+
+    def test_empty_path_gives_null(self, rule):
+        tree = document(element("r", element("a", element("b", text("b1")))))
+        instance = evaluate_rule(rule, tree)
+        assert len(instance) == 1
+        row = instance.rows[0]
+        assert row["left"] == "b1"
+        assert is_null(row["right"])
+
+    def test_null_parent_propagates_to_descendants(self):
+        rule = parse_rule(
+            """
+            table deep
+              var a <- xr : //a
+              var b <- a  : missing
+              var c <- b  : alsoMissing
+              field f = value(c)
+            """
+        )
+        tree = document(element("r", element("a")))
+        instance = evaluate_rule(rule, tree)
+        assert len(instance) == 1
+        assert is_null(instance.rows[0]["f"])
+
+    def test_no_match_for_root_mapping_yields_single_null_row(self, rule):
+        tree = document(element("r", element("unrelated")))
+        instance = evaluate_rule(rule, tree)
+        assert len(instance) == 1
+        assert instance.rows[0].has_null()
+
+    def test_deduplication_default_and_opt_out(self):
+        rule = parse_rule(
+            """
+            table titles
+              var b <- xr : //book
+              var t <- b  : title
+              field title = value(t)
+            """
+        )
+        tree = document(
+            element(
+                "r",
+                element("book", element("title", text("XML"))),
+                element("book", element("title", text("XML"))),
+            )
+        )
+        assert len(evaluate_rule(rule, tree)) == 1
+        assert len(evaluate_rule(rule, tree, deduplicate=False)) == 2
+
+    def test_supplied_schema_with_keys_is_used(self, rule):
+        tree = document(element("r", element("a", element("b", text("x")), element("c", text("y")))))
+        schema = RelationSchema("pair", ["left", "right"], keys=[{"left"}])
+        instance = evaluate_rule(rule, tree, schema=schema)
+        assert instance.schema.primary_key == frozenset({"left"})
+
+    def test_attribute_and_element_values(self):
+        rule = parse_rule(
+            """
+            table item
+              var i <- xr : //item
+              var s <- i  : @sku
+              var l <- i  : label
+              field sku   = value(s)
+              field label = value(l)
+            """
+        )
+        tree = document(element("r", element("item", {"sku": "p-1"}, element("label", text("Anvil")))))
+        row = evaluate_rule(rule, tree).rows[0]
+        assert row["sku"] == "p-1"
+        assert row["label"] == "Anvil"
+
+
+class TestTransformationEvaluation:
+    def test_all_relations_produced(self, sigma, figure1):
+        instances = evaluate_transformation(sigma, figure1)
+        assert set(instances) == {"book", "chapter", "section"}
+
+    def test_target_schema_keys_attached(self, sigma, figure1, paper_schema):
+        instances = evaluate_transformation(sigma, figure1, schema=paper_schema)
+        assert instances["chapter"].schema.primary_key == frozenset({"inBook", "number"})
+
+    def test_relations_not_in_schema_use_induced_schema(self, sigma, figure1, paper_schema):
+        # Passing a schema containing only some relations still works.
+        from repro.relational.schema import DatabaseSchema
+
+        partial = DatabaseSchema([paper_schema.relation("book")], name="partial")
+        instances = evaluate_transformation(sigma, figure1, schema=partial)
+        assert instances["chapter"].schema.primary_key is None

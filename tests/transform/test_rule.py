@@ -1,0 +1,108 @@
+"""Unit tests for table rules and transformations (Definition 2.2)."""
+
+import pytest
+
+from repro.relational.schema import DatabaseSchema
+from repro.transform.rule import TableRule, Transformation
+from repro.xmlmodel.paths import parse_path
+
+
+@pytest.fixture()
+def book_rule():
+    rule = TableRule("book")
+    rule.add_mapping("xa", "xr", "//book")
+    rule.add_mapping("x1", "xa", "@isbn")
+    rule.add_mapping("x2", "xa", "title")
+    rule.add_field("isbn", "x1")
+    rule.add_field("title", "x2")
+    return rule
+
+
+class TestTableRule:
+    def test_variables_include_root(self, book_rule):
+        assert book_rule.variables == ["xr", "xa", "x1", "x2"]
+
+    def test_field_names_in_order(self, book_rule):
+        assert book_rule.field_names == ["isbn", "title"]
+
+    def test_field_variable_lookup(self, book_rule):
+        assert book_rule.field_variable("isbn") == "x1"
+        with pytest.raises(KeyError):
+            book_rule.field_variable("missing")
+
+    def test_mapping_lookup(self, book_rule):
+        assert book_rule.mapping("xa").path == parse_path("//book")
+        with pytest.raises(KeyError):
+            book_rule.mapping("nope")
+
+    def test_parent(self, book_rule):
+        assert book_rule.parent("xr") is None
+        assert book_rule.parent("x1") == "xa"
+
+    def test_fields_of_variable(self, book_rule):
+        assert book_rule.fields_of_variable("x1") == ["isbn"]
+        assert book_rule.fields_of_variable("xa") == []
+
+    def test_duplicate_field_rejected(self, book_rule):
+        with pytest.raises(ValueError):
+            book_rule.add_field("isbn", "x2")
+
+    def test_duplicate_variable_mapping_rejected(self, book_rule):
+        with pytest.raises(ValueError):
+            book_rule.add_mapping("xa", "xr", "//magazine")
+
+    def test_remapping_root_rejected(self, book_rule):
+        with pytest.raises(ValueError):
+            book_rule.add_mapping("xr", "xa", "title")
+
+    def test_schema_from_fields(self, book_rule):
+        schema = book_rule.schema(keys=[{"isbn"}])
+        assert schema.attributes == ("isbn", "title")
+        assert schema.primary_key == frozenset({"isbn"})
+
+    def test_has_variable(self, book_rule):
+        assert book_rule.has_variable("xr")
+        assert book_rule.has_variable("x2")
+        assert not book_rule.has_variable("zz")
+
+    def test_describe_mentions_fields_and_mappings(self, book_rule):
+        text = book_rule.describe()
+        assert "Rule(book)" in text
+        assert "isbn: value(x1)" in text
+        assert "xa <- xr : //book" in text
+
+    def test_custom_root_variable(self):
+        rule = TableRule("r", root_variable="root")
+        rule.add_mapping("v", "root", "//a")
+        assert rule.variables == ["root", "v"]
+
+
+class TestTransformation:
+    def test_rules_addressable_by_relation(self, book_rule):
+        sigma = Transformation([book_rule])
+        assert sigma.rule("book") is book_rule
+        assert "book" in sigma
+        assert len(sigma) == 1
+
+    def test_duplicate_relation_rejected(self, book_rule):
+        sigma = Transformation([book_rule])
+        with pytest.raises(ValueError):
+            sigma.add_rule(TableRule("book"))
+
+    def test_missing_rule_raises(self):
+        with pytest.raises(KeyError):
+            Transformation().rule("nope")
+
+    def test_target_schema(self, book_rule):
+        sigma = Transformation([book_rule])
+        schema = sigma.target_schema(keys={"book": [{"isbn"}]})
+        assert isinstance(schema, DatabaseSchema)
+        assert schema.relation("book").primary_key == frozenset({"isbn"})
+
+    def test_paper_transformation_structure(self, sigma):
+        assert sorted(sigma.relation_names) == ["book", "chapter", "section"]
+        assert sigma.rule("section").field_names == ["inChapt", "number", "name"]
+
+    def test_describe_round_trips_content(self, sigma):
+        text = sigma.describe()
+        assert "Rule(book)" in text and "Rule(section)" in text

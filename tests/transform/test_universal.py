@@ -1,0 +1,65 @@
+"""Unit tests for universal relations and the merge construction."""
+
+import pytest
+
+from repro.transform.table_tree import TableTree
+from repro.transform.universal import UniversalRelation, universal_from_transformation
+from repro.transform.validate import validate_rule
+
+
+class TestUniversalRelation:
+    def test_wraps_rule_and_schema(self, universal):
+        assert universal.name == "U"
+        assert len(universal.fields) == 8
+        assert universal.schema.attributes == tuple(universal.rule.field_names)
+
+    def test_table_tree_available(self, universal):
+        assert isinstance(universal.table_tree, TableTree)
+        assert universal.table_tree.root == universal.rule.root_variable
+
+
+class TestMergeConstruction:
+    def test_merge_paper_transformation(self, sigma):
+        merged = universal_from_transformation(sigma, name="U")
+        assert isinstance(merged, UniversalRelation)
+        # Fields are prefixed by their source relation.
+        assert "bookIsbn" in merged.fields
+        assert "chapterNumber" in merged.fields
+        assert "sectionName" in merged.fields
+        assert validate_rule(merged.rule).ok
+
+    def test_shared_spine_variables_are_merged(self, sigma):
+        merged = universal_from_transformation(sigma, name="U")
+        tree = merged.table_tree
+        # //book appears in Rule(book) and Rule(chapter) but becomes a single
+        # variable of the merged rule: only one child of the root maps //book.
+        book_children = [
+            v for v in tree.children(tree.root) if tree.path_from_parent(v).text == "//book"
+        ]
+        assert len(book_children) == 1
+
+    def test_field_name_overrides(self, sigma):
+        merged = universal_from_transformation(
+            sigma, name="U", field_names={("book", "isbn"): "theIsbn"}
+        )
+        assert "theIsbn" in merged.fields
+        assert "bookIsbn" not in merged.fields
+
+    def test_duplicate_target_fields_collapse(self, sigma):
+        # chapter.inBook and book.isbn have different generated names, so both
+        # survive; but merging the same rule twice must not duplicate fields.
+        merged_once = universal_from_transformation(sigma, name="U")
+        assert len(merged_once.fields) == len(set(merged_once.fields))
+
+    def test_merged_rule_supports_cover_computation(self, sigma, paper_keys):
+        from repro.core import minimum_cover_from_keys
+        from repro.relational.fd import implies_fd
+
+        merged = universal_from_transformation(sigma, name="U")
+        cover = minimum_cover_from_keys(paper_keys, merged)
+        # book.isbn and chapter.inBook come from the same attribute node, so
+        # the cover must imply the FDs phrased in terms of either of them.
+        assert implies_fd(cover.cover, "bookIsbn -> bookTitle")
+        assert implies_fd(cover.cover, "chapterInBook -> bookTitle")
+        assert implies_fd(cover.cover, "bookIsbn -> chapterInBook")
+        assert implies_fd(cover.cover, "bookIsbn, chapterNumber -> chapterName")

@@ -1,0 +1,43 @@
+"""Unit tests for the programmatic document builder."""
+
+from repro.xmlmodel.builder import attr, document, element, text
+from repro.xmlmodel.tree import XMLTree
+
+
+class TestBuilder:
+    def test_element_with_attributes_and_children(self):
+        node = element("book", {"isbn": "123"}, element("title", text("XML")))
+        assert node.attribute_value("isbn") == "123"
+        assert node.child_elements("title")[0].text_content() == "XML"
+
+    def test_attributes_optional(self):
+        node = element("book", element("title"))
+        assert node.attributes == {}
+        assert [child.label for child in node.children] == ["title"]
+
+    def test_string_children_become_text_nodes(self):
+        node = element("title", "XML")
+        assert node.text_content() == "XML"
+
+    def test_attr_helper(self):
+        assert attr("isbn", "123") == {"isbn": "123"}
+
+    def test_attribute_values_coerced_to_str(self):
+        node = element("chapter", {"number": 7})
+        assert node.attribute_value("number") == "7"
+
+    def test_document_assigns_ids(self):
+        tree = document(element("r", element("a"), element("b")))
+        assert isinstance(tree, XMLTree)
+        assert [node.node_id for node in tree.iter_nodes()] == [0, 1, 2]
+
+    def test_nested_builders_compose(self):
+        tree = document(
+            element(
+                "r",
+                element("book", {"isbn": "1"}, element("chapter", {"number": "1"})),
+                element("book", {"isbn": "2"}),
+            )
+        )
+        assert len(tree.elements_by_tag("book")) == 2
+        assert len(tree.elements_by_tag("chapter")) == 1

@@ -1,0 +1,153 @@
+"""Unit tests for the node classes of the XML tree model."""
+
+import pytest
+
+from repro.xmlmodel.nodes import AttributeNode, ElementNode, NodeKind, TextNode
+
+
+class TestTextNode:
+    def test_label_is_hash_text(self):
+        assert TextNode("hello").label == "#text"
+
+    def test_kind(self):
+        assert TextNode("x").kind is NodeKind.TEXT
+
+    def test_predicates(self):
+        node = TextNode("x")
+        assert node.is_text()
+        assert not node.is_element()
+        assert not node.is_attribute()
+
+    def test_stores_text(self):
+        assert TextNode("some data").text == "some data"
+
+
+class TestAttributeNode:
+    def test_label_has_at_prefix(self):
+        assert AttributeNode("isbn", "123").label == "@isbn"
+
+    def test_leading_at_is_stripped_from_name(self):
+        node = AttributeNode("@isbn", "123")
+        assert node.name == "isbn"
+        assert node.label == "@isbn"
+
+    def test_value(self):
+        assert AttributeNode("number", "10").value == "10"
+
+    def test_kind_predicates(self):
+        node = AttributeNode("a", "1")
+        assert node.is_attribute()
+        assert not node.is_element()
+        assert not node.is_text()
+
+
+class TestElementNode:
+    def test_label_is_tag(self):
+        assert ElementNode("book").label == "book"
+
+    def test_append_child_sets_parent(self):
+        parent = ElementNode("book")
+        child = ElementNode("title")
+        parent.append_child(child)
+        assert child.parent is parent
+        assert parent.children == [child]
+
+    def test_append_attribute_node_rejected(self):
+        parent = ElementNode("book")
+        with pytest.raises(TypeError):
+            parent.append_child(AttributeNode("isbn", "1"))
+
+    def test_set_attribute_creates_node(self):
+        book = ElementNode("book")
+        attr = book.set_attribute("isbn", "123")
+        assert attr.parent is book
+        assert book.attribute("isbn") is attr
+        assert book.attribute("@isbn") is attr
+
+    def test_set_attribute_replaces_existing(self):
+        book = ElementNode("book")
+        book.set_attribute("isbn", "123")
+        book.set_attribute("isbn", "456")
+        assert book.attribute_value("isbn") == "456"
+        assert len(book.attributes) == 1
+
+    def test_remove_attribute(self):
+        book = ElementNode("book")
+        book.set_attribute("isbn", "123")
+        book.remove_attribute("@isbn")
+        assert book.attribute("isbn") is None
+
+    def test_attribute_value_missing_is_none(self):
+        assert ElementNode("book").attribute_value("isbn") is None
+
+    def test_child_elements_filter_by_tag(self):
+        book = ElementNode("book")
+        title = ElementNode("title")
+        chapter1 = ElementNode("chapter")
+        chapter2 = ElementNode("chapter")
+        for child in (title, chapter1, chapter2):
+            book.append_child(child)
+        assert book.child_elements("chapter") == [chapter1, chapter2]
+        assert book.child_elements() == [title, chapter1, chapter2]
+
+    def test_child_elements_excludes_text(self):
+        book = ElementNode("book")
+        book.append_child(TextNode("xx"))
+        assert book.child_elements() == []
+
+    def test_text_content_concatenates_descendants(self):
+        book = ElementNode("book")
+        title = ElementNode("title")
+        title.append_child(TextNode("XML "))
+        title.append_child(TextNode("handbook"))
+        book.append_child(title)
+        assert book.text_content() == "XML handbook"
+
+    def test_len_counts_children(self):
+        book = ElementNode("book")
+        book.append_child(ElementNode("title"))
+        book.append_child(TextNode("x"))
+        assert len(book) == 2
+
+
+class TestTraversal:
+    @pytest.fixture()
+    def tree(self):
+        root = ElementNode("r")
+        book = ElementNode("book")
+        book.set_attribute("isbn", "123")
+        title = ElementNode("title")
+        title.append_child(TextNode("XML"))
+        book.append_child(title)
+        chapter = ElementNode("chapter")
+        chapter.set_attribute("number", "1")
+        book.append_child(chapter)
+        root.append_child(book)
+        return root
+
+    def test_preorder_without_attributes(self, tree):
+        labels = [node.label for node in tree.iter_preorder()]
+        assert labels == ["r", "book", "title", "#text", "chapter"]
+
+    def test_preorder_with_attributes_visits_attrs_first(self, tree):
+        labels = [node.label for node in tree.iter_preorder(include_attributes=True)]
+        assert labels == ["r", "book", "@isbn", "title", "#text", "chapter", "@number"]
+
+    def test_descendant_or_self_elements(self, tree):
+        labels = [node.label for node in tree.iter_descendant_or_self_elements()]
+        assert labels == ["r", "book", "title", "chapter"]
+
+    def test_ancestors(self, tree):
+        chapter = tree.child_elements("book")[0].child_elements("chapter")[0]
+        assert [node.label for node in chapter.ancestors()] == ["book", "r"]
+
+    def test_root(self, tree):
+        chapter = tree.child_elements("book")[0].child_elements("chapter")[0]
+        assert chapter.root() is tree
+
+    def test_depth(self, tree):
+        book = tree.child_elements("book")[0]
+        chapter = book.child_elements("chapter")[0]
+        assert tree.depth() == 0
+        assert book.depth() == 1
+        assert chapter.depth() == 2

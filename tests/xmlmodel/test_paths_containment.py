@@ -1,0 +1,126 @@
+"""Unit tests for path-expression containment (the oracle behind implication)."""
+
+import pytest
+
+from repro.xmlmodel.paths import contains, parse_path
+
+
+def contained(sub, sup):
+    """L(sub) ⊆ L(sup)."""
+    return contains(parse_path(sup), parse_path(sub))
+
+
+class TestReflexivityAndEpsilon:
+    @pytest.mark.parametrize("path", ["", "a", "a/b", "//a", "a//b", "//", "//a/b/@c"])
+    def test_every_expression_contains_itself(self, path):
+        assert contained(path, path)
+
+    def test_epsilon_in_descendant(self):
+        assert contained("", "//")
+
+    def test_epsilon_not_in_label(self):
+        assert not contained("", "a")
+
+    def test_label_not_in_epsilon(self):
+        assert not contained("a", "")
+
+
+class TestChildOnlyPaths:
+    def test_equal_simple_paths(self):
+        assert contained("a/b/c", "a/b/c")
+
+    def test_different_labels(self):
+        assert not contained("a/b", "a/c")
+
+    def test_different_lengths(self):
+        assert not contained("a/b", "a/b/c")
+        assert not contained("a/b/c", "a/b")
+
+
+class TestDescendantCovering:
+    def test_descendant_covers_any_element_path(self):
+        assert contained("a", "//")
+        assert contained("a/b/c", "//")
+
+    def test_descendant_prefix_covers_longer_concrete_prefix(self):
+        assert contained("lib/shelf/book", "//book")
+        assert contained("book", "//book")
+
+    def test_descendant_does_not_cover_wrong_tail(self):
+        assert not contained("book/chapter", "//book")
+
+    def test_inner_descendant(self):
+        assert contained("a/x/y/b", "a//b")
+        assert contained("a/b", "a//b")
+        assert not contained("a/b/c", "a//c/d")
+
+    def test_descendant_covers_empty_segment(self):
+        assert contained("a/b", "a//b")
+        assert contained("//book/chapter", "//book//chapter")
+
+    def test_multiple_descendants(self):
+        assert contained("a/x/b/y/c", "//a//b//c")
+        assert not contained("a/c/b", "//a//b//c")
+
+
+class TestDescendantOnTheLeft:
+    def test_descendant_only_contained_in_descendant(self):
+        assert contained("//", "//")
+        assert not contained("//", "a")
+        assert not contained("//", "a//")
+
+    def test_descendant_suffix(self):
+        assert contained("//a", "//")
+        assert contained("a//", "//")
+        assert contained("a//b", "//b")
+        assert contained("a//b", "a//b")
+        assert not contained("a//b", "a/b")
+
+    def test_longer_covering_prefix_fails(self):
+        # //book ⊄ //book/chapter (a path ending at a book is not a chapter path)
+        assert not contained("//book", "//book/chapter")
+
+    def test_context_target_compositions(self):
+        # The compositions used by the implication engine.
+        assert contained("//book/chapter", "//book/chapter")
+        assert contained("//book/chapter/section", "//book//section")
+        assert contained("//book/chapter/section", "//section")
+        assert not contained("//book/section", "//book/chapter/section")
+
+
+class TestAttributesAndDescendants:
+    def test_attribute_step_exact_match(self):
+        assert contained("book/@isbn", "book/@isbn")
+        assert not contained("book/@isbn", "book/@issn")
+
+    def test_descendant_does_not_absorb_attribute_step(self):
+        # '//' ranges over element paths only, so it cannot swallow '@isbn'.
+        assert not contained("book/@isbn", "//")
+        assert contained("book/@isbn", "//@isbn")
+        assert contained("lib/book/@isbn", "//book/@isbn")
+
+    def test_attribute_in_the_middle_is_not_matched_by_descendant(self):
+        assert not contained("a/@x/b", "//b")
+
+
+class TestMutualContainmentAsEquivalence:
+    @pytest.mark.parametrize(
+        "first,second",
+        [
+            ("a////b", "a//b"),
+            ("//a//", "//a//"),
+        ],
+    )
+    def test_equivalent_expressions(self, first, second):
+        assert contained(first, second) and contained(second, first)
+
+    @pytest.mark.parametrize(
+        "first,second",
+        [
+            ("a//b", "a/b"),     # strict: right is a subset of left
+            ("//book", "book"),
+        ],
+    )
+    def test_strict_containment_one_direction_only(self, first, second):
+        assert contained(second, first)
+        assert not contained(first, second)

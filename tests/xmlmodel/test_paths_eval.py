@@ -1,0 +1,119 @@
+"""Unit tests for path-expression evaluation (``n[[P]]``) over documents."""
+
+import pytest
+
+from repro.xmlmodel.builder import document, element, text
+from repro.xmlmodel.paths import parse_path
+
+
+@pytest.fixture()
+def tree():
+    """A compact version of the Figure 1 document."""
+    return document(
+        element(
+            "r",
+            element(
+                "book",
+                {"isbn": "123"},
+                element("title", text("XML")),
+                element(
+                    "chapter",
+                    {"number": "1"},
+                    element("name", text("Introduction")),
+                    element("section", {"number": "1"}, element("name", text("Fundamentals"))),
+                    element("section", {"number": "2"}, element("name", text("Attributes"))),
+                ),
+                element("chapter", {"number": "10"}, element("name", text("Conclusion"))),
+            ),
+            element(
+                "book",
+                {"isbn": "234"},
+                element("title", text("XML")),
+                element("chapter", {"number": "1"}, element("name", text("Getting Acquainted"))),
+            ),
+        )
+    )
+
+
+def labels(nodes):
+    return [node.label for node in nodes]
+
+
+class TestEvaluation:
+    def test_epsilon_returns_the_node_itself(self, tree):
+        assert parse_path("").evaluate(tree.root) == [tree.root]
+
+    def test_child_step(self, tree):
+        assert labels(parse_path("book").evaluate(tree.root)) == ["book", "book"]
+
+    def test_child_step_no_match(self, tree):
+        assert parse_path("magazine").evaluate(tree.root) == []
+
+    def test_child_chain(self, tree):
+        names = parse_path("book/chapter/name").evaluate(tree.root)
+        assert [n.text_content() for n in names] == [
+            "Introduction",
+            "Conclusion",
+            "Getting Acquainted",
+        ]
+
+    def test_descendant_or_self_includes_self(self, tree):
+        book = tree.root.child_elements("book")[0]
+        result = parse_path("//").evaluate(book)
+        assert result[0] is book
+        assert all(node.is_element() for node in result)
+
+    def test_descendant_label(self, tree):
+        # Example 2.2: [[//@number]] has five members in Figure 1.
+        numbers = parse_path("//@number").evaluate(tree.root)
+        assert len(numbers) == 5
+        assert all(node.is_attribute() for node in numbers)
+
+    def test_descendant_element(self, tree):
+        assert len(parse_path("//section").evaluate(tree.root)) == 2
+
+    def test_descendant_then_child(self, tree):
+        chapters = parse_path("//book/chapter").evaluate(tree.root)
+        assert len(chapters) == 3
+
+    def test_attribute_step(self, tree):
+        book = tree.root.child_elements("book")[0]
+        isbn = parse_path("@isbn").evaluate(book)
+        assert len(isbn) == 1
+        assert isbn[0].value == "123"
+
+    def test_attribute_step_missing(self, tree):
+        assert parse_path("@missing").evaluate(tree.root) == []
+
+    def test_attribute_has_no_children(self, tree):
+        assert parse_path("@isbn/name").evaluate(tree.root.child_elements("book")[0]) == []
+
+    def test_descendant_does_not_traverse_into_attributes(self, tree):
+        # '//name' must not return attribute nodes even though sections have
+        # @number attributes — only the <name> elements.
+        names = parse_path("//name").evaluate(tree.root)
+        assert all(node.is_element() for node in names)
+        assert len(names) == 5
+
+    def test_relative_evaluation_from_inner_node(self, tree):
+        book = tree.root.child_elements("book")[0]
+        sections = parse_path("chapter/section").evaluate(book)
+        assert len(sections) == 2
+
+    def test_no_duplicates_with_overlapping_descendants(self, tree):
+        # '//book//name' could reach the same node through several descendant
+        # bindings; the result must still be duplicate-free.
+        names = parse_path("//book//name").evaluate(tree.root)
+        assert len(names) == len({id(n) for n in names}) == 5
+
+    def test_document_order_preserved(self, tree):
+        chapters = parse_path("//chapter").evaluate(tree.root)
+        numbers = [c.attribute_value("number") for c in chapters]
+        assert numbers == ["1", "10", "1"]
+
+    def test_matches_concrete_path(self):
+        assert parse_path("//book/chapter").matches(["book", "chapter"])
+        assert parse_path("//book/chapter").matches(["lib", "shelf", "book", "chapter"])
+        assert not parse_path("//book/chapter").matches(["book"])
+        assert parse_path("//").matches([])
+        assert parse_path("book/@isbn").matches(["book", "@isbn"])

@@ -1,0 +1,147 @@
+"""Unit tests for path-expression parsing, rendering and algebra."""
+
+import pytest
+
+from repro.xmlmodel.paths import (
+    PathExpression,
+    PathStep,
+    StepKind,
+    concat,
+    parse_path,
+)
+
+
+class TestParsing:
+    @pytest.mark.parametrize("spelling", ["", ".", "epsilon", "ε", "  .  "])
+    def test_epsilon_spellings(self, spelling):
+        assert parse_path(spelling).is_epsilon
+
+    def test_single_label(self):
+        path = parse_path("book")
+        assert [s.text for s in path.steps] == ["book"]
+
+    def test_child_steps(self):
+        path = parse_path("book/chapter/name")
+        assert [s.text for s in path.steps] == ["book", "chapter", "name"]
+
+    def test_descendant_prefix(self):
+        path = parse_path("//book")
+        assert [s.kind for s in path.steps] == [StepKind.DESCENDANT, StepKind.LABEL]
+
+    def test_descendant_in_the_middle(self):
+        path = parse_path("book//chapter")
+        assert [s.text for s in path.steps] == ["book", "//", "chapter"]
+
+    def test_attribute_step(self):
+        path = parse_path("//book/@isbn")
+        assert path.steps[-1].kind is StepKind.ATTRIBUTE
+        assert path.steps[-1].name == "isbn"
+
+    def test_bare_attribute(self):
+        path = parse_path("@number")
+        assert path.is_attribute_step
+
+    def test_trailing_descendant(self):
+        path = parse_path("book//")
+        assert path.steps[-1].kind is StepKind.DESCENDANT
+
+    def test_only_descendant(self):
+        path = parse_path("//")
+        assert len(path.steps) == 1
+
+    def test_empty_step_rejected(self):
+        # '/' alone separates steps; a name is required between separators.
+        with pytest.raises(ValueError):
+            parse_path("book/ /chapter")
+
+
+class TestNormalisationAndEquality:
+    def test_adjacent_descendants_collapse(self):
+        assert parse_path("book////chapter") == parse_path("book//chapter")
+
+    def test_equality_and_hash(self):
+        assert parse_path("//book/chapter") == parse_path("//book/chapter")
+        assert hash(parse_path("a/b")) == hash(parse_path("a/b"))
+        assert parse_path("a/b") != parse_path("a//b")
+
+    def test_text_round_trips(self):
+        for source in [".", "//book", "book/chapter", "//book/chapter/@number", "a//b", "//"]:
+            assert parse_path(parse_path(source).text) == parse_path(source)
+
+    def test_epsilon_text_is_dot(self):
+        assert PathExpression.epsilon().text == "."
+
+
+class TestProperties:
+    def test_is_simple(self):
+        assert parse_path("book/chapter").is_simple
+        assert not parse_path("//book").is_simple
+        assert parse_path("").is_simple
+
+    def test_length(self):
+        assert parse_path("").length == 0
+        assert parse_path("//book/chapter").length == 3
+
+    def test_labels_of_simple_path(self):
+        assert parse_path("book/@isbn").labels() == ["book", "@isbn"]
+
+    def test_labels_rejects_descendant(self):
+        with pytest.raises(ValueError):
+            parse_path("//book").labels()
+
+    def test_ends_with_attribute(self):
+        assert parse_path("book/@isbn").ends_with_attribute
+        assert not parse_path("book/title").ends_with_attribute
+
+
+class TestAlgebra:
+    def test_concat_basic(self):
+        assert concat("//book", "chapter") == parse_path("//book/chapter")
+
+    def test_concat_with_epsilon_is_identity(self):
+        path = parse_path("//book")
+        assert concat(path, "") == path
+        assert concat("", path) == path
+
+    def test_concat_collapses_descendants(self):
+        assert concat("book//", "//chapter") == parse_path("book//chapter")
+
+    def test_truediv_operator(self):
+        assert parse_path("//book") / "chapter" == parse_path("//book/chapter")
+
+    def test_prefixes_enumerates_all_splits(self):
+        path = parse_path("a/b/c")
+        splits = list(path.prefixes())
+        assert len(splits) == 4
+        assert splits[0] == (PathExpression.epsilon(), path)
+        assert splits[-1] == (path, PathExpression.epsilon())
+        for prefix, suffix in splits:
+            assert concat(prefix, suffix) == path
+
+    def test_of_coercion(self):
+        assert PathExpression.of("a/b") == parse_path("a/b")
+        assert PathExpression.of(parse_path("a")) == parse_path("a")
+        assert PathExpression.of([PathStep.label("a")]) == parse_path("a")
+
+
+class TestPathStep:
+    def test_label_factory_detects_attribute(self):
+        assert PathStep.label("@isbn").kind is StepKind.ATTRIBUTE
+        assert PathStep.label("isbn").kind is StepKind.LABEL
+
+    def test_descendant_has_no_name(self):
+        with pytest.raises(ValueError):
+            PathStep(StepKind.DESCENDANT, "x")
+
+    def test_label_needs_name(self):
+        with pytest.raises(ValueError):
+            PathStep(StepKind.LABEL, "")
+
+    def test_matches_label(self):
+        assert PathStep.label("book").matches_label("book")
+        assert not PathStep.label("book").matches_label("chapter")
+        assert PathStep.attribute("isbn").matches_label("@isbn")
+
+    def test_descendant_matches_label_raises(self):
+        with pytest.raises(ValueError):
+            PathStep.descendant().matches_label("book")

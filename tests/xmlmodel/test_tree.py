@@ -1,0 +1,122 @@
+"""Unit tests for XMLTree: identifiers, value() semantics, copy."""
+
+import pytest
+
+from repro.xmlmodel.builder import document, element, text
+from repro.xmlmodel.nodes import ElementNode
+from repro.xmlmodel.tree import XMLTree
+
+
+@pytest.fixture()
+def small_tree():
+    return document(
+        element(
+            "r",
+            element(
+                "book",
+                {"isbn": "123"},
+                element("title", text("XML")),
+                element(
+                    "chapter",
+                    {"number": "1"},
+                    element("name", text("Introduction")),
+                ),
+            ),
+        )
+    )
+
+
+class TestConstruction:
+    def test_root_must_be_element(self):
+        with pytest.raises(TypeError):
+            XMLTree("not a node")  # type: ignore[arg-type]
+
+    def test_node_ids_assigned_in_document_order(self, small_tree):
+        ids = [node.node_id for node in small_tree.iter_nodes()]
+        assert ids == list(range(len(small_tree)))
+
+    def test_root_has_id_zero(self, small_tree):
+        assert small_tree.root.node_id == 0
+
+    def test_node_lookup_roundtrip(self, small_tree):
+        for node in small_tree.iter_nodes():
+            assert small_tree.node(node.node_id) is node
+
+    def test_node_lookup_missing_raises(self, small_tree):
+        with pytest.raises(KeyError):
+            small_tree.node(10_000)
+
+    def test_len_counts_all_node_kinds(self, small_tree):
+        # r, book, @isbn, title, text, chapter, @number, name, text
+        assert len(small_tree) == 9
+
+    def test_reindex_after_mutation(self, small_tree):
+        book = small_tree.root.child_elements("book")[0]
+        book.append_child(element("appendix"))
+        small_tree.reindex()
+        labels = {node.label for node in small_tree.iter_nodes()}
+        assert "appendix" in labels
+        ids = [node.node_id for node in small_tree.iter_nodes()]
+        assert ids == list(range(len(small_tree)))
+
+
+class TestValueSemantics:
+    def test_attribute_value(self, small_tree):
+        book = small_tree.root.child_elements("book")[0]
+        assert XMLTree.value(book.attribute("isbn")) == "123"
+
+    def test_text_value(self, small_tree):
+        title = small_tree.root.child_elements("book")[0].child_elements("title")[0]
+        assert XMLTree.value(title.children[0]) == "XML"
+
+    def test_single_text_element_collapses_to_text(self, small_tree):
+        title = small_tree.root.child_elements("book")[0].child_elements("title")[0]
+        assert XMLTree.value(title) == "XML"
+
+    def test_element_value_is_preorder_listing(self, small_tree):
+        chapter = small_tree.root.child_elements("book")[0].child_elements("chapter")[0]
+        value = XMLTree.value(chapter)
+        # Example 2.5: value(chapter) = (@number:1, name: (S: Introduction))-like
+        assert value.startswith("(")
+        assert "@number:1" in value
+        assert "Introduction" in value
+
+    def test_equal_subtrees_have_equal_values(self):
+        make = lambda: element("chapter", {"number": "1"}, element("name", text("Intro")))
+        assert XMLTree.value(make()) == XMLTree.value(make())
+
+    def test_different_attribute_values_differ(self):
+        first = element("chapter", {"number": "1"})
+        second = element("chapter", {"number": "2"})
+        assert XMLTree.value(first) != XMLTree.value(second)
+
+    def test_nested_structure_reflected(self):
+        node = element("a", element("b", element("c", text("deep"))))
+        value = XMLTree.value(node)
+        assert "b" in value and "c" in value and "deep" in value
+
+
+class TestQueriesAndCopy:
+    def test_elements_by_tag(self, small_tree):
+        assert len(small_tree.elements_by_tag("chapter")) == 1
+        assert len(small_tree.elements_by_tag("missing")) == 0
+
+    def test_find_first(self, small_tree):
+        assert small_tree.find_first("title").label == "title"
+        assert small_tree.find_first("nothing") is None
+
+    def test_copy_is_deep(self, small_tree):
+        clone = small_tree.copy()
+        assert len(clone) == len(small_tree)
+        assert clone.root is not small_tree.root
+        # Mutating the clone does not affect the original.
+        clone.root.child_elements("book")[0].set_attribute("isbn", "999")
+        assert small_tree.root.child_elements("book")[0].attribute_value("isbn") == "123"
+
+    def test_copy_preserves_values(self, small_tree):
+        clone = small_tree.copy()
+        assert XMLTree.value(clone.root) == XMLTree.value(small_tree.root)
+
+    def test_iter_elements_only_elements(self, small_tree):
+        assert all(node.is_element() for node in small_tree.iter_elements())
+        assert len(list(small_tree.iter_elements())) == 5

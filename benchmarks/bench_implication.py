@@ -3,11 +3,16 @@
 Section 6 attributes the running-time behaviour of both checking algorithms
 to the cost of the implication oracle, which grows with the size of the key
 set; these benchmarks isolate that cost (and the benefit of memoisation).
+
+The ``exist-test`` group compares the engine-level memoised ``exist`` test
+(new) against the stateless module-level function it wraps (old): Algorithm
+``propagation`` and both cover computations re-probe the same (path,
+attribute-set) pairs many times per run, which is what the cache collapses.
 """
 
 import pytest
 
-from repro.keys.implication import ImplicationEngine
+from repro.keys.implication import ImplicationEngine, attributes_exist
 from repro.xmlmodel.paths import contains, parse_path
 
 
@@ -41,6 +46,37 @@ def test_memoised_queries_amortise(benchmark, workload_cache):
 
     results = benchmark(run_batch)
     assert all(results)
+
+
+def _exist_probe_grid():
+    paths = [parse_path("//lvl0"), parse_path("//lvl0/lvl1"), parse_path("//lvl0/lvl1/lvl2")]
+    attribute_sets = [{"k1"}, {"k2"}, {"k1", "k2"}, {"missing"}]
+    return [(path, attrs) for path in paths for attrs in attribute_sets]
+
+
+@pytest.mark.benchmark(group="exist-test")
+def test_exist_stateless_repeated_probes(benchmark, workload_cache):
+    """Old path: every probe rescans the key set from scratch."""
+    workload = workload_cache(15, 5, 50)
+    grid = _exist_probe_grid()
+
+    def run_batch():
+        return [attributes_exist(workload.keys, path, attrs) for path, attrs in grid * 25]
+
+    assert any(benchmark(run_batch))
+
+
+@pytest.mark.benchmark(group="exist-test")
+def test_exist_memoised_repeated_probes(benchmark, workload_cache):
+    """New path: the engine caches each (path, attribute-set) verdict."""
+    workload = workload_cache(15, 5, 50)
+    engine = ImplicationEngine(workload.keys)
+    grid = _exist_probe_grid()
+
+    def run_batch():
+        return [engine.attributes_exist(path, attrs) for path, attrs in grid * 25]
+
+    assert any(benchmark(run_batch))
 
 
 @pytest.mark.benchmark(group="path-containment")

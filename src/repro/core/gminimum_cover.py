@@ -21,9 +21,9 @@ from typing import Iterable, List, Optional
 
 from repro.core.minimum_cover import MinimumCoverResult, minimum_cover_from_keys
 from repro.core.propagation import PropagationResult, attribute_field_pairs
-from repro.keys.implication import ImplicationEngine, attributes_exist
+from repro.keys.implication import ImplicationEngine
 from repro.keys.key import XMLKey
-from repro.relational.fd import FDLike, coerce_fd, implies_fd
+from repro.relational.fd import FDLike, coerce_fd
 from repro.transform.rule import TableRule
 from repro.transform.table_tree import TableTree
 from repro.transform.universal import UniversalRelation
@@ -36,22 +36,33 @@ def gminimum_cover_check(
     engine: Optional[ImplicationEngine] = None,
     cover: Optional[MinimumCoverResult] = None,
     check_existence: bool = True,
+    fd_engine: Optional[str] = None,
 ) -> PropagationResult:
     """Check propagation of ``fd`` by way of the minimum cover.
 
     A pre-computed ``cover`` may be passed to amortise repeated checks over
-    the same relation (the natural usage of this algorithm).
+    the same relation (the natural usage of this algorithm); the relational
+    implication test itself is amortised too — the cover is interned into a
+    bitset pool once and each check is a single counter closure.  A
+    pre-built ``engine`` must be over the same key set as ``keys`` (it
+    answers both implication and existence queries).
     """
     rule = universal.rule if isinstance(universal, UniversalRelation) else universal
     fd = coerce_fd(fd)
     key_list = list(keys)
-    engine = engine or ImplicationEngine(key_list)
+    if engine is None:
+        engine = ImplicationEngine(key_list)
+    elif not engine.covers_keys(key_list):
+        raise ValueError(
+            "the supplied ImplicationEngine is built over a different key set "
+            "than `keys`; implication and existence answers would disagree"
+        )
     if cover is None:
-        cover = minimum_cover_from_keys(key_list, rule, engine=engine)
+        cover = minimum_cover_from_keys(key_list, rule, engine=engine, fd_engine=fd_engine)
     table_tree = TableTree(rule)
 
     trace: List[str] = [f"minimum cover has {len(cover.cover)} FDs"]
-    identified = fd.is_trivial or implies_fd(cover.cover, fd)
+    identified = fd.is_trivial or cover.implies(fd, engine=fd_engine)
     trace.append(
         f"relational implication of {fd} from the cover: {'yes' if identified else 'no'}"
     )
@@ -69,8 +80,8 @@ def gminimum_cover_check(
             pairs = attribute_field_pairs(table_tree, ancestor, still_missing)
             if not pairs:
                 continue
-            if attributes_exist(
-                key_list, table_tree.path_from_root(ancestor), {attribute for attribute, _ in pairs}
+            if engine.attributes_exist(
+                table_tree.path_from_root(ancestor), {attribute for attribute, _ in pairs}
             ):
                 still_missing -= {field_name for _, field_name in pairs}
         if still_missing:

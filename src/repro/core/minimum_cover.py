@@ -40,9 +40,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
-from repro.keys.implication import ImplicationEngine, attributes_exist
+from repro.keys.implication import ImplicationEngine
 from repro.keys.key import XMLKey
-from repro.relational.fd import FunctionalDependency, minimize
+from repro.relational.bitset import BitFDSet
+from repro.relational.fd import FDLike, FunctionalDependency, _resolve_engine, coerce_fd, implies_fd, minimize
 from repro.transform.rule import TableRule
 from repro.transform.table_tree import TableTree
 from repro.transform.universal import UniversalRelation
@@ -71,12 +72,35 @@ class MinimumCoverResult:
     candidate_keys: Dict[str, List[CandidateKey]]
     representative: Dict[str, FrozenSet[str]]
     implication_queries: int = 0
+    _fast_pool: Optional[BitFDSet] = field(
+        default=None, repr=False, compare=False
+    )
+    _fast_pool_cover: Optional[List[FunctionalDependency]] = field(
+        default=None, repr=False, compare=False
+    )
 
     def __iter__(self):
         return iter(self.cover)
 
     def __len__(self) -> int:
         return len(self.cover)
+
+    def implies(self, fd: FDLike, engine: Optional[str] = None) -> bool:
+        """Does the cover imply ``fd``?  Amortised across repeated checks.
+
+        ``GminimumCover`` tests many FDs against one cover; the bitset
+        engine interns the cover once and answers each test with a single
+        counter closure instead of rebuilding the pool per query.  The
+        interned pool is rebuilt if ``cover`` has been mutated since, so
+        both engines always answer from the current list.
+        """
+        candidate = coerce_fd(fd)
+        if _resolve_engine(engine) == "bitset":
+            if self._fast_pool is None or self._fast_pool_cover != self.cover:
+                self._fast_pool = BitFDSet.from_fds(self.cover)
+                self._fast_pool_cover = list(self.cover)
+            return self._fast_pool.implies(candidate)
+        return implies_fd(self.cover, candidate, engine=engine)
 
     def describe(self) -> str:
         return "\n".join(str(fd) for fd in self.cover)
@@ -87,11 +111,27 @@ def minimum_cover_from_keys(
     universal: "TableRule | UniversalRelation",
     engine: Optional[ImplicationEngine] = None,
     require_existence: bool = False,
+    fd_engine: Optional[str] = None,
 ) -> MinimumCoverResult:
-    """Compute a minimum cover for the FDs on ``U`` propagated from ``keys``."""
+    """Compute a minimum cover for the FDs on ``U`` propagated from ``keys``.
+
+    A pre-built ``engine`` must be over the same key set as ``keys``: both
+    the implication queries and the memoised existence tests are answered
+    from the engine's keys.
+
+    ``fd_engine`` selects the relational FD engine used for the Phase 3
+    minimisation (``"bitset"`` / ``"frozenset"``; defaults to the global
+    ``REPRO_FD_ENGINE`` setting).
+    """
     rule = universal.rule if isinstance(universal, UniversalRelation) else universal
     key_list = list(keys)
-    engine = engine or ImplicationEngine(key_list)
+    if engine is None:
+        engine = ImplicationEngine(key_list)
+    elif not engine.covers_keys(key_list):
+        raise ValueError(
+            "the supplied ImplicationEngine is built over a different key set "
+            "than `keys`; implication and existence answers would disagree"
+        )
     table_tree = TableTree(rule)
     root = table_tree.root
 
@@ -154,7 +194,7 @@ def minimum_cover_from_keys(
         if fd in seen_fds:
             return
         if require_existence and not _existence_holds(
-            key_list, table_tree, lhs, rule.field_variable(field_name)
+            engine, table_tree, lhs, rule.field_variable(field_name)
         ):
             return
         seen_fds.add(fd)
@@ -202,7 +242,7 @@ def minimum_cover_from_keys(
     # ------------------------------------------------------------------
     # Phase 3: relational minimisation.
     # ------------------------------------------------------------------
-    cover = minimize(generated)
+    cover = minimize(generated, engine=fd_engine)
     return MinimumCoverResult(
         cover=cover,
         generated=generated,
@@ -213,7 +253,7 @@ def minimum_cover_from_keys(
 
 
 def _existence_holds(
-    keys: List[XMLKey],
+    engine: ImplicationEngine,
     table_tree: TableTree,
     lhs_fields: FrozenSet[str],
     y_variable: str,
@@ -226,8 +266,8 @@ def _existence_holds(
         pairs = attribute_field_pairs(table_tree, ancestor, missing)
         if not pairs:
             continue
-        if attributes_exist(
-            keys, table_tree.path_from_root(ancestor), {attribute for attribute, _ in pairs}
+        if engine.attributes_exist(
+            table_tree.path_from_root(ancestor), {attribute for attribute, _ in pairs}
         ):
             missing -= {field_name for _, field_name in pairs}
     return not missing

@@ -39,7 +39,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
-from repro.keys.implication import ImplicationEngine, attributes_exist
+from repro.keys.implication import ImplicationEngine
 from repro.keys.key import XMLKey
 from repro.relational.fd import FDLike, FunctionalDependency, coerce_fd
 from repro.transform.rule import TableRule
@@ -119,7 +119,13 @@ def check_propagation(
     """
     fd = coerce_fd(fd)
     key_list = list(keys)
-    engine = engine or ImplicationEngine(key_list)
+    if engine is None:
+        engine = ImplicationEngine(key_list)
+    elif not engine.covers_keys(key_list):
+        raise ValueError(
+            "the supplied ImplicationEngine is built over a different key set "
+            "than `keys`; implication and existence answers would disagree"
+        )
     table_tree = TableTree(rule)
 
     unknown = (fd.lhs | fd.rhs) - set(rule.field_names)
@@ -135,7 +141,7 @@ def check_propagation(
     missing: Set[str] = set()
     for attribute in sorted(fd.rhs):
         single = _check_single_rhs(
-            key_list, engine, table_tree, fd.lhs, attribute, trace, check_existence
+            engine, table_tree, fd.lhs, attribute, trace, check_existence
         )
         identified_all = identified_all and single[0]
         existence_all = existence_all and single[1]
@@ -154,7 +160,6 @@ def check_propagation(
 
 
 def _check_single_rhs(
-    keys: List[XMLKey],
     engine: ImplicationEngine,
     table_tree: TableTree,
     lhs: FrozenSet[str],
@@ -220,7 +225,7 @@ def _check_single_rhs(
         if not pairs:
             continue
         target_path = table_tree.path_from_root(target)
-        if attributes_exist(keys, target_path, {attribute for attribute, _ in pairs}):
+        if engine.attributes_exist(target_path, {attribute for attribute, _ in pairs}):
             for attribute, field_name in pairs:
                 missing.discard(field_name)
                 trace.append(

@@ -39,6 +39,7 @@ from __future__ import annotations
 from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
 
 from repro.keys.key import XMLKey
+from repro.relational.bitset import AttributeUniverse
 from repro.xmlmodel.paths import PathExpression, PathLike, concat, contains
 
 
@@ -79,16 +80,31 @@ class ImplicationEngine:
 
     def __init__(self, keys: Iterable[XMLKey]) -> None:
         self.keys: Tuple[XMLKey, ...] = tuple(keys)
-        self._variants: List[Tuple[PathExpression, PathExpression, FrozenSet[str]]] = []
+        # Attribute-name sets recur constantly in `_derive` (one subset test
+        # per variant per query); interning them to bit masks via a shared
+        # universe turns those tests into single integer operations.
+        self._universe = AttributeUniverse()
+        self._variants: List[Tuple[PathExpression, PathExpression, int]] = []
         for key in self.keys:
+            attrs_mask = self._universe.mask(key.attributes)
             for prefix, suffix in key.target.prefixes():
                 self._variants.append(
-                    (concat(key.context, prefix), suffix, key.attributes)
+                    (concat(key.context, prefix), suffix, attrs_mask)
                 )
         self._cache: Dict[
             Tuple[PathExpression, PathExpression, FrozenSet[str]], bool
         ] = {}
+        self._exist_cache: Dict[Tuple[PathExpression, FrozenSet[str]], bool] = {}
         self.query_count = 0
+
+    #: Bound on memoised ``exist`` verdicts; enumeration-style callers can
+    #: probe arbitrarily many distinct (path, attribute-set) pairs over an
+    #: engine's lifetime, and entries past this bound are simply recomputed.
+    EXIST_CACHE_LIMIT = 4096
+
+    def covers_keys(self, keys: Iterable[XMLKey]) -> bool:
+        """Is this engine built over exactly the given key set?"""
+        return set(self.keys) == set(keys)
 
     # ------------------------------------------------------------------
     def implies(self, query: XMLKey) -> bool:
@@ -101,6 +117,25 @@ class ImplicationEngine:
     ) -> bool:
         """Convenience overload taking the three components of the key."""
         return self.implies(XMLKey(context, target, attributes))
+
+    def attributes_exist(self, path: PathLike, attributes: Iterable[str]) -> bool:
+        """Memoised ``exist`` test against this engine's key set.
+
+        Algorithm ``propagation`` and both cover computations re-probe the
+        same (path, attribute-set) pairs many times per run; the cache makes
+        repeats O(1) dictionary hits.
+        """
+        wanted = frozenset(name.lstrip("@") for name in attributes)
+        if not wanted:
+            return True
+        path_expr = PathExpression.of(path)
+        cache_key = (path_expr, wanted)
+        cached = self._exist_cache.get(cache_key)
+        if cached is None:
+            cached = attributes_exist(self.keys, path_expr, wanted)
+            if len(self._exist_cache) < self.EXIST_CACHE_LIMIT:
+                self._exist_cache[cache_key] = cached
+        return cached
 
     # ------------------------------------------------------------------
     def _implies(
@@ -127,22 +162,27 @@ class ImplicationEngine:
     ) -> bool:
         # Rule "epsilon": a subtree has exactly one root.
         if target.is_epsilon:
-            return attributes_exist(self.keys, context, attributes)
+            return self.attributes_exist(context, attributes)
         # Rule "attribute uniqueness": at most one @a per element.
         if target.is_attribute_step and not attributes:
             return True
         # Rules "target-to-context" + "containment" + "attribute weakening",
-        # applied against every key of Σ.
+        # applied against every key of Σ.  Attribute sets are compared as
+        # interned bit masks; query-only attribute names are interned on the
+        # fly and can never occur in a variant mask.
+        attributes_mask = self._universe.mask(attributes)
         scope = concat(context, target)
         for variant_context, variant_target, variant_attrs in self._variants:
-            if not variant_attrs <= attributes:
+            if variant_attrs & ~attributes_mask:
                 continue
             if not contains(variant_context, context):
                 continue
             if not contains(variant_target, target):
                 continue
-            extra = attributes - variant_attrs
-            if extra and not attributes_exist(self.keys, scope, extra):
+            extra = attributes_mask & ~variant_attrs
+            if extra and not self.attributes_exist(
+                scope, self._universe.names(extra)
+            ):
                 continue
             return True
         # Rule "prefix uniqueness": split the target at every step boundary.

@@ -17,10 +17,13 @@ need:
 
 from repro.relational.schema import DatabaseSchema, RelationSchema
 from repro.relational.instance import NULL, NullType, RelationInstance, Row
+from repro.relational.bitset import AttributeUniverse, BitFDSet
 from repro.relational.fd import (
+    ENGINE_ENV_VAR,
     FDSet,
     FunctionalDependency,
     attribute_closure,
+    default_engine,
     equivalent,
     implies_fd,
     minimize,
@@ -37,8 +40,12 @@ from repro.relational.normalization import (
 from repro.relational import algebra
 
 __all__ = [
+    "AttributeUniverse",
+    "BitFDSet",
+    "ENGINE_ENV_VAR",
     "DatabaseSchema",
     "RelationSchema",
+    "default_engine",
     "NULL",
     "NullType",
     "RelationInstance",

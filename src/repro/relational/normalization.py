@@ -9,11 +9,13 @@ computed from the XML keys.
 from __future__ import annotations
 
 from itertools import combinations
-from typing import FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Callable, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
+from repro.relational.bitset import BitFDSet
 from repro.relational.fd import (
     FDLike,
     FunctionalDependency,
+    _resolve_engine,
     attribute_closure,
     coerce_fd,
     minimum_cover,
@@ -21,8 +23,43 @@ from repro.relational.fd import (
 from repro.relational.schema import AttrSetLike, RelationSchema, attr_set
 
 
+def _superkey_test(
+    target: FrozenSet[str],
+    pool: Sequence[FunctionalDependency],
+    engine: Optional[str],
+) -> Callable[[Iterable[str]], bool]:
+    """A reusable ``is this a superkey of target?`` predicate.
+
+    The bitset engine builds one :class:`BitFDSet` and answers every probe
+    with a counter closure (early-exiting once the target is covered) — the
+    candidate-key search below calls this up to ``2^|attrs|`` times, so
+    amortising the pool construction matters.
+    """
+    if _resolve_engine(engine) == "bitset":
+        bits = BitFDSet.from_fds(pool)
+        target_mask = bits.universe.mask(target)
+
+        def probe(candidate: Iterable[str]) -> bool:
+            mask = bits.universe.mask(candidate)
+            return (
+                target_mask
+                & ~bits.closure_mask(mask, until=target_mask)
+                == 0
+            )
+
+        return probe
+
+    def probe(candidate: Iterable[str]) -> bool:
+        return target <= attribute_closure(candidate, pool, engine="frozenset")
+
+    return probe
+
+
 def candidate_keys(
-    attributes: AttrSetLike, fds: Iterable[FDLike], limit: Optional[int] = None
+    attributes: AttrSetLike,
+    fds: Iterable[FDLike],
+    limit: Optional[int] = None,
+    engine: Optional[str] = None,
 ) -> List[FrozenSet[str]]:
     """All candidate keys of a relation (minimal determining sets).
 
@@ -32,6 +69,16 @@ def candidate_keys(
     """
     attrs = attr_set(attributes)
     pool = [coerce_fd(fd) for fd in fds]
+    is_key = _superkey_test(attrs, pool, engine)
+    return _candidate_keys_with_probe(attrs, pool, is_key, limit)
+
+
+def _candidate_keys_with_probe(
+    attrs: FrozenSet[str],
+    pool: Sequence[FunctionalDependency],
+    is_key: Callable[[Iterable[str]], bool],
+    limit: Optional[int] = None,
+) -> List[FrozenSet[str]]:
     # Attributes never appearing on any RHS must be part of every key.
     rhs_attrs: Set[str] = set()
     for fd in pool:
@@ -40,26 +87,36 @@ def candidate_keys(
     optional = sorted(attrs - mandatory)
 
     keys: List[FrozenSet[str]] = []
-    if attribute_closure(mandatory, pool) >= attrs:
+    if is_key(mandatory):
         return [mandatory]
     for size in range(0, len(optional) + 1):
         for extra in combinations(optional, size):
             candidate = mandatory | frozenset(extra)
             if any(existing <= candidate for existing in keys):
                 continue
-            if attribute_closure(candidate, pool) >= attrs:
+            if is_key(candidate):
                 keys.append(candidate)
                 if limit is not None and len(keys) >= limit:
                     return keys
     return keys
 
 
-def is_superkey(attributes: AttrSetLike, schema_attributes: AttrSetLike, fds: Iterable[FDLike]) -> bool:
-    return attr_set(schema_attributes) <= attribute_closure(attributes, list(fds))
+def is_superkey(
+    attributes: AttrSetLike,
+    schema_attributes: AttrSetLike,
+    fds: Iterable[FDLike],
+    engine: Optional[str] = None,
+) -> bool:
+    return attr_set(schema_attributes) <= attribute_closure(
+        attributes, list(fds), engine=engine
+    )
 
 
 def project_fds(
-    attributes: AttrSetLike, fds: Iterable[FDLike], minimize_result: bool = True
+    attributes: AttrSetLike,
+    fds: Iterable[FDLike],
+    minimize_result: bool = True,
+    engine: Optional[str] = None,
 ) -> List[FunctionalDependency]:
     """Project a set of FDs onto a subset of attributes.
 
@@ -72,39 +129,61 @@ def project_fds(
     attrs = sorted(attr_set(attributes))
     pool = [coerce_fd(fd) for fd in fds]
     projected: List[FunctionalDependency] = []
-    for size in range(1, len(attrs) + 1):
-        for subset in combinations(attrs, size):
-            closure = attribute_closure(subset, pool)
-            rhs = (closure & set(attrs)) - set(subset)
-            if rhs:
-                projected.append(FunctionalDependency(subset, rhs))
+    if _resolve_engine(engine) == "bitset":
+        bits = BitFDSet.from_fds(pool)
+        universe = bits.universe
+        attrs_mask = universe.mask(attrs)
+        for size in range(1, len(attrs) + 1):
+            for subset in combinations(attrs, size):
+                subset_mask = universe.mask(subset)
+                closure_mask = bits.closure_mask(subset_mask)
+                rhs_mask = closure_mask & attrs_mask & ~subset_mask
+                if rhs_mask:
+                    projected.append(
+                        FunctionalDependency(subset, universe.names(rhs_mask))
+                    )
+    else:
+        for size in range(1, len(attrs) + 1):
+            for subset in combinations(attrs, size):
+                closure = attribute_closure(subset, pool, engine="frozenset")
+                rhs = (closure & set(attrs)) - set(subset)
+                if rhs:
+                    projected.append(FunctionalDependency(subset, rhs))
     if minimize_result:
-        return minimum_cover(projected, merge_lhs=True)
+        return minimum_cover(projected, merge_lhs=True, engine=engine)
     return projected
 
 
-def is_bcnf(attributes: AttrSetLike, fds: Iterable[FDLike]) -> bool:
+def is_bcnf(
+    attributes: AttrSetLike, fds: Iterable[FDLike], engine: Optional[str] = None
+) -> bool:
     """Is the relation (with these FDs, already projected) in BCNF?"""
     attrs = attr_set(attributes)
     pool = [coerce_fd(fd) for fd in fds]
+    is_key = _superkey_test(attrs, pool, engine)
     for fd in pool:
         if fd.is_trivial:
             continue
-        if not attrs <= attribute_closure(fd.lhs, pool):
+        if not is_key(fd.lhs):
             return False
     return True
 
 
-def is_3nf(attributes: AttrSetLike, fds: Iterable[FDLike]) -> bool:
+def is_3nf(
+    attributes: AttrSetLike, fds: Iterable[FDLike], engine: Optional[str] = None
+) -> bool:
     """Is the relation in 3NF (every RHS attribute prime or LHS a superkey)?"""
     attrs = attr_set(attributes)
     pool = [coerce_fd(fd) for fd in fds]
-    keys = candidate_keys(attrs, pool)
+    # One probe (and one interned pool) shared by the key search and the
+    # per-FD superkey tests below.
+    is_key = _superkey_test(attrs, pool, engine)
+    keys = _candidate_keys_with_probe(attrs, pool, is_key)
     prime = set().union(*keys) if keys else set()
     for fd in pool:
         if fd.is_trivial:
             continue
-        if attrs <= attribute_closure(fd.lhs, pool):
+        if is_key(fd.lhs):
             continue
         if not (fd.rhs - fd.lhs) <= prime:
             return False
@@ -115,6 +194,7 @@ def bcnf_decompose(
     name: str,
     attributes: Sequence[str],
     fds: Iterable[FDLike],
+    engine: Optional[str] = None,
 ) -> List[RelationSchema]:
     """Lossless-join BCNF decomposition of ``name(attributes)`` under ``fds``.
 
@@ -125,32 +205,45 @@ def bcnf_decompose(
     readability; every produced schema carries its candidate keys.
     """
     pool = [coerce_fd(fd) for fd in fds]
-    fragments = _bcnf_recurse(tuple(attributes), pool)
+    fragments = _bcnf_recurse(tuple(attributes), pool, engine)
     schemas: List[RelationSchema] = []
     for index, fragment in enumerate(fragments):
-        fragment_fds = project_fds(fragment, pool)
-        keys = candidate_keys(fragment, fragment_fds)
+        fragment_fds = project_fds(fragment, pool, engine=engine)
+        keys = candidate_keys(fragment, fragment_fds, engine=engine)
         schema_name = f"{name}_{index + 1}" if len(fragments) > 1 else name
         schemas.append(RelationSchema(schema_name, sorted(fragment), keys=keys or [fragment]))
     return schemas
 
 
+def _closure_fn(
+    pool: Sequence[FunctionalDependency], engine: Optional[str]
+) -> Callable[[Iterable[str]], FrozenSet[str]]:
+    """A reusable closure function over one pool (interned once on bitset)."""
+    if _resolve_engine(engine) == "bitset":
+        bits = BitFDSet.from_fds(pool)
+        return bits.closure
+    return lambda attrs: attribute_closure(attrs, pool, engine="frozenset")
+
+
 def _bcnf_recurse(
-    attributes: Tuple[str, ...], fds: List[FunctionalDependency]
+    attributes: Tuple[str, ...],
+    fds: List[FunctionalDependency],
+    engine: Optional[str] = None,
 ) -> List[FrozenSet[str]]:
     attrs = frozenset(attributes)
-    local_fds = project_fds(attrs, fds)
+    local_fds = project_fds(attrs, fds, engine=engine)
+    local_closure = _closure_fn(local_fds, engine)
     for fd in local_fds:
         if fd.is_trivial:
             continue
-        closure = attribute_closure(fd.lhs, local_fds)
+        closure = local_closure(fd.lhs)
         if attrs <= closure:
             continue
         # Violation: split around fd.lhs.
         first = frozenset(fd.lhs | (closure & attrs))
         second = frozenset((attrs - (closure & attrs)) | fd.lhs)
-        left = _bcnf_recurse(tuple(sorted(first)), fds)
-        right = _bcnf_recurse(tuple(sorted(second)), fds)
+        left = _bcnf_recurse(tuple(sorted(first)), fds, engine)
+        right = _bcnf_recurse(tuple(sorted(second)), fds, engine)
         merged = left + [fragment for fragment in right if fragment not in left]
         return merged
     return [attrs]
@@ -160,6 +253,7 @@ def synthesize_3nf(
     name: str,
     attributes: Sequence[str],
     fds: Iterable[FDLike],
+    engine: Optional[str] = None,
 ) -> List[RelationSchema]:
     """Bernstein-style 3NF synthesis from a minimum cover.
 
@@ -167,7 +261,7 @@ def synthesize_3nf(
     group, and adds a relation holding a candidate key of the whole schema if
     none of the groups contains one (guaranteeing a lossless join).
     """
-    pool = minimum_cover(fds, merge_lhs=True)
+    pool = minimum_cover(fds, merge_lhs=True, engine=engine)
     attrs = attr_set(attributes)
     schemas: List[RelationSchema] = []
     covered: Set[FrozenSet[str]] = set()
@@ -179,7 +273,7 @@ def synthesize_3nf(
         schemas.append(
             RelationSchema(f"{name}_{index + 1}", sorted(fragment), keys=[fd.lhs if fd.lhs else fragment])
         )
-    global_keys = candidate_keys(attrs, pool, limit=1)
+    global_keys = candidate_keys(attrs, pool, limit=1, engine=engine)
     global_key = global_keys[0] if global_keys else attrs
     if not any(global_key <= frozenset(schema.attributes) for schema in schemas):
         schemas.append(RelationSchema(f"{name}_key", sorted(global_key), keys=[global_key]))

@@ -201,3 +201,37 @@ class TestStatistics:
     def test_implication_queries_counted(self, paper_keys, universal):
         result = minimum_cover_from_keys(paper_keys, universal)
         assert result.implication_queries > 0
+
+
+class TestEngineRegression:
+    """The FD-engine swap must not change minimum-cover output at all.
+
+    Pins the exact, ordered cover of the paper's Section 5 running example
+    (Example 3.1) under both relational FD engines — a silent behavioural
+    drift in either engine fails this before any property test runs.
+    """
+
+    PINNED_COVER = [
+        FunctionalDependency({"bookIsbn"}, {"bookTitle"}),
+        FunctionalDependency({"bookIsbn"}, {"authContact"}),
+        FunctionalDependency({"bookIsbn", "chapNum"}, {"chapName"}),
+        FunctionalDependency({"bookIsbn", "chapNum", "secNum"}, {"secName"}),
+    ]
+
+    def test_bitset_engine_cover_is_pinned(self, paper_keys, universal):
+        result = minimum_cover_from_keys(paper_keys, universal, fd_engine="bitset")
+        assert result.cover == self.PINNED_COVER
+
+    def test_frozenset_engine_cover_is_pinned(self, paper_keys, universal):
+        result = minimum_cover_from_keys(paper_keys, universal, fd_engine="frozenset")
+        assert result.cover == self.PINNED_COVER
+
+    def test_pinned_cover_matches_paper_expectation(self):
+        assert set(self.PINNED_COVER) == set(EXPECTED_MINIMUM_COVER)
+
+    def test_result_implies_is_amortised_and_consistent(self, paper_keys, universal):
+        result = minimum_cover_from_keys(paper_keys, universal)
+        for fd in EXPECTED_MINIMUM_COVER:
+            assert result.implies(fd, engine="bitset")
+            assert result.implies(fd, engine="frozenset")
+        assert not result.implies("bookIsbn -> bookAuthor")

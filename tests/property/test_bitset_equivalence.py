@@ -1,0 +1,94 @@
+"""Differential tests: the bitset engine must agree with the frozenset oracle.
+
+The bitset engine of :mod:`repro.relational.bitset` is a from-scratch
+reimplementation of every closure-based routine in
+:mod:`repro.relational.fd`; these Hypothesis properties assert that on random
+FD sets the two engines return *identical* results — same attribute sets,
+same FDs, same list order — so the engine switch can never silently change
+the output of any algorithm built on top.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.relational.fd import (
+    FunctionalDependency,
+    attribute_closure,
+    equivalent,
+    implies_fd,
+    minimize,
+    minimum_cover,
+)
+
+from tests.property.strategies import attribute_sets, fd_sets
+
+differential_settings = settings(max_examples=200, deadline=None)
+
+
+class TestClosureAgrees:
+    @differential_settings
+    @given(fds=fd_sets(), start=attribute_sets(0, 3))
+    def test_attribute_closure_identical(self, fds, start):
+        fast = attribute_closure(start, fds, engine="bitset")
+        slow = attribute_closure(start, fds, engine="frozenset")
+        assert fast == slow
+
+    @differential_settings
+    @given(fds=fd_sets(), start=attribute_sets(0, 3))
+    def test_closure_contains_start_and_is_monotone(self, fds, start):
+        closure = attribute_closure(start, fds, engine="bitset")
+        assert frozenset(start) <= closure
+        assert attribute_closure(closure, fds, engine="bitset") == closure
+
+
+class TestImplicationAgrees:
+    @differential_settings
+    @given(
+        fds=fd_sets(),
+        lhs=attribute_sets(0, 3),
+        rhs=attribute_sets(1, 2),
+    )
+    def test_implies_fd_identical(self, fds, lhs, rhs):
+        candidate = FunctionalDependency(lhs, rhs)
+        fast = implies_fd(fds, candidate, engine="bitset")
+        slow = implies_fd(fds, candidate, engine="frozenset")
+        assert fast == slow
+
+    @differential_settings
+    @given(first=fd_sets(max_fds=4), second=fd_sets(max_fds=4))
+    def test_equivalent_identical(self, first, second):
+        fast = equivalent(first, second, engine="bitset")
+        slow = equivalent(first, second, engine="frozenset")
+        assert fast == slow
+
+
+class TestMinimizeAgrees:
+    @differential_settings
+    @given(fds=fd_sets())
+    def test_minimize_identical_including_order(self, fds):
+        fast = minimize(fds, engine="bitset")
+        slow = minimize(fds, engine="frozenset")
+        assert fast == slow
+
+    @differential_settings
+    @given(fds=fd_sets())
+    def test_minimize_preserves_equivalence(self, fds):
+        reduced = minimize(fds, engine="bitset")
+        assert equivalent(fds, reduced, engine="bitset")
+        assert equivalent(fds, reduced, engine="frozenset")
+
+
+class TestMinimumCoverAgrees:
+    @differential_settings
+    @given(fds=fd_sets(), merge=st.booleans())
+    def test_minimum_cover_identical_including_order(self, fds, merge):
+        fast = minimum_cover(fds, merge_lhs=merge, engine="bitset")
+        slow = minimum_cover(fds, merge_lhs=merge, engine="frozenset")
+        assert fast == slow
+
+    @differential_settings
+    @given(fds=fd_sets())
+    def test_cover_is_singleton_rhs_and_equivalent(self, fds):
+        cover = minimum_cover(fds, engine="bitset")
+        assert all(len(fd.rhs) == 1 for fd in cover)
+        assert equivalent(fds, cover, engine="frozenset")

@@ -35,6 +35,26 @@ class TestFunctionalDependency:
         assert fd.lhs == frozenset()
         assert "∅" in fd.text
 
+    def test_parse_rejects_bare_empty_lhs(self):
+        with pytest.raises(ValueError, match="empty left-hand side"):
+            FunctionalDependency.parse("-> a")
+        with pytest.raises(ValueError, match="empty left-hand side"):
+            FunctionalDependency.parse("  →  a, b")
+
+    def test_parse_explicit_empty_lhs_spellings(self):
+        for spelling in ("∅ -> a", "{} -> a", "∅ → a"):
+            fd = FunctionalDependency.parse(spelling)
+            assert fd.lhs == frozenset()
+            assert fd.rhs == frozenset({"a"})
+
+    def test_parse_empty_lhs_round_trips_through_text(self):
+        fd = FunctionalDependency((), {"a"})
+        assert FunctionalDependency.parse(fd.text) == fd
+
+    def test_parse_rejects_empty_marker_mixed_with_attributes(self):
+        with pytest.raises(ValueError, match="mixes"):
+            FunctionalDependency.parse("∅, b -> a")
+
     def test_trivial_detection(self):
         assert FunctionalDependency({"a", "b"}, {"a"}).is_trivial
         assert not FunctionalDependency({"a"}, {"b"}).is_trivial

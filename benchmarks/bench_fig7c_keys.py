@@ -10,7 +10,7 @@ as single-round pedantic benchmarks.
 import pytest
 
 from repro.core.gminimum_cover import gminimum_cover_check
-from repro.core.propagation import check_propagation
+from repro.core.propagation import check_propagation, propagated_fds
 
 
 KEY_GRID = [10, 25, 50, 100]
@@ -25,6 +25,16 @@ def test_propagation_vs_keys(benchmark, workload_cache, num_keys):
     fd = workload.sample_fd()
     result = benchmark(check_propagation, workload.keys, workload.rule, fd)
     assert result.identified
+
+
+@pytest.mark.benchmark(group="fig7c-propagation-batch")
+@pytest.mark.parametrize("num_keys", KEY_GRID)
+def test_propagation_batch_vs_keys(benchmark, workload_cache, num_keys):
+    """Batch variant (PR 2): one engine + one table tree across all FDs."""
+    workload = workload_cache(FIELDS, DEPTH, num_keys)
+    fds = [workload.sample_fd(level) for level in range(workload.depth)]
+    results = benchmark(propagated_fds, workload.keys, workload.rule, fds)
+    assert all(result.identified for result in results)
 
 
 @pytest.mark.benchmark(group="fig7c-GminimumCover")

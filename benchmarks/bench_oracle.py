@@ -1,0 +1,125 @@
+"""PR-2 oracle benchmarks: the fast key-implication path vs. the pre-PR path.
+
+Every Fig. 7 workload bottoms out in the implication oracle: ``contains``
+probes (path-language containment), variant scans in ``_derive`` and
+table-tree traversals.  PR 2 interned the paths, made containment an
+iterative DP with a persistent cross-call memo, indexed the engine's
+target-to-context variants, and shared one engine + table tree across batch
+workloads.  These benchmarks compare the two configurations end-to-end on
+the Fig. 7(c) spot-check shape (200 fields / depth 10 / 100 keys):
+
+* **new** — ``propagated_fds`` batch + ``minimum_cover_from_keys`` with the
+  default indexed engine and memoised containment;
+* **old** — per-FD ``check_propagation`` with a shared engine but per-call
+  table-tree rebuilds, linear variant scans (``indexed=False``) and the
+  per-call recursive containment (``naive_containment``).  This reproduces
+  the pre-PR *algorithms* (the reference oracle kept in-tree); it still
+  rides on PR-2 substrate the switches cannot turn off (interned paths,
+  precomputed key hashes/scopes, tree-traversal memos), so it is a
+  conservative baseline — the true pre-PR commit is slower still.
+
+``test_oracle_speedup_report`` turns the comparison into a pass/fail gate
+(new ≥ 5× old), in the style of PR 1's ``test_engine_speedup_report``; it
+uses plain ``perf_counter`` timing so it also runs under
+``--benchmark-disable`` in CI.
+"""
+
+import time
+
+import pytest
+
+from repro.core.minimum_cover import minimum_cover_from_keys
+from repro.core.propagation import check_propagation, propagated_fds
+from repro.keys.implication import ImplicationEngine
+from repro.xmlmodel.paths import clear_containment_cache, naive_containment
+
+
+FIELDS = 200
+DEPTH = 10
+KEYS = 100
+
+
+def _batch_fds(workload):
+    return [workload.sample_fd(level) for level in range(workload.depth)]
+
+
+def _run_new(workload, fds):
+    results = propagated_fds(workload.keys, workload.rule, fds)
+    cover = minimum_cover_from_keys(workload.keys, workload.rule)
+    return results, cover
+
+
+def _run_old(workload, fds):
+    with naive_containment():
+        engine = ImplicationEngine(workload.keys, indexed=False)
+        results = [
+            check_propagation(workload.keys, workload.rule, fd, engine=engine)
+            for fd in fds
+        ]
+        cover = minimum_cover_from_keys(
+            workload.keys,
+            workload.rule,
+            engine=ImplicationEngine(workload.keys, indexed=False),
+        )
+    return results, cover
+
+
+@pytest.mark.benchmark(group="oracle-batch")
+def test_oracle_batch_new(benchmark, workload_cache):
+    workload = workload_cache(FIELDS, DEPTH, KEYS)
+    fds = _batch_fds(workload)
+    results, cover = benchmark(_run_new, workload, fds)
+    assert len(cover.cover) > 0 and len(results) == len(fds)
+
+
+@pytest.mark.benchmark(group="oracle-batch")
+def test_oracle_batch_old_reference(benchmark, workload_cache):
+    workload = workload_cache(FIELDS, DEPTH, KEYS)
+    fds = _batch_fds(workload)
+    results, cover = benchmark.pedantic(
+        _run_old, args=(workload, fds), rounds=1, iterations=1
+    )
+    assert len(cover.cover) > 0 and len(results) == len(fds)
+
+
+def test_oracle_speedup_report(workload_cache):
+    """The fast oracle must beat the pre-PR path ≥ 5× on the Fig. 7c shape.
+
+    Reports cold (containment memo cleared) and warm timings for the new
+    path; the gate compares the old path against the *cold* new run, so the
+    persistent memo only has whatever one batch naturally accumulates.
+    """
+    workload = workload_cache(FIELDS, DEPTH, KEYS)
+    fds = _batch_fds(workload)
+
+    clear_containment_cache()
+    begin = time.perf_counter()
+    new_results, new_cover = _run_new(workload, fds)
+    cold = time.perf_counter() - begin
+
+    warm = min(
+        _timed(lambda: _run_new(workload, fds)) for _ in range(3)
+    )
+    old = min(_timed(lambda: _run_old(workload, fds)) for _ in range(2))
+
+    old_results, old_cover = _run_old(workload, fds)
+    assert [bool(r) for r in new_results] == [bool(r) for r in old_results]
+    assert sorted(map(str, new_cover.cover)) == sorted(map(str, old_cover.cover))
+
+    speedup_cold = old / cold
+    speedup_warm = old / warm
+    print(
+        f"\nfields  keys  old         new(cold)   new(warm)   speedup(cold/warm)\n"
+        f"{FIELDS:6d}  {KEYS:4d}  {old * 1000:8.1f}ms  {cold * 1000:8.1f}ms  "
+        f"{warm * 1000:8.1f}ms  {speedup_cold:5.1f}x / {speedup_warm:5.1f}x"
+    )
+    assert speedup_cold >= 5.0, (
+        f"fast oracle only {speedup_cold:.1f}x faster than the pre-PR path at "
+        f"{FIELDS} fields / {KEYS} keys (expected >= 5x)"
+    )
+
+
+def _timed(callable_):
+    begin = time.perf_counter()
+    callable_()
+    return time.perf_counter() - begin

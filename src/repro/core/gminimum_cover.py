@@ -37,6 +37,7 @@ def gminimum_cover_check(
     cover: Optional[MinimumCoverResult] = None,
     check_existence: bool = True,
     fd_engine: Optional[str] = None,
+    table_tree: Optional[TableTree] = None,
 ) -> PropagationResult:
     """Check propagation of ``fd`` by way of the minimum cover.
 
@@ -45,9 +46,17 @@ def gminimum_cover_check(
     implication test itself is amortised too — the cover is interned into a
     bitset pool once and each check is a single counter closure.  A
     pre-built ``engine`` must be over the same key set as ``keys`` (it
-    answers both implication and existence queries).
+    answers both implication and existence queries), and a prebuilt
+    ``table_tree`` over the same rule amortises tree construction across a
+    batch of checks.
     """
-    rule = universal.rule if isinstance(universal, UniversalRelation) else universal
+    if isinstance(universal, UniversalRelation):
+        rule = universal.rule
+        if table_tree is None:
+            # Reuse the validated, memo-warm tree the relation carries.
+            table_tree = universal.table_tree
+    else:
+        rule = universal
     fd = coerce_fd(fd)
     key_list = list(keys)
     if engine is None:
@@ -57,9 +66,17 @@ def gminimum_cover_check(
             "the supplied ImplicationEngine is built over a different key set "
             "than `keys`; implication and existence answers would disagree"
         )
+    if table_tree is None:
+        table_tree = TableTree(rule)
+    elif table_tree.rule is not rule:
+        raise ValueError(
+            "the supplied TableTree is built over a different rule than the "
+            "universal relation's; paths and ancestor chains would disagree"
+        )
     if cover is None:
-        cover = minimum_cover_from_keys(key_list, rule, engine=engine, fd_engine=fd_engine)
-    table_tree = TableTree(rule)
+        cover = minimum_cover_from_keys(
+            key_list, rule, engine=engine, fd_engine=fd_engine, table_tree=table_tree
+        )
 
     trace: List[str] = [f"minimum cover has {len(cover.cover)} FDs"]
     identified = fd.is_trivial or cover.implies(fd, engine=fd_engine)

@@ -37,6 +37,7 @@ minimisation (see DESIGN.md for the discussion).
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
@@ -112,18 +113,29 @@ def minimum_cover_from_keys(
     engine: Optional[ImplicationEngine] = None,
     require_existence: bool = False,
     fd_engine: Optional[str] = None,
+    table_tree: Optional[TableTree] = None,
 ) -> MinimumCoverResult:
     """Compute a minimum cover for the FDs on ``U`` propagated from ``keys``.
 
     A pre-built ``engine`` must be over the same key set as ``keys``: both
     the implication queries and the memoised existence tests are answered
-    from the engine's keys.
+    from the engine's keys.  Phases 1 and 2 share that single engine (and a
+    single ``table_tree``, which may likewise be passed in prebuilt), so
+    every oracle verdict of Phase 1 is a warm memo hit when Phase 2
+    re-probes it.
 
     ``fd_engine`` selects the relational FD engine used for the Phase 3
     minimisation (``"bitset"`` / ``"frozenset"``; defaults to the global
     ``REPRO_FD_ENGINE`` setting).
     """
-    rule = universal.rule if isinstance(universal, UniversalRelation) else universal
+    if isinstance(universal, UniversalRelation):
+        rule = universal.rule
+        if table_tree is None:
+            # The universal relation already carries a validated, memo-warm
+            # tree for this rule; reuse it instead of rebuilding.
+            table_tree = universal.table_tree
+    else:
+        rule = universal
     key_list = list(keys)
     if engine is None:
         engine = ImplicationEngine(key_list)
@@ -132,7 +144,13 @@ def minimum_cover_from_keys(
             "the supplied ImplicationEngine is built over a different key set "
             "than `keys`; implication and existence answers would disagree"
         )
-    table_tree = TableTree(rule)
+    if table_tree is None:
+        table_tree = TableTree(rule)
+    elif table_tree.rule is not rule:
+        raise ValueError(
+            "the supplied TableTree is built over a different rule than the "
+            "universal relation's; paths and ancestor chains would disagree"
+        )
     root = table_tree.root
 
     # ------------------------------------------------------------------
@@ -275,9 +293,9 @@ def _existence_holds(
 
 def _parent_first(table_tree: TableTree) -> List[str]:
     order: List[str] = []
-    frontier = [table_tree.root]
+    frontier = deque([table_tree.root])
     while frontier:
-        current = frontier.pop(0)
+        current = frontier.popleft()
         order.append(current)
         frontier.extend(table_tree.children(current))
     return order

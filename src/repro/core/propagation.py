@@ -108,6 +108,7 @@ def check_propagation(
     fd: FDLike,
     engine: Optional[ImplicationEngine] = None,
     check_existence: bool = True,
+    table_tree: Optional[TableTree] = None,
 ) -> PropagationResult:
     """Decide whether the FD is propagated from ``keys`` via ``Rule(R)``.
 
@@ -116,6 +117,10 @@ def check_propagation(
     under which minimum covers are closed under Armstrong's axioms and is
     used by :mod:`repro.core.naive` when cross-validating
     :mod:`repro.core.minimum_cover`.
+
+    A prebuilt ``table_tree`` over the same ``rule`` may be supplied to
+    amortise tree construction (and its memoised traversals) across a batch
+    of FDs — :func:`propagated_fds` does exactly that.
     """
     fd = coerce_fd(fd)
     key_list = list(keys)
@@ -126,7 +131,13 @@ def check_propagation(
             "the supplied ImplicationEngine is built over a different key set "
             "than `keys`; implication and existence answers would disagree"
         )
-    table_tree = TableTree(rule)
+    if table_tree is None:
+        table_tree = TableTree(rule)
+    elif table_tree.rule is not rule:
+        raise ValueError(
+            "the supplied TableTree is built over a different rule than `rule`; "
+            "paths and ancestor chains would disagree"
+        )
 
     unknown = (fd.lhs | fd.rhs) - set(rule.field_names)
     if unknown:
@@ -245,11 +256,28 @@ def propagated_fds(
     rule: TableRule,
     fds: Iterable[FDLike],
     check_existence: bool = True,
+    engine: Optional[ImplicationEngine] = None,
+    table_tree: Optional[TableTree] = None,
 ) -> List[PropagationResult]:
-    """Check a batch of FDs, sharing one implication engine."""
+    """Check a batch of FDs, sharing one implication engine and table tree.
+
+    The engine's memo tables (implication, ``exist`` and hoisted variant
+    candidates) and the tree's traversal memos are warmed by the first FD
+    and answer for the whole batch.
+    """
     key_list = list(keys)
-    engine = ImplicationEngine(key_list)
+    if engine is None:
+        engine = ImplicationEngine(key_list)
+    if table_tree is None:
+        table_tree = TableTree(rule)
     return [
-        check_propagation(key_list, rule, fd, engine=engine, check_existence=check_existence)
+        check_propagation(
+            key_list,
+            rule,
+            fd,
+            engine=engine,
+            check_existence=check_existence,
+            table_tree=table_tree,
+        )
         for fd in fds
     ]

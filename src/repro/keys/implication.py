@@ -36,11 +36,24 @@ only make constraint propagation conservative, never incorrect.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.keys.key import XMLKey
 from repro.relational.bitset import AttributeUniverse
-from repro.xmlmodel.paths import PathExpression, PathLike, concat, contains
+from repro.xmlmodel.paths import (
+    PathExpression,
+    PathLike,
+    PathStep,
+    StepKind,
+    concat,
+    contains,
+)
+
+#: One precomputed target-to-context variant of a key of ``Σ``:
+#: ``(variant context, variant target, attribute mask, first/last concrete
+#: step of the variant target or None)``.  The first/last steps drive the
+#: variant index of :meth:`ImplicationEngine._derive`.
+_Variant = Tuple[PathExpression, PathExpression, int, Optional[PathStep], Optional[PathStep]]
 
 
 def attributes_exist(
@@ -76,25 +89,46 @@ class ImplicationEngine:
     variants (splits of the target path), and answers queries
     :meth:`implies` with memoisation — the same queries recur many times in
     Algorithm ``minimumCover``.
+
+    Variant probing is indexed (PR 2): a variant can only cover a query
+    target whose first/last concrete steps match the variant target's (a
+    covering path that starts or ends with a concrete label forces every
+    covered word to do the same), and ``contains(variant_context, context)``
+    only depends on the query *context*, so its verdicts are hoisted into a
+    per-context candidate list.  Together the two prune most variants
+    without a single containment call.  ``indexed=False`` restores the
+    pre-PR linear scan — the reference arm of the differential tests and
+    oracle benchmarks.
     """
 
-    def __init__(self, keys: Iterable[XMLKey]) -> None:
+    def __init__(self, keys: Iterable[XMLKey], indexed: bool = True) -> None:
         self.keys: Tuple[XMLKey, ...] = tuple(keys)
+        self._key_set: FrozenSet[XMLKey] = frozenset(self.keys)
+        self._indexed = bool(indexed)
         # Attribute-name sets recur constantly in `_derive` (one subset test
         # per variant per query); interning them to bit masks via a shared
         # universe turns those tests into single integer operations.
         self._universe = AttributeUniverse()
-        self._variants: List[Tuple[PathExpression, PathExpression, int]] = []
+        self._variants: List[_Variant] = []
         for key in self.keys:
             attrs_mask = self._universe.mask(key.attributes)
             for prefix, suffix in key.target.prefixes():
+                steps = suffix.steps
+                first = steps[0] if steps and steps[0].kind is not StepKind.DESCENDANT else None
+                last = steps[-1] if steps and steps[-1].kind is not StepKind.DESCENDANT else None
                 self._variants.append(
-                    (concat(key.context, prefix), suffix, attrs_mask)
+                    (concat(key.context, prefix), suffix, attrs_mask, first, last)
                 )
+        # The ``exist`` scan only ever looks at keys carrying attributes and
+        # only needs their scope; precompute that projection once.
+        self._exist_keys: Tuple[Tuple[PathExpression, FrozenSet[str]], ...] = tuple(
+            (key.context_target, key.attributes) for key in self.keys if key.attributes
+        )
         self._cache: Dict[
             Tuple[PathExpression, PathExpression, FrozenSet[str]], bool
         ] = {}
         self._exist_cache: Dict[Tuple[PathExpression, FrozenSet[str]], bool] = {}
+        self._context_candidates: Dict[PathExpression, Tuple[_Variant, ...]] = {}
         self.query_count = 0
 
     #: Bound on memoised ``exist`` verdicts; enumeration-style callers can
@@ -102,9 +136,14 @@ class ImplicationEngine:
     #: engine's lifetime, and entries past this bound are simply recomputed.
     EXIST_CACHE_LIMIT = 4096
 
+    #: Bound on hoisted per-context candidate lists.  Propagation and cover
+    #: workloads query a handful of contexts (one per table-tree variable);
+    #: past the bound the context-filtered list is recomputed per query.
+    CONTEXT_CACHE_LIMIT = 1024
+
     def covers_keys(self, keys: Iterable[XMLKey]) -> bool:
         """Is this engine built over exactly the given key set?"""
-        return set(self.keys) == set(keys)
+        return self._key_set == frozenset(keys)
 
     # ------------------------------------------------------------------
     def implies(self, query: XMLKey) -> bool:
@@ -132,10 +171,20 @@ class ImplicationEngine:
         cache_key = (path_expr, wanted)
         cached = self._exist_cache.get(cache_key)
         if cached is None:
-            cached = attributes_exist(self.keys, path_expr, wanted)
+            cached = self._exist_scan(path_expr, wanted)
             if len(self._exist_cache) < self.EXIST_CACHE_LIMIT:
                 self._exist_cache[cache_key] = cached
         return cached
+
+    def _exist_scan(self, path_expr: PathExpression, wanted: FrozenSet[str]) -> bool:
+        """Uncached ``exist`` test over the precomputed keyed-scope list."""
+        remaining = set(wanted)
+        for scope, attrs in self._exist_keys:
+            if contains(scope, path_expr):
+                remaining -= attrs
+                if not remaining:
+                    return True
+        return not remaining
 
     # ------------------------------------------------------------------
     def _implies(
@@ -172,19 +221,46 @@ class ImplicationEngine:
         # fly and can never occur in a variant mask.
         attributes_mask = self._universe.mask(attributes)
         scope = concat(context, target)
-        for variant_context, variant_target, variant_attrs in self._variants:
-            if variant_attrs & ~attributes_mask:
-                continue
-            if not contains(variant_context, context):
-                continue
-            if not contains(variant_target, target):
-                continue
-            extra = attributes_mask & ~variant_attrs
-            if extra and not self.attributes_exist(
-                scope, self._universe.names(extra)
-            ):
-                continue
-            return True
+        if self._indexed:
+            steps = target.steps
+            # A covering path starting (ending) with a concrete step forces
+            # every covered word — hence the covered expression's first
+            # (last) step — to be that exact step; '//' covered steps can
+            # only be covered by '//' steps.  Steps are interned, so the
+            # comparisons are identity tests.
+            target_first = steps[0] if steps[0].kind is not StepKind.DESCENDANT else None
+            target_last = steps[-1] if steps[-1].kind is not StepKind.DESCENDANT else None
+            for _, variant_target, variant_attrs, first, last in self._candidates(context):
+                if variant_attrs & ~attributes_mask:
+                    continue
+                if first is not None and first is not target_first:
+                    continue
+                if last is not None and last is not target_last:
+                    continue
+                if not contains(variant_target, target):
+                    continue
+                extra = attributes_mask & ~variant_attrs
+                if extra and not self.attributes_exist(
+                    scope, self._universe.names(extra)
+                ):
+                    continue
+                return True
+        else:
+            # Pre-PR reference path: linear scan with per-variant context
+            # containment (kept for the differential suite and benchmarks).
+            for variant_context, variant_target, variant_attrs, _, _ in self._variants:
+                if variant_attrs & ~attributes_mask:
+                    continue
+                if not contains(variant_context, context):
+                    continue
+                if not contains(variant_target, target):
+                    continue
+                extra = attributes_mask & ~variant_attrs
+                if extra and not self.attributes_exist(
+                    scope, self._universe.names(extra)
+                ):
+                    continue
+                return True
         # Rule "prefix uniqueness": split the target at every step boundary.
         for prefix, suffix in target.prefixes():
             if prefix.is_epsilon or suffix.is_epsilon:
@@ -194,6 +270,23 @@ class ImplicationEngine:
             ):
                 return True
         return False
+
+    def _candidates(self, context: PathExpression) -> Tuple[_Variant, ...]:
+        """Variants whose context covers ``context``, hoisted per context.
+
+        ``contains(variant_context, context)`` depends only on the query
+        context, which the oracle loops re-probe for every ancestor pair of
+        the table tree — one filtered tuple per distinct context answers
+        all of them.
+        """
+        candidates = self._context_candidates.get(context)
+        if candidates is None:
+            candidates = tuple(
+                variant for variant in self._variants if contains(variant[0], context)
+            )
+            if len(self._context_candidates) < self.CONTEXT_CACHE_LIMIT:
+                self._context_candidates[context] = candidates
+        return candidates
 
 
 def implies(keys: Iterable[XMLKey], query: XMLKey) -> bool:

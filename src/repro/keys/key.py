@@ -37,7 +37,7 @@ class XMLKey:
     mathematical sets :math:`Σ` of the paper.
     """
 
-    __slots__ = ("name", "context", "target", "attributes")
+    __slots__ = ("name", "context", "target", "attributes", "context_target", "_hash")
 
     def __init__(
         self,
@@ -50,6 +50,11 @@ class XMLKey:
         self.target = PathExpression.of(target)
         self.attributes: FrozenSet[str] = _normalise_attributes(attributes)
         self.name = name
+        #: The concatenation ``context/target`` (the scope of the key),
+        #: precomputed: the implication engine's ``exist`` test reads it for
+        #: every key on every probe.
+        self.context_target: PathExpression = concat(self.context, self.target)
+        self._hash = hash((self.context, self.target, self.attributes))
 
     # ------------------------------------------------------------------
     # Derived properties
@@ -69,11 +74,6 @@ class XMLKey:
         return sorted(self.attributes)
 
     @property
-    def context_target(self) -> PathExpression:
-        """The concatenation ``context/target`` (the scope of the key)."""
-        return concat(self.context, self.target)
-
-    @property
     def size(self) -> int:
         """The paper's ``|key|``: number of steps plus number of key paths."""
         return self.context.length + self.target.length + len(self.attributes)
@@ -82,6 +82,8 @@ class XMLKey:
     # Value semantics
     # ------------------------------------------------------------------
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
         if not isinstance(other, XMLKey):
             return NotImplemented
         return (
@@ -91,7 +93,7 @@ class XMLKey:
         )
 
     def __hash__(self) -> int:
-        return hash((self.context, self.target, self.attributes))
+        return self._hash
 
     def __repr__(self) -> str:
         return f"XMLKey({self.text!r})"

@@ -11,6 +11,7 @@ plus rendering helpers that reproduce the figures of the paper.
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.transform.rule import TableRule
@@ -34,6 +35,12 @@ class TableTree:
             self._path_from_parent[mapping.variable] = mapping.path
             self._children.setdefault(mapping.source, []).append(mapping.variable)
             self._children.setdefault(mapping.variable, [])
+        # Traversal memos: the propagation/cover oracle loops re-ask for the
+        # same ancestor chains and variable-to-variable paths once per FD or
+        # per (ancestor, variable) pair; the tree is immutable after
+        # construction, so the answers are computed once.
+        self._ancestors_cache: Dict[Tuple[str, bool], Tuple[str, ...]] = {}
+        self._path_cache: Dict[Tuple[str, str], PathExpression] = {}
 
     # ------------------------------------------------------------------
     # Structure
@@ -59,15 +66,22 @@ class TableTree:
         """Ancestor chain from the root variable down to ``variable``.
 
         Lines 1–5 of Algorithm ``propagation`` build exactly this list.
+        The chain is memoised; a fresh list is returned so callers may
+        mutate the result freely.
         """
         self._check(variable)
-        chain: List[str] = [variable] if include_self else []
-        current = self._parent[variable]
-        while current is not None:
-            chain.append(current)
-            current = self._parent[current]
-        chain.reverse()
-        return chain
+        cache_key = (variable, include_self)
+        chain = self._ancestors_cache.get(cache_key)
+        if chain is None:
+            collected: List[str] = [variable] if include_self else []
+            current = self._parent[variable]
+            while current is not None:
+                collected.append(current)
+                current = self._parent[current]
+            collected.reverse()
+            chain = tuple(collected)
+            self._ancestors_cache[cache_key] = chain
+        return list(chain)
 
     def is_ancestor(self, ancestor: str, descendant: str, strict: bool = False) -> bool:
         self._check(ancestor)
@@ -79,9 +93,9 @@ class TableTree:
     def descendants(self, variable: str, include_self: bool = False) -> List[str]:
         self._check(variable)
         result: List[str] = [variable] if include_self else []
-        frontier = list(self._children.get(variable, []))
+        frontier = deque(self._children.get(variable, []))
         while frontier:
-            current = frontier.pop(0)
+            current = frontier.popleft()
             result.append(current)
             frontier.extend(self._children.get(current, []))
         return result
@@ -94,17 +108,24 @@ class TableTree:
         """
         self._check(ancestor)
         self._check(descendant)
+        cache_key = (ancestor, descendant)
+        cached = self._path_cache.get(cache_key)
+        if cached is not None:
+            return cached
         if ancestor == descendant:
-            return PathExpression.epsilon()
-        segments: List[PathExpression] = []
-        current: Optional[str] = descendant
-        while current is not None and current != ancestor:
-            segments.append(self._path_from_parent[current])
-            current = self._parent[current]
-        if current is None:
-            raise ValueError(f"{ancestor!r} is not an ancestor of {descendant!r}")
-        segments.reverse()
-        return concat(*segments)
+            result = PathExpression.epsilon()
+        else:
+            segments: List[PathExpression] = []
+            current: Optional[str] = descendant
+            while current is not None and current != ancestor:
+                segments.append(self._path_from_parent[current])
+                current = self._parent[current]
+            if current is None:
+                raise ValueError(f"{ancestor!r} is not an ancestor of {descendant!r}")
+            segments.reverse()
+            result = concat(*segments)
+        self._path_cache[cache_key] = result
+        return result
 
     def path_from_root(self, variable: str) -> PathExpression:
         return self.path_between(self.root, variable)

@@ -24,13 +24,36 @@ language, with one semantic restriction mirroring the XML data model: the
 ``//`` step only traverses *element* nodes, so an attribute step is never
 absorbed by ``//`` during containment checking and attribute nodes have no
 descendants during evaluation.
+
+Performance architecture (the key-implication oracle hot path)
+--------------------------------------------------------------
+
+Path values are *interned*: :class:`PathStep` and :class:`PathExpression`
+keep process-level pools, so equal values are the same object, hashes are
+precomputed once, and equality starts with an identity test.  ``parse_path``
+and the pairwise worker behind :func:`concat` are cached on top of the
+pools, which makes the path keys that the implication engine hashes and
+compares millions of times O(1) instead of re-hashing step tuples.
+
+Containment is decided by an *iterative* dynamic program over the interned
+step tuples (:func:`_containment`) whose verdicts live in a bounded
+cross-call memo table: the implication engine probes the same
+``(covering, covered)`` pairs thousands of times per cover computation, and
+every repeat is a single dict hit.  The pre-existing per-call recursive
+procedure is kept verbatim as :func:`_containment_recursive` — the
+reference oracle of the differential test suite — and the
+:func:`naive_containment` context manager routes :func:`contains` through
+it (bypassing the memo) so benchmarks can measure the pre-optimisation
+path end-to-end.
 """
 
 from __future__ import annotations
 
 import enum
+import weakref
+from contextlib import contextmanager
 from functools import lru_cache
-from typing import Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+from typing import Dict, Iterable, Iterator, List, MutableMapping, Optional, Sequence, Tuple, Union
 
 from repro.xmlmodel.nodes import ElementNode, Node
 
@@ -44,17 +67,36 @@ class StepKind(enum.Enum):
 
 
 class PathStep:
-    """One step of a path expression (a label, an attribute, or ``//``)."""
+    """One step of a path expression (a label, an attribute, or ``//``).
 
-    __slots__ = ("kind", "name")
+    Steps are interned: constructing the same ``(kind, name)`` twice yields
+    the same object, with its hash precomputed, so step tuples hash and
+    compare at pointer speed inside the containment/implication hot path.
+    The pool holds weak references, so steps no longer reachable from any
+    expression, cache or caller are reclaimed with their last reference.
+    """
 
-    def __init__(self, kind: StepKind, name: Optional[str] = None) -> None:
+    __slots__ = ("kind", "name", "_hash", "__weakref__")
+
+    _pool: MutableMapping[Tuple[StepKind, Optional[str]], "PathStep"] = (
+        weakref.WeakValueDictionary()
+    )
+
+    def __new__(cls, kind: StepKind, name: Optional[str] = None) -> "PathStep":
+        key = (kind, name)
+        cached = cls._pool.get(key)
+        if cached is not None:
+            return cached
         if kind is StepKind.DESCENDANT and name is not None:
             raise ValueError("a descendant step carries no name")
         if kind is not StepKind.DESCENDANT and not name:
             raise ValueError("label and attribute steps need a name")
+        self = super().__new__(cls)
         self.kind = kind
         self.name = name
+        self._hash = hash(key)
+        cls._pool[key] = self
+        return self
 
     # Convenience constructors -----------------------------------------
     @staticmethod
@@ -73,12 +115,25 @@ class PathStep:
 
     # Value semantics ----------------------------------------------------
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
         if not isinstance(other, PathStep):
             return NotImplemented
         return self.kind is other.kind and self.name == other.name
 
     def __hash__(self) -> int:
-        return hash((self.kind, self.name))
+        return self._hash
+
+    # Copy/pickle: reconstruct through __new__ so deserialised steps
+    # re-enter the intern pool (preserving the identity invariants).
+    def __getnewargs__(self) -> Tuple[StepKind, Optional[str]]:
+        return (self.kind, self.name)
+
+    def __copy__(self) -> "PathStep":
+        return self
+
+    def __deepcopy__(self, memo: dict) -> "PathStep":
+        return self
 
     def __repr__(self) -> str:
         return f"PathStep({self.text!r})"
@@ -108,11 +163,21 @@ class PathExpression:
 
     Normalisation collapses adjacent ``//`` steps (``////`` ≡ ``//``), which
     preserves the denoted language and makes equality/hashing meaningful.
+
+    Expressions are interned by their normalised step tuple: equal
+    expressions are the same object (so equality is usually an identity
+    test) and the hash is computed exactly once per distinct expression.
+    The pool holds weak references — an expression lives exactly as long
+    as something (a key, a cache entry, a caller) still points at it.
     """
 
-    __slots__ = ("steps",)
+    __slots__ = ("steps", "_hash", "__weakref__")
 
-    def __init__(self, steps: Iterable[PathStep] = ()) -> None:
+    _pool: MutableMapping[Tuple[PathStep, ...], "PathExpression"] = (
+        weakref.WeakValueDictionary()
+    )
+
+    def __new__(cls, steps: Iterable[PathStep] = ()) -> "PathExpression":
         normalised: List[PathStep] = []
         for step in steps:
             if (
@@ -122,7 +187,15 @@ class PathExpression:
             ):
                 continue
             normalised.append(step)
-        self.steps: Tuple[PathStep, ...] = tuple(normalised)
+        key = tuple(normalised)
+        cached = cls._pool.get(key)
+        if cached is not None:
+            return cached
+        self = super().__new__(cls)
+        self.steps: Tuple[PathStep, ...] = key
+        self._hash = hash(key)
+        cls._pool[key] = self
+        return self
 
     # ------------------------------------------------------------------
     # Constructors
@@ -223,12 +296,25 @@ class PathExpression:
     # Value semantics / rendering
     # ------------------------------------------------------------------
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
         if not isinstance(other, PathExpression):
             return NotImplemented
         return self.steps == other.steps
 
     def __hash__(self) -> int:
-        return hash(self.steps)
+        return self._hash
+
+    # Copy/pickle: reconstruct through __new__ so deserialised expressions
+    # re-enter the intern pool (preserving the identity invariants).
+    def __getnewargs__(self) -> Tuple[Tuple[PathStep, ...]]:
+        return (self.steps,)
+
+    def __copy__(self) -> "PathExpression":
+        return self
+
+    def __deepcopy__(self, memo: dict) -> "PathExpression":
+        return self
 
     def __repr__(self) -> str:
         return f"PathExpression({self.text!r})"
@@ -260,11 +346,15 @@ _EPSILON = PathExpression(())
 _EPSILON_SPELLINGS = {"", ".", "epsilon", "ε"}
 
 
+@lru_cache(maxsize=1 << 14)
 def parse_path(text: str) -> PathExpression:
     """Parse the textual syntax of path expressions.
 
     Examples: ``""`` / ``"."`` (epsilon), ``"//book"``, ``"book/chapter"``,
     ``"//book/chapter/@number"``, ``"author/contact"``, ``"//"``.
+
+    Results are cached: expressions are interned anyway, so re-parsing a
+    spelling already seen is a pure dictionary hit.
     """
     stripped = text.strip()
     if stripped in _EPSILON_SPELLINGS:
@@ -295,11 +385,25 @@ def parse_path(text: str) -> PathExpression:
 # Concatenation
 # ----------------------------------------------------------------------
 def concat(*parts: PathLike) -> PathExpression:
-    """Concatenate path expressions: ``concat(P, Q) = P/Q``."""
-    steps: List[PathStep] = []
+    """Concatenate path expressions: ``concat(P, Q) = P/Q``.
+
+    Folds over a cached pairwise worker: the implication engine concatenates
+    the same (context, target) pairs over and over, and interning makes the
+    resulting expressions cheap cache keys.
+    """
+    result = _EPSILON
     for part in parts:
-        steps.extend(PathExpression.of(part).steps)
-    return PathExpression(steps)
+        result = _concat2(result, PathExpression.of(part))
+    return result
+
+
+@lru_cache(maxsize=1 << 15)
+def _concat2(left: PathExpression, right: PathExpression) -> PathExpression:
+    if left.is_epsilon:
+        return right
+    if right.is_epsilon:
+        return left
+    return PathExpression(left.steps + right.steps)
 
 
 # ----------------------------------------------------------------------
@@ -333,6 +437,21 @@ def _evaluate_steps(node: Node, steps: Tuple[PathStep, ...], index: int) -> Iter
 # ----------------------------------------------------------------------
 # Containment
 # ----------------------------------------------------------------------
+#: Bound on memoised containment verdicts.  A propagation/cover workload
+#: probes a quadratic-in-|Σ| but small family of (covered, covering) pairs;
+#: entries past the bound are recomputed rather than cached, so the table
+#: can never grow without bound under adversarial query streams.
+CONTAINMENT_CACHE_LIMIT = 1 << 16
+
+_containment_cache: Dict[Tuple[PathExpression, PathExpression], bool] = {}
+
+#: When ``True``, ``contains`` routes through the pre-optimisation per-call
+#: recursive procedure and bypasses the memo table entirely.  Toggled by
+#: :func:`naive_containment`; used by the differential tests and the oracle
+#: benchmarks to measure the old path.
+_use_naive_containment = False
+
+
 def contains(covering: PathLike, covered: PathLike) -> bool:
     """Decide ``L(covered) ⊆ L(covering)``.
 
@@ -342,13 +461,73 @@ def contains(covering: PathLike, covered: PathLike) -> bool:
     covered expression, and a ``//`` step of the covered expression can only
     be covered by a ``//`` step.  The procedure is sound and complete for
     this fragment under an unbounded label alphabet.
+
+    Verdicts are memoised across calls (bounded by
+    :data:`CONTAINMENT_CACHE_LIMIT`); repeated pairs — the overwhelmingly
+    common case inside the key-implication engine — are O(1) dict hits.
     """
     covering_expr = PathExpression.of(covering)
     covered_expr = PathExpression.of(covered)
-    return _containment(covered_expr.steps, covering_expr.steps)
+    if _use_naive_containment:
+        return _containment_recursive(covered_expr.steps, covering_expr.steps)
+    key = (covered_expr, covering_expr)
+    cached = _containment_cache.get(key)
+    if cached is None:
+        cached = _containment(covered_expr.steps, covering_expr.steps)
+        if len(_containment_cache) < CONTAINMENT_CACHE_LIMIT:
+            _containment_cache[key] = cached
+    return cached
 
 
 def _containment(covered: Tuple[PathStep, ...], covering: Tuple[PathStep, ...]) -> bool:
+    """Iterative bottom-up DP; allocation-light equivalent of the recursion.
+
+    ``row[j]`` is the verdict for (suffix of ``covered`` from ``i``, suffix
+    of ``covering`` from ``j``); rows are filled for ``i = m .. 0``.  Steps
+    are interned, so the concrete-vs-concrete case is an identity test.
+    """
+    m = len(covered)
+    n = len(covering)
+    descendant = StepKind.DESCENDANT
+    label = StepKind.LABEL
+    # Row i = m: the covered expression is exhausted, so epsilon must belong
+    # to the remaining covering language (all-// suffix).
+    row = [False] * (n + 1)
+    row[n] = True
+    for j in range(n - 1, -1, -1):
+        row[j] = row[j + 1] and covering[j].kind is descendant
+    for i in range(m - 1, -1, -1):
+        prev = row
+        row = [False] * (n + 1)
+        covered_step = covered[i]
+        covered_kind = covered_step.kind
+        for j in range(n - 1, -1, -1):
+            covering_step = covering[j]
+            if covered_kind is descendant:
+                #  L(// P') ⊆ L(// Q')  iff  L(P') ⊆ L(// Q');  a concrete
+                #  label cannot cover the arbitrary paths of '//'.
+                row[j] = covering_step.kind is descendant and prev[j]
+            elif covering_step.kind is descendant:
+                # '//' absorbs element labels (not attribute steps), or
+                # matches the empty path and moves on.
+                row[j] = (covered_kind is label and prev[j]) or row[j + 1]
+            else:
+                row[j] = covered_step is covering_step and prev[j + 1]
+    return row[0]
+
+
+def _containment_recursive(
+    covered: Tuple[PathStep, ...], covering: Tuple[PathStep, ...]
+) -> bool:
+    """The pre-optimisation decision procedure, kept as a reference oracle.
+
+    Builds (and discards) a fresh ``lru_cache`` closure per call — exactly
+    the behaviour the iterative/memoised path replaced.  The differential
+    suite in ``tests/property/test_oracle_differential.py`` pins the two
+    procedures answer-for-answer; the oracle benchmarks time it via
+    :func:`naive_containment`.
+    """
+
     @lru_cache(maxsize=None)
     def recurse(i: int, j: int) -> bool:
         exhausted_covered = i == len(covered)
@@ -378,3 +557,26 @@ def _containment(covered: Tuple[PathStep, ...], covering: Tuple[PathStep, ...]) 
         return covered_step == covering_step and recurse(i + 1, j + 1)
 
     return recurse(0, 0)
+
+
+@contextmanager
+def naive_containment() -> Iterator[None]:
+    """Route :func:`contains` through the pre-optimisation recursive oracle.
+
+    Inside the ``with`` block every containment decision re-runs the
+    original per-call recursion and never touches the cross-call memo —
+    the measurement baseline for the PR-2 oracle benchmarks and the
+    reference arm of the differential tests.
+    """
+    global _use_naive_containment
+    previous = _use_naive_containment
+    _use_naive_containment = True
+    try:
+        yield
+    finally:
+        _use_naive_containment = previous
+
+
+def clear_containment_cache() -> None:
+    """Drop all memoised containment verdicts (cold-start measurements)."""
+    _containment_cache.clear()

@@ -11,3 +11,11 @@ import sys
 _SRC = os.path.join(os.path.dirname(__file__), "src")
 if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "slow: long-running Hypothesis/differential suites (run in their own CI job; "
+        "deselect locally with -m 'not slow')",
+    )

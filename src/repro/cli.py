@@ -3,12 +3,23 @@
 The four workflows of the library are exposed as sub-commands so that a
 consumer can run the analysis on files without writing Python::
 
-    python -m repro check  --keys keys.txt --transform rules.dsl \
-                           --relation chapter --fd "inBook, number -> name"
-    python -m repro cover  --keys keys.txt --transform rules.dsl --relation U
-    python -m repro design --keys keys.txt --transform rules.dsl --relation U --sql
-    python -m repro shred  --transform rules.dsl --xml data.xml [--keys keys.txt] [--sql]
-    python -m repro bench  [--paper]
+    python -m repro check     --keys keys.txt --transform rules.dsl \
+                              --relation chapter --fd "inBook, number -> name"
+    python -m repro cover     --keys keys.txt --transform rules.dsl --relation U
+    python -m repro design    --keys keys.txt --transform rules.dsl --relation U --sql
+    python -m repro shred     --transform rules.dsl --xml data.xml [--keys keys.txt] \
+                              [--sql] [--stream] [--batch-size N | --copy]
+    python -m repro check-doc --keys keys.txt --xml data.xml [--dom]
+    python -m repro bench     [--paper]
+
+``shred --stream`` and ``check-doc`` run on the streaming data plane: the
+document is tokenized into events and shredded / checked in a single pass
+without ever building a DOM.  ``check-doc`` keeps only the open-context
+hash indexes, so its memory does not grow with the document; ``shred``
+still materializes the shredded relation instances before printing them,
+so its memory is proportional to the *output* (use the library's
+``iter_rule_rows`` → ``iter_insert_statements`` pipeline for fully
+constant-memory document-to-SQL loading).
 
 File formats: keys files contain one key per line in the paper's notation
 (``K2 = (//book, (chapter, {@number}))``, ``#`` comments allowed);
@@ -30,11 +41,11 @@ from repro.core import (
     minimum_cover_from_keys,
 )
 from repro.design import design_from_scratch
-from repro.keys import parse_keys, violations
+from repro.keys import KeyStreamChecker, parse_keys, violations
 from repro.relational import sql as sql_module
 from repro.relational.schema import DatabaseSchema
-from repro.transform import evaluate_transformation, parse_transformation
-from repro.xmlmodel import parse_document
+from repro.transform import StreamShredder, evaluate_transformation, parse_transformation
+from repro.xmlmodel import iter_events, parse_document
 
 
 def _read(path: str) -> str:
@@ -95,31 +106,81 @@ def cmd_design(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_violation_report(keys, found) -> int:
+    """Group violations by key and print them; return the exit code."""
+    by_key = {}
+    for violation in found:
+        by_key.setdefault(violation.key, []).append(violation)
+    exit_code = 0
+    for key in keys:
+        witnesses = by_key.get(key, [])
+        if witnesses:
+            exit_code = 1
+            print(f"key violated: {key.text}")
+            for violation in witnesses:
+                print(f"  - {violation}")
+    if exit_code == 0:
+        print(f"document satisfies all {len(keys)} keys")
+    return exit_code
+
+
 def cmd_shred(args: argparse.Namespace) -> int:
     transformation = _load_transformation(args.transform)
-    tree = parse_document(_read(args.xml))
+    keys = _load_keys(args.keys) if args.keys else []
     exit_code = 0
-    if args.keys:
-        keys = _load_keys(args.keys)
-        for key in keys:
-            found = violations(tree, key)
-            if found:
-                exit_code = 1
-                print(f"key violated: {key.text}")
-                for violation in found:
-                    print(f"  - {violation}")
-        if exit_code == 0:
-            print(f"document satisfies all {len(keys)} keys")
-    instances = evaluate_transformation(transformation, tree)
+    if args.stream:
+        # One pass over the event stream feeds the shredder and the key
+        # checker together; no DOM is ever built.
+        shredder = StreamShredder(transformation)
+        checker = KeyStreamChecker(keys) if keys else None
+        with Path(args.xml).open(encoding="utf-8") as handle:
+            for event in iter_events(handle):
+                shredder.feed(event)
+                if checker is not None:
+                    checker.feed(event)
+        instances = shredder.finish()
+        if checker is not None:
+            exit_code = _print_violation_report(keys, checker.finish())
+    else:
+        tree = parse_document(_read(args.xml))
+        if keys:
+            found = [violation for key in keys for violation in violations(tree, key)]
+            exit_code = _print_violation_report(keys, found)
+        instances = evaluate_transformation(transformation, tree)
     for name, instance in instances.items():
         print()
         if args.sql:
             print(sql_module.create_table(instance.schema))
-            for statement in sql_module.insert_statements(instance):
-                print(statement)
+            if args.copy:
+                block = sql_module.copy_statement(instance.schema, instance.rows)
+                if block:
+                    print(block)
+            elif args.batch_size is not None:
+                for statement in sql_module.iter_insert_statements(
+                    instance.schema, instance.rows, batch_size=args.batch_size
+                ):
+                    print(statement)
+            else:
+                for statement in sql_module.insert_statements(instance):
+                    print(statement)
         else:
             print(instance.to_table())
     return exit_code
+
+
+def cmd_check_doc(args: argparse.Namespace) -> int:
+    """Validate a document against a key set (the Figure 2(a) workflow)."""
+    keys = _load_keys(args.keys)
+    if args.dom:
+        tree = parse_document(_read(args.xml))
+        found = [violation for key in keys for violation in violations(tree, key)]
+    else:
+        checker = KeyStreamChecker(keys)
+        with Path(args.xml).open(encoding="utf-8") as handle:
+            for event in iter_events(handle):
+                checker.feed(event)
+        found = checker.finish()
+    return _print_violation_report(keys, found)
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
@@ -134,6 +195,13 @@ def cmd_bench(args: argparse.Namespace) -> int:
 # ----------------------------------------------------------------------
 # Parser
 # ----------------------------------------------------------------------
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError("must be a positive integer")
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -178,7 +246,37 @@ def build_parser() -> argparse.ArgumentParser:
     shred.add_argument("--xml", required=True, help="XML document to shred")
     shred.add_argument("--keys", help="optional keys file to validate the document against")
     shred.add_argument("--sql", action="store_true", help="emit SQL instead of ASCII tables")
+    shred.add_argument(
+        "--stream",
+        action="store_true",
+        help="use the streaming data plane (single event pass, no DOM)",
+    )
+    dml_shape = shred.add_mutually_exclusive_group()
+    dml_shape.add_argument(
+        "--batch-size",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="with --sql: emit multi-row INSERT batches of at most N tuples",
+    )
+    dml_shape.add_argument(
+        "--copy",
+        action="store_true",
+        help="with --sql: emit PostgreSQL COPY blocks instead of INSERTs",
+    )
     shred.set_defaults(handler=cmd_shred)
+
+    check_doc = subparsers.add_parser(
+        "check-doc", help="validate an XML document against a key set"
+    )
+    check_doc.add_argument("--keys", required=True, help="file with XML keys (one per line)")
+    check_doc.add_argument("--xml", required=True, help="XML document to validate")
+    check_doc.add_argument(
+        "--dom",
+        action="store_true",
+        help="use the DOM reference checker instead of the streaming one",
+    )
+    check_doc.set_defaults(handler=cmd_check_doc)
 
     bench = subparsers.add_parser("bench", help="re-run the paper's Figure 7 experiments")
     bench.add_argument("--paper", action="store_true", help="use the paper's full grids (slow)")

@@ -6,6 +6,14 @@ from repro.experiments.generators import (
     generate_document,
     generate_workload,
 )
+from repro.experiments.scenarios import (
+    ScenarioSpec,
+    ShredScenario,
+    build_scenario,
+    scenario_text,
+    synthesize_document_chunks,
+    synthesized_node_count,
+)
 from repro.experiments.runner import ExperimentSeries, SeriesPoint, time_call
 from repro.experiments.figures import (
     figure_7a,
@@ -20,6 +28,12 @@ __all__ = [
     "SyntheticWorkload",
     "generate_document",
     "generate_workload",
+    "ScenarioSpec",
+    "ShredScenario",
+    "build_scenario",
+    "scenario_text",
+    "synthesize_document_chunks",
+    "synthesized_node_count",
     "ExperimentSeries",
     "SeriesPoint",
     "time_call",

@@ -1,0 +1,239 @@
+"""Data-plane scenario synthesis: large documents with injected violations.
+
+The Figure 7 generators of :mod:`repro.experiments.generators` produce
+*schema-scale* inputs (many fields, many keys, small documents).  The
+streaming data plane needs the opposite: *data-scale* documents — large,
+DTD-conforming instances of a fixed workload, with a controllable number of
+key violations to exercise the checker and the Figure 2(a)-style reporting.
+
+* :func:`build_scenario` grows a conforming document for a synthetic
+  workload (configurable fan-out) and then injects an exact number of
+  ``duplicate-value`` and ``missing-attribute`` violations against the
+  workload's spine keys, returning the expected counts alongside the tree;
+* :func:`scenario_text` serializes it for the streaming front end;
+* :func:`synthesize_document_chunks` emits the text of an arbitrarily large
+  conforming document as a lazy stream of chunks *without ever building a
+  tree or the full string* — the input used to demonstrate that the event
+  iterator's peak memory is independent of document size.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.experiments.generators import (
+    SyntheticWorkload,
+    generate_document,
+    generate_workload,
+)
+from repro.keys.key import XMLKey
+from repro.xmlmodel.nodes import ElementNode
+from repro.xmlmodel.serializer import serialize
+from repro.xmlmodel.tree import XMLTree
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """Parameters of a data-plane scenario."""
+
+    num_fields: int = 20
+    depth: int = 4
+    num_keys: int = 10
+    fanout: int = 3
+    duplicate_violations: int = 0
+    missing_violations: int = 0
+    seed: int = 0
+
+
+@dataclass
+class ShredScenario:
+    """A generated document plus the ground truth about its violations."""
+
+    spec: ScenarioSpec
+    workload: SyntheticWorkload
+    tree: XMLTree
+    expected_duplicates: int
+    expected_missing: int
+
+    @property
+    def keys(self) -> List[XMLKey]:
+        return self.workload.keys
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.tree)
+
+
+def build_scenario(spec: ScenarioSpec) -> ShredScenario:
+    """Generate the scenario document and inject the requested violations.
+
+    Duplicate injections copy a sibling's spine-key attribute (one
+    ``duplicate-value`` witness per injection); missing injections delete a
+    spine-key attribute (one ``missing-attribute`` witness).  Injections
+    touch disjoint elements, so the expected counts are exact.
+    """
+    if spec.num_keys < spec.depth:
+        raise ValueError(
+            "scenario workloads need num_keys >= depth so that every spine "
+            "level keeps its key"
+        )
+    workload = generate_workload(
+        spec.num_fields, depth=spec.depth, num_keys=spec.num_keys, seed=spec.seed
+    )
+    tree = generate_document(workload, fanout=spec.fanout, seed=spec.seed)
+    rng = random.Random(spec.seed + 0x5EED)
+
+    # Elements per spine level (level i == tag lvl{i}).
+    by_level: Dict[int, List[ElementNode]] = {i: [] for i in range(spec.depth)}
+    tag_level = {tag: i for i, tag in enumerate(workload.level_tags)}
+    for node in tree.iter_elements():
+        level = tag_level.get(node.tag)
+        if level is not None:
+            by_level[level].append(node)
+
+    touched: set = set()
+
+    def pick_sibling_pair() -> Optional[Tuple[int, ElementNode, ElementNode]]:
+        levels = list(range(spec.depth))
+        rng.shuffle(levels)
+        for level in levels:
+            parents: Dict[int, List[ElementNode]] = {}
+            for node in by_level[level]:
+                parents.setdefault(id(node.parent), []).append(node)
+            groups = [nodes for nodes in parents.values() if len(nodes) >= 2]
+            rng.shuffle(groups)
+            for nodes in groups:
+                candidates = [n for n in nodes if id(n) not in touched]
+                if len(candidates) >= 2:
+                    keep, clobber = rng.sample(candidates, 2)
+                    return level, keep, clobber
+        return None
+
+    duplicates = 0
+    for _ in range(spec.duplicate_violations):
+        pick = pick_sibling_pair()
+        if pick is None:
+            raise ValueError("not enough sibling pairs to inject duplicate violations")
+        level, keep, clobber = pick
+        clobber.set_attribute(f"k{level}", keep.attribute_value(f"k{level}") or "0")
+        touched.add(id(keep))
+        touched.add(id(clobber))
+        duplicates += 1
+
+    missing = 0
+    for _ in range(spec.missing_violations):
+        candidates = [
+            (level, node)
+            for level in range(spec.depth)
+            for node in by_level[level]
+            if id(node) not in touched
+        ]
+        if not candidates:
+            raise ValueError("not enough elements to inject missing-attribute violations")
+        level, node = rng.choice(candidates)
+        node.remove_attribute(f"k{level}")
+        touched.add(id(node))
+        missing += 1
+
+    tree.reindex()
+    return ShredScenario(
+        spec=spec,
+        workload=workload,
+        tree=tree,
+        expected_duplicates=duplicates,
+        expected_missing=missing,
+    )
+
+
+def scenario_text(scenario: ShredScenario, indent: int = 0) -> str:
+    """The scenario document as XML text (compact by default)."""
+    return serialize(scenario.tree, indent=indent)
+
+
+# ----------------------------------------------------------------------
+# Procedural document synthesis (no tree, no full string)
+# ----------------------------------------------------------------------
+def synthesize_document_chunks(
+    workload: SyntheticWorkload,
+    fanout: int = 2,
+    top_level_repeat: int = 1,
+    duplicate_every: int = 0,
+) -> Iterator[str]:
+    """Stream the text of a large conforming document, chunk by chunk.
+
+    Emits the same shape as :func:`generate_document` — a ``root`` element
+    with ``fanout * top_level_repeat`` top-level spine subtrees — but
+    produces the XML text directly, holding only the current path in
+    memory.  ``duplicate_every`` > 0 makes every Nth element reuse its
+    previous sibling's spine-key value (an injected ``duplicate-value``
+    violation), so arbitrarily large *violating* documents can be streamed
+    too.
+
+    The node count grows as ``O(top_level_repeat * fanout^depth)`` while
+    peak memory of producer + tokenizer stays flat — this generator is the
+    document source for the memory-independence gate in
+    ``benchmarks/bench_shred.py``.
+    """
+    depth = workload.depth
+    element_fields: Dict[int, List[str]] = {i: [] for i in range(depth)}
+    attribute_fields: Dict[int, List[str]] = {i: [] for i in range(depth)}
+    for name in workload.fields:
+        if name.startswith("e"):
+            element_fields[int(name[1:].split("_", 1)[0])].append(name)
+        elif name.startswith("a"):
+            attribute_fields[int(name[1:].split("_", 1)[0])].append(name)
+
+    counter = 0
+    emitted = 0
+
+    def render(level: int, ordinal: int) -> Iterator[str]:
+        nonlocal counter, emitted
+        counter += 1
+        emitted += 1
+        uid = counter
+        key_value = ordinal
+        if duplicate_every and emitted % duplicate_every == 0 and ordinal > 0:
+            key_value = ordinal - 1  # collide with the previous sibling
+        tag = workload.level_tags[level]
+        attrs = [f'k{level}="{key_value}"', f'uid{level}="{uid}"']
+        attrs.extend(f'{name}="{name}-{uid}"' for name in attribute_fields[level])
+        yield f"<{tag} {' '.join(attrs)}>"
+        for name in element_fields[level]:
+            yield f"<{name}>{name}-{uid}</{name}>"
+        if level + 1 < depth:
+            for child_ordinal in range(fanout):
+                yield from render(level + 1, child_ordinal)
+        yield f"</{tag}>"
+
+    yield "<root>"
+    ordinal = 0
+    for _ in range(top_level_repeat):
+        for _ in range(fanout):
+            yield from render(0, ordinal)
+            ordinal += 1
+    yield "</root>"
+
+
+def synthesized_node_count(
+    workload: SyntheticWorkload, fanout: int = 2, top_level_repeat: int = 1
+) -> int:
+    """Number of nodes the matching :func:`synthesize_document_chunks` emits."""
+    depth = workload.depth
+    element_fields = {i: 0 for i in range(depth)}
+    attribute_fields = {i: 0 for i in range(depth)}
+    for name in workload.fields:
+        if name.startswith("e"):
+            element_fields[int(name[1:].split("_", 1)[0])] += 1
+        elif name.startswith("a"):
+            attribute_fields[int(name[1:].split("_", 1)[0])] += 1
+    total = 1  # root
+    per_level_count = fanout * top_level_repeat
+    for level in range(depth):
+        # element + k/uid attributes + extra attributes + field elements
+        # (each field element contains one text node).
+        per_node = 1 + 2 + attribute_fields[level] + 2 * element_fields[level]
+        total += per_level_count * per_node
+        per_level_count *= fanout
+    return total

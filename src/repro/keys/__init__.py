@@ -22,6 +22,7 @@ Modules
 
 from repro.keys.key import XMLKey, parse_key, parse_keys
 from repro.keys.satisfaction import KeyViolation, satisfies, satisfies_all, violations
+from repro.keys.stream import KeyStreamChecker, stream_satisfies, stream_violations
 from repro.keys.implication import ImplicationEngine, attributes_exist, implies
 from repro.keys.transitive import (
     chain_to_root,
@@ -38,6 +39,9 @@ __all__ = [
     "satisfies",
     "satisfies_all",
     "violations",
+    "KeyStreamChecker",
+    "stream_satisfies",
+    "stream_violations",
     "ImplicationEngine",
     "attributes_exist",
     "implies",

@@ -38,6 +38,15 @@ class KeyViolation:
         return f"[{self.kind}] {self.detail}"
 
 
+def _node_id(node: Node) -> int:
+    """Document-order id of a node, ``-1`` for detached nodes.
+
+    (``node.node_id or -1`` would also map the root element's legitimate
+    id 0 to -1 — a witness-reporting bug the streaming checker exposed.)
+    """
+    return -1 if node.node_id is None else node.node_id
+
+
 def _attribute_values(node: Node, attributes: Iterable[str]) -> Optional[Tuple[str, ...]]:
     """Key-attribute value tuple of a target node, or ``None`` if one is missing."""
     if not isinstance(node, ElementNode):
@@ -73,14 +82,14 @@ def violations(tree: XMLTree, key: XMLKey) -> List[KeyViolation]:
                             f"{context_node.node_id} lacks one of the key attributes "
                             f"{attributes}"
                         ),
-                        node_ids=(target_node.node_id or -1,),
+                        node_ids=(_node_id(target_node),),
                     )
                 )
                 continue
             groups.setdefault(values, []).append(target_node)
         for values, nodes in groups.items():
             if len(nodes) > 1:
-                ids = tuple(node.node_id or -1 for node in nodes)
+                ids = tuple(_node_id(node) for node in nodes)
                 found.append(
                     KeyViolation(
                         key=key,

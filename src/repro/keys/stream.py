@@ -1,0 +1,460 @@
+"""Single-pass streaming key satisfaction (Definition 2.1 over events).
+
+:func:`repro.keys.satisfaction.violations` needs a full DOM and re-walks it
+once per key: every context node is found by evaluating ``C`` from the root,
+then ``T`` is evaluated under every context.  For the data-plane workloads
+this module checks *all* keys in one pass over the event stream of
+:mod:`repro.xmlmodel.events`:
+
+* keys are bucketed by their (interned) context path; each bucket shares a
+  single context :class:`PathNFA` and one *combined* target automaton whose
+  states are sets of ``(key slot, step position)`` pairs — ten keys under
+  the same context advance as one memoised transition, not ten;
+* the per-element context work is one dictionary hit: the whole vector of
+  context states transitions through a ``(vector, tag)`` memo;
+* every context match opens a *context record* carrying a hash index from
+  ``(key, attribute-value tuple)`` to the target nodes seen so far — the
+  grouping Definition 2.1 quantifies over, built once instead of per pair;
+* records flush when their context element closes: value groups with two or
+  more targets become ``duplicate-value`` violations, targets lacking a key
+  attribute were recorded as ``missing-attribute`` when they closed.
+
+Node identifiers are assigned by counting events in document order —
+element, then its attributes, then its content — which is exactly the
+pre-order numbering of ``XMLTree.reindex`` (Figure 1), so the reported
+``context_node_id``/``node_ids`` agree with the DOM checker verbatim.  The
+agreement (same verdicts, same violation kinds, same witnesses) is pinned by
+``tests/property/test_shred_differential.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from repro.keys.key import XMLKey
+from repro.keys.satisfaction import KeyViolation
+from repro.xmlmodel.events import ATTR, END, START, TEXT, Event, EventSource, as_events
+from repro.xmlmodel.matching import PathNFA
+from repro.xmlmodel.paths import PathExpression, StepKind
+
+
+class _KeyMachine:
+    """One key of the checked set: its slot in its context bucket plus the
+    precomputed pieces the hot loop needs."""
+
+    __slots__ = ("index", "key", "attributes", "steps", "length")
+
+    def __init__(self, index: int, key: XMLKey) -> None:
+        self.index = index
+        self.key = key
+        self.attributes = key.attribute_list
+        self.steps = key.target.steps
+        self.length = len(key.target.steps)
+
+
+class _ContextBucket:
+    """All keys sharing one context path.
+
+    The bucket owns the shared context NFA and a combined target automaton:
+    a state is the frozen set of ``(slot, position)`` pairs over the member
+    keys' target paths, closed under the ``//`` self-match.  Transitions are
+    memoised together with their accepting slots, so advancing *all* member
+    targets below a context node costs one dictionary hit per element.
+    """
+
+    __slots__ = (
+        "context_nfa",
+        "machines",
+        "_transitions",
+        "initial",
+        "initial_accepts",
+        "has_attribute_targets",
+        "_attr_accepts",
+    )
+
+    def __init__(self, context: PathExpression, machines: List[_KeyMachine]) -> None:
+        self.context_nfa = PathNFA(context)
+        self.machines = machines
+        #: (state, tag) → (next state, slots accepting in the next state)
+        self._transitions: Dict[
+            Tuple[frozenset, str], Tuple[frozenset, Tuple[int, ...]]
+        ] = {}
+        self._attr_accepts: Dict[Tuple[frozenset, str], Tuple[int, ...]] = {}
+        initial = self._close({(slot, 0) for slot in range(len(machines))})
+        self.initial = initial
+        #: Slots whose target matches the empty path — every context node is
+        #: then a target of its own record.
+        self.initial_accepts = self._accepting(initial)
+        self.has_attribute_targets = any(
+            step.kind is StepKind.ATTRIBUTE
+            for machine in machines
+            for step in machine.steps
+        )
+
+    def _close(self, pairs: set) -> frozenset:
+        pending = list(pairs)
+        machines = self.machines
+        while pending:
+            slot, pos = pending.pop()
+            steps = machines[slot].steps
+            if pos < len(steps) and steps[pos].kind is StepKind.DESCENDANT:
+                succ = (slot, pos + 1)
+                if succ not in pairs:
+                    pairs.add(succ)
+                    pending.append(succ)
+        return frozenset(pairs)
+
+    def _accepting(self, state: frozenset) -> Tuple[int, ...]:
+        machines = self.machines
+        return tuple(
+            sorted({slot for slot, pos in state if pos == machines[slot].length})
+        )
+
+    def advance(self, state: frozenset, tag: str) -> Tuple[frozenset, Tuple[int, ...]]:
+        key = (state, tag)
+        cached = self._transitions.get(key)
+        if cached is not None:
+            return cached
+        machines = self.machines
+        pairs = set()
+        for slot, pos in state:
+            steps = machines[slot].steps
+            if pos >= len(steps):
+                continue
+            step = steps[pos]
+            if step.kind is StepKind.DESCENDANT:
+                pairs.add((slot, pos))
+            elif step.kind is StepKind.LABEL and step.name == tag:
+                pairs.add((slot, pos + 1))
+        closed = self._close(pairs)
+        result = (closed, self._accepting(closed))
+        self._transitions[key] = result
+        return result
+
+    def attr_accepting(self, state: frozenset, name: str) -> Tuple[int, ...]:
+        """Slots whose target matches attribute ``name`` of the element in
+        ``state`` (an attribute step, then only ``//`` steps may remain)."""
+        key = (state, name)
+        cached = self._attr_accepts.get(key)
+        if cached is not None:
+            return cached
+        machines = self.machines
+        accepting = set()
+        for slot, pos in state:
+            steps = machines[slot].steps
+            length = len(steps)
+            if pos >= length:
+                continue
+            step = steps[pos]
+            if step.kind is StepKind.ATTRIBUTE and step.name == name:
+                after = pos + 1
+                while after < length and steps[after].kind is StepKind.DESCENDANT:
+                    after += 1
+                if after == length:
+                    accepting.add(slot)
+        result = tuple(sorted(accepting))
+        self._attr_accepts[key] = result
+        return result
+
+
+class _ContextRecord:
+    """One open context node of one bucket, with its target hash indexes."""
+
+    __slots__ = ("bucket", "context_node_id", "groups", "missing")
+
+    def __init__(self, bucket: _ContextBucket, context_node_id: int) -> None:
+        self.bucket = bucket
+        self.context_node_id = context_node_id
+        #: (slot, key-attribute value tuple) → target node ids carrying it
+        #: (the hash index replacing the pairwise scan of the DOM checker).
+        self.groups: Dict[Tuple[int, Tuple[str, ...]], List[int]] = {}
+        #: (slot, missing-attribute violation), in target document order.
+        self.missing: List[Tuple[int, KeyViolation]] = []
+
+    def add_target(self, slot: int, node_id: int, attrs: Optional[Dict[str, str]]) -> None:
+        machine = self.bucket.machines[slot]
+        values: Optional[Tuple[str, ...]]
+        if attrs is None:
+            # Attribute/text target nodes carry no attributes of their own.
+            values = None if machine.attributes else ()
+        else:
+            collected: List[str] = []
+            for name in machine.attributes:
+                value = attrs.get(name)
+                if value is None:
+                    values = None
+                    break
+                collected.append(value)
+            else:
+                values = tuple(collected)
+        if values is None:
+            self.missing.append(
+                (
+                    slot,
+                    KeyViolation(
+                        key=machine.key,
+                        context_node_id=self.context_node_id,
+                        kind="missing-attribute",
+                        detail=(
+                            f"target node {node_id} under context "
+                            f"{self.context_node_id} lacks one of the key attributes "
+                            f"{machine.attributes}"
+                        ),
+                        node_ids=(node_id,),
+                    ),
+                )
+            )
+            return
+        self.groups.setdefault((slot, values), []).append(node_id)
+
+    def flush(self) -> List[Tuple[int, int, List[KeyViolation]]]:
+        """Violations per member key: (key index, context id, violations)."""
+        per_slot: Dict[int, List[KeyViolation]] = {}
+        for slot, violation in self.missing:
+            per_slot.setdefault(slot, []).append(violation)
+        for (slot, values), ids in self.groups.items():
+            if len(ids) > 1:
+                machine = self.bucket.machines[slot]
+                per_slot.setdefault(slot, []).append(
+                    KeyViolation(
+                        key=machine.key,
+                        context_node_id=self.context_node_id,
+                        kind="duplicate-value",
+                        detail=(
+                            f"{len(ids)} distinct target nodes {tuple(ids)} under context "
+                            f"{self.context_node_id} share the key value {values!r}"
+                        ),
+                        node_ids=tuple(ids),
+                    )
+                )
+        machines = self.bucket.machines
+        return [
+            (machines[slot].index, self.context_node_id, violations)
+            for slot, violations in per_slot.items()
+        ]
+
+
+class _Frame:
+    """Bookkeeping for one open element."""
+
+    __slots__ = (
+        "node_id",
+        "attrs",
+        "attr_ids",
+        "context_states",
+        "targets",
+        "target_of",
+        "records_here",
+        "attrs_done",
+    )
+
+    def __init__(self, node_id: int, context_states: Tuple[frozenset, ...]) -> None:
+        self.node_id = node_id
+        # Attribute maps are created lazily on the first attr event —
+        # attribute-free elements (a majority in data-centric documents)
+        # never allocate them.
+        self.attrs: Optional[Dict[str, str]] = None
+        self.attr_ids: Optional[Dict[str, int]] = None
+        self.context_states = context_states
+        #: Live (record, combined target state) pairs for the open context
+        #: records whose targets can still reach below this element.
+        self.targets: List[Tuple[_ContextRecord, frozenset]] = []
+        #: (record, accepted slots) for which this *element* is a target
+        #: (resolved once the attribute section is complete).
+        self.target_of: List[Tuple[_ContextRecord, Tuple[int, ...]]] = []
+        #: Records whose context node is this element (flushed at its end).
+        self.records_here: List[_ContextRecord] = []
+        self.attrs_done = False
+
+
+class KeyStreamChecker:
+    """Check a set of keys over an event stream in a single pass.
+
+    Feed events with :meth:`feed`; :meth:`finish` returns every violation,
+    ordered by (key, context document order).
+    """
+
+    def __init__(self, keys: Iterable[XMLKey]) -> None:
+        self.machines = [_KeyMachine(index, key) for index, key in enumerate(keys)]
+        by_context: Dict[PathExpression, List[_KeyMachine]] = {}
+        for machine in self.machines:
+            by_context.setdefault(machine.key.context, []).append(machine)
+        self.buckets = [
+            _ContextBucket(context, machines) for context, machines in by_context.items()
+        ]
+        self._frames: List[_Frame] = []
+        self._next_id = 0
+        self._flushed: List[Tuple[int, int, List[KeyViolation]]] = []
+        #: (parent context vector, tag) → (child vector, buckets matching it)
+        self._vector_cache: Dict[
+            Tuple[Tuple[frozenset, ...], str],
+            Tuple[Tuple[frozenset, ...], Tuple[_ContextBucket, ...]],
+        ] = {}
+        self._initial_vector = tuple(b.context_nfa.initial for b in self.buckets)
+        self._initial_matched = tuple(
+            bucket
+            for i, bucket in enumerate(self.buckets)
+            if bucket.context_nfa.matches(self._initial_vector[i])
+        )
+        #: Buckets whose *context* may end in an attribute node.
+        self._attr_context_buckets = [
+            (i, bucket)
+            for i, bucket in enumerate(self.buckets)
+            if bucket.context_nfa.has_attribute_steps
+        ]
+
+    # ------------------------------------------------------------------
+    def _open_record(self, bucket: _ContextBucket, frame: _Frame) -> None:
+        record = _ContextRecord(bucket, frame.node_id)
+        frame.records_here.append(record)
+        state = bucket.initial
+        if state:
+            frame.targets.append((record, state))
+        if bucket.initial_accepts:
+            frame.target_of.append((record, bucket.initial_accepts))
+
+    def _resolve_attrs(self, frame: _Frame) -> None:
+        """Process everything that had to wait for the attribute section.
+
+        Runs when the first content event (or the end tag) of an element
+        arrives: element targets read their key-attribute values, attribute
+        nodes are matched as targets and as contexts.
+        """
+        frame.attrs_done = True
+        # This element as a target.
+        if frame.target_of:
+            attrs = frame.attrs if frame.attrs is not None else {}
+            for record, slots in frame.target_of:
+                for slot in slots:
+                    record.add_target(slot, frame.node_id, attrs)
+        # Attribute nodes as targets / contexts — only for keys whose paths
+        # can reach an attribute node at all.
+        if frame.attr_ids:
+            attr_targets = [
+                (record, state)
+                for record, state in frame.targets
+                if record.bucket.has_attribute_targets
+            ]
+            if attr_targets or self._attr_context_buckets:
+                for name, attr_id in frame.attr_ids.items():
+                    for record, state in attr_targets:
+                        for slot in record.bucket.attr_accepting(state, name):
+                            record.add_target(slot, attr_id, None)
+                    for bucket_index, bucket in self._attr_context_buckets:
+                        if bucket.context_nfa.matches_attribute(
+                            frame.context_states[bucket_index], name
+                        ):
+                            record = _ContextRecord(bucket, attr_id)
+                            for slot in bucket.initial_accepts:
+                                record.add_target(slot, attr_id, None)
+                            self._flushed.extend(record.flush())
+
+    # ------------------------------------------------------------------
+    def feed(self, event: Event) -> None:
+        kind = event.kind
+        frames = self._frames
+        if kind == START:
+            node_id = self._next_id
+            self._next_id += 1
+            tag = event.name
+            if frames:
+                parent = frames[-1]
+                if not parent.attrs_done:
+                    self._resolve_attrs(parent)
+                cache_key = (parent.context_states, tag)
+                cached = self._vector_cache.get(cache_key)
+                if cached is None:
+                    vector = tuple(
+                        bucket.context_nfa.advance(parent.context_states[i], tag)
+                        for i, bucket in enumerate(self.buckets)
+                    )
+                    matched = tuple(
+                        bucket
+                        for i, bucket in enumerate(self.buckets)
+                        if bucket.context_nfa.matches(vector[i])
+                    )
+                    cached = (vector, matched)
+                    self._vector_cache[cache_key] = cached
+                vector, matched = cached
+                frame = _Frame(node_id, vector)
+                parent_targets = parent.targets
+                if parent_targets:
+                    frame_targets = frame.targets
+                    frame_target_of = frame.target_of
+                    for record, state in parent_targets:
+                        advanced, accepts = record.bucket.advance(state, tag)
+                        if advanced:
+                            frame_targets.append((record, advanced))
+                            if accepts:
+                                frame_target_of.append((record, accepts))
+            else:
+                frame = _Frame(node_id, self._initial_vector)
+                matched = self._initial_matched
+            for bucket in matched:
+                self._open_record(bucket, frame)
+            frames.append(frame)
+        elif kind == ATTR:
+            frame = frames[-1]
+            name = event.name
+            attrs = frame.attrs
+            if attrs is None:
+                attrs = frame.attrs = {}
+                frame.attr_ids = {}
+            elif name in attrs:
+                # XML allows at most one attribute per name; the DOM parser
+                # replaces earlier occurrences, keeping the original slot.
+                attrs[name] = event.value or ""
+                return
+            attrs[name] = event.value or ""
+            frame.attr_ids[name] = self._next_id
+            self._next_id += 1
+        elif kind == TEXT:
+            frame = frames[-1]
+            if not frame.attrs_done:
+                self._resolve_attrs(frame)
+            self._next_id += 1  # text nodes occupy a document-order id
+        elif kind == END:
+            frame = frames.pop()
+            if not frame.attrs_done:
+                self._resolve_attrs(frame)
+            for record in frame.records_here:
+                self._flushed.extend(record.flush())
+
+    def finish(self) -> List[KeyViolation]:
+        """All violations, ordered by key and context document order."""
+        self._flushed.sort(key=lambda entry: (entry[0], entry[1]))
+        result: List[KeyViolation] = []
+        for _, _, violations in self._flushed:
+            result.extend(violations)
+        return result
+
+
+# ----------------------------------------------------------------------
+# Public API
+# ----------------------------------------------------------------------
+def stream_violations(
+    source: EventSource,
+    keys: Union[XMLKey, Iterable[XMLKey]],
+    strip_whitespace: bool = True,
+) -> List[KeyViolation]:
+    """All violations of ``keys`` on the document, in one streaming pass.
+
+    ``keys`` may be a single key or any iterable of keys; the stream is
+    consumed exactly once regardless of how many keys are checked.
+    """
+    if isinstance(keys, XMLKey):
+        keys = [keys]
+    checker = KeyStreamChecker(keys)
+    feed = checker.feed
+    for event in as_events(source, strip_whitespace=strip_whitespace):
+        feed(event)
+    return checker.finish()
+
+
+def stream_satisfies(
+    source: EventSource,
+    keys: Union[XMLKey, Iterable[XMLKey]],
+    strip_whitespace: bool = True,
+) -> bool:
+    """``T ⊨ Σ`` decided in a single pass over the event stream."""
+    return not stream_violations(source, keys, strip_whitespace=strip_whitespace)

@@ -11,17 +11,25 @@ emits portable SQL:
   (propagated) keys;
 * :func:`insert_statements` — ``INSERT`` statements for a relation instance
   (``NULL`` for the paper's null marker, values escaped);
-* :func:`load_script` — the full script for a shredded database.
+* :func:`iter_insert_statements` — bulk loading for the streaming data
+  plane: multi-row ``INSERT`` batches built lazily from *any* iterable of
+  rows (e.g. :func:`repro.transform.stream.iter_rule_rows`), so a shredded
+  document can be emitted without ever materializing its instance;
+* :func:`copy_statement` — PostgreSQL ``COPY ... FROM STDIN`` emission
+  (tab-separated payload, ``\\N`` for nulls), the fastest loading path for
+  data-scale imports;
+* :func:`load_script` — the full script for a shredded database, with
+  batched inserts (``batch_size``) or ``COPY`` blocks (``copy=True``).
 
 Only textual SQL is produced (no driver dependency); the dialect is the
-common core of SQLite / PostgreSQL / MySQL.
+common core of SQLite / PostgreSQL / MySQL (``COPY`` is PostgreSQL).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional
+from typing import Iterable, Iterator, List, Mapping, Optional
 
-from repro.relational.instance import RelationInstance, is_null
+from repro.relational.instance import RelationInstance, Row, Value, is_null
 from repro.relational.schema import DatabaseSchema, RelationSchema
 
 
@@ -78,12 +86,21 @@ def create_schema(
     )
 
 
-def insert_statements(instance: RelationInstance, batch: bool = False) -> List[str]:
+def insert_statements(
+    instance: RelationInstance, batch: bool = False, batch_size: Optional[int] = None
+) -> List[str]:
     """``INSERT`` statements for every row of an instance.
 
     With ``batch=True`` a single multi-row ``INSERT`` is produced (one
-    statement, many value tuples), otherwise one statement per row.
+    statement, many value tuples); ``batch_size=N`` chunks the rows into
+    multi-row ``INSERT`` statements of at most ``N`` tuples each (the bulk
+    emission shape — one statement per round trip instead of one per row).
+    Otherwise one statement per row is produced.
     """
+    if batch_size is not None:
+        return list(
+            iter_insert_statements(instance.schema, instance.rows, batch_size=batch_size)
+        )
     table = quote_identifier(instance.schema.name)
     columns = ", ".join(quote_identifier(a) for a in instance.schema.attributes)
     tuples = [
@@ -97,16 +114,94 @@ def insert_statements(instance: RelationInstance, batch: bool = False) -> List[s
     return [f"INSERT INTO {table} ({columns}) VALUES {values};" for values in tuples]
 
 
+def iter_insert_statements(
+    schema: RelationSchema,
+    rows: Iterable[Mapping[str, Value]],
+    batch_size: int = 500,
+) -> Iterator[str]:
+    """Lazily emit multi-row ``INSERT`` batches from any iterable of rows.
+
+    ``rows`` may be a list, a :class:`RelationInstance`, or a generator such
+    as :func:`repro.transform.stream.iter_rule_rows` — at most ``batch_size``
+    rows are held in memory at a time, which makes document-to-SQL loading a
+    constant-memory pipeline.
+    """
+    if batch_size < 1:
+        raise ValueError("batch_size must be at least 1")
+    table = quote_identifier(schema.name)
+    columns = ", ".join(quote_identifier(a) for a in schema.attributes)
+    pending: List[str] = []
+    for row in rows:
+        get = row.get_value if isinstance(row, Row) else lambda a, _row=row: _row.get(a)
+        pending.append(
+            "(" + ", ".join(quote_literal(get(a)) for a in schema.attributes) + ")"
+        )
+        if len(pending) >= batch_size:
+            yield f"INSERT INTO {table} ({columns}) VALUES\n  " + ",\n  ".join(pending) + ";"
+            pending = []
+    if pending:
+        yield f"INSERT INTO {table} ({columns}) VALUES\n  " + ",\n  ".join(pending) + ";"
+
+
+def copy_literal(value: object) -> str:
+    """Render a value for a ``COPY ... FROM STDIN`` text payload."""
+    if is_null(value):
+        return "\\N"
+    text = str(value)
+    return (
+        text.replace("\\", "\\\\")
+        .replace("\t", "\\t")
+        .replace("\n", "\\n")
+        .replace("\r", "\\r")
+    )
+
+
+def copy_statement(
+    schema: RelationSchema, rows: Iterable[Mapping[str, Value]]
+) -> Optional[str]:
+    """A PostgreSQL ``COPY`` block (statement + payload + ``\\.``).
+
+    Returns ``None`` for an empty row set (``COPY`` with no payload is
+    pointless).  ``rows`` may be any iterable of rows, as for
+    :func:`iter_insert_statements`.
+    """
+    table = quote_identifier(schema.name)
+    columns = ", ".join(quote_identifier(a) for a in schema.attributes)
+    lines: List[str] = []
+    for row in rows:
+        get = row.get_value if isinstance(row, Row) else lambda a, _row=row: _row.get(a)
+        lines.append("\t".join(copy_literal(get(a)) for a in schema.attributes))
+    if not lines:
+        return None
+    header = f"COPY {table} ({columns}) FROM STDIN;"
+    return "\n".join([header, *lines, "\\."])
+
+
 def load_script(
     schema: DatabaseSchema,
     instances: Mapping[str, RelationInstance],
     column_type: str = "TEXT",
+    batch_size: Optional[int] = None,
+    copy: bool = False,
 ) -> str:
-    """A complete DDL + DML script for a shredded database."""
+    """A complete DDL + DML script for a shredded database.
+
+    ``batch_size`` switches the DML to chunked multi-row ``INSERT``
+    statements; ``copy=True`` emits PostgreSQL ``COPY`` blocks instead.
+    """
     parts: List[str] = [create_schema(schema, column_type=column_type)]
     for relation in schema:
         instance = instances.get(relation.name)
         if instance is None or len(instance) == 0:
             continue
-        parts.append("\n".join(insert_statements(instance)))
+        if copy:
+            block = copy_statement(instance.schema, instance.rows)
+            if block:
+                parts.append(block)
+        elif batch_size is not None:
+            parts.append(
+                "\n".join(iter_insert_statements(instance.schema, instance.rows, batch_size))
+            )
+        else:
+            parts.append("\n".join(insert_statements(instance)))
     return "\n\n".join(part for part in parts if part)

@@ -26,6 +26,14 @@ from repro.transform.validate import (
 )
 from repro.transform.table_tree import TableTree
 from repro.transform.evaluate import evaluate_rule, evaluate_transformation
+from repro.transform.stream import (
+    PathNFA,
+    RuleStreamer,
+    StreamShredder,
+    iter_rule_rows,
+    stream_evaluate_rule,
+    stream_evaluate_transformation,
+)
 from repro.transform.dsl import (
     DSLSyntaxError,
     parse_rule,
@@ -50,6 +58,12 @@ __all__ = [
     "TableTree",
     "evaluate_rule",
     "evaluate_transformation",
+    "PathNFA",
+    "RuleStreamer",
+    "StreamShredder",
+    "iter_rule_rows",
+    "stream_evaluate_rule",
+    "stream_evaluate_transformation",
     "DSLSyntaxError",
     "parse_rule",
     "parse_transformation",

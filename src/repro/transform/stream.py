@@ -1,0 +1,406 @@
+"""Streaming shredding: evaluating table rules over an event stream.
+
+:func:`repro.transform.evaluate.evaluate_rule` materializes a full DOM and
+then the *global* Cartesian product of variable bindings — fine for the
+paper's worked examples, quadratic-and-worse in memory for data-scale
+imports.  This module evaluates the same table rules over the event stream
+of :mod:`repro.xmlmodel.events` instead:
+
+* the table tree's *anchor* variables (the children of the root variable —
+  the only mappings allowed to use ``//``) are matched against the document
+  with small per-path NFAs over the open-element stack;
+* only the subtrees rooted at anchor matches are ever materialized; the
+  rest of the document flows through as events and is dropped;
+* bindings are generated *per anchor subtree* when the subtree closes
+  (paths below an anchor are simple, so they never look outside it), and
+  the paper's semantics — ``NULL`` for an empty binding set, an implicit
+  product for multiple nodes (Example 2.5) — are preserved exactly: the
+  final rows are the product of the per-anchor row blocks, which equals the
+  DOM evaluator's bag tuple-for-tuple (pinned by
+  ``tests/property/test_shred_differential.py``).
+
+Rules with a single anchor (the common shape — ``Rule(chapter)``,
+``Rule(section)``, the universal relation) emit their tuples incrementally,
+as each anchor subtree closes; multi-anchor rules must buffer one row block
+per anchor (values only, never nodes) and emit the product at end of
+stream.  Peak memory is therefore bounded by the largest anchor subtree
+plus the emitted values, not by the document.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.relational.instance import NULL, RelationInstance, Row, Value
+from repro.relational.schema import DatabaseSchema, RelationSchema
+from repro.transform.rule import TableRule, Transformation
+from repro.transform.table_tree import TableTree
+from repro.xmlmodel.events import ATTR, END, START, TEXT, Event, EventSource, as_events
+from repro.xmlmodel.matching import PathNFA
+from repro.xmlmodel.nodes import AttributeNode, ElementNode, Node, TextNode
+from repro.xmlmodel.tree import XMLTree
+
+
+# ----------------------------------------------------------------------
+# Per-anchor binding expansion (the DOM semantics, scoped to a subtree)
+# ----------------------------------------------------------------------
+def _subtree_variables(table_tree: TableTree, anchor: str) -> List[str]:
+    return table_tree.descendants(anchor, include_self=True)
+
+
+def _subtree_bindings(
+    table_tree: TableTree, variables: List[str], anchor: str, node: Node
+) -> List[Dict[str, Optional[Node]]]:
+    """Expand the bindings of ``anchor``'s subtree for one matched node.
+
+    This is exactly the variable-by-variable expansion of
+    :func:`repro.transform.evaluate.evaluate_rule`, restricted to the
+    anchor's subtree: an empty ``w[[P]]`` binds ``None`` (→ NULL), several
+    nodes take the implicit product.
+    """
+    bindings: List[Dict[str, Optional[Node]]] = [{anchor: node}]
+    for variable in variables:
+        if variable == anchor:
+            continue
+        path = table_tree.path_from_parent(variable)
+        parent = table_tree.parent(variable)
+        expanded: List[Dict[str, Optional[Node]]] = []
+        for binding in bindings:
+            parent_node = binding.get(parent)
+            if parent_node is None:
+                new_binding = dict(binding)
+                new_binding[variable] = None
+                expanded.append(new_binding)
+                continue
+            nodes = path.evaluate(parent_node)
+            if not nodes:
+                new_binding = dict(binding)
+                new_binding[variable] = None
+                expanded.append(new_binding)
+                continue
+            for reached in nodes:
+                new_binding = dict(binding)
+                new_binding[variable] = reached
+                expanded.append(new_binding)
+        bindings = expanded
+    return bindings
+
+
+class _Anchor:
+    """One anchor variable: its NFA, its subtree and its field rules."""
+
+    __slots__ = ("variable", "nfa", "variables", "fields", "rows")
+
+    def __init__(self, table_tree: TableTree, variable: str) -> None:
+        self.variable = variable
+        self.nfa = PathNFA(table_tree.path_from_parent(variable))
+        self.variables = _subtree_variables(table_tree, variable)
+        in_subtree = set(self.variables)
+        self.fields: List[Tuple[str, str]] = [
+            (rule.field, rule.variable)
+            for rule in table_tree.rule.fields
+            if rule.variable in in_subtree
+        ]
+        #: Completed row blocks (field → value dicts), one entry per binding.
+        self.rows: List[Dict[str, Value]] = []
+
+    def null_row(self) -> Dict[str, Value]:
+        return {field: NULL for field, _ in self.fields}
+
+    def rows_for_node(self, table_tree: TableTree, node: Node) -> List[Dict[str, Value]]:
+        result: List[Dict[str, Value]] = []
+        for binding in _subtree_bindings(table_tree, self.variables, self.variable, node):
+            row: Dict[str, Value] = {}
+            for field, variable in self.fields:
+                bound = binding.get(variable)
+                row[field] = NULL if bound is None else XMLTree.value(bound)
+            result.append(row)
+        return result
+
+
+class _Frame:
+    """Bookkeeping for one open element."""
+
+    __slots__ = ("states", "node", "matched", "pending_attrs", "attrs_done")
+
+    def __init__(
+        self,
+        states: Tuple[frozenset, ...],
+        node: Optional[ElementNode],
+        matched: Optional[List[_Anchor]],
+    ) -> None:
+        self.states = states
+        self.node = node
+        self.matched = matched
+        #: Attribute name → value, collected until the attribute section is
+        #: complete.  XML allows one attribute per name; later occurrences
+        #: replace earlier ones (as in the DOM parser), so attribute-anchored
+        #: variables must bind the *final* value, not one per attr event.
+        self.pending_attrs: Optional[Dict[str, str]] = None
+        self.attrs_done = False
+
+
+class RuleStreamer:
+    """Evaluate one table rule over an event stream, emitting rows.
+
+    Feed events with :meth:`feed` (completed rows accumulate in
+    :attr:`ready`), then call :meth:`finish` once the stream is exhausted to
+    flush the remaining rows (the NULL row of an unmatched rule, or the
+    multi-anchor product).
+    """
+
+    def __init__(self, rule: TableRule, deduplicate: bool = False) -> None:
+        self.rule = rule
+        self.table_tree = TableTree(rule)
+        root = rule.root_variable
+        self.anchors: List[_Anchor] = [
+            _Anchor(self.table_tree, variable) for variable in self.table_tree.children(root)
+        ]
+        self.root_fields = rule.fields_of_variable(root)
+        self.single_anchor = len(self.anchors) == 1 and not self.root_fields
+        self._frames: List[_Frame] = []
+        self._deduplicate = deduplicate
+        self._seen: Optional[set] = set() if deduplicate else None
+        self._finished = False
+        #: Rows completed so far and not yet drained by the caller.
+        self.ready: List[Dict[str, Value]] = []
+        #: (parent state vector, tag) → (child vector, matching anchors)
+        self._vector_cache: Dict[
+            Tuple[Tuple[frozenset, ...], str],
+            Tuple[Tuple[frozenset, ...], Optional[List[_Anchor]]],
+        ] = {}
+        self._initial_vector = tuple(anchor.nfa.initial for anchor in self.anchors)
+        self._initial_matched = [
+            anchor
+            for i, anchor in enumerate(self.anchors)
+            if anchor.nfa.matches(self._initial_vector[i])
+        ] or None
+        #: Anchors whose path can end in an attribute node.
+        self._attr_anchors = [
+            (i, anchor) for i, anchor in enumerate(self.anchors)
+            if anchor.nfa.has_attribute_steps
+        ]
+
+    # ------------------------------------------------------------------
+    def _emit(self, row: Dict[str, Value]) -> None:
+        if self._seen is not None:
+            key = Row(row)
+            if key in self._seen:
+                return
+            self._seen.add(key)
+        self.ready.append(row)
+
+    def feed(self, event: Event) -> None:
+        kind = event.kind
+        frames = self._frames
+        if kind == START:
+            tag = event.name
+            if frames:
+                parent = frames[-1]
+                if not parent.attrs_done:
+                    self._resolve_attr_anchors(parent)
+                cache_key = (parent.states, tag)
+                cached = self._vector_cache.get(cache_key)
+                if cached is None:
+                    states = tuple(
+                        anchor.nfa.advance(parent.states[i], tag)
+                        for i, anchor in enumerate(self.anchors)
+                    )
+                    matched = [
+                        anchor
+                        for i, anchor in enumerate(self.anchors)
+                        if anchor.nfa.matches(states[i])
+                    ] or None
+                    cached = (states, matched)
+                    self._vector_cache[cache_key] = cached
+                states, matched = cached
+                capturing = parent.node is not None
+            else:
+                states = self._initial_vector
+                matched = self._initial_matched
+                capturing = bool(self.root_fields)
+            node: Optional[ElementNode] = None
+            if capturing or matched:
+                node = ElementNode(tag)
+                if frames and frames[-1].node is not None:
+                    frames[-1].node.append_child(node)
+            frames.append(_Frame(states, node, matched))
+        elif kind == ATTR:
+            frame = frames[-1]
+            if frame.node is not None:
+                frame.node.set_attribute(event.name, event.value or "")
+            if self._attr_anchors:
+                if frame.pending_attrs is None:
+                    frame.pending_attrs = {}
+                frame.pending_attrs[event.name] = event.value or ""
+        elif kind == TEXT:
+            frame = frames[-1]
+            if not frame.attrs_done:
+                self._resolve_attr_anchors(frame)
+            if frame.node is not None:
+                frame.node.append_child(TextNode(event.value or ""))
+        elif kind == END:
+            frame = frames.pop()
+            if not frame.attrs_done:
+                self._resolve_attr_anchors(frame)
+            if frame.matched:
+                for anchor in frame.matched:
+                    self._anchor_matched(anchor, frame.node)  # type: ignore[arg-type]
+            if not frames and self.root_fields and frame.node is not None:
+                row = {field: XMLTree.value(frame.node) for field in self.root_fields}
+                self._emit(row)
+
+    def _resolve_attr_anchors(self, frame: _Frame) -> None:
+        """Match attribute-anchored variables once the attr section closed.
+
+        Deferred so that a duplicated attribute name binds one node with its
+        final value — exactly what the DOM holds after parsing.
+        """
+        frame.attrs_done = True
+        if frame.pending_attrs is None:
+            return
+        for name, value in frame.pending_attrs.items():
+            for i, anchor in self._attr_anchors:
+                if anchor.nfa.matches_attribute(frame.states[i], name):
+                    if frame.node is not None:
+                        attr_node: Node = frame.node.attribute(name)  # type: ignore[assignment]
+                    else:
+                        attr_node = AttributeNode(name, value)
+                    self._anchor_matched(anchor, attr_node)
+
+    def _anchor_matched(self, anchor: _Anchor, node: Node) -> None:
+        rows = anchor.rows_for_node(self.table_tree, node)
+        if self.single_anchor:
+            for row in rows:
+                self._emit(row)
+            # remember that the anchor matched so finish() skips the NULL row
+            if not anchor.rows:
+                anchor.rows = [{}]
+        else:
+            anchor.rows.extend(rows)
+
+    def finish(self) -> None:
+        if self._finished:
+            return
+        self._finished = True
+        if self.root_fields:
+            return  # the row was emitted when the root element closed
+        if self.single_anchor:
+            anchor = self.anchors[0]
+            if not anchor.rows:
+                self._emit(anchor.null_row())
+            return
+        # Multi-anchor: the bindings of distinct anchors are independent, so
+        # the full binding set is the product of the per-anchor row blocks.
+        blocks: List[List[Dict[str, Value]]] = []
+        for anchor in self.anchors:
+            blocks.append(anchor.rows if anchor.rows else [anchor.null_row()])
+        partial: List[Dict[str, Value]] = [{}]
+        for block in blocks:
+            partial = [dict(done, **part) for done in partial for part in block]
+        for row in partial:
+            self._emit(row)
+
+    def drain(self) -> List[Dict[str, Value]]:
+        rows, self.ready = self.ready, []
+        return rows
+
+
+# ----------------------------------------------------------------------
+# Public API
+# ----------------------------------------------------------------------
+def iter_rule_rows(
+    rule: TableRule,
+    source: EventSource,
+    deduplicate: bool = False,
+    strip_whitespace: bool = True,
+) -> Iterator[Dict[str, Value]]:
+    """Lazily yield the rows ``Rule(R)`` produces over ``source``.
+
+    Rows are yielded as soon as they complete (per anchor subtree for
+    single-anchor rules).  The bag of rows equals
+    ``evaluate_rule(rule, tree, deduplicate=False)``; with
+    ``deduplicate=True`` each distinct row is yielded once (set semantics).
+    """
+    streamer = RuleStreamer(rule, deduplicate=deduplicate)
+    for event in as_events(source, strip_whitespace=strip_whitespace):
+        streamer.feed(event)
+        if streamer.ready:
+            yield from streamer.drain()
+    streamer.finish()
+    yield from streamer.drain()
+
+
+def stream_evaluate_rule(
+    rule: TableRule,
+    source: EventSource,
+    schema: Optional[RelationSchema] = None,
+    deduplicate: bool = True,
+    strip_whitespace: bool = True,
+) -> RelationInstance:
+    """Streaming counterpart of :func:`repro.transform.evaluate.evaluate_rule`."""
+    target_schema = schema if schema is not None else rule.schema()
+    instance = RelationInstance(target_schema)
+    for row in iter_rule_rows(
+        rule, source, deduplicate=deduplicate, strip_whitespace=strip_whitespace
+    ):
+        instance.add_row(row)
+    return instance
+
+
+class StreamShredder:
+    """Shred a document through a whole transformation in one pass.
+
+    Every rule gets its own :class:`RuleStreamer`; a single event walk feeds
+    them all, so a multi-relation import reads the input exactly once.
+    """
+
+    def __init__(
+        self,
+        transformation: Transformation,
+        schema: Optional[DatabaseSchema] = None,
+        deduplicate: bool = True,
+    ) -> None:
+        self.transformation = transformation
+        self._instances: Dict[str, RelationInstance] = {}
+        self._streamers: List[Tuple[RuleStreamer, RelationInstance]] = []
+        for rule in transformation:
+            relation_schema = None
+            if schema is not None and rule.relation in schema:
+                relation_schema = schema.relation(rule.relation)
+            instance = RelationInstance(
+                relation_schema if relation_schema is not None else rule.schema()
+            )
+            self._instances[rule.relation] = instance
+            self._streamers.append((RuleStreamer(rule, deduplicate=deduplicate), instance))
+
+    def feed(self, event: Event) -> None:
+        for streamer, instance in self._streamers:
+            streamer.feed(event)
+            if streamer.ready:
+                for row in streamer.drain():
+                    instance.add_row(row)
+
+    def finish(self) -> Dict[str, RelationInstance]:
+        for streamer, instance in self._streamers:
+            streamer.finish()
+            for row in streamer.drain():
+                instance.add_row(row)
+        return dict(self._instances)
+
+    def run(self, source: EventSource, strip_whitespace: bool = True) -> Dict[str, RelationInstance]:
+        for event in as_events(source, strip_whitespace=strip_whitespace):
+            self.feed(event)
+        return self.finish()
+
+
+def stream_evaluate_transformation(
+    transformation: Transformation,
+    source: EventSource,
+    schema: Optional[DatabaseSchema] = None,
+    deduplicate: bool = True,
+    strip_whitespace: bool = True,
+) -> Dict[str, RelationInstance]:
+    """Streaming counterpart of :func:`evaluate_transformation` (one pass)."""
+    shredder = StreamShredder(transformation, schema=schema, deduplicate=deduplicate)
+    return shredder.run(source, strip_whitespace=strip_whitespace)

@@ -22,6 +22,18 @@ from repro.xmlmodel.nodes import (
 from repro.xmlmodel.tree import XMLTree
 from repro.xmlmodel.builder import attr, element, text, document
 from repro.xmlmodel.parser import parse_document, XMLSyntaxError
+from repro.xmlmodel.events import (
+    ATTR,
+    END,
+    START,
+    TEXT,
+    Event,
+    as_events,
+    element_from_events,
+    iter_events,
+    iter_tree_events,
+    tree_from_events,
+)
 from repro.xmlmodel.serializer import serialize
 from repro.xmlmodel.paths import (
     PathExpression,
@@ -45,6 +57,16 @@ __all__ = [
     "document",
     "parse_document",
     "XMLSyntaxError",
+    "ATTR",
+    "END",
+    "START",
+    "TEXT",
+    "Event",
+    "as_events",
+    "element_from_events",
+    "iter_events",
+    "iter_tree_events",
+    "tree_from_events",
     "serialize",
     "PathExpression",
     "PathStep",

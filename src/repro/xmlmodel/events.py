@@ -1,0 +1,672 @@
+"""Event-driven XML tokenization — the streaming side of the data plane.
+
+The DOM parser of :mod:`repro.xmlmodel.parser` materializes a full
+:class:`~repro.xmlmodel.tree.XMLTree` before anything can look at the
+document.  That is the right model for the paper's *schema-level* algorithms
+(propagation, covers, implication), but the *data-level* pipeline — shredding
+documents through a transformation and checking key satisfaction — must
+handle documents far larger than a comfortable DOM.  This module provides the
+``iterparse``-style layer that sits beside the DOM, the way lxml's event API
+sits beside its tree:
+
+* :func:`iter_events` tokenizes a document into a flat stream of
+  ``start`` / ``attr`` / ``text`` / ``end`` events.  The input may be a
+  string, a file-like object, or any iterable of string chunks; the
+  tokenizer buffers only the current token (plus one pull-ahead chunk), so
+  peak memory is independent of document size.
+* :func:`iter_tree_events` replays an in-memory tree as the same event
+  stream, so every streaming consumer can also run over DOM input.
+* :func:`tree_from_events` rebuilds a DOM from an event stream — the bridge
+  used by the differential test suite to pin the tokenizer against the
+  recursive-descent parser event-for-event and node-for-node.
+
+The tokenizer accepts exactly the dialect of the DOM parser (predefined
+entities, character references, CDATA, comments, processing instructions,
+a skipped DOCTYPE) and mirrors its text-node segmentation: character data
+and CDATA accumulate into a single text event, which is flushed by element
+boundaries, comments and processing instructions, and dropped when
+whitespace-only under ``strip_whitespace``.  ``tree_from_events(iter_events(s))``
+is therefore structurally identical to ``parse_document(s)``.
+
+Event order mirrors the document-order node numbering of Figure 1: an
+element's ``start`` is followed by one ``attr`` event per attribute (in
+document order) before any child content, which is exactly the order
+``XMLTree.reindex`` assigns node identifiers in.  Streaming consumers that
+need paper-compatible node identifiers (the key checker) can simply count
+events.
+"""
+
+from __future__ import annotations
+
+import itertools
+import re
+from typing import IO, Iterable, Iterator, List, NamedTuple, Optional, Union
+
+from repro.xmlmodel.nodes import ElementNode, TextNode
+from repro.xmlmodel.parser import XMLSyntaxError, expand_entities
+from repro.xmlmodel.tree import XMLTree
+
+#: Event kinds.  Plain strings (not an enum) — the tokenizer emits millions
+#: of these on large documents and consumers dispatch on them per event.
+START = "start"
+ATTR = "attr"
+TEXT = "text"
+END = "end"
+
+
+class Event(NamedTuple):
+    """One parse event.
+
+    ============  ======================  =========================
+    kind          name                    value
+    ============  ======================  =========================
+    ``start``     element tag             ``None``
+    ``attr``      attribute name          attribute value
+    ``text``      ``"#text"``             character data
+    ``end``       element tag             ``None``
+    ============  ======================  =========================
+    """
+
+    kind: str
+    name: str
+    value: Optional[str] = None
+
+
+EventSource = Union[str, IO[str], Iterable[str], XMLTree, ElementNode]
+
+_DEFAULT_CHUNK = 1 << 16
+_COMPACT_THRESHOLD = 1 << 16
+_NAME_DELIMITERS = "=<>/?\"'"
+
+# Hot-path scanners for the in-memory tokenizer.  The character classes are
+# exactly the DOM parser's: a name runs until whitespace or one of
+# ``=<>/?"'``; attribute values are quoted, quotes cannot be escaped other
+# than via entities.  Inputs the regexes cannot handle fall back to the
+# character-level code, which reproduces the DOM parser's error messages.
+_NAME_RE = re.compile(r"[^\s=<>/?\"']+")
+_ATTR_RE = re.compile(r"\s*([^\s=<>/?\"']+)\s*=\s*(?:\"([^\"]*)\"|'([^']*)')")
+_END_TAG_RE = re.compile(r"([^\s=<>/?\"']+)\s*>")
+
+
+# ----------------------------------------------------------------------
+# Public API
+# ----------------------------------------------------------------------
+def iter_events(
+    source: Union[str, IO[str], Iterable[str]],
+    strip_whitespace: bool = True,
+    chunk_size: int = _DEFAULT_CHUNK,
+) -> Iterator[Event]:
+    """Tokenize an XML document into a stream of events.
+
+    ``source`` may be a string, a file-like object (read in ``chunk_size``
+    pieces) or an iterable of string chunks.  ``strip_whitespace`` drops
+    whitespace-only text events, matching the DOM parser's default.
+
+    A fully in-memory string takes a specialized single-buffer scanner (the
+    hot path of the shredding benchmarks); everything else runs through the
+    incremental chunked tokenizer.  Both accept the same dialect and raise
+    the same errors (pinned against each other, and against the DOM parser,
+    by the test suite).
+    """
+    if isinstance(source, str):
+        return _string_events(source, strip_whitespace)
+    return _Tokenizer(_chunks_of(source, chunk_size), strip_whitespace).events()
+
+
+def _string_events(source: str, strip_whitespace: bool) -> Iterator[Event]:
+    """Tokenizer fast path over a complete in-memory string."""
+    pos = 0
+    length = len(source)
+    find = source.find
+    startswith = source.startswith
+
+    # --- prolog -------------------------------------------------------
+    while True:
+        while pos < length and source[pos].isspace():
+            pos += 1
+        if startswith("<?", pos):
+            end = find("?>", pos)
+            if end < 0:
+                raise XMLSyntaxError("unterminated construct (missing '?>')", pos)
+            pos = end + 2
+        elif startswith("<!--", pos):
+            end = find("-->", pos)
+            if end < 0:
+                raise XMLSyntaxError("unterminated construct (missing '-->')", pos)
+            pos = end + 3
+        elif startswith("<!DOCTYPE", pos):
+            depth = 0
+            while True:
+                if pos >= length:
+                    raise XMLSyntaxError("unterminated DOCTYPE declaration", pos)
+                char = source[pos]
+                if char == "[":
+                    depth += 1
+                elif char == "]":
+                    depth -= 1
+                elif char == ">" and depth <= 0:
+                    pos += 1
+                    break
+                pos += 1
+        else:
+            break
+    if pos >= length or source[pos] != "<":
+        raise XMLSyntaxError("expected a root element", pos)
+
+    stack: List[str] = []
+    text_parts: List[str] = []
+    need_element = True
+    while True:
+        if need_element:
+            # --- start tag (pos is at '<') ----------------------------
+            tag_start = pos
+            pos += 1
+            match = _NAME_RE.match(source, pos)
+            if match is None or match.start() != pos:
+                raise XMLSyntaxError("expected a name", pos)
+            name = match.group()
+            pos = match.end()
+            yield Event(START, name)
+            while True:
+                # fast path: well-formed ``name="value"`` attributes
+                match = _ATTR_RE.match(source, pos)
+                if match is not None:
+                    raw = match.group(2)
+                    if raw is None:
+                        raw = match.group(3)
+                    pos = match.end()
+                    yield Event(
+                        ATTR, match.group(1), expand_entities(raw) if "&" in raw else raw
+                    )
+                    continue
+                while pos < length and source[pos].isspace():
+                    pos += 1
+                if pos >= length:
+                    raise XMLSyntaxError("unterminated start tag", tag_start)
+                char = source[pos]
+                if char == ">":
+                    pos += 1
+                    stack.append(name)
+                    break
+                if char == "/" and startswith("/>", pos):
+                    pos += 2
+                    yield Event(END, name)
+                    break
+                # Slow path for the error cases the regex rejected: missing
+                # '=', unquoted or unterminated values, bad names.
+                i = pos
+                while i < length and not source[i].isspace() and source[i] not in _NAME_DELIMITERS:
+                    i += 1
+                if i == pos:
+                    raise XMLSyntaxError("expected a name", i)
+                pos = i
+                while pos < length and source[pos].isspace():
+                    pos += 1
+                if not startswith("=", pos):
+                    raise XMLSyntaxError("expected '='", pos)
+                pos += 1
+                while pos < length and source[pos].isspace():
+                    pos += 1
+                if pos >= length or source[pos] not in "\"'":
+                    raise XMLSyntaxError("expected a quoted attribute value", pos)
+                raise XMLSyntaxError("unterminated attribute value", pos + 1)
+            need_element = False
+            continue
+        if not stack:
+            break  # the root element closed: proceed to the epilog
+        # --- content --------------------------------------------------
+        if pos >= length:
+            raise XMLSyntaxError(f"unterminated element <{stack[-1]}>", pos)
+        char = source[pos]
+        if char == "<":
+            nxt = source[pos + 1] if pos + 1 < length else ""
+            if nxt == "/":
+                if text_parts:
+                    content = "".join(text_parts)
+                    text_parts.clear()
+                    if not strip_whitespace or content.strip():
+                        yield Event(TEXT, "#text", content)
+                pos += 2
+                match = _END_TAG_RE.match(source, pos)
+                if match is not None:
+                    name = match.group(1)
+                    if name != stack[-1]:
+                        raise XMLSyntaxError(
+                            f"mismatched end tag </{name}> for <{stack[-1]}>",
+                            match.end(1),
+                        )
+                    pos = match.end()
+                    stack.pop()
+                    yield Event(END, name)
+                    continue
+                # Slow path for malformed end tags (missing name or '>').
+                i = pos
+                while i < length and not source[i].isspace() and source[i] not in _NAME_DELIMITERS:
+                    i += 1
+                if i == pos:
+                    raise XMLSyntaxError("expected a name", i)
+                name = source[pos:i]
+                pos = i
+                if name != stack[-1]:
+                    raise XMLSyntaxError(
+                        f"mismatched end tag </{name}> for <{stack[-1]}>", pos
+                    )
+                while pos < length and source[pos].isspace():
+                    pos += 1
+                if not startswith(">", pos):
+                    raise XMLSyntaxError("expected '>'", pos)
+                pos += 1
+                stack.pop()
+                yield Event(END, name)
+                continue
+            if nxt == "!":
+                if startswith("<!--", pos):
+                    if text_parts:
+                        content = "".join(text_parts)
+                        text_parts.clear()
+                        if not strip_whitespace or content.strip():
+                            yield Event(TEXT, "#text", content)
+                    end = find("-->", pos)
+                    if end < 0:
+                        raise XMLSyntaxError("unterminated construct (missing '-->')", pos)
+                    pos = end + 3
+                    continue
+                if startswith("<![CDATA[", pos):
+                    end = find("]]>", pos)
+                    if end < 0:
+                        raise XMLSyntaxError("unterminated CDATA section", pos)
+                    text_parts.append(source[pos + 9 : end])
+                    pos = end + 3
+                    continue
+                # anything else after '<!' parses as an element whose name
+                # starts with '!', exactly like the DOM parser
+            elif nxt == "?":
+                if text_parts:
+                    content = "".join(text_parts)
+                    text_parts.clear()
+                    if not strip_whitespace or content.strip():
+                        yield Event(TEXT, "#text", content)
+                end = find("?>", pos)
+                if end < 0:
+                    raise XMLSyntaxError("unterminated construct (missing '?>')", pos)
+                pos = end + 2
+                continue
+            if text_parts:
+                content = "".join(text_parts)
+                text_parts.clear()
+                if not strip_whitespace or content.strip():
+                    yield Event(TEXT, "#text", content)
+            need_element = True
+            continue
+        next_tag = find("<", pos)
+        if next_tag < 0:
+            next_tag = length
+        segment = source[pos:next_tag]
+        text_parts.append(expand_entities(segment) if "&" in segment else segment)
+        pos = next_tag
+
+    # --- epilog -------------------------------------------------------
+    while True:
+        while pos < length and source[pos].isspace():
+            pos += 1
+        if startswith("<?", pos):
+            end = find("?>", pos)
+            if end < 0:
+                raise XMLSyntaxError("unterminated construct (missing '?>')", pos)
+            pos = end + 2
+        elif startswith("<!--", pos):
+            end = find("-->", pos)
+            if end < 0:
+                raise XMLSyntaxError("unterminated construct (missing '-->')", pos)
+            pos = end + 3
+        else:
+            break
+    if pos < length:
+        raise XMLSyntaxError("content after the root element", pos)
+
+
+def iter_tree_events(tree_or_element: Union[XMLTree, ElementNode]) -> Iterator[Event]:
+    """Replay an in-memory tree as the equivalent event stream."""
+    root = tree_or_element.root if isinstance(tree_or_element, XMLTree) else tree_or_element
+    # Iterative pre-order walk; the work stack holds either elements still to
+    # be opened or already-emitted END events.
+    stack: List[object] = [root]
+    while stack:
+        item = stack.pop()
+        if isinstance(item, Event):
+            yield item
+            continue
+        if isinstance(item, TextNode):
+            yield Event(TEXT, "#text", item.text)
+            continue
+        element: ElementNode = item  # type: ignore[assignment]
+        yield Event(START, element.tag)
+        for attr_node in element.attributes.values():
+            yield Event(ATTR, attr_node.name, attr_node.value)
+        stack.append(Event(END, element.tag))
+        stack.extend(reversed(element.children))
+
+
+def as_events(source: EventSource, strip_whitespace: bool = True) -> Iterator[Event]:
+    """Coerce any supported source into an event stream.
+
+    Accepts trees/elements (replayed), strings and file-like objects
+    (tokenized), iterables of string chunks (tokenized) and iterables that
+    already yield :class:`Event` objects (passed through).
+    """
+    if isinstance(source, (XMLTree, ElementNode)):
+        return iter_tree_events(source)
+    if isinstance(source, str) or hasattr(source, "read"):
+        return iter_events(source, strip_whitespace=strip_whitespace)  # type: ignore[arg-type]
+    iterator = iter(source)  # type: ignore[arg-type]
+    try:
+        first = next(iterator)
+    except StopIteration:
+        return iter(())
+    rest = itertools.chain((first,), iterator)
+    if isinstance(first, Event):
+        return rest  # type: ignore[return-value]
+    return iter_events(rest, strip_whitespace=strip_whitespace)  # type: ignore[arg-type]
+
+
+def element_from_events(events: Iterable[Event]) -> ElementNode:
+    """Rebuild the root element described by an event stream."""
+    root: Optional[ElementNode] = None
+    stack: List[ElementNode] = []
+    for event in events:
+        kind = event.kind
+        if kind == START:
+            node = ElementNode(event.name)
+            if stack:
+                stack[-1].append_child(node)
+            elif root is None:
+                root = node
+            else:
+                raise ValueError("event stream describes more than one root element")
+            stack.append(node)
+        elif kind == ATTR:
+            if not stack:
+                raise ValueError("attr event outside any open element")
+            stack[-1].set_attribute(event.name, event.value or "")
+        elif kind == TEXT:
+            if not stack:
+                raise ValueError("text event outside any open element")
+            stack[-1].append_child(TextNode(event.value or ""))
+        elif kind == END:
+            if not stack:
+                raise ValueError("end event without a matching start")
+            stack.pop()
+        else:
+            raise ValueError(f"unknown event kind {kind!r}")
+    if root is None or stack:
+        raise ValueError("event stream did not describe a complete document")
+    return root
+
+
+def tree_from_events(events: Iterable[Event]) -> XMLTree:
+    """Rebuild a full :class:`XMLTree` (with node identifiers) from events."""
+    return XMLTree(element_from_events(events))
+
+
+# ----------------------------------------------------------------------
+# Chunk adapters
+# ----------------------------------------------------------------------
+def _chunks_of(
+    source: Union[str, IO[str], Iterable[str]], chunk_size: int
+) -> Iterator[str]:
+    if isinstance(source, str):
+        yield source
+        return
+    read = getattr(source, "read", None)
+    if read is not None:
+        while True:
+            chunk = read(chunk_size)
+            if not chunk:
+                return
+            yield chunk
+        return
+    yield from source  # type: ignore[misc]
+
+
+# ----------------------------------------------------------------------
+# The incremental tokenizer
+# ----------------------------------------------------------------------
+class _Tokenizer:
+    """Pull-based tokenizer over an iterator of string chunks.
+
+    The buffer holds at most the current token plus one pulled-ahead chunk;
+    the consumed prefix is dropped once it crosses ``_COMPACT_THRESHOLD``,
+    so memory stays bounded regardless of document length.  ``base + pos``
+    is the absolute offset used in error messages, matching the DOM parser.
+    """
+
+    def __init__(self, chunks: Iterator[str], strip_whitespace: bool) -> None:
+        self._chunks = chunks
+        self.buf = ""
+        self.pos = 0
+        self.base = 0
+        self.eof = False
+        self.strip_whitespace = strip_whitespace
+
+    # -- buffer management ---------------------------------------------
+    def _pull(self) -> bool:
+        if self.eof:
+            return False
+        for chunk in self._chunks:
+            if chunk:
+                self.buf += chunk
+                return True
+        self.eof = True
+        return False
+
+    def _compact(self) -> None:
+        if self.pos > _COMPACT_THRESHOLD:
+            self.base += self.pos
+            self.buf = self.buf[self.pos :]
+            self.pos = 0
+
+    def _avail(self, count: int) -> bool:
+        while len(self.buf) - self.pos < count:
+            if not self._pull():
+                return False
+        return True
+
+    def _char(self) -> Optional[str]:
+        if not self._avail(1):
+            return None
+        return self.buf[self.pos]
+
+    def _startswith(self, literal: str) -> bool:
+        return self._avail(len(literal)) and self.buf.startswith(literal, self.pos)
+
+    def _find(self, marker: str, start: int) -> int:
+        search_from = start
+        while True:
+            index = self.buf.find(marker, search_from)
+            if index >= 0:
+                return index
+            # A marker may span a chunk boundary: re-search only the tail
+            # that could still contain a partial match.
+            search_from = max(start, len(self.buf) - len(marker) + 1)
+            if not self._pull():
+                return -1
+
+    # -- lexical helpers (mirroring the DOM parser) --------------------
+    def _skip_spaces(self) -> None:
+        while True:
+            buf, length = self.buf, len(self.buf)
+            while self.pos < length and buf[self.pos].isspace():
+                self.pos += 1
+            if self.pos < length or not self._pull():
+                return
+
+    def _skip_until(self, marker: str) -> None:
+        index = self._find(marker, self.pos)
+        if index < 0:
+            raise XMLSyntaxError(
+                f"unterminated construct (missing {marker!r})", self.base + self.pos
+            )
+        self.pos = index + len(marker)
+
+    def _expect(self, literal: str) -> None:
+        if not self._startswith(literal):
+            raise XMLSyntaxError(f"expected {literal!r}", self.base + self.pos)
+        self.pos += len(literal)
+
+    def _scan_name(self) -> str:
+        start = self.pos
+        while True:
+            buf, length = self.buf, len(self.buf)
+            i = self.pos
+            while i < length and not buf[i].isspace() and buf[i] not in _NAME_DELIMITERS:
+                i += 1
+            self.pos = i
+            if i < length or not self._pull():
+                break
+        if self.pos == start:
+            raise XMLSyntaxError("expected a name", self.base + self.pos)
+        return self.buf[start : self.pos]
+
+    def _parse_quoted(self) -> str:
+        char = self._char()
+        if char not in ("'", '"'):
+            raise XMLSyntaxError("expected a quoted attribute value", self.base + self.pos)
+        self.pos += 1
+        index = self._find(char, self.pos)
+        if index < 0:
+            raise XMLSyntaxError("unterminated attribute value", self.base + self.pos)
+        raw = self.buf[self.pos : index]
+        self.pos = index + 1
+        return expand_entities(raw)
+
+    # -- prolog / epilog ------------------------------------------------
+    def _skip_doctype(self) -> None:
+        depth = 0
+        while True:
+            if self.pos >= len(self.buf) and not self._pull():
+                raise XMLSyntaxError("unterminated DOCTYPE declaration", self.base + self.pos)
+            char = self.buf[self.pos]
+            if char == "[":
+                depth += 1
+            elif char == "]":
+                depth -= 1
+            elif char == ">" and depth <= 0:
+                self.pos += 1
+                return
+            self.pos += 1
+
+    def _skip_prolog(self) -> None:
+        while True:
+            self._skip_spaces()
+            if self._startswith("<?"):
+                self._skip_until("?>")
+            elif self._startswith("<!--"):
+                self._skip_until("-->")
+            elif self._startswith("<!DOCTYPE"):
+                self._skip_doctype()
+            else:
+                return
+
+    def _skip_misc(self) -> None:
+        while True:
+            self._skip_spaces()
+            if self._startswith("<?"):
+                self._skip_until("?>")
+            elif self._startswith("<!--"):
+                self._skip_until("-->")
+            else:
+                return
+
+    # -- element machinery ----------------------------------------------
+    def _parse_start_tag(self, stack: List[str]) -> Iterator[Event]:
+        tag_offset = self.base + self.pos
+        self.pos += 1  # consume '<'
+        name = self._scan_name()
+        yield Event(START, name)
+        while True:
+            self._skip_spaces()
+            char = self._char()
+            if char is None:
+                raise XMLSyntaxError("unterminated start tag", tag_offset)
+            if char == ">":
+                self.pos += 1
+                stack.append(name)
+                return
+            if self._startswith("/>"):
+                self.pos += 2
+                yield Event(END, name)
+                return
+            attr_name = self._scan_name()
+            self._skip_spaces()
+            self._expect("=")
+            self._skip_spaces()
+            attr_value = self._parse_quoted()
+            yield Event(ATTR, attr_name, attr_value)
+
+    def _flush_text(self, parts: List[str]) -> Iterator[Event]:
+        if not parts:
+            return
+        content = "".join(parts)
+        parts.clear()
+        if self.strip_whitespace and not content.strip():
+            return
+        yield Event(TEXT, "#text", content)
+
+    # -- entry point -----------------------------------------------------
+    def events(self) -> Iterator[Event]:
+        self._skip_prolog()
+        if self._char() != "<":
+            raise XMLSyntaxError("expected a root element", self.base + self.pos)
+        stack: List[str] = []
+        text_parts: List[str] = []
+        yield from self._parse_start_tag(stack)
+        while stack:
+            self._compact()
+            char = self._char()
+            if char is None:
+                raise XMLSyntaxError(
+                    f"unterminated element <{stack[-1]}>", self.base + self.pos
+                )
+            if self._startswith("</"):
+                yield from self._flush_text(text_parts)
+                self.pos += 2
+                name = self._scan_name()
+                if name != stack[-1]:
+                    raise XMLSyntaxError(
+                        f"mismatched end tag </{name}> for <{stack[-1]}>",
+                        self.base + self.pos,
+                    )
+                self._skip_spaces()
+                self._expect(">")
+                stack.pop()
+                yield Event(END, name)
+                continue
+            if self._startswith("<!--"):
+                yield from self._flush_text(text_parts)
+                self._skip_until("-->")
+                continue
+            if self._startswith("<![CDATA["):
+                end = self._find("]]>", self.pos + 9)
+                if end < 0:
+                    raise XMLSyntaxError("unterminated CDATA section", self.base + self.pos)
+                text_parts.append(self.buf[self.pos + 9 : end])
+                self.pos = end + 3
+                continue
+            if self._startswith("<?"):
+                yield from self._flush_text(text_parts)
+                self._skip_until("?>")
+                continue
+            if char == "<":
+                yield from self._flush_text(text_parts)
+                yield from self._parse_start_tag(stack)
+                continue
+            next_tag = self._find("<", self.pos)
+            if next_tag < 0:
+                text_parts.append(expand_entities(self.buf[self.pos :]))
+                self.pos = len(self.buf)
+                continue  # the loop header reports the unterminated element
+            text_parts.append(expand_entities(self.buf[self.pos : next_tag]))
+            self.pos = next_tag
+        self._skip_misc()
+        if self._char() is not None:
+            raise XMLSyntaxError("content after the root element", self.base + self.pos)

@@ -40,6 +40,39 @@ _PREDEFINED_ENTITIES = {
 }
 
 
+def expand_entities(raw: str) -> str:
+    """Expand predefined entities and character references in ``raw``.
+
+    Unknown entities and stray ``&`` characters are kept literally, exactly
+    like the DOM parser does; the streaming tokenizer of
+    :mod:`repro.xmlmodel.events` shares this function so both front ends
+    produce byte-identical character data.
+    """
+    if "&" not in raw:
+        return raw
+    result: List[str] = []
+    i = 0
+    while i < len(raw):
+        char = raw[i]
+        if char != "&":
+            result.append(char)
+            i += 1
+            continue
+        end = raw.find(";", i)
+        if end < 0:
+            result.append(char)
+            i += 1
+            continue
+        entity = raw[i + 1 : end]
+        expansion = _expand_entity(entity)
+        if expansion is None:
+            result.append(raw[i : end + 1])
+        else:
+            result.append(expansion)
+        i = end + 1
+    return "".join(result)
+
+
 def parse_document(source: str, strip_whitespace: bool = True) -> XMLTree:
     """Parse an XML string into an :class:`XMLTree`.
 
@@ -229,29 +262,7 @@ class _Parser:
         return self._expand_entities(raw)
 
     def _expand_entities(self, raw: str) -> str:
-        if "&" not in raw:
-            return raw
-        result: List[str] = []
-        i = 0
-        while i < len(raw):
-            char = raw[i]
-            if char != "&":
-                result.append(char)
-                i += 1
-                continue
-            end = raw.find(";", i)
-            if end < 0:
-                result.append(char)
-                i += 1
-                continue
-            entity = raw[i + 1 : end]
-            expansion = _expand_entity(entity)
-            if expansion is None:
-                result.append(raw[i : end + 1])
-            else:
-                result.append(expansion)
-            i = end + 1
-        return "".join(result)
+        return expand_entities(raw)
 
     def _skip_spaces(self) -> None:
         while self.pos < self.length and self.source[self.pos].isspace():

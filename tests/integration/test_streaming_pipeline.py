@@ -1,0 +1,103 @@
+"""End-to-end regression: the Figure 2(a) import failure, streaming edition.
+
+Example 1.1 / Figure 2(a) of the paper: the consumer shreds the document of
+Figure 1 into a ``Chapter(bookTitle, chapterNum, chapterName)`` table whose
+declared key is ``(bookTitle, chapterNum)`` — and the import fails, because
+two books are both titled ``XML`` and both have a chapter number 1.  The
+refined design keyed on ``(isbn, chapterNum)`` loads cleanly.
+
+This suite pins that reproduction end-to-end through the *streaming* data
+plane: document text → event stream → streaming shredder → hash-grouped key
+check → report (and the CLI front end on top), with the DOM pipeline as the
+reference at every step.
+"""
+
+import pytest
+
+from repro.cli import main
+from repro.experiments import paper_example as pe
+from repro.relational.instance import RelationInstance
+from repro.transform.evaluate import evaluate_transformation
+from repro.transform.stream import stream_evaluate_transformation
+from repro.xmlmodel.serializer import serialize
+
+
+@pytest.fixture(scope="module")
+def figure1_text():
+    return serialize(pe.figure1_document(), xml_declaration=True)
+
+
+class TestFigure2aStreaming:
+    def test_initial_design_fails_to_import(self, figure1_text):
+        transformation, schema = pe.initial_chapter_design()
+        instances = stream_evaluate_transformation(
+            transformation, figure1_text, schema=schema
+        )
+        chapter = instances["Chapter"]
+        assert not chapter.satisfies_key()
+        found = chapter.key_violations()
+        assert [violation.kind for violation in found] == ["value-conflict"]
+        # The witness of Figure 2(a): two chapters number 1 of books titled
+        # "XML", with different names.
+        assert "'XML'" in found[0].detail and "'1'" in found[0].detail
+
+    def test_streaming_instance_matches_dom_instance(self, figure1_text):
+        transformation, schema = pe.initial_chapter_design()
+        dom = evaluate_transformation(
+            transformation, pe.figure1_document(), schema=schema
+        )
+        stream = stream_evaluate_transformation(transformation, figure1_text, schema=schema)
+        assert set(dom["Chapter"].rows) == set(stream["Chapter"].rows)
+        # Identical violation reports from identical instances.
+        dom_report = [v.kind for v in dom["Chapter"].key_violations()]
+        stream_report = [v.kind for v in stream["Chapter"].key_violations()]
+        assert dom_report == stream_report == ["value-conflict"]
+
+    def test_refined_design_imports_cleanly(self, figure1_text):
+        transformation, schema = pe.refined_chapter_design()
+        instances = stream_evaluate_transformation(
+            transformation, figure1_text, schema=schema
+        )
+        assert instances["Chapter"].satisfies_key()
+        assert len(instances["Chapter"]) == 3
+
+    def test_cli_check_doc_streams_the_violation_report(self, tmp_path, capsys):
+        # The XML-level counterpart: a document violating K2 reported through
+        # `check-doc` (document → streaming violations → report).
+        keys_file = tmp_path / "keys.txt"
+        keys_file.write_text("K2 = (//book, (chapter, {@number}))\n")
+        bad = tmp_path / "bad.xml"
+        bad.write_text(
+            '<r><book isbn="1"><chapter number="1"/><chapter number="1"/></book></r>'
+        )
+        code = main(["check-doc", "--keys", str(keys_file), "--xml", str(bad)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "key violated" in out and "duplicate-value" in out
+        # The DOM reference agrees verbatim.
+        code_dom = main(["check-doc", "--keys", str(keys_file), "--xml", str(bad), "--dom"])
+        out_dom = capsys.readouterr().out
+        assert code_dom == 1
+        assert out_dom == out
+
+    def test_cli_shred_stream_matches_dom_output(self, tmp_path, capsys, figure1_text):
+        transform_file = tmp_path / "rules.dsl"
+        transform_file.write_text(
+            "table Chapter\n"
+            "  var ba <- xr : //book\n"
+            "  var bt <- ba : title\n"
+            "  var bc <- ba : chapter\n"
+            "  var cn <- bc : @number\n"
+            "  var cm <- bc : name\n"
+            "  field bookTitle   = value(bt)\n"
+            "  field chapterNum  = value(cn)\n"
+            "  field chapterName = value(cm)\n"
+        )
+        xml_file = tmp_path / "figure1.xml"
+        xml_file.write_text(figure1_text)
+        argv = ["shred", "--transform", str(transform_file), "--xml", str(xml_file)]
+        assert main(argv) == 0
+        dom_out = capsys.readouterr().out
+        assert main(argv + ["--stream"]) == 0
+        stream_out = capsys.readouterr().out
+        assert sorted(stream_out.splitlines()) == sorted(dom_out.splitlines())

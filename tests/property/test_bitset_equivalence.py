@@ -21,6 +21,10 @@ from repro.relational.fd import (
 )
 
 from tests.property.strategies import attribute_sets, fd_sets
+import pytest
+
+# Hypothesis suites run in their own CI job (see .github/workflows/ci.yml).
+pytestmark = pytest.mark.slow
 
 differential_settings = settings(max_examples=200, deadline=None)
 

@@ -13,6 +13,10 @@ from repro.core.naive import naive_minimum_cover
 from repro.core.propagation import check_propagation
 from repro.experiments.generators import generate_workload
 from repro.relational.fd import equivalent, implies_fd
+import pytest
+
+# Hypothesis suites run in their own CI job (see .github/workflows/ci.yml).
+pytestmark = pytest.mark.slow
 
 
 common_settings = settings(

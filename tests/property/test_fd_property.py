@@ -13,6 +13,10 @@ from repro.relational.fd import (
 from repro.relational.normalization import candidate_keys
 
 from tests.property.strategies import FD_ATTRIBUTES, attribute_sets, fd_sets
+import pytest
+
+# Hypothesis suites run in their own CI job (see .github/workflows/ci.yml).
+pytestmark = pytest.mark.slow
 
 
 common_settings = settings(

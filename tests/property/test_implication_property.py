@@ -16,6 +16,10 @@ from repro.keys.key import XMLKey
 from repro.keys.satisfaction import satisfies, satisfies_all
 
 from tests.property.strategies import paper_conformant_documents
+import pytest
+
+# Hypothesis suites run in their own CI job (see .github/workflows/ci.yml).
+pytestmark = pytest.mark.slow
 
 
 PAPER_KEYS = paper_keys()

@@ -38,6 +38,10 @@ from repro.xmlmodel.paths import (
 )
 
 from tests.property.strategies import path_expressions
+import pytest
+
+# Hypothesis suites run in their own CI job (see .github/workflows/ci.yml).
+pytestmark = pytest.mark.slow
 
 differential_settings = settings(
     max_examples=200, deadline=None, suppress_health_check=[HealthCheck.too_slow]

@@ -8,6 +8,11 @@ documents.
 
 from hypothesis import HealthCheck, given, settings
 
+import pytest
+
+# Hypothesis suites run in their own CI job (see .github/workflows/ci.yml).
+pytestmark = pytest.mark.slow
+
 from repro.xmlmodel.paths import PathExpression, concat, contains, parse_path
 
 from tests.property.strategies import (

@@ -22,6 +22,10 @@ from repro.relational.fd import FunctionalDependency
 from repro.transform.evaluate import evaluate_rule
 
 from tests.property.strategies import paper_conformant_documents
+import pytest
+
+# Hypothesis suites run in their own CI job (see .github/workflows/ci.yml).
+pytestmark = pytest.mark.slow
 
 
 PAPER_KEYS = paper_keys()

@@ -10,6 +10,10 @@ from repro.relational.instance import is_null
 from repro.transform.evaluate import evaluate_rule
 
 from tests.property.strategies import paper_conformant_documents
+import pytest
+
+# Hypothesis suites run in their own CI job (see .github/workflows/ci.yml).
+pytestmark = pytest.mark.slow
 
 
 SIGMA = paper_transformation()

@@ -55,6 +55,7 @@ from repro.core import (
     naive_minimum_cover,
 )
 from repro.design import design_from_scratch
+from repro.parallel import resolve_jobs, run_sharded
 
 __version__ = "1.0.0"
 
@@ -89,5 +90,7 @@ __all__ = [
     "minimum_cover_from_keys",
     "naive_minimum_cover",
     "design_from_scratch",
+    "resolve_jobs",
+    "run_sharded",
     "__version__",
 ]

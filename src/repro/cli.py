@@ -8,8 +8,8 @@ consumer can run the analysis on files without writing Python::
     python -m repro cover     --keys keys.txt --transform rules.dsl --relation U
     python -m repro design    --keys keys.txt --transform rules.dsl --relation U --sql
     python -m repro shred     --transform rules.dsl --xml data.xml [--keys keys.txt] \
-                              [--sql] [--stream] [--batch-size N | --copy]
-    python -m repro check-doc --keys keys.txt --xml data.xml [--dom]
+                              [--sql] [--stream] [--jobs N] [--batch-size N | --copy]
+    python -m repro check-doc --keys keys.txt --xml data.xml [--dom | --jobs N]
     python -m repro bench     [--paper]
 
 ``shred --stream`` and ``check-doc`` run on the streaming data plane: the
@@ -20,6 +20,13 @@ still materializes the shredded relation instances before printing them,
 so its memory is proportional to the *output* (use the library's
 ``iter_rule_rows`` → ``iter_insert_statements`` pipeline for fully
 constant-memory document-to-SQL loading).
+
+``--jobs N`` (or the ``REPRO_JOBS`` environment variable, consulted when
+``--stream`` is given without ``--jobs``) runs the same pipeline on the
+parallel execution plane: the document is cut at top-level anchor
+boundaries and the shards are shredded/checked on ``N`` worker processes,
+with byte-identical output (``--jobs 0`` uses one worker per CPU; the
+serial plane is used automatically when the document cannot be sharded).
 
 File formats: keys files contain one key per line in the paper's notation
 (``K2 = (//book, (chapter, {@number}))``, ``#`` comments allowed);
@@ -124,11 +131,35 @@ def _print_violation_report(keys, found) -> int:
     return exit_code
 
 
+def _resolved_jobs(args: argparse.Namespace) -> int:
+    """Worker count for a streaming command (``--jobs`` else ``REPRO_JOBS``)."""
+    from repro.parallel import resolve_jobs
+
+    return resolve_jobs(args.jobs)
+
+
 def cmd_shred(args: argparse.Namespace) -> int:
     transformation = _load_transformation(args.transform)
     keys = _load_keys(args.keys) if args.keys else []
     exit_code = 0
-    if args.stream:
+    use_stream = args.stream or args.jobs is not None
+    jobs = _resolved_jobs(args) if use_stream else 1
+    if jobs > 1:
+        # The parallel plane: shard at top-level anchor boundaries, map the
+        # shards onto worker processes (shredding and key checking share
+        # one pass per shard), merge — byte-identical to the serial plane.
+        from repro.parallel import run_sharded
+
+        run = run_sharded(
+            _read(args.xml),
+            transformation=transformation,
+            keys=keys or None,
+            jobs=jobs,
+        )
+        instances = run.instances or {}
+        if run.violations is not None:
+            exit_code = _print_violation_report(keys, run.violations)
+    elif use_stream:
         # One pass over the event stream feeds the shredder and the key
         # checker together; no DOM is ever built.
         shredder = StreamShredder(transformation)
@@ -174,6 +205,10 @@ def cmd_check_doc(args: argparse.Namespace) -> int:
     if args.dom:
         tree = parse_document(_read(args.xml))
         found = [violation for key in keys for violation in violations(tree, key)]
+    elif _resolved_jobs(args) > 1:
+        from repro.parallel import run_sharded
+
+        found = run_sharded(_read(args.xml), keys=keys, jobs=_resolved_jobs(args)).violations or []
     else:
         checker = KeyStreamChecker(keys)
         with Path(args.xml).open(encoding="utf-8") as handle:
@@ -202,10 +237,22 @@ def _positive_int(text: str) -> int:
     return value
 
 
+def _jobs_count(text: str) -> int:
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError("must be >= 0 (0 = one worker per CPU)")
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
+    from repro import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Propagating XML constraints (keys) to relational designs — ICDE 2003 reproduction",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -251,6 +298,17 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="use the streaming data plane (single event pass, no DOM)",
     )
+    shred.add_argument(
+        "--jobs",
+        type=_jobs_count,
+        default=None,
+        metavar="N",
+        help=(
+            "shred/check on N worker processes over document shards "
+            "(implies --stream; 0 = one worker per CPU; default: REPRO_JOBS "
+            "when --stream is given, else serial)"
+        ),
+    )
     dml_shape = shred.add_mutually_exclusive_group()
     dml_shape.add_argument(
         "--batch-size",
@@ -271,10 +329,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     check_doc.add_argument("--keys", required=True, help="file with XML keys (one per line)")
     check_doc.add_argument("--xml", required=True, help="XML document to validate")
-    check_doc.add_argument(
+    check_doc_mode = check_doc.add_mutually_exclusive_group()
+    check_doc_mode.add_argument(
         "--dom",
         action="store_true",
         help="use the DOM reference checker instead of the streaming one",
+    )
+    check_doc_mode.add_argument(
+        "--jobs",
+        type=_jobs_count,
+        default=None,
+        metavar="N",
+        help=(
+            "check on N worker processes over document shards "
+            "(0 = one worker per CPU; default: REPRO_JOBS, else serial)"
+        ),
     )
     check_doc.set_defaults(handler=cmd_check_doc)
 

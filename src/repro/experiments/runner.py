@@ -11,20 +11,34 @@ figure builders.
 
 from __future__ import annotations
 
+import gc
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 
 def time_call(fn: Callable[[], Any], repeat: int = 1) -> Tuple[float, Any]:
-    """Run ``fn`` ``repeat`` times; return (best wall-clock seconds, last result)."""
+    """Run ``fn`` ``repeat`` times; return (best wall-clock seconds, last result).
+
+    The garbage collector is disabled around the timed region (and restored
+    afterwards, also on error): a cycle collection landing inside one
+    repetition but not another makes best-of-``repeat`` numbers jitter with
+    allocator state rather than with the measured algorithm.
+    """
     best = float("inf")
     result: Any = None
-    for _ in range(max(1, repeat)):
-        start = time.perf_counter()
-        result = fn()
-        elapsed = time.perf_counter() - start
-        best = min(best, elapsed)
+    was_enabled = gc.isenabled()
+    if was_enabled:
+        gc.disable()
+    try:
+        for _ in range(max(1, repeat)):
+            start = time.perf_counter()
+            result = fn()
+            elapsed = time.perf_counter() - start
+            best = min(best, elapsed)
+    finally:
+        if was_enabled:
+            gc.enable()
     return best, result
 
 

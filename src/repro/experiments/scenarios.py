@@ -216,6 +216,78 @@ def synthesize_document_chunks(
     yield "</root>"
 
 
+def parallel_scaling_series(
+    spec: Optional[ScenarioSpec] = None,
+    jobs: Tuple[int, ...] = (1, 2, 4),
+    repeat: int = 1,
+    use_processes: bool = True,
+) -> "ExperimentSeries":
+    """Core-count scaling of the sharded pipeline on one scenario document.
+
+    End-to-end (shred + key check, one pass per shard) wall-clock seconds
+    of :func:`repro.parallel.run_sharded` at each worker count, as an
+    :class:`~repro.experiments.runner.ExperimentSeries` with ``jobs`` on
+    the x axis.  Every point's output is verified identical to the
+    ``jobs=1`` serial baseline before its time is recorded — a scaling
+    curve over diverging answers would be meaningless.
+    """
+    from repro.experiments.runner import ExperimentSeries, time_call
+    from repro.parallel import run_sharded
+
+    if spec is None:
+        spec = ScenarioSpec(
+            num_fields=20,
+            depth=4,
+            num_keys=12,
+            fanout=4,
+            duplicate_violations=8,
+            missing_violations=8,
+            seed=3,
+        )
+    scenario = build_scenario(spec)
+    text = scenario_text(scenario)
+    rules = [scenario.workload.rule]
+    keys = scenario.keys
+    series = ExperimentSeries(
+        name="parallel-scaling",
+        description=(
+            f"sharded shred+check of {scenario.num_nodes} nodes / "
+            f"{len(keys)} keys vs. worker count"
+        ),
+        x_label="jobs",
+    )
+    baseline = run_sharded(text, transformation=rules, keys=keys, jobs=1)
+    for count in jobs:
+        seconds, run = time_call(
+            lambda count=count: run_sharded(
+                text,
+                transformation=rules,
+                keys=keys,
+                jobs=count,
+                use_processes=use_processes and count > 1,
+            ),
+            repeat=repeat,
+        )
+        for name, instance in baseline.instances.items():
+            if run.instances[name].rows != instance.rows:
+                raise AssertionError(f"jobs={count} changed the rows of {name!r}")
+        if [
+            (v.key.text, v.context_node_id, v.kind, v.node_ids)
+            for v in run.violations
+        ] != [
+            (v.key.text, v.context_node_id, v.kind, v.node_ids)
+            for v in baseline.violations
+        ]:
+            raise AssertionError(f"jobs={count} changed the violation report")
+        series.add(
+            {"jobs": count},
+            {"pipeline": seconds},
+            shards=run.shards,
+            nodes=scenario.num_nodes,
+        )
+    return series
+
+
 def synthesized_node_count(
     workload: SyntheticWorkload, fanout: int = 2, top_level_repeat: int = 1
 ) -> int:

@@ -22,7 +22,13 @@ Modules
 
 from repro.keys.key import XMLKey, parse_key, parse_keys
 from repro.keys.satisfaction import KeyViolation, satisfies, satisfies_all, violations
-from repro.keys.stream import KeyStreamChecker, stream_satisfies, stream_violations
+from repro.keys.stream import (
+    CheckerShardResult,
+    KeyStreamChecker,
+    merge_shard_results,
+    stream_satisfies,
+    stream_violations,
+)
 from repro.keys.implication import ImplicationEngine, attributes_exist, implies
 from repro.keys.transitive import (
     chain_to_root,
@@ -40,6 +46,8 @@ __all__ = [
     "satisfies_all",
     "violations",
     "KeyStreamChecker",
+    "CheckerShardResult",
+    "merge_shard_results",
     "stream_satisfies",
     "stream_violations",
     "ImplicationEngine",

@@ -25,11 +25,29 @@ pre-order numbering of ``XMLTree.reindex`` (Figure 1), so the reported
 ``context_node_id``/``node_ids`` agree with the DOM checker verbatim.  The
 agreement (same verdicts, same violation kinds, same witnesses) is pinned by
 ``tests/property/test_shred_differential.py``.
+
+Sharded execution (the parallel plane of :mod:`repro.parallel`)
+---------------------------------------------------------------
+
+Violations are accumulated internally as *raw* tuples — ``(kind, node
+ids, key values)`` — and only materialized into :class:`KeyViolation`
+objects (with their human-readable details) by :meth:`finish`.  That makes
+the per-document state mergeable: a checker fed one shard of the document
+(:mod:`repro.xmlmodel.shards`) exports a :class:`CheckerShardResult`
+holding its locally flushed contexts plus the partial hash indexes of the
+one context that spans shards — the root — and
+:func:`merge_shard_results` recombines any shard partition by rebasing the
+shard-local node ids to absolute ones (prefix sums of per-shard id
+consumption) and merging the root indexes associatively.  Duplicate values
+whose witnesses live in *different* shards are therefore detected exactly
+as in the serial pass, with DOM-identical witnesses, node ids and
+verdicts.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Tuple, Union
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.keys.key import XMLKey
 from repro.keys.satisfaction import KeyViolation
@@ -157,6 +175,15 @@ class _ContextBucket:
         return result
 
 
+#: A violation before materialization: ``(kind, node ids, key values)``.
+#: Kept raw (no :class:`KeyViolation`, no detail string) so that node ids
+#: can still be rebased when shard-local results are merged.
+_RawViolation = Tuple[str, Tuple[int, ...], Optional[Tuple[str, ...]]]
+
+#: One flushed context: ``(key index, context node id, raw violations)``.
+_FlushEntry = Tuple[int, int, List[_RawViolation]]
+
+
 class _ContextRecord:
     """One open context node of one bucket, with its target hash indexes."""
 
@@ -168,8 +195,8 @@ class _ContextRecord:
         #: (slot, key-attribute value tuple) → target node ids carrying it
         #: (the hash index replacing the pairwise scan of the DOM checker).
         self.groups: Dict[Tuple[int, Tuple[str, ...]], List[int]] = {}
-        #: (slot, missing-attribute violation), in target document order.
-        self.missing: List[Tuple[int, KeyViolation]] = []
+        #: (slot, target node id) lacking a key attribute, in document order.
+        self.missing: List[Tuple[int, int]] = []
 
     def add_target(self, slot: int, node_id: int, attrs: Optional[Dict[str, str]]) -> None:
         machine = self.bucket.machines[slot]
@@ -188,44 +215,21 @@ class _ContextRecord:
             else:
                 values = tuple(collected)
         if values is None:
-            self.missing.append(
-                (
-                    slot,
-                    KeyViolation(
-                        key=machine.key,
-                        context_node_id=self.context_node_id,
-                        kind="missing-attribute",
-                        detail=(
-                            f"target node {node_id} under context "
-                            f"{self.context_node_id} lacks one of the key attributes "
-                            f"{machine.attributes}"
-                        ),
-                        node_ids=(node_id,),
-                    ),
-                )
-            )
+            self.missing.append((slot, node_id))
             return
         self.groups.setdefault((slot, values), []).append(node_id)
 
-    def flush(self) -> List[Tuple[int, int, List[KeyViolation]]]:
-        """Violations per member key: (key index, context id, violations)."""
-        per_slot: Dict[int, List[KeyViolation]] = {}
-        for slot, violation in self.missing:
-            per_slot.setdefault(slot, []).append(violation)
+    def flush(self) -> List[_FlushEntry]:
+        """Raw violations per member key: (key index, context id, raws)."""
+        per_slot: Dict[int, List[_RawViolation]] = {}
+        for slot, node_id in self.missing:
+            per_slot.setdefault(slot, []).append(
+                ("missing-attribute", (node_id,), None)
+            )
         for (slot, values), ids in self.groups.items():
             if len(ids) > 1:
-                machine = self.bucket.machines[slot]
                 per_slot.setdefault(slot, []).append(
-                    KeyViolation(
-                        key=machine.key,
-                        context_node_id=self.context_node_id,
-                        kind="duplicate-value",
-                        detail=(
-                            f"{len(ids)} distinct target nodes {tuple(ids)} under context "
-                            f"{self.context_node_id} share the key value {values!r}"
-                        ),
-                        node_ids=tuple(ids),
-                    )
+                    ("duplicate-value", tuple(ids), values)
                 )
         machines = self.bucket.machines
         return [
@@ -284,7 +288,11 @@ class KeyStreamChecker:
         ]
         self._frames: List[_Frame] = []
         self._next_id = 0
-        self._flushed: List[Tuple[int, int, List[KeyViolation]]] = []
+        self._flushed: List[_FlushEntry] = []
+        self._bucket_index = {id(bucket): i for i, bucket in enumerate(self.buckets)}
+        #: Node ids consumed by the shard prologue (set by begin_shard);
+        #: ids below it are the root's own and are shard-invariant.
+        self._prologue_ids = 0
         #: (parent context vector, tag) → (child vector, buckets matching it)
         self._vector_cache: Dict[
             Tuple[Tuple[frozenset, ...], str],
@@ -420,13 +428,167 @@ class KeyStreamChecker:
             for record in frame.records_here:
                 self._flushed.extend(record.flush())
 
+    def _materialize(
+        self, key_index: int, context_id: int, raw: _RawViolation
+    ) -> KeyViolation:
+        """Build the user-facing violation object from a raw tuple."""
+        kind, node_ids, values = raw
+        machine = self.machines[key_index]
+        if kind == "missing-attribute":
+            detail = (
+                f"target node {node_ids[0]} under context "
+                f"{context_id} lacks one of the key attributes "
+                f"{machine.attributes}"
+            )
+        else:
+            detail = (
+                f"{len(node_ids)} distinct target nodes {node_ids} under context "
+                f"{context_id} share the key value {values!r}"
+            )
+        return KeyViolation(
+            key=machine.key,
+            context_node_id=context_id,
+            kind=kind,
+            detail=detail,
+            node_ids=node_ids,
+        )
+
+    def _materialize_all(self, flushed: List[_FlushEntry]) -> List[KeyViolation]:
+        flushed.sort(key=lambda entry: (entry[0], entry[1]))
+        result: List[KeyViolation] = []
+        for key_index, context_id, violations in flushed:
+            for raw in violations:
+                result.append(self._materialize(key_index, context_id, raw))
+        return result
+
     def finish(self) -> List[KeyViolation]:
         """All violations, ordered by key and context document order."""
-        self._flushed.sort(key=lambda entry: (entry[0], entry[1]))
-        result: List[KeyViolation] = []
-        for _, _, violations in self._flushed:
-            result.extend(violations)
-        return result
+        return self._materialize_all(self._flushed)
+
+    # ------------------------------------------------------------------
+    # Sharded execution
+    # ------------------------------------------------------------------
+    def begin_shard(self, first: bool = True) -> None:
+        """Mark the prologue/slice boundary of a shard replay.
+
+        Call after feeding the shard prologue (the root ``start`` plus its
+        ``attr`` events) and before the slice events.  Every shard replays
+        the prologue so its automata and id counter line up, but its side
+        effects — the root's own target entries, attribute-node contexts on
+        the root — belong to the document once, so all shards except the
+        first discard them here.
+        """
+        if not self._frames:
+            raise ValueError("begin_shard() requires the prologue to be fed first")
+        frame = self._frames[-1]
+        if not frame.attrs_done:
+            self._resolve_attrs(frame)
+        self._prologue_ids = self._next_id
+        if not first:
+            for record in frame.records_here:
+                record.groups.clear()
+                record.missing.clear()
+            self._flushed.clear()
+
+    def shard_result(self) -> "CheckerShardResult":
+        """Export this shard's mergeable state after its slice was fed.
+
+        Locally flushed contexts keep their shard-local node ids (the merge
+        rebases them); the still-open root records export their raw hash
+        indexes so cross-shard duplicates are found at merge time.
+        """
+        if len(self._frames) != 1:
+            raise ValueError("shard slice left a non-root element open")
+        frame = self._frames[0]
+        if not frame.attrs_done:
+            self._resolve_attrs(frame)
+        open_groups: Dict[int, Dict[Tuple[int, Tuple[str, ...]], List[int]]] = {}
+        open_missing: Dict[int, List[Tuple[int, int]]] = {}
+        for record in frame.records_here:
+            bucket_index = self._bucket_index[id(record.bucket)]
+            open_groups[bucket_index] = {k: list(v) for k, v in record.groups.items()}
+            open_missing[bucket_index] = list(record.missing)
+        return CheckerShardResult(
+            flushed=list(self._flushed),
+            open_groups=open_groups,
+            open_missing=open_missing,
+            consumed=self._next_id,
+        )
+
+
+@dataclass
+class CheckerShardResult:
+    """One shard's mergeable key-checking state (plain picklable values).
+
+    ``flushed`` holds the contexts that opened *and* closed inside the
+    shard; ``open_groups``/``open_missing`` hold, per context bucket, the
+    partial hash indexes of the root record, which stays open across
+    shards; ``consumed`` is the checker's final node-id counter (prologue
+    included), from which the merge derives each shard's rebase offset.
+    """
+
+    flushed: List[_FlushEntry] = field(default_factory=list)
+    open_groups: Dict[int, Dict[Tuple[int, Tuple[str, ...]], List[int]]] = field(
+        default_factory=dict
+    )
+    open_missing: Dict[int, List[Tuple[int, int]]] = field(default_factory=dict)
+    consumed: int = 0
+
+
+def merge_shard_results(
+    keys: Iterable[XMLKey],
+    results: Sequence[CheckerShardResult],
+    prologue_ids: int,
+) -> List[KeyViolation]:
+    """Merge per-shard checker states into the serial checker's output.
+
+    ``results`` must be in document (shard) order.  Shard-local node ids
+    are rebased to absolute ones — id ``x`` of shard ``k`` becomes ``x``
+    if it names the root or one of its attributes (``x < prologue_ids``),
+    else ``x`` plus the ids consumed by the preceding slices — and the
+    root's partial hash indexes are merged in order, so value groups keep
+    their first-occurrence order and cross-shard duplicates surface with
+    exactly the witnesses the serial pass reports.
+    """
+    checker = KeyStreamChecker(keys)
+    flushed: List[_FlushEntry] = []
+    merged_groups: Dict[int, Dict[Tuple[int, Tuple[str, ...]], List[int]]] = {}
+    merged_missing: Dict[int, List[Tuple[int, int]]] = {}
+    root_open = False
+    delta = 0
+    for result in results:
+        def rebase(node_id: int, _delta: int = delta) -> int:
+            return node_id if node_id < prologue_ids else node_id + _delta
+
+        for key_index, context_id, violations in result.flushed:
+            flushed.append(
+                (
+                    key_index,
+                    rebase(context_id),
+                    [
+                        (kind, tuple(rebase(n) for n in node_ids), values)
+                        for kind, node_ids, values in violations
+                    ],
+                )
+            )
+        for bucket_index, groups in result.open_groups.items():
+            root_open = True
+            target = merged_groups.setdefault(bucket_index, {})
+            for group_key, node_ids in groups.items():
+                target.setdefault(group_key, []).extend(rebase(n) for n in node_ids)
+        for bucket_index, missing in result.open_missing.items():
+            root_open = True
+            merged_missing.setdefault(bucket_index, []).extend(
+                (slot, rebase(n)) for slot, n in missing
+            )
+        delta += result.consumed - prologue_ids
+    if root_open:
+        for bucket_index in sorted(set(merged_groups) | set(merged_missing)):
+            record = _ContextRecord(checker.buckets[bucket_index], 0)
+            record.groups = merged_groups.get(bucket_index, {})
+            record.missing = merged_missing.get(bucket_index, [])
+            flushed.extend(record.flush())
+    return checker._materialize_all(flushed)
 
 
 # ----------------------------------------------------------------------
@@ -436,14 +598,27 @@ def stream_violations(
     source: EventSource,
     keys: Union[XMLKey, Iterable[XMLKey]],
     strip_whitespace: bool = True,
+    jobs: Optional[int] = None,
 ) -> List[KeyViolation]:
     """All violations of ``keys`` on the document, in one streaming pass.
 
     ``keys`` may be a single key or any iterable of keys; the stream is
     consumed exactly once regardless of how many keys are checked.
+    ``jobs`` (default: the ``REPRO_JOBS`` environment variable, else 1)
+    selects the executor: values above 1 shard string sources onto a
+    process pool (:mod:`repro.parallel`) with identical output, falling
+    back to the serial pass whenever the document cannot be sharded.
     """
     if isinstance(keys, XMLKey):
         keys = [keys]
+    keys = list(keys)
+    from repro.parallel import resolve_jobs, run_sharded
+
+    if resolve_jobs(jobs) > 1 and isinstance(source, str):
+        run = run_sharded(
+            source, keys=keys, strip_whitespace=strip_whitespace, jobs=jobs
+        )
+        return run.violations or []
     checker = KeyStreamChecker(keys)
     feed = checker.feed
     for event in as_events(source, strip_whitespace=strip_whitespace):
@@ -455,6 +630,9 @@ def stream_satisfies(
     source: EventSource,
     keys: Union[XMLKey, Iterable[XMLKey]],
     strip_whitespace: bool = True,
+    jobs: Optional[int] = None,
 ) -> bool:
     """``T ⊨ Σ`` decided in a single pass over the event stream."""
-    return not stream_violations(source, keys, strip_whitespace=strip_whitespace)
+    return not stream_violations(
+        source, keys, strip_whitespace=strip_whitespace, jobs=jobs
+    )

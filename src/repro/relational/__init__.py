@@ -16,7 +16,14 @@ need:
 """
 
 from repro.relational.schema import DatabaseSchema, RelationSchema
-from repro.relational.instance import NULL, NullType, RelationInstance, Row
+from repro.relational.instance import (
+    NULL,
+    FDViolation,
+    FDViolationAccumulator,
+    NullType,
+    RelationInstance,
+    Row,
+)
 from repro.relational.bitset import AttributeUniverse, BitFDSet
 from repro.relational.fd import (
     ENGINE_ENV_VAR,
@@ -48,6 +55,8 @@ __all__ = [
     "default_engine",
     "NULL",
     "NullType",
+    "FDViolation",
+    "FDViolationAccumulator",
     "RelationInstance",
     "Row",
     "FDSet",

@@ -119,6 +119,106 @@ class FDViolation:
     detail: str
 
 
+class FDViolationAccumulator:
+    """Mergeable single-pass state for checking one FD over a row stream.
+
+    The parallel execution plane checks shredded instances in pieces: each
+    shard observes its own rows, the coordinator merges the accumulators
+    in document order, and :meth:`finalize` reports exactly the violations
+    (same kinds, same tuple indexes, same details, same order) that one
+    serial :meth:`RelationInstance.fd_violations` pass over the
+    concatenated rows would.  To stay mergeable the accumulator keeps every
+    null-free row's ``(index, dependent)`` pair per determinant group —
+    the first occurrence of a group is only known globally — so its memory
+    is proportional to the rows observed, not to the group count.
+    """
+
+    __slots__ = ("lhs_sorted", "rhs_sorted", "count", "null_determinant", "groups")
+
+    def __init__(self, lhs: AttrSetLike, rhs: AttrSetLike) -> None:
+        self.lhs_sorted = sorted(attr_set(lhs))
+        self.rhs_sorted = sorted(attr_set(rhs))
+        #: Rows observed so far (the index offset of a later merge).
+        self.count = 0
+        #: Indexes of rows violating condition (1), in row order.
+        self.null_determinant: List[int] = []
+        #: determinant value tuple → ordered [(row index, dependent tuple)]
+        #: over the rows free of nulls anywhere.
+        self.groups: Dict[Tuple[Value, ...], List[Tuple[int, Tuple[Value, ...]]]] = {}
+
+    def observe(self, row: "Row") -> None:
+        index = self.count
+        self.count = index + 1
+        values = row._values
+        determinant = tuple(values.get(name, NULL) for name in self.lhs_sorted)
+        dependent = tuple(values.get(name, NULL) for name in self.rhs_sorted)
+        lhs_has_null = any(value is NULL for value in determinant)
+        rhs_has_null = any(value is NULL for value in dependent)
+        # Condition (1): a null determinant forces a null dependent.
+        if lhs_has_null and not rhs_has_null:
+            self.null_determinant.append(index)
+        # Condition (2) only quantifies over tuples free of nulls anywhere.
+        if lhs_has_null or rhs_has_null or any(
+            value is NULL for value in values.values()
+        ):
+            return
+        self.groups.setdefault(determinant, []).append((index, dependent))
+
+    def merge(self, other: "FDViolationAccumulator") -> "FDViolationAccumulator":
+        """Append ``other``'s observations after this accumulator's own.
+
+        Associative and in-place: ``other``'s row indexes are shifted by
+        ``self.count``, exactly as if its rows had been observed here.
+        """
+        if (
+            other.lhs_sorted != self.lhs_sorted
+            or other.rhs_sorted != self.rhs_sorted
+        ):
+            raise ValueError("cannot merge accumulators of different FDs")
+        offset = self.count
+        self.null_determinant.extend(index + offset for index in other.null_determinant)
+        for determinant, entries in other.groups.items():
+            self.groups.setdefault(determinant, []).extend(
+                (index + offset, dependent) for index, dependent in entries
+            )
+        self.count += other.count
+        return self
+
+    def finalize(self) -> List[FDViolation]:
+        """The violations of the observed (merged) row sequence."""
+        nulls = [
+            FDViolation(
+                kind="null-determinant",
+                detail=(
+                    f"tuple #{index} has a null among {self.lhs_sorted} but none "
+                    f"among {self.rhs_sorted}"
+                ),
+            )
+            for index in self.null_determinant
+        ]
+        conflicts: List[Tuple[int, FDViolation]] = []
+        for determinant, entries in self.groups.items():
+            first_index, first_dependent = entries[0]
+            for index, dependent in entries[1:]:
+                if dependent != first_dependent:
+                    conflicts.append(
+                        (
+                            index,
+                            FDViolation(
+                                kind="value-conflict",
+                                detail=(
+                                    f"tuples #{first_index} and #{index} agree on "
+                                    f"{self.lhs_sorted}={list(determinant)} but disagree on "
+                                    f"{self.rhs_sorted}: {list(first_dependent)} vs "
+                                    f"{list(dependent)}"
+                                ),
+                            ),
+                        )
+                    )
+        conflicts.sort(key=lambda entry: entry[0])
+        return nulls + [violation for _, violation in conflicts]
+
+
 class RelationInstance:
     """A (bag) instance of a relation schema."""
 
@@ -146,6 +246,29 @@ class RelationInstance:
     def extend(self, rows: Iterable[Mapping[str, Value]]) -> None:
         for row in rows:
             self.add_row(row)
+
+    def merge(self, *others: "RelationInstance") -> "RelationInstance":
+        """Bag union preserving order: this instance's rows, then each other's.
+
+        The merge step of the parallel plane: per-shard instances of the
+        same relation concatenate associatively (bags are order-sensitive
+        only in presentation, and shard order is document order).  The
+        schemas must agree attribute-for-attribute.
+        """
+        merged = RelationInstance(self.schema)
+        merged.rows.extend(self.rows)
+        for other in others:
+            if (
+                other.schema.name != self.schema.name
+                or tuple(other.schema.attributes) != tuple(self.schema.attributes)
+            ):
+                raise ValueError(
+                    f"cannot merge instance of {other.schema.name!r}"
+                    f"{tuple(other.schema.attributes)} into {self.schema.name!r}"
+                    f"{tuple(self.schema.attributes)}"
+                )
+            merged.rows.extend(other.rows)
+        return merged
 
     # ------------------------------------------------------------------
     # Views
@@ -179,7 +302,11 @@ class RelationInstance:
         value tuples to their first witness — the attribute orders are
         resolved once up front instead of once per row, and both conditions
         are checked in the same scan, so large shredded instances are
-        checked in O(rows · |lhs ∪ rhs|).
+        checked in O(rows · |lhs ∪ rhs|) time and O(groups) extra memory.
+        (:class:`FDViolationAccumulator` is the *mergeable* variant for
+        sharded checking; it must keep every clean row per group, so the
+        serial path keeps this leaner first-witness index.  The two are
+        pinned equal by ``tests/property/test_parallel_differential.py``.)
         """
         lhs_sorted = sorted(attr_set(lhs))
         rhs_sorted = sorted(attr_set(rhs))
@@ -225,6 +352,13 @@ class RelationInstance:
                     )
                 )
         return null_determinant + value_conflicts
+
+    def fd_accumulator(self, lhs: AttrSetLike, rhs: AttrSetLike) -> FDViolationAccumulator:
+        """An accumulator over this instance's rows (for mergeable checking)."""
+        accumulator = FDViolationAccumulator(lhs, rhs)
+        for row in self.rows:
+            accumulator.observe(row)
+        return accumulator
 
     def satisfies_fd(self, lhs: AttrSetLike, rhs: AttrSetLike) -> bool:
         return not self.fd_violations(lhs, rhs)

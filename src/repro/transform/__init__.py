@@ -28,9 +28,11 @@ from repro.transform.table_tree import TableTree
 from repro.transform.evaluate import evaluate_rule, evaluate_transformation
 from repro.transform.stream import (
     PathNFA,
+    RuleShardResult,
     RuleStreamer,
     StreamShredder,
     iter_rule_rows,
+    merge_rule_shards,
     stream_evaluate_rule,
     stream_evaluate_transformation,
 )
@@ -62,6 +64,8 @@ __all__ = [
     "RuleStreamer",
     "StreamShredder",
     "iter_rule_rows",
+    "RuleShardResult",
+    "merge_rule_shards",
     "stream_evaluate_rule",
     "stream_evaluate_transformation",
     "DSLSyntaxError",

@@ -25,11 +25,26 @@ as each anchor subtree closes; multi-anchor rules must buffer one row block
 per anchor (values only, never nodes) and emit the product at end of
 stream.  Peak memory is therefore bounded by the largest anchor subtree
 plus the emitted values, not by the document.
+
+Sharded execution (the parallel plane of :mod:`repro.parallel`)
+---------------------------------------------------------------
+
+Because every anchor match lives inside one top-level subtree of the root
+(:mod:`repro.xmlmodel.shards`), per-rule state is *mergeable*: a
+``RuleStreamer(rule, shard_mode=True)`` fed one shard's events accumulates
+its per-anchor row blocks and binding counters into a
+:class:`RuleShardResult` instead of emitting, and
+:func:`merge_rule_shards` recombines any shard partition of the document —
+concatenating the blocks in shard order and applying the NULL / implicit
+product / deduplication semantics exactly once, globally — into the byte-
+identical row list of the serial pass.  ``StreamShredder.run(jobs=N)``
+dispatches the shards onto a process pool.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.relational.instance import NULL, RelationInstance, Row, Value
 from repro.relational.schema import DatabaseSchema, RelationSchema
@@ -89,7 +104,7 @@ def _subtree_bindings(
 class _Anchor:
     """One anchor variable: its NFA, its subtree and its field rules."""
 
-    __slots__ = ("variable", "nfa", "variables", "fields", "rows")
+    __slots__ = ("variable", "nfa", "variables", "fields", "rows", "matches")
 
     def __init__(self, table_tree: TableTree, variable: str) -> None:
         self.variable = variable
@@ -103,6 +118,8 @@ class _Anchor:
         ]
         #: Completed row blocks (field → value dicts), one entry per binding.
         self.rows: List[Dict[str, Value]] = []
+        #: Anchor nodes matched so far (the shard-result binding counter).
+        self.matches = 0
 
     def null_row(self) -> Dict[str, Value]:
         return {field: NULL for field, _ in self.fields}
@@ -149,7 +166,9 @@ class RuleStreamer:
     multi-anchor product).
     """
 
-    def __init__(self, rule: TableRule, deduplicate: bool = False) -> None:
+    def __init__(
+        self, rule: TableRule, deduplicate: bool = False, shard_mode: bool = False
+    ) -> None:
         self.rule = rule
         self.table_tree = TableTree(rule)
         root = rule.root_variable
@@ -159,8 +178,12 @@ class RuleStreamer:
         self.root_fields = rule.fields_of_variable(root)
         self.single_anchor = len(self.anchors) == 1 and not self.root_fields
         self._frames: List[_Frame] = []
+        #: Shard mode: accumulate per-anchor row blocks for a later global
+        #: merge instead of emitting — deduplication and the NULL / product
+        #: semantics then happen exactly once, in :func:`merge_rule_shards`.
+        self._shard_mode = shard_mode
         self._deduplicate = deduplicate
-        self._seen: Optional[set] = set() if deduplicate else None
+        self._seen: Optional[set] = set() if deduplicate and not shard_mode else None
         self._finished = False
         #: Rows completed so far and not yet drained by the caller.
         self.ready: List[Dict[str, Value]] = []
@@ -270,7 +293,10 @@ class RuleStreamer:
 
     def _anchor_matched(self, anchor: _Anchor, node: Node) -> None:
         rows = anchor.rows_for_node(self.table_tree, node)
-        if self.single_anchor:
+        anchor.matches += 1
+        if self._shard_mode:
+            anchor.rows.extend(rows)
+        elif self.single_anchor:
             for row in rows:
                 self._emit(row)
             # remember that the anchor matched so finish() skips the NULL row
@@ -304,6 +330,139 @@ class RuleStreamer:
     def drain(self) -> List[Dict[str, Value]]:
         rows, self.ready = self.ready, []
         return rows
+
+    # ------------------------------------------------------------------
+    # Sharded execution
+    # ------------------------------------------------------------------
+    @property
+    def anchors_root_bound(self) -> bool:
+        """Does any anchor bind the document root itself?
+
+        Such a rule (anchor path ``.`` or a bare ``//``) needs the whole
+        document as one subtree and cannot be sharded; the parallel
+        executor falls back to the serial plane when it sees one.
+        """
+        return self._initial_matched is not None
+
+    def shard_result(self) -> "RuleShardResult":
+        """Extract this shard's mergeable state (shard mode only).
+
+        Call after feeding the shard's prologue and slice events; the root
+        element must be the only frame still open (slices contain complete
+        top-level subtrees, so anything else means a torn shard).
+        """
+        if not self._shard_mode:
+            raise RuntimeError("shard_result() requires RuleStreamer(shard_mode=True)")
+        root_parts: List[str] = []
+        if self._frames:
+            if len(self._frames) != 1:
+                raise ValueError("shard slice left a non-root element open")
+            frame = self._frames[0]
+            if not frame.attrs_done:
+                self._resolve_attr_anchors(frame)
+            if self.root_fields and frame.node is not None:
+                root_parts = _child_value_parts(frame.node)
+        return RuleShardResult(
+            anchor_rows=[list(anchor.rows) for anchor in self.anchors],
+            anchor_matches=[anchor.matches for anchor in self.anchors],
+            root_parts=root_parts,
+        )
+
+
+@dataclass
+class RuleShardResult:
+    """One rule's mergeable state after one shard of the document.
+
+    ``anchor_rows[i]`` is the row bag anchor ``i`` produced inside the
+    shard (in document order); ``anchor_matches[i]`` counts its anchor-node
+    bindings — pure telemetry for shard-balance diagnostics, since a
+    matched anchor always contributes at least one row (the binding
+    expansion never returns an empty set) and the merge therefore decides
+    the NULL row from the row blocks alone; ``root_parts`` carries the
+    shard's contribution to ``value(root)`` for rules with fields on the
+    root variable.  All fields are plain picklable values — this is
+    exactly what crosses the process boundary in :mod:`repro.parallel`.
+    """
+
+    anchor_rows: List[List[Dict[str, Value]]]
+    anchor_matches: List[int] = field(default_factory=list)
+    root_parts: List[str] = field(default_factory=list)
+
+
+def _child_value_parts(element: ElementNode) -> List[str]:
+    """The per-child pieces of ``XMLTree._element_value`` for one element.
+
+    Root attributes are deliberately excluded: they are prologue state,
+    shared by every shard, and contributed exactly once by the merger.
+    """
+    parts: List[str] = []
+    for child in element.children:
+        if child.is_text():
+            stripped = child.text.strip()  # type: ignore[attr-defined]
+            if stripped:
+                parts.append(f"S:{stripped}")
+        else:
+            parts.append(
+                f"{child.label}: {XMLTree._element_value(child)}"  # type: ignore[arg-type]
+            )
+    return parts
+
+
+def merge_rule_shards(
+    rule: TableRule,
+    shard_results: Sequence[RuleShardResult],
+    deduplicate: bool = True,
+    root_attr_parts: Sequence[str] = (),
+) -> List[Dict[str, Value]]:
+    """Merge a shard partition's per-rule states into the serial row list.
+
+    The merge is associative and order-sensitive in exactly one way: shard
+    results must be passed in document order.  Per-anchor row blocks are
+    concatenated (restoring the serial accumulation order), then the NULL
+    row, the implicit multi-anchor product and deduplication — the
+    *global* decisions a single shard cannot make — are applied once, the
+    same way :meth:`RuleStreamer.finish` applies them at end of stream.
+    ``root_attr_parts`` are the ``@name:value`` pieces of the root's own
+    attributes for rules with root fields.
+    """
+    template = RuleStreamer(rule, shard_mode=True)
+    rows: List[Dict[str, Value]]
+    if template.root_fields:
+        parts = list(root_attr_parts)
+        for result in shard_results:
+            parts.extend(result.root_parts)
+        if len(parts) == 1 and parts[0].startswith("S:"):
+            value = parts[0][2:]
+        else:
+            value = "(" + ", ".join(parts) + ")"
+        rows = [{field_name: value for field_name in template.root_fields}]
+    else:
+        blocks: List[List[Dict[str, Value]]] = []
+        for index, anchor in enumerate(template.anchors):
+            block = [
+                row for result in shard_results for row in result.anchor_rows[index]
+            ]
+            blocks.append(block if block else [anchor.null_row()])
+        rows = [{}]
+        for block in blocks:
+            rows = [dict(done, **part) for done in rows for part in block]
+    if deduplicate:
+        # Every row of one rule carries the same fields in the same
+        # insertion order (anchor field order, then product order), so the
+        # value tuple is a faithful — and much cheaper — stand-in for the
+        # sorted freeze of :class:`Row` that serial deduplication hashes.
+        # The NULL sentinel matches ``Row._freeze`` exactly.
+        seen: set = set()
+        unique: List[Dict[str, Value]] = []
+        for row in rows:
+            key = tuple(
+                "\0NULL\0" if value is NULL else value for value in row.values()
+            )
+            if key not in seen:
+                seen.add(key)
+                unique.append(row)
+        rows = unique
+    return rows
 
 
 # ----------------------------------------------------------------------
@@ -362,6 +521,8 @@ class StreamShredder:
         deduplicate: bool = True,
     ) -> None:
         self.transformation = transformation
+        self._schema = schema
+        self._deduplicate = deduplicate
         self._instances: Dict[str, RelationInstance] = {}
         self._streamers: List[Tuple[RuleStreamer, RelationInstance]] = []
         for rule in transformation:
@@ -388,7 +549,34 @@ class StreamShredder:
                 instance.add_row(row)
         return dict(self._instances)
 
-    def run(self, source: EventSource, strip_whitespace: bool = True) -> Dict[str, RelationInstance]:
+    def run(
+        self,
+        source: EventSource,
+        strip_whitespace: bool = True,
+        jobs: Optional[int] = None,
+    ) -> Dict[str, RelationInstance]:
+        """Shred ``source`` completely and return the relation instances.
+
+        ``jobs`` (default: the ``REPRO_JOBS`` environment variable, else 1)
+        selects the executor: 1 runs the serial single-pass plane
+        unchanged; higher values shard string sources at top-level anchor
+        boundaries and map them onto a process pool, with a byte-identical
+        merged result (and an automatic serial fallback whenever the
+        document or a rule cannot be sharded).
+        """
+        from repro.parallel import resolve_jobs, run_sharded
+
+        if resolve_jobs(jobs) > 1 and isinstance(source, str):
+            run = run_sharded(
+                source,
+                transformation=self.transformation,
+                schema=self._schema,
+                deduplicate=self._deduplicate,
+                strip_whitespace=strip_whitespace,
+                jobs=jobs,
+            )
+            self._instances = dict(run.instances or {})
+            return dict(self._instances)
         for event in as_events(source, strip_whitespace=strip_whitespace):
             self.feed(event)
         return self.finish()
@@ -400,7 +588,8 @@ def stream_evaluate_transformation(
     schema: Optional[DatabaseSchema] = None,
     deduplicate: bool = True,
     strip_whitespace: bool = True,
+    jobs: Optional[int] = None,
 ) -> Dict[str, RelationInstance]:
     """Streaming counterpart of :func:`evaluate_transformation` (one pass)."""
     shredder = StreamShredder(transformation, schema=schema, deduplicate=deduplicate)
-    return shredder.run(source, strip_whitespace=strip_whitespace)
+    return shredder.run(source, strip_whitespace=strip_whitespace, jobs=jobs)

@@ -35,6 +35,7 @@ from repro.xmlmodel.events import (
     tree_from_events,
 )
 from repro.xmlmodel.serializer import serialize
+from repro.xmlmodel.shards import DocumentShards, ShardSlice, split_document
 from repro.xmlmodel.paths import (
     PathExpression,
     PathStep,
@@ -68,6 +69,9 @@ __all__ = [
     "iter_tree_events",
     "tree_from_events",
     "serialize",
+    "DocumentShards",
+    "ShardSlice",
+    "split_document",
     "PathExpression",
     "PathStep",
     "StepKind",

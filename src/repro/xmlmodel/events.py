@@ -113,14 +113,16 @@ def iter_events(
     return _Tokenizer(_chunks_of(source, chunk_size), strip_whitespace).events()
 
 
-def _string_events(source: str, strip_whitespace: bool) -> Iterator[Event]:
-    """Tokenizer fast path over a complete in-memory string."""
-    pos = 0
+def _skip_string_prolog(source: str, pos: int = 0) -> int:
+    """Skip the document prolog (XML decl, comments, DOCTYPE) of a string.
+
+    Shared by the in-memory tokenizer and the document splitter of
+    :mod:`repro.xmlmodel.shards`, so both accept exactly the same prolog
+    dialect.  Returns the position of the root element's ``<``.
+    """
     length = len(source)
     find = source.find
     startswith = source.startswith
-
-    # --- prolog -------------------------------------------------------
     while True:
         while pos < length and source[pos].isspace():
             pos += 1
@@ -149,7 +151,38 @@ def _string_events(source: str, strip_whitespace: bool) -> Iterator[Event]:
                     break
                 pos += 1
         else:
-            break
+            return pos
+
+
+def _skip_string_misc(source: str, pos: int) -> int:
+    """Skip epilog misc (whitespace, comments, PIs) after the root element."""
+    length = len(source)
+    find = source.find
+    startswith = source.startswith
+    while True:
+        while pos < length and source[pos].isspace():
+            pos += 1
+        if startswith("<?", pos):
+            end = find("?>", pos)
+            if end < 0:
+                raise XMLSyntaxError("unterminated construct (missing '?>')", pos)
+            pos = end + 2
+        elif startswith("<!--", pos):
+            end = find("-->", pos)
+            if end < 0:
+                raise XMLSyntaxError("unterminated construct (missing '-->')", pos)
+            pos = end + 3
+        else:
+            return pos
+
+
+def _string_events(source: str, strip_whitespace: bool) -> Iterator[Event]:
+    """Tokenizer fast path over a complete in-memory string."""
+    length = len(source)
+    find = source.find
+    startswith = source.startswith
+
+    pos = _skip_string_prolog(source)
     if pos >= length or source[pos] != "<":
         raise XMLSyntaxError("expected a root element", pos)
 
@@ -306,21 +339,7 @@ def _string_events(source: str, strip_whitespace: bool) -> Iterator[Event]:
         pos = next_tag
 
     # --- epilog -------------------------------------------------------
-    while True:
-        while pos < length and source[pos].isspace():
-            pos += 1
-        if startswith("<?", pos):
-            end = find("?>", pos)
-            if end < 0:
-                raise XMLSyntaxError("unterminated construct (missing '?>')", pos)
-            pos = end + 2
-        elif startswith("<!--", pos):
-            end = find("-->", pos)
-            if end < 0:
-                raise XMLSyntaxError("unterminated construct (missing '-->')", pos)
-            pos = end + 3
-        else:
-            break
+    pos = _skip_string_misc(source, pos)
     if pos < length:
         raise XMLSyntaxError("content after the root element", pos)
 

@@ -1,0 +1,320 @@
+"""Document sharding: cutting a document at top-level anchor boundaries.
+
+The streaming consumers of the data plane (the rule shredder of
+:mod:`repro.transform.stream`, the key checker of :mod:`repro.keys.stream`)
+do all of their real work *per top-level subtree*: every anchor match and
+every context record below the root lives entirely inside one child subtree
+of the root element.  That makes the pipeline embarrassingly parallel at
+anchor-subtree granularity — provided the document can be cut into
+self-contained pieces whose merged results are indistinguishable from one
+serial pass.
+
+:func:`split_document` performs that cut.  A single structural scan over
+the text (reusing the tokenizer's regexes and prolog dialect, so the two
+can never disagree about where a construct starts) finds the root element,
+its attributes, and the character offset of every top-level child element.
+The children are then grouped into contiguous, size-balanced slices.  A
+:class:`DocumentShards` value describes the result:
+
+* ``prologue_events`` — the root's ``start`` event plus one ``attr`` event
+  per root attribute.  Every shard consumer replays these first so its NFA
+  stack and node-id counter start exactly where the serial pass would be;
+  the prologue consumes node ids ``0 .. prologue_ids - 1``.
+* ``slices`` — character ranges that *partition* the root's content.  A
+  slice always starts at a top-level child element's ``<`` (text between
+  two children trails the preceding slice), so a text run never spans two
+  shards and the per-slice event stream is byte-for-byte the serial
+  tokenizer's output for that region (:meth:`DocumentShards.shard_events`
+  replays it by wrapping the slice in a synthetic root element).
+* node-id accounting — event order mirrors ``XMLTree.reindex``
+  (Figure 1), so a consumer that counts events while replaying
+  ``prologue + slice`` assigns each node its *shard-local* id.  The ids a
+  shard consumed are reported back with its results, and the merge step
+  rebases local ids to absolute ones by prefix-summing the consumption of
+  the preceding shards (ids below ``prologue_ids`` are the root's own and
+  are shard-invariant).  Merged ids are therefore identical to the serial
+  pass — pinned by ``tests/property/test_parallel_differential.py``.
+
+The scanner is deliberately conservative: any input it cannot slice with
+complete confidence (malformed tags, an empty or childless root, trailing
+junk) yields ``None`` and the caller falls back to the serial plane, whose
+error messages remain canonical.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+from repro.xmlmodel.events import (
+    ATTR,
+    END,
+    START,
+    _ATTR_RE,
+    _END_TAG_RE,
+    _NAME_RE,
+    _skip_string_misc,
+    _skip_string_prolog,
+    Event,
+    iter_events,
+)
+from repro.xmlmodel.parser import XMLSyntaxError, expand_entities
+
+#: One complete start tag (after its ``<``): name, any number of quoted
+#: attributes, then ``>`` or ``/>``.  The character classes are exactly the
+#: tokenizer's (``_NAME_RE``/``_ATTR_RE``); quoted values may contain ``<``
+#: and ``>``.  Inputs this rejects are left to the serial tokenizer.
+_START_TAG_RE = re.compile(
+    r"[^\s=<>/?\"']+"  # the element name
+    r"(?:\s*[^\s=<>/?\"']+\s*=\s*(?:\"[^\"]*\"|'[^']*'))*"  # attributes
+    r"\s*(/?)>"
+)
+
+
+@dataclass(frozen=True)
+class ShardSlice:
+    """One contiguous character range of the root's content."""
+
+    start: int
+    end: int
+    #: Number of complete top-level child subtrees inside the range.
+    subtrees: int
+
+
+@dataclass(frozen=True)
+class DocumentShards:
+    """A document cut into independently replayable event slices."""
+
+    text: str
+    root_tag: str
+    prologue_events: Tuple[Event, ...]
+    #: Node ids consumed by the prologue: the root element plus one id per
+    #: root attribute (ids ``0 .. prologue_ids - 1`` are shard-invariant).
+    prologue_ids: int
+    slices: Tuple[ShardSlice, ...]
+    content_start: int
+    content_end: int
+
+    def __len__(self) -> int:
+        return len(self.slices)
+
+    def shard_source(self, index: int) -> str:
+        """The slice wrapped in a synthetic root, ready for the tokenizer."""
+        piece = self.slices[index]
+        return (
+            f"<{self.root_tag}>{self.text[piece.start:piece.end]}</{self.root_tag}>"
+        )
+
+    def shard_events(
+        self, index: int, strip_whitespace: bool = True
+    ) -> Iterator[Event]:
+        """Replay one slice as events (synthetic root start/end dropped).
+
+        The yielded stream is exactly the sub-sequence of the serial event
+        stream between this slice's boundaries: the synthetic wrapper only
+        provides the tokenizer with a well-formed document.
+        """
+        events = iter_events(self.shard_source(index), strip_whitespace=strip_whitespace)
+        next(events)  # the synthetic root START
+        pending = next(events, None)
+        for event in events:
+            yield pending  # type: ignore[misc]
+            pending = event
+        # ``pending`` is now the synthetic root END — dropped.
+
+    def replay_events(self, strip_whitespace: bool = True) -> Iterator[Event]:
+        """The whole document as events, reassembled from the shards.
+
+        Used by the differential tests: this must equal
+        ``iter_events(text)`` event-for-event.
+        """
+        yield from self.prologue_events
+        for index in range(len(self.slices)):
+            yield from self.shard_events(index, strip_whitespace=strip_whitespace)
+        yield Event(END, self.root_tag)
+
+
+# ----------------------------------------------------------------------
+# The structural scan
+# ----------------------------------------------------------------------
+def _scan_structure(
+    text: str,
+) -> Optional[Tuple[str, Tuple[Event, ...], int, int, List[int]]]:
+    """One pass over ``text`` locating the root and its top-level children.
+
+    Returns ``(root_tag, prologue_events, content_start, content_end,
+    child_offsets)`` or ``None`` when the input cannot be sliced with
+    confidence (the serial tokenizer then owns both the answer and any
+    error message).
+    """
+    length = len(text)
+    find = text.find
+    startswith = text.startswith
+    try:
+        pos = _skip_string_prolog(text)
+    except XMLSyntaxError:
+        return None
+    if pos >= length or text[pos] != "<":
+        return None
+
+    # --- the root start tag -------------------------------------------
+    match = _NAME_RE.match(text, pos + 1)
+    if match is None or match.start() != pos + 1:
+        return None
+    root_tag = match.group()
+    pos = match.end()
+    events: List[Event] = [Event(START, root_tag)]
+    while True:
+        match = _ATTR_RE.match(text, pos)
+        if match is not None:
+            raw = match.group(2)
+            if raw is None:
+                raw = match.group(3)
+            events.append(
+                Event(ATTR, match.group(1), expand_entities(raw) if "&" in raw else raw)
+            )
+            pos = match.end()
+            continue
+        while pos < length and text[pos].isspace():
+            pos += 1
+        if pos >= length or text[pos] != ">":
+            # Self-closing (childless) root, or a malformed start tag whose
+            # error message the serial tokenizer should produce.
+            return None
+        pos += 1
+        break
+    content_start = pos
+
+    # --- the content: find every top-level child element --------------
+    child_offsets: List[int] = []
+    depth = 0
+    while True:
+        lt = find("<", pos)
+        if lt < 0 or lt + 1 >= length:
+            return None  # unterminated root element
+        pos = lt
+        if startswith("</", pos):
+            if depth == 0:
+                content_end = pos
+                break
+            gt = find(">", pos)
+            if gt < 0:
+                return None
+            depth -= 1
+            pos = gt + 1
+            continue
+        if startswith("<!--", pos):
+            end = find("-->", pos)
+            if end < 0:
+                return None
+            pos = end + 3
+            continue
+        if startswith("<![CDATA[", pos):
+            end = find("]]>", pos)
+            if end < 0:
+                return None
+            pos = end + 3
+            continue
+        if startswith("<?", pos):
+            end = find("?>", pos)
+            if end < 0:
+                return None
+            pos = end + 2
+            continue
+        # An element start tag.  ``<!`` constructs other than the
+        # comment/CDATA handled above parse as elements whose name starts
+        # with ``!`` in the tokenizer — structurally too surprising to
+        # slice through, so bail to the serial plane for those.  The whole
+        # tag (name, quoted attributes, ``>`` / ``/>``) matches in one
+        # regex pass; anything it rejects falls back to the serial plane,
+        # whose error messages stay canonical.
+        if text[pos + 1] == "!":
+            return None
+        match = _START_TAG_RE.match(text, pos + 1)
+        if match is None:
+            return None
+        if depth == 0:
+            child_offsets.append(pos)
+        pos = match.end()
+        if match.group(1) != "/":
+            depth += 1
+
+    # --- the root end tag and the epilog ------------------------------
+    match = _END_TAG_RE.match(text, content_end + 2)
+    if match is None or match.group(1) != root_tag:
+        return None
+    try:
+        pos = _skip_string_misc(text, match.end())
+    except XMLSyntaxError:
+        return None
+    if pos < length:
+        return None  # content after the root element
+    return root_tag, tuple(events), content_start, content_end, child_offsets
+
+
+def _balanced_slices(
+    child_offsets: List[int], content_start: int, content_end: int, num_shards: int
+) -> List[ShardSlice]:
+    """Group consecutive top-level children into size-balanced slices.
+
+    Cut points are always child start offsets, so slice 0 additionally
+    carries any leading text and each slice carries the text trailing its
+    last child — together the slices partition the whole content range.
+    """
+    count = min(num_shards, len(child_offsets))
+    target = (content_end - content_start) / count
+    slices: List[ShardSlice] = []
+    start = content_start
+    subtrees = 0
+    for index in range(len(child_offsets)):
+        region_end = (
+            child_offsets[index + 1] if index + 1 < len(child_offsets) else content_end
+        )
+        subtrees += 1
+        children_after = len(child_offsets) - index - 1
+        slices_after = count - len(slices) - 1
+        if slices_after > 0 and (
+            children_after == slices_after or region_end - start >= target
+        ):
+            slices.append(ShardSlice(start, region_end, subtrees))
+            start = region_end
+            subtrees = 0
+    if subtrees or start < content_end:
+        slices.append(ShardSlice(start, content_end, subtrees))
+    return slices
+
+
+def split_document(text: str, num_shards: int) -> Optional[DocumentShards]:
+    """Cut a document into at most ``num_shards`` replayable shards.
+
+    Returns ``None`` when the document offers no useful parallelism (fewer
+    than two top-level subtrees, ``num_shards < 2``) or when the structural
+    scan cannot slice it with confidence — callers then run the serial
+    plane unchanged.
+    """
+    if num_shards < 2:
+        return None
+    scan = _scan_structure(text)
+    if scan is None:
+        return None
+    root_tag, prologue_events, content_start, content_end, child_offsets = scan
+    if len(child_offsets) < 2:
+        return None
+    slices = _balanced_slices(child_offsets, content_start, content_end, num_shards)
+    if len(slices) < 2:
+        return None
+    # XML allows one attribute per name; a duplicated name replays as two
+    # ``attr`` events (tokenizer fidelity) but occupies a single node id
+    # (the DOM keeps one node, last value wins), so ids count *distinct*
+    # attribute names.
+    distinct_attrs = {event.name for event in prologue_events if event.kind == ATTR}
+    return DocumentShards(
+        text=text,
+        root_tag=root_tag,
+        prologue_events=prologue_events,
+        prologue_ids=1 + len(distinct_attrs),
+        slices=tuple(slices),
+        content_start=content_start,
+        content_end=content_end,
+    )

@@ -2,6 +2,8 @@
 
 import math
 
+import pytest
+
 from repro.experiments.runner import ExperimentSeries, SeriesPoint, time_call
 
 
@@ -71,3 +73,38 @@ class TestExperimentSeries:
         series = self.make_series()
         assert isinstance(series.points[2], SeriesPoint)
         assert series.points[2].extra == {"note": "no slow run"}
+
+
+class TestTimeCallGC:
+    def test_gc_disabled_inside_timed_region_and_restored(self):
+        import gc
+
+        from repro.experiments.runner import time_call
+
+        states = []
+        assert gc.isenabled()
+        seconds, result = time_call(lambda: states.append(gc.isenabled()) or 7, repeat=3)
+        assert result == 7
+        assert states == [False, False, False]
+        assert gc.isenabled()
+
+    def test_gc_state_restored_when_fn_raises(self):
+        import gc
+
+        from repro.experiments.runner import time_call
+
+        with pytest.raises(RuntimeError):
+            time_call(lambda: (_ for _ in ()).throw(RuntimeError("boom")))
+        assert gc.isenabled()
+
+    def test_disabled_gc_is_left_disabled(self):
+        import gc
+
+        from repro.experiments.runner import time_call
+
+        gc.disable()
+        try:
+            time_call(lambda: None)
+            assert not gc.isenabled()
+        finally:
+            gc.enable()

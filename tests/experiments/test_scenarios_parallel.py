@@ -1,0 +1,33 @@
+"""The core-count scaling scenario (small smoke; timings are bench territory)."""
+
+from repro.experiments.scenarios import ScenarioSpec, parallel_scaling_series
+
+SMALL_SPEC = ScenarioSpec(
+    num_fields=8,
+    depth=3,
+    num_keys=4,
+    fanout=3,
+    duplicate_violations=2,
+    missing_violations=2,
+    seed=5,
+)
+
+
+def test_scaling_series_shape_and_verified_outputs():
+    series = parallel_scaling_series(
+        SMALL_SPEC, jobs=(1, 2), repeat=1, use_processes=False
+    )
+    assert series.x_values() == [1, 2]
+    assert series.algorithms() == ["pipeline"]
+    assert all(value >= 0 for value in series.column("pipeline"))
+    assert series.points[0].extra["shards"] == 1
+    assert series.points[1].extra["shards"] > 1
+    assert "nodes" in series.points[0].extra
+
+
+def test_scaling_series_renders_as_table():
+    series = parallel_scaling_series(
+        SMALL_SPEC, jobs=(1, 2), repeat=1, use_processes=False
+    )
+    table = series.to_table()
+    assert "jobs" in table and "pipeline (s)" in table

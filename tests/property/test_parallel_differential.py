@@ -1,0 +1,328 @@
+"""Differential pinning of the parallel (sharded) plane, three ways.
+
+The shard → map → merge pipeline of :mod:`repro.parallel` must be
+indistinguishable from one serial pass, which itself is pinned against the
+DOM plane by ``test_shred_differential.py``.  These properties close the
+triangle for random documents, rules, keys and shard counts:
+
+* **Splitting** — reassembling the shard slices must reproduce the serial
+  tokenizer's event stream event-for-event (ids, text segmentation,
+  attribute order), for any shard count;
+
+* **Shredding** — the merged per-rule shard states must equal the serial
+  streaming evaluator's row list *exactly* (same rows, same order, bag and
+  set semantics) and the DOM evaluator's bag;
+
+* **Key checking** — the merged checker states must equal the serial
+  streaming checker violation-for-violation — same kinds, witnesses,
+  context ids, node ids *and detail strings* — and the DOM checker's
+  canonical verdicts.
+
+The shard tasks run in-process here (``use_processes=False``): the merge
+logic, the id rebasing and the prologue handling are identical, and 200
+examples per property stay fast.  The real process pool is exercised by
+``tests/test_parallel.py`` and ``benchmarks/bench_parallel.py``.
+"""
+
+from collections import Counter
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.keys.key import XMLKey
+from repro.keys.satisfaction import violations
+from repro.parallel import run_sharded
+from repro.transform.rule import TableRule
+from repro.transform.evaluate import evaluate_rule
+from repro.transform.stream import stream_evaluate_rule
+from repro.xmlmodel.builder import document, element, text
+from repro.xmlmodel.events import iter_events
+from repro.xmlmodel.serializer import serialize
+from repro.xmlmodel.shards import split_document
+
+pytestmark = pytest.mark.slow
+
+differential_settings = settings(
+    max_examples=200, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+LABELS = ["a", "b", "c"]
+ATTRIBUTES = ["x", "y"]
+VALUES = ["0", "1"]
+
+
+# ----------------------------------------------------------------------
+# Random documents whose roots have several top-level subtrees, so the
+# splitter always has boundaries to cut at (small vocabulary → natural
+# duplicate values, including across the future shard boundaries).
+# ----------------------------------------------------------------------
+@st.composite
+def xml_documents(draw):
+    def build(depth):
+        node = element(draw(st.sampled_from(LABELS)))
+        for name in ATTRIBUTES:
+            if draw(st.booleans()):
+                node.set_attribute(name, draw(st.sampled_from(VALUES)))
+        if depth < 3:
+            for _ in range(draw(st.integers(min_value=0, max_value=2))):
+                if draw(st.integers(min_value=0, max_value=4)) == 0:
+                    node.append_child(text(draw(st.sampled_from(["t", "u"]))))
+                else:
+                    node.append_child(build(depth + 1))
+        return node
+
+    root = element(draw(st.sampled_from(LABELS)))
+    for name in ATTRIBUTES:
+        if draw(st.booleans()):
+            root.set_attribute(name, draw(st.sampled_from(VALUES)))
+    for _ in range(draw(st.integers(min_value=2, max_value=5))):
+        if draw(st.integers(min_value=0, max_value=5)) == 0:
+            root.append_child(text(draw(st.sampled_from(["t", "u"]))))
+        else:
+            root.append_child(build(1))
+    return document(root)
+
+
+@st.composite
+def anchor_paths(draw):
+    parts = []
+    for _ in range(draw(st.integers(min_value=1, max_value=2))):
+        prefix = draw(st.sampled_from(["//", ""]))
+        parts.append(prefix + draw(st.sampled_from(LABELS)))
+    if draw(st.booleans()):
+        parts.append("@" + draw(st.sampled_from(ATTRIBUTES)))
+    return "/".join(parts)
+
+
+@st.composite
+def simple_paths(draw):
+    parts = [
+        draw(st.sampled_from(LABELS))
+        for _ in range(draw(st.integers(min_value=1, max_value=2)))
+    ]
+    if draw(st.booleans()):
+        parts.append("@" + draw(st.sampled_from(ATTRIBUTES)))
+    return "/".join(parts)
+
+
+@st.composite
+def table_rules(draw):
+    rule = TableRule("R")
+    counter = [0]
+
+    def fresh():
+        counter[0] += 1
+        return f"v{counter[0]}"
+
+    leaves = []
+    for _ in range(draw(st.integers(min_value=1, max_value=2))):
+        anchor = fresh()
+        rule.add_mapping(anchor, rule.root_variable, draw(anchor_paths()))
+        frontier = [anchor]
+        for _ in range(draw(st.integers(min_value=0, max_value=3))):
+            parent = draw(st.sampled_from(frontier))
+            child = fresh()
+            rule.add_mapping(child, parent, draw(simple_paths()))
+            frontier.append(child)
+        sources = {m.source for m in rule.mappings}
+        leaves.extend(v for v in frontier if v not in sources)
+    for index, leaf in enumerate(dict.fromkeys(leaves)):
+        rule.add_field(f"f{index}", leaf)
+    return rule
+
+
+@st.composite
+def key_paths(draw, allow_attribute=True):
+    parts = []
+    for _ in range(draw(st.integers(min_value=1, max_value=3))):
+        parts.append(draw(st.sampled_from(["//", ""])) + draw(st.sampled_from(LABELS)))
+    body = "/".join(parts).replace("///", "//")
+    if allow_attribute and draw(st.integers(min_value=0, max_value=3)) == 0:
+        body += "/@" + draw(st.sampled_from(ATTRIBUTES))
+    return body
+
+
+@st.composite
+def xml_keys(draw):
+    context = draw(st.one_of(st.just("."), key_paths()))
+    target = draw(key_paths())
+    attributes = draw(st.lists(st.sampled_from(ATTRIBUTES), max_size=2, unique=True))
+    return XMLKey(context, target, attributes)
+
+
+shard_counts = st.integers(min_value=2, max_value=5)
+
+
+def row_bag(instance):
+    return Counter(instance.rows)
+
+
+def fingerprint(found):
+    """Everything a violation reports, down to the rendered detail."""
+    return [
+        (v.key.text, v.context_node_id, v.kind, v.node_ids, v.detail) for v in found
+    ]
+
+
+def canonical(found):
+    return sorted(
+        (v.key.text, v.context_node_id, v.kind, tuple(sorted(v.node_ids)))
+        for v in found
+    )
+
+
+# ----------------------------------------------------------------------
+# 1. The splitter: shard replay ≡ serial tokenization
+# ----------------------------------------------------------------------
+class TestSplitterDifferential:
+    @differential_settings
+    @given(tree=xml_documents(), num_shards=shard_counts, strip=st.booleans())
+    def test_shard_replay_equals_serial_events(self, tree, num_shards, strip):
+        compact = serialize(tree, indent=0)
+        shards = split_document(compact, num_shards)
+        if shards is None:
+            return  # unsliceable inputs fall back to the serial plane
+        assert 2 <= len(shards) <= num_shards
+        assert sum(piece.subtrees for piece in shards.slices) >= len(shards)
+        replayed = list(shards.replay_events(strip_whitespace=strip))
+        serial = list(iter_events(compact, strip_whitespace=strip))
+        assert replayed == serial
+
+
+# ----------------------------------------------------------------------
+# 2. Shredding: merged shard states ≡ serial streaming ≡ DOM
+# ----------------------------------------------------------------------
+class TestShardedShredDifferential:
+    @differential_settings
+    @given(rule=table_rules(), tree=xml_documents(), num_shards=shard_counts)
+    def test_bag_semantics_agree(self, rule, tree, num_shards):
+        compact = serialize(tree, indent=0)
+        serial = stream_evaluate_rule(rule, compact, deduplicate=False)
+        sharded = run_sharded(
+            compact,
+            transformation=[rule],
+            deduplicate=False,
+            jobs=num_shards,
+            use_processes=False,
+        )
+        # Exact row order, not just the bag: the merge restores document order.
+        assert sharded.instances["R"].rows == serial.rows
+        # Against the DOM plane on the reparsed text (serialization
+        # normalizes whitespace text nodes, as in test_shred_differential).
+        from repro.xmlmodel.parser import parse_document
+
+        dom = evaluate_rule(rule, parse_document(compact), deduplicate=False)
+        assert row_bag(dom) == row_bag(sharded.instances["R"])
+
+    @differential_settings
+    @given(rule=table_rules(), tree=xml_documents(), num_shards=shard_counts)
+    def test_set_semantics_agree(self, rule, tree, num_shards):
+        compact = serialize(tree, indent=0)
+        serial = stream_evaluate_rule(rule, compact, deduplicate=True)
+        sharded = run_sharded(
+            compact,
+            transformation=[rule],
+            deduplicate=True,
+            jobs=num_shards,
+            use_processes=False,
+        )
+        assert sharded.instances["R"].rows == serial.rows
+        assert len(sharded.instances["R"].rows) == len(set(sharded.instances["R"].rows))
+
+
+# ----------------------------------------------------------------------
+# 3. Key checking: merged checker states ≡ serial streaming ≡ DOM
+# ----------------------------------------------------------------------
+class TestShardedCheckerDifferential:
+    @differential_settings
+    @given(
+        tree=xml_documents(),
+        keys=st.lists(xml_keys(), min_size=1, max_size=4),
+        num_shards=shard_counts,
+    )
+    def test_violations_agree_with_serial_exactly(self, tree, keys, num_shards):
+        from repro.keys.stream import stream_violations
+
+        compact = serialize(tree, indent=0)
+        serial = stream_violations(compact, keys)
+        sharded = run_sharded(
+            compact, keys=keys, jobs=num_shards, use_processes=False
+        )
+        assert fingerprint(sharded.violations) == fingerprint(serial)
+
+    @differential_settings
+    @given(
+        tree=xml_documents(),
+        keys=st.lists(xml_keys(), min_size=1, max_size=3),
+        num_shards=shard_counts,
+    )
+    def test_violations_agree_with_dom(self, tree, keys, num_shards):
+        compact = serialize(tree, indent=0)
+        from repro.xmlmodel.parser import parse_document
+
+        reparsed = parse_document(compact)
+        dom = [v for key in keys for v in violations(reparsed, key)]
+        sharded = run_sharded(
+            compact, keys=keys, jobs=num_shards, use_processes=False
+        )
+        assert canonical(sharded.violations) == canonical(dom)
+
+
+# ----------------------------------------------------------------------
+# 4. The relational merge layer: accumulators and instance merging
+# ----------------------------------------------------------------------
+class TestMergeableViolationAccumulators:
+    @differential_settings
+    @given(
+        rows=st.lists(
+            st.tuples(
+                st.sampled_from(["0", "1", None]),
+                st.sampled_from(["0", "1", None]),
+                st.sampled_from(["0", "1", None]),
+            ),
+            max_size=12,
+        ),
+        cut_points=st.lists(st.integers(min_value=0, max_value=12), max_size=3),
+    )
+    def test_split_merge_equals_serial(self, rows, cut_points):
+        from repro.relational.instance import (
+            NULL,
+            FDViolationAccumulator,
+            RelationInstance,
+        )
+        from repro.relational.schema import RelationSchema
+
+        schema = RelationSchema("R", ["a", "b", "c"])
+        instance = RelationInstance(
+            schema,
+            [
+                {"a": a or NULL, "b": b or NULL, "c": c or NULL}
+                for a, b, c in rows
+            ],
+        )
+        serial = instance.fd_violations(["a"], ["b"])
+
+        # Split the rows at arbitrary points, accumulate each piece
+        # separately, merge in order: must reproduce the serial answer.
+        bounds = sorted({min(p, len(rows)) for p in cut_points} | {0, len(rows)})
+        merged = FDViolationAccumulator(["a"], ["b"])
+        pieces = []
+        for lo, hi in zip(bounds, bounds[1:]):
+            piece = FDViolationAccumulator(["a"], ["b"])
+            for row in instance.rows[lo:hi]:
+                piece.observe(row)
+            pieces.append(piece)
+        for piece in pieces:
+            merged.merge(piece)
+        assert merged.finalize() == serial
+
+        # RelationInstance.merge is the same associativity at row level.
+        parts = [
+            RelationInstance(schema, (r.as_dict() for r in instance.rows[lo:hi]))
+            for lo, hi in zip(bounds, bounds[1:])
+        ]
+        if parts:
+            recombined = parts[0].merge(*parts[1:])
+            assert recombined.rows == instance.rows
+            assert recombined.fd_violations(["a"], ["b"]) == serial

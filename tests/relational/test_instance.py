@@ -181,3 +181,80 @@ class TestFDSemantics:
         )
         assert not instance.satisfies_fd({"bookTitle"}, {"chapterNum", "chapterName"})
         assert instance.satisfies_fd({"bookTitle"}, {"bookTitle"})
+
+
+class TestMergeableChecking:
+    """RelationInstance.merge and the mergeable FD accumulators (PR 4)."""
+
+    def test_merge_concatenates_rows_in_order(self, chapter_schema):
+        left = RelationInstance(chapter_schema, [{"bookTitle": "A", "chapterNum": "1"}])
+        right = RelationInstance(
+            chapter_schema,
+            [{"bookTitle": "B", "chapterNum": "2"}, {"bookTitle": "C", "chapterNum": "3"}],
+        )
+        merged = left.merge(right)
+        assert [row.get_value("bookTitle") for row in merged] == ["A", "B", "C"]
+        # The inputs are untouched.
+        assert len(left) == 1 and len(right) == 2
+
+    def test_merge_rejects_different_schemas(self, chapter_schema):
+        other = RelationInstance(RelationSchema("Other", ["x"]))
+        with pytest.raises(ValueError):
+            RelationInstance(chapter_schema).merge(other)
+
+    def test_merge_of_nothing_is_a_copy(self, figure2a):
+        merged = figure2a.merge()
+        assert merged.rows == figure2a.rows
+        assert merged is not figure2a
+
+    def test_accumulator_matches_fd_violations(self, figure2a):
+        from repro.relational.instance import FDViolationAccumulator
+
+        accumulator = FDViolationAccumulator({"bookTitle", "chapterNum"}, {"chapterName"})
+        for row in figure2a.rows:
+            accumulator.observe(row)
+        assert accumulator.finalize() == figure2a.fd_violations(
+            {"bookTitle", "chapterNum"}, {"chapterName"}
+        )
+
+    def test_split_accumulators_merge_to_serial_answer(self, figure2a):
+        from repro.relational.instance import FDViolationAccumulator
+
+        def accumulate(rows):
+            piece = FDViolationAccumulator(["bookTitle"], ["chapterName"])
+            for row in rows:
+                piece.observe(row)
+            return piece
+
+        serial = figure2a.fd_violations(["bookTitle"], ["chapterName"])
+        for cut in range(len(figure2a.rows) + 1):
+            merged = accumulate(figure2a.rows[:cut]).merge(
+                accumulate(figure2a.rows[cut:])
+            )
+            assert merged.finalize() == serial
+
+    def test_cross_piece_duplicate_detected(self, chapter_schema):
+        from repro.relational.instance import FDViolationAccumulator
+
+        rows = [
+            {"bookTitle": "A", "chapterNum": "1", "chapterName": "X"},
+            {"bookTitle": "A", "chapterNum": "1", "chapterName": "Y"},
+        ]
+        instance = RelationInstance(chapter_schema, rows)
+        left = FDViolationAccumulator(["chapterNum"], ["chapterName"])
+        left.observe(instance.rows[0])
+        right = FDViolationAccumulator(["chapterNum"], ["chapterName"])
+        right.observe(instance.rows[1])
+        merged = left.merge(right)
+        found = merged.finalize()
+        assert len(found) == 1
+        assert found[0].kind == "value-conflict"
+        assert "tuples #0 and #1" in found[0].detail
+
+    def test_merge_rejects_different_fds(self):
+        from repro.relational.instance import FDViolationAccumulator
+
+        with pytest.raises(ValueError):
+            FDViolationAccumulator(["a"], ["b"]).merge(
+                FDViolationAccumulator(["a"], ["c"])
+            )

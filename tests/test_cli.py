@@ -218,10 +218,94 @@ class TestShredCommand:
         assert "key violated" in capsys.readouterr().out
 
 
+class TestCheckDocCommand:
+    def test_streaming_and_dom_agree(self, workspace, capsys):
+        stream_code = main(["check-doc", "--keys", workspace["keys"], "--xml", workspace["xml"]])
+        stream_out = capsys.readouterr().out
+        dom_code = main(
+            ["check-doc", "--keys", workspace["keys"], "--xml", workspace["xml"], "--dom"]
+        )
+        dom_out = capsys.readouterr().out
+        assert stream_code == dom_code
+        assert stream_out == dom_out
+
+    def test_dom_and_jobs_are_mutually_exclusive(self, workspace):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "check-doc",
+                    "--keys", workspace["keys"],
+                    "--xml", workspace["xml"],
+                    "--dom",
+                    "--jobs", "2",
+                ]
+            )
+
+
+class TestParallelPlane:
+    """--jobs must not change a single output byte."""
+
+    def test_shred_jobs_output_identical(self, workspace, capsys):
+        serial_code = main(
+            [
+                "shred",
+                "--transform", workspace["transform"],
+                "--xml", workspace["xml"],
+                "--keys", workspace["keys"],
+                "--stream",
+            ]
+        )
+        serial_out = capsys.readouterr().out
+        parallel_code = main(
+            [
+                "shred",
+                "--transform", workspace["transform"],
+                "--xml", workspace["xml"],
+                "--keys", workspace["keys"],
+                "--jobs", "2",
+            ]
+        )
+        parallel_out = capsys.readouterr().out
+        assert parallel_code == serial_code
+        assert parallel_out == serial_out
+
+    def test_check_doc_jobs_output_identical(self, workspace, tmp_path, capsys):
+        bad_xml = tmp_path / "bad.xml"
+        bad_xml.write_text(
+            "<r><book isbn='1'><chapter number='1'/><chapter number='1'/></book>"
+            "<book isbn='1'/><book/></r>"
+        )
+        serial_code = main(["check-doc", "--keys", workspace["keys"], "--xml", str(bad_xml)])
+        serial_out = capsys.readouterr().out
+        parallel_code = main(
+            ["check-doc", "--keys", workspace["keys"], "--xml", str(bad_xml), "--jobs", "2"]
+        )
+        parallel_out = capsys.readouterr().out
+        assert serial_code == parallel_code == 1
+        assert parallel_out == serial_out
+
+    def test_jobs_env_variable_is_honoured(self, workspace, capsys, monkeypatch):
+        serial_code = main(["check-doc", "--keys", workspace["keys"], "--xml", workspace["xml"]])
+        serial_out = capsys.readouterr().out
+        monkeypatch.setenv("REPRO_JOBS", "2")
+        env_code = main(["check-doc", "--keys", workspace["keys"], "--xml", workspace["xml"]])
+        env_out = capsys.readouterr().out
+        assert env_code == serial_code
+        assert env_out == serial_out
+
+
 class TestParser:
     def test_subcommand_required(self):
         with pytest.raises(SystemExit):
             main([])
+
+    def test_version_flag(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert f"repro {__version__}" in capsys.readouterr().out
 
     def test_module_entry_point_importable(self):
         import repro.__main__  # noqa: F401  (import must not execute main)

@@ -1,0 +1,100 @@
+"""Serializer/tokenizer round-trips for escaping and special characters.
+
+The serializer must escape exactly enough for its output to re-parse —
+through the DOM parser *and* the event tokenizer — to the same values.
+These are the dedicated edge cases (``<``, ``>``, ``&``, quotes, entity
+look-alikes, mixed content) that the general round-trip fuzz of
+``tests/property/test_roundtrip_property.py`` only hits by chance.
+"""
+
+import pytest
+
+from repro.xmlmodel.builder import document, element, text
+from repro.xmlmodel.events import ATTR, TEXT, iter_events
+from repro.xmlmodel.parser import parse_document
+from repro.xmlmodel.serializer import serialize
+
+SPECIAL_VALUES = [
+    "<",
+    ">",
+    "&",
+    '"',
+    "'",
+    "a<b&c>d",
+    '"double" and \'single\'',
+    "&amp;",  # a literal ampersand-entity text, must double-escape
+    "&#65;",  # a literal character-reference text
+    "]]>",
+    "tag <open attr=\"x\">",
+    "&unknown;",
+]
+
+
+def roundtrip(tree):
+    return parse_document(serialize(tree, indent=0))
+
+
+class TestAttributeEscaping:
+    @pytest.mark.parametrize("value", SPECIAL_VALUES)
+    def test_attribute_value_roundtrips_through_parser(self, value):
+        tree = document(element("r", {"v": value}))
+        reparsed = roundtrip(tree)
+        assert reparsed.root.attribute_value("v") == value
+
+    @pytest.mark.parametrize("value", SPECIAL_VALUES)
+    def test_attribute_value_roundtrips_through_tokenizer(self, value):
+        compact = serialize(document(element("r", {"v": value})), indent=0)
+        attrs = [e for e in iter_events(compact) if e.kind == ATTR]
+        assert attrs == [attrs[0]._replace(value=value)]
+
+    def test_multiple_attributes_keep_order_and_values(self):
+        tree = document(element("r", {"a": "1<2", "b": '"', "c": "&&"}))
+        reparsed = roundtrip(tree)
+        assert [
+            (a.name, a.value) for a in reparsed.root.attributes.values()
+        ] == [("a", "1<2"), ("b", '"'), ("c", "&&")]
+
+
+class TestTextEscaping:
+    @pytest.mark.parametrize("value", SPECIAL_VALUES)
+    def test_text_roundtrips_through_parser(self, value):
+        tree = document(element("r", text(value)))
+        reparsed = roundtrip(tree)
+        assert [c.text for c in reparsed.root.children if c.is_text()] == [value]
+
+    @pytest.mark.parametrize("value", SPECIAL_VALUES)
+    def test_text_roundtrips_through_tokenizer(self, value):
+        compact = serialize(document(element("r", text(value))), indent=0)
+        texts = [e.value for e in iter_events(compact, strip_whitespace=False) if e.kind == TEXT]
+        assert texts == [value]
+
+    def test_mixed_content_with_specials(self):
+        tree = document(
+            element(
+                "r",
+                text("a&b"),
+                element("c", {"x": "<>&"}, text("<tag>")),
+                text("d>e"),
+            )
+        )
+        reparsed = roundtrip(tree)
+        child = [c for c in reparsed.root.children if c.is_element()][0]
+        assert child.attribute_value("x") == "<>&"
+        assert [c.text for c in child.children] == ["<tag>"]
+
+
+class TestSerializedFormStaysWellFormed:
+    @pytest.mark.parametrize("value", SPECIAL_VALUES)
+    def test_no_raw_specials_leak_into_markup(self, value):
+        compact = serialize(
+            document(element("r", {"v": value}, text(value))),
+            indent=0,
+        )
+        # Between markup delimiters there must be no raw '<'; every '&'
+        # must start a well-formed entity or character reference.
+        body = compact[compact.index(">") + 1 : compact.rindex("<")]
+        assert "<" not in body
+        import re
+
+        for match in re.finditer(r"&", body):
+            assert re.match(r"&(amp|lt|gt|quot|apos|#\d+|#x[0-9a-fA-F]+);", body[match.start():]), body

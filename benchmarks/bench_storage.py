@@ -1,0 +1,162 @@
+"""PR-5 storage-plane benchmarks: batched driver loading vs. naive emission.
+
+Before the storage plane, "loading" a shredded document meant emitting SQL
+strings and executing them one statement per row — the engine re-parses
+every statement and the driver round-trips 100k times.  The loader's path
+is parameterized ``executemany`` batches.  Gate (plain ``perf_counter``
+timing, runs under ``--benchmark-disable``):
+
+* ``test_batched_load_speedup_report`` — on a ~100k-row shred of a
+  synthesized scenario document, the batched loader must beat the naive
+  per-row ``execute`` ≥ 5×, and both paths must land the identical table
+  (row count and content fingerprint).
+
+The ``@pytest.mark.benchmark`` cases record the absolute load throughputs
+(naive, batched at two batch sizes, plus the end-to-end shred-and-load
+pipeline) into the ``BENCH_PR5.json`` CI artifact.
+"""
+
+import sqlite3
+import time
+
+import pytest
+
+from repro.experiments.generators import generate_workload
+from repro.experiments.scenarios import synthesize_document_chunks
+from repro.relational.sql import iter_insert_statements
+from repro.storage import BulkLoader, SQLiteBackend, compile_ddl
+from repro.transform.stream import iter_rule_rows
+
+REQUIRED_SPEEDUP = 5.0
+
+#: ~100k rows: one row per lvl0 element of a depth-1 workload.
+GATE_FIELDS = 6
+GATE_FANOUT = 10
+GATE_REPEAT = 10_000
+BATCH_SIZE = 500
+
+
+@pytest.fixture(scope="module")
+def gate_rows():
+    workload = generate_workload(GATE_FIELDS, depth=1, num_keys=1, seed=4)
+    text = "".join(
+        synthesize_document_chunks(
+            workload, fanout=GATE_FANOUT, top_level_repeat=GATE_REPEAT
+        )
+    )
+    rows = list(iter_rule_rows(workload.rule, text))
+    assert len(rows) >= 90_000, "the gate shred must stay ~100k-row scale"
+    return workload, text, rows
+
+
+def _ddl(workload):
+    # Log mode: measure pure insert throughput, not constraint checking.
+    return compile_ddl(workload.rule.schema(), mode="log")
+
+
+def _naive_load(workload, rows):
+    """The pre-PR path: emit one INSERT statement per row, execute each."""
+    from repro.relational.sql import create_table
+
+    schema = workload.rule.schema()
+    connection = sqlite3.connect(":memory:")
+    connection.executescript(create_table(schema))
+    connection.execute("BEGIN")
+    for statement in iter_insert_statements(schema, rows, batch_size=1):
+        connection.execute(statement)
+    connection.execute("COMMIT")
+    return connection
+
+
+def _batched_load(workload, rows, batch_size=BATCH_SIZE):
+    backend = SQLiteBackend()
+    loader = BulkLoader(backend, _ddl(workload), batch_size=batch_size)
+    loader.create_schema()
+    backend.begin()
+    loader.load_rows("U", rows)
+    backend.commit()
+    return backend
+
+
+def _fingerprint(connection):
+    return connection.execute(
+        'SELECT COUNT(*), MIN("k0"), MAX("k0") FROM "U"'
+    ).fetchone()
+
+
+def _best_of(callable_, repeats=3):
+    best, result = float("inf"), None
+    for _ in range(repeats):
+        begin = time.perf_counter()
+        result = callable_()
+        best = min(best, time.perf_counter() - begin)
+    return best, result
+
+
+# ----------------------------------------------------------------------
+# Gate: batched executemany >= 5x naive per-row execute
+# ----------------------------------------------------------------------
+def test_batched_load_speedup_report(gate_rows):
+    workload, _text, rows = gate_rows
+    naive_time, naive_connection = _best_of(lambda: _naive_load(workload, rows))
+    batched_time, batched_backend = _best_of(lambda: _batched_load(workload, rows))
+    naive_print = _fingerprint(naive_connection)
+    batched_print = _fingerprint(batched_backend._connection)
+    naive_connection.close()
+    batched_backend.close()
+    assert naive_print == batched_print, "both paths must land the same table"
+    speedup = naive_time / batched_time
+    print(
+        f"\n[bench_storage] {len(rows)} rows: naive per-row execute "
+        f"{naive_time:.3f}s, batched executemany({BATCH_SIZE}) "
+        f"{batched_time:.3f}s -> {speedup:.1f}x"
+    )
+    assert speedup >= REQUIRED_SPEEDUP, (
+        f"batched loading regressed: {speedup:.1f}x < {REQUIRED_SPEEDUP}x"
+    )
+
+
+# ----------------------------------------------------------------------
+# Recorded throughput benchmarks (BENCH_PR5.json)
+# ----------------------------------------------------------------------
+@pytest.mark.benchmark(group="storage-load")
+def test_naive_per_row_load(benchmark, gate_rows):
+    workload, _text, rows = gate_rows
+    connection = benchmark(_naive_load, workload, rows)
+    assert _fingerprint(connection)[0] == len(rows)
+    connection.close()
+
+
+@pytest.mark.benchmark(group="storage-load")
+def test_batched_load_500(benchmark, gate_rows):
+    workload, _text, rows = gate_rows
+    backend = benchmark(_batched_load, workload, rows)
+    assert _fingerprint(backend._connection)[0] == len(rows)
+    backend.close()
+
+
+@pytest.mark.benchmark(group="storage-load")
+def test_batched_load_5000(benchmark, gate_rows):
+    workload, _text, rows = gate_rows
+    backend = benchmark(_batched_load, workload, rows, 5000)
+    assert _fingerprint(backend._connection)[0] == len(rows)
+    backend.close()
+
+
+@pytest.mark.benchmark(group="storage-pipeline")
+def test_shred_and_load_pipeline(benchmark, gate_rows):
+    """Document text → streaming shred → batched load, end to end."""
+    workload, text, rows = gate_rows
+
+    def pipeline():
+        backend = SQLiteBackend()
+        loader = BulkLoader(backend, _ddl(workload), batch_size=BATCH_SIZE)
+        loader.create_schema()
+        backend.begin()
+        counts = loader.load_document(text, [workload.rule])
+        backend.commit()
+        backend.close()
+        return counts
+
+    counts = benchmark(pipeline)
+    assert counts["U"] == len(rows)

@@ -10,6 +10,10 @@ consumer can run the analysis on files without writing Python::
     python -m repro shred     --transform rules.dsl --xml data.xml [--keys keys.txt] \
                               [--sql] [--stream] [--jobs N] [--batch-size N | --copy]
     python -m repro check-doc --keys keys.txt --xml data.xml [--dom | --jobs N]
+    python -m repro load      --transform rules.dsl --xml data.xml [--xml more.xml ...] \
+                              --db out.db [--keys keys.txt] [--mode strict|log] \
+                              [--jobs N] [--verify] [--provenance COLUMN]
+    python -m repro query     --db out.db [--sql "SELECT ..." | --table R [--limit N]]
     python -m repro bench     [--paper]
 
 ``shred --stream`` and ``check-doc`` run on the streaming data plane: the
@@ -28,11 +32,20 @@ boundaries and the shards are shredded/checked on ``N`` worker processes,
 with byte-identical output (``--jobs 0`` uses one worker per CPU; the
 serial plane is used automatically when the document cannot be sharded).
 
+``load`` runs the storage plane end to end: shred the document(s) (serial
+streaming, or sharded with ``--jobs``), compile the propagated FDs of
+``--keys`` into constraint-bearing DDL, and bulk-load a SQLite database —
+``--mode strict`` makes the engine itself reject violating rows (the
+command reports exactly which), ``--mode log`` stages everything and
+``--verify`` then finds violations *in the database* with generated
+``GROUP BY … HAVING`` SQL.  ``query`` inspects the result.
+
 File formats: keys files contain one key per line in the paper's notation
 (``K2 = (//book, (chapter, {@number}))``, ``#`` comments allowed);
 transformation files use the DSL of :mod:`repro.transform.dsl`; XML files are
-plain XML.  All commands print to stdout and return a conventional exit code
-(0 = success / property holds, 1 = property fails, 2 = usage error).
+plain XML.  All commands print to stdout and return a *uniform* exit code
+(0 = success / property holds, 1 = property fails / violations found,
+2 = usage error), enforced by ``tests/test_cli.py::TestExitCodes``.
 """
 
 from __future__ import annotations
@@ -218,6 +231,132 @@ def cmd_check_doc(args: argparse.Namespace) -> int:
     return _print_violation_report(keys, found)
 
 
+def cmd_load(args: argparse.Namespace) -> int:
+    """Shred document(s) into a SQLite database with propagated constraints."""
+    from repro.core import minimum_cover_from_keys
+    from repro.storage import (
+        BulkLoader,
+        IntegrityViolation,
+        LoadError,
+        SQLVerifier,
+        SQLiteBackend,
+        StorageDDL,
+        compile_table_ddl,
+    )
+
+    transformation = _load_transformation(args.transform)
+    keys = _load_keys(args.keys) if args.keys else []
+    rules = list(transformation)
+    documents = list(args.xml)
+    provenance = args.provenance
+    if provenance is None and len(documents) > 1:
+        provenance = "_document"
+
+    # One table per rule; each table's constraints come from the minimum
+    # cover of the FDs the XML keys propagate to *that* rule.
+    tables = {}
+    for rule in rules:
+        cover = minimum_cover_from_keys(keys, rule).cover if keys else []
+        tables[rule.relation] = compile_table_ddl(
+            rule.schema(),
+            cover,
+            mode=args.mode,
+            provenance_column=provenance,
+            # Loading into an existing database appends to its tables (the
+            # corpus-over-several-invocations workflow).
+            if_not_exists=True,
+        )
+    ddl = StorageDDL(mode=args.mode, tables=tables, provenance_column=provenance)
+
+    backend = SQLiteBackend(args.db)
+    try:
+        loader = BulkLoader(backend, ddl, batch_size=args.batch_size)
+        loader.create_schema()
+        try:
+            report = loader.load_corpus(
+                ((path, _read(path)) for path in documents),
+                rules,
+                jobs=args.jobs,
+            )
+        except LoadError as error:
+            print(f"load rejected: {error}")
+            for row in error.rows:
+                rendered = ", ".join(
+                    f"{name}={value!r}" for name, value in sorted(row.items())
+                )
+                print(f"  - {rendered}")
+            return 1
+        except IntegrityViolation as error:
+            # A pre-existing table carries constraints this mode did not
+            # compile (e.g. log-mode loading into a strict-mode database):
+            # a usage problem, not a violation report.
+            print(
+                f"error: the existing database at {args.db} enforces "
+                f"constraints the current --mode does not expect "
+                f"({error}); use a fresh --db or the matching --mode",
+                file=sys.stderr,
+            )
+            return 2
+        for table in sorted(report.rows):
+            print(f"{table}: {report.rows[table]} rows")
+        print(
+            f"loaded {len(report.documents)} document(s) into {args.db} "
+            f"({args.mode} mode)"
+        )
+        if args.verify:
+            found = SQLVerifier(backend, ddl).check_keys()
+            if found:
+                for table in sorted(found):
+                    print(f"table violates its keys: {table}")
+                    for violation in found[table]:
+                        print(f"  - [{violation.kind}] {violation.detail}")
+                return 1
+            print("database satisfies all propagated keys")
+        return 0
+    finally:
+        backend.close()
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    """Inspect a database produced by ``load``."""
+    from repro.storage import SQLiteBackend
+
+    if not Path(args.db).exists():
+        raise FileNotFoundError(f"no database at {args.db}")
+    if args.sql and args.table:
+        print("error: provide either --sql or --table, not both", file=sys.stderr)
+        return 2
+    if args.limit is not None and not args.table:
+        print("error: --limit only applies to --table dumps", file=sys.stderr)
+        return 2
+    backend = SQLiteBackend(args.db)
+    try:
+        if args.sql:
+            cursor = backend.execute(args.sql)
+            header = [description[0] for description in cursor.description or ()]
+            rows = cursor.fetchall()
+        elif args.table:
+            from repro.relational.sql import quote_identifier
+
+            sql = f"SELECT * FROM {quote_identifier(args.table)}"
+            if args.limit is not None:
+                sql += f" LIMIT {args.limit}"
+            cursor = backend.execute(sql)
+            header = [description[0] for description in cursor.description or ()]
+            rows = cursor.fetchall()
+        else:
+            for table in backend.table_names():
+                print(f"{table}: {backend.row_count(table)} rows")
+            return 0
+        if header:
+            print("\t".join(header))
+        for row in rows:
+            print("\t".join("NULL" if value is None else str(value) for value in row))
+        return 0
+    finally:
+        backend.close()
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
     from repro.experiments.figures import run_all
 
@@ -347,6 +486,75 @@ def build_parser() -> argparse.ArgumentParser:
     )
     check_doc.set_defaults(handler=cmd_check_doc)
 
+    load = subparsers.add_parser(
+        "load", help="shred document(s) into a SQLite database with propagated constraints"
+    )
+    load.add_argument("--transform", required=True, help="transformation DSL file")
+    load.add_argument(
+        "--xml",
+        required=True,
+        action="append",
+        help="XML document to load (repeat for a corpus)",
+    )
+    load.add_argument("--db", required=True, help="SQLite database path (created if absent)")
+    load.add_argument(
+        "--keys",
+        help="keys file; their propagated FDs become the tables' constraints",
+    )
+    load.add_argument(
+        "--mode",
+        default="strict",
+        choices=["strict", "log"],
+        help=(
+            "strict: the engine rejects violating rows at load time; "
+            "log: stage everything, check afterwards (see --verify)"
+        ),
+    )
+    load.add_argument(
+        "--jobs",
+        type=_jobs_count,
+        default=None,
+        metavar="N",
+        help=(
+            "shred each document on N worker processes before loading "
+            "(0 = one worker per CPU; default: REPRO_JOBS, else serial)"
+        ),
+    )
+    load.add_argument(
+        "--batch-size",
+        type=_positive_int,
+        default=500,
+        metavar="N",
+        help="rows per executemany batch (default 500)",
+    )
+    load.add_argument(
+        "--verify",
+        action="store_true",
+        help="after loading, check every propagated key in-database (SQL)",
+    )
+    load.add_argument(
+        "--provenance",
+        metavar="COLUMN",
+        help=(
+            "per-document provenance column name (added automatically as "
+            "'_document' when several --xml are given)"
+        ),
+    )
+    load.set_defaults(handler=cmd_load)
+
+    query = subparsers.add_parser("query", help="inspect a database produced by load")
+    query.add_argument("--db", required=True, help="SQLite database path")
+    query.add_argument("--sql", help="SQL to execute (default: list tables)")
+    query.add_argument("--table", help="dump one table instead of running --sql")
+    query.add_argument(
+        "--limit",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="with --table: print at most N rows",
+    )
+    query.set_defaults(handler=cmd_query)
+
     bench = subparsers.add_parser("bench", help="re-run the paper's Figure 7 experiments")
     bench.add_argument("--paper", action="store_true", help="use the paper's full grids (slow)")
     bench.set_defaults(handler=cmd_bench)
@@ -355,6 +563,8 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    from repro.storage.backend import StorageError
+
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
@@ -362,7 +572,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     except FileNotFoundError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
-    except (ValueError, KeyError) as error:
+    except (ValueError, KeyError, StorageError) as error:
+        # LoadError (violations found → exit 1) is handled inside cmd_load;
+        # any StorageError reaching here is a usage problem (bad SQL, a
+        # missing table, an incompatible existing database).
         print(f"error: {error}", file=sys.stderr)
         return 2
 

@@ -14,7 +14,13 @@ key violations to exercise the checker and the Figure 2(a)-style reporting.
 * :func:`synthesize_document_chunks` emits the text of an arbitrarily large
   conforming document as a lazy stream of chunks *without ever building a
   tree or the full string* — the input used to demonstrate that the event
-  iterator's peak memory is independent of document size.
+  iterator's peak memory is independent of document size;
+* :func:`build_corpus` generates *N* documents over one shared workload
+  with a controlled number of **cross-document duplicate keys**: every
+  document satisfies its XML keys in isolation, but chosen rows collide on
+  the propagated relational key across documents — the workload for corpus
+  ingestion and in-database checking on the storage plane
+  (:mod:`repro.storage`).
 """
 
 from __future__ import annotations
@@ -150,6 +156,134 @@ def build_scenario(spec: ScenarioSpec) -> ShredScenario:
 def scenario_text(scenario: ShredScenario, indent: int = 0) -> str:
     """The scenario document as XML text (compact by default)."""
     return serialize(scenario.tree, indent=indent)
+
+
+# ----------------------------------------------------------------------
+# Corpus synthesis: many documents, controlled cross-document duplicates
+# ----------------------------------------------------------------------
+@dataclass
+class CorpusScenario:
+    """N documents over one workload, plus the cross-duplicate ground truth.
+
+    Each document satisfies every XML key *in isolation* (key values are
+    prefixed with the document ordinal, so they are document-unique by
+    construction); ``injections`` lists the ``(document index, top-level
+    subtree ordinal)`` spine paths whose key attributes were overwritten
+    with document 0's values.  Each injection makes exactly one shredded
+    row of the universal relation collide with a document-0 row on the
+    propagated key while differing on every non-key field — one
+    ``value-conflict`` witness per injection once the corpus lands in one
+    table.
+    """
+
+    spec: ScenarioSpec
+    workload: SyntheticWorkload
+    trees: List[XMLTree]
+    injections: List[Tuple[int, int]]
+
+    @property
+    def keys(self) -> List[XMLKey]:
+        return self.workload.keys
+
+    @property
+    def documents(self) -> int:
+        return len(self.trees)
+
+    @property
+    def expected_cross_duplicates(self) -> int:
+        return len(self.injections)
+
+    @property
+    def document_ids(self) -> List[str]:
+        return [f"doc{i}" for i in range(len(self.trees))]
+
+    def texts(self, indent: int = 0) -> List[str]:
+        return [serialize(tree, indent=indent) for tree in self.trees]
+
+
+def _prefix_document_values(tree: XMLTree, prefix: str) -> None:
+    """Make every attribute value and text payload document-unique."""
+    for node in tree.iter_elements():
+        for name in list(node.attributes):
+            node.set_attribute(name, f"{prefix}:{node.attribute_value(name)}")
+        for child in node.children:
+            if child.is_text():
+                child.text = f"{prefix}:{child.text}"
+
+
+def _spine_chain(
+    tree: XMLTree, workload: SyntheticWorkload, top_ordinal: int
+) -> List[ElementNode]:
+    """The root-to-leaf spine chain through the ``top_ordinal``-th subtree
+    (first child at every deeper level)."""
+    tops = tree.root.child_elements(workload.level_tags[0])
+    chain = [tops[top_ordinal]]
+    for level in range(1, workload.depth):
+        chain.append(chain[-1].child_elements(workload.level_tags[level])[0])
+    return chain
+
+
+def build_corpus(
+    spec: Optional[ScenarioSpec] = None,
+    documents: int = 3,
+    cross_duplicates: int = 2,
+) -> CorpusScenario:
+    """Generate a corpus with exactly ``cross_duplicates`` key collisions.
+
+    Documents share one workload (same table rule, same XML keys) and are
+    pairwise value-disjoint except for the injected collisions, each of
+    which copies document 0's spine-key attributes along one root-to-leaf
+    path into a later document.  Injection slots are ``(document, top
+    subtree)`` pairs, so at most ``(documents - 1) * fanout`` duplicates
+    can be injected; each slot keeps the target document's own XML keys
+    satisfied (the copied values are unique among their new siblings).
+    ``spec.duplicate_violations`` / ``spec.missing_violations`` are ignored
+    — corpus documents are individually clean so that every violation in
+    the loaded database is a *cross-document* one.
+    """
+    if spec is None:
+        spec = ScenarioSpec()
+    if documents < 1:
+        raise ValueError("a corpus needs at least one document")
+    capacity = (documents - 1) * spec.fanout
+    if cross_duplicates > capacity:
+        raise ValueError(
+            f"cannot inject {cross_duplicates} cross-document duplicates: "
+            f"{documents} documents with fanout {spec.fanout} give only "
+            f"{capacity} disjoint injection slots"
+        )
+    if spec.num_keys < spec.depth:
+        raise ValueError(
+            "corpus workloads need num_keys >= depth so that every spine "
+            "level keeps its key"
+        )
+    workload = generate_workload(
+        spec.num_fields, depth=spec.depth, num_keys=spec.num_keys, seed=spec.seed
+    )
+    trees = [
+        generate_document(workload, fanout=spec.fanout, seed=spec.seed + index)
+        for index in range(documents)
+    ]
+    for index, tree in enumerate(trees):
+        _prefix_document_values(tree, f"d{index}")
+
+    injections: List[Tuple[int, int]] = []
+    for slot in range(cross_duplicates):
+        target = 1 + slot % (documents - 1)
+        subtree = slot // (documents - 1)
+        source_chain = _spine_chain(trees[0], workload, subtree)
+        target_chain = _spine_chain(trees[target], workload, subtree)
+        for level, (source, destination) in enumerate(zip(source_chain, target_chain)):
+            destination.set_attribute(
+                f"k{level}", source.attribute_value(f"k{level}") or "0"
+            )
+        injections.append((target, subtree))
+
+    for tree in trees:
+        tree.reindex()
+    return CorpusScenario(
+        spec=spec, workload=workload, trees=trees, injections=injections
+    )
 
 
 # ----------------------------------------------------------------------

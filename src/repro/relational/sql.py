@@ -21,28 +21,59 @@ emits portable SQL:
 * :func:`load_script` — the full script for a shredded database, with
   batched inserts (``batch_size``) or ``COPY`` blocks (``copy=True``).
 
+For loading through an actual driver (:mod:`repro.storage`) the module also
+provides the *parameterized* counterparts — :func:`insert_template` builds
+an ``INSERT ... VALUES (?, ...)`` statement with placeholders instead of
+interpolated literals, and :func:`encode_row` / :func:`iter_parameter_batches`
+turn row mappings into the positional parameter tuples ``executemany``
+expects (``NULL`` → ``None``).  Values never enter the SQL text on that
+path, so hostile content cannot break out of a literal; identifiers are
+always quoted via :func:`quote_identifier`.
+
 Only textual SQL is produced (no driver dependency); the dialect is the
 common core of SQLite / PostgreSQL / MySQL (``COPY`` is PostgreSQL).
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, List, Mapping, Optional
+from typing import Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from repro.relational.instance import RelationInstance, Row, Value, is_null
 from repro.relational.schema import DatabaseSchema, RelationSchema
 
 
 def quote_identifier(name: str) -> str:
-    """Quote an SQL identifier (double quotes, doubled inside)."""
+    """Quote an SQL identifier (double quotes, doubled inside).
+
+    Every identifier this module emits goes through here, so table and
+    column names taken from documents (tag names, attribute names) can be
+    arbitrary text — including quotes, spaces, semicolons and SQL keywords —
+    without changing the meaning of the emitted statement.  NUL bytes are
+    rejected: they cannot be represented in an SQL identifier at all, and
+    several engines silently truncate at the first NUL, which *would* let a
+    hostile name alias another one.
+    """
+    if "\x00" in name:
+        raise ValueError(f"SQL identifiers cannot contain NUL bytes: {name!r}")
     return '"' + name.replace('"', '""') + '"'
 
 
 def quote_literal(value: object) -> str:
-    """Render a value as an SQL literal (strings quoted, NULL for nulls)."""
+    """Render a value as an SQL literal (strings quoted, NULL for nulls).
+
+    NUL bytes are rejected rather than emitted: a NUL truncates the
+    statement text in C-string-based engines, splitting the literal open.
+    Values that may contain arbitrary bytes should travel as parameters
+    (:func:`insert_template` + :func:`encode_row`), never as literals.
+    """
     if is_null(value):
         return "NULL"
     text = str(value)
+    if "\x00" in text:
+        raise ValueError(
+            "SQL string literals cannot contain NUL bytes; use the "
+            "parameterized emission (insert_template/encode_row) instead"
+        )
     return "'" + text.replace("'", "''") + "'"
 
 
@@ -50,25 +81,37 @@ def create_table(
     schema: RelationSchema,
     column_type: str = "TEXT",
     if_not_exists: bool = False,
+    include_keys: bool = True,
+    extra_columns: Sequence[str] = (),
 ) -> str:
     """``CREATE TABLE`` for one relation schema.
 
     The first declared key becomes the ``PRIMARY KEY``; further keys become
     ``UNIQUE`` constraints.  All columns share ``column_type`` (the
     transformation language produces strings — the ``value()`` of a node).
+
+    ``include_keys=False`` drops the key constraints entirely — the shape
+    the storage plane's ``log`` mode uses to stage rows first and check
+    them in-database afterwards.  ``extra_columns`` appends bookkeeping
+    columns (e.g. a per-document provenance column) after the schema's own
+    attributes; they never participate in the key constraints.
     """
     clause_exists = "IF NOT EXISTS " if if_not_exists else ""
     lines = [f"CREATE TABLE {clause_exists}{quote_identifier(schema.name)} ("]
     column_lines = [
         f"    {quote_identifier(attribute)} {column_type}" for attribute in schema.attributes
     ]
+    column_lines.extend(
+        f"    {quote_identifier(extra)} {column_type}" for extra in extra_columns
+    )
     constraint_lines: List[str] = []
-    if schema.primary_key:
+    if include_keys and schema.primary_key:
         columns = ", ".join(quote_identifier(a) for a in sorted(schema.primary_key))
         constraint_lines.append(f"    PRIMARY KEY ({columns})")
-    for extra_key in schema.keys[1:]:
-        columns = ", ".join(quote_identifier(a) for a in sorted(extra_key))
-        constraint_lines.append(f"    UNIQUE ({columns})")
+    if include_keys:
+        for extra_key in schema.keys[1:]:
+            columns = ", ".join(quote_identifier(a) for a in sorted(extra_key))
+            constraint_lines.append(f"    UNIQUE ({columns})")
     lines.append(",\n".join(column_lines + constraint_lines))
     lines.append(");")
     return "\n".join(lines)
@@ -141,6 +184,72 @@ def iter_insert_statements(
             pending = []
     if pending:
         yield f"INSERT INTO {table} ({columns}) VALUES\n  " + ",\n  ".join(pending) + ";"
+
+
+# ----------------------------------------------------------------------
+# Parameterized emission (the driver path of repro.storage)
+# ----------------------------------------------------------------------
+def insert_template(
+    schema: RelationSchema,
+    extra_columns: Sequence[str] = (),
+    placeholder: str = "?",
+) -> str:
+    """A parameterized ``INSERT`` statement for one relation schema.
+
+    Values are placeholders (``?`` by default — the DB-API ``qmark``
+    style), so row content never appears in the SQL text: this is the
+    injection-safe shape :meth:`repro.storage.loader.BulkLoader` hands to
+    ``executemany`` together with the tuples of :func:`encode_row`.
+    """
+    columns = list(schema.attributes) + list(extra_columns)
+    column_list = ", ".join(quote_identifier(column) for column in columns)
+    placeholders = ", ".join([placeholder] * len(columns))
+    return (
+        f"INSERT INTO {quote_identifier(schema.name)} "
+        f"({column_list}) VALUES ({placeholders})"
+    )
+
+
+def encode_row(
+    schema: RelationSchema,
+    row: Mapping[str, Value],
+    extra_values: Sequence[Optional[str]] = (),
+) -> Tuple[Optional[str], ...]:
+    """The positional parameter tuple of one row (``NULL`` → ``None``).
+
+    Attribute order follows the schema; ``extra_values`` are appended
+    verbatim (they fill the ``extra_columns`` of :func:`insert_template`).
+    """
+    get = row.get_value if isinstance(row, Row) else lambda a, _row=row: _row.get(a)
+    encoded = tuple(
+        None if is_null(value) else str(value)
+        for value in (get(attribute) for attribute in schema.attributes)
+    )
+    return encoded + tuple(extra_values)
+
+
+def iter_parameter_batches(
+    schema: RelationSchema,
+    rows: Iterable[Mapping[str, Value]],
+    batch_size: int = 500,
+    extra_values: Sequence[Optional[str]] = (),
+) -> Iterator[List[Tuple[Optional[str], ...]]]:
+    """Chunk a row iterable into ``executemany`` parameter batches.
+
+    The streaming counterpart of :func:`iter_insert_statements` for the
+    driver path: at most ``batch_size`` encoded rows are held at a time,
+    so a document-to-database load stays constant-memory end to end.
+    """
+    if batch_size < 1:
+        raise ValueError("batch_size must be at least 1")
+    pending: List[Tuple[Optional[str], ...]] = []
+    for row in rows:
+        pending.append(encode_row(schema, row, extra_values=extra_values))
+        if len(pending) >= batch_size:
+            yield pending
+            pending = []
+    if pending:
+        yield pending
 
 
 def copy_literal(value: object) -> str:

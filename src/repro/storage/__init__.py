@@ -1,0 +1,51 @@
+"""The storage plane: a real database execution backend.
+
+Closes the loop the paper opens — XML keys propagate to FDs
+(:mod:`repro.core`), documents shred to rows (:mod:`repro.transform`), and
+*here* the rows land in a database whose ``PRIMARY KEY`` / ``UNIQUE``
+constraints are the propagated FDs, so the relational engine itself
+enforces the document's constraints:
+
+* :mod:`repro.storage.ddl` — compile a schema + a minimum cover of
+  propagated FDs into constraint-bearing DDL (``strict``) or staged,
+  index-only DDL (``log``);
+* :mod:`repro.storage.backend` / :mod:`repro.storage.sqlite` — the
+  DB-API-shaped backend protocol and the stdlib ``sqlite3`` engine;
+* :mod:`repro.storage.loader` — transactional bulk loading from any row
+  iterable (streaming shredder, sharded parallel runs, corpora with
+  per-document provenance), batched ``executemany``, savepoint per
+  document, exact violating-row rejection in strict mode;
+* :mod:`repro.storage.verify` — FD/key-violation checking as generated
+  ``GROUP BY … HAVING`` SQL, witness-identical to the in-memory checkers.
+
+CLI: ``python -m repro load`` / ``python -m repro query``.
+"""
+
+from repro.storage.backend import Backend, IntegrityViolation, StorageError
+from repro.storage.ddl import StorageDDL, TableDDL, compile_ddl, compile_table_ddl
+from repro.storage.loader import BulkLoader, LoadError, LoadReport
+from repro.storage.sqlite import SQLiteBackend
+from repro.storage.verify import (
+    SQLVerifier,
+    conflict_groups_sql,
+    conflict_witness_sql,
+    null_determinant_sql,
+)
+
+__all__ = [
+    "Backend",
+    "BulkLoader",
+    "IntegrityViolation",
+    "LoadError",
+    "LoadReport",
+    "SQLVerifier",
+    "SQLiteBackend",
+    "StorageDDL",
+    "StorageError",
+    "TableDDL",
+    "compile_ddl",
+    "compile_table_ddl",
+    "conflict_groups_sql",
+    "conflict_witness_sql",
+    "null_determinant_sql",
+]

@@ -1,0 +1,128 @@
+"""The storage backend protocol: a small DB-API-shaped execution surface.
+
+:mod:`repro.storage` talks to databases through this protocol instead of a
+concrete driver, so the loader, the DDL plan and the SQL verifier are
+engine-independent.  A backend provides:
+
+* ``execute`` / ``executemany`` / ``executescript`` — statement execution
+  with DB-API ``qmark`` parameters (values never enter the SQL text).
+  Parameter sequences may contain the repository's ``NULL`` sentinel
+  (:data:`repro.relational.instance.NULL`); implementations must bind it
+  as SQL ``NULL`` (the SQLite backend registers a type adapter);
+* ``query`` — execute-and-fetchall for the verification queries;
+* explicit transactions (``begin`` / ``commit`` / ``rollback``, plus the
+  :meth:`Backend.transaction` context manager) and named savepoints
+  (:meth:`Backend.savepoint`) — the loader wraps every document in a
+  savepoint so a rejected document never leaves partial rows behind;
+* :exc:`IntegrityViolation` — the engine-agnostic constraint-failure
+  signal.  Implementations translate their driver's integrity error into
+  it, which is what lets strict-mode loading pinpoint violating rows
+  without knowing the engine.
+
+The in-tree implementation is :class:`repro.storage.sqlite.SQLiteBackend`
+(stdlib ``sqlite3``); the protocol is deliberately the common denominator
+of DB-API drivers so a PostgreSQL/MySQL backend is a thin adapter.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+
+class StorageError(Exception):
+    """Base class for storage-plane failures."""
+
+
+class IntegrityViolation(StorageError):
+    """A constraint (``PRIMARY KEY`` / ``UNIQUE``) rejected a statement."""
+
+
+class Backend:
+    """Abstract execution surface; subclasses wrap one DB-API connection.
+
+    Subclasses must implement the four primitive methods (``execute``,
+    ``executemany``, ``executescript``, ``close``) and may override the
+    transaction verbs if their engine spells them differently; everything
+    else is derived.
+    """
+
+    #: DB-API paramstyle placeholder understood by :meth:`execute`.
+    placeholder: str = "?"
+
+    # ------------------------------------------------------------------
+    # Primitives
+    # ------------------------------------------------------------------
+    def execute(self, sql: str, parameters: Sequence = ()) -> "Cursor":
+        raise NotImplementedError
+
+    def executemany(self, sql: str, seq_of_parameters: Iterable[Sequence]) -> None:
+        raise NotImplementedError
+
+    def executescript(self, script: str) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Derived helpers
+    # ------------------------------------------------------------------
+    def query(self, sql: str, parameters: Sequence = ()) -> List[Tuple]:
+        """Execute and fetch all rows (the verification-query shape)."""
+        return list(self.execute(sql, parameters).fetchall())
+
+    def begin(self) -> None:
+        self.execute("BEGIN")
+
+    def commit(self) -> None:
+        self.execute("COMMIT")
+
+    def rollback(self) -> None:
+        self.execute("ROLLBACK")
+
+    @contextmanager
+    def transaction(self) -> Iterator["Backend"]:
+        """``BEGIN`` … ``COMMIT``, rolling back on any exception."""
+        self.begin()
+        try:
+            yield self
+        except BaseException:
+            self.rollback()
+            raise
+        self.commit()
+
+    @contextmanager
+    def savepoint(self, name: str = "repro_sp") -> Iterator["Backend"]:
+        """A named savepoint: released on success, rolled back on error.
+
+        Savepoints nest (unlike ``BEGIN``), which is what gives the loader
+        its two-level structure: one savepoint per document, one per row
+        while pinpointing a failed batch.
+        """
+        quoted = _quote_savepoint(name)
+        self.execute(f"SAVEPOINT {quoted}")
+        try:
+            yield self
+        except BaseException:
+            self.execute(f"ROLLBACK TO {quoted}")
+            self.execute(f"RELEASE {quoted}")
+            raise
+        self.execute(f"RELEASE {quoted}")
+
+
+def _quote_savepoint(name: str) -> str:
+    """Savepoint names are identifiers; quote them like any other."""
+    if "\x00" in name:
+        raise ValueError(f"savepoint names cannot contain NUL bytes: {name!r}")
+    return '"' + name.replace('"', '""') + '"'
+
+
+class Cursor:
+    """The slice of the DB-API cursor surface the storage plane relies on."""
+
+    def fetchall(self) -> List[Tuple]:  # pragma: no cover - interface only
+        raise NotImplementedError
+
+    def fetchone(self) -> Optional[Tuple]:  # pragma: no cover - interface only
+        raise NotImplementedError

@@ -1,0 +1,405 @@
+"""Transactional bulk loading: documents and corpora into a real database.
+
+:class:`BulkLoader` closes the loop from shredded rows to queryable
+tables.  It consumes rows from *any* iterable — a
+:class:`~repro.relational.instance.RelationInstance`, the lazy
+:func:`~repro.transform.stream.iter_rule_rows` generator, or the merged
+instances of :func:`repro.parallel.run_sharded` — and pushes them through
+the backend in parameterized ``executemany`` batches (values never touch
+the SQL text; batch size mirrors
+:func:`~repro.relational.sql.iter_insert_statements`).
+
+Transactional structure:
+
+* every *document* loads inside one savepoint — a rejected document rolls
+  back completely, leaving previously loaded documents untouched;
+* in **strict** mode (constraints live in the DDL), a failed
+  ``executemany`` batch is rolled back and replayed row by row under
+  per-row savepoints to pinpoint *exactly* the violating rows; the load
+  then raises :exc:`LoadError` carrying those rows, and the document's
+  savepoint unwinds.  Rows that only conflict with a row of the same
+  rejected document are pinpointed relative to the rows accepted before
+  them, in load order — the same first-occurrence-wins orientation the
+  in-memory checkers use;
+* in **log** mode there are no uniqueness constraints: everything stages,
+  and :class:`~repro.storage.verify.SQLVerifier` finds the violations
+  in-database afterwards.
+
+Corpus ingestion (:meth:`BulkLoader.load_corpus`) loads many documents
+into the same tables; when the DDL plan declares a provenance column,
+every row is stamped with its document id, so cross-document duplicates
+remain attributable after the fact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+from itertools import islice
+from operator import itemgetter
+
+from repro.relational.instance import RelationInstance, Row, Value
+from repro.relational.sql import insert_template
+from repro.storage.backend import Backend, IntegrityViolation, StorageError
+from repro.storage.ddl import StorageDDL, TableDDL
+from repro.transform.rule import TableRule, Transformation
+from repro.transform.stream import RuleStreamer
+from repro.xmlmodel.events import EventSource, as_events
+
+
+class LoadError(StorageError):
+    """A strict-mode load was rejected; carries the exact violating rows."""
+
+    def __init__(
+        self,
+        table: str,
+        rows: List[Mapping[str, Value]],
+        document: Optional[str] = None,
+    ) -> None:
+        self.table = table
+        self.rows = rows
+        self.document = document
+        where = f" of document {document!r}" if document is not None else ""
+        super().__init__(
+            f"{len(rows)} row(s){where} violate the constraints of table {table!r}"
+        )
+
+
+@dataclass
+class LoadReport:
+    """What a (multi-document) load accomplished."""
+
+    #: Rows accepted per table, summed over documents.
+    rows: Dict[str, int] = field(default_factory=dict)
+    #: Document ids loaded completely.
+    documents: List[str] = field(default_factory=list)
+    #: Document id → the LoadError that rolled it back (``on_error="skip"``).
+    rejected: Dict[str, LoadError] = field(default_factory=dict)
+
+    @property
+    def total_rows(self) -> int:
+        return sum(self.rows.values())
+
+    def merge_counts(self, counts: Mapping[str, int]) -> None:
+        for table, count in counts.items():
+            self.rows[table] = self.rows.get(table, 0) + count
+
+
+class _TableSink:
+    """Batched, pinpointing insert funnel for one table."""
+
+    __slots__ = ("backend", "template", "schema", "attributes", "getter",
+                 "extra", "batch_size", "pending", "loaded", "rejected",
+                 "guarded")
+
+    def __init__(
+        self,
+        backend: Backend,
+        table: TableDDL,
+        provenance_column: Optional[str],
+        document: Optional[str],
+        batch_size: int,
+        guarded: bool,
+    ) -> None:
+        self.backend = backend
+        self.schema = table.schema
+        self.attributes = table.schema.attributes
+        self.getter = (
+            itemgetter(*self.attributes) if self.attributes else (lambda data: ())
+        )
+        extra_columns: Sequence[str] = ()
+        self.extra: Tuple[Optional[str], ...] = ()
+        if provenance_column is not None:
+            extra_columns = (provenance_column,)
+            self.extra = (document,)
+        self.template = insert_template(self.schema, extra_columns=extra_columns)
+        self.batch_size = batch_size
+        self.pending: List[Mapping[str, Value]] = []
+        self.loaded = 0
+        self.rejected: List[Mapping[str, Value]] = []
+        #: Strict-mode plans guard every batch with a savepoint so a
+        #: constraint failure can be replayed row by row; log-mode plans
+        #: carry no uniqueness constraints, so the guard (and its per-batch
+        #: statements) is skipped on the hot path.
+        self.guarded = guarded
+
+    def push(self, row: Mapping[str, Value]) -> None:
+        self.pending.append(row)
+        if len(self.pending) >= self.batch_size:
+            self.flush()
+
+    def _encode_batch(
+        self, batch: Sequence[Mapping[str, Value]]
+    ) -> List[Tuple[Value, ...]]:
+        # The loading hot path: one C-level ``itemgetter`` projection per
+        # row (shredded rows always carry every field; rows with missing
+        # attributes fall back to ``dict.get``).  ``NULL`` sentinels pass
+        # through unchanged — binding them as SQL NULL is the backend's
+        # job (see :mod:`repro.storage.backend`).
+        attributes = self.attributes
+        extra = self.extra
+        getter = self.getter
+        single = len(attributes) == 1
+        encoded: List[Tuple[Value, ...]] = []
+        append = encoded.append
+        for row in batch:
+            data = row._values if row.__class__ is Row else row
+            try:
+                values = (getter(data),) if single else getter(data)
+            except KeyError:
+                get = data.get
+                values = tuple(get(name) for name in attributes)
+            append(values + extra if extra else values)
+        return encoded
+
+    def flush(self) -> None:
+        if not self.pending:
+            return
+        batch, self.pending = self.pending, []
+        self.flush_batch(batch)
+
+    def flush_batch(self, batch: Sequence[Mapping[str, Value]]) -> None:
+        parameters = self._encode_batch(batch)
+        if not self.guarded:
+            self.backend.executemany(self.template, parameters)
+            self.loaded += len(batch)
+            return
+        try:
+            with self.backend.savepoint("repro_batch"):
+                self.backend.executemany(self.template, parameters)
+            self.loaded += len(batch)
+            return
+        except IntegrityViolation:
+            pass
+        # The batch contained at least one violating row: replay it row by
+        # row under per-row savepoints so the rejection is exact — clean
+        # rows land, violating rows are collected.
+        for row, params in zip(batch, parameters):
+            try:
+                with self.backend.savepoint("repro_row"):
+                    self.backend.execute(self.template, params)
+                self.loaded += 1
+            except IntegrityViolation:
+                self.rejected.append(row)
+
+
+class BulkLoader:
+    """Load shredded rows into a database created from a DDL plan."""
+
+    def __init__(
+        self,
+        backend: Backend,
+        ddl: StorageDDL,
+        batch_size: int = 500,
+        deduplicate: bool = True,
+    ) -> None:
+        if batch_size < 1:
+            raise ValueError("batch_size must be at least 1")
+        self.backend = backend
+        self.ddl = ddl
+        self.batch_size = batch_size
+        #: Row semantics of the streaming shred (matches ``StreamShredder``).
+        self.deduplicate = deduplicate
+        self._documents_loaded = 0
+
+    # ------------------------------------------------------------------
+    # Schema
+    # ------------------------------------------------------------------
+    def create_schema(self) -> None:
+        """Execute the plan's DDL (idempotent when compiled with
+        ``if_not_exists=True``)."""
+        with self.backend.transaction():
+            for statement in self.ddl.statements():
+                self.backend.execute(statement)
+
+    # ------------------------------------------------------------------
+    # Row-level loading
+    # ------------------------------------------------------------------
+    def _sink(self, table: str, document: Optional[str]) -> _TableSink:
+        if self.ddl.provenance_column is not None and document is None:
+            raise ValueError(
+                "this DDL plan has a provenance column "
+                f"({self.ddl.provenance_column!r}); every load needs a "
+                "document id"
+            )
+        return _TableSink(
+            self.backend,
+            self.ddl.table(table),
+            self.ddl.provenance_column,
+            document,
+            self.batch_size,
+            guarded=self.ddl.strict,
+        )
+
+    def load_rows(
+        self,
+        table: str,
+        rows: Iterable[Mapping[str, Value]],
+        document: Optional[str] = None,
+    ) -> int:
+        """Load any row iterable into ``table``; returns rows accepted.
+
+        Constant-memory: at most ``batch_size`` rows are held.  In strict
+        mode a violating iterable raises :exc:`LoadError` (after the whole
+        iterable was scanned, so the error lists *all* violating rows);
+        the clean rows of this call stay staged — wrap the call in a
+        savepoint (as :meth:`load_document` does) for all-or-nothing.
+        """
+        sink = self._sink(table, document)
+        iterator = iter(rows)
+        while True:
+            batch = list(islice(iterator, self.batch_size))
+            if not batch:
+                break
+            sink.flush_batch(batch)
+        if sink.rejected:
+            raise LoadError(table, sink.rejected, document=document)
+        return sink.loaded
+
+    def load_instance(
+        self, instance: RelationInstance, document: Optional[str] = None
+    ) -> int:
+        return self.load_rows(instance.schema.name, instance.rows, document=document)
+
+    # ------------------------------------------------------------------
+    # Document-level loading
+    # ------------------------------------------------------------------
+    def load_document(
+        self,
+        source: EventSource,
+        transformation: Union[Transformation, Iterable[TableRule]],
+        document: Optional[str] = None,
+        jobs: Optional[int] = None,
+        strip_whitespace: bool = True,
+    ) -> Dict[str, int]:
+        """Shred one document and load every rule's rows, atomically.
+
+        The whole document runs inside one savepoint: on a strict-mode
+        violation the savepoint unwinds (no partial document remains) and
+        :exc:`LoadError` reports the violating rows of the first violating
+        table.  With ``jobs`` > 1 the document is shredded on the parallel
+        plane (:func:`repro.parallel.run_sharded`; string sources only) and
+        the merged instances are loaded; otherwise a single event pass
+        feeds one streaming :class:`~repro.transform.stream.RuleStreamer`
+        per rule straight into the insert batches — no materialized
+        instance, memory bounded by the batch size.
+        """
+        rules = list(transformation)
+        if document is None and self.ddl.provenance_column is not None:
+            document = f"doc{self._documents_loaded}"
+        name = f"repro_doc_{self._documents_loaded}"
+        self._documents_loaded += 1
+        with self.backend.savepoint(name):
+            from repro.parallel import resolve_jobs
+
+            if resolve_jobs(jobs) > 1 and isinstance(source, str):
+                counts = self._load_document_sharded(
+                    source, rules, document, jobs, strip_whitespace
+                )
+            else:
+                counts = self._load_document_streaming(
+                    source, rules, document, strip_whitespace
+                )
+        return counts
+
+    def _load_document_sharded(
+        self,
+        source: str,
+        rules: List[TableRule],
+        document: Optional[str],
+        jobs: Optional[int],
+        strip_whitespace: bool,
+    ) -> Dict[str, int]:
+        from repro.parallel import run_sharded
+
+        run = run_sharded(
+            source,
+            transformation=rules,
+            deduplicate=self.deduplicate,
+            strip_whitespace=strip_whitespace,
+            jobs=jobs,
+        )
+        counts: Dict[str, int] = {}
+        for table, instance in (run.instances or {}).items():
+            counts[table] = self.load_rows(table, instance.rows, document=document)
+        return counts
+
+    def _load_document_streaming(
+        self,
+        source: EventSource,
+        rules: List[TableRule],
+        document: Optional[str],
+        strip_whitespace: bool,
+    ) -> Dict[str, int]:
+        streamers = [
+            (RuleStreamer(rule, deduplicate=self.deduplicate), rule) for rule in rules
+        ]
+        sinks = {
+            rule.relation: self._sink(rule.relation, document) for _, rule in streamers
+        }
+        for event in as_events(source, strip_whitespace=strip_whitespace):
+            for streamer, rule in streamers:
+                streamer.feed(event)
+                if streamer.ready:
+                    sink = sinks[rule.relation]
+                    for row in streamer.drain():
+                        sink.push(row)
+        for streamer, rule in streamers:
+            streamer.finish()
+            sink = sinks[rule.relation]
+            for row in streamer.drain():
+                sink.push(row)
+        counts: Dict[str, int] = {}
+        for rule_streamer, rule in streamers:
+            sink = sinks[rule.relation]
+            sink.flush()
+            if sink.rejected:
+                raise LoadError(rule.relation, sink.rejected, document=document)
+            counts[rule.relation] = sink.loaded
+        return counts
+
+    # ------------------------------------------------------------------
+    # Corpus-level loading
+    # ------------------------------------------------------------------
+    def load_corpus(
+        self,
+        documents: Iterable[Union[EventSource, Tuple[str, EventSource]]],
+        transformation: Union[Transformation, Iterable[TableRule]],
+        jobs: Optional[int] = None,
+        strip_whitespace: bool = True,
+        on_error: str = "raise",
+    ) -> LoadReport:
+        """Ingest many documents into the same tables.
+
+        ``documents`` yields sources or ``(document_id, source)`` pairs
+        (ids default to ``doc0``, ``doc1``, …).  Each document is atomic;
+        ``on_error="skip"`` records a strict-mode rejection in the report
+        (the document rolls back) and carries on with the next document,
+        ``"raise"`` (the default) re-raises immediately.
+        """
+        if on_error not in ("raise", "skip"):
+            raise ValueError(f"on_error must be 'raise' or 'skip', got {on_error!r}")
+        rules = list(transformation)
+        report = LoadReport()
+        for index, entry in enumerate(documents):
+            if isinstance(entry, tuple):
+                document_id, source = entry
+            else:
+                document_id, source = f"doc{index}", entry
+            try:
+                counts = self.load_document(
+                    source,
+                    rules,
+                    document=document_id,
+                    jobs=jobs,
+                    strip_whitespace=strip_whitespace,
+                )
+            except LoadError as error:
+                if on_error == "raise":
+                    raise
+                report.rejected[document_id] = error
+                continue
+            report.documents.append(document_id)
+            report.merge_counts(counts)
+        return report

@@ -1,0 +1,114 @@
+"""The stdlib ``sqlite3`` storage backend.
+
+SQLite is the in-tree execution engine of the storage plane: zero
+dependencies, real ``PRIMARY KEY`` / ``UNIQUE`` enforcement, transactions
+and savepoints.  The connection is opened with ``isolation_level=None`` so
+the backend — not the driver's implicit-transaction heuristics — decides
+where transactions begin and end; the loader relies on that for its
+savepoint-per-document structure.
+
+Two facts about SQLite matter to the rest of the plane and are relied on
+(and pinned by the tests) rather than worked around:
+
+* a fresh table populated by inserts only numbers its ``rowid`` 1..N in
+  insertion order, which is how :mod:`repro.storage.verify` recovers the
+  in-memory tuple indexes (``rowid - 1``) for witness-identical reports;
+* ``UNIQUE`` treats NULLs as distinct and column comparison on ``TEXT``
+  is exact binary equality, matching the paper's value semantics on
+  null-free tuples.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.relational.instance import NullType
+from repro.storage.backend import Backend, IntegrityViolation, StorageError
+
+# Bind the repository's NULL sentinel directly as SQL NULL.  This lets the
+# loader hand shredded rows to ``executemany`` without rewriting every
+# value first (the hot path of bulk loading); it is part of the backend
+# contract (see :mod:`repro.storage.backend`).
+sqlite3.register_adapter(NullType, lambda _null: None)
+
+
+class SQLiteBackend(Backend):
+    """A :class:`~repro.storage.backend.Backend` over one sqlite3 connection."""
+
+    def __init__(self, database: str = ":memory:", fast: bool = False) -> None:
+        """Open (or create) ``database`` (a path, or ``":memory:"``).
+
+        ``fast=True`` relaxes durability for bulk loads (``synchronous=OFF``,
+        ``journal_mode=MEMORY``) — appropriate for rebuildable shredded
+        databases, not for data of record.
+        """
+        self.database = database
+        self._connection = sqlite3.connect(database, isolation_level=None)
+        if fast:
+            self._connection.execute("PRAGMA synchronous=OFF")
+            self._connection.execute("PRAGMA journal_mode=MEMORY")
+
+    # ------------------------------------------------------------------
+    def execute(self, sql: str, parameters: Sequence = ()) -> sqlite3.Cursor:
+        try:
+            return self._connection.execute(sql, tuple(parameters))
+        except sqlite3.IntegrityError as error:
+            raise IntegrityViolation(str(error)) from error
+        except sqlite3.Error as error:
+            raise StorageError(str(error)) from error
+
+    def executemany(self, sql: str, seq_of_parameters: Iterable[Sequence]) -> None:
+        try:
+            self._connection.executemany(sql, seq_of_parameters)
+        except sqlite3.IntegrityError as error:
+            raise IntegrityViolation(str(error)) from error
+        except sqlite3.Error as error:
+            raise StorageError(str(error)) from error
+
+    def executescript(self, script: str) -> None:
+        # sqlite3.executescript() issues an implicit COMMIT first, which
+        # would break an open savepoint; split and execute instead is not
+        # safe for arbitrary SQL, so scripts are only allowed outside
+        # transactions (the DDL phase), where the implicit commit is a
+        # no-op.
+        try:
+            self._connection.executescript(script)
+        except sqlite3.IntegrityError as error:
+            raise IntegrityViolation(str(error)) from error
+        except sqlite3.Error as error:
+            raise StorageError(str(error)) from error
+
+    def close(self) -> None:
+        self._connection.close()
+
+    # ------------------------------------------------------------------
+    def table_names(self) -> List[str]:
+        """User tables present in the database (sorted)."""
+        rows = self.query(
+            "SELECT name FROM sqlite_master WHERE type = 'table' "
+            "AND name NOT LIKE 'sqlite_%' ORDER BY name"
+        )
+        return [name for (name,) in rows]
+
+    def column_names(self, table: str) -> List[str]:
+        """Column names of ``table`` in declaration order."""
+        from repro.relational.sql import quote_identifier
+
+        cursor = self.execute(f"SELECT * FROM {quote_identifier(table)} LIMIT 0")
+        return [description[0] for description in cursor.description]
+
+    def row_count(self, table: str) -> int:
+        from repro.relational.sql import quote_identifier
+
+        ((count,),) = self.query(f"SELECT COUNT(*) FROM {quote_identifier(table)}")
+        return count
+
+    def __enter__(self) -> "SQLiteBackend":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"SQLiteBackend({self.database!r})"

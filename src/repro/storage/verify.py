@@ -1,0 +1,352 @@
+"""In-database FD and key-violation checking (``GROUP BY … HAVING`` SQL).
+
+The in-memory checkers (:meth:`RelationInstance.fd_violations` /
+:meth:`RelationInstance.key_violations`) scan Python rows; once the rows
+live in a database the same questions can be answered *by the engine*.
+This module generates the SQL and reconstructs the answers as
+:class:`~repro.relational.instance.FDViolation` witnesses that are
+**identical** — same kinds, same tuple indexes, same detail strings, same
+order — to what the in-memory checkers report over the same row sequence
+(pinned by ``tests/property/test_storage_differential.py``).
+
+Three queries per FD ``X → Y`` under the paper's null semantics:
+
+* :func:`conflict_groups_sql` — the detection query: ``GROUP BY X HAVING``
+  a non-constant ``Y`` over the tuples free of nulls anywhere.  One
+  aggregate scan answers "is the FD violated, and by how many groups".
+* :func:`conflict_witness_sql` — the witness query: joins each clean tuple
+  against the first tuple of its determinant group and keeps the ones
+  whose dependent differs, yielding exactly the ``value-conflict``
+  witnesses (condition 2).
+* :func:`null_determinant_sql` — tuples with a null among ``X`` but none
+  among ``Y`` (condition 1), the ``null-determinant`` witnesses.
+
+Tuple indexes are recovered from the backend's insertion-order row
+ordinal (``rowid - 1`` on SQLite: fresh tables populated by inserts only
+number rowids 1..N in insertion order; a document column named ``rowid``
+shadows the alias, so :func:`row_ordinal_expression` picks the first
+unshadowed one of ``rowid``/``_rowid_``/``oid``), so the witnesses line
+up with the indexes of the instance whose rows were loaded.  All
+attribute references are quoted; attribute values never appear in the SQL
+text (the queries are pure column algebra), so hostile names and values
+are inert.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.relational.instance import FDViolation
+from repro.relational.schema import AttrSetLike, RelationSchema, attr_set
+from repro.relational.sql import quote_identifier
+from repro.storage.backend import Backend
+from repro.storage.ddl import StorageDDL, TableDDL
+
+#: SQLite's aliases for the internal row id, in preference order.  A user
+#: column of the same (case-insensitive) name shadows an alias, so the
+#: ordinal expression picks the first alias the relation does not declare.
+ROWID_ALIASES = ("rowid", "_rowid_", "oid")
+
+
+def row_ordinal_expression(
+    schema: RelationSchema, reserved: Sequence[str] = ()
+) -> str:
+    """Insertion-order ordinal (0-based) of a row, as a SQL expression.
+
+    Attribute names come from documents, so a column may be named
+    ``rowid`` (or ``_rowid_``/``oid``) and shadow the engine's internal
+    row id; the expression uses the first unshadowed alias.  ``reserved``
+    names further table columns outside the logical schema (the
+    provenance column).  A table declaring all three aliases has no
+    reachable internal row id at all — that is an error, not a silent
+    wrong answer.
+    """
+    taken = {name.lower() for name in schema.attributes}
+    taken.update(name.lower() for name in reserved)
+    for alias in ROWID_ALIASES:
+        if alias not in taken:
+            return f"{quote_identifier(alias)} - 1"
+    raise ValueError(
+        f"relation {schema.name!r} declares columns named rowid, _rowid_ "
+        "and oid; SQLite's internal row id is unreachable, so insertion "
+        "order (and hence witness indexes) cannot be recovered"
+    )
+
+
+def _columns(schema: RelationSchema) -> List[str]:
+    return list(schema.attributes)
+
+
+def _check_attrs(schema: RelationSchema, attrs: Sequence[str], role: str) -> None:
+    missing = [a for a in attrs if a not in schema.attributes]
+    if missing:
+        raise ValueError(
+            f"{role} attributes {missing} are not attributes of relation "
+            f"{schema.name!r}"
+        )
+
+
+def null_determinant_sql(
+    schema: RelationSchema,
+    lhs: AttrSetLike,
+    rhs: AttrSetLike,
+    reserved: Sequence[str] = (),
+) -> Optional[str]:
+    """Condition (1): a null among ``lhs`` but none among ``rhs``.
+
+    Returns ``None`` for an empty ``lhs`` (no null can occur among zero
+    attributes, so the condition is unsatisfiable).
+    """
+    lhs_sorted = sorted(attr_set(lhs))
+    rhs_sorted = sorted(attr_set(rhs))
+    _check_attrs(schema, lhs_sorted, "determinant")
+    _check_attrs(schema, rhs_sorted, "dependent")
+    if not lhs_sorted:
+        return None
+    table = quote_identifier(schema.name)
+    ordinal = row_ordinal_expression(schema, reserved)
+    lhs_null = " OR ".join(f"{quote_identifier(a)} IS NULL" for a in lhs_sorted)
+    conditions = [f"({lhs_null})"]
+    conditions.extend(f"{quote_identifier(a)} IS NOT NULL" for a in rhs_sorted)
+    return (
+        f"SELECT {ordinal} AS ix FROM {table}\n"
+        f"WHERE {' AND '.join(conditions)}\n"
+        f"ORDER BY ix"
+    )
+
+
+def _clean_cte(
+    schema: RelationSchema, reserved: Sequence[str] = ()
+) -> Tuple[str, Dict[str, str]]:
+    """The CTE of null-free tuples, with collision-proof column aliases.
+
+    Attribute names come from documents and may collide with anything, so
+    every attribute is re-aliased to a generated ``__c<i>`` name inside the
+    CTE; the outer queries only ever reference the aliases (plus ``__ix``,
+    the insertion ordinal).  Returns the CTE body and the attribute → alias
+    map.
+    """
+    columns = _columns(schema)
+    alias = {name: f"__c{i}" for i, name in enumerate(columns)}
+    select_list = ", ".join(
+        f"{quote_identifier(name)} AS {quote_identifier(alias[name])}"
+        for name in columns
+    )
+    not_null = " AND ".join(
+        f"{quote_identifier(name)} IS NOT NULL" for name in columns
+    )
+    body = (
+        f"SELECT {row_ordinal_expression(schema, reserved)} AS __ix, {select_list}\n"
+        f"  FROM {quote_identifier(schema.name)}\n"
+        f"  WHERE {not_null}"
+    )
+    return body, alias
+
+
+def conflict_groups_sql(
+    schema: RelationSchema,
+    lhs: AttrSetLike,
+    rhs: AttrSetLike,
+    reserved: Sequence[str] = (),
+) -> str:
+    """Condition (2) as one detection aggregate: ``GROUP BY lhs HAVING``.
+
+    A determinant group violates the FD iff its dependent tuple is not
+    constant, i.e. some dependent column takes two values within the
+    group — ``MIN(col) <> MAX(col)`` for at least one dependent column.
+    Only tuples free of nulls *anywhere* participate (the paper's
+    exemption).  Returns one row per violating group: the determinant
+    values followed by the group size.
+    """
+    lhs_sorted = sorted(attr_set(lhs))
+    rhs_sorted = sorted(attr_set(rhs))
+    _check_attrs(schema, lhs_sorted, "determinant")
+    _check_attrs(schema, rhs_sorted, "dependent")
+    if not rhs_sorted:
+        raise ValueError("condition (2) needs a non-empty dependent")
+    clean, alias = _clean_cte(schema, reserved)
+    group_columns = ", ".join(quote_identifier(alias[a]) for a in lhs_sorted)
+    having = " OR ".join(
+        f"MIN({quote_identifier(alias[a])}) <> MAX({quote_identifier(alias[a])})"
+        for a in rhs_sorted
+    )
+    select_list = (group_columns + ", " if group_columns else "") + "COUNT(*) AS group_size"
+    group_by = f"GROUP BY {group_columns}\n" if group_columns else ""
+    return (
+        f"WITH clean AS (\n  {clean}\n)\n"
+        f"SELECT {select_list}\nFROM clean\n{group_by}HAVING {having}"
+    )
+
+
+def conflict_witness_sql(
+    schema: RelationSchema,
+    lhs: AttrSetLike,
+    rhs: AttrSetLike,
+    reserved: Sequence[str] = (),
+) -> str:
+    """Condition (2) witnesses, row for row.
+
+    Each clean tuple that is not the first of its determinant group and
+    whose dependent differs from the first's yields one result row::
+
+        first_ix, ix, lhs values…, first dependent values…, dependent values…
+
+    ordered by ``ix`` — exactly the order and content
+    :meth:`RelationInstance.fd_violations` reports its ``value-conflict``
+    witnesses in.
+    """
+    lhs_sorted = sorted(attr_set(lhs))
+    rhs_sorted = sorted(attr_set(rhs))
+    _check_attrs(schema, lhs_sorted, "determinant")
+    _check_attrs(schema, rhs_sorted, "dependent")
+    if not rhs_sorted:
+        raise ValueError("condition (2) needs a non-empty dependent")
+    clean, alias = _clean_cte(schema, reserved)
+    lhs_aliases = [quote_identifier(alias[a]) for a in lhs_sorted]
+    rhs_aliases = [quote_identifier(alias[a]) for a in rhs_sorted]
+
+    if lhs_aliases:
+        firsts_select = "MIN(__ix) AS __first, " + ", ".join(lhs_aliases)
+        firsts_group = "\n  GROUP BY " + ", ".join(lhs_aliases)
+        join_condition = " AND ".join(f"c.{a} = f.{a}" for a in lhs_aliases)
+    else:
+        firsts_select = "MIN(__ix) AS __first"
+        firsts_group = ""
+        join_condition = "1 = 1"
+
+    select_parts = ["f.__first", "c.__ix"]
+    select_parts.extend(f"c.{a}" for a in lhs_aliases)
+    select_parts.extend(f"h.{a}" for a in rhs_aliases)
+    select_parts.extend(f"c.{a}" for a in rhs_aliases)
+    differs = " OR ".join(f"c.{a} <> h.{a}" for a in rhs_aliases)
+    return (
+        f"WITH clean AS (\n  {clean}\n),\n"
+        f"firsts AS (\n  SELECT {firsts_select}\n  FROM clean{firsts_group}\n)\n"
+        f"SELECT {', '.join(select_parts)}\n"
+        f"FROM clean c\n"
+        f"JOIN firsts f ON {join_condition}\n"
+        f"JOIN clean h ON h.__ix = f.__first\n"
+        f"WHERE c.__ix <> f.__first AND ({differs})\n"
+        f"ORDER BY c.__ix"
+    )
+
+
+class SQLVerifier:
+    """Run the violation queries of a DDL plan against a backend.
+
+    Construct it from the :class:`~repro.storage.ddl.StorageDDL` the
+    database was created with (the plan knows each table's *logical*
+    schema — provenance columns are bookkeeping and take no part in
+    checking).  The reported witnesses are identical to the in-memory
+    checkers' over the same rows in load order.
+    """
+
+    def __init__(
+        self, backend: Backend, ddl: Union[StorageDDL, RelationSchema]
+    ) -> None:
+        self.backend = backend
+        if isinstance(ddl, RelationSchema):
+            self._schemas: Dict[str, RelationSchema] = {ddl.name: ddl}
+            self._key_sets = {ddl.name: list(ddl.keys)}
+            self._reserved: Tuple[str, ...] = ()
+        else:
+            self._schemas = {name: table.schema for name, table in ddl.tables.items()}
+            self._key_sets = {name: list(table.key_sets) for name, table in ddl.tables.items()}
+            self._reserved = (
+                (ddl.provenance_column,) if ddl.provenance_column is not None else ()
+            )
+
+    # ------------------------------------------------------------------
+    def schema(self, table: str) -> RelationSchema:
+        try:
+            return self._schemas[table]
+        except KeyError:
+            raise KeyError(f"no table named {table!r} in this verifier") from None
+
+    def fd_violations(
+        self, table: str, lhs: AttrSetLike, rhs: AttrSetLike
+    ) -> List[FDViolation]:
+        """Violations of ``lhs → rhs`` over ``table``, witness-identical to
+        :meth:`RelationInstance.fd_violations` on the loaded rows."""
+        schema = self.schema(table)
+        lhs_sorted = sorted(attr_set(lhs))
+        rhs_sorted = sorted(attr_set(rhs))
+        nulls: List[FDViolation] = []
+        null_sql = null_determinant_sql(
+            schema, lhs_sorted, rhs_sorted, reserved=self._reserved
+        )
+        if null_sql is not None:
+            for (index,) in self.backend.query(null_sql):
+                nulls.append(
+                    FDViolation(
+                        kind="null-determinant",
+                        detail=(
+                            f"tuple #{index} has a null among {lhs_sorted} but none "
+                            f"among {rhs_sorted}"
+                        ),
+                    )
+                )
+        conflicts: List[FDViolation] = []
+        if not rhs_sorted:
+            # An empty dependent tuple is constant by definition; only
+            # condition (1) can fire — exactly the in-memory behaviour.
+            return nulls
+        n_lhs, n_rhs = len(lhs_sorted), len(rhs_sorted)
+        for record in self.backend.query(
+            conflict_witness_sql(schema, lhs_sorted, rhs_sorted, reserved=self._reserved)
+        ):
+            first_index, index = record[0], record[1]
+            determinant = list(record[2 : 2 + n_lhs])
+            first_dependent = list(record[2 + n_lhs : 2 + n_lhs + n_rhs])
+            dependent = list(record[2 + n_lhs + n_rhs :])
+            conflicts.append(
+                FDViolation(
+                    kind="value-conflict",
+                    detail=(
+                        f"tuples #{first_index} and #{index} agree on "
+                        f"{lhs_sorted}={determinant} but disagree on "
+                        f"{rhs_sorted}: {first_dependent} vs {dependent}"
+                    ),
+                )
+            )
+        return nulls + conflicts
+
+    def satisfies_fd(self, table: str, lhs: AttrSetLike, rhs: AttrSetLike) -> bool:
+        """FD check via the detection aggregates only (no witness join)."""
+        schema = self.schema(table)
+        null_sql = null_determinant_sql(schema, lhs, rhs, reserved=self._reserved)
+        if null_sql is not None and self.backend.query(
+            f"SELECT EXISTS (SELECT 1 FROM ({null_sql}))"
+        )[0][0]:
+            return False
+        if not attr_set(rhs):
+            return True
+        groups = conflict_groups_sql(schema, lhs, rhs, reserved=self._reserved)
+        return not self.backend.query(f"SELECT EXISTS (SELECT 1 FROM ({groups}))")[0][0]
+
+    def key_violations(
+        self, table: str, key: Optional[AttrSetLike] = None
+    ) -> List[FDViolation]:
+        """Violations of a key of ``table`` (default: its primary key)."""
+        schema = self.schema(table)
+        if key is None:
+            keys = self._key_sets.get(table) or list(schema.keys)
+            if not keys:
+                raise ValueError(f"table {table!r} declares no key")
+            key = keys[0]
+        return self.fd_violations(table, key, set(schema.attributes))
+
+    def check_keys(self) -> Dict[str, List[FDViolation]]:
+        """Every declared/compiled key of every table, in plan order.
+
+        Returns only the tables that have violations; an empty dict means
+        the database satisfies all its keys.
+        """
+        report: Dict[str, List[FDViolation]] = {}
+        for table, key_sets in self._key_sets.items():
+            found: List[FDViolation] = []
+            for key in key_sets:
+                found.extend(self.key_violations(table, key))
+            if found:
+                report[table] = found
+        return report

@@ -1,0 +1,80 @@
+"""Tests for the corpus generator (cross-document duplicate keys)."""
+
+import pytest
+
+from repro.experiments.scenarios import ScenarioSpec, build_corpus
+from repro.keys import KeyStreamChecker
+from repro.relational.instance import RelationInstance
+from repro.transform.stream import stream_evaluate_transformation
+from repro.xmlmodel import iter_events
+
+SPEC = ScenarioSpec(num_fields=8, depth=3, num_keys=6, fanout=2, seed=7)
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return build_corpus(SPEC, documents=3, cross_duplicates=3)
+
+
+def _merged_instance(corpus):
+    rule = corpus.workload.rule
+    merged = RelationInstance(rule.schema())
+    for text in corpus.texts():
+        for row in stream_evaluate_transformation([rule], text)["U"].rows:
+            merged.add_row(row)
+    return merged
+
+
+class TestCorpusShape:
+    def test_document_count_and_ids(self, corpus):
+        assert corpus.documents == 3
+        assert corpus.document_ids == ["doc0", "doc1", "doc2"]
+        assert len(corpus.texts()) == 3
+
+    def test_each_document_satisfies_its_xml_keys(self, corpus):
+        for text in corpus.texts():
+            checker = KeyStreamChecker(corpus.keys)
+            for event in iter_events(text):
+                checker.feed(event)
+            assert checker.finish() == []
+
+    def test_injection_slots_are_distinct(self, corpus):
+        assert len(set(corpus.injections)) == len(corpus.injections)
+        assert corpus.expected_cross_duplicates == 3
+
+
+class TestCrossDocumentDuplicates:
+    def test_exactly_the_injected_relational_duplicates(self, corpus):
+        merged = _merged_instance(corpus)
+        spine = frozenset(corpus.workload.key_fields)
+        violations = merged.fd_violations(spine, set(merged.schema.attributes))
+        assert len(violations) == corpus.expected_cross_duplicates
+        assert {v.kind for v in violations} == {"value-conflict"}
+
+    def test_zero_duplicates_is_clean(self):
+        corpus = build_corpus(SPEC, documents=2, cross_duplicates=0)
+        merged = _merged_instance(corpus)
+        spine = frozenset(corpus.workload.key_fields)
+        assert merged.fd_violations(spine, set(merged.schema.attributes)) == []
+
+    def test_documents_are_value_disjoint_outside_injections(self, corpus):
+        # Non-key fields are document-prefixed, so colliding rows must
+        # still differ somewhere — they are conflicts, not duplicates.
+        merged = _merged_instance(corpus)
+        assert len(merged.distinct()) == len(merged)
+
+
+class TestValidation:
+    def test_capacity_exceeded(self):
+        with pytest.raises(ValueError):
+            build_corpus(SPEC, documents=2, cross_duplicates=SPEC.fanout + 1)
+
+    def test_at_least_one_document(self):
+        with pytest.raises(ValueError):
+            build_corpus(SPEC, documents=0)
+
+    def test_single_document_allows_no_duplicates(self):
+        corpus = build_corpus(SPEC, documents=1, cross_duplicates=0)
+        assert corpus.documents == 1
+        with pytest.raises(ValueError):
+            build_corpus(SPEC, documents=1, cross_duplicates=1)

@@ -1,0 +1,189 @@
+"""End-to-end gate of the storage plane (the PR-5 acceptance criterion).
+
+A scenario document with injected violations is shredded on the *parallel*
+plane (sharded, real merge path) and loaded into a strict-mode database:
+the load must raise on exactly the rows the engine's UNIQUE semantics
+reject (computed independently by a reference replay here).  The same
+shred staged in log mode must make :class:`SQLVerifier` reproduce the
+in-memory checkers' witnesses identically.
+"""
+
+import pytest
+
+from repro.core import minimum_cover_from_keys
+from repro.experiments.scenarios import (
+    ScenarioSpec,
+    build_corpus,
+    build_scenario,
+    scenario_text,
+)
+from repro.parallel import run_sharded
+from repro.relational.instance import NULL, RelationInstance
+from repro.storage import (
+    BulkLoader,
+    LoadError,
+    SQLVerifier,
+    SQLiteBackend,
+    compile_ddl,
+)
+
+SPEC = ScenarioSpec(
+    num_fields=10,
+    depth=3,
+    num_keys=8,
+    fanout=3,
+    duplicate_violations=3,
+    missing_violations=2,
+    seed=11,
+)
+
+
+@pytest.fixture(scope="module")
+def sharded_shred():
+    scenario = build_scenario(SPEC)
+    text = scenario_text(scenario)
+    rule = scenario.workload.rule
+    run = run_sharded(text, transformation=[rule], jobs=4, use_processes=False)
+    assert run.shards > 1, "the gate requires a genuinely sharded shred"
+    cover = minimum_cover_from_keys(scenario.keys, rule).cover
+    return scenario, rule, run.instances["U"], cover
+
+
+def _expected_unique_rejections(instance, key_sets):
+    """Replay of SQL UNIQUE semantics: a row is rejected iff some key set
+    has already accepted a row with the same (null-free) key tuple."""
+    seen = {key: set() for key in key_sets}
+    rejected = []
+    for row in instance.rows:
+        tuples = {}
+        duplicate = False
+        for key in key_sets:
+            values = tuple(row.get_value(a) for a in sorted(key))
+            if any(value is NULL for value in values):
+                continue  # UNIQUE treats nulls as distinct
+            if values in seen[key]:
+                duplicate = True
+            tuples[key] = values
+        if duplicate:
+            rejected.append(dict(row.as_dict()))
+        else:
+            for key, values in tuples.items():
+                seen[key].add(values)
+    return rejected
+
+
+class TestStrictGate:
+    def test_strict_load_raises_on_exactly_the_violating_rows(self, sharded_shred):
+        scenario, rule, instance, cover = sharded_shred
+        ddl = compile_ddl(rule.schema(), cover, mode="strict")
+        key_sets = ddl.table("U").key_sets
+        assert key_sets, "the propagated cover must yield at least one key"
+        assert frozenset(scenario.workload.key_fields) in key_sets
+
+        expected = _expected_unique_rejections(instance, key_sets)
+        assert expected, "the scenario must actually inject key violations"
+
+        backend = SQLiteBackend()
+        loader = BulkLoader(backend, ddl)
+        loader.create_schema()
+        with pytest.raises(LoadError) as info:
+            loader.load_rows("U", instance.rows)
+        rejected = [dict(row) for row in info.value.rows]
+        assert rejected == expected
+
+    def test_missing_attribute_rows_pass_unique(self, sharded_shred):
+        # Rows whose key contains a NULL (the missing-attribute injections)
+        # are exempt from UNIQUE — strict mode stages them, the verifier's
+        # null-determinant condition reports them.
+        scenario, rule, instance, cover = sharded_shred
+        ddl = compile_ddl(rule.schema(), cover, mode="strict")
+        spine = frozenset(scenario.workload.key_fields)
+        with_null_key = [
+            row for row in instance.rows
+            if any(row.get_value(a) is NULL for a in spine)
+        ]
+        assert with_null_key, "the scenario must inject missing attributes"
+        expected = _expected_unique_rejections(instance, ddl.table("U").key_sets)
+        null_keys = {tuple(sorted(row.as_dict().items(), key=lambda kv: kv[0]))
+                     for row in with_null_key}
+        for row in expected:
+            assert tuple(sorted(row.items())) not in null_keys
+
+
+class TestLogModeVerification:
+    def test_sql_witnesses_identical_to_in_memory(self, sharded_shred):
+        scenario, rule, instance, cover = sharded_shred
+        ddl = compile_ddl(rule.schema(), cover, mode="log")
+        backend = SQLiteBackend()
+        loader = BulkLoader(backend, ddl)
+        loader.create_schema()
+        loader.load_rows("U", instance.rows)
+        verifier = SQLVerifier(backend, ddl)
+        attributes = set(instance.schema.attributes)
+        for key in ddl.table("U").key_sets:
+            assert verifier.fd_violations("U", key, attributes) == (
+                instance.fd_violations(key, attributes)
+            )
+        # Non-key FDs of the cover too, not just keys.
+        for fd in ddl.table("U").index_fds:
+            assert verifier.fd_violations("U", fd.lhs, fd.rhs) == (
+                instance.fd_violations(fd.lhs, fd.rhs)
+            )
+
+
+class TestCorpusGate:
+    def test_cross_document_duplicates_found_in_database(self):
+        corpus = build_corpus(
+            ScenarioSpec(num_fields=8, depth=3, num_keys=6, fanout=2, seed=3),
+            documents=3,
+            cross_duplicates=4,
+        )
+        rule = corpus.workload.rule
+        cover = minimum_cover_from_keys(corpus.keys, rule).cover
+        ddl = compile_ddl(
+            rule.schema(), cover, mode="log", provenance_column="_document"
+        )
+        backend = SQLiteBackend()
+        loader = BulkLoader(backend, ddl)
+        loader.create_schema()
+        texts = corpus.texts()
+        report = loader.load_corpus(list(zip(corpus.document_ids, texts)), [rule])
+        assert report.documents == corpus.document_ids
+
+        merged = RelationInstance(ddl.table("U").schema)
+        for text in texts:
+            shredded = run_sharded(text, transformation=[rule], jobs=2,
+                                   use_processes=False)
+            for row in shredded.instances["U"].rows:
+                merged.add_row(row)
+        verifier = SQLVerifier(backend, ddl)
+        spine = frozenset(corpus.workload.key_fields)
+        attributes = set(merged.schema.attributes)
+        sql_witnesses = verifier.fd_violations("U", spine, attributes)
+        assert sql_witnesses == merged.fd_violations(spine, attributes)
+        assert len(sql_witnesses) == corpus.expected_cross_duplicates
+
+    def test_strict_corpus_rejects_only_duplicated_documents(self):
+        corpus = build_corpus(
+            ScenarioSpec(num_fields=8, depth=3, num_keys=6, fanout=2, seed=5),
+            documents=3,
+            cross_duplicates=2,
+        )
+        rule = corpus.workload.rule
+        cover = minimum_cover_from_keys(corpus.keys, rule).cover
+        ddl = compile_ddl(
+            rule.schema(), cover, mode="strict", provenance_column="_document"
+        )
+        backend = SQLiteBackend()
+        loader = BulkLoader(backend, ddl)
+        loader.create_schema()
+        report = loader.load_corpus(
+            list(zip(corpus.document_ids, corpus.texts())),
+            [rule],
+            on_error="skip",
+        )
+        duplicated = {f"doc{target}" for target, _ in corpus.injections}
+        assert set(report.rejected) == duplicated
+        assert "doc0" in report.documents
+        total_rejected_rows = sum(len(e.rows) for e in report.rejected.values())
+        assert total_rejected_rows == corpus.expected_cross_duplicates

@@ -128,3 +128,114 @@ class TestExecutableAgainstSQLite:
                 "VALUES ('123', '1', 'Duplicate')"
             )
         connection.close()
+
+
+HOSTILE_NAMES = [
+    'we"ird',
+    "sp ace",
+    "select",
+    "semi;colon",
+    "x'); DROP TABLE t; --",
+    "läbel",
+]
+
+
+class TestHostileIdentifiers:
+    """Identifier handling must survive names chosen by the document author.
+
+    Table and column names come straight from documents (tags, attribute
+    names), so the emission layer has to treat them as hostile: everything
+    executes against a real engine here, round-tripping the values back out.
+    """
+
+    def _schema(self):
+        return RelationSchema("tab;le--", HOSTILE_NAMES, keys=[{HOSTILE_NAMES[0]}])
+
+    def test_create_insert_roundtrip(self):
+        schema = self._schema()
+        instance = RelationInstance(
+            schema,
+            [
+                {name: f"v'{i}" for i, name in enumerate(HOSTILE_NAMES)},
+                {name: NULL for name in HOSTILE_NAMES},
+            ],
+        )
+        connection = sqlite3.connect(":memory:")
+        connection.executescript(create_table(schema))
+        for statement in insert_statements(instance):
+            connection.execute(statement)
+        count = connection.execute('SELECT COUNT(*) FROM "tab;le--"').fetchone()[0]
+        assert count == 2
+        # No stray table may have been created by a breakout.
+        names = {
+            row[0]
+            for row in connection.execute(
+                "SELECT name FROM sqlite_master WHERE type='table'"
+            )
+        }
+        assert names == {"tab;le--"}
+        connection.close()
+
+    def test_parameterized_template_roundtrip(self):
+        from repro.relational.sql import encode_row, insert_template
+
+        schema = self._schema()
+        row = {name: f"v\"1'; --{i}" for i, name in enumerate(HOSTILE_NAMES)}
+        connection = sqlite3.connect(":memory:")
+        connection.executescript(create_table(schema))
+        connection.execute(insert_template(schema), encode_row(schema, row))
+        fetched = connection.execute(
+            "SELECT " + ", ".join(quote_identifier(n) for n in schema.attributes)
+            + ' FROM "tab;le--"'
+        ).fetchone()
+        assert list(fetched) == [row[name] for name in schema.attributes]
+        connection.close()
+
+    def test_nul_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            quote_identifier("bad\x00name")
+        with pytest.raises(ValueError):
+            quote_literal("bad\x00value")
+
+    def test_nul_value_survives_parameterized_path(self):
+        """What the literal path must reject, the parameter path preserves."""
+        from repro.relational.sql import encode_row, insert_template
+
+        schema = RelationSchema("t", ["a"])
+        connection = sqlite3.connect(":memory:")
+        connection.executescript(create_table(schema))
+        connection.execute(insert_template(schema), encode_row(schema, {"a": "x\x00y"}))
+        assert connection.execute('SELECT "a" FROM "t"').fetchone()[0] == "x\x00y"
+        connection.close()
+
+
+class TestParameterBatches:
+    def test_batches_and_null_encoding(self, chapter_schema):
+        from repro.relational.sql import iter_parameter_batches
+
+        rows = [
+            {"inBook": "1", "number": str(i), "name": NULL if i % 2 else f"n{i}"}
+            for i in range(5)
+        ]
+        batches = list(iter_parameter_batches(chapter_schema, rows, batch_size=2))
+        assert [len(batch) for batch in batches] == [2, 2, 1]
+        assert batches[0][1] == ("1", "1", None)
+
+    def test_extra_values_appended(self, chapter_schema):
+        from repro.relational.sql import encode_row, insert_template
+
+        params = encode_row(
+            chapter_schema,
+            {"inBook": "1", "number": "2", "name": "x"},
+            extra_values=("doc0",),
+        )
+        assert params == ("1", "2", "x", "doc0")
+        template = insert_template(chapter_schema, extra_columns=["_document"])
+        assert template.count("?") == 4
+        assert '"_document"' in template
+
+    def test_bad_batch_size_rejected(self, chapter_schema):
+        from repro.relational.sql import iter_parameter_batches
+
+        with pytest.raises(ValueError):
+            list(iter_parameter_batches(chapter_schema, [], batch_size=0))

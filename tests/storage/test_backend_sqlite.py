@@ -1,0 +1,86 @@
+"""Unit tests for the backend protocol and its SQLite implementation."""
+
+import pytest
+
+from repro.storage import IntegrityViolation, SQLiteBackend, StorageError
+
+
+@pytest.fixture()
+def backend():
+    with SQLiteBackend() as b:
+        b.execute('CREATE TABLE "t" ("a" TEXT, "b" TEXT, PRIMARY KEY ("a"))')
+        yield b
+
+
+class TestExecution:
+    def test_execute_and_query(self, backend):
+        backend.execute('INSERT INTO "t" VALUES (?, ?)', ("1", "x"))
+        assert backend.query('SELECT "a", "b" FROM "t"') == [("1", "x")]
+
+    def test_executemany(self, backend):
+        backend.executemany(
+            'INSERT INTO "t" VALUES (?, ?)', [("1", "x"), ("2", "y")]
+        )
+        assert backend.row_count("t") == 2
+
+    def test_integrity_violation_is_translated(self, backend):
+        backend.execute('INSERT INTO "t" VALUES (?, ?)', ("1", "x"))
+        with pytest.raises(IntegrityViolation):
+            backend.execute('INSERT INTO "t" VALUES (?, ?)', ("1", "y"))
+
+    def test_other_errors_become_storage_errors(self, backend):
+        with pytest.raises(StorageError):
+            backend.execute("SELECT * FROM missing_table")
+
+    def test_introspection(self, backend):
+        assert backend.table_names() == ["t"]
+        assert backend.column_names("t") == ["a", "b"]
+
+
+class TestTransactions:
+    def test_rollback_on_error(self, backend):
+        with pytest.raises(RuntimeError):
+            with backend.transaction():
+                backend.execute('INSERT INTO "t" VALUES (?, ?)', ("1", "x"))
+                raise RuntimeError("boom")
+        assert backend.row_count("t") == 0
+
+    def test_commit_on_success(self, backend):
+        with backend.transaction():
+            backend.execute('INSERT INTO "t" VALUES (?, ?)', ("1", "x"))
+        assert backend.row_count("t") == 1
+
+    def test_savepoints_nest(self, backend):
+        backend.begin()
+        backend.execute('INSERT INTO "t" VALUES (?, ?)', ("1", "x"))
+        with backend.savepoint("outer"):
+            backend.execute('INSERT INTO "t" VALUES (?, ?)', ("2", "y"))
+            with pytest.raises(IntegrityViolation):
+                with backend.savepoint("inner"):
+                    backend.execute('INSERT INTO "t" VALUES (?, ?)', ("2", "z"))
+            # The inner savepoint rolled back; the outer insert survives.
+            assert backend.row_count("t") == 2
+        backend.commit()
+        assert backend.row_count("t") == 2
+
+    def test_savepoint_rollback_discards_partial_work(self, backend):
+        with pytest.raises(RuntimeError):
+            with backend.savepoint("doc"):
+                backend.execute('INSERT INTO "t" VALUES (?, ?)', ("1", "x"))
+                raise RuntimeError("reject the document")
+        assert backend.row_count("t") == 0
+
+
+class TestFileDatabases:
+    def test_persists_to_disk(self, tmp_path):
+        path = str(tmp_path / "out.db")
+        with SQLiteBackend(path) as b:
+            b.execute('CREATE TABLE "t" ("a" TEXT)')
+            b.execute('INSERT INTO "t" VALUES (?)', ("1",))
+        with SQLiteBackend(path) as again:
+            assert again.row_count("t") == 1
+
+    def test_fast_mode_opens(self, tmp_path):
+        with SQLiteBackend(str(tmp_path / "fast.db"), fast=True) as b:
+            b.execute('CREATE TABLE "t" ("a" TEXT)')
+            assert b.table_names() == ["t"]

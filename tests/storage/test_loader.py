@@ -1,0 +1,259 @@
+"""Unit tests for transactional bulk loading."""
+
+import pytest
+
+from repro.relational.fd import FunctionalDependency as FD
+from repro.relational.instance import NULL, RelationInstance
+from repro.relational.schema import RelationSchema
+from repro.storage import (
+    BulkLoader,
+    LoadError,
+    SQLiteBackend,
+    compile_ddl,
+)
+from repro.transform.dsl import parse_transformation
+
+TRANSFORM_TEXT = """
+table chapter
+  var ya <- xr : //book
+  var y1 <- ya : @isbn
+  var yc <- ya : chapter
+  var y2 <- yc : @number
+  var y3 <- yc : name
+  field inBook = value(y1)
+  field number = value(y2)
+  field name   = value(y3)
+"""
+
+DOC = """
+<bib>
+  <book isbn="111"><chapter number="1"><name>A</name></chapter>
+    <chapter number="2"><name>B</name></chapter></book>
+  <book isbn="222"><chapter number="1"><name>C</name></chapter></book>
+</bib>
+"""
+
+DOC_VIOLATING = """
+<bib>
+  <book isbn="333"><chapter number="1"><name>A2</name></chapter>
+    <chapter number="1"><name>Clash</name></chapter></book>
+</bib>
+"""
+
+DOC_OTHER = """
+<bib>
+  <book isbn="444"><chapter number="1"><name>D</name></chapter></book>
+</bib>
+"""
+
+
+@pytest.fixture()
+def chapter_schema():
+    return RelationSchema("chapter", ["inBook", "number", "name"])
+
+
+@pytest.fixture()
+def cover():
+    return [FD({"inBook", "number"}, {"name"})]
+
+
+def _loader(schema, cover, mode="strict", batch_size=500, provenance=None):
+    ddl = compile_ddl(schema, cover, mode=mode, provenance_column=provenance)
+    backend = SQLiteBackend()
+    loader = BulkLoader(backend, ddl, batch_size=batch_size)
+    loader.create_schema()
+    return backend, loader
+
+
+class TestRowLoading:
+    def test_load_rows_counts_and_contents(self, chapter_schema, cover):
+        backend, loader = _loader(chapter_schema, cover)
+        rows = [
+            {"inBook": "1", "number": "1", "name": "A"},
+            {"inBook": "1", "number": "2", "name": NULL},
+        ]
+        assert loader.load_rows("chapter", rows) == 2
+        assert backend.query('SELECT "name" FROM "chapter" ORDER BY rowid') == [
+            ("A",),
+            (None,),
+        ]
+
+    def test_small_batches_load_everything(self, chapter_schema, cover):
+        backend, loader = _loader(chapter_schema, cover, batch_size=2)
+        rows = [{"inBook": "1", "number": str(i), "name": "x"} for i in range(7)]
+        assert loader.load_rows("chapter", rows) == 7
+        assert backend.row_count("chapter") == 7
+
+    def test_load_instance(self, chapter_schema, cover):
+        backend, loader = _loader(chapter_schema, cover)
+        instance = RelationInstance(
+            chapter_schema, [{"inBook": "1", "number": "1", "name": "A"}]
+        )
+        assert loader.load_instance(instance) == 1
+
+    def test_generator_input_is_consumed_lazily(self, chapter_schema, cover):
+        backend, loader = _loader(chapter_schema, cover, batch_size=3)
+        loaded = loader.load_rows(
+            "chapter",
+            ({"inBook": "1", "number": str(i), "name": "x"} for i in range(10)),
+        )
+        assert loaded == 10
+
+
+class TestStrictPinpointing:
+    def test_all_violating_rows_reported_across_batches(self, chapter_schema, cover):
+        backend, loader = _loader(chapter_schema, cover, batch_size=2)
+        rows = [
+            {"inBook": "1", "number": "1", "name": "A"},
+            {"inBook": "1", "number": "2", "name": "B"},
+            {"inBook": "1", "number": "1", "name": "dup-1"},  # batch 2
+            {"inBook": "1", "number": "3", "name": "C"},
+            {"inBook": "1", "number": "2", "name": "dup-2"},  # batch 3
+        ]
+        with pytest.raises(LoadError) as info:
+            loader.load_rows("chapter", rows)
+        rejected = info.value.rows
+        assert [row["name"] for row in rejected] == ["dup-1", "dup-2"]
+        # The clean rows of the call are staged (no savepoint at this level).
+        assert backend.row_count("chapter") == 3
+
+    def test_log_mode_never_raises(self, chapter_schema, cover):
+        backend, loader = _loader(chapter_schema, cover, mode="log")
+        rows = [
+            {"inBook": "1", "number": "1", "name": "A"},
+            {"inBook": "1", "number": "1", "name": "Clash"},
+        ]
+        assert loader.load_rows("chapter", rows) == 2
+        assert backend.row_count("chapter") == 2
+
+
+class TestDocumentLoading:
+    def test_streaming_document_load(self, cover):
+        transformation = parse_transformation(TRANSFORM_TEXT)
+        rule = transformation.rule("chapter")
+        ddl = compile_ddl(rule.schema(), cover, mode="strict")
+        backend = SQLiteBackend()
+        loader = BulkLoader(backend, ddl)
+        loader.create_schema()
+        counts = loader.load_document(DOC, transformation)
+        assert counts == {"chapter": 3}
+        assert backend.row_count("chapter") == 3
+
+    def test_streaming_matches_instance_load(self, cover):
+        transformation = parse_transformation(TRANSFORM_TEXT)
+        rule = transformation.rule("chapter")
+        from repro.transform.stream import stream_evaluate_transformation
+
+        instances = stream_evaluate_transformation(transformation, DOC)
+        ddl = compile_ddl(rule.schema(), cover, mode="log")
+
+        b1 = SQLiteBackend()
+        l1 = BulkLoader(b1, ddl)
+        l1.create_schema()
+        l1.load_document(DOC, transformation)
+
+        b2 = SQLiteBackend()
+        l2 = BulkLoader(b2, ddl)
+        l2.create_schema()
+        l2.load_instance(instances["chapter"])
+
+        q = 'SELECT "inBook", "number", "name" FROM "chapter" ORDER BY rowid'
+        assert b1.query(q) == b2.query(q)
+
+    def test_violating_document_rolls_back_completely(self, cover):
+        transformation = parse_transformation(TRANSFORM_TEXT)
+        rule = transformation.rule("chapter")
+        ddl = compile_ddl(rule.schema(), cover, mode="strict")
+        backend = SQLiteBackend()
+        loader = BulkLoader(backend, ddl)
+        loader.create_schema()
+        loader.load_document(DOC, transformation)
+        with pytest.raises(LoadError) as info:
+            loader.load_document(DOC_VIOLATING, transformation)
+        assert [row["name"] for row in info.value.rows] == ["Clash"]
+        # The second document left nothing behind; the first is intact.
+        assert backend.row_count("chapter") == 3
+
+    def test_parallel_document_load_matches_serial(self, cover):
+        transformation = parse_transformation(TRANSFORM_TEXT)
+        rule = transformation.rule("chapter")
+        ddl = compile_ddl(rule.schema(), cover, mode="log")
+        serial_backend = SQLiteBackend()
+        serial = BulkLoader(serial_backend, ddl)
+        serial.create_schema()
+        serial.load_document(DOC, transformation)
+
+        parallel_backend = SQLiteBackend()
+        parallel = BulkLoader(parallel_backend, ddl)
+        parallel.create_schema()
+        parallel.load_document(DOC, transformation, jobs=2)
+
+        q = 'SELECT "inBook", "number", "name" FROM "chapter" ORDER BY rowid'
+        assert parallel_backend.query(q) == serial_backend.query(q)
+
+
+class TestCorpusLoading:
+    def _corpus_loader(self, cover, mode="strict"):
+        transformation = parse_transformation(TRANSFORM_TEXT)
+        rule = transformation.rule("chapter")
+        ddl = compile_ddl(
+            rule.schema(), cover, mode=mode, provenance_column="_document"
+        )
+        backend = SQLiteBackend()
+        loader = BulkLoader(backend, ddl)
+        loader.create_schema()
+        return backend, loader, transformation
+
+    def test_provenance_stamped_per_document(self, cover):
+        backend, loader, transformation = self._corpus_loader(cover, mode="log")
+        report = loader.load_corpus([("a.xml", DOC), ("b.xml", DOC)], transformation)
+        assert report.documents == ["a.xml", "b.xml"]
+        assert report.rows == {"chapter": 6}
+        stamps = backend.query(
+            'SELECT DISTINCT "_document" FROM "chapter" ORDER BY 1'
+        )
+        assert stamps == [("a.xml",), ("b.xml",)]
+
+    def test_default_document_ids(self, cover):
+        backend, loader, transformation = self._corpus_loader(cover, mode="log")
+        report = loader.load_corpus([DOC, DOC], transformation)
+        assert report.documents == ["doc0", "doc1"]
+
+    def test_on_error_skip_keeps_going(self, cover):
+        backend, loader, transformation = self._corpus_loader(cover, mode="strict")
+        report = loader.load_corpus(
+            [("good", DOC), ("bad", DOC_VIOLATING), ("good2", DOC_OTHER)],
+            transformation,
+            on_error="skip",
+        )
+        assert report.documents == ["good", "good2"]
+        assert set(report.rejected) == {"bad"}
+        assert [row["name"] for row in report.rejected["bad"].rows] == ["Clash"]
+        # The rejected document contributed no rows at all.
+        assert backend.query(
+            'SELECT COUNT(*) FROM "chapter" WHERE "_document" = ?', ("bad",)
+        ) == [(0,)]
+
+    def test_on_error_raise_is_default(self, cover):
+        backend, loader, transformation = self._corpus_loader(cover, mode="strict")
+        with pytest.raises(LoadError):
+            loader.load_corpus([("good", DOC), ("bad", DOC_VIOLATING)], transformation)
+
+    def test_bad_on_error_rejected(self, cover):
+        backend, loader, transformation = self._corpus_loader(cover)
+        with pytest.raises(ValueError):
+            loader.load_corpus([DOC], transformation, on_error="ignore")
+
+    def test_provenance_plan_requires_document_id_for_raw_rows(
+        self, chapter_schema, cover
+    ):
+        backend, loader = _loader(chapter_schema, cover, provenance="_document")
+        with pytest.raises(ValueError):
+            loader.load_rows("chapter", [{"inBook": "1", "number": "1", "name": "A"}])
+
+
+class TestLoaderValidation:
+    def test_bad_batch_size(self, chapter_schema, cover):
+        ddl = compile_ddl(chapter_schema, cover)
+        with pytest.raises(ValueError):
+            BulkLoader(SQLiteBackend(), ddl, batch_size=0)

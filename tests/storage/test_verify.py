@@ -1,0 +1,213 @@
+"""Unit tests for in-database violation checking (SQL vs in-memory)."""
+
+import pytest
+
+from repro.relational.instance import NULL, RelationInstance
+from repro.relational.schema import RelationSchema
+from repro.storage import (
+    BulkLoader,
+    SQLVerifier,
+    SQLiteBackend,
+    compile_ddl,
+    conflict_groups_sql,
+    conflict_witness_sql,
+    null_determinant_sql,
+)
+
+
+def _loaded(schema, rows):
+    ddl = compile_ddl(schema, mode="log")
+    backend = SQLiteBackend()
+    loader = BulkLoader(backend, ddl)
+    loader.create_schema()
+    loader.load_rows(schema.name, rows)
+    return backend, ddl, RelationInstance(schema, rows)
+
+
+@pytest.fixture()
+def schema():
+    return RelationSchema("r", ["a", "b", "c"])
+
+
+class TestWitnessIdentity:
+    """SQL answers must equal the in-memory checkers witness for witness."""
+
+    def _assert_identical(self, schema, rows, lhs, rhs):
+        backend, ddl, instance = _loaded(schema, rows)
+        verifier = SQLVerifier(backend, ddl)
+        assert verifier.fd_violations("r", lhs, rhs) == instance.fd_violations(lhs, rhs)
+
+    def test_clean_instance(self, schema):
+        rows = [
+            {"a": "1", "b": "x", "c": "p"},
+            {"a": "2", "b": "y", "c": "q"},
+        ]
+        self._assert_identical(schema, rows, {"a"}, {"b"})
+
+    def test_value_conflicts(self, schema):
+        rows = [
+            {"a": "1", "b": "x", "c": "p"},
+            {"a": "1", "b": "y", "c": "p"},
+            {"a": "1", "b": "x", "c": "q"},
+            {"a": "2", "b": "z", "c": "r"},
+        ]
+        self._assert_identical(schema, rows, {"a"}, {"b"})
+        self._assert_identical(schema, rows, {"a"}, {"b", "c"})
+
+    def test_null_determinant(self, schema):
+        rows = [
+            {"a": NULL, "b": "x", "c": "p"},
+            {"a": "1", "b": NULL, "c": "p"},
+            {"a": NULL, "b": NULL, "c": NULL},
+        ]
+        self._assert_identical(schema, rows, {"a"}, {"b"})
+        self._assert_identical(schema, rows, {"a", "b"}, {"c"})
+
+    def test_null_exemption_of_condition_two(self, schema):
+        # Two rows agree on a and disagree on b, but one has a null in c:
+        # the paper's condition (2) exempts it — no conflict.
+        rows = [
+            {"a": "1", "b": "x", "c": "p"},
+            {"a": "1", "b": "y", "c": NULL},
+        ]
+        backend, ddl, instance = _loaded(schema, rows)
+        verifier = SQLVerifier(backend, ddl)
+        assert instance.fd_violations({"a"}, {"b"}) == []
+        assert verifier.fd_violations("r", {"a"}, {"b"}) == []
+
+    def test_duplicate_rows_are_not_conflicts(self, schema):
+        rows = [
+            {"a": "1", "b": "x", "c": "p"},
+            {"a": "1", "b": "x", "c": "p"},
+        ]
+        self._assert_identical(schema, rows, {"a"}, {"b", "c"})
+
+    def test_empty_lhs(self, schema):
+        rows = [
+            {"a": "1", "b": "x", "c": "p"},
+            {"a": "2", "b": "y", "c": "p"},
+        ]
+        self._assert_identical(schema, rows, frozenset(), {"b"})
+        self._assert_identical(schema, rows, frozenset(), {"c"})
+
+    def test_key_violations_match(self, schema):
+        rows = [
+            {"a": "1", "b": "x", "c": "p"},
+            {"a": "1", "b": "y", "c": "q"},
+        ]
+        backend, ddl, instance = _loaded(schema, rows)
+        schema_with_key = RelationSchema("r", ["a", "b", "c"], keys=[{"a"}])
+        verifier = SQLVerifier(backend, schema_with_key)
+        expected = RelationInstance(schema_with_key, rows).key_violations()
+        assert verifier.key_violations("r") == expected
+        assert expected  # the case is non-trivial
+
+    def test_satisfies_fd_fast_path(self, schema):
+        rows = [
+            {"a": "1", "b": "x", "c": "p"},
+            {"a": "1", "b": "y", "c": "q"},
+        ]
+        backend, ddl, _ = _loaded(schema, rows)
+        verifier = SQLVerifier(backend, ddl)
+        assert not verifier.satisfies_fd("r", {"a"}, {"b"})
+        assert verifier.satisfies_fd("r", {"b"}, {"a"})
+
+
+class TestCheckKeys:
+    def test_reports_only_violating_tables(self):
+        schema = RelationSchema("r", ["a", "b"], keys=[{"a"}])
+        clean = RelationSchema("s", ["x"], keys=[{"x"}])
+        from repro.relational.schema import DatabaseSchema
+
+        ddl = compile_ddl(DatabaseSchema([schema, clean]), mode="log")
+        backend = SQLiteBackend()
+        loader = BulkLoader(backend, ddl)
+        loader.create_schema()
+        loader.load_rows("r", [{"a": "1", "b": "x"}, {"a": "1", "b": "y"}])
+        loader.load_rows("s", [{"x": "1"}])
+        report = SQLVerifier(backend, ddl).check_keys()
+        assert set(report) == {"r"}
+        assert report["r"][0].kind == "value-conflict"
+
+    def test_no_key_raises(self, schema):
+        backend, ddl, _ = _loaded(schema, [])
+        with pytest.raises(ValueError):
+            SQLVerifier(backend, ddl).key_violations("r")
+
+
+class TestGeneratedSQL:
+    def test_group_query_is_group_by_having(self, schema):
+        sql = conflict_groups_sql(schema, {"a"}, {"b"})
+        assert "GROUP BY" in sql and "HAVING" in sql
+
+    def test_group_query_counts_groups(self, schema):
+        rows = [
+            {"a": "1", "b": "x", "c": "p"},
+            {"a": "1", "b": "y", "c": "p"},
+            {"a": "2", "b": "z", "c": "p"},
+        ]
+        backend, ddl, _ = _loaded(schema, rows)
+        groups = backend.query(conflict_groups_sql(schema, {"a"}, {"b"}))
+        assert groups == [("1", 2)]
+
+    def test_null_query_none_for_empty_lhs(self, schema):
+        assert null_determinant_sql(schema, frozenset(), {"a"}) is None
+
+    def test_unknown_attribute_rejected(self, schema):
+        with pytest.raises(ValueError):
+            conflict_witness_sql(schema, {"nope"}, {"a"})
+        with pytest.raises(ValueError):
+            null_determinant_sql(schema, {"a"}, {"nope"})
+
+    def test_empty_dependent_rejected(self, schema):
+        with pytest.raises(ValueError):
+            conflict_groups_sql(schema, {"a"}, frozenset())
+
+
+class TestHostileNamesInVerification:
+    def test_column_named_rowid_does_not_shadow_the_ordinal(self):
+        # 'rowid' is a legal document attribute; the ordinal expression
+        # must fall back to an unshadowed alias or every witness is lost.
+        schema = RelationSchema("r", ["rowid", "b"])
+        rows = [
+            {"rowid": "5", "b": "x"},
+            {"rowid": "5", "b": "y"},
+        ]
+        backend, ddl, instance = _loaded(schema, rows)
+        verifier = SQLVerifier(backend, ddl)
+        expected = instance.fd_violations({"rowid"}, {"rowid", "b"})
+        assert expected, "the case must be non-trivial"
+        assert verifier.fd_violations("r", {"rowid"}, {"rowid", "b"}) == expected
+
+    def test_all_rowid_aliases_shadowed_is_an_error(self):
+        from repro.storage.verify import row_ordinal_expression
+
+        schema = RelationSchema("r", ["rowid", "_rowid_", "OID"])
+        with pytest.raises(ValueError):
+            row_ordinal_expression(schema)
+
+    def test_hostile_attribute_names(self):
+        schema = RelationSchema('t"bl', ['k"ey', "va l", "__ix"])
+        rows = [
+            {'k"ey': "1", "va l": "x", "__ix": "i"},
+            {'k"ey': "1", "va l": "y", "__ix": "i"},
+        ]
+        backend, ddl, instance = _loaded(schema, rows)
+        verifier = SQLVerifier(backend, ddl)
+        assert verifier.fd_violations('t"bl', {'k"ey'}, {"va l"}) == (
+            instance.fd_violations({'k"ey'}, {"va l"})
+        )
+
+    def test_provenance_column_excluded_from_checking(self):
+        schema = RelationSchema("r", ["a", "b"])
+        ddl = compile_ddl(schema, mode="log", provenance_column="_document")
+        backend = SQLiteBackend()
+        loader = BulkLoader(backend, ddl)
+        loader.create_schema()
+        loader.load_rows("r", [{"a": "1", "b": "x"}], document="d0")
+        loader.load_rows("r", [{"a": "1", "b": "x"}], document="d1")
+        # Same logical row from two documents: under the key {a} that is a
+        # duplicate, not a conflict — the provenance stamp must not turn it
+        # into one.
+        verifier = SQLVerifier(backend, ddl)
+        assert verifier.fd_violations("r", {"a"}, {"a", "b"}) == []

@@ -309,3 +309,250 @@ class TestParser:
 
     def test_module_entry_point_importable(self):
         import repro.__main__  # noqa: F401  (import must not execute main)
+
+
+VIOLATING_XML = """<bib>
+  <book isbn="999">
+    <title>Dup</title>
+    <chapter number="7"><name>First</name></chapter>
+    <chapter number="7"><name>Second</name></chapter>
+  </book>
+</bib>
+"""
+
+
+@pytest.fixture()
+def violating_workspace(workspace, tmp_path):
+    bad_xml = tmp_path / "violating.xml"
+    bad_xml.write_text(VIOLATING_XML)
+    workspace["bad_xml"] = str(bad_xml)
+    workspace["db"] = str(tmp_path / "out.db")
+    return workspace
+
+
+class TestLoadCommand:
+    def test_clean_strict_load(self, violating_workspace, capsys):
+        ws = violating_workspace
+        code = main(
+            [
+                "load",
+                "--transform", ws["transform"],
+                "--xml", ws["xml"],
+                "--db", ws["db"],
+                "--keys", ws["keys"],
+                "--verify",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "chapter:" in out
+        assert "satisfies all propagated keys" in out
+
+    def test_strict_load_rejects_violating_document(self, violating_workspace, capsys):
+        ws = violating_workspace
+        code = main(
+            [
+                "load",
+                "--transform", ws["transform"],
+                "--xml", ws["bad_xml"],
+                "--db", ws["db"],
+                "--keys", ws["keys"],
+            ]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "load rejected" in out
+        assert "Second" in out  # the exact violating row is printed
+
+    def test_log_mode_with_verify_finds_violations(self, violating_workspace, capsys):
+        ws = violating_workspace
+        code = main(
+            [
+                "load",
+                "--transform", ws["transform"],
+                "--xml", ws["bad_xml"],
+                "--db", ws["db"],
+                "--keys", ws["keys"],
+                "--mode", "log",
+                "--verify",
+            ]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "violates its keys" in out
+        assert "value-conflict" in out
+
+    def test_log_mode_without_verify_stages_quietly(self, violating_workspace, capsys):
+        ws = violating_workspace
+        code = main(
+            [
+                "load",
+                "--transform", ws["transform"],
+                "--xml", ws["bad_xml"],
+                "--db", ws["db"],
+                "--keys", ws["keys"],
+                "--mode", "log",
+            ]
+        )
+        assert code == 0
+
+    def test_corpus_gets_provenance_column(self, violating_workspace, capsys):
+        ws = violating_workspace
+        code = main(
+            [
+                "load",
+                "--transform", ws["transform"],
+                "--xml", ws["xml"],
+                "--xml", ws["bad_xml"],
+                "--db", ws["db"],
+                "--keys", ws["keys"],
+                "--mode", "log",
+            ]
+        )
+        assert code == 0
+        code = main(["query", "--db", ws["db"], "--sql",
+                     'SELECT DISTINCT "_document" FROM "chapter" ORDER BY 1'])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert ws["xml"] in out and ws["bad_xml"] in out
+
+    def test_parallel_load(self, violating_workspace, capsys):
+        ws = violating_workspace
+        code = main(
+            [
+                "load",
+                "--transform", ws["transform"],
+                "--xml", ws["xml"],
+                "--db", ws["db"],
+                "--keys", ws["keys"],
+                "--jobs", "2",
+            ]
+        )
+        assert code == 0
+
+    def test_log_mode_into_strict_database_is_usage_error(self, violating_workspace, capsys):
+        ws = violating_workspace
+        base = ["load", "--transform", ws["transform"], "--xml", ws["xml"],
+                "--db", ws["db"], "--keys", ws["keys"]]
+        assert main(base) == 0  # creates a strict-mode database
+        # Staging into it hits the strict constraints: usage error, not a
+        # violation report and not a traceback.
+        assert main(base + ["--mode", "log"]) == 2
+        assert "does not expect" in capsys.readouterr().err
+
+    def test_reloading_into_existing_database_appends(self, violating_workspace, capsys):
+        """The README walkthrough reuses one --db across invocations."""
+        ws = violating_workspace
+        argv = ["load", "--transform", ws["transform"], "--xml", ws["xml"],
+                "--db", ws["db"], "--keys", ws["keys"], "--mode", "log"]
+        assert main(argv) == 0
+        assert main(argv) == 0  # second run must not crash on CREATE TABLE
+        capsys.readouterr()
+        assert main(["query", "--db", ws["db"]]) == 0
+        assert "chapter: 6 rows" in capsys.readouterr().out
+
+
+class TestQueryCommand:
+    @pytest.fixture()
+    def loaded_db(self, violating_workspace):
+        ws = violating_workspace
+        assert main(
+            [
+                "load",
+                "--transform", ws["transform"],
+                "--xml", ws["xml"],
+                "--db", ws["db"],
+                "--keys", ws["keys"],
+            ]
+        ) == 0
+        return ws
+
+    def test_lists_tables_by_default(self, loaded_db, capsys):
+        capsys.readouterr()
+        assert main(["query", "--db", loaded_db["db"]]) == 0
+        assert "chapter: 3 rows" in capsys.readouterr().out
+
+    def test_table_dump_with_limit(self, loaded_db, capsys):
+        capsys.readouterr()
+        code = main(["query", "--db", loaded_db["db"], "--table", "chapter",
+                     "--limit", "2"])
+        assert code == 0
+        out = capsys.readouterr().out.strip().splitlines()
+        assert out[0].split("\t") == ["inBook", "number", "name"]
+        assert len(out) == 3  # header + 2 rows
+
+    def test_arbitrary_sql(self, loaded_db, capsys):
+        capsys.readouterr()
+        code = main(["query", "--db", loaded_db["db"], "--sql",
+                     'SELECT COUNT(*) FROM "chapter"'])
+        assert code == 0
+        assert "3" in capsys.readouterr().out
+
+    def test_missing_database_is_usage_error(self, tmp_path):
+        assert main(["query", "--db", str(tmp_path / "absent.db")]) == 2
+
+    def test_sql_and_table_together_is_usage_error(self, loaded_db):
+        assert main(["query", "--db", loaded_db["db"], "--sql", "SELECT 1",
+                     "--table", "chapter"]) == 2
+
+    def test_bad_sql_is_usage_error(self, loaded_db):
+        assert main(["query", "--db", loaded_db["db"], "--sql", "SELEC oops"]) == 2
+
+    def test_unknown_table_is_usage_error(self, loaded_db):
+        assert main(["query", "--db", loaded_db["db"], "--table", "nope"]) == 2
+
+    def test_limit_without_table_is_usage_error(self, loaded_db):
+        assert main(["query", "--db", loaded_db["db"], "--sql", "SELECT 1",
+                     "--limit", "2"]) == 2
+
+
+class TestExitCodes:
+    """The uniform exit-code contract: 0 = holds, 1 = violations, 2 = usage."""
+
+    def test_check_doc_violations_exit_one(self, violating_workspace):
+        ws = violating_workspace
+        assert main(["check-doc", "--keys", ws["keys"], "--xml", ws["bad_xml"]]) == 1
+
+    def test_check_doc_clean_exit_zero(self, violating_workspace):
+        ws = violating_workspace
+        assert main(["check-doc", "--keys", ws["keys"], "--xml", ws["xml"]]) == 0
+
+    def test_shred_violations_exit_one(self, violating_workspace):
+        ws = violating_workspace
+        assert main(["shred", "--transform", ws["transform"],
+                     "--xml", ws["bad_xml"], "--keys", ws["keys"]]) == 1
+
+    def test_load_violations_exit_one(self, violating_workspace):
+        ws = violating_workspace
+        assert main(["load", "--transform", ws["transform"],
+                     "--xml", ws["bad_xml"], "--db", ws["db"],
+                     "--keys", ws["keys"]]) == 1
+
+    @pytest.mark.parametrize("command", ["check-doc", "shred", "load"])
+    def test_missing_file_exit_two(self, violating_workspace, command):
+        ws = violating_workspace
+        argv = {
+            "check-doc": ["check-doc", "--keys", ws["keys"], "--xml", "/absent.xml"],
+            "shred": ["shred", "--transform", ws["transform"], "--xml", "/absent.xml"],
+            "load": ["load", "--transform", ws["transform"], "--xml", "/absent.xml",
+                     "--db", ws["db"]],
+        }[command]
+        assert main(argv) == 2
+
+    @pytest.mark.parametrize("command", ["check-doc", "shred", "load"])
+    def test_malformed_xml_exit_two(self, violating_workspace, tmp_path, command):
+        ws = violating_workspace
+        broken = tmp_path / "broken.xml"
+        broken.write_text("<a><b></a>")
+        argv = {
+            "check-doc": ["check-doc", "--keys", ws["keys"], "--xml", str(broken)],
+            "shred": ["shred", "--transform", ws["transform"], "--xml", str(broken)],
+            "load": ["load", "--transform", ws["transform"], "--xml", str(broken),
+                     "--db", ws["db"]],
+        }[command]
+        assert main(argv) == 2
+
+    def test_argparse_usage_error_exit_two(self):
+        with pytest.raises(SystemExit) as info:
+            main(["load"])  # missing required arguments
+        assert info.value.code == 2

@@ -1,0 +1,171 @@
+"""PR-6 incremental-plane benchmarks: one delta vs. a full re-check.
+
+The incremental engine (:mod:`repro.incremental`) exists for exactly one
+reason: after a subtree edit, answering "is the document still valid, and
+what changed?" must cost O(delta), not O(document).  Two claims are
+pinned here, in the style of the earlier gates (plain ``perf_counter``
+timing under ``--benchmark-disable``):
+
+* ``test_incremental_output_identical_report`` — after replacing a
+  subtree of a ~100k-node document, the engine's merged answer must equal
+  a from-scratch serial run on the edited text byte-for-byte: same rows
+  in the same order, same violations with the same node ids and detail
+  strings.
+
+* ``test_incremental_speedup_report`` — applying a single-subtree
+  ``replace`` (including the violation diff it computes) must beat a full
+  serial re-shred-and-re-check of the document ≥ 5×.  The engine touches
+  one of 30 top-level subtrees, so the headroom is structural, not
+  hardware-dependent — this gate runs everywhere.
+
+The ``@pytest.mark.benchmark`` cases record delta and full-re-check
+latency per push into the ``BENCH_PR6.json`` CI artifact.
+"""
+
+import time
+
+import pytest
+
+from repro.experiments.generators import generate_workload
+from repro.experiments.scenarios import synthesize_document_chunks, synthesized_node_count
+from repro.incremental import IncrementalEngine, replace
+from repro.parallel import run_sharded
+
+REQUIRED_SPEEDUP = 5.0
+
+#: The PR-4 gate document: ~104k nodes, 24 keys, 30 top-level subtrees.
+GATE_FIELDS = 20
+GATE_DEPTH = 4
+GATE_KEYS = 24
+GATE_FANOUT = 4
+GATE_REPEAT = 30
+GATE_DUPLICATE_EVERY = 211
+
+
+@pytest.fixture(scope="module")
+def gate_document():
+    workload = generate_workload(
+        GATE_FIELDS, depth=GATE_DEPTH, num_keys=GATE_KEYS, seed=2
+    )
+    nodes = synthesized_node_count(
+        workload, fanout=GATE_FANOUT, top_level_repeat=GATE_REPEAT
+    )
+    text = "".join(
+        synthesize_document_chunks(
+            workload,
+            fanout=GATE_FANOUT,
+            top_level_repeat=GATE_REPEAT,
+            duplicate_every=GATE_DUPLICATE_EVERY,
+        )
+    )
+    return workload, text, nodes
+
+
+@pytest.fixture(scope="module")
+def indexed_engine(gate_document):
+    workload, text, _ = gate_document
+    engine = IncrementalEngine([workload.rule], workload.keys)
+    engine.load(text)
+    return engine
+
+
+def _full_recheck(workload, text):
+    return run_sharded(
+        text, transformation=[workload.rule], keys=workload.keys, jobs=1
+    )
+
+
+def _best_of(callable_, repeats=3):
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        begin = time.perf_counter()
+        result = callable_()
+        best = min(best, time.perf_counter() - begin)
+    return best, result
+
+
+def _engine_fingerprint(engine):
+    rows = {name: instance.rows for name, instance in engine.instances().items()}
+    violations = [
+        (v.key.text, v.context_node_id, v.kind, v.node_ids, v.detail)
+        for v in engine.violations()
+    ]
+    return rows, violations
+
+
+def _run_fingerprint(run):
+    rows = {name: instance.rows for name, instance in run.instances.items()}
+    violations = [
+        (v.key.text, v.context_node_id, v.kind, v.node_ids, v.detail)
+        for v in run.violations
+    ]
+    return rows, violations
+
+
+# ----------------------------------------------------------------------
+# Gate 1: after a delta, engine output ≡ from-scratch output, byte for byte
+# ----------------------------------------------------------------------
+def test_incremental_output_identical_report(gate_document, indexed_engine):
+    workload, _, nodes = gate_document
+    engine = indexed_engine
+    assert nodes >= 90_000, "the gate document must stay ~100k-node scale"
+    position = engine.subtree_count // 2
+    engine.apply(replace(position, engine.fragment(position - 1)))
+    fresh = _full_recheck(workload, engine.text())
+    assert _engine_fingerprint(engine) == _run_fingerprint(fresh)
+    rows, violations = _engine_fingerprint(engine)
+    print(
+        f"\n[bench_incremental] {nodes} nodes / {len(workload.keys)} keys: "
+        f"a replaced subtree leaves the engine identical to a from-scratch "
+        f"run ({sum(len(r) for r in rows.values())} rows, "
+        f"{len(violations)} violations)"
+    )
+
+
+# ----------------------------------------------------------------------
+# Gate 2: one subtree delta >= 5x faster than a full re-check
+# ----------------------------------------------------------------------
+def test_incremental_speedup_report(gate_document, indexed_engine):
+    workload, _, nodes = gate_document
+    engine = indexed_engine
+    position = engine.subtree_count // 2
+    fragment = engine.fragment(position)
+
+    # Replacing a subtree with itself does every gram of delta work —
+    # tokenize the fragment, rebuild its shard states, re-merge the
+    # violation answer — and keeps the timing loop idempotent.
+    delta_time, _ = _best_of(lambda: engine.apply(replace(position, fragment)))
+    full_time, _ = _best_of(lambda: _full_recheck(workload, engine.text()))
+
+    speedup = full_time / delta_time
+    print(
+        f"\n[bench_incremental] single-subtree update on {nodes} nodes / "
+        f"{len(workload.keys)} keys: delta {delta_time * 1000:.1f} ms, full "
+        f"re-check {full_time * 1000:.0f} ms -> {speedup:.1f}x "
+        f"(gate >= {REQUIRED_SPEEDUP:.0f}x)"
+    )
+    assert speedup >= REQUIRED_SPEEDUP, (
+        f"incremental speedup {speedup:.1f}x below the "
+        f"{REQUIRED_SPEEDUP:.0f}x gate (delta {delta_time * 1000:.1f} ms vs "
+        f"full re-check {full_time * 1000:.0f} ms)"
+    )
+
+
+# ----------------------------------------------------------------------
+# Recorded latency benchmarks (BENCH_PR6.json)
+# ----------------------------------------------------------------------
+@pytest.mark.benchmark(group="incremental-delta")
+def test_subtree_replace_100k(benchmark, indexed_engine):
+    engine = indexed_engine
+    position = engine.subtree_count // 2
+    fragment = engine.fragment(position)
+    report = benchmark(engine.apply, replace(position, fragment))
+    assert report.subtrees == engine.subtree_count
+
+
+@pytest.mark.benchmark(group="incremental-delta")
+def test_full_recheck_100k(benchmark, gate_document):
+    workload, text, _ = gate_document
+    run = benchmark(_full_recheck, workload, text)
+    assert run.shards == 1

@@ -14,6 +14,9 @@ consumer can run the analysis on files without writing Python::
                               --db out.db [--keys keys.txt] [--mode strict|log] \
                               [--jobs N] [--verify] [--provenance COLUMN]
     python -m repro query     --db out.db [--sql "SELECT ..." | --table R [--limit N]]
+    python -m repro apply-delta --xml data.xml [--transform rules.dsl] [--keys keys.txt] \
+                              [--op "replace 0 new.xml" ...] [--db out.db --mode strict|log] \
+                              [--repl] [--write-back]
     python -m repro bench     [--paper]
 
 ``shred --stream`` and ``check-doc`` run on the streaming data plane: the
@@ -31,6 +34,14 @@ parallel execution plane: the document is cut at top-level anchor
 boundaries and the shards are shredded/checked on ``N`` worker processes,
 with byte-identical output (``--jobs 0`` uses one worker per CPU; the
 serial plane is used automatically when the document cannot be sharded).
+
+``apply-delta`` runs the incremental constraint plane: the document is
+indexed once at top-level subtree granularity, then each ``--op`` (or each
+``--repl`` line) inserts, deletes or replaces one subtree in O(delta),
+reporting the violations that appeared or disappeared.  With ``--db`` the
+edits also flow to a SQLite database as delta rows (insert/delete batches
+under one savepoint per delta); ``--write-back`` saves the edited document
+over ``--xml`` once every operation has applied.
 
 ``load`` runs the storage plane end to end: shred the document(s) (serial
 streaming, or sharded with ``--jobs``), compile the propagated FDs of
@@ -357,6 +368,169 @@ def cmd_query(args: argparse.Namespace) -> int:
         backend.close()
 
 
+def _parse_delta_op(text: str):
+    """One delta operation: ``insert POS FRAG`` / ``delete POS`` /
+    ``replace POS FRAG``.
+
+    Only the kind and position are tokenized; everything after the
+    position is the fragment operand *verbatim*, so inline fragments may
+    contain spaces and quotes.  An operand starting with ``<`` is inline
+    document text; anything else is read as a file path.
+    """
+    from repro.incremental import Delta
+
+    parts = text.split(None, 2)
+    if not parts:
+        raise ValueError("empty delta operation")
+    kind = parts[0]
+    if kind == "delete":
+        if len(parts) != 2:
+            raise ValueError(f"delete takes exactly one position: {text!r}")
+        return Delta("delete", int(parts[1]))
+    if kind in ("insert", "replace"):
+        if len(parts) != 3:
+            raise ValueError(
+                f"{kind} takes a position and a fragment (or fragment file): {text!r}"
+            )
+        operand = parts[2].strip()
+        fragment = operand if operand.startswith("<") else _read(operand)
+        return Delta(kind, int(parts[1]), fragment)
+    raise ValueError(f"unknown delta operation {kind!r} (insert/delete/replace)")
+
+
+def _describe_report(report) -> None:
+    print(
+        f"{report.delta.kind} {report.delta.position}: "
+        f"{report.subtrees} subtree(s), "
+        f"+{len(report.appeared)}/-{len(report.disappeared)} violation(s) "
+        f"(total {report.violations})"
+    )
+    for violation in report.appeared:
+        print(f"  + {violation}")
+    for violation in report.disappeared:
+        print(f"  - {violation}")
+    for table in sorted(set(report.rows_inserted) | set(report.rows_deleted)):
+        inserted = report.rows_inserted.get(table, 0)
+        deleted = report.rows_deleted.get(table, 0)
+        print(f"  {table}: +{inserted}/-{deleted} row(s)")
+
+
+def cmd_apply_delta(args: argparse.Namespace) -> int:
+    """Edit a document subtree-by-subtree on the incremental plane."""
+    from repro.core import minimum_cover_from_keys
+    from repro.incremental import DeltaStore, IncrementalEngine
+    from repro.storage import (
+        BulkLoader,
+        IntegrityViolation,
+        SQLiteBackend,
+        StorageDDL,
+        compile_table_ddl,
+    )
+
+    transformation = _load_transformation(args.transform) if args.transform else None
+    keys = _load_keys(args.keys) if args.keys else []
+    if transformation is None and not keys:
+        print("error: provide --transform, --keys, or both", file=sys.stderr)
+        return 2
+    if args.db and transformation is None:
+        print("error: --db needs --transform (rules define the tables)", file=sys.stderr)
+        return 2
+    if not args.repl and not args.op:
+        print("error: provide at least one --op, or --repl", file=sys.stderr)
+        return 2
+
+    engine = IncrementalEngine(transformation, keys)
+    subtrees = engine.load(_read(args.xml))
+    print(f"indexed {args.xml}: {subtrees} top-level subtree(s)")
+
+    backend = None
+    try:
+        if args.db:
+            rules = list(transformation)
+            tables = {
+                rule.relation: compile_table_ddl(
+                    rule.schema(),
+                    minimum_cover_from_keys(keys, rule).cover if keys else [],
+                    mode=args.mode,
+                    if_not_exists=True,
+                )
+                for rule in rules
+            }
+            ddl = StorageDDL(mode=args.mode, tables=tables, provenance_column=None)
+            backend = SQLiteBackend(args.db)
+            counts = engine.attach_store(DeltaStore(BulkLoader(backend, ddl)))
+            for table in sorted(counts):
+                print(f"{table}: {counts[table]} rows")
+
+        rejected = False
+        if args.repl:
+            rejected = _delta_repl(engine, backend)
+        else:
+            for op_text in args.op:
+                try:
+                    delta = _parse_delta_op(op_text)
+                    report = engine.apply(delta)
+                except IndexError as error:
+                    print(f"error: {error}", file=sys.stderr)
+                    return 2
+                except IntegrityViolation as error:
+                    print(f"delta rejected: {error}")
+                    rejected = True
+                    break
+                _describe_report(report)
+        if args.write_back and not rejected:
+            Path(args.xml).write_text(engine.text(), encoding="utf-8")
+            print(f"wrote {args.xml}")
+        return 1 if rejected or engine.violations() else 0
+    finally:
+        if backend is not None:
+            backend.close()
+
+
+def _delta_repl(engine, backend) -> bool:
+    """The watch loop: one delta (or query) per stdin line.
+
+    Errors of any single line are printed and the loop continues — a live
+    session survives typos and rejected deltas.  Returns whether the last
+    delta was rejected by the database.
+    """
+    from repro.storage import IntegrityViolation, StorageError
+
+    rejected = False
+    for line in sys.stdin:
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        command = line.split(None, 1)[0]
+        if command in ("quit", "exit"):
+            break
+        try:
+            if command == "violations":
+                found = engine.violations()
+                for violation in found:
+                    print(f"  - {violation}")
+                print(f"{len(found)} violation(s)")
+            elif command == "tables":
+                if backend is not None:
+                    for table in backend.table_names():
+                        print(f"{table}: {backend.row_count(table)} rows")
+                else:
+                    for table, instance in sorted(engine.instances().items()):
+                        print(f"{table}: {len(instance.rows)} rows")
+            elif command == "text":
+                print(engine.text())
+            else:
+                report = engine.apply(_parse_delta_op(line))
+                rejected = False
+                _describe_report(report)
+        except IntegrityViolation as error:
+            print(f"delta rejected: {error}")
+            rejected = True
+        except (ValueError, IndexError, StorageError) as error:
+            print(f"error: {error}")
+    return rejected
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
     from repro.experiments.figures import run_all
 
@@ -554,6 +728,47 @@ def build_parser() -> argparse.ArgumentParser:
         help="with --table: print at most N rows",
     )
     query.set_defaults(handler=cmd_query)
+
+    apply_delta = subparsers.add_parser(
+        "apply-delta",
+        help="edit a document subtree-by-subtree on the incremental plane",
+    )
+    apply_delta.add_argument("--xml", required=True, help="XML document to index and edit")
+    apply_delta.add_argument("--transform", help="transformation DSL file")
+    apply_delta.add_argument("--keys", help="keys file to check incrementally")
+    apply_delta.add_argument(
+        "--op",
+        action="append",
+        default=[],
+        metavar="OP",
+        help=(
+            "a delta: 'insert POS FRAG', 'delete POS' or 'replace POS FRAG' "
+            "(FRAG starting with '<' is inline text, else a file path; "
+            "repeatable, applied in order)"
+        ),
+    )
+    apply_delta.add_argument(
+        "--repl",
+        action="store_true",
+        help="read delta operations from stdin, one per line "
+        "(plus 'violations', 'tables', 'text', 'quit')",
+    )
+    apply_delta.add_argument(
+        "--db",
+        help="SQLite database kept in step with the document (delta rows only)",
+    )
+    apply_delta.add_argument(
+        "--mode",
+        default="strict",
+        choices=["strict", "log"],
+        help="with --db: constraint mode of the created tables",
+    )
+    apply_delta.add_argument(
+        "--write-back",
+        action="store_true",
+        help="save the edited document over --xml after all operations applied",
+    )
+    apply_delta.set_defaults(handler=cmd_apply_delta)
 
     bench = subparsers.add_parser("bench", help="re-run the paper's Figure 7 experiments")
     bench.add_argument("--paper", action="store_true", help="use the paper's full grids (slow)")

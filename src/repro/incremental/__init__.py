@@ -1,0 +1,25 @@
+"""Incremental constraint plane: subtree deltas over a live document.
+
+See :mod:`repro.incremental.engine` for the delta model and
+:mod:`repro.incremental.storage` for keeping a database in step.
+"""
+
+from repro.incremental.engine import (
+    Delta,
+    DeltaReport,
+    IncrementalEngine,
+    delete,
+    insert,
+    replace,
+)
+from repro.incremental.storage import DeltaStore
+
+__all__ = [
+    "Delta",
+    "DeltaReport",
+    "DeltaStore",
+    "IncrementalEngine",
+    "delete",
+    "insert",
+    "replace",
+]

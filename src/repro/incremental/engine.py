@@ -1,0 +1,542 @@
+"""The incremental constraint plane: subtree deltas over a live document.
+
+The batch planes answer "does this document satisfy Σ, and what does it
+shred to?" by consuming the whole document.  For an *evolving* document —
+an editor session, a feed of record updates — re-running them costs
+O(corpus) per edit.  This module keeps a long-lived
+:class:`IncrementalEngine` whose state is the document cut at its finest
+anchor granularity (:func:`repro.xmlmodel.shards.split_subtrees`: one
+piece per top-level child of the root), with one mergeable shard state
+per piece:
+
+* per table rule, the piece's :class:`~repro.transform.stream.RuleShardResult`
+  (its per-anchor row blocks);
+* per key set, the piece's :class:`~repro.keys.stream.CheckerShardResult`
+  (its flushed contexts and root hash-index contributions, in shard-local
+  node ids).
+
+A delta — insert / delete / replace of one top-level subtree — then only
+touches the states it names: the new fragment is tokenized and fed through
+*fresh* consumers (O(fragment), the document is never re-read), the old
+state is dropped, and answers re-merge from the per-piece states exactly
+as the parallel plane merges its shards.  The merge guarantees of
+:mod:`repro.parallel` carry over unchanged — node ids rebase by prefix
+sums, root hash indexes concatenate associatively — so violations,
+witnesses, detail strings, rows and row order are byte-identical to a
+from-scratch re-run on the edited text (pinned by
+``tests/property/test_incremental_differential.py``).
+
+Cost model: applying a delta is O(fragment) to build the new state plus
+O(constraint state) to re-merge answers — the latter proportional to the
+number of violations and open root-index entries, never to the document.
+Materializing :meth:`instances` re-concatenates the row blocks
+(O(output)); a database attached through
+:class:`~repro.incremental.storage.DeltaStore` avoids even that on the
+common path, receiving only the delta rows.
+
+Failure atomicity: a malformed fragment (the tokenizer's
+:exc:`~repro.xmlmodel.parser.XMLSyntaxError` surfaces while the fresh
+consumers drain it) or a rejected database sync raises *before* the
+engine splices its state — the engine, and any attached database, stay on
+the pre-delta document.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Counter as CounterType, Dict, List, Optional, Sequence, Tuple, Union
+
+from collections import Counter
+
+from repro.keys.key import XMLKey
+from repro.keys.satisfaction import KeyViolation
+from repro.keys.stream import CheckerShardResult, KeyStreamChecker, merge_shard_results
+from repro.relational.instance import NULL, RelationInstance
+from repro.relational.schema import DatabaseSchema, RelationSchema
+from repro.relational.sql import encode_row
+from repro.transform.rule import TableRule, Transformation
+from repro.transform.stream import RuleShardResult, RuleStreamer, merge_rule_shards
+from repro.xmlmodel.events import ATTR, Event
+from repro.xmlmodel.shards import _scan_structure, fragment_events, split_subtrees
+
+from repro.incremental.storage import Change, DeltaStore, Params
+
+
+# ----------------------------------------------------------------------
+# Deltas
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Delta:
+    """One subtree-level edit, addressed by top-level child position.
+
+    ``position`` counts the root's element children in document order
+    (the slice index of :func:`~repro.xmlmodel.shards.split_subtrees`).
+    ``fragment`` is raw document text: exactly one element subtree,
+    optionally followed by trailing text/comments (which ride with it, as
+    slice boundaries always sit at a child's ``<``).
+    """
+
+    kind: str  # "insert" | "delete" | "replace"
+    position: int
+    fragment: Optional[str] = None
+
+
+def insert(position: int, fragment: str) -> Delta:
+    """A new subtree before the current ``position``-th child (``position ==
+    subtree count`` appends)."""
+    return Delta("insert", position, fragment)
+
+
+def delete(position: int) -> Delta:
+    """Remove the ``position``-th subtree (any text riding with it goes too)."""
+    return Delta("delete", position)
+
+
+def replace(position: int, fragment: str) -> Delta:
+    """Swap the ``position``-th subtree for ``fragment``."""
+    return Delta("replace", position, fragment)
+
+
+@dataclass
+class DeltaReport:
+    """What one applied delta changed."""
+
+    delta: Delta
+    #: Top-level subtree count after the delta.
+    subtrees: int
+    #: Violations present after but not before the delta (bag difference).
+    appeared: List[KeyViolation] = field(default_factory=list)
+    #: Violations present before but not after.
+    disappeared: List[KeyViolation] = field(default_factory=list)
+    #: Total violations after the delta.
+    violations: int = 0
+    #: Rows the attached database inserted / deleted, per table (empty
+    #: without an attached store).
+    rows_inserted: Dict[str, int] = field(default_factory=dict)
+    rows_deleted: Dict[str, int] = field(default_factory=dict)
+
+
+class _SubtreeState:
+    """One top-level piece: its text plus its mergeable per-consumer states."""
+
+    __slots__ = ("fragment", "rules", "checker")
+
+    def __init__(
+        self,
+        fragment: str,
+        rules: List[RuleShardResult],
+        checker: Optional[CheckerShardResult],
+    ) -> None:
+        self.fragment = fragment
+        self.rules = rules
+        self.checker = checker
+
+
+def _violation_key(violation: KeyViolation) -> Tuple:
+    return (
+        violation.key.text,
+        violation.context_node_id,
+        violation.kind,
+        violation.node_ids,
+        violation.detail,
+    )
+
+
+def _bag_difference(
+    after: Sequence[KeyViolation], before: Sequence[KeyViolation]
+) -> List[KeyViolation]:
+    """Violations of ``after`` not matched (as a bag) in ``before``."""
+    counts: CounterType[Tuple] = Counter(_violation_key(v) for v in before)
+    result: List[KeyViolation] = []
+    for violation in after:
+        key = _violation_key(violation)
+        if counts.get(key, 0) > 0:
+            counts[key] -= 1
+        else:
+            result.append(violation)
+    return result
+
+
+# ----------------------------------------------------------------------
+# The engine
+# ----------------------------------------------------------------------
+class IncrementalEngine:
+    """Maintain shredding and key satisfaction under subtree deltas.
+
+    Construct with a transformation and/or keys (as the batch planes),
+    :meth:`load` a document, then :meth:`apply` deltas.  :meth:`violations`,
+    :meth:`instances` and :meth:`text` always describe the *current*
+    document; :meth:`attach_store` keeps a database in step, receiving only
+    delta rows.
+    """
+
+    def __init__(
+        self,
+        transformation: Optional[Union[Transformation, Sequence[TableRule]]] = None,
+        keys: Optional[Sequence[XMLKey]] = None,
+        schema: Optional[DatabaseSchema] = None,
+        deduplicate: bool = True,
+        strip_whitespace: bool = True,
+    ) -> None:
+        self.rules: List[TableRule] = (
+            list(transformation) if transformation is not None else []
+        )
+        self.keys: List[XMLKey] = list(keys) if keys is not None else []
+        if not self.rules and not self.keys:
+            raise ValueError("IncrementalEngine needs a transformation, keys, or both")
+        self._schema = schema
+        self.deduplicate = deduplicate
+        self.strip_whitespace = strip_whitespace
+        #: One shard-mode template per rule; also the shardability gate.
+        self._templates: List[RuleStreamer] = []
+        for rule in self.rules:
+            template = RuleStreamer(rule, shard_mode=True)
+            if template.anchors_root_bound:
+                raise ValueError(
+                    f"rule for table {rule.relation!r} anchors at the document "
+                    "root; such a rule needs the whole document as one subtree "
+                    "and cannot be maintained incrementally"
+                )
+            self._templates.append(template)
+        # Document state (set by load()).
+        self._loaded = False
+        self._header = ""
+        self._footer = ""
+        self._root_tag = ""
+        self._prologue_events: Tuple[Event, ...] = ()
+        self._prologue_ids = 0
+        self._root_attr_parts: List[str] = []
+        self._root_rules: List[RuleShardResult] = []
+        self._root_checker: Optional[CheckerShardResult] = None
+        self._states: List[_SubtreeState] = []
+        # Query caches, invalidated per delta.
+        self._violations_cache: Optional[List[KeyViolation]] = None
+        self._instances_cache: Optional[Dict[str, RelationInstance]] = None
+        self._store: Optional[DeltaStore] = None
+
+    # ------------------------------------------------------------------
+    # Loading
+    # ------------------------------------------------------------------
+    def load(self, text: str) -> int:
+        """Index a document for incremental maintenance; returns the number
+        of top-level subtrees.
+
+        The document must be sliceable at top-level child boundaries
+        (:func:`~repro.xmlmodel.shards.split_subtrees`); anything the
+        structural scan cannot cut with confidence — malformed markup, a
+        childless root — raises :exc:`ValueError`, and the batch planes
+        remain the right tool.
+        """
+        shards = split_subtrees(text)
+        if shards is None:
+            raise ValueError(
+                "document cannot be incrementally indexed: the root has no "
+                "element children or the structural scan rejected the markup"
+            )
+        self._header = text[: shards.content_start]
+        self._footer = text[shards.content_end :]
+        self._root_tag = shards.root_tag
+        self._prologue_events = shards.prologue_events
+        self._prologue_ids = shards.prologue_ids
+        # One part per distinct attribute name, last value winning (the DOM
+        # state after parsing), exactly as the parallel merger computes it.
+        root_attrs: Dict[str, Optional[str]] = {}
+        for event in self._prologue_events:
+            if event.kind == ATTR:
+                root_attrs[event.name] = event.value
+        self._root_attr_parts = [f"@{name}:{value}" for name, value in root_attrs.items()]
+        self._root_rules, self._root_checker = self._process_prologue()
+        self._states = [
+            self._process_fragment(shards.slice_text(index))
+            for index in range(len(shards))
+        ]
+        self._loaded = True
+        self._invalidate()
+        return len(self._states)
+
+    def _process_prologue(
+        self,
+    ) -> Tuple[List[RuleShardResult], Optional[CheckerShardResult]]:
+        """The root's own state: prologue side effects, contributed once.
+
+        This is shard 0 of the parallel worker protocol with an *empty*
+        slice — the rule streamers see the root ``attr`` events
+        (attribute-anchored rows), the checker keeps its prologue effects
+        (the root as its own target).  Its id consumption equals the
+        prologue, so it is the fold's left identity for rebasing.
+        """
+        streamers = [RuleStreamer(rule, shard_mode=True) for rule in self.rules]
+        checker = KeyStreamChecker(self.keys) if self.keys else None
+        for event in self._prologue_events:
+            if checker is not None:
+                checker.feed(event)
+            for streamer in streamers:
+                streamer.feed(event)
+        if checker is not None:
+            checker.begin_shard(first=True)
+        return (
+            [streamer.shard_result() for streamer in streamers],
+            checker.shard_result() if checker is not None else None,
+        )
+
+    def _process_fragment(self, fragment: str) -> _SubtreeState:
+        """Build one piece's state by replaying prologue + fragment events.
+
+        Fresh consumers each time: a tokenizer error raises here, before
+        any engine state is spliced.  Non-first shard semantics — rule
+        streamers skip the prologue ``attr`` events and the checker
+        discards prologue side effects — so the root's contributions stay
+        with :meth:`_process_prologue` exactly once.
+        """
+        streamers = [RuleStreamer(rule, shard_mode=True) for rule in self.rules]
+        checker = KeyStreamChecker(self.keys) if self.keys else None
+        for event in self._prologue_events:
+            if checker is not None:
+                checker.feed(event)
+            if event.kind != ATTR:
+                for streamer in streamers:
+                    streamer.feed(event)
+        if checker is not None:
+            checker.begin_shard(first=False)
+        for event in fragment_events(
+            self._root_tag, fragment, strip_whitespace=self.strip_whitespace
+        ):
+            for streamer in streamers:
+                streamer.feed(event)
+            if checker is not None:
+                checker.feed(event)
+        return _SubtreeState(
+            fragment,
+            [streamer.shard_result() for streamer in streamers],
+            checker.shard_result() if checker is not None else None,
+        )
+
+    def _validate_fragment(self, fragment: str) -> None:
+        """Reject a delta fragment that is not one clean subtree.
+
+        The fragment must scan exactly like a slice: a single top-level
+        element starting at offset 0 (trailing text/comments may follow).
+        Scanning the wrapped fragment with the same structural scanner
+        that cut the document guarantees a future re-load of
+        :meth:`text` slices at the same boundaries the engine maintains.
+        """
+        scan = _scan_structure(f"<{self._root_tag}>{fragment}</{self._root_tag}>")
+        if scan is None:
+            raise ValueError(
+                "delta fragment is not well-formed content for this document"
+            )
+        _, _, content_start, _, child_offsets = scan
+        if len(child_offsets) != 1:
+            raise ValueError(
+                f"delta fragment must contain exactly one top-level element, "
+                f"found {len(child_offsets)}"
+            )
+        if child_offsets[0] != content_start:
+            raise ValueError(
+                "delta fragment must start at its element's '<' (leading text "
+                "belongs to the preceding subtree)"
+            )
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def subtree_count(self) -> int:
+        return len(self._states)
+
+    def fragment(self, position: int) -> str:
+        """The raw text of one top-level piece."""
+        return self._states[position].fragment
+
+    def text(self) -> str:
+        """The current document, byte-exact (header + pieces + footer)."""
+        self._require_loaded()
+        return self._header + "".join(s.fragment for s in self._states) + self._footer
+
+    def _require_loaded(self) -> None:
+        if not self._loaded:
+            raise ValueError("no document loaded; call load() first")
+
+    def _checker_results(self) -> List[CheckerShardResult]:
+        results = [self._root_checker]
+        results.extend(state.checker for state in self._states)
+        return [result for result in results if result is not None]
+
+    def violations(self) -> List[KeyViolation]:
+        """All key violations of the current document — the serial checker's
+        list, re-merged from the per-piece states."""
+        self._require_loaded()
+        if not self.keys:
+            return []
+        if self._violations_cache is None:
+            self._violations_cache = merge_shard_results(
+                self.keys, self._checker_results(), self._prologue_ids
+            )
+        return list(self._violations_cache)
+
+    def _merge_rule(self, index: int, states: Sequence[_SubtreeState]) -> List[Dict]:
+        shard_results = [self._root_rules[index]]
+        shard_results.extend(state.rules[index] for state in states)
+        return merge_rule_shards(
+            self.rules[index],
+            shard_results,
+            deduplicate=self.deduplicate,
+            root_attr_parts=self._root_attr_parts,
+        )
+
+    def _relation_schema(self, rule: TableRule) -> RelationSchema:
+        if self._schema is not None and rule.relation in self._schema:
+            return self._schema.relation(rule.relation)
+        return rule.schema()
+
+    def instances(self) -> Dict[str, RelationInstance]:
+        """The shredded relation instances of the current document."""
+        self._require_loaded()
+        if self._instances_cache is None:
+            instances: Dict[str, RelationInstance] = {}
+            for index, rule in enumerate(self.rules):
+                instance = RelationInstance(self._relation_schema(rule))
+                for row in self._merge_rule(index, self._states):
+                    instance.add_row(row)
+                instances[rule.relation] = instance
+            self._instances_cache = instances
+        return dict(self._instances_cache)
+
+    def _invalidate(self) -> None:
+        self._violations_cache = None
+        self._instances_cache = None
+
+    # ------------------------------------------------------------------
+    # Database attachment
+    # ------------------------------------------------------------------
+    def attach_store(self, store: DeltaStore) -> Dict[str, int]:
+        """Load the current document into ``store`` and keep it in step.
+
+        Every subsequent :meth:`apply` sends the store its delta rows
+        inside one savepoint; a rejected sync (strict-mode constraints)
+        rolls the delta back everywhere.  Returns rows loaded per table.
+        """
+        self._require_loaded()
+        if store.loader.deduplicate != self.deduplicate:
+            raise ValueError(
+                "the store's loader and the engine disagree on deduplicate; "
+                "their row semantics must match"
+            )
+        bags: Dict[str, List[Params]] = {}
+        finals: Dict[str, CounterType[Params]] = {}
+        for index, rule in enumerate(self.rules):
+            schema = self._relation_schema(rule)
+            if self._templates[index].single_anchor:
+                rows: List[Params] = []
+                for result in [self._root_rules[index]] + [
+                    state.rules[index] for state in self._states
+                ]:
+                    rows.extend(
+                        encode_row(schema, row) for row in result.anchor_rows[0]
+                    )
+                bags[rule.relation] = rows
+            else:
+                finals[rule.relation] = Counter(
+                    encode_row(schema, row)
+                    for row in self._merge_rule(index, self._states)
+                )
+        counts = store.initialize(self.instances(), bags, finals)
+        self._store = store
+        return counts
+
+    def _plan_changes(
+        self,
+        old_state: Optional[_SubtreeState],
+        new_state: Optional[_SubtreeState],
+        candidate_states: List[_SubtreeState],
+    ) -> Dict[str, Change]:
+        changes: Dict[str, Change] = {}
+        for index, rule in enumerate(self.rules):
+            schema = self._relation_schema(rule)
+            if self._templates[index].single_anchor:
+                removed = (
+                    [encode_row(schema, row) for row in old_state.rules[index].anchor_rows[0]]
+                    if old_state is not None
+                    else []
+                )
+                added = (
+                    [encode_row(schema, row) for row in new_state.rules[index].anchor_rows[0]]
+                    if new_state is not None
+                    else []
+                )
+                null_params: Params = (None,) * len(schema.attributes)
+                changes[rule.relation] = ("bag", removed, added, null_params)
+            else:
+                changes[rule.relation] = (
+                    "full",
+                    Counter(
+                        encode_row(schema, row)
+                        for row in self._merge_rule(index, candidate_states)
+                    ),
+                )
+        return changes
+
+    # ------------------------------------------------------------------
+    # Applying deltas
+    # ------------------------------------------------------------------
+    def apply(self, delta: Delta) -> DeltaReport:
+        """Apply one subtree delta; returns what changed.
+
+        Order of operations keeps every failure mode atomic: the fragment
+        is validated and fully tokenized into a fresh state first (syntax
+        errors leave the engine untouched), the attached store syncs next
+        (a rejection rolls its savepoint back and leaves the engine on the
+        old document), and only then does the engine splice its state.
+        """
+        self._require_loaded()
+        count = len(self._states)
+        if delta.kind == "insert":
+            if not 0 <= delta.position <= count:
+                raise IndexError(
+                    f"insert position {delta.position} outside 0..{count}"
+                )
+        elif delta.kind in ("delete", "replace"):
+            if not 0 <= delta.position < count:
+                raise IndexError(
+                    f"{delta.kind} position {delta.position} outside 0..{count - 1}"
+                )
+        else:
+            raise ValueError(f"unknown delta kind {delta.kind!r}")
+
+        new_state: Optional[_SubtreeState] = None
+        if delta.kind in ("insert", "replace"):
+            if delta.fragment is None:
+                raise ValueError(f"{delta.kind} delta needs a fragment")
+            self._validate_fragment(delta.fragment)
+            new_state = self._process_fragment(delta.fragment)
+
+        old_state: Optional[_SubtreeState] = None
+        candidate = list(self._states)
+        if delta.kind == "insert":
+            candidate.insert(delta.position, new_state)  # type: ignore[arg-type]
+        elif delta.kind == "delete":
+            old_state = candidate.pop(delta.position)
+        else:
+            old_state = candidate[delta.position]
+            candidate[delta.position] = new_state  # type: ignore[assignment]
+
+        before = self.violations()
+        rows_inserted: Dict[str, int] = {}
+        rows_deleted: Dict[str, int] = {}
+        if self._store is not None:
+            changes = self._plan_changes(old_state, new_state, candidate)
+            rows_inserted, rows_deleted = self._store.apply(changes)
+
+        # The point of no return: everything fallible has succeeded.
+        self._states = candidate
+        self._invalidate()
+        after = self.violations()
+        return DeltaReport(
+            delta=delta,
+            subtrees=len(self._states),
+            appeared=_bag_difference(after, before),
+            disappeared=_bag_difference(before, after),
+            violations=len(after),
+            rows_inserted=rows_inserted,
+            rows_deleted=rows_deleted,
+        )

@@ -534,6 +534,125 @@ class CheckerShardResult:
     open_missing: Dict[int, List[Tuple[int, int]]] = field(default_factory=dict)
     consumed: int = 0
 
+    def merge(self, other: "CheckerShardResult", prologue_ids: int) -> "CheckerShardResult":
+        """Append ``other``'s shard after this one's slices — in place.
+
+        The binary, associative form of the :func:`merge_shard_results`
+        rebase: ``other``'s shard-local node ids ``x`` become ``x`` when
+        they name the root or one of its attributes (``x < prologue_ids``,
+        shard-invariant) and ``x + delta`` otherwise, where ``delta`` is
+        the ids this state's own slices consumed
+        (``self.consumed - prologue_ids``).  Flushed contexts append,
+        the root's partial hash indexes extend per group — exactly the
+        serial accumulation order — and ``consumed`` adds up so further
+        merges keep rebasing correctly.  ``other`` is left untouched.
+
+        An "empty" state — ``CheckerShardResult(consumed=prologue_ids)`` —
+        is the identity on the left: folding shard results into one in
+        document order reproduces :func:`merge_shard_results`.
+        """
+        delta = self.consumed - prologue_ids
+        if delta < 0:
+            raise ValueError("merge target has consumed less than the prologue")
+
+        def rebase(node_id: int) -> int:
+            return node_id if node_id < prologue_ids else node_id + delta
+
+        for key_index, context_id, violations in other.flushed:
+            self.flushed.append(
+                (
+                    key_index,
+                    rebase(context_id),
+                    [
+                        (kind, tuple(rebase(n) for n in node_ids), values)
+                        for kind, node_ids, values in violations
+                    ],
+                )
+            )
+        for bucket_index, groups in other.open_groups.items():
+            target = self.open_groups.setdefault(bucket_index, {})
+            for group_key, node_ids in groups.items():
+                target.setdefault(group_key, []).extend(rebase(n) for n in node_ids)
+        for bucket_index, missing in other.open_missing.items():
+            self.open_missing.setdefault(bucket_index, []).extend(
+                (slot, rebase(n)) for slot, n in missing
+            )
+        self.consumed += other.consumed - prologue_ids
+        return self
+
+    def subtract(self, other: "CheckerShardResult", prologue_ids: int) -> "CheckerShardResult":
+        """Retract ``other``'s shard from the tail — the inverse of merge.
+
+        ``merge(a, b, p).subtract(b, p)`` restores ``a``: ``other`` must be
+        the most recently merged shard, so its entries — rebased with the
+        delta the merge used (recovered as ``self.consumed -
+        other.consumed``) — are the suffixes of this state's flushed list
+        and per-group root indexes.  Every suffix is verified before it is
+        dropped (a state that was never merged raises), and group/missing
+        lists that empty out disappear so the subtracted state is
+        structurally identical to the pre-merge one.  Cost is proportional
+        to ``other``'s entries, not to the document.
+        """
+        delta = self.consumed - other.consumed
+        if delta < 0:
+            raise ValueError(
+                "cannot subtract a shard that consumed more ids than this state"
+            )
+
+        def rebase(node_id: int) -> int:
+            return node_id if node_id < prologue_ids else node_id + delta
+
+        count = len(other.flushed)
+        if count:
+            expected = [
+                (
+                    key_index,
+                    rebase(context_id),
+                    [
+                        (kind, tuple(rebase(n) for n in node_ids), values)
+                        for kind, node_ids, values in violations
+                    ],
+                )
+                for key_index, context_id, violations in other.flushed
+            ]
+            if len(self.flushed) < count or self.flushed[-count:] != expected:
+                raise ValueError(
+                    "subtracted shard is not the flushed suffix of this state"
+                )
+            del self.flushed[-count:]
+        for bucket_index, groups in other.open_groups.items():
+            target = self.open_groups.get(bucket_index)
+            if target is None and groups:
+                raise ValueError(
+                    "subtracted shard names a context bucket absent from this state"
+                )
+            for group_key, node_ids in groups.items():
+                expected_ids = [rebase(n) for n in node_ids]
+                mine = target.get(group_key) if target is not None else None
+                if mine is None or len(mine) < len(expected_ids) or (
+                    mine[len(mine) - len(expected_ids):] != expected_ids
+                ):
+                    raise ValueError(
+                        "subtracted shard is not the open-group suffix of this state"
+                    )
+                del mine[len(mine) - len(expected_ids):]
+                if not mine:
+                    del target[group_key]
+        for bucket_index, missing in other.open_missing.items():
+            if not missing:
+                continue
+            mine = self.open_missing.get(bucket_index)
+            expected_missing = [(slot, rebase(n)) for slot, n in missing]
+            if mine is None or len(mine) < len(expected_missing) or (
+                mine[len(mine) - len(expected_missing):] != expected_missing
+            ):
+                raise ValueError(
+                    "subtracted shard is not the open-missing suffix of this state"
+                )
+            del mine[len(mine) - len(expected_missing):]
+        self.consumed = delta + prologue_ids
+        return self
+
 
 def merge_shard_results(
     keys: Iterable[XMLKey],
@@ -551,42 +670,19 @@ def merge_shard_results(
     exactly the witnesses the serial pass reports.
     """
     checker = KeyStreamChecker(keys)
-    flushed: List[_FlushEntry] = []
-    merged_groups: Dict[int, Dict[Tuple[int, Tuple[str, ...]], List[int]]] = {}
-    merged_missing: Dict[int, List[Tuple[int, int]]] = {}
-    root_open = False
-    delta = 0
+    # Fold the binary, associative merge in document order; an "empty"
+    # state whose counter sits right after the prologue is the identity.
+    merged = CheckerShardResult(consumed=prologue_ids)
     for result in results:
-        def rebase(node_id: int, _delta: int = delta) -> int:
-            return node_id if node_id < prologue_ids else node_id + _delta
-
-        for key_index, context_id, violations in result.flushed:
-            flushed.append(
-                (
-                    key_index,
-                    rebase(context_id),
-                    [
-                        (kind, tuple(rebase(n) for n in node_ids), values)
-                        for kind, node_ids, values in violations
-                    ],
-                )
-            )
-        for bucket_index, groups in result.open_groups.items():
-            root_open = True
-            target = merged_groups.setdefault(bucket_index, {})
-            for group_key, node_ids in groups.items():
-                target.setdefault(group_key, []).extend(rebase(n) for n in node_ids)
-        for bucket_index, missing in result.open_missing.items():
-            root_open = True
-            merged_missing.setdefault(bucket_index, []).extend(
-                (slot, rebase(n)) for slot, n in missing
-            )
-        delta += result.consumed - prologue_ids
-    if root_open:
-        for bucket_index in sorted(set(merged_groups) | set(merged_missing)):
+        merged.merge(result, prologue_ids)
+    flushed = merged.flushed
+    if merged.open_groups or merged.open_missing:
+        for bucket_index in sorted(
+            set(merged.open_groups) | set(merged.open_missing)
+        ):
             record = _ContextRecord(checker.buckets[bucket_index], 0)
-            record.groups = merged_groups.get(bucket_index, {})
-            record.missing = merged_missing.get(bucket_index, [])
+            record.groups = merged.open_groups.get(bucket_index, {})
+            record.missing = merged.open_missing.get(bucket_index, [])
             flushed.extend(record.flush())
     return checker._materialize_all(flushed)
 

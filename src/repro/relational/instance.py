@@ -46,6 +46,16 @@ class NullType:
     def __hash__(self) -> int:
         return hash("repro-null")
 
+    def __reduce__(self):
+        # NULL crosses process boundaries (shard results in
+        # :mod:`repro.parallel`) and every null check in the repository is
+        # an identity check, so unpickling must return the canonical
+        # singleton under *every* protocol.  The default protocol-0/1
+        # reduction bypasses ``__new__``'s memo and produced a second
+        # instance for which ``is NULL`` — and therefore ``is_null`` — was
+        # False.
+        return (NullType, ())
+
 
 NULL = NullType()
 
@@ -184,6 +194,52 @@ class FDViolationAccumulator:
         self.count += other.count
         return self
 
+    def subtract(self, other: "FDViolationAccumulator") -> "FDViolationAccumulator":
+        """Unobserve ``other``'s rows from the tail — the inverse of merge.
+
+        ``merge(a, b).subtract(b)`` restores ``a`` exactly: ``other`` must
+        describe the most recently merged (or observed) suffix of this
+        accumulator's row sequence.  Because merge only shifts ``other``'s
+        indexes by the preceding row count, every index at or above the
+        split point belongs to ``other``'s rows; the suffix is verified
+        entry-for-entry before anything is dropped, so a mismatched
+        subtraction raises instead of corrupting the state.  Cost is
+        proportional to ``other``'s entries — O(delta), not O(rows).
+        """
+        if (
+            other.lhs_sorted != self.lhs_sorted
+            or other.rhs_sorted != self.rhs_sorted
+        ):
+            raise ValueError("cannot subtract accumulators of different FDs")
+        offset = self.count - other.count
+        if offset < 0:
+            raise ValueError(
+                f"cannot subtract {other.count} rows from an accumulator of "
+                f"{self.count}"
+            )
+        tail = [index for index in self.null_determinant if index >= offset]
+        if tail != [index + offset for index in other.null_determinant]:
+            raise ValueError(
+                "subtracted accumulator is not the null-determinant suffix "
+                "of this one"
+            )
+        if tail:
+            del self.null_determinant[-len(tail):]
+        for determinant, entries in other.groups.items():
+            mine = self.groups.get(determinant)
+            expected = [(index + offset, dependent) for index, dependent in entries]
+            if mine is None or len(mine) < len(expected) or (
+                mine[len(mine) - len(expected):] != expected
+            ):
+                raise ValueError(
+                    "subtracted accumulator is not the group suffix of this one"
+                )
+            del mine[len(mine) - len(expected):]
+            if not mine:
+                del self.groups[determinant]
+        self.count = offset
+        return self
+
     def finalize(self) -> List[FDViolation]:
         """The violations of the observed (merged) row sequence."""
         nulls = [
@@ -217,6 +273,20 @@ class FDViolationAccumulator:
                     )
         conflicts.sort(key=lambda entry: entry[0])
         return nulls + [violation for _, violation in conflicts]
+
+    def __eq__(self, other: object) -> bool:
+        # Structural state equality (container comparisons identity-match
+        # the NULL singleton) — what the merge/subtract inverse laws of the
+        # incremental plane assert on.
+        if not isinstance(other, FDViolationAccumulator):
+            return NotImplemented
+        return (
+            self.lhs_sorted == other.lhs_sorted
+            and self.rhs_sorted == other.rhs_sorted
+            and self.count == other.count
+            and self.null_determinant == other.null_determinant
+            and self.groups == other.groups
+        )
 
 
 class RelationInstance:
@@ -269,6 +339,38 @@ class RelationInstance:
                 )
             merged.rows.extend(other.rows)
         return merged
+
+    def subtract(self, *others: "RelationInstance") -> "RelationInstance":
+        """Remove each instance's rows from the tail — the inverse of merge.
+
+        ``a.merge(b, c).subtract(b, c)`` returns an instance equal to ``a``:
+        the others' row lists are peeled off the end in reverse order, each
+        verified row-for-row (``Row`` equality freezes NULLs) before it is
+        dropped, so subtracting anything that is not the merged suffix
+        raises instead of silently corrupting the bag.
+        """
+        result = RelationInstance(self.schema)
+        result.rows = list(self.rows)
+        for other in reversed(others):
+            if (
+                other.schema.name != self.schema.name
+                or tuple(other.schema.attributes) != tuple(self.schema.attributes)
+            ):
+                raise ValueError(
+                    f"cannot subtract instance of {other.schema.name!r}"
+                    f"{tuple(other.schema.attributes)} from {self.schema.name!r}"
+                    f"{tuple(self.schema.attributes)}"
+                )
+            count = len(other.rows)
+            if count == 0:
+                continue
+            if len(result.rows) < count or result.rows[-count:] != other.rows:
+                raise ValueError(
+                    f"subtracted instance of {other.schema.name!r} is not the "
+                    "row suffix of this one"
+                )
+            del result.rows[-count:]
+        return result
 
     # ------------------------------------------------------------------
     # Views

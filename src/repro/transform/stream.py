@@ -388,6 +388,70 @@ class RuleShardResult:
     anchor_matches: List[int] = field(default_factory=list)
     root_parts: List[str] = field(default_factory=list)
 
+    def _matches(self) -> List[int]:
+        return self.anchor_matches or [0] * len(self.anchor_rows)
+
+    def merge(self, other: "RuleShardResult") -> "RuleShardResult":
+        """Append ``other``'s shard state after this one — in place.
+
+        The binary form of :func:`merge_rule_shards`' concatenation step:
+        per-anchor row blocks, match counters and root value parts all
+        concatenate in document (shard) order, associatively.  ``other``
+        is left untouched.  The global NULL / product / deduplication
+        semantics still happen exactly once, when the accumulated state is
+        rendered by :func:`merge_rule_shards`.
+        """
+        if len(other.anchor_rows) != len(self.anchor_rows):
+            raise ValueError(
+                "cannot merge shard results with different anchor counts"
+            )
+        for mine, theirs in zip(self.anchor_rows, other.anchor_rows):
+            mine.extend(theirs)
+        self.anchor_matches = [
+            a + b for a, b in zip(self._matches(), other._matches())
+        ]
+        self.root_parts.extend(other.root_parts)
+        return self
+
+    def subtract(self, other: "RuleShardResult") -> "RuleShardResult":
+        """Retract ``other``'s shard state from the tail — inverse of merge.
+
+        ``merge(a, b).subtract(b)`` restores ``a``.  Every per-anchor block
+        of ``other`` must be the suffix of the corresponding block here
+        (row dicts compare with the NULL singleton identity-matched by the
+        container comparison); the suffixes are verified before anything is
+        dropped, so subtracting a state that was never merged raises.
+        """
+        if len(other.anchor_rows) != len(self.anchor_rows):
+            raise ValueError(
+                "cannot subtract shard results with different anchor counts"
+            )
+        for mine, theirs in zip(self.anchor_rows, other.anchor_rows):
+            count = len(theirs)
+            if count and (len(mine) < count or mine[-count:] != theirs):
+                raise ValueError(
+                    "subtracted shard result is not the row suffix of this one"
+                )
+        matches = [a - b for a, b in zip(self._matches(), other._matches())]
+        if any(count < 0 for count in matches):
+            raise ValueError(
+                "subtracted shard result reports more anchor matches than merged"
+            )
+        parts = len(other.root_parts)
+        if parts and (
+            len(self.root_parts) < parts or self.root_parts[-parts:] != other.root_parts
+        ):
+            raise ValueError(
+                "subtracted shard result is not the root-value suffix of this one"
+            )
+        for mine, theirs in zip(self.anchor_rows, other.anchor_rows):
+            if theirs:
+                del mine[-len(theirs):]
+        self.anchor_matches = matches
+        if parts:
+            del self.root_parts[-parts:]
+        return self
+
 
 def _child_value_parts(element: ElementNode) -> List[str]:
     """The per-child pieces of ``XMLTree._element_value`` for one element.

@@ -99,12 +99,14 @@ class DocumentShards:
     def __len__(self) -> int:
         return len(self.slices)
 
+    def slice_text(self, index: int) -> str:
+        """The raw character range of one slice (no synthetic wrapper)."""
+        piece = self.slices[index]
+        return self.text[piece.start:piece.end]
+
     def shard_source(self, index: int) -> str:
         """The slice wrapped in a synthetic root, ready for the tokenizer."""
-        piece = self.slices[index]
-        return (
-            f"<{self.root_tag}>{self.text[piece.start:piece.end]}</{self.root_tag}>"
-        )
+        return f"<{self.root_tag}>{self.slice_text(index)}</{self.root_tag}>"
 
     def shard_events(
         self, index: int, strip_whitespace: bool = True
@@ -115,13 +117,9 @@ class DocumentShards:
         stream between this slice's boundaries: the synthetic wrapper only
         provides the tokenizer with a well-formed document.
         """
-        events = iter_events(self.shard_source(index), strip_whitespace=strip_whitespace)
-        next(events)  # the synthetic root START
-        pending = next(events, None)
-        for event in events:
-            yield pending  # type: ignore[misc]
-            pending = event
-        # ``pending`` is now the synthetic root END — dropped.
+        return fragment_events(
+            self.root_tag, self.slice_text(index), strip_whitespace=strip_whitespace
+        )
 
     def replay_events(self, strip_whitespace: bool = True) -> Iterator[Event]:
         """The whole document as events, reassembled from the shards.
@@ -133,6 +131,32 @@ class DocumentShards:
         for index in range(len(self.slices)):
             yield from self.shard_events(index, strip_whitespace=strip_whitespace)
         yield Event(END, self.root_tag)
+
+
+def fragment_events(
+    root_tag: str, fragment: str, strip_whitespace: bool = True
+) -> Iterator[Event]:
+    """Replay a content fragment as events, as if it sat under ``root_tag``.
+
+    The fragment is wrapped in a synthetic root element (whose ``start``
+    and ``end`` events are dropped) so the ordinary tokenizer — dialect,
+    entity expansion, error messages — does all the work.  This is how
+    every consumer of a shard slice, and the incremental engine's delta
+    fragments, turn raw characters back into the serial event
+    sub-sequence.  A malformed fragment raises the tokenizer's own
+    :exc:`~repro.xmlmodel.parser.XMLSyntaxError` lazily, mid-iteration —
+    consumers that must stay consistent drain the whole stream before
+    committing any state (as the incremental engine does).
+    """
+    events = iter_events(
+        f"<{root_tag}>{fragment}</{root_tag}>", strip_whitespace=strip_whitespace
+    )
+    next(events)  # the synthetic root START
+    pending = next(events, None)
+    for event in events:
+        yield pending  # type: ignore[misc]
+        pending = event
+    # ``pending`` is now the synthetic root END — dropped.
 
 
 # ----------------------------------------------------------------------
@@ -308,6 +332,55 @@ def split_document(text: str, num_shards: int) -> Optional[DocumentShards]:
     # ``attr`` events (tokenizer fidelity) but occupies a single node id
     # (the DOM keeps one node, last value wins), so ids count *distinct*
     # attribute names.
+    distinct_attrs = {event.name for event in prologue_events if event.kind == ATTR}
+    return DocumentShards(
+        text=text,
+        root_tag=root_tag,
+        prologue_events=prologue_events,
+        prologue_ids=1 + len(distinct_attrs),
+        slices=tuple(slices),
+        content_start=content_start,
+        content_end=content_end,
+    )
+
+
+def split_subtrees(text: str) -> Optional[DocumentShards]:
+    """Cut a document at its *finest* anchor granularity: one slice per
+    top-level child subtree.
+
+    The addressing scheme of the incremental plane
+    (:mod:`repro.incremental`): slice ``k`` is the ``k``-th top-level child
+    of the root — exactly the unit a subtree delta inserts, deletes or
+    replaces — and the slices are the finest partition
+    :func:`split_document` could produce, so all of the parallel plane's
+    merge guarantees (prologue replay, id rebasing, document-order
+    concatenation) apply unchanged.  Unlike :func:`split_document`, a
+    single child is acceptable (there is no parallelism to amortize, but a
+    one-child document is still editable), and the slice count is not
+    capped.  Returns ``None`` when the structural scan cannot slice the
+    document with confidence or the root has no element children — callers
+    fall back to batch re-processing.
+
+    Slice boundaries are child start offsets: leading text/comment content
+    rides with slice 0 and the text trailing a child rides with that
+    child's slice, so the slices partition the root's whole content range.
+    """
+    scan = _scan_structure(text)
+    if scan is None:
+        return None
+    root_tag, prologue_events, content_start, content_end, child_offsets = scan
+    if not child_offsets:
+        return None
+    slices: List[ShardSlice] = []
+    start = content_start
+    for index, offset in enumerate(child_offsets):
+        end = (
+            child_offsets[index + 1]
+            if index + 1 < len(child_offsets)
+            else content_end
+        )
+        slices.append(ShardSlice(start, end, 1))
+        start = end
     distinct_attrs = {event.name for event in prologue_events if event.kind == ATTR}
     return DocumentShards(
         text=text,

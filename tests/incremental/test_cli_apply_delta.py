@@ -1,0 +1,272 @@
+"""End-to-end tests of the ``apply-delta`` CLI command."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+
+TRANSFORM_TEXT = """
+table chapter
+  var ya <- xr : //book
+  var y1 <- ya : @isbn
+  var yc <- ya : chapter
+  var y2 <- yc : @number
+  var y3 <- yc : name
+  field inBook = value(y1)
+  field number = value(y2)
+  field name   = value(y3)
+"""
+
+KEYS_TEXT = """
+K1 = (., (//book, {@isbn}))
+K2 = (//book, (chapter, {@number}))
+K4 = (//book/chapter, (name, {}))
+"""
+
+DOC = (
+    '<bib><book isbn="111"><chapter number="1"><name>A</name></chapter></book>'
+    '<book isbn="222"><chapter number="1"><name>C</name></chapter></book></bib>'
+)
+
+BOOK_333 = '<book isbn="333"><chapter number="9"><name>Z</name></chapter></book>'
+
+
+@pytest.fixture()
+def workspace(tmp_path):
+    transform_file = tmp_path / "rules.dsl"
+    transform_file.write_text(TRANSFORM_TEXT)
+    keys_file = tmp_path / "keys.txt"
+    keys_file.write_text(KEYS_TEXT)
+    xml_file = tmp_path / "doc.xml"
+    xml_file.write_text(DOC)
+    return {
+        "transform": str(transform_file),
+        "keys": str(keys_file),
+        "xml": str(xml_file),
+        "db": str(tmp_path / "out.db"),
+        "tmp": tmp_path,
+    }
+
+
+class TestBatchOps:
+    def test_clean_sequence_exits_zero(self, workspace, capsys):
+        code = main(
+            [
+                "apply-delta",
+                "--xml", workspace["xml"],
+                "--transform", workspace["transform"],
+                "--keys", workspace["keys"],
+                "--op", f"insert 2 {BOOK_333}",
+                "--op", "delete 0",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "indexed" in out and "2 top-level subtree(s)" in out
+        assert "insert 2: 3 subtree(s)" in out
+        assert "delete 0: 2 subtree(s)" in out
+
+    def test_violating_delta_exits_one(self, workspace, capsys):
+        clashing = '<book isbn="111"><chapter number="7"><name>D</name></chapter></book>'
+        code = main(
+            [
+                "apply-delta",
+                "--xml", workspace["xml"],
+                "--keys", workspace["keys"],
+                "--op", f"insert 2 {clashing}",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "+1/-0 violation(s)" in out
+
+    def test_fragment_file_operand(self, workspace, capsys):
+        fragment_file = workspace["tmp"] / "book.xml"
+        fragment_file.write_text(BOOK_333)
+        code = main(
+            [
+                "apply-delta",
+                "--xml", workspace["xml"],
+                "--keys", workspace["keys"],
+                "--op", f"replace 0 {fragment_file}",
+            ]
+        )
+        assert code == 0
+        assert "replace 0: 2 subtree(s)" in capsys.readouterr().out
+
+    def test_write_back(self, workspace):
+        code = main(
+            [
+                "apply-delta",
+                "--xml", workspace["xml"],
+                "--transform", workspace["transform"],
+                "--op", "delete 1",
+                "--write-back",
+            ]
+        )
+        assert code == 0
+        written = (workspace["tmp"] / "doc.xml").read_text()
+        assert written == (
+            '<bib><book isbn="111"><chapter number="1"><name>A</name></chapter></book></bib>'
+        )
+
+    def test_db_kept_in_step(self, workspace, capsys):
+        code = main(
+            [
+                "apply-delta",
+                "--xml", workspace["xml"],
+                "--transform", workspace["transform"],
+                "--keys", workspace["keys"],
+                "--db", workspace["db"],
+                "--op", f"insert 2 {BOOK_333}",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "chapter: 2 rows" in out
+        assert "chapter: +1/-0 row(s)" in out
+        from repro.storage import SQLiteBackend
+
+        backend = SQLiteBackend(workspace["db"])
+        try:
+            assert backend.row_count("chapter") == 3
+        finally:
+            backend.close()
+
+    def test_strict_rejection_exits_one_and_skips_write_back(self, workspace, capsys):
+        # Same (inBook, number) as an existing row with a different name:
+        # violates the propagated FD cover, so strict mode rejects it.
+        original = (workspace["tmp"] / "doc.xml").read_text()
+        clashing = '<book isbn="111"><chapter number="1"><name>Clash</name></chapter></book>'
+        code = main(
+            [
+                "apply-delta",
+                "--xml", workspace["xml"],
+                "--transform", workspace["transform"],
+                "--keys", workspace["keys"],
+                "--db", workspace["db"],
+                "--op", f"insert 2 {clashing}",
+                "--write-back",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "delta rejected" in out
+        assert (workspace["tmp"] / "doc.xml").read_text() == original
+
+
+class TestUsageErrors:
+    def test_no_constraints_is_usage_error(self, workspace, capsys):
+        code = main(["apply-delta", "--xml", workspace["xml"], "--op", "delete 0"])
+        assert code == 2
+        assert "provide --transform" in capsys.readouterr().err
+
+    def test_db_without_transform_is_usage_error(self, workspace, capsys):
+        code = main(
+            [
+                "apply-delta",
+                "--xml", workspace["xml"],
+                "--keys", workspace["keys"],
+                "--db", workspace["db"],
+                "--op", "delete 0",
+            ]
+        )
+        assert code == 2
+        assert "--db needs --transform" in capsys.readouterr().err
+
+    def test_no_op_and_no_repl_is_usage_error(self, workspace, capsys):
+        code = main(
+            ["apply-delta", "--xml", workspace["xml"], "--keys", workspace["keys"]]
+        )
+        assert code == 2
+        assert "at least one --op" in capsys.readouterr().err
+
+    def test_bad_position_exits_two(self, workspace, capsys):
+        code = main(
+            [
+                "apply-delta",
+                "--xml", workspace["xml"],
+                "--keys", workspace["keys"],
+                "--op", "delete 9",
+            ]
+        )
+        assert code == 2
+
+    def test_malformed_op_exits_two(self, workspace):
+        code = main(
+            [
+                "apply-delta",
+                "--xml", workspace["xml"],
+                "--keys", workspace["keys"],
+                "--op", "frobnicate 0",
+            ]
+        )
+        assert code == 2
+
+    def test_missing_xml_exits_two(self, workspace):
+        code = main(
+            [
+                "apply-delta",
+                "--xml", str(workspace["tmp"] / "missing.xml"),
+                "--keys", workspace["keys"],
+                "--op", "delete 0",
+            ]
+        )
+        assert code == 2
+
+
+class TestRepl:
+    def _run(self, workspace, script, monkeypatch, extra=()):
+        monkeypatch.setattr("sys.stdin", io.StringIO(script))
+        return main(
+            [
+                "apply-delta",
+                "--xml", workspace["xml"],
+                "--transform", workspace["transform"],
+                "--keys", workspace["keys"],
+                "--repl",
+                *extra,
+            ]
+        )
+
+    def test_queries_and_deltas(self, workspace, capsys, monkeypatch):
+        script = (
+            "violations\n"
+            "tables\n"
+            f"insert 2 {BOOK_333}\n"
+            "# a comment line\n"
+            "\n"
+            "text\n"
+            "quit\n"
+        )
+        code = self._run(workspace, script, monkeypatch)
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "0 violation(s)" in out
+        assert "chapter: 2 rows" in out
+        assert "insert 2: 3 subtree(s)" in out
+        assert BOOK_333 in out  # the `text` query echoes the document
+
+    def test_errors_do_not_end_session(self, workspace, capsys, monkeypatch):
+        script = "delete 42\nbogus op\ndelete 0\nexit\n"
+        code = self._run(workspace, script, monkeypatch)
+        out = capsys.readouterr().out
+        assert code == 0
+        assert out.count("error:") == 2
+        assert "delete 0: 1 subtree(s)" in out
+
+    def test_rejected_last_delta_exits_one(self, workspace, capsys, monkeypatch):
+        clashing = '<book isbn="111"><chapter number="1"><name>Clash</name></chapter></book>'
+        script = f"insert 2 {clashing}\nquit\n"
+        code = self._run(
+            workspace, script, monkeypatch, extra=("--db", workspace["db"])
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "delta rejected" in out
+
+    def test_eof_ends_session(self, workspace, capsys, monkeypatch):
+        code = self._run(workspace, "violations\n", monkeypatch)
+        assert code == 0
+        assert "0 violation(s)" in capsys.readouterr().out

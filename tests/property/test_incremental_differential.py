@@ -1,0 +1,229 @@
+"""Differential pinning of the incremental plane against from-scratch runs.
+
+The contract of :class:`repro.incremental.IncrementalEngine` is absolute:
+after *any* sequence of subtree deltas, the engine must be
+indistinguishable — violations down to their detail strings, relation rows
+down to their order, database contents down to the NULL row — from
+throwing the state away and re-running the batch planes on the edited
+text.  These properties drive random delta programs (insert / delete /
+replace with random fragments at random positions) against random
+documents, rules and keys, and check that equivalence after every step:
+
+* **Violations** — the engine's merged checker answer equals
+  :func:`~repro.keys.stream.stream_violations` on ``engine.text()``;
+
+* **Shredding** — the engine's merged instances equal
+  :func:`~repro.transform.stream.stream_evaluate_rule` on the same text,
+  row-for-row;
+
+* **Reports** — each :class:`~repro.incremental.DeltaReport`'s
+  appeared/disappeared lists reconcile the before and after violation bags;
+
+* **Storage** — a database kept in step by
+  :class:`~repro.incremental.DeltaStore` (log mode, so no delta is
+  rejected) holds exactly the rows a fresh bulk load of the final text
+  would produce.
+
+Documents the engine cannot index (childless roots) and rules it cannot
+maintain (root-bound anchors) are skipped — the batch planes remain the
+right tool for those, and their fallbacks are pinned by the unit tests.
+"""
+
+from collections import Counter
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.incremental import DeltaStore, IncrementalEngine, delete, insert, replace
+from repro.keys.stream import stream_violations
+from repro.relational.sql import encode_row
+from repro.storage import BulkLoader, SQLiteBackend, StorageDDL, compile_table_ddl
+from repro.transform.stream import stream_evaluate_rule
+from repro.xmlmodel.builder import element, text
+from repro.xmlmodel.serializer import serialize
+
+from test_parallel_differential import (
+    ATTRIBUTES,
+    LABELS,
+    VALUES,
+    differential_settings,
+    fingerprint,
+    table_rules,
+    xml_documents,
+    xml_keys,
+)
+
+pytestmark = pytest.mark.slow
+
+
+# ----------------------------------------------------------------------
+# Random fragments and delta programs
+# ----------------------------------------------------------------------
+@st.composite
+def subtree_fragments(draw):
+    """One serialized element subtree, from the documents' vocabulary."""
+
+    def build(depth):
+        node = element(draw(st.sampled_from(LABELS)))
+        for name in ATTRIBUTES:
+            if draw(st.booleans()):
+                node.set_attribute(name, draw(st.sampled_from(VALUES)))
+        if depth < 3:
+            for _ in range(draw(st.integers(min_value=0, max_value=2))):
+                if draw(st.integers(min_value=0, max_value=4)) == 0:
+                    node.append_child(text(draw(st.sampled_from(["t", "u"]))))
+                else:
+                    node.append_child(build(depth + 1))
+        return node
+
+    return serialize(build(1), indent=0)
+
+
+@st.composite
+def delta_programs(draw):
+    """1–5 delta operations; positions resolve against the live count."""
+    ops = []
+    for _ in range(draw(st.integers(min_value=1, max_value=5))):
+        kind = draw(st.sampled_from(["insert", "delete", "replace"]))
+        seed = draw(st.integers(min_value=0, max_value=99))
+        fragment = draw(subtree_fragments()) if kind != "delete" else None
+        ops.append((kind, seed, fragment))
+    return ops
+
+
+def _ordered(rows):
+    """Rows sorted with NULLs last (tuples mix None and str)."""
+    return sorted(rows, key=lambda row: tuple((v is None, v or "") for v in row))
+
+
+def _resolve(engine, kind, seed, fragment):
+    """Turn a program step into an applicable Delta, or None to skip."""
+    count = engine.subtree_count
+    if kind == "insert":
+        return insert(seed % (count + 1), fragment)
+    if count == 0:
+        return None  # nothing to delete or replace
+    if kind == "delete":
+        return delete(seed % count)
+    return replace(seed % count, fragment)
+
+
+def _build_engine(rule, keys, doc):
+    """An indexed engine, or None when this input is out of scope."""
+    try:
+        engine = IncrementalEngine([rule] if rule is not None else None, keys)
+    except ValueError:
+        return None  # root-bound rule: cannot be maintained incrementally
+    try:
+        engine.load(doc)
+    except ValueError:
+        return None  # childless root: nothing to slice at
+    return engine
+
+
+# ----------------------------------------------------------------------
+# 1. Engine answers ≡ from-scratch batch runs, after every delta
+# ----------------------------------------------------------------------
+class TestEngineDifferential:
+    @differential_settings
+    @given(
+        tree=xml_documents(),
+        rule=table_rules(),
+        keys=st.lists(xml_keys(), min_size=1, max_size=3),
+        program=delta_programs(),
+    )
+    def test_every_step_matches_batch(self, tree, rule, keys, program):
+        doc = serialize(tree, indent=0)
+        engine = _build_engine(rule, keys, doc)
+        if engine is None:
+            return
+        for kind, seed, fragment in program:
+            step = _resolve(engine, kind, seed, fragment)
+            if step is None:
+                continue
+            before = Counter(fingerprint(engine.violations()))
+            report = engine.apply(step)
+            after = Counter(fingerprint(engine.violations()))
+            # The report reconciles the two violation bags exactly.
+            assert after == (
+                before
+                - Counter(fingerprint(report.disappeared))
+                + Counter(fingerprint(report.appeared))
+            )
+            assert report.violations == sum(after.values())
+            assert report.subtrees == engine.subtree_count
+            # Violations: byte-identical to a fresh streaming check.
+            current = engine.text()
+            assert fingerprint(engine.violations()) == fingerprint(
+                stream_violations(current, keys)
+            )
+            # Shredding: row-identical to a fresh streaming evaluation.
+            serial = stream_evaluate_rule(rule, current, deduplicate=True)
+            assert engine.instances()["R"].rows == serial.rows
+
+    @differential_settings
+    @given(
+        tree=xml_documents(),
+        keys=st.lists(xml_keys(), min_size=1, max_size=3),
+        program=delta_programs(),
+    )
+    def test_reindexing_own_text_is_identity(self, tree, keys, program):
+        doc = serialize(tree, indent=0)
+        engine = _build_engine(None, keys, doc)
+        if engine is None:
+            return
+        for kind, seed, fragment in program:
+            step = _resolve(engine, kind, seed, fragment)
+            if step is not None:
+                engine.apply(step)
+        # A fresh engine indexing the edited text answers identically:
+        # the incremental state never drifts from what the text implies.
+        fresh = _build_engine(None, keys, engine.text())
+        if fresh is None:
+            assert engine.subtree_count == 0
+            return
+        assert fingerprint(fresh.violations()) == fingerprint(engine.violations())
+        assert fresh.text() == engine.text()
+
+
+# ----------------------------------------------------------------------
+# 2. An attached database never drifts from a fresh bulk load
+# ----------------------------------------------------------------------
+class TestStoreDifferential:
+    @differential_settings
+    @given(
+        tree=xml_documents(),
+        rule=table_rules(),
+        program=delta_programs(),
+    )
+    def test_database_matches_fresh_load_of_final_text(self, tree, rule, program):
+        doc = serialize(tree, indent=0)
+        engine = _build_engine(rule, [], doc)
+        if engine is None:
+            return
+        ddl = StorageDDL(
+            mode="log",
+            tables={"R": compile_table_ddl(rule.schema(), [], mode="log")},
+            provenance_column=None,
+        )
+        backend = SQLiteBackend()
+        try:
+            engine.attach_store(DeltaStore(BulkLoader(backend, ddl)))
+            for kind, seed, fragment in program:
+                step = _resolve(engine, kind, seed, fragment)
+                if step is not None:
+                    engine.apply(step)
+            db_rows = _ordered(backend.query('SELECT * FROM "R"'))
+            instance = engine.instances()["R"]
+            engine_rows = _ordered(
+                tuple(encode_row(instance.schema, row)) for row in instance.rows
+            )
+            assert db_rows == engine_rows
+            # And the engine rows themselves equal a from-scratch shred of
+            # the final text, so the database transitively matches a fresh
+            # bulk load.
+            serial = stream_evaluate_rule(rule, engine.text(), deduplicate=True)
+            assert instance.rows == serial.rows
+        finally:
+            backend.close()

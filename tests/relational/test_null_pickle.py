@@ -1,0 +1,56 @@
+"""The NULL singleton must survive every serialization boundary.
+
+Every null check in the repository is an identity check (``value is
+NULL``), so any code path that clones or ships a row — pickling shard
+results across process boundaries, ``copy.deepcopy`` of accumulated
+state — must hand back the *canonical* singleton, not a second instance
+that answers ``False`` to ``is NULL``.  Protocols 0 and 1 used to break
+this: their default reduction bypasses ``__new__``'s memo, which is why
+``NullType.__reduce__`` exists.
+"""
+
+import copy
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.relational.instance import NULL, NullType, Row
+
+
+class TestPickleRoundTrips:
+    def test_every_protocol_returns_the_singleton(self):
+        for protocol in range(pickle.HIGHEST_PROTOCOL + 1):
+            clone = pickle.loads(pickle.dumps(NULL, protocol=protocol))
+            assert clone is NULL, f"protocol {protocol} forged a second NULL"
+
+    def test_nulls_inside_rows_survive(self):
+        # Protocols 2+ only: Row itself is a slots class, which the
+        # protocol-0/1 default reduction cannot serialize at all.
+        row = Row({"a": "x", "b": NULL})
+        for protocol in range(2, pickle.HIGHEST_PROTOCOL + 1):
+            clone = pickle.loads(pickle.dumps(row, protocol=protocol))
+            assert clone["b"] is NULL
+            assert clone.has_null()
+
+    def test_copy_and_deepcopy_return_the_singleton(self):
+        assert copy.copy(NULL) is NULL
+        assert copy.deepcopy(NULL) is NULL
+        assert copy.deepcopy({"a": NULL})["a"] is NULL
+
+    def test_reconstructing_the_class_returns_the_singleton(self):
+        assert NullType() is NULL
+
+
+def _bounce(value):
+    """Executed in a worker process: ship the value straight back."""
+    return value, value is NULL
+
+
+class TestProcessBoundary:
+    def test_null_identity_survives_a_worker_round_trip(self):
+        # The exact seam repro.parallel crosses: arguments pickle on the
+        # way out, results pickle on the way back.  Identity must hold on
+        # both sides.
+        with ProcessPoolExecutor(max_workers=1) as pool:
+            returned, identical_in_worker = pool.submit(_bounce, NULL).result()
+        assert identical_in_worker, "worker saw a forged NULL"
+        assert returned is NULL, "round-tripped NULL is a second instance"

@@ -234,6 +234,26 @@ class TestCorpusLoading:
             'SELECT COUNT(*) FROM "chapter" WHERE "_document" = ?', ("bad",)
         ) == [(0,)]
 
+    def test_skip_counts_reflect_only_loaded_documents(self, cover):
+        # The violating document's rows reach the database mid-transaction
+        # before the constraint fires; the rollback must also unwind them
+        # from the report's counts, which therefore always equal what is
+        # actually in the tables.
+        backend, loader, transformation = self._corpus_loader(cover, mode="strict")
+        baseline = loader.load_corpus(
+            [("good", DOC), ("good2", DOC_OTHER)], transformation
+        ).rows
+        backend2, loader2, _ = self._corpus_loader(cover, mode="strict")
+        report = loader2.load_corpus(
+            [("good", DOC), ("bad", DOC_VIOLATING), ("good2", DOC_OTHER)],
+            transformation,
+            on_error="skip",
+        )
+        assert report.rows == baseline
+        assert backend2.query('SELECT COUNT(*) FROM "chapter"') == [
+            (report.rows["chapter"],)
+        ]
+
     def test_on_error_raise_is_default(self, cover):
         backend, loader, transformation = self._corpus_loader(cover, mode="strict")
         with pytest.raises(LoadError):

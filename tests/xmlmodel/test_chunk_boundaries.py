@@ -1,0 +1,100 @@
+"""Chunk-boundary pinning: the chunked tokenizer ≡ the in-memory scanner.
+
+``iter_events`` takes a specialized single-buffer scanner for in-memory
+strings and an incremental tokenizer for streams.  The chunked path must
+produce the identical event stream no matter where the chunk boundaries
+fall — including boundaries that tear a tag name, an attribute value, a
+comment terminator, a CDATA marker, an entity reference or a processing
+instruction in half.  These tests split adversarial documents at *every*
+byte offset and at random multi-way cuts, in both whitespace modes, and
+require event-for-event equality (ids, kinds, text segmentation,
+attribute order).
+"""
+
+import pytest
+
+from repro.xmlmodel.events import iter_events
+
+# Each document concentrates one family of multi-byte markup whose
+# recognition must survive an arbitrarily placed chunk boundary.
+ADVERSARIAL_DOCUMENTS = {
+    "comments": (
+        "<?xml version='1.0'?><!-- lead --><r><!-- a - b -- inner --x-->"
+        "<a>t<!----></a><!-- tail --></r><!-- epilogue -->"
+    ),
+    "cdata": (
+        "<r><![CDATA[]]><a><![CDATA[ <not-a-tag> &amp; ]] ]]>post</a>"
+        "<b>pre<![CDATA[x]]>mid<![CDATA[y]]></b></r>"
+    ),
+    "processing-instructions": (
+        "<?xml version='1.0' encoding='utf-8'?><?style href='x.css'?>"
+        "<r><?ping?><a><?target data with ?> inside</a></r><?done?>"
+    ),
+    "entities": (
+        "<r a='&lt;&gt;&amp;&quot;&apos;'>&amp;text&lt;more&gt;"
+        "<a>&#65;&#x42;mixed &amp;&#97;</a></r>"
+    ),
+    "doctype-and-attrs": (
+        "<!DOCTYPE r [ <!ELEMENT r ANY> ]>"
+        "<r one='a b' two=\"c&amp;d\"><e three='&#10;'/></r>"
+    ),
+    "dense-markup": (
+        "<r><a x='1'/><b><c>t</c>u<d/></b>  <e>  </e>v</r>"
+    ),
+}
+
+
+def _chunked(document, cut_points, strip):
+    chunks = []
+    previous = 0
+    for cut in sorted(cut_points):
+        chunks.append(document[previous:cut])
+        previous = cut
+    chunks.append(document[previous:])
+    return list(iter_events(chunks, strip_whitespace=strip))
+
+
+@pytest.mark.parametrize("name", sorted(ADVERSARIAL_DOCUMENTS))
+@pytest.mark.parametrize("strip", [True, False], ids=["strip", "keep"])
+def test_every_single_split_matches_in_memory(name, strip):
+    document = ADVERSARIAL_DOCUMENTS[name]
+    reference = list(iter_events(document, strip_whitespace=strip))
+    assert reference, "adversarial document must produce events"
+    for offset in range(len(document) + 1):
+        chunked = _chunked(document, [offset], strip)
+        assert chunked == reference, f"split at byte {offset} diverged"
+
+
+@pytest.mark.parametrize("strip", [True, False], ids=["strip", "keep"])
+def test_multi_way_splits_match_in_memory(strip):
+    # One document mixing every marker family, cut at 3 moving offsets so
+    # boundaries land inside different markers on each pass.
+    document = (
+        "<?xml version='1.0'?><!-- c --><r>"
+        + "".join(
+            f"<x n='{i}'><![CDATA[v{i}]]>&amp;<!-- {i} --><?p{i} d?></x>"
+            for i in range(8)
+        )
+        + "</r>"
+    )
+    reference = list(iter_events(document, strip_whitespace=strip))
+    for start in range(0, len(document), 7):
+        cuts = [c for c in (start, start + 3, start + 11) if c <= len(document)]
+        assert _chunked(document, cuts, strip) == reference
+
+
+def test_one_byte_chunks_match_in_memory():
+    for name, document in sorted(ADVERSARIAL_DOCUMENTS.items()):
+        for strip in (True, False):
+            reference = list(iter_events(document, strip_whitespace=strip))
+            shredded = list(iter_events(iter(document), strip_whitespace=strip))
+            assert shredded == reference, f"{name}: one-byte chunks diverged"
+
+
+def test_file_like_source_uses_chunked_path():
+    import io
+
+    document = ADVERSARIAL_DOCUMENTS["cdata"]
+    reference = list(iter_events(document))
+    # A tiny chunk_size forces many refills through the file-like path.
+    assert list(iter_events(io.StringIO(document), chunk_size=3)) == reference

@@ -19,7 +19,10 @@ Two gates pin the PR's claims, in the style of PR 1/PR 2's speedup gates
   as lazy text chunks, so nothing ever holds the full input).
 
 The ``@pytest.mark.benchmark`` cases record the absolute throughputs per
-push into the ``BENCH_PR3.json`` CI artifact.
+push into the ``BENCH_PR3.json`` CI artifact.  PR 7 adds the
+``events_per_second`` group: the same gate document tokenized by the pure
+oracle and by the accelerated backend, with the derived rate stored in
+each record's ``extra_info``.
 """
 
 import time
@@ -240,3 +243,28 @@ def test_per_row_insert_emission(benchmark, gate_scenario):
         return sum(len(s) for s in sql_module.insert_statements(instance))
 
     assert benchmark(emit) > 0
+
+
+# ----------------------------------------------------------------------
+# Tokenizer throughput in events/second, pure vs. accelerated (PR 7)
+# ----------------------------------------------------------------------
+def _record_events_per_second(benchmark, text, engine):
+    events = benchmark(lambda: sum(1 for _ in iter_events(text, engine=engine)))
+    assert events > 0
+    stats = getattr(benchmark, "stats", None)
+    if stats is not None:  # absent under --benchmark-disable
+        benchmark.extra_info["events_per_second"] = round(
+            events / stats.stats.min
+        )
+
+
+@pytest.mark.benchmark(group="events_per_second")
+def test_events_per_second_pure(benchmark, gate_scenario):
+    _, text = gate_scenario
+    _record_events_per_second(benchmark, text, "pure")
+
+
+@pytest.mark.benchmark(group="events_per_second")
+def test_events_per_second_accel(benchmark, gate_scenario):
+    _, text = gate_scenario
+    _record_events_per_second(benchmark, text, "accel")

@@ -162,9 +162,25 @@ def _resolved_jobs(args: argparse.Namespace) -> int:
     return resolve_jobs(args.jobs)
 
 
+def _tokenizer_engine(args: argparse.Namespace) -> Optional[str]:
+    """Validate ``--tokenizer`` up front; unavailable backends exit 2.
+
+    :exc:`~repro.xmlmodel.accel.TokenizerUnavailable` is a
+    :class:`ValueError`, so ``main()``'s uniform usage-error handling
+    applies — but raising here, before any work, keeps the failure crisp.
+    """
+    engine = getattr(args, "tokenizer", None)
+    if engine is not None:
+        from repro.xmlmodel import resolve_engine
+
+        resolve_engine(engine)
+    return engine
+
+
 def cmd_shred(args: argparse.Namespace) -> int:
     transformation = _load_transformation(args.transform)
     keys = _load_keys(args.keys) if args.keys else []
+    engine = _tokenizer_engine(args)
     exit_code = 0
     use_stream = args.stream or args.jobs is not None
     jobs = _resolved_jobs(args) if use_stream else 1
@@ -172,27 +188,31 @@ def cmd_shred(args: argparse.Namespace) -> int:
         # The parallel plane: shard at top-level anchor boundaries, map the
         # shards onto worker processes (shredding and key checking share
         # one pass per shard), merge — byte-identical to the serial plane.
+        # Passing the *path* lets the coordinator ship byte ranges and the
+        # workers mmap the file (zero-copy) when the document allows it.
         from repro.parallel import run_sharded
 
         run = run_sharded(
-            _read(args.xml),
+            Path(args.xml),
             transformation=transformation,
             keys=keys or None,
             jobs=jobs,
+            engine=engine,
         )
         instances = run.instances or {}
         if run.violations is not None:
             exit_code = _print_violation_report(keys, run.violations)
     elif use_stream:
         # One pass over the event stream feeds the shredder and the key
-        # checker together; no DOM is ever built.
+        # checker together; no DOM is ever built.  The path source lets an
+        # accelerated tokenizer mmap the file; the pure tokenizer reads it
+        # in bounded chunks.
         shredder = StreamShredder(transformation)
         checker = KeyStreamChecker(keys) if keys else None
-        with Path(args.xml).open(encoding="utf-8") as handle:
-            for event in iter_events(handle):
-                shredder.feed(event)
-                if checker is not None:
-                    checker.feed(event)
+        for event in iter_events(Path(args.xml), engine=engine):
+            shredder.feed(event)
+            if checker is not None:
+                checker.feed(event)
         instances = shredder.finish()
         if checker is not None:
             exit_code = _print_violation_report(keys, checker.finish())
@@ -226,18 +246,23 @@ def cmd_shred(args: argparse.Namespace) -> int:
 def cmd_check_doc(args: argparse.Namespace) -> int:
     """Validate a document against a key set (the Figure 2(a) workflow)."""
     keys = _load_keys(args.keys)
+    engine = _tokenizer_engine(args)
     if args.dom:
         tree = parse_document(_read(args.xml))
         found = [violation for key in keys for violation in violations(tree, key)]
     elif _resolved_jobs(args) > 1:
         from repro.parallel import run_sharded
 
-        found = run_sharded(_read(args.xml), keys=keys, jobs=_resolved_jobs(args)).violations or []
+        found = (
+            run_sharded(
+                Path(args.xml), keys=keys, jobs=_resolved_jobs(args), engine=engine
+            ).violations
+            or []
+        )
     else:
         checker = KeyStreamChecker(keys)
-        with Path(args.xml).open(encoding="utf-8") as handle:
-            for event in iter_events(handle):
-                checker.feed(event)
+        for event in iter_events(Path(args.xml), engine=engine):
+            checker.feed(event)
         found = checker.finish()
     return _print_violation_report(keys, found)
 
@@ -257,6 +282,7 @@ def cmd_load(args: argparse.Namespace) -> int:
 
     transformation = _load_transformation(args.transform)
     keys = _load_keys(args.keys) if args.keys else []
+    engine = _tokenizer_engine(args)
     rules = list(transformation)
     documents = list(args.xml)
     provenance = args.provenance
@@ -285,9 +311,10 @@ def cmd_load(args: argparse.Namespace) -> int:
         loader.create_schema()
         try:
             report = loader.load_corpus(
-                ((path, _read(path)) for path in documents),
+                ((path, Path(path)) for path in documents),
                 rules,
                 jobs=args.jobs,
+                engine=engine,
             )
         except LoadError as error:
             print(f"load rejected: {error}")
@@ -439,7 +466,7 @@ def cmd_apply_delta(args: argparse.Namespace) -> int:
         print("error: provide at least one --op, or --repl", file=sys.stderr)
         return 2
 
-    engine = IncrementalEngine(transformation, keys)
+    engine = IncrementalEngine(transformation, keys, engine=_tokenizer_engine(args))
     subtrees = engine.load(_read(args.xml))
     print(f"indexed {args.xml}: {subtrees} top-level subtree(s)")
 
@@ -635,6 +662,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="with --sql: emit PostgreSQL COPY blocks instead of INSERTs",
     )
+    shred.add_argument(
+        "--tokenizer",
+        choices=["auto", "pure", "accel", "expat", "lxml"],
+        default=None,
+        help="tokenizer backend: accel probes for the fastest C tokenizer (expat, or lxml when installed) with the pure tokenizer as the identical-output fallback; default: REPRO_TOKENIZER, else auto",
+    )
     shred.set_defaults(handler=cmd_shred)
 
     check_doc = subparsers.add_parser(
@@ -657,6 +690,12 @@ def build_parser() -> argparse.ArgumentParser:
             "check on N worker processes over document shards "
             "(0 = one worker per CPU; default: REPRO_JOBS, else serial)"
         ),
+    )
+    check_doc.add_argument(
+        "--tokenizer",
+        choices=["auto", "pure", "accel", "expat", "lxml"],
+        default=None,
+        help="tokenizer backend: accel probes for the fastest C tokenizer (expat, or lxml when installed) with the pure tokenizer as the identical-output fallback; default: REPRO_TOKENIZER, else auto",
     )
     check_doc.set_defaults(handler=cmd_check_doc)
 
@@ -714,6 +753,12 @@ def build_parser() -> argparse.ArgumentParser:
             "'_document' when several --xml are given)"
         ),
     )
+    load.add_argument(
+        "--tokenizer",
+        choices=["auto", "pure", "accel", "expat", "lxml"],
+        default=None,
+        help="tokenizer backend: accel probes for the fastest C tokenizer (expat, or lxml when installed) with the pure tokenizer as the identical-output fallback; default: REPRO_TOKENIZER, else auto",
+    )
     load.set_defaults(handler=cmd_load)
 
     query = subparsers.add_parser("query", help="inspect a database produced by load")
@@ -767,6 +812,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--write-back",
         action="store_true",
         help="save the edited document over --xml after all operations applied",
+    )
+    apply_delta.add_argument(
+        "--tokenizer",
+        choices=["auto", "pure", "accel", "expat", "lxml"],
+        default=None,
+        help="tokenizer backend: accel probes for the fastest C tokenizer (expat, or lxml when installed) with the pure tokenizer as the identical-output fallback; default: REPRO_TOKENIZER, else auto",
     )
     apply_delta.set_defaults(handler=cmd_apply_delta)
 

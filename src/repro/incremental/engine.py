@@ -177,6 +177,7 @@ class IncrementalEngine:
         schema: Optional[DatabaseSchema] = None,
         deduplicate: bool = True,
         strip_whitespace: bool = True,
+        engine: Optional[str] = None,
     ) -> None:
         self.rules: List[TableRule] = (
             list(transformation) if transformation is not None else []
@@ -187,6 +188,9 @@ class IncrementalEngine:
         self._schema = schema
         self.deduplicate = deduplicate
         self.strip_whitespace = strip_whitespace
+        #: Tokenizer backend for fragment replays
+        #: (:func:`repro.xmlmodel.events.iter_events`).
+        self.engine = engine
         #: One shard-mode template per rule; also the shardability gate.
         self._templates: List[RuleStreamer] = []
         for rule in self.rules:
@@ -299,7 +303,10 @@ class IncrementalEngine:
         if checker is not None:
             checker.begin_shard(first=False)
         for event in fragment_events(
-            self._root_tag, fragment, strip_whitespace=self.strip_whitespace
+            self._root_tag,
+            fragment,
+            strip_whitespace=self.strip_whitespace,
+            engine=self.engine,
         ):
             for streamer in streamers:
                 streamer.feed(event)

@@ -695,6 +695,7 @@ def stream_violations(
     keys: Union[XMLKey, Iterable[XMLKey]],
     strip_whitespace: bool = True,
     jobs: Optional[int] = None,
+    engine: Optional[str] = None,
 ) -> List[KeyViolation]:
     """All violations of ``keys`` on the document, in one streaming pass.
 
@@ -710,14 +711,20 @@ def stream_violations(
     keys = list(keys)
     from repro.parallel import resolve_jobs, run_sharded
 
-    if resolve_jobs(jobs) > 1 and isinstance(source, str):
+    if resolve_jobs(jobs) > 1 and (
+        isinstance(source, str) or hasattr(source, "__fspath__")
+    ):
         run = run_sharded(
-            source, keys=keys, strip_whitespace=strip_whitespace, jobs=jobs
+            source,
+            keys=keys,
+            strip_whitespace=strip_whitespace,
+            jobs=jobs,
+            engine=engine,
         )
         return run.violations or []
     checker = KeyStreamChecker(keys)
     feed = checker.feed
-    for event in as_events(source, strip_whitespace=strip_whitespace):
+    for event in as_events(source, strip_whitespace=strip_whitespace, engine=engine):
         feed(event)
     return checker.finish()
 
@@ -727,8 +734,9 @@ def stream_satisfies(
     keys: Union[XMLKey, Iterable[XMLKey]],
     strip_whitespace: bool = True,
     jobs: Optional[int] = None,
+    engine: Optional[str] = None,
 ) -> bool:
     """``T ⊨ Σ`` decided in a single pass over the event stream."""
     return not stream_violations(
-        source, keys, strip_whitespace=strip_whitespace, jobs=jobs
+        source, keys, strip_whitespace=strip_whitespace, jobs=jobs, engine=engine
     )

@@ -34,14 +34,19 @@ shards ``k > 0`` skip the prologue ``attr`` events, and the key checker
 discards its prologue effects in :meth:`KeyStreamChecker.begin_shard`.
 Workers are initialized once per process with the pickled payload
 (document text, rules, keys); each task then returns one picklable
-:class:`ShardOutput`.
+:class:`ShardOutput`.  When the coordinator is handed a *path* to an
+ASCII document, the payload carries the path and the slice table instead
+of the text (:class:`~repro.xmlmodel.shards.MappedDocumentShards`): each
+worker ``mmap``-s the file and feeds its byte range to the tokenizer as a
+:class:`memoryview` — zero-copy sharding; document bytes are never
+pickled or duplicated per worker.
 """
 
 from __future__ import annotations
 
 import os
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Union
 
 from repro.keys.key import XMLKey
 from repro.keys.satisfaction import KeyViolation
@@ -60,7 +65,12 @@ from repro.transform.stream import (
     merge_rule_shards,
 )
 from repro.xmlmodel.events import ATTR, iter_events
-from repro.xmlmodel.shards import DocumentShards, split_document
+from repro.xmlmodel.shards import (
+    DocumentShards,
+    MappedDocumentShards,
+    map_document_shards,
+    split_document,
+)
 
 #: Environment variable consulted when ``jobs`` is not given explicitly.
 JOBS_ENV = "REPRO_JOBS"
@@ -108,15 +118,17 @@ class _ShardWorker:
 
     def __init__(
         self,
-        shards: DocumentShards,
+        shards: Union[DocumentShards, MappedDocumentShards],
         rules: Sequence[TableRule],
         keys: Sequence[XMLKey],
         strip_whitespace: bool,
+        engine: Optional[str] = None,
     ) -> None:
         self.shards = shards
         self.rules = list(rules)
         self.keys = list(keys)
         self.strip_whitespace = strip_whitespace
+        self.engine = engine
 
     def run(self, index: int) -> ShardOutput:
         first = index == 0
@@ -131,7 +143,7 @@ class _ShardWorker:
         if checker is not None:
             checker.begin_shard(first=first)
         for event in self.shards.shard_events(
-            index, strip_whitespace=self.strip_whitespace
+            index, strip_whitespace=self.strip_whitespace, engine=self.engine
         ):
             for streamer in streamers:
                 streamer.feed(event)
@@ -180,12 +192,13 @@ def _relation_schema(rule: TableRule, schema: Optional[DatabaseSchema]):
 
 
 def _run_serial(
-    source: str,
+    source,
     rules: Sequence[TableRule],
     keys: Sequence[XMLKey],
     schema: Optional[DatabaseSchema],
     deduplicate: bool,
     strip_whitespace: bool,
+    engine: Optional[str] = None,
 ) -> ShardedRun:
     """The PR-3 single-pass plane: shredder and checker share one walk."""
     shredder = (
@@ -195,7 +208,7 @@ def _run_serial(
         else None
     )
     checker = KeyStreamChecker(keys) if keys else None
-    for event in iter_events(source, strip_whitespace=strip_whitespace):
+    for event in iter_events(source, strip_whitespace=strip_whitespace, engine=engine):
         if shredder is not None:
             shredder.feed(event)
         if checker is not None:
@@ -208,7 +221,7 @@ def _run_serial(
 
 
 def run_sharded(
-    source: str,
+    source,
     transformation: Optional[Iterable[TableRule]] = None,
     keys: Optional[Iterable[XMLKey]] = None,
     schema: Optional[DatabaseSchema] = None,
@@ -216,16 +229,25 @@ def run_sharded(
     strip_whitespace: bool = True,
     jobs: Optional[int] = None,
     use_processes: Optional[bool] = None,
+    engine: Optional[str] = None,
 ) -> ShardedRun:
     """Shred and/or key-check a document on the sharded execution plane.
 
-    ``source`` must be the document text.  ``transformation`` is any
-    iterable of table rules (a :class:`~repro.transform.rule.Transformation`
-    works as-is); ``keys`` any iterable of XML keys; both are optional and
-    share one pass per shard.  ``jobs`` picks the worker count
+    ``source`` is the document text, or a filesystem path
+    (:class:`os.PathLike`) — the zero-copy path: the coordinator scans the
+    document once to build the slice table, but ships only the path and
+    byte ranges to the workers, which ``mmap`` the file themselves and
+    feed their slice to the tokenizer without copying it (ASCII documents
+    only; byte/character offsets must agree.  Non-ASCII files degrade to
+    the in-memory text plane).  ``transformation`` is any iterable of
+    table rules (a :class:`~repro.transform.rule.Transformation` works
+    as-is); ``keys`` any iterable of XML keys; both are optional and share
+    one pass per shard.  ``jobs`` picks the worker count
     (:func:`resolve_jobs`); ``use_processes=False`` runs the shard tasks
     in-process — the same shard/map/merge code path without the pool,
     which is what the differential test suite exercises at scale.
+    ``engine`` selects the tokenizer backend per
+    :func:`repro.xmlmodel.events.iter_events`.
 
     The output is byte-identical to the serial streaming plane (and hence
     to the DOM plane): same rows in the same order, same verdicts, same
@@ -236,8 +258,22 @@ def run_sharded(
     if not rules and not key_list:
         raise ValueError("run_sharded() needs a transformation, keys, or both")
 
+    path: Optional[str] = None
+    if hasattr(source, "__fspath__"):
+        path = os.fspath(source)
+        with open(path, "rb") as handle:
+            raw = handle.read()
+        if raw.isascii():
+            source = raw.decode("ascii")
+        else:
+            # Byte slice offsets would not match the structural scan's
+            # character offsets: fall back to shipping text slices.
+            source = raw.decode("utf-8")
+            path = None
+        del raw
+
     worker_count = resolve_jobs(jobs)
-    shards: Optional[DocumentShards] = None
+    shards: Optional[Union[DocumentShards, MappedDocumentShards]] = None
     if worker_count > 1 and isinstance(source, str):
         shards = split_document(source, worker_count * SHARD_FACTOR)
     if shards is not None and any(
@@ -248,10 +284,12 @@ def run_sharded(
         shards = None
     if shards is None:
         return _run_serial(
-            source, rules, key_list, schema, deduplicate, strip_whitespace
+            source, rules, key_list, schema, deduplicate, strip_whitespace, engine
         )
+    if path is not None:
+        shards = map_document_shards(shards, path)
 
-    worker = _ShardWorker(shards, rules, key_list, strip_whitespace)
+    worker = _ShardWorker(shards, rules, key_list, strip_whitespace, engine)
     indices = range(len(shards))
     if use_processes is None:
         use_processes = True

@@ -272,6 +272,7 @@ class BulkLoader:
         document: Optional[str] = None,
         jobs: Optional[int] = None,
         strip_whitespace: bool = True,
+        engine: Optional[str] = None,
     ) -> Dict[str, int]:
         """Shred one document and load every rule's rows, atomically.
 
@@ -293,23 +294,26 @@ class BulkLoader:
         with self.backend.savepoint(name):
             from repro.parallel import resolve_jobs
 
-            if resolve_jobs(jobs) > 1 and isinstance(source, str):
+            if resolve_jobs(jobs) > 1 and (
+                isinstance(source, str) or hasattr(source, "__fspath__")
+            ):
                 counts = self._load_document_sharded(
-                    source, rules, document, jobs, strip_whitespace
+                    source, rules, document, jobs, strip_whitespace, engine
                 )
             else:
                 counts = self._load_document_streaming(
-                    source, rules, document, strip_whitespace
+                    source, rules, document, strip_whitespace, engine
                 )
         return counts
 
     def _load_document_sharded(
         self,
-        source: str,
+        source,
         rules: List[TableRule],
         document: Optional[str],
         jobs: Optional[int],
         strip_whitespace: bool,
+        engine: Optional[str] = None,
     ) -> Dict[str, int]:
         from repro.parallel import run_sharded
 
@@ -319,6 +323,7 @@ class BulkLoader:
             deduplicate=self.deduplicate,
             strip_whitespace=strip_whitespace,
             jobs=jobs,
+            engine=engine,
         )
         counts: Dict[str, int] = {}
         for table, instance in (run.instances or {}).items():
@@ -331,6 +336,7 @@ class BulkLoader:
         rules: List[TableRule],
         document: Optional[str],
         strip_whitespace: bool,
+        engine: Optional[str] = None,
     ) -> Dict[str, int]:
         streamers = [
             (RuleStreamer(rule, deduplicate=self.deduplicate), rule) for rule in rules
@@ -338,7 +344,9 @@ class BulkLoader:
         sinks = {
             rule.relation: self._sink(rule.relation, document) for _, rule in streamers
         }
-        for event in as_events(source, strip_whitespace=strip_whitespace):
+        for event in as_events(
+            source, strip_whitespace=strip_whitespace, engine=engine
+        ):
             for streamer, rule in streamers:
                 streamer.feed(event)
                 if streamer.ready:
@@ -369,6 +377,7 @@ class BulkLoader:
         jobs: Optional[int] = None,
         strip_whitespace: bool = True,
         on_error: str = "raise",
+        engine: Optional[str] = None,
     ) -> LoadReport:
         """Ingest many documents into the same tables.
 
@@ -394,6 +403,7 @@ class BulkLoader:
                     document=document_id,
                     jobs=jobs,
                     strip_whitespace=strip_whitespace,
+                    engine=engine,
                 )
             except LoadError as error:
                 if on_error == "raise":

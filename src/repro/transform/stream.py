@@ -537,6 +537,7 @@ def iter_rule_rows(
     source: EventSource,
     deduplicate: bool = False,
     strip_whitespace: bool = True,
+    engine: Optional[str] = None,
 ) -> Iterator[Dict[str, Value]]:
     """Lazily yield the rows ``Rule(R)`` produces over ``source``.
 
@@ -546,7 +547,7 @@ def iter_rule_rows(
     ``deduplicate=True`` each distinct row is yielded once (set semantics).
     """
     streamer = RuleStreamer(rule, deduplicate=deduplicate)
-    for event in as_events(source, strip_whitespace=strip_whitespace):
+    for event in as_events(source, strip_whitespace=strip_whitespace, engine=engine):
         streamer.feed(event)
         if streamer.ready:
             yield from streamer.drain()
@@ -560,12 +561,17 @@ def stream_evaluate_rule(
     schema: Optional[RelationSchema] = None,
     deduplicate: bool = True,
     strip_whitespace: bool = True,
+    engine: Optional[str] = None,
 ) -> RelationInstance:
     """Streaming counterpart of :func:`repro.transform.evaluate.evaluate_rule`."""
     target_schema = schema if schema is not None else rule.schema()
     instance = RelationInstance(target_schema)
     for row in iter_rule_rows(
-        rule, source, deduplicate=deduplicate, strip_whitespace=strip_whitespace
+        rule,
+        source,
+        deduplicate=deduplicate,
+        strip_whitespace=strip_whitespace,
+        engine=engine,
     ):
         instance.add_row(row)
     return instance
@@ -618,6 +624,7 @@ class StreamShredder:
         source: EventSource,
         strip_whitespace: bool = True,
         jobs: Optional[int] = None,
+        engine: Optional[str] = None,
     ) -> Dict[str, RelationInstance]:
         """Shred ``source`` completely and return the relation instances.
 
@@ -630,7 +637,9 @@ class StreamShredder:
         """
         from repro.parallel import resolve_jobs, run_sharded
 
-        if resolve_jobs(jobs) > 1 and isinstance(source, str):
+        if resolve_jobs(jobs) > 1 and (
+            isinstance(source, str) or hasattr(source, "__fspath__")
+        ):
             run = run_sharded(
                 source,
                 transformation=self.transformation,
@@ -638,10 +647,11 @@ class StreamShredder:
                 deduplicate=self._deduplicate,
                 strip_whitespace=strip_whitespace,
                 jobs=jobs,
+                engine=engine,
             )
             self._instances = dict(run.instances or {})
             return dict(self._instances)
-        for event in as_events(source, strip_whitespace=strip_whitespace):
+        for event in as_events(source, strip_whitespace=strip_whitespace, engine=engine):
             self.feed(event)
         return self.finish()
 
@@ -653,7 +663,10 @@ def stream_evaluate_transformation(
     deduplicate: bool = True,
     strip_whitespace: bool = True,
     jobs: Optional[int] = None,
+    engine: Optional[str] = None,
 ) -> Dict[str, RelationInstance]:
     """Streaming counterpart of :func:`evaluate_transformation` (one pass)."""
     shredder = StreamShredder(transformation, schema=schema, deduplicate=deduplicate)
-    return shredder.run(source, strip_whitespace=strip_whitespace, jobs=jobs)
+    return shredder.run(
+        source, strip_whitespace=strip_whitespace, jobs=jobs, engine=engine
+    )

@@ -34,8 +34,20 @@ from repro.xmlmodel.events import (
     iter_tree_events,
     tree_from_events,
 )
+from repro.xmlmodel.accel import (
+    ENGINE_ENV,
+    TokenizerUnavailable,
+    available_backends,
+    resolve_engine,
+)
 from repro.xmlmodel.serializer import serialize
-from repro.xmlmodel.shards import DocumentShards, ShardSlice, split_document
+from repro.xmlmodel.shards import (
+    DocumentShards,
+    MappedDocumentShards,
+    ShardSlice,
+    map_document_shards,
+    split_document,
+)
 from repro.xmlmodel.paths import (
     PathExpression,
     PathStep,
@@ -69,8 +81,14 @@ __all__ = [
     "iter_tree_events",
     "tree_from_events",
     "serialize",
+    "ENGINE_ENV",
+    "TokenizerUnavailable",
+    "available_backends",
+    "resolve_engine",
     "DocumentShards",
+    "MappedDocumentShards",
     "ShardSlice",
+    "map_document_shards",
     "split_document",
     "PathExpression",
     "PathStep",

@@ -1,0 +1,696 @@
+"""Accelerated tokenizer front-end with a capability-probing fallback chain.
+
+:mod:`repro.xmlmodel.events` is the hottest path in the system: every data
+plane built on top of it (streaming shred, parallel shard→map→merge,
+storage loading, incremental deltas) funnels each document character
+through the pure-Python tokenizer.  This module puts a C tokenizer in
+front of it — ``xml.parsers.expat`` from the standard library, with an
+optional (explicitly requested) lxml tier — while keeping the pure
+tokenizer as the *reference oracle*: the accelerated stream is
+event-for-event identical — kinds, payloads, ordering, hence node-id
+assignment — and raises exactly the pure tokenizer's
+:exc:`~repro.xmlmodel.parser.XMLSyntaxError` on malformed input.
+
+Identity is engineered, not assumed, through two mechanisms:
+
+* a **capability probe** — the in-tree dialect is *more* lenient than XML
+  1.0 in some corners (unknown entities stay literal, ``--`` inside
+  comments, hostile tag names) and *less* normalizing in others (no
+  ``\\r\\n`` → ``\\n`` translation, no attribute-value whitespace
+  normalization, no BOM handling).  The leniency gaps all make expat
+  *error out*, which the replay below converts; the normalization gaps
+  would diverge *silently*, so a single linear regex scan detects the
+  trigger characters (a BOM, any carriage return, a tab/newline inside an
+  attribute value) and routes those documents to the pure tokenizer.
+* a **replay fallback** — if the C parser reports any error, the source is
+  re-tokenized from the start by the pure tokenizer, skipping the events
+  already delivered.  The consumer therefore sees the pure tokenizer's
+  event stream and the pure tokenizer's exception — message, type and
+  offset — for every input the dialects disagree on.  (The price is a
+  second scan of documents that fail to parse; the malformed path is not
+  the hot path.)
+
+Backend selection follows the libearth ``compat.etree`` model: probe for
+the fastest available implementation, fall back gracefully, and let both
+an environment variable (``REPRO_TOKENIZER``) and an ``engine=`` keyword
+pin the choice.  ``auto`` (the default) uses the accelerated backend for
+in-memory strings, byte buffers and file paths, and leaves file-like
+objects and chunk iterables on the pure incremental tokenizer, whose
+peak memory is bounded by the longest token rather than the document.
+
+The byte-oriented entry points (:func:`fragment_byte_events`, path
+sources) are the zero-copy half of the design: an ``mmap``-ed document is
+sliced with :class:`memoryview` and fed straight into the C parser, so
+sharded workers never materialize their slice as a Python string.
+"""
+
+from __future__ import annotations
+
+import gc
+import itertools
+import mmap
+import os
+import re
+from contextlib import contextmanager
+from typing import Callable, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.xmlmodel.events import ATTR, END, START, TEXT, Event
+from repro.xmlmodel.parser import XMLSyntaxError
+
+#: Environment variable consulted when ``engine`` is not given explicitly.
+ENGINE_ENV = "REPRO_TOKENIZER"
+
+AUTO = "auto"
+PURE = "pure"
+ACCEL = "accel"
+EXPAT = "expat"
+LXML = "lxml"
+
+#: Engine names accepted by ``resolve_engine`` (and the CLI).
+ENGINES = (AUTO, PURE, ACCEL, EXPAT, LXML)
+
+#: Bytes fed to the C parser per ``Parse`` call.  Events are handed to the
+#: consumer between segments, so peak accelerated memory is one segment's
+#: events, not the whole document's.
+_SEGMENT = 1 << 20
+
+#: ``auto`` leaves sources smaller than this on the pure tokenizer: the
+#: fixed cost of parser construction and the divergence probe only pays
+#: for itself on documents with a few thousand events.
+_AUTO_THRESHOLD = 1 << 12
+
+#: Bound on the per-parse event caches; adversarial inputs with millions
+#: of distinct names/values reset the cache instead of growing it.
+_CACHE_LIMIT = 1 << 16
+
+
+class TokenizerUnavailable(ValueError):
+    """An explicitly requested tokenizer backend is not installed.
+
+    A :class:`ValueError` so the CLI's uniform exit-code policy (usage
+    error → 2) applies without special-casing.
+    """
+
+
+class _Fallback(Exception):
+    """Internal: the C backend gave up; replay with the pure tokenizer."""
+
+
+# ----------------------------------------------------------------------
+# Backend availability + engine resolution
+# ----------------------------------------------------------------------
+def _expat_module():
+    try:
+        from xml.parsers import expat
+    except ImportError:  # pragma: no cover - expat ships with CPython
+        return None
+    return expat
+
+
+def _lxml_module():
+    try:
+        from lxml import etree
+    except ImportError:
+        return None
+    return etree
+
+
+def available_backends() -> Tuple[str, ...]:
+    """The concrete backends usable in this interpreter, fastest first."""
+    names: List[str] = []
+    if _lxml_module() is not None:
+        names.append(LXML)
+    if _expat_module() is not None:
+        names.append(EXPAT)
+    names.append(PURE)
+    return tuple(names)
+
+
+def _best_backend() -> Optional[str]:
+    """The backend ``accel`` resolves to, or ``None`` if only pure exists."""
+    if _lxml_module() is not None:
+        return LXML
+    if _expat_module() is not None:
+        return EXPAT
+    return None  # pragma: no cover - expat ships with CPython
+
+
+def resolve_engine(engine: Optional[str] = None) -> str:
+    """Resolve an engine request to ``auto``, ``pure``, ``expat`` or ``lxml``.
+
+    ``engine`` overrides the ``REPRO_TOKENIZER`` environment variable,
+    which overrides the default ``auto``.  ``accel`` resolves to the
+    fastest installed C backend.  Requesting an unavailable backend raises
+    :exc:`TokenizerUnavailable`; an unknown name raises
+    :exc:`ValueError`.
+    """
+    if engine is None:
+        engine = os.environ.get(ENGINE_ENV, "").strip().lower() or AUTO
+    else:
+        engine = engine.strip().lower()
+    if engine not in ENGINES:
+        raise ValueError(
+            f"unknown tokenizer engine {engine!r} (expected one of {', '.join(ENGINES)})"
+        )
+    if engine == ACCEL:
+        backend = _best_backend()
+        if backend is None:  # pragma: no cover - expat ships with CPython
+            raise TokenizerUnavailable(
+                "no accelerated tokenizer backend is available (expat/lxml missing)"
+            )
+        return backend
+    if engine == EXPAT and _expat_module() is None:  # pragma: no cover
+        raise TokenizerUnavailable("the expat tokenizer backend is not available")
+    if engine == LXML and _lxml_module() is None:
+        raise TokenizerUnavailable("the lxml tokenizer backend is not installed")
+    return engine
+
+
+# ----------------------------------------------------------------------
+# The capability probe
+# ----------------------------------------------------------------------
+# A staged scan for every construct the C backends would *silently*
+# normalize away from the pure dialect:
+#   * a leading U+FEFF — expat consumes a BOM, the pure tokenizer treats
+#     it as (bad) content;
+#   * any carriage return — XML parsers translate \r\n and bare \r to \n
+#     in character data, the pure tokenizer preserves them;
+#   * a tab or newline inside a quoted attribute value — attribute-value
+#     normalization replaces them with spaces.  (The attribute pattern
+#     over-approximates: a quote in *text* may start a false "value", which
+#     only costs a needless fallback, never a divergence.)
+# The BOM/\r/\t prechecks are C-speed substring scans; the attribute
+# regex — the only character-class walk — runs just when a tab or newline
+# exists at all, and anchors on the literal ``=`` so the engine skips
+# between attributes instead of walking every byte.
+_DIVERGENCE_STR = re.compile("=[ \t\n]*(?:\"[^\"]*[\t\n]|'[^']*[\t\n])")
+_DIVERGENCE_BYTES = re.compile(b"=[ \t\n]*(?:\"[^\"]*[\t\n]|'[^']*[\t\n])")
+
+
+def _diverges(data: Union[str, bytes, bytearray, memoryview, "mmap.mmap"]) -> bool:
+    """Whether the C backends could normalize ``data`` away from pure."""
+    if isinstance(data, str):
+        if data.startswith("\ufeff") or "\r" in data:
+            return True
+        if "\t" not in data and "\n" not in data:
+            return False
+        return _DIVERGENCE_STR.search(data) is not None
+    if data[:3] == b"\xef\xbb\xbf" or _contains(data, b"\r"):
+        return True
+    if not _contains(data, b"\t") and not _contains(data, b"\n"):
+        return False
+    return _DIVERGENCE_BYTES.search(data) is not None
+
+
+def _contains(
+    data: Union[bytes, bytearray, memoryview, "mmap.mmap"], needle: bytes
+) -> bool:
+    find = getattr(data, "find", None)  # bytes/bytearray/mmap: a memchr scan
+    if find is not None:
+        return find(needle) >= 0
+    # memoryview has no ``find``; a literal regex search is still a C scan.
+    return re.search(re.escape(needle), data) is not None
+
+
+def decode_buffer(data: Union[bytes, bytearray, memoryview, "mmap.mmap"]) -> str:
+    """Decode a byte buffer the way the pure tokenizer would read a file."""
+    if not isinstance(data, (bytes, bytearray)):
+        data = bytes(data)
+    return data.decode("utf-8")
+
+
+# ----------------------------------------------------------------------
+# Prolog skipping over byte buffers
+# ----------------------------------------------------------------------
+# The C parsers are fed the document *body*: the prolog dialect (skipped
+# DOCTYPE with internal subset, any number of comments/PIs) is the pure
+# tokenizer's, and handing it to a validating parser would change both
+# behavior and errors.  This is the byte-buffer port of
+# ``events._skip_string_prolog``; anything doubtful (exotic whitespace,
+# malformed constructs) raises and the caller replays the pure tokenizer,
+# which owns the canonical answer.
+_BYTE_SPACE = frozenset(b" \t\r\n\x0b\x0c")
+_PI_END_B = re.compile(b"\\?>")
+_COMMENT_END_B = re.compile(b"-->")
+
+
+def _skip_bytes_prolog(data, length: int) -> int:
+    pos = 0
+    while True:
+        while pos < length and data[pos] in _BYTE_SPACE:
+            pos += 1
+        if pos + 1 >= length:
+            return pos
+        if data[pos] != 0x3C:  # ord('<')
+            return pos
+        nxt = data[pos + 1]
+        if nxt == 0x3F:  # '?'
+            match = _PI_END_B.search(data, pos)
+            if match is None:
+                raise XMLSyntaxError("unterminated construct (missing '?>')", pos)
+            pos = match.end()
+        elif nxt == 0x21 and bytes(data[pos : pos + 4]) == b"<!--":
+            match = _COMMENT_END_B.search(data, pos)
+            if match is None:
+                raise XMLSyntaxError("unterminated construct (missing '-->')", pos)
+            pos = match.end()
+        elif nxt == 0x21 and bytes(data[pos : pos + 9]) == b"<!DOCTYPE":
+            depth = 0
+            while True:
+                if pos >= length:
+                    raise XMLSyntaxError("unterminated DOCTYPE declaration", pos)
+                char = data[pos]
+                if char == 0x5B:  # '['
+                    depth += 1
+                elif char == 0x5D:  # ']'
+                    depth -= 1
+                elif char == 0x3E and depth <= 0:  # '>'
+                    pos += 1
+                    break
+                pos += 1
+        else:
+            return pos
+
+
+@contextmanager
+def _gc_paused():
+    """Pause the cyclic collector around one bounded ``Parse`` call.
+
+    A segment parse allocates ~100k event tuples in a tight C loop, which
+    trips hundreds of generation-0 collections that scan the growing
+    event batch over and over — about 10% of the whole parse.  None of
+    the allocations made here can form cycles, so the collector is paused
+    for the (bounded, synchronous) duration of the call and restored in
+    ``finally``; an already-disabled collector is left untouched.
+    """
+    if not gc.isenabled():
+        yield
+        return
+    gc.disable()
+    try:
+        yield
+    finally:
+        gc.enable()
+
+
+# ----------------------------------------------------------------------
+# The expat event stream
+# ----------------------------------------------------------------------
+def _expat_segments(
+    pieces: Sequence[Union[str, bytes, memoryview]], strip_whitespace: bool
+) -> Iterator[List[Event]]:
+    """Parse ``pieces`` with expat, yielding batches of pure-dialect events.
+
+    Raises :exc:`_Fallback` on any parse error — the caller owns the
+    replay.  The handler bodies are the throughput floor of the whole
+    accelerated plane, hence the caching: START/END events are interned
+    per tag, so the steady state allocates one tuple per *distinct*
+    element name rather than two per element.
+    """
+    expat_mod = _expat_module()
+    parser = expat_mod.ParserCreate()
+    parser.buffer_text = True
+    parser.ordered_attributes = True  # flat [name, value, ...] in document order
+    # Fewer, larger character-data deliveries: one join per text run
+    # instead of one per 8 KiB of buffered input.
+    parser.buffer_size = 1 << 16
+
+    out: List[Event] = []
+    append = out.append
+    parts: List[str] = []
+    parts_append = parts.append
+    starts: dict = {}
+    ends: dict = {}
+    tuple_new = tuple.__new__
+    # ``content.isspace()`` scans without allocating; ``content.strip()``
+    # would build a stripped copy of every text run just to test it.
+    keep_all = not strip_whitespace
+
+    def start_element(name, attrs):
+        if parts:
+            content = "".join(parts)
+            parts.clear()
+            if keep_all or (content and not content.isspace()):
+                append(tuple_new(Event, (TEXT, "#text", content)))
+        # Tag caches hit on all but the first sighting of each distinct
+        # tag, so the subscript (no miss-sentinel compare) beats ``get``;
+        # attribute pairs below miss constantly and keep the ``get`` path.
+        try:
+            append(starts[name])
+        except KeyError:
+            if len(starts) >= _CACHE_LIMIT:
+                starts.clear()
+                ends.clear()
+            event = starts[name] = tuple_new(Event, (START, name, None))
+            ends[name] = tuple_new(Event, (END, name, None))
+            append(event)
+        if attrs:
+            # No value cache here: attribute values on key-bearing
+            # documents are mostly distinct (that is what keys are), so a
+            # ``(name, value)`` cache misses more than it hits and the
+            # bookkeeping costs more than the tuple it occasionally saves.
+            if len(attrs) == 2:  # the overwhelmingly common one-attribute case
+                append(tuple_new(Event, (ATTR, attrs[0], attrs[1])))
+                return
+            pairs = iter(attrs)
+            for attr_name, attr_value in zip(pairs, pairs):
+                append(tuple_new(Event, (ATTR, attr_name, attr_value)))
+
+    def end_element(name):
+        if parts:
+            content = "".join(parts)
+            parts.clear()
+            if keep_all or (content and not content.isspace()):
+                append(tuple_new(Event, (TEXT, "#text", content)))
+        try:
+            append(ends[name])
+        except KeyError:  # start_element interned it unless the cache reset
+            event = ends[name] = tuple_new(Event, (END, name, None))
+            append(event)
+
+    def flush_misc(*_unused):
+        # Comments and PIs segment text exactly like the pure tokenizer:
+        # they flush the accumulated run.  (expat never reports character
+        # data outside the document element, so no guard is needed.)
+        if parts:
+            content = "".join(parts)
+            parts.clear()
+            if keep_all or (content and not content.isspace()):
+                append(tuple_new(Event, (TEXT, "#text", content)))
+
+    parser.StartElementHandler = start_element
+    parser.EndElementHandler = end_element
+    parser.CharacterDataHandler = parts_append  # C-to-C, no Python frame
+    parser.CommentHandler = flush_misc
+    parser.ProcessingInstructionHandler = flush_misc
+    # An empty-string sentinel per CDATA section: ``<![CDATA[]]>`` must
+    # yield an (empty) text event in keep-whitespace mode, as pure does.
+    parser.StartCdataSectionHandler = lambda: parts_append("")
+    parser.EndCdataSectionHandler = lambda: None
+
+    final = b"" if pieces and not isinstance(pieces[0], str) else ""
+    parse = parser.Parse
+    try:
+        # One pause for the whole parse, not one per segment: every
+        # re-enable triggers a gen-0 collection that walks the ~100k
+        # young event tuples, so fewer enables means fewer walks.  The
+        # pause spans the batch yields; if the stream is abandoned the
+        # suspended ``with`` unwinds on generator close and re-enables.
+        with _gc_paused():
+            for piece in pieces:
+                limit = len(piece)
+                for cursor in range(0, limit, _SEGMENT):
+                    parse(piece[cursor : cursor + _SEGMENT], False)
+                    if out:
+                        yield out
+                        out = []
+                        append = out.append
+            parse(final, True)
+    except expat_mod.ExpatError:
+        raise _Fallback from None
+    if out:
+        yield out
+
+
+def _lxml_segments(
+    pieces: Sequence[Union[str, bytes, memoryview]], strip_whitespace: bool
+) -> Iterator[List[Event]]:
+    """The lxml tier: same contract as :func:`_expat_segments`.
+
+    Only reachable when lxml is installed and explicitly selected (or
+    wins the ``accel`` probe); the replay fallback and the differential
+    suite provide the same oracle guarantee as for expat.
+    """
+    etree = _lxml_module()
+
+    out: List[Event] = []
+    parts: List[str] = []
+    tuple_new = tuple.__new__
+    starts: dict = {}
+    ends: dict = {}
+
+    def flush_text():
+        if parts:
+            content = "".join(parts)
+            parts.clear()
+            if not strip_whitespace or content.strip():
+                out.append(tuple_new(Event, (TEXT, "#text", content)))
+
+    class _Target:
+        def start(self, tag, attrib):
+            flush_text()
+            event = starts.get(tag)
+            if event is None:
+                event = starts[tag] = tuple_new(Event, (START, tag, None))
+                ends[tag] = tuple_new(Event, (END, tag, None))
+            out.append(event)
+            for name, value in attrib.items():
+                out.append(tuple_new(Event, (ATTR, name, value)))
+
+        def end(self, tag):
+            flush_text()
+            out.append(ends[tag])
+
+        def data(self, text):
+            parts.append(text)
+
+        def comment(self, _text):
+            flush_text()
+
+        def pi(self, _target, _data=None):
+            flush_text()
+
+        def close(self):
+            return None
+
+    parser = etree.XMLParser(
+        target=_Target(), resolve_entities=True, recover=False, huge_tree=True
+    )
+    feed = parser.feed
+    try:
+        for piece in pieces:
+            limit = len(piece)
+            for cursor in range(0, limit, _SEGMENT):
+                with _gc_paused():
+                    feed(piece[cursor : cursor + _SEGMENT])
+                if out:
+                    yield out
+                    out = []
+        parser.close()
+    except etree.XMLSyntaxError:
+        raise _Fallback from None
+    if out:
+        yield out
+
+
+_SEGMENT_SOURCES = {EXPAT: _expat_segments, LXML: _lxml_segments}
+
+
+def _stream(
+    backend: str,
+    pieces: Sequence[Union[str, bytes, memoryview]],
+    strip_whitespace: bool,
+    replay_text: Callable[[], str],
+) -> Iterator[Event]:
+    """Run a C backend over ``pieces``; replay pure on any parse error.
+
+    ``replay_text`` materializes the *whole* document text (prolog
+    included) so the replayed pure tokenizer reports its canonical events
+    and errors; the events already delivered by the C backend are skipped
+    by count — the two streams are identical up to the failure point, or
+    the probe would have fallen back before parsing.
+
+    The flattening runs through :func:`itertools.chain.from_iterable`
+    rather than a per-event ``yield``: the consumer iterates event lists
+    at C speed instead of resuming a generator frame 100k+ times per
+    megabyte.  Only the batch producer below is a generator, so the
+    ``except _Fallback`` still catches errors raised mid-parse, and a
+    batch is counted as emitted only after the consumer has drained it
+    and pulled the next one.
+    """
+
+    def batches() -> Iterator[Iterable[Event]]:
+        from repro.xmlmodel import events as events_mod
+
+        emitted = 0
+        try:
+            for batch in _SEGMENT_SOURCES[backend](pieces, strip_whitespace):
+                yield batch
+                emitted += len(batch)
+        except _Fallback:
+            pure = events_mod.iter_events(
+                replay_text(), strip_whitespace=strip_whitespace, engine=PURE
+            )
+            if emitted:
+                next(itertools.islice(pure, emitted, emitted), None)
+            yield pure
+
+    return itertools.chain.from_iterable(batches())
+
+
+# ----------------------------------------------------------------------
+# Source coercion + the public accelerated entry point
+# ----------------------------------------------------------------------
+def _buffer_events(
+    data: Union[str, bytes, bytearray, memoryview, "mmap.mmap"],
+    strip_whitespace: bool,
+    backend: str,
+) -> Iterator[Event]:
+    """Tokenize one fully materialized document with a C backend."""
+    from repro.xmlmodel import events as events_mod
+
+    is_str = isinstance(data, str)
+
+    def replay_text() -> str:
+        return data if is_str else decode_buffer(data)
+
+    def pure() -> Iterator[Event]:
+        return events_mod.iter_events(
+            replay_text(), strip_whitespace=strip_whitespace, engine=PURE
+        )
+
+    if _diverges(data):
+        return pure()
+    try:
+        if is_str:
+            root = events_mod._skip_string_prolog(data)
+        else:
+            root = _skip_bytes_prolog(data, len(data))
+    except XMLSyntaxError:
+        return pure()
+    if root >= len(data) or data[root] not in ("<", 0x3C):
+        return pure()
+    if is_str:
+        body: Union[str, memoryview] = data if root == 0 else data[root:]
+    else:
+        body = memoryview(data)[root:]
+    return _stream(backend, (body,), strip_whitespace, replay_text)
+
+
+def _mapped_events(path: str, strip_whitespace: bool, backend: str) -> Iterator[Event]:
+    """Tokenize a file by path: ``mmap`` it and feed the map zero-copy.
+
+    The mapping is released by a terminal link in the returned chain
+    rather than a wrapping generator: a ``yield from`` wrapper would put
+    one Python frame resume on *every* event, which is exactly the
+    per-event overhead this module exists to remove.  A stream abandoned
+    mid-iteration drops its references and CPython closes the map and
+    handle at dealloc.
+    """
+    handle = open(path, "rb")
+    try:
+        mapped = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+    except ValueError:  # zero-length file cannot be mapped
+        try:
+            data = handle.read()
+        finally:
+            handle.close()
+        return _buffer_events(data, strip_whitespace, backend)
+    except BaseException:
+        handle.close()
+        raise
+    inner = _buffer_events(mapped, strip_whitespace, backend)
+    return itertools.chain(inner, _release_mapping(mapped, handle))
+
+
+def _release_mapping(mapped: "mmap.mmap", handle) -> Iterator[Event]:
+    """An empty tail iterator that closes the map once the stream ends."""
+    try:
+        mapped.close()
+    except BufferError:  # pragma: no cover - a leaked exported view
+        pass
+    handle.close()
+    return
+    yield  # pragma: no cover - unreachable; makes this a generator
+
+
+def _materialize(source) -> Union[str, bytes]:
+    """Buffer a file-like object or chunk iterable for a C backend."""
+    read = getattr(source, "read", None)
+    if read is not None:
+        return read()
+    pieces = list(source)
+    if not pieces:
+        return ""
+    if isinstance(pieces[0], str):
+        return "".join(pieces)
+    return b"".join(pieces)
+
+
+def accelerated_events(
+    source, strip_whitespace: bool, resolved: str
+) -> Optional[Iterator[Event]]:
+    """The accelerated side of :func:`repro.xmlmodel.events.iter_events`.
+
+    ``resolved`` is the output of :func:`resolve_engine` (never ``pure``).
+    Returns ``None`` when ``auto`` decides the source belongs on the pure
+    tokenizer: small strings (fixed costs dominate), and file-like objects
+    or chunk iterables (whose bounded-memory contract buffering would
+    break).  An *explicit* backend request accepts every source and
+    buffers when it must.
+    """
+    if resolved == AUTO:
+        backend = _best_backend()
+        if backend is None:  # pragma: no cover - expat ships with CPython
+            return None
+        if isinstance(source, str) or isinstance(
+            source, (bytes, bytearray, memoryview, mmap.mmap)
+        ):
+            if len(source) < _AUTO_THRESHOLD:
+                return None
+            return _buffer_events(source, strip_whitespace, backend)
+        if hasattr(source, "__fspath__"):
+            return _mapped_events(os.fspath(source), strip_whitespace, backend)
+        return None
+    backend = resolved
+    if isinstance(source, (str, bytes, bytearray, memoryview, mmap.mmap)):
+        return _buffer_events(source, strip_whitespace, backend)
+    if hasattr(source, "__fspath__"):
+        return _mapped_events(os.fspath(source), strip_whitespace, backend)
+    return _buffer_events(_materialize(source), strip_whitespace, backend)
+
+
+# ----------------------------------------------------------------------
+# Zero-copy shard fragments
+# ----------------------------------------------------------------------
+def fragment_byte_events(
+    root_tag: str,
+    fragment: Union[bytes, bytearray, memoryview],
+    strip_whitespace: bool = True,
+    engine: Optional[str] = None,
+) -> Iterator[Event]:
+    """Byte-buffer counterpart of :func:`repro.xmlmodel.shards.fragment_events`.
+
+    The fragment (typically a :class:`memoryview` over an ``mmap``-ed
+    document region) is parsed between synthetic ``<root_tag>`` …
+    ``</root_tag>`` wrapper tags fed to the C parser as separate buffers,
+    so the slice itself is never copied.  The wrapper's START/END events
+    are dropped; errors and fallbacks replay the pure tokenizer over the
+    decoded, wrapped fragment — exactly what the string path raises.
+    """
+    resolved = resolve_engine(engine)
+    backend = _best_backend() if resolved == AUTO else resolved
+    if backend in (PURE, None) or _diverges(fragment):
+        from repro.xmlmodel import shards
+
+        yield from shards.fragment_events(
+            root_tag, decode_buffer(fragment), strip_whitespace=strip_whitespace,
+            engine=PURE,
+        )
+        return
+
+    def replay_text() -> str:
+        return f"<{root_tag}>{decode_buffer(fragment)}</{root_tag}>"
+
+    pieces = (
+        f"<{root_tag}>".encode("utf-8"),
+        memoryview(fragment),
+        f"</{root_tag}>".encode("utf-8"),
+    )
+    events = _stream(backend, pieces, strip_whitespace, replay_text)
+    next(events)  # the synthetic root START (present even on replay)
+    pending = next(events, None)
+    for event in events:
+        yield pending  # type: ignore[misc]
+        pending = event
+    # ``pending`` is now the synthetic root END — dropped.

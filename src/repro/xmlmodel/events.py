@@ -39,6 +39,8 @@ events.
 from __future__ import annotations
 
 import itertools
+import mmap
+import os
 import re
 from typing import IO, Iterable, Iterator, List, NamedTuple, Optional, Union
 
@@ -72,7 +74,19 @@ class Event(NamedTuple):
     value: Optional[str] = None
 
 
-EventSource = Union[str, IO[str], Iterable[str], XMLTree, ElementNode]
+EventSource = Union[
+    str,
+    bytes,
+    "os.PathLike[str]",
+    IO[str],
+    Iterable[str],
+    XMLTree,
+    ElementNode,
+]
+
+#: Byte-buffer source types (decoded for the pure tokenizer, fed zero-copy
+#: to the accelerated backends of :mod:`repro.xmlmodel.accel`).
+_BUFFER_TYPES = (bytes, bytearray, memoryview, mmap.mmap)
 
 _DEFAULT_CHUNK = 1 << 16
 _COMPACT_THRESHOLD = 1 << 16
@@ -92,22 +106,50 @@ _END_TAG_RE = re.compile(r"([^\s=<>/?\"']+)\s*>")
 # Public API
 # ----------------------------------------------------------------------
 def iter_events(
-    source: Union[str, IO[str], Iterable[str]],
+    source: Union[str, bytes, "os.PathLike[str]", IO[str], Iterable[str]],
     strip_whitespace: bool = True,
     chunk_size: int = _DEFAULT_CHUNK,
+    engine: Optional[str] = None,
 ) -> Iterator[Event]:
     """Tokenize an XML document into a stream of events.
 
-    ``source`` may be a string, a file-like object (read in ``chunk_size``
-    pieces) or an iterable of string chunks.  ``strip_whitespace`` drops
-    whitespace-only text events, matching the DOM parser's default.
+    ``source`` may be a string, a byte buffer (``bytes`` / ``memoryview`` /
+    ``mmap``, UTF-8), a filesystem path (:class:`os.PathLike`), a file-like
+    object (read in ``chunk_size`` pieces) or an iterable of string chunks.
+    ``strip_whitespace`` drops whitespace-only text events, matching the
+    DOM parser's default.
 
-    A fully in-memory string takes a specialized single-buffer scanner (the
-    hot path of the shredding benchmarks); everything else runs through the
-    incremental chunked tokenizer.  Both accept the same dialect and raise
-    the same errors (pinned against each other, and against the DOM parser,
-    by the test suite).
+    ``engine`` selects the tokenizer backend (default: the
+    ``REPRO_TOKENIZER`` environment variable, else ``auto``):
+
+    * ``pure`` — the in-tree reference tokenizer below;
+    * ``accel`` / ``expat`` / ``lxml`` — the C front-ends of
+      :mod:`repro.xmlmodel.accel`, which emit the identical event stream
+      and errors (falling back to a pure replay whenever the C dialect
+      could disagree);
+    * ``auto`` — accelerate in-memory strings, buffers and paths; keep
+      file-like objects and chunk iterables on the pure incremental
+      tokenizer, preserving its bounded-memory contract.
+
+    On the pure path a fully in-memory string takes a specialized
+    single-buffer scanner (the hot path of the shredding benchmarks);
+    everything else runs through the incremental chunked tokenizer.  All
+    backends accept the same dialect and raise the same errors (pinned
+    against each other, and against the DOM parser, by the test suite).
     """
+    from repro.xmlmodel import accel
+
+    resolved = accel.resolve_engine(engine)
+    if resolved != accel.PURE:
+        accelerated = accel.accelerated_events(source, strip_whitespace, resolved)
+        if accelerated is not None:
+            return accelerated
+    if hasattr(source, "__fspath__"):
+        return _Tokenizer(
+            _path_chunks(os.fspath(source), chunk_size), strip_whitespace
+        ).events()
+    if isinstance(source, _BUFFER_TYPES):
+        source = accel.decode_buffer(source)
     if isinstance(source, str):
         return _string_events(source, strip_whitespace)
     return _Tokenizer(_chunks_of(source, chunk_size), strip_whitespace).events()
@@ -366,17 +408,29 @@ def iter_tree_events(tree_or_element: Union[XMLTree, ElementNode]) -> Iterator[E
         stack.extend(reversed(element.children))
 
 
-def as_events(source: EventSource, strip_whitespace: bool = True) -> Iterator[Event]:
+def as_events(
+    source: EventSource,
+    strip_whitespace: bool = True,
+    engine: Optional[str] = None,
+) -> Iterator[Event]:
     """Coerce any supported source into an event stream.
 
-    Accepts trees/elements (replayed), strings and file-like objects
-    (tokenized), iterables of string chunks (tokenized) and iterables that
+    Accepts trees/elements (replayed), strings, byte buffers, paths and
+    file-like objects (tokenized via :func:`iter_events`, honoring
+    ``engine``), iterables of string chunks (tokenized) and iterables that
     already yield :class:`Event` objects (passed through).
     """
     if isinstance(source, (XMLTree, ElementNode)):
         return iter_tree_events(source)
-    if isinstance(source, str) or hasattr(source, "read"):
-        return iter_events(source, strip_whitespace=strip_whitespace)  # type: ignore[arg-type]
+    if (
+        isinstance(source, str)
+        or isinstance(source, _BUFFER_TYPES)
+        or hasattr(source, "read")
+        or hasattr(source, "__fspath__")
+    ):
+        return iter_events(
+            source, strip_whitespace=strip_whitespace, engine=engine
+        )  # type: ignore[arg-type]
     iterator = iter(source)  # type: ignore[arg-type]
     try:
         first = next(iterator)
@@ -385,7 +439,9 @@ def as_events(source: EventSource, strip_whitespace: bool = True) -> Iterator[Ev
     rest = itertools.chain((first,), iterator)
     if isinstance(first, Event):
         return rest  # type: ignore[return-value]
-    return iter_events(rest, strip_whitespace=strip_whitespace)  # type: ignore[arg-type]
+    return iter_events(
+        rest, strip_whitespace=strip_whitespace, engine=engine
+    )  # type: ignore[arg-type]
 
 
 def element_from_events(events: Iterable[Event]) -> ElementNode:
@@ -447,6 +503,16 @@ def _chunks_of(
     yield from source  # type: ignore[misc]
 
 
+def _path_chunks(path: str, chunk_size: int) -> Iterator[str]:
+    """Chunk a file by path for the pure tokenizer, closing it when done."""
+    with open(path, "r", encoding="utf-8") as handle:
+        while True:
+            chunk = handle.read(chunk_size)
+            if not chunk:
+                return
+            yield chunk
+
+
 # ----------------------------------------------------------------------
 # The incremental tokenizer
 # ----------------------------------------------------------------------
@@ -471,12 +537,28 @@ class _Tokenizer:
     def _pull(self) -> bool:
         if self.eof:
             return False
+        # Growing the buffer copies the unconsumed suffix, so appending one
+        # chunk at a time while a single token (a multi-megabyte comment or
+        # CDATA section split into small chunks) keeps the scanners hungry
+        # is quadratic.  Pull geometrically instead: drain chunks until the
+        # new data is a constant fraction of the unconsumed window, which
+        # amortizes every copy and keeps chunked scans linear.  The buffer
+        # still holds at most the current token plus ~1/8 slack and one
+        # chunk, so memory stays bounded by the longest token.
+        pending: List[str] = []
+        pending_length = 0
+        target = (len(self.buf) - self.pos) >> 3
         for chunk in self._chunks:
             if chunk:
-                self.buf += chunk
-                return True
-        self.eof = True
-        return False
+                pending.append(chunk)
+                pending_length += len(chunk)
+                if pending_length > target:
+                    break
+        if not pending:
+            self.eof = True
+            return False
+        self.buf += pending[0] if len(pending) == 1 else "".join(pending)
+        return True
 
     def _compact(self) -> None:
         if self.pos > _COMPACT_THRESHOLD:

@@ -43,6 +43,7 @@ error messages remain canonical.
 
 from __future__ import annotations
 
+import mmap
 import re
 from dataclasses import dataclass
 from typing import Iterator, List, Optional, Tuple
@@ -109,7 +110,7 @@ class DocumentShards:
         return f"<{self.root_tag}>{self.slice_text(index)}</{self.root_tag}>"
 
     def shard_events(
-        self, index: int, strip_whitespace: bool = True
+        self, index: int, strip_whitespace: bool = True, engine: Optional[str] = None
     ) -> Iterator[Event]:
         """Replay one slice as events (synthetic root start/end dropped).
 
@@ -118,10 +119,15 @@ class DocumentShards:
         provides the tokenizer with a well-formed document.
         """
         return fragment_events(
-            self.root_tag, self.slice_text(index), strip_whitespace=strip_whitespace
+            self.root_tag,
+            self.slice_text(index),
+            strip_whitespace=strip_whitespace,
+            engine=engine,
         )
 
-    def replay_events(self, strip_whitespace: bool = True) -> Iterator[Event]:
+    def replay_events(
+        self, strip_whitespace: bool = True, engine: Optional[str] = None
+    ) -> Iterator[Event]:
         """The whole document as events, reassembled from the shards.
 
         Used by the differential tests: this must equal
@@ -129,12 +135,17 @@ class DocumentShards:
         """
         yield from self.prologue_events
         for index in range(len(self.slices)):
-            yield from self.shard_events(index, strip_whitespace=strip_whitespace)
+            yield from self.shard_events(
+                index, strip_whitespace=strip_whitespace, engine=engine
+            )
         yield Event(END, self.root_tag)
 
 
 def fragment_events(
-    root_tag: str, fragment: str, strip_whitespace: bool = True
+    root_tag: str,
+    fragment: str,
+    strip_whitespace: bool = True,
+    engine: Optional[str] = None,
 ) -> Iterator[Event]:
     """Replay a content fragment as events, as if it sat under ``root_tag``.
 
@@ -146,10 +157,13 @@ def fragment_events(
     sub-sequence.  A malformed fragment raises the tokenizer's own
     :exc:`~repro.xmlmodel.parser.XMLSyntaxError` lazily, mid-iteration —
     consumers that must stay consistent drain the whole stream before
-    committing any state (as the incremental engine does).
+    committing any state (as the incremental engine does).  ``engine``
+    selects the tokenizer backend, as in :func:`iter_events`.
     """
     events = iter_events(
-        f"<{root_tag}>{fragment}</{root_tag}>", strip_whitespace=strip_whitespace
+        f"<{root_tag}>{fragment}</{root_tag}>",
+        strip_whitespace=strip_whitespace,
+        engine=engine,
     )
     next(events)  # the synthetic root START
     pending = next(events, None)
@@ -157,6 +171,130 @@ def fragment_events(
         yield pending  # type: ignore[misc]
         pending = event
     # ``pending`` is now the synthetic root END — dropped.
+
+
+class MappedDocumentShards:
+    """Zero-copy :class:`DocumentShards`: slices live in an ``mmap``-ed file.
+
+    Produced by :func:`map_document_shards` when the parallel coordinator
+    is handed a *path* to an ASCII document (byte offset ≡ character
+    offset, so the structural scan's slice boundaries address the file
+    directly).  The pickled payload shipped to each worker process is just
+    the path, the slice table and the prologue — not the document text;
+    every worker maps the file itself and feeds its slice to the
+    tokenizer as a :class:`memoryview`, so slicing never copies document
+    bytes into worker memory.
+
+    The interface mirrors the parts of :class:`DocumentShards` the worker
+    protocol uses (``prologue_events``, ``prologue_ids``, ``len()``,
+    :meth:`shard_events`); the map is opened lazily per process and is
+    dropped from the pickled state.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        root_tag: str,
+        prologue_events: Tuple[Event, ...],
+        prologue_ids: int,
+        slices: Tuple[ShardSlice, ...],
+        content_start: int,
+        content_end: int,
+    ) -> None:
+        self.path = path
+        self.root_tag = root_tag
+        self.prologue_events = prologue_events
+        self.prologue_ids = prologue_ids
+        self.slices = slices
+        self.content_start = content_start
+        self.content_end = content_end
+        self._mapped: Optional[mmap.mmap] = None
+        self._handle = None
+
+    def __len__(self) -> int:
+        return len(self.slices)
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state["_mapped"] = None
+        state["_handle"] = None
+        return state
+
+    def _view(self) -> memoryview:
+        if self._mapped is None:
+            self._handle = open(self.path, "rb")
+            self._mapped = mmap.mmap(
+                self._handle.fileno(), 0, access=mmap.ACCESS_READ
+            )
+        return memoryview(self._mapped)
+
+    def slice_bytes(self, index: int) -> memoryview:
+        """The raw byte range of one slice (no copy, no synthetic wrapper)."""
+        piece = self.slices[index]
+        return self._view()[piece.start : piece.end]
+
+    def slice_text(self, index: int) -> str:
+        return bytes(self.slice_bytes(index)).decode("ascii")
+
+    def shard_events(
+        self, index: int, strip_whitespace: bool = True, engine: Optional[str] = None
+    ) -> Iterator[Event]:
+        """Replay one mapped slice as events, zero-copy into the C backend.
+
+        With a pure ``engine`` (or when the capability probe declines) the
+        slice decodes once in the worker — still never pickled or shipped.
+        """
+        from repro.xmlmodel.accel import fragment_byte_events
+
+        return fragment_byte_events(
+            self.root_tag,
+            self.slice_bytes(index),
+            strip_whitespace=strip_whitespace,
+            engine=engine,
+        )
+
+    def replay_events(
+        self, strip_whitespace: bool = True, engine: Optional[str] = None
+    ) -> Iterator[Event]:
+        yield from self.prologue_events
+        for index in range(len(self.slices)):
+            yield from self.shard_events(
+                index, strip_whitespace=strip_whitespace, engine=engine
+            )
+        yield Event(END, self.root_tag)
+
+    def close(self) -> None:
+        """Release the map (safe to call on an unopened/pickled instance)."""
+        if self._mapped is not None:
+            try:
+                self._mapped.close()
+            except BufferError:  # pragma: no cover - a live exported view
+                pass
+            self._mapped = None
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+def map_document_shards(
+    shards: DocumentShards, path: str
+) -> MappedDocumentShards:
+    """Rebind a :class:`DocumentShards` split to the file it was read from.
+
+    The caller guarantees the file's bytes decode to ``shards.text`` with
+    byte offset ≡ character offset (in practice: the coordinator checks
+    ``bytes.isascii()`` before scanning); the slice table then addresses
+    the file directly and workers read it via ``mmap``.
+    """
+    return MappedDocumentShards(
+        path=path,
+        root_tag=shards.root_tag,
+        prologue_events=shards.prologue_events,
+        prologue_ids=shards.prologue_ids,
+        slices=shards.slices,
+        content_start=shards.content_start,
+        content_end=shards.content_end,
+    )
 
 
 # ----------------------------------------------------------------------

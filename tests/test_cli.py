@@ -1,10 +1,14 @@
 """End-to-end tests of the command-line interface."""
 
+import importlib.util
+
 import pytest
 
 from repro.cli import main
 from repro.experiments import paper_example as pe
 from repro.xmlmodel.serializer import serialize
+
+HAS_LXML = importlib.util.find_spec("lxml") is not None
 
 
 KEYS_TEXT = """
@@ -555,4 +559,37 @@ class TestExitCodes:
     def test_argparse_usage_error_exit_two(self):
         with pytest.raises(SystemExit) as info:
             main(["load"])  # missing required arguments
+        assert info.value.code == 2
+
+    @pytest.mark.parametrize("engine", ["auto", "pure", "accel", "expat"])
+    def test_tokenizer_backends_agree_on_exit_and_output(
+        self, violating_workspace, capsys, engine
+    ):
+        # The tokenizer backend is an executor choice: every backend must
+        # produce the same report and the same exit code.
+        ws = violating_workspace
+        argv = ["shred", "--transform", ws["transform"], "--xml", ws["bad_xml"],
+                "--keys", ws["keys"], "--tokenizer"]
+        assert main(argv + ["pure"]) == 1
+        pure_out = capsys.readouterr().out
+        assert main(argv + [engine]) == 1
+        assert capsys.readouterr().out == pure_out
+
+    @pytest.mark.skipif(HAS_LXML, reason="lxml is installed here")
+    @pytest.mark.parametrize("command", ["check-doc", "shred", "load"])
+    def test_unavailable_tokenizer_exit_two(self, violating_workspace, command):
+        ws = violating_workspace
+        argv = {
+            "check-doc": ["check-doc", "--keys", ws["keys"], "--xml", ws["xml"]],
+            "shred": ["shred", "--transform", ws["transform"], "--xml", ws["xml"]],
+            "load": ["load", "--transform", ws["transform"], "--xml", ws["xml"],
+                     "--db", ws["db"]],
+        }[command]
+        assert main(argv + ["--tokenizer", "lxml"]) == 2
+
+    def test_unknown_tokenizer_is_an_argparse_error(self, violating_workspace):
+        ws = violating_workspace
+        with pytest.raises(SystemExit) as info:
+            main(["check-doc", "--keys", ws["keys"], "--xml", ws["xml"],
+                  "--tokenizer", "bogus"])
         assert info.value.code == 2

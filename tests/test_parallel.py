@@ -260,3 +260,66 @@ class TestScenarioScale:
         )
         for name, instance in serial.instances.items():
             assert parallel.instances[name].rows == instance.rows
+
+
+class TestZeroCopyMmapPath:
+    """PathLike sources ship a slice table, not the text (PR 7).
+
+    Workers ``mmap`` the file themselves and feed their byte range to the
+    tokenizer; the pickled payload must therefore stay slice-table-sized,
+    and every result must stay byte-identical to the in-memory text run.
+    """
+
+    def _write(self, tmp_path, text, encoding="ascii"):
+        target = tmp_path / "doc.xml"
+        target.write_text(text, encoding=encoding)
+        return target
+
+    def test_path_run_matches_text_run_with_process_pool(
+        self, tmp_path, transformation
+    ):
+        target = self._write(tmp_path, DOC)
+        serial = run_sharded(DOC, transformation=transformation, keys=KEYS, jobs=1)
+        mapped = run_sharded(target, transformation=transformation, keys=KEYS, jobs=2)
+        assert mapped.shards > 1
+        assert set(mapped.instances) == set(serial.instances)
+        for name, instance in serial.instances.items():
+            assert mapped.instances[name].rows == instance.rows
+        assert violation_fingerprint(mapped.violations) == violation_fingerprint(
+            serial.violations
+        )
+
+    def test_non_ascii_file_degrades_to_text_plane(self, tmp_path, transformation):
+        # Byte offsets and character offsets disagree: the coordinator
+        # must ship text slices instead of mmap ranges — same answer.
+        doc = DOC.replace("<title>A</title>", "<title>É</title>")
+        target = self._write(tmp_path, doc, encoding="utf-8")
+        serial = run_sharded(doc, transformation=transformation, jobs=1)
+        run = run_sharded(target, transformation=transformation, jobs=2)
+        for name, instance in serial.instances.items():
+            assert run.instances[name].rows == instance.rows
+
+    def test_mapped_payload_is_small_and_roundtrips(self, tmp_path):
+        import pickle
+
+        from repro.xmlmodel.shards import map_document_shards, split_document
+
+        text = (
+            "<lib>"
+            + "".join(
+                f"<book isbn='{i}'><title>T{i}</title></book>" for i in range(4000)
+            )
+            + "</lib>"
+        )
+        target = self._write(tmp_path, text)
+        shards = split_document(text, 8)
+        mapped = map_document_shards(shards, str(target))
+        payload = pickle.dumps(mapped)
+        assert len(payload) < len(text) // 50, "payload must not carry the text"
+        restored = pickle.loads(payload)
+        assert len(restored) == len(shards)
+        assert list(restored.prologue_events) == list(shards.prologue_events)
+        for index in range(len(shards)):
+            assert list(restored.shard_events(index)) == list(
+                shards.shard_events(index)
+            )

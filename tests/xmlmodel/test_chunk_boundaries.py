@@ -98,3 +98,37 @@ def test_file_like_source_uses_chunked_path():
     reference = list(iter_events(document))
     # A tiny chunk_size forces many refills through the file-like path.
     assert list(iter_events(io.StringIO(document), chunk_size=3)) == reference
+
+
+def _timed_chunked_comment(payload_bytes, chunk_size=1 << 16):
+    """Tokenize one huge comment fed in chunks; (best time, events)."""
+    import time
+
+    filler = "0123456789abcdef" * (payload_bytes // 16)
+    document = f"<r><!--{filler}--><a>x</a></r>"
+    best = float("inf")
+    events = None
+    for _ in range(3):
+        chunks = (
+            document[i : i + chunk_size]
+            for i in range(0, len(document), chunk_size)
+        )
+        begin = time.perf_counter()
+        events = list(iter_events(chunks))
+        best = min(best, time.perf_counter() - begin)
+    return best, events
+
+
+def test_multi_megabyte_comment_chunked_is_not_quadratic():
+    # A marker spanning many chunk refills must not rescan the pending
+    # buffer from its start on every refill: 4x the input must cost ~4x,
+    # not ~16x.  (The events are identical — the comment is skipped.)
+    small_time, small_events = _timed_chunked_comment(2 * 1024 * 1024)
+    large_time, large_events = _timed_chunked_comment(8 * 1024 * 1024)
+    assert small_events == large_events
+    ratio = large_time / small_time
+    assert ratio < 10.0, (
+        f"chunked tokenization scaled {ratio:.1f}x for 4x the input "
+        f"({small_time * 1000:.0f} ms -> {large_time * 1000:.0f} ms): "
+        "quadratic rescanning has regressed"
+    )

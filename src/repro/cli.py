@@ -11,9 +11,13 @@ consumer can run the analysis on files without writing Python::
                               [--sql] [--stream] [--jobs N] [--batch-size N | --copy]
     python -m repro check-doc --keys keys.txt --xml data.xml [--dom | --jobs N]
     python -m repro load      --transform rules.dsl --xml data.xml [--xml more.xml ...] \
-                              --db out.db [--keys keys.txt] [--mode strict|log] \
+                              --db out.db [--backend sqlite|postgres|fake-postgres] \
+                              [--keys keys.txt] [--mode strict|log] \
                               [--jobs N] [--verify] [--provenance COLUMN]
-    python -m repro query     --db out.db [--sql "SELECT ..." | --table R [--limit N]]
+    python -m repro query     --db out.db [--backend NAME] \
+                              [--sql "SELECT ..." | --table R [--limit N]]
+    python -m repro serve     --db out.db [--backend NAME] [--host H] [--port P] \
+                              [--mode strict|log] [--workers N] [--pool-size N]
     python -m repro apply-delta --xml data.xml [--transform rules.dsl] [--keys keys.txt] \
                               [--op "replace 0 new.xml" ...] [--db out.db --mode strict|log] \
                               [--repl] [--write-back]
@@ -45,18 +49,30 @@ over ``--xml`` once every operation has applied.
 
 ``load`` runs the storage plane end to end: shred the document(s) (serial
 streaming, or sharded with ``--jobs``), compile the propagated FDs of
-``--keys`` into constraint-bearing DDL, and bulk-load a SQLite database —
+``--keys`` into constraint-bearing DDL, and bulk-load a database —
 ``--mode strict`` makes the engine itself reject violating rows (the
 command reports exactly which), ``--mode log`` stages everything and
 ``--verify`` then finds violations *in the database* with generated
-``GROUP BY … HAVING`` SQL.  ``query`` inspects the result.
+``GROUP BY … HAVING`` SQL.  ``query`` inspects the result.  ``--backend``
+(or the ``REPRO_BACKEND`` environment variable, or a ``postgres://`` URL
+as ``--db``) picks the engine: SQLite is the default, ``postgres`` uses a
+real server (COPY bulk loading, savepoint semantics identical to SQLite),
+``fake-postgres`` is the in-process conformance stand-in.
+
+``serve`` starts the service plane: a long-lived NDJSON-over-TCP
+ingestion front-end with per-tenant schema registration, concurrent
+uploads over a backend pool, and in-database verification
+(:mod:`repro.service`).
 
 File formats: keys files contain one key per line in the paper's notation
 (``K2 = (//book, (chapter, {@number}))``, ``#`` comments allowed);
 transformation files use the DSL of :mod:`repro.transform.dsl`; XML files are
 plain XML.  All commands print to stdout and return a *uniform* exit code
 (0 = success / property holds, 1 = property fails / violations found,
-2 = usage error), enforced by ``tests/test_cli.py::TestExitCodes``.
+2 = usage error), enforced by ``tests/test_cli.py::TestExitCodes``.  Two
+POSIX conventions sit on top: Ctrl-C exits 130 (128+SIGINT) and a stdout
+reader hanging up (``repro query … | head``) exits 141 (128+SIGPIPE) —
+both without a traceback.
 """
 
 from __future__ import annotations
@@ -268,16 +284,16 @@ def cmd_check_doc(args: argparse.Namespace) -> int:
 
 
 def cmd_load(args: argparse.Namespace) -> int:
-    """Shred document(s) into a SQLite database with propagated constraints."""
+    """Shred document(s) into a database with propagated constraints."""
     from repro.core import minimum_cover_from_keys
     from repro.storage import (
         BulkLoader,
         IntegrityViolation,
         LoadError,
         SQLVerifier,
-        SQLiteBackend,
         StorageDDL,
         compile_table_ddl,
+        open_backend,
     )
 
     transformation = _load_transformation(args.transform)
@@ -289,8 +305,12 @@ def cmd_load(args: argparse.Namespace) -> int:
     if provenance is None and len(documents) > 1:
         provenance = "_document"
 
+    backend = open_backend(args.db, backend=getattr(args, "backend", None))
     # One table per rule; each table's constraints come from the minimum
-    # cover of the FDs the XML keys propagate to *that* rule.
+    # cover of the FDs the XML keys propagate to *that* rule.  Engines
+    # without a stable physical row order (PostgreSQL) also get their
+    # insertion-order column so --verify reports the same witnesses.
+    ordinal = backend.ordinal_column
     tables = {}
     for rule in rules:
         cover = minimum_cover_from_keys(keys, rule).cover if keys else []
@@ -299,13 +319,18 @@ def cmd_load(args: argparse.Namespace) -> int:
             cover,
             mode=args.mode,
             provenance_column=provenance,
+            ordinal_column=ordinal,
             # Loading into an existing database appends to its tables (the
             # corpus-over-several-invocations workflow).
             if_not_exists=True,
         )
-    ddl = StorageDDL(mode=args.mode, tables=tables, provenance_column=provenance)
+    ddl = StorageDDL(
+        mode=args.mode,
+        tables=tables,
+        provenance_column=provenance,
+        ordinal_column=ordinal,
+    )
 
-    backend = SQLiteBackend(args.db)
     try:
         loader = BulkLoader(backend, ddl, batch_size=args.batch_size)
         loader.create_schema()
@@ -357,9 +382,10 @@ def cmd_load(args: argparse.Namespace) -> int:
 
 def cmd_query(args: argparse.Namespace) -> int:
     """Inspect a database produced by ``load``."""
-    from repro.storage import SQLiteBackend
+    from repro.storage import open_backend, resolve_backend_name
 
-    if not Path(args.db).exists():
+    name = resolve_backend_name(args.db, backend=getattr(args, "backend", None))
+    if name == "sqlite" and args.db != ":memory:" and not Path(args.db).exists():
         raise FileNotFoundError(f"no database at {args.db}")
     if args.sql and args.table:
         print("error: provide either --sql or --table, not both", file=sys.stderr)
@@ -367,7 +393,7 @@ def cmd_query(args: argparse.Namespace) -> int:
     if args.limit is not None and not args.table:
         print("error: --limit only applies to --table dumps", file=sys.stderr)
         return 2
-    backend = SQLiteBackend(args.db)
+    backend = open_backend(args.db, backend=name)
     try:
         if args.sql:
             cursor = backend.execute(args.sql)
@@ -393,6 +419,30 @@ def cmd_query(args: argparse.Namespace) -> int:
         return 0
     finally:
         backend.close()
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the ingestion service (NDJSON over TCP) until interrupted."""
+    from repro.service import serve
+    from repro.storage import resolve_backend_name
+
+    # Fail fast on a bad --backend / REPRO_BACKEND before binding the port.
+    resolve_backend_name(args.db, backend=getattr(args, "backend", None))
+    print(
+        f"serving {args.db} on {args.host}:{args.port} "
+        f"({args.mode} mode, {args.workers} worker(s))"
+    )
+    serve(
+        args.db,
+        backend=getattr(args, "backend", None),
+        host=args.host,
+        port=args.port,
+        mode=args.mode,
+        pool_size=args.pool_size,
+        workers=args.workers,
+        jobs=args.jobs if args.jobs is not None else 1,
+    )
+    return 0
 
 
 def _parse_delta_op(text: str):
@@ -700,7 +750,7 @@ def build_parser() -> argparse.ArgumentParser:
     check_doc.set_defaults(handler=cmd_check_doc)
 
     load = subparsers.add_parser(
-        "load", help="shred document(s) into a SQLite database with propagated constraints"
+        "load", help="shred document(s) into a database with propagated constraints"
     )
     load.add_argument("--transform", required=True, help="transformation DSL file")
     load.add_argument(
@@ -709,7 +759,21 @@ def build_parser() -> argparse.ArgumentParser:
         action="append",
         help="XML document to load (repeat for a corpus)",
     )
-    load.add_argument("--db", required=True, help="SQLite database path (created if absent)")
+    load.add_argument(
+        "--db",
+        required=True,
+        help="SQLite database path (created if absent), or a PostgreSQL DSN",
+    )
+    load.add_argument(
+        "--backend",
+        default=None,
+        metavar="NAME",
+        help=(
+            "storage engine: sqlite (default), postgres, or fake-postgres; "
+            "default: REPRO_BACKEND, else inferred from --db (postgres:// "
+            "URLs open PostgreSQL)"
+        ),
+    )
     load.add_argument(
         "--keys",
         help="keys file; their propagated FDs become the tables' constraints",
@@ -762,7 +826,15 @@ def build_parser() -> argparse.ArgumentParser:
     load.set_defaults(handler=cmd_load)
 
     query = subparsers.add_parser("query", help="inspect a database produced by load")
-    query.add_argument("--db", required=True, help="SQLite database path")
+    query.add_argument(
+        "--db", required=True, help="SQLite database path, or a PostgreSQL DSN"
+    )
+    query.add_argument(
+        "--backend",
+        default=None,
+        metavar="NAME",
+        help="storage engine (see load --backend)",
+    )
     query.add_argument("--sql", help="SQL to execute (default: list tables)")
     query.add_argument("--table", help="dump one table instead of running --sql")
     query.add_argument(
@@ -773,6 +845,54 @@ def build_parser() -> argparse.ArgumentParser:
         help="with --table: print at most N rows",
     )
     query.set_defaults(handler=cmd_query)
+
+    serve = subparsers.add_parser(
+        "serve", help="run the NDJSON-over-TCP ingestion service"
+    )
+    serve.add_argument(
+        "--db",
+        default=":memory:",
+        help="database path or PostgreSQL DSN (default: in-memory SQLite)",
+    )
+    serve.add_argument(
+        "--backend",
+        default=None,
+        metavar="NAME",
+        help="storage engine (see load --backend)",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument("--port", type=int, default=8743, help="TCP port")
+    serve.add_argument(
+        "--mode",
+        default="strict",
+        choices=["strict", "log"],
+        help="default constraint mode for tenants that do not pick one",
+    )
+    serve.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=4,
+        metavar="N",
+        help="concurrent ingestion workers (default 4)",
+    )
+    serve.add_argument(
+        "--pool-size",
+        type=_positive_int,
+        default=1,
+        metavar="N",
+        help=(
+            "backend connections in the pool (default 1; raise for "
+            "PostgreSQL, keep 1 for sqlite)"
+        ),
+    )
+    serve.add_argument(
+        "--jobs",
+        type=_jobs_count,
+        default=None,
+        metavar="N",
+        help="shard each uploaded document over N worker processes",
+    )
+    serve.set_defaults(handler=cmd_serve)
 
     apply_delta = subparsers.add_parser(
         "apply-delta",
@@ -828,6 +948,23 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _silence_stdout() -> None:
+    """Point stdout at the null device (EPIPE: the reader went away).
+
+    Replacing the underlying file descriptor (not just ``sys.stdout``)
+    also keeps the interpreter's exit-time flush from printing a second
+    ``BrokenPipeError`` traceback.
+    """
+    import os
+
+    try:
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        os.close(devnull)
+    except OSError:  # pragma: no cover - stdout already closed outright
+        pass
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     from repro.storage.backend import StorageError
 
@@ -844,6 +981,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         # missing table, an incompatible existing database).
         print(f"error: {error}", file=sys.stderr)
         return 2
+    except KeyboardInterrupt:
+        # Ctrl-C mid-command (serve, apply-delta --repl, a long load) is a
+        # clean stop, not a crash: the conventional 128+SIGINT exit code,
+        # no traceback.
+        print("interrupted", file=sys.stderr)
+        return 130
+    except BrokenPipeError:
+        # The stdout reader hung up (`repro query … | head`): close
+        # quietly with the conventional 128+SIGPIPE code instead of
+        # dumping a traceback into a dead pipe.
+        _silence_stdout()
+        return 141
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via tests calling main()

@@ -230,6 +230,7 @@ def run_sharded(
     jobs: Optional[int] = None,
     use_processes: Optional[bool] = None,
     engine: Optional[str] = None,
+    executor=None,
 ) -> ShardedRun:
     """Shred and/or key-check a document on the sharded execution plane.
 
@@ -247,7 +248,12 @@ def run_sharded(
     in-process — the same shard/map/merge code path without the pool,
     which is what the differential test suite exercises at scale.
     ``engine`` selects the tokenizer backend per
-    :func:`repro.xmlmodel.events.iter_events`.
+    :func:`repro.xmlmodel.events.iter_events`.  ``executor`` reuses an
+    existing :class:`concurrent.futures.Executor` for the shard tasks
+    instead of spinning up (and tearing down) a process pool per call —
+    the shape a long-lived service wants; the worker payload is shipped
+    with each task, so any executor whose workers can unpickle it works
+    (including a thread pool).
 
     The output is byte-identical to the serial streaming plane (and hence
     to the DOM plane): same rows in the same order, same verdicts, same
@@ -293,7 +299,9 @@ def run_sharded(
     indices = range(len(shards))
     if use_processes is None:
         use_processes = True
-    if use_processes:
+    if executor is not None:
+        outputs = list(executor.map(worker.run, indices))
+    elif use_processes:
         from concurrent.futures import ProcessPoolExecutor
 
         with ProcessPoolExecutor(

@@ -58,17 +58,44 @@ def quote_identifier(name: str) -> str:
     return '"' + name.replace('"', '""') + '"'
 
 
+def encode_value(value: object) -> Optional[str]:
+    """The canonical storage text of one value (``NULL`` → ``None``).
+
+    The storage plane is a text plane: every column is ``TEXT`` and every
+    non-null value is stored as exactly ``str(value)``.  Centralizing the
+    conversion here is what makes typed values — the ints and floats that
+    provenance and counter columns produce — *value-identical* across
+    backends: a raw Python value handed to a driver would otherwise be
+    rendered by the engine's own affinity rules (SQLite turns ``1e20``
+    into ``'1.0e+20'`` and ``True`` into ``'1'``; PostgreSQL rejects an
+    integer parameter against a ``TEXT`` column), whereas ``str()`` gives
+    ``'1e+20'`` and ``'True'`` everywhere.  Every emission path — literals
+    (:func:`quote_literal`), parameters (:func:`encode_row`, the loader's
+    batch encoder), ``COPY`` payloads (:func:`copy_literal`) — goes
+    through this rendering, so the same value round-trips to the same
+    text no matter the backend or the path.
+    """
+    if is_null(value):
+        return None
+    return value if type(value) is str else str(value)
+
+
 def quote_literal(value: object) -> str:
     """Render a value as an SQL literal (strings quoted, NULL for nulls).
+
+    Non-string values are rendered via :func:`encode_value` (canonical
+    ``str()`` text) and quoted like any string — the storage plane is all
+    ``TEXT`` columns, so emitting ints unquoted would only invite
+    engine-specific coercion rules back in.
 
     NUL bytes are rejected rather than emitted: a NUL truncates the
     statement text in C-string-based engines, splitting the literal open.
     Values that may contain arbitrary bytes should travel as parameters
     (:func:`insert_template` + :func:`encode_row`), never as literals.
     """
-    if is_null(value):
+    text = encode_value(value)
+    if text is None:
         return "NULL"
-    text = str(value)
     if "\x00" in text:
         raise ValueError(
             "SQL string literals cannot contain NUL bytes; use the "
@@ -83,6 +110,7 @@ def create_table(
     if_not_exists: bool = False,
     include_keys: bool = True,
     extra_columns: Sequence[str] = (),
+    typed_columns: Sequence[Tuple[str, str]] = (),
 ) -> str:
     """``CREATE TABLE`` for one relation schema.
 
@@ -95,6 +123,9 @@ def create_table(
     them in-database afterwards.  ``extra_columns`` appends bookkeeping
     columns (e.g. a per-document provenance column) after the schema's own
     attributes; they never participate in the key constraints.
+    ``typed_columns`` appends ``(name, sql_type)`` columns verbatim — the
+    shape engine-specific bookkeeping needs (PostgreSQL's ``BIGSERIAL``
+    insertion-order column).
     """
     clause_exists = "IF NOT EXISTS " if if_not_exists else ""
     lines = [f"CREATE TABLE {clause_exists}{quote_identifier(schema.name)} ("]
@@ -103,6 +134,9 @@ def create_table(
     ]
     column_lines.extend(
         f"    {quote_identifier(extra)} {column_type}" for extra in extra_columns
+    )
+    column_lines.extend(
+        f"    {quote_identifier(name)} {sql_type}" for name, sql_type in typed_columns
     )
     constraint_lines: List[str] = []
     if include_keys and schema.primary_key:
@@ -200,14 +234,22 @@ def insert_template(
     style), so row content never appears in the SQL text: this is the
     injection-safe shape :meth:`repro.storage.loader.BulkLoader` hands to
     ``executemany`` together with the tuples of :func:`encode_row`.
+
+    Pass the backend's placeholder (``Backend.placeholder``) when the
+    template targets a specific engine.  For ``%``-style placeholders
+    (the psycopg family's ``format`` paramstyle) any literal ``%`` in the
+    identifier text is escaped to ``%%`` — psycopg's parameter
+    interpolation is quote-unaware, so a document-derived column named
+    ``a%sb`` would otherwise desynchronize the parameters.
     """
     columns = list(schema.attributes) + list(extra_columns)
     column_list = ", ".join(quote_identifier(column) for column in columns)
+    table = quote_identifier(schema.name)
+    if "%" in placeholder:
+        column_list = column_list.replace("%", "%%")
+        table = table.replace("%", "%%")
     placeholders = ", ".join([placeholder] * len(columns))
-    return (
-        f"INSERT INTO {quote_identifier(schema.name)} "
-        f"({column_list}) VALUES ({placeholders})"
-    )
+    return f"INSERT INTO {table} ({column_list}) VALUES ({placeholders})"
 
 
 def encode_row(
@@ -222,10 +264,10 @@ def encode_row(
     """
     get = row.get_value if isinstance(row, Row) else lambda a, _row=row: _row.get(a)
     encoded = tuple(
-        None if is_null(value) else str(value)
+        encode_value(value)
         for value in (get(attribute) for attribute in schema.attributes)
     )
-    return encoded + tuple(extra_values)
+    return encoded + tuple(encode_value(value) for value in extra_values)
 
 
 def iter_parameter_batches(
@@ -253,10 +295,15 @@ def iter_parameter_batches(
 
 
 def copy_literal(value: object) -> str:
-    """Render a value for a ``COPY ... FROM STDIN`` text payload."""
-    if is_null(value):
+    """Render a value for a ``COPY ... FROM STDIN`` text payload.
+
+    Non-string values take the canonical :func:`encode_value` text, so a
+    ``COPY``-based load stores exactly the same bytes as the parameterized
+    ``INSERT`` path.
+    """
+    text = encode_value(value)
+    if text is None:
         return "\\N"
-    text = str(value)
     return (
         text.replace("\\", "\\\\")
         .replace("\t", "\\t")

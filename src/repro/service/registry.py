@@ -1,0 +1,222 @@
+"""Per-tenant schema registry: transformations + compiled DDL plans.
+
+A tenant is one isolated ingestion target: its own relational schema, its
+own table rules, its own tables (namespaced by a tenant prefix so many
+tenants share one database).  Registration compiles the DDL plan once —
+mode, provenance column and the backend's ordinal column included — and
+every subsequent upload reuses it; the registry is the only mutable shared
+state of the service and is guarded by a lock.
+
+The wire codecs (``*_to_wire`` / ``*_from_wire``) are the JSON shapes the
+NDJSON front door speaks: a relation schema is ``{"name", "attributes",
+"keys"}``; a table rule is ``{"relation", "fields", "mappings"}`` with
+mappings as ``[variable, source, path]`` triples (paths in the rule
+language's text form).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from repro.relational.schema import DatabaseSchema, RelationSchema
+from repro.storage.ddl import StorageDDL, compile_ddl
+from repro.transform.rule import TableRule
+
+#: Default bookkeeping column stamping every row with its document id.
+DEFAULT_PROVENANCE = "_doc"
+
+
+# ----------------------------------------------------------------------
+# Wire codecs
+# ----------------------------------------------------------------------
+def schema_to_wire(schema: RelationSchema) -> Dict:
+    return {
+        "name": schema.name,
+        "attributes": list(schema.attributes),
+        "keys": [sorted(key) for key in schema.keys],
+    }
+
+
+def schema_from_wire(data: Mapping) -> RelationSchema:
+    try:
+        name = data["name"]
+        attributes = list(data["attributes"])
+    except (KeyError, TypeError) as error:
+        raise ValueError(f"malformed schema payload: {error}") from None
+    keys = [frozenset(key) for key in data.get("keys", ())]
+    return RelationSchema(name, attributes, keys=keys)
+
+
+def rule_to_wire(rule: TableRule) -> Dict:
+    return {
+        "relation": rule.relation,
+        "root_variable": rule.root_variable,
+        "fields": {f.field: f.variable for f in rule.fields},
+        "mappings": [[m.variable, m.source, m.path.text] for m in rule.mappings],
+    }
+
+
+def rule_from_wire(data: Mapping) -> TableRule:
+    try:
+        relation = data["relation"]
+        mappings = [tuple(entry) for entry in data.get("mappings", ())]
+        fields = dict(data.get("fields", {}))
+    except (KeyError, TypeError) as error:
+        raise ValueError(f"malformed rule payload: {error}") from None
+    return TableRule(
+        relation,
+        fields=fields,
+        mappings=mappings,
+        root_variable=data.get("root_variable", "xr"),
+    )
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+@dataclass
+class TenantConfig:
+    """Everything one tenant's uploads need.
+
+    ``rules`` and ``ddl`` speak *physical* table names
+    (``<tenant>__<relation>`` when the registry namespaces); ``tables``
+    maps the tenant's logical relation names onto them, and
+    :meth:`logical_counts` translates loader reports back.
+    """
+
+    tenant: str
+    rules: List[TableRule]
+    ddl: StorageDDL
+    #: logical relation name → physical table name.
+    tables: Dict[str, str] = field(default_factory=dict)
+    provenance_column: Optional[str] = DEFAULT_PROVENANCE
+    #: Rows accepted per logical relation since registration.
+    loaded: Dict[str, int] = field(default_factory=dict)
+    documents: int = 0
+
+    def physical(self, relation: str) -> str:
+        try:
+            return self.tables[relation]
+        except KeyError:
+            raise KeyError(
+                f"tenant {self.tenant!r} has no relation named {relation!r}"
+            ) from None
+
+    def logical_counts(self, counts: Mapping[str, int]) -> Dict[str, int]:
+        reverse = {physical: logical for logical, physical in self.tables.items()}
+        return {reverse.get(table, table): count for table, count in counts.items()}
+
+    def merge_counts(self, counts: Mapping[str, int]) -> None:
+        for table, count in self.logical_counts(counts).items():
+            self.loaded[table] = self.loaded.get(table, 0) + count
+        self.documents += 1
+
+
+def _infer_schema(rule: TableRule) -> RelationSchema:
+    """A keyless schema straight from a rule's field list (staging shape)."""
+    return RelationSchema(rule.relation, rule.field_names)
+
+
+class SchemaRegistry:
+    """Thread-safe map of tenant → :class:`TenantConfig`.
+
+    ``ordinal_column`` is the backend's insertion-order column (or
+    ``None``); it is baked into every compiled plan so the tables a tenant
+    gets match the engine the service runs on.
+    """
+
+    def __init__(self, ordinal_column: Optional[str] = None) -> None:
+        self._lock = threading.Lock()
+        self._tenants: Dict[str, TenantConfig] = {}
+        self.ordinal_column = ordinal_column
+
+    def register(
+        self,
+        tenant: str,
+        rules: Iterable[TableRule],
+        schema: Optional[Sequence[RelationSchema]] = None,
+        cover: Iterable = (),
+        mode: str = "strict",
+        provenance_column: Optional[str] = DEFAULT_PROVENANCE,
+        replace: bool = False,
+        namespace: bool = True,
+    ) -> TenantConfig:
+        """Register (or with ``replace=True`` re-register) a tenant.
+
+        ``schema`` gives the relation schemas (keys included); relations a
+        rule targets but the schema omits are inferred keyless from the
+        rule's fields.  ``cover`` is a propagated-FD cover applied by
+        :func:`~repro.storage.ddl.compile_ddl`; ``mode`` picks strict
+        (engine-enforced keys) or log (stage now, verify in-database).
+        With ``namespace=True`` (the default) tables land under
+        ``<tenant>__<relation>`` so tenants sharing one database cannot
+        collide; the returned config translates both ways.
+        """
+        rule_list = list(rules)
+        if not rule_list:
+            raise ValueError(f"tenant {tenant!r} needs at least one table rule")
+        by_name: Dict[str, RelationSchema] = {
+            relation.name: relation for relation in (schema or ())
+        }
+        prefix = f"{tenant}__" if namespace else ""
+        tables: Dict[str, str] = {}
+        relations: List[RelationSchema] = []
+        physical_rules: List[TableRule] = []
+        for rule in rule_list:
+            logical = by_name.get(rule.relation) or _infer_schema(rule)
+            physical_name = prefix + rule.relation
+            if rule.relation in tables:
+                raise ValueError(
+                    f"tenant {tenant!r} registers relation {rule.relation!r} twice"
+                )
+            tables[rule.relation] = physical_name
+            relations.append(
+                RelationSchema(physical_name, logical.attributes, keys=logical.keys)
+            )
+            physical_rules.append(
+                TableRule(
+                    physical_name,
+                    fields={f.field: f.variable for f in rule.fields},
+                    mappings=[
+                        (m.variable, m.source, m.path.text) for m in rule.mappings
+                    ],
+                    root_variable=rule.root_variable,
+                )
+            )
+        ddl = compile_ddl(
+            DatabaseSchema(relations),
+            cover=cover,
+            mode=mode,
+            provenance_column=provenance_column,
+            ordinal_column=self.ordinal_column,
+            if_not_exists=True,
+        )
+        config = TenantConfig(
+            tenant=tenant,
+            rules=physical_rules,
+            ddl=ddl,
+            tables=tables,
+            provenance_column=provenance_column,
+        )
+        with self._lock:
+            if tenant in self._tenants and not replace:
+                raise ValueError(f"tenant {tenant!r} is already registered")
+            self._tenants[tenant] = config
+        return config
+
+    def get(self, tenant: str) -> TenantConfig:
+        with self._lock:
+            try:
+                return self._tenants[tenant]
+            except KeyError:
+                raise KeyError(f"no tenant named {tenant!r} is registered") from None
+
+    def tenants(self) -> List[str]:
+        with self._lock:
+            return sorted(self._tenants)
+
+    def __contains__(self, tenant: str) -> bool:
+        with self._lock:
+            return tenant in self._tenants

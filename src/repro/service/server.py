@@ -1,0 +1,388 @@
+"""The asyncio ingestion service and its NDJSON-over-TCP front door.
+
+:class:`IngestionService` is the embeddable core: a bounded
+:class:`asyncio.Queue` of pending uploads, a small set of worker tasks
+draining it, a thread pool for the CPU-bound shred+load, and a
+:class:`~repro.storage.pool.ConnectionPool` of backends underneath.  Per
+tenant, uploads serialize behind an :class:`asyncio.Lock` — documents of
+one tenant land in registration order against the same tables, which is
+what keeps the provenance story and strict-mode first-occurrence
+semantics identical to a serial :class:`~repro.storage.loader.BulkLoader`
+run; *across* tenants, uploads overlap freely.  The queue bound is the
+backpressure: when ``queue_size`` uploads are in flight, further
+``upload()`` calls wait instead of buffering unboundedly.
+
+Every load is transactional exactly as the storage plane promises: a
+strict-mode rejection (:exc:`~repro.storage.loader.LoadError`) or an
+injected/transient failure rolls the document back completely, the error
+is reported on that upload's future, and the service keeps serving.
+
+The wire protocol (``repro serve``) is newline-delimited JSON, one
+request object per line, one response object per line, over TCP::
+
+    {"op": "ping"}
+    {"op": "register", "tenant": "t", "rules": [...], "schema": [...],
+     "mode": "strict"}
+    {"op": "upload", "tenant": "t", "text": "<doc…>", "document": "d1"}
+    {"op": "verify", "tenant": "t"}
+    {"op": "stats"}
+
+Responses always carry ``"ok"``; failures carry ``"error"`` (and
+``"rejected"`` row payloads for strict-mode violations).  The codecs for
+rules and schemas live in :mod:`repro.service.registry`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Dict, List, Optional
+
+from repro.relational.instance import is_null
+from repro.service.registry import (
+    DEFAULT_PROVENANCE,
+    SchemaRegistry,
+    TenantConfig,
+    rule_from_wire,
+    schema_from_wire,
+)
+from repro.storage import (
+    Backend,
+    BulkLoader,
+    ConnectionPool,
+    LoadError,
+    RetryingBackend,
+    RetryPolicy,
+    SQLVerifier,
+    StorageError,
+    open_backend,
+)
+
+
+def _plain_rows(rows: List) -> List[Dict]:
+    """Violating rows as JSON-safe dicts (NULL sentinel → ``None``)."""
+    return [
+        {key: (None if is_null(value) else value) for key, value in row.items()}
+        for row in rows
+    ]
+
+
+class IngestionService:
+    """Concurrent document ingestion over one storage backend.
+
+    ``database``/``backend`` select the engine exactly like the CLI
+    (:func:`repro.storage.open_backend`); a custom ``backend_factory``
+    overrides both (tests inject fakes and fault wrappers this way).
+    ``pool_size`` bounds concurrent connections — the default of 1 is
+    right for sqlite (including ``:memory:``, where separate connections
+    would see separate databases); raise it for PostgreSQL.
+    ``retry_policy`` wraps every pooled backend in a
+    :class:`~repro.storage.retry.RetryingBackend`.
+    """
+
+    def __init__(
+        self,
+        database: str = ":memory:",
+        backend: Optional[str] = None,
+        mode: str = "strict",
+        pool_size: int = 1,
+        workers: int = 4,
+        queue_size: int = 64,
+        jobs: int = 1,
+        retry_policy: Optional[RetryPolicy] = None,
+        backend_factory: Optional[Callable[[], Backend]] = None,
+    ) -> None:
+        if backend_factory is None:
+            backend_factory = lambda: open_backend(  # noqa: E731
+                database, backend=backend, check_same_thread=False
+            )
+        if retry_policy is not None:
+            inner_factory = backend_factory
+            backend_factory = lambda: RetryingBackend(  # noqa: E731
+                inner_factory(), retry_policy
+            )
+        self.pool = ConnectionPool(backend_factory, max_size=pool_size)
+        # One probe connection decides the engine's ordinal-column needs
+        # (and fails fast on a bad DSN); it goes straight back to the pool.
+        probe = self.pool.acquire()
+        try:
+            ordinal = probe.ordinal_column
+        finally:
+            self.pool.release(probe)
+        self.registry = SchemaRegistry(ordinal_column=ordinal)
+        self.mode = mode
+        self.jobs = jobs
+        self.workers = workers
+        self.queue_size = queue_size
+        self._queue: Optional[asyncio.Queue] = None
+        self._tasks: List[asyncio.Task] = []
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._locks: Dict[str, asyncio.Lock] = {}
+        self._doc_counter: Dict[str, int] = {}
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        if self._started:
+            return
+        self._queue = asyncio.Queue(self.queue_size)
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.workers, thread_name_prefix="repro-ingest"
+        )
+        self._tasks = [
+            asyncio.ensure_future(self._worker()) for _ in range(self.workers)
+        ]
+        self._started = True
+
+    async def stop(self) -> None:
+        if not self._started:
+            return
+        assert self._queue is not None
+        await self._queue.join()
+        for task in self._tasks:
+            task.cancel()
+        await asyncio.gather(*self._tasks, return_exceptions=True)
+        self._tasks = []
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+        self._started = False
+
+    def close(self) -> None:
+        self.pool.close()
+
+    # ------------------------------------------------------------------
+    # Tenant management
+    # ------------------------------------------------------------------
+    def register_tenant(
+        self,
+        tenant: str,
+        rules,
+        schema=None,
+        cover=(),
+        mode: Optional[str] = None,
+        provenance_column: Optional[str] = DEFAULT_PROVENANCE,
+        replace: bool = False,
+    ) -> TenantConfig:
+        """Register a tenant and create its tables (idempotent DDL)."""
+        config = self.registry.register(
+            tenant,
+            rules,
+            schema=schema,
+            cover=cover,
+            mode=mode or self.mode,
+            provenance_column=provenance_column,
+            replace=replace,
+        )
+        with self.pool.connection() as backend:
+            BulkLoader(backend, config.ddl).create_schema()
+        return config
+
+    def _lock_for(self, tenant: str) -> asyncio.Lock:
+        lock = self._locks.get(tenant)
+        if lock is None:
+            lock = self._locks[tenant] = asyncio.Lock()
+        return lock
+
+    def _next_document_id(self, tenant: str) -> str:
+        n = self._doc_counter.get(tenant, 0)
+        self._doc_counter[tenant] = n + 1
+        return f"doc{n}"
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+    async def upload(
+        self, tenant: str, text: str, document: Optional[str] = None
+    ) -> Dict[str, int]:
+        """Enqueue one document and await its per-table row counts.
+
+        Raises :exc:`KeyError` for an unknown tenant,
+        :exc:`~repro.storage.loader.LoadError` when strict-mode
+        constraints reject the document (fully rolled back), and whatever
+        storage-plane error a failing backend surfaced (ditto).
+        """
+        if not self._started:
+            raise RuntimeError("the service is not started (call start())")
+        self.registry.get(tenant)  # unknown tenants fail before queueing
+        if document is None:
+            document = self._next_document_id(tenant)
+        assert self._queue is not None
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        await self._queue.put((tenant, document, text, future))
+        return await future
+
+    async def _worker(self) -> None:
+        assert self._queue is not None
+        while True:
+            tenant, document, text, future = await self._queue.get()
+            try:
+                config = self.registry.get(tenant)
+                async with self._lock_for(tenant):
+                    loop = asyncio.get_running_loop()
+                    counts = await loop.run_in_executor(
+                        self._executor, self._load_sync, config, document, text
+                    )
+                config.merge_counts(counts)
+                if not future.cancelled():
+                    future.set_result(config.logical_counts(counts))
+            except BaseException as error:  # report on the future, keep serving
+                if not future.cancelled():
+                    future.set_exception(error)
+                if isinstance(error, asyncio.CancelledError):
+                    raise
+            finally:
+                self._queue.task_done()
+
+    def _load_sync(
+        self, config: TenantConfig, document: str, text: str
+    ) -> Dict[str, int]:
+        with self.pool.connection() as backend:
+            loader = BulkLoader(backend, config.ddl)
+            return loader.load_document(
+                text, config.rules, document=document, jobs=self.jobs
+            )
+
+    # ------------------------------------------------------------------
+    # Verification / stats
+    # ------------------------------------------------------------------
+    async def verify(self, tenant: str) -> Dict[str, List[str]]:
+        """In-database key verification for one tenant (logical names)."""
+        config = self.registry.get(tenant)
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(self._executor, self._verify_sync, config)
+
+    def _verify_sync(self, config: TenantConfig) -> Dict[str, List[str]]:
+        with self.pool.connection() as backend:
+            verifier = SQLVerifier(backend, config.ddl)
+            report = verifier.check_keys()
+        reverse = {physical: logical for logical, physical in config.tables.items()}
+        return {
+            reverse.get(table, table): [violation.detail for violation in found]
+            for table, found in report.items()
+        }
+
+    def stats(self) -> Dict[str, Dict]:
+        return {
+            tenant: {
+                "documents": self.registry.get(tenant).documents,
+                "rows": dict(self.registry.get(tenant).loaded),
+            }
+            for tenant in self.registry.tenants()
+        }
+
+    # ------------------------------------------------------------------
+    # NDJSON protocol
+    # ------------------------------------------------------------------
+    async def dispatch(self, request: Dict) -> Dict:
+        """Handle one decoded request object; never raises."""
+        try:
+            op = request.get("op")
+            if op == "ping":
+                return {"ok": True, "op": "ping"}
+            if op == "register":
+                rules = [rule_from_wire(entry) for entry in request.get("rules", ())]
+                schema = [
+                    schema_from_wire(entry) for entry in request.get("schema", ())
+                ]
+                config = self.register_tenant(
+                    request["tenant"],
+                    rules,
+                    schema=schema or None,
+                    mode=request.get("mode"),
+                    replace=bool(request.get("replace")),
+                )
+                return {
+                    "ok": True,
+                    "tenant": config.tenant,
+                    "tables": sorted(config.tables),
+                    "mode": config.ddl.mode,
+                }
+            if op == "upload":
+                counts = await self.upload(
+                    request["tenant"],
+                    request["text"],
+                    document=request.get("document"),
+                )
+                return {"ok": True, "rows": counts}
+            if op == "verify":
+                return {"ok": True, "violations": await self.verify(request["tenant"])}
+            if op == "stats":
+                return {"ok": True, "tenants": self.stats()}
+            return {"ok": False, "error": f"unknown op {op!r}"}
+        except LoadError as error:
+            return {
+                "ok": False,
+                "error": str(error),
+                "table": error.table,
+                "rejected": _plain_rows(error.rows),
+            }
+        except (KeyError, ValueError, StorageError, RuntimeError) as error:
+            return {"ok": False, "error": f"{type(error).__name__}: {error}"}
+
+    async def handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    request = json.loads(line)
+                    if not isinstance(request, dict):
+                        raise ValueError("request must be a JSON object")
+                except ValueError as error:
+                    response = {"ok": False, "error": f"bad request: {error}"}
+                else:
+                    response = await self.dispatch(request)
+                writer.write(json.dumps(response).encode("utf-8") + b"\n")
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        except asyncio.CancelledError:
+            # Service shutdown mid-connection: end the handler task
+            # normally so the stream machinery does not log the
+            # cancellation, then let ``finally`` close the socket.
+            pass
+        finally:
+            writer.close()
+
+    async def serve_forever(self, host: str = "127.0.0.1", port: int = 8743) -> None:
+        """Start workers and accept NDJSON connections until cancelled."""
+        await self.start()
+        server = await asyncio.start_server(self.handle_connection, host, port)
+        try:
+            async with server:
+                await server.serve_forever()
+        finally:
+            await self.stop()
+            self.close()
+
+
+def serve(
+    database: str = ":memory:",
+    backend: Optional[str] = None,
+    host: str = "127.0.0.1",
+    port: int = 8743,
+    mode: str = "strict",
+    pool_size: int = 1,
+    workers: int = 4,
+    jobs: int = 1,
+) -> None:
+    """Blocking entry point for ``repro serve``."""
+    service = IngestionService(
+        database,
+        backend=backend,
+        mode=mode,
+        pool_size=pool_size,
+        workers=workers,
+        jobs=jobs,
+    )
+    asyncio.run(service.serve_forever(host=host, port=port))

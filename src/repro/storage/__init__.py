@@ -1,4 +1,4 @@
-"""The storage plane: a real database execution backend.
+"""The storage plane: real database execution backends.
 
 Closes the loop the paper opens — XML keys propagate to FDs
 (:mod:`repro.core`), documents shred to rows (:mod:`repro.transform`), and
@@ -9,21 +9,47 @@ enforces the document's constraints:
 * :mod:`repro.storage.ddl` — compile a schema + a minimum cover of
   propagated FDs into constraint-bearing DDL (``strict``) or staged,
   index-only DDL (``log``);
-* :mod:`repro.storage.backend` / :mod:`repro.storage.sqlite` — the
-  DB-API-shaped backend protocol and the stdlib ``sqlite3`` engine;
+* :mod:`repro.storage.backend` / :mod:`repro.storage.sqlite` /
+  :mod:`repro.storage.postgres` — the DB-API-shaped backend protocol, the
+  stdlib ``sqlite3`` engine, and the PostgreSQL engine (psycopg/psycopg2
+  when installed, plus an in-process protocol-conformance fake);
 * :mod:`repro.storage.loader` — transactional bulk loading from any row
   iterable (streaming shredder, sharded parallel runs, corpora with
-  per-document provenance), batched ``executemany``, savepoint per
-  document, exact violating-row rejection in strict mode;
+  per-document provenance), batched ``executemany`` or ``COPY``,
+  savepoint per document, exact violating-row rejection in strict mode;
 * :mod:`repro.storage.verify` — FD/key-violation checking as generated
-  ``GROUP BY … HAVING`` SQL, witness-identical to the in-memory checkers.
+  ``GROUP BY … HAVING`` SQL, witness-identical to the in-memory checkers;
+* :mod:`repro.storage.retry` / :mod:`repro.storage.faults` /
+  :mod:`repro.storage.pool` — the robustness layer: bounded backoff on
+  transient errors, deterministic fault injection for chaos tests, and a
+  small backend pool for the service plane.
 
-CLI: ``python -m repro load`` / ``python -m repro query``.
+Backend selection (:func:`open_backend`): an explicit name beats the
+``REPRO_BACKEND`` environment variable beats URL-scheme inference
+(``postgres://…`` opens PostgreSQL), with sqlite the default.
+
+CLI: ``python -m repro load`` / ``query`` / ``serve``.
 """
 
-from repro.storage.backend import Backend, IntegrityViolation, StorageError
+import os
+from typing import Optional
+
+from repro.storage.backend import (
+    Backend,
+    IntegrityViolation,
+    StorageError,
+    TransientError,
+)
 from repro.storage.ddl import StorageDDL, TableDDL, compile_ddl, compile_table_ddl
+from repro.storage.faults import FaultInjectingBackend, FaultPlan
 from repro.storage.loader import BulkLoader, LoadError, LoadReport
+from repro.storage.pool import ConnectionPool
+from repro.storage.postgres import (
+    PostgresBackend,
+    connect_postgres,
+    fake_postgres_backend,
+)
+from repro.storage.retry import RetryingBackend, RetryPolicy, call_with_retries
 from repro.storage.sqlite import SQLiteBackend
 from repro.storage.verify import (
     SQLVerifier,
@@ -32,20 +58,90 @@ from repro.storage.verify import (
     null_determinant_sql,
 )
 
+#: Names :func:`open_backend` accepts (aliases included).
+BACKEND_NAMES = ("sqlite", "postgres", "postgresql", "pg", "fake-postgres")
+
+#: URL schemes that imply the PostgreSQL backend.
+_PG_SCHEMES = ("postgres://", "postgresql://")
+
+
+def resolve_backend_name(
+    database: str, backend: Optional[str] = None, env: Optional[str] = None
+) -> str:
+    """Decide which engine ``database`` names: explicit > env > URL > sqlite.
+
+    ``backend`` is the explicit request (``--backend``); ``env`` overrides
+    the ``REPRO_BACKEND`` environment variable (tests).  Returns one of
+    ``"sqlite"`` / ``"postgres"`` / ``"fake-postgres"``; an unknown name
+    raises :exc:`ValueError` (the CLI turns that into usage exit code 2).
+    """
+    if env is None:
+        env = os.environ.get("REPRO_BACKEND")
+    name = backend or env
+    if name is not None:
+        normalized = name.strip().lower()
+        if normalized in ("postgres", "postgresql", "pg"):
+            return "postgres"
+        if normalized in ("fake-postgres", "postgres-fake"):
+            return "fake-postgres"
+        if normalized == "sqlite":
+            return "sqlite"
+        raise ValueError(
+            f"unknown storage backend {name!r}: expected one of {BACKEND_NAMES}"
+        )
+    if database.lower().startswith(_PG_SCHEMES):
+        return "postgres"
+    return "sqlite"
+
+
+def open_backend(
+    database: str,
+    backend: Optional[str] = None,
+    fast: bool = False,
+    check_same_thread: bool = True,
+) -> Backend:
+    """Open the backend ``database`` names (see :func:`resolve_backend_name`).
+
+    ``fast``/``check_same_thread`` apply to sqlite only; the PostgreSQL
+    backend treats ``database`` as its DSN.  The fake PostgreSQL backend
+    (``backend="fake-postgres"``) runs the protocol over in-process
+    sqlite — the hermetic stand-in the conformance tests use.
+    """
+    name = resolve_backend_name(database, backend)
+    if name == "postgres":
+        return PostgresBackend(dsn=database)
+    if name == "fake-postgres":
+        return fake_postgres_backend(database)
+    return SQLiteBackend(database, fast=fast, check_same_thread=check_same_thread)
+
+
 __all__ = [
+    "BACKEND_NAMES",
     "Backend",
     "BulkLoader",
+    "ConnectionPool",
+    "FaultInjectingBackend",
+    "FaultPlan",
     "IntegrityViolation",
     "LoadError",
     "LoadReport",
+    "PostgresBackend",
+    "RetryPolicy",
+    "RetryingBackend",
     "SQLVerifier",
     "SQLiteBackend",
     "StorageDDL",
     "StorageError",
     "TableDDL",
+    "TransientError",
+    "call_with_retries",
     "compile_ddl",
     "compile_table_ddl",
     "conflict_groups_sql",
     "conflict_witness_sql",
+    "connect_postgres",
+    "fake_postgres_backend",
     "null_determinant_sql",
+    "open_backend",
+    "resolve_backend_name",
 ]

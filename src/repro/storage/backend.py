@@ -38,6 +38,17 @@ class IntegrityViolation(StorageError):
     """A constraint (``PRIMARY KEY`` / ``UNIQUE``) rejected a statement."""
 
 
+class TransientError(StorageError):
+    """A failure that may succeed on retry (connection loss, timeout,
+    deadlock, serialization conflict).
+
+    Backends translate their driver's operational errors into this type;
+    :mod:`repro.storage.retry` retries exactly these and nothing else —
+    an :exc:`IntegrityViolation` or a plain :exc:`StorageError` is a fact
+    about the data or the statement, not about the moment it ran.
+    """
+
+
 class Backend:
     """Abstract execution surface; subclasses wrap one DB-API connection.
 
@@ -47,8 +58,23 @@ class Backend:
     else is derived.
     """
 
-    #: DB-API paramstyle placeholder understood by :meth:`execute`.
+    #: DB-API paramstyle placeholder understood by :meth:`execute`.  SQL
+    #: templates built for a backend (``insert_template``) must use this
+    #: placeholder — ``?`` for sqlite3's qmark style, ``%s`` for the
+    #: psycopg family's format style.
     placeholder: str = "?"
+
+    #: Whether :meth:`copy_rows` is a real bulk path on this backend.
+    #: The loader prefers it for unguarded batches when available.
+    supports_copy: bool = False
+
+    #: Name of an engine-maintained insertion-order column, when the
+    #: engine has no addressable internal row id.  ``None`` means the
+    #: engine exposes one itself (SQLite's ``rowid``) and the verifier's
+    #: default ordinal recovery applies.  When set, DDL compiled for this
+    #: backend must declare the column (see ``compile_ddl``'s
+    #: ``ordinal_column``) and the verifier orders by it instead.
+    ordinal_column: Optional[str] = None
 
     # ------------------------------------------------------------------
     # Primitives
@@ -64,6 +90,29 @@ class Backend:
 
     def close(self) -> None:
         raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Optional bulk path
+    # ------------------------------------------------------------------
+    def copy_rows(
+        self, table: str, columns: Sequence[str], rows: Iterable[Sequence]
+    ) -> int:
+        """Bulk-load encoded parameter rows into ``table``; returns rows sent.
+
+        The COPY-shaped entry point: ``rows`` are the same positional
+        parameter tuples ``executemany`` would receive (canonical text
+        values, the ``NULL`` sentinel or ``None`` for nulls).  The default
+        implementation raises — callers consult :attr:`supports_copy`
+        first; backends with a native bulk channel (PostgreSQL ``COPY …
+        FROM STDIN``) override it.  Constraint failures must surface as
+        :exc:`IntegrityViolation` exactly like ``executemany``, so the
+        loader's savepoint-guarded pinpoint replay works unchanged on
+        either path.
+        """
+        raise StorageError(
+            f"{type(self).__name__} has no bulk COPY channel "
+            "(supports_copy is False)"
+        )
 
     # ------------------------------------------------------------------
     # Derived helpers

@@ -77,6 +77,10 @@ class StorageDDL:
     mode: str
     tables: Dict[str, TableDDL]
     provenance_column: Optional[str] = None
+    #: Engine-maintained insertion-order column declared on every table
+    #: (``Backend.ordinal_column``); ``None`` on engines with an internal
+    #: row id.  The verifier orders by it to recover row ordinals.
+    ordinal_column: Optional[str] = None
 
     @property
     def strict(self) -> bool:
@@ -148,6 +152,7 @@ def compile_table_ddl(
     provenance_column: Optional[str] = None,
     if_not_exists: bool = False,
     fd_engine: Optional[str] = None,
+    ordinal_column: Optional[str] = None,
 ) -> TableDDL:
     """Compile one relation schema plus the FDs that apply to it.
 
@@ -164,6 +169,13 @@ def compile_table_ddl(
         raise ValueError(
             f"provenance column {provenance_column!r} collides with an "
             f"attribute of relation {schema.name!r}"
+        )
+    if ordinal_column is not None and (
+        ordinal_column in attributes or ordinal_column == provenance_column
+    ):
+        raise ValueError(
+            f"ordinal column {ordinal_column!r} collides with a column of "
+            f"relation {schema.name!r}"
         )
     local_fds = [
         fd
@@ -199,12 +211,19 @@ def compile_table_ddl(
     # be empty while the cover still yields key FDs).
     effective = RelationSchema(schema.name, schema.attributes, keys=key_sets)
     extra_columns = [provenance_column] if provenance_column is not None else []
+    # The ordinal column (when the backend needs one) is engine-maintained:
+    # a BIGSERIAL the loader never binds, recording insertion order for the
+    # verifier's witness ordinals.
+    typed_columns = (
+        [(ordinal_column, "BIGSERIAL")] if ordinal_column is not None else []
+    )
     create = create_table(
         effective,
         column_type=column_type,
         if_not_exists=if_not_exists,
         include_keys=mode == "strict",
         extra_columns=extra_columns,
+        typed_columns=typed_columns,
     )
 
     indexes: List[str] = []
@@ -258,6 +277,7 @@ def compile_ddl(
     provenance_column: Optional[str] = None,
     if_not_exists: bool = False,
     fd_engine: Optional[str] = None,
+    ordinal_column: Optional[str] = None,
 ) -> StorageDDL:
     """Compile a database schema plus a propagated-FD cover into a DDL plan.
 
@@ -277,7 +297,13 @@ def compile_ddl(
             provenance_column=provenance_column,
             if_not_exists=if_not_exists,
             fd_engine=fd_engine,
+            ordinal_column=ordinal_column,
         )
         for relation in schema
     }
-    return StorageDDL(mode=mode, tables=tables, provenance_column=provenance_column)
+    return StorageDDL(
+        mode=mode,
+        tables=tables,
+        provenance_column=provenance_column,
+        ordinal_column=ordinal_column,
+    )

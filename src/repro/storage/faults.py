@@ -1,0 +1,190 @@
+"""Deterministic fault injection for chaos-testing the storage plane.
+
+The loader's correctness story is transactional: a rejected or interrupted
+document must leave the database *exactly* as it was before the document
+started, and the loader's counters must agree.  That claim is only worth
+anything if it survives failures at arbitrary points mid-batch — which is
+what :class:`FaultInjectingBackend` manufactures, deterministically, so a
+failing schedule is a reproducible test case rather than a flake.
+
+A :class:`FaultPlan` maps *data-statement ordinals* (0-based, counted
+across ``execute`` / ``executemany`` / ``copy_rows``) to actions:
+
+* ``fail_at`` — raise (:exc:`TransientError` by default, or any exception
+  instance/factory you supply) *instead of* executing: the classic
+  fail-Nth-execute;
+* ``drop_at`` — silently swallow the statement: a lost write, the
+  nastiest failure mode because nothing raises;
+* ``delay_at`` — sleep (injectable) before executing: latency injection
+  for timeout/backoff tests.
+
+Transaction control (``BEGIN`` / ``COMMIT`` / ``ROLLBACK`` / ``SAVEPOINT``
+/ ``RELEASE``) is **never** faulted and never counted: the point is to
+break a statement and then *watch the savepoint machinery recover*, so
+that machinery itself must keep reaching the engine — a chaos harness
+that breaks ROLLBACK proves nothing about atomicity.  Transaction verbs
+are delegated to the wrapped backend's own implementations, preserving
+engine-specific behaviour (PostgreSQL's implicit BEGIN around a bare
+savepoint).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.storage.backend import Backend, Cursor, TransientError
+
+#: Leading keywords of transaction-control statements (never faulted).
+_CONTROL_PREFIXES = ("BEGIN", "COMMIT", "ROLLBACK", "SAVEPOINT", "RELEASE", "END")
+
+FaultSpec = Union[BaseException, Callable[[], BaseException], None]
+
+
+def _is_control(sql: str) -> bool:
+    head = sql.lstrip().split(None, 1)
+    return bool(head) and head[0].upper() in _CONTROL_PREFIXES
+
+
+@dataclass
+class FaultPlan:
+    """A deterministic schedule of faults over data-statement ordinals."""
+
+    #: ordinal → exception (instance, zero-arg factory, or ``None`` for a
+    #: default :exc:`TransientError`).
+    fail_at: Dict[int, FaultSpec] = field(default_factory=dict)
+    #: ordinals whose statements are silently swallowed.
+    drop_at: frozenset = frozenset()
+    #: ordinal → seconds to sleep before executing.
+    delay_at: Dict[int, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.drop_at = frozenset(self.drop_at)
+
+    @classmethod
+    def failing(cls, *ordinals: int, error: FaultSpec = None) -> "FaultPlan":
+        """Fail exactly the given data-statement ordinals."""
+        return cls(fail_at={n: error for n in ordinals})
+
+    def exception_for(self, ordinal: int) -> BaseException:
+        spec = self.fail_at[ordinal]
+        if spec is None:
+            return TransientError(f"injected fault at data statement #{ordinal}")
+        if isinstance(spec, BaseException):
+            return spec
+        return spec()
+
+
+@dataclass
+class FaultEvent:
+    """One data statement seen by the injector (for test assertions)."""
+
+    ordinal: int
+    kind: str  # "execute" | "executemany" | "copy"
+    sql: str
+    action: str  # "ok" | "fail" | "drop" | "delay"
+
+
+class FaultInjectingBackend(Backend):
+    """Wrap a backend and apply a :class:`FaultPlan` to its data statements.
+
+    The wrapper is transparent when the plan is empty; with a plan it
+    turns "what if the Nth statement fails / vanishes / stalls?" into a
+    deterministic unit test.  ``history`` records every data statement and
+    the action taken.
+    """
+
+    def __init__(
+        self,
+        inner: Backend,
+        plan: Optional[FaultPlan] = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        self.inner = inner
+        self.plan = plan or FaultPlan()
+        self._sleep = sleep
+        self.placeholder = inner.placeholder
+        self.supports_copy = inner.supports_copy
+        self.ordinal_column = inner.ordinal_column
+        #: Data statements executed so far (the fault ordinal counter).
+        self.statements = 0
+        self.history: List[FaultEvent] = []
+
+    # ------------------------------------------------------------------
+    def _admit(self, kind: str, sql: str) -> Tuple[int, str]:
+        """Count one data statement and decide its fate."""
+        ordinal = self.statements
+        self.statements += 1
+        if ordinal in self.plan.delay_at:
+            self.history.append(FaultEvent(ordinal, kind, sql, "delay"))
+            self._sleep(self.plan.delay_at[ordinal])
+            return ordinal, "ok"
+        if ordinal in self.plan.fail_at:
+            self.history.append(FaultEvent(ordinal, kind, sql, "fail"))
+            raise self.plan.exception_for(ordinal)
+        if ordinal in self.plan.drop_at:
+            self.history.append(FaultEvent(ordinal, kind, sql, "drop"))
+            return ordinal, "drop"
+        self.history.append(FaultEvent(ordinal, kind, sql, "ok"))
+        return ordinal, "ok"
+
+    # ------------------------------------------------------------------
+    # Primitives
+    # ------------------------------------------------------------------
+    def execute(self, sql: str, parameters: Sequence = ()) -> Cursor:
+        if _is_control(sql):
+            return self.inner.execute(sql, parameters)
+        _, action = self._admit("execute", sql)
+        if action == "drop":
+            return _NullCursor()
+        return self.inner.execute(sql, parameters)
+
+    def executemany(self, sql: str, seq_of_parameters: Iterable[Sequence]) -> None:
+        _, action = self._admit("executemany", sql)
+        if action == "drop":
+            return None
+        return self.inner.executemany(sql, seq_of_parameters)
+
+    def executescript(self, script: str) -> None:
+        # Schema scripts are setup, not the load under test; never faulted.
+        return self.inner.executescript(script)
+
+    def copy_rows(
+        self, table: str, columns: Sequence[str], rows: Iterable[Sequence]
+    ) -> int:
+        _, action = self._admit("copy", f"COPY {table}")
+        if action == "drop":
+            return 0
+        return self.inner.copy_rows(table, columns, rows)
+
+    # ------------------------------------------------------------------
+    # Transaction control: delegated, never faulted
+    # ------------------------------------------------------------------
+    def begin(self) -> None:
+        self.inner.begin()
+
+    def commit(self) -> None:
+        self.inner.commit()
+
+    def rollback(self) -> None:
+        self.inner.rollback()
+
+    def transaction(self):
+        return self.inner.transaction()
+
+    def savepoint(self, name: str = "repro_sp"):
+        return self.inner.savepoint(name)
+
+    def close(self) -> None:
+        self.inner.close()
+
+
+class _NullCursor(Cursor):
+    """What a dropped statement appears to return."""
+
+    def fetchall(self) -> List[Tuple]:
+        return []
+
+    def fetchone(self) -> Optional[Tuple]:
+        return None

@@ -39,7 +39,7 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Uni
 from itertools import islice
 from operator import itemgetter
 
-from repro.relational.instance import RelationInstance, Row, Value
+from repro.relational.instance import RelationInstance, Row, Value, is_null
 from repro.relational.sql import insert_template
 from repro.storage.backend import Backend, IntegrityViolation, StorageError
 from repro.storage.ddl import StorageDDL, TableDDL
@@ -91,7 +91,7 @@ class _TableSink:
 
     __slots__ = ("backend", "template", "schema", "attributes", "getter",
                  "extra", "batch_size", "pending", "loaded", "rejected",
-                 "guarded")
+                 "guarded", "columns", "use_copy")
 
     def __init__(
         self,
@@ -113,7 +113,13 @@ class _TableSink:
         if provenance_column is not None:
             extra_columns = (provenance_column,)
             self.extra = (document,)
-        self.template = insert_template(self.schema, extra_columns=extra_columns)
+        self.template = insert_template(
+            self.schema,
+            extra_columns=extra_columns,
+            placeholder=backend.placeholder,
+        )
+        self.columns: List[str] = list(self.attributes) + list(extra_columns)
+        self.use_copy = backend.supports_copy
         self.batch_size = batch_size
         self.pending: List[Mapping[str, Value]] = []
         self.loaded = 0
@@ -136,7 +142,12 @@ class _TableSink:
         # row (shredded rows always carry every field; rows with missing
         # attributes fall back to ``dict.get``).  ``NULL`` sentinels pass
         # through unchanged — binding them as SQL NULL is the backend's
-        # job (see :mod:`repro.storage.backend`).
+        # job (see :mod:`repro.storage.backend`).  Non-string non-null
+        # values (ints/floats from counter rules) are canonicalized to
+        # ``str(value)`` here, so every backend stores the same text —
+        # SQLite's TEXT affinity would otherwise render ``1e20`` or
+        # ``True`` differently from Python, and PostgreSQL would reject
+        # the typed parameter against a TEXT column outright.
         attributes = self.attributes
         extra = self.extra
         getter = self.getter
@@ -150,7 +161,15 @@ class _TableSink:
             except KeyError:
                 get = data.get
                 values = tuple(get(name) for name in attributes)
-            append(values + extra if extra else values)
+            values = values + extra if extra else values
+            for value in values:
+                if type(value) is not str:
+                    values = tuple(
+                        v if type(v) is str or is_null(v) else str(v)
+                        for v in values
+                    )
+                    break
+            append(values)
         return encoded
 
     def flush(self) -> None:
@@ -159,15 +178,24 @@ class _TableSink:
         batch, self.pending = self.pending, []
         self.flush_batch(batch)
 
+    def _send_batch(self, parameters: Sequence[Tuple[Value, ...]]) -> None:
+        # The bulk channel (COPY) when the backend has one, parameterized
+        # executemany otherwise; both raise IntegrityViolation on a
+        # constraint failure, so the guarded replay below works unchanged.
+        if self.use_copy:
+            self.backend.copy_rows(self.schema.name, self.columns, parameters)
+        else:
+            self.backend.executemany(self.template, parameters)
+
     def flush_batch(self, batch: Sequence[Mapping[str, Value]]) -> None:
         parameters = self._encode_batch(batch)
         if not self.guarded:
-            self.backend.executemany(self.template, parameters)
+            self._send_batch(parameters)
             self.loaded += len(batch)
             return
         try:
             with self.backend.savepoint("repro_batch"):
-                self.backend.executemany(self.template, parameters)
+                self._send_batch(parameters)
             self.loaded += len(batch)
             return
         except IntegrityViolation:

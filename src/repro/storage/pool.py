@@ -1,0 +1,151 @@
+"""A small thread-safe backend pool for the service plane.
+
+The ingestion service handles many concurrent uploads, but a DB-API
+connection is single-threaded territory; the pool hands each worker a
+dedicated :class:`~repro.storage.backend.Backend` for the duration of one
+document load and takes it back afterwards.  Backends are created lazily
+by a user-supplied factory (up to ``max_size``), reused FIFO, and all
+closed together by :meth:`ConnectionPool.close`.
+
+The pool is deliberately boring: no health checks, no eviction — a
+backend that throws a :exc:`~repro.storage.backend.TransientError` is
+discarded instead of returned (the factory will mint a replacement), and
+everything else is the caller's transaction discipline.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Callable, Iterator, Optional
+
+from contextlib import contextmanager
+
+from repro.storage.backend import Backend, StorageError, TransientError
+
+
+class PoolClosed(StorageError):
+    """The pool was closed; no more backends can be acquired."""
+
+
+class ConnectionPool:
+    """Lazily grown, bounded pool of backends.
+
+    ``factory`` creates one backend per call; ``max_size`` bounds how many
+    exist at once — :meth:`acquire` blocks (up to ``acquire_timeout``
+    seconds, when given) once all are checked out.
+    """
+
+    def __init__(
+        self,
+        factory: Callable[[], Backend],
+        max_size: int = 4,
+        acquire_timeout: Optional[float] = None,
+    ) -> None:
+        if max_size < 1:
+            raise ValueError("max_size must be at least 1")
+        self._factory = factory
+        self._max_size = max_size
+        self._acquire_timeout = acquire_timeout
+        self._idle: "queue.LifoQueue[Backend]" = queue.LifoQueue()
+        self._lock = threading.Lock()
+        self._created = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Backends currently in existence (idle + checked out)."""
+        return self._created
+
+    def acquire(self) -> Backend:
+        """Check out a backend, creating one if the pool can still grow."""
+        while True:
+            with self._lock:
+                if self._closed:
+                    raise PoolClosed("the connection pool is closed")
+                try:
+                    return self._idle.get_nowait()
+                except queue.Empty:
+                    pass
+                if self._created < self._max_size:
+                    self._created += 1
+                    make = True
+                else:
+                    make = False
+            if make:
+                try:
+                    return self._factory()
+                except BaseException:
+                    with self._lock:
+                        self._created -= 1
+                    raise
+            try:
+                backend = self._idle.get(timeout=self._acquire_timeout)
+            except queue.Empty:
+                raise StorageError(
+                    f"no backend became available within "
+                    f"{self._acquire_timeout}s (pool size {self._max_size})"
+                ) from None
+            with self._lock:
+                if self._closed:
+                    _close_quietly(backend)
+                    raise PoolClosed("the connection pool is closed")
+            return backend
+
+    def release(self, backend: Backend, discard: bool = False) -> None:
+        """Return a backend; ``discard=True`` closes it instead (a backend
+        whose connection state is suspect must not be reused)."""
+        with self._lock:
+            if self._closed or discard:
+                self._created -= 1
+                _close_quietly(backend)
+                return
+        self._idle.put(backend)
+
+    @contextmanager
+    def connection(self) -> Iterator[Backend]:
+        """``with pool.connection() as backend:`` — released on exit.
+
+        Only a :exc:`~repro.storage.backend.TransientError` discards the
+        backend (its connection state is suspect); every other error —
+        including :exc:`IntegrityViolation`/:exc:`LoadError`, which are
+        facts about the data, not the connection — returns it for reuse.
+        """
+        backend = self.acquire()
+        try:
+            yield backend
+        except TransientError:
+            self.release(backend, discard=True)
+            raise
+        except BaseException:
+            self.release(backend)
+            raise
+        else:
+            self.release(backend)
+
+    def close(self) -> None:
+        """Close every idle backend and refuse further acquisition.
+
+        Checked-out backends are closed as they come back via
+        :meth:`release`.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        while True:
+            try:
+                backend = self._idle.get_nowait()
+            except queue.Empty:
+                break
+            with self._lock:
+                self._created -= 1
+            _close_quietly(backend)
+
+
+def _close_quietly(backend: Backend) -> None:
+    try:
+        backend.close()
+    except Exception:
+        pass

@@ -1,0 +1,567 @@
+"""The PostgreSQL storage backend (psycopg / psycopg2), plus its fake.
+
+PostgreSQL is the first *out-of-process* engine behind the storage plane's
+DB-API-shaped protocol (:mod:`repro.storage.backend`).  The protocol was
+designed as the common denominator of DB-API drivers, so this adapter is
+thin; the real work is in the places the two engines genuinely differ:
+
+* **paramstyle** — psycopg speaks ``format`` (``%s``), sqlite3 ``qmark``
+  (``?``).  The backend advertises ``placeholder = "%s"`` and the loader
+  builds its templates against it; identifier text is ``%``-escaped at
+  template build time (:func:`repro.relational.sql.insert_template`).
+* **bulk loading** — :meth:`PostgresBackend.copy_rows` streams rows over
+  the native ``COPY … FROM STDIN`` channel (text format, the
+  :func:`~repro.relational.sql.copy_literal` escaping), the fastest load
+  path PostgreSQL has.  Constraint failures surface as
+  :exc:`~repro.storage.backend.IntegrityViolation` exactly like
+  ``executemany``, so the loader's savepoint-guarded pinpoint replay
+  works unchanged.
+* **error translation** — driver ``IntegrityError`` →
+  :exc:`IntegrityViolation`; ``OperationalError`` (connection loss,
+  deadlock, statement timeout) → :exc:`~repro.storage.backend.TransientError`,
+  the class :mod:`repro.storage.retry` retries.
+* **insertion order** — PostgreSQL has no addressable ``rowid``, so DDL
+  compiled for this backend declares a ``BIGSERIAL`` ordinal column
+  (:attr:`PostgresBackend.ordinal_column`, see ``compile_ddl``'s
+  ``ordinal_column=``) and the verifier recovers witness indexes with
+  ``ROW_NUMBER() OVER (ORDER BY ordinal)`` — gapless by construction, so
+  sequence gaps from rolled-back savepoints cannot skew the indexes.
+
+Transactions are explicit: the connection runs in autocommit mode and the
+backend issues ``BEGIN`` / ``COMMIT`` / ``SAVEPOINT`` itself, mirroring
+the sqlite backend's ``isolation_level=None`` discipline.  Note that a
+failed statement leaves a PostgreSQL transaction in an aborted state
+until a rollback — which is precisely why the loader wraps every batch in
+a savepoint: ``ROLLBACK TO SAVEPOINT`` is legal in the aborted state and
+restores the transaction, so the row-by-row pinpoint replay proceeds.
+
+No driver is imported at module import time.  :func:`connect_postgres`
+probes ``psycopg`` (v3) then ``psycopg2`` lazily and raises a clean
+:exc:`StorageError` when neither is installed.  For hermetic tests (and
+any environment without a server) :class:`FakePostgresConnection` is a
+psycopg-*shaped* connection over stdlib sqlite3 — same cursor surface,
+same exception taxonomy, ``format`` paramstyle, a COPY entry point — so
+the protocol conformance of everything above the driver is testable
+without PostgreSQL.  The fake advertises ``ordinal_column = None``
+(sqlite's real ``rowid`` serves), which is the one place it deliberately
+differs from a real server.
+"""
+
+from __future__ import annotations
+
+import io
+from contextlib import contextmanager
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.relational.instance import is_null
+from repro.relational.sql import copy_literal, quote_identifier
+from repro.storage.backend import (
+    Backend,
+    IntegrityViolation,
+    StorageError,
+    TransientError,
+)
+
+#: The ordinal column real-server DDL declares (``BIGSERIAL``); see
+#: ``compile_ddl(ordinal_column=...)`` and ``verify.row_ordinal_expression``.
+ORDINAL_COLUMN = "_rid"
+
+
+def _encode_parameters(parameters: Sequence) -> Tuple[Optional[str], ...]:
+    """Canonical driver-ready parameters: NULL → ``None``, rest → text.
+
+    PostgreSQL drivers type-check parameters against column types, so the
+    repository's ``NULL`` sentinel and any typed values must be resolved
+    *before* the driver sees them (sqlite3 solves the same problem with a
+    registered adapter).  The text rendering is ``str()`` — the same
+    canonical encoding as :func:`repro.relational.sql.encode_value` — so
+    both backends store byte-identical values.
+    """
+    return tuple(
+        None
+        if value is None or is_null(value)
+        else (value if type(value) is str else str(value))
+        for value in parameters
+    )
+
+
+def connect_postgres(dsn: str):
+    """Open a psycopg (v3) or psycopg2 connection in autocommit mode.
+
+    Returns ``(connection, flavor)`` where ``flavor`` is ``"psycopg3"`` or
+    ``"psycopg2"``.  Raises :exc:`StorageError` when no driver is
+    installed — the container does not bake one in, so this path is only
+    reachable when the environment provides it (``REPRO_PG_DSN`` CI leg,
+    a production deployment).
+    """
+    try:
+        import psycopg  # type: ignore[import-not-found]
+    except ImportError:
+        pass
+    else:
+        connection = psycopg.connect(dsn, autocommit=True)
+        return connection, "psycopg3"
+    try:
+        import psycopg2  # type: ignore[import-not-found]
+    except ImportError:
+        pass
+    else:
+        connection = psycopg2.connect(dsn)
+        connection.autocommit = True
+        return connection, "psycopg2"
+    raise StorageError(
+        "no PostgreSQL driver is installed (tried psycopg and psycopg2); "
+        "install one, or select the sqlite backend"
+    )
+
+
+class PostgresBackend(Backend):
+    """A :class:`~repro.storage.backend.Backend` over one psycopg connection.
+
+    Construct with a ``dsn`` (a real server; driver probed lazily) or an
+    explicit ``connection`` — any psycopg-shaped object, which is how the
+    in-tree :class:`FakePostgresConnection` and the tests inject doubles.
+    """
+
+    placeholder = "%s"
+    supports_copy = True
+
+    def __init__(self, dsn: Optional[str] = None, connection=None) -> None:
+        if (dsn is None) == (connection is None):
+            raise ValueError("provide exactly one of dsn= or connection=")
+        self.dsn = dsn
+        if connection is None:
+            connection, flavor = connect_postgres(dsn)
+        else:
+            flavor = getattr(connection, "repro_flavor", None) or (
+                "psycopg2" if hasattr(connection.cursor(), "copy_expert") else "psycopg3"
+            )
+        self._connection = connection
+        self.flavor = flavor
+        #: Exception taxonomy of the underlying driver (module-shaped:
+        #: ``Error`` / ``IntegrityError`` / ``OperationalError``).
+        self._errors = getattr(connection, "repro_errors", None) or _driver_errors(
+            type(connection).__module__.split(".")[0]
+        )
+        self.ordinal_column = getattr(connection, "repro_ordinal_column", ORDINAL_COLUMN)
+        self._in_transaction = False
+
+    # ------------------------------------------------------------------
+    # Transactions.  sqlite lets a SAVEPOINT outside any transaction start
+    # one implicitly (and RELEASE of the outermost savepoint commit it);
+    # PostgreSQL rejects SAVEPOINT outside a transaction block.  The
+    # loader's savepoint-per-document structure relies on the sqlite
+    # semantics, so this backend tracks transaction state and reproduces
+    # them: a top-level savepoint opens a real transaction and closes it
+    # on exit, nested savepoints pass through unchanged.
+    # ------------------------------------------------------------------
+    def begin(self) -> None:
+        self.execute("BEGIN")
+        self._in_transaction = True
+
+    def commit(self) -> None:
+        self.execute("COMMIT")
+        self._in_transaction = False
+
+    def rollback(self) -> None:
+        self.execute("ROLLBACK")
+        self._in_transaction = False
+
+    @contextmanager
+    def savepoint(self, name: str = "repro_sp"):
+        if self._in_transaction:
+            with super().savepoint(name):
+                yield self
+            return
+        self.begin()
+        try:
+            with super().savepoint(name):
+                yield self
+        except BaseException:
+            # The base handler already rolled back to (and released) the
+            # savepoint; end the implicitly opened transaction too.
+            self.rollback()
+            raise
+        self.commit()
+
+    # ------------------------------------------------------------------
+    def _translate(self, error: BaseException) -> StorageError:
+        if isinstance(error, self._errors.IntegrityError):
+            return IntegrityViolation(str(error))
+        if isinstance(error, (self._errors.OperationalError, self._errors.InterfaceError)):
+            return TransientError(str(error))
+        return StorageError(str(error))
+
+    def execute(self, sql: str, parameters: Sequence = ()):
+        cursor = self._connection.cursor()
+        try:
+            if parameters:
+                cursor.execute(sql, _encode_parameters(parameters))
+            else:
+                cursor.execute(sql)
+            return cursor
+        except self._errors.Error as error:
+            raise self._translate(error) from error
+
+    def executemany(self, sql: str, seq_of_parameters: Iterable[Sequence]) -> None:
+        cursor = self._connection.cursor()
+        try:
+            cursor.executemany(
+                sql, [_encode_parameters(parameters) for parameters in seq_of_parameters]
+            )
+        except self._errors.Error as error:
+            raise self._translate(error) from error
+
+    def executescript(self, script: str) -> None:
+        # Both psycopg generations accept several ``;``-separated
+        # statements in one unparameterized execute (simple-query mode).
+        cursor = self._connection.cursor()
+        try:
+            cursor.execute(script)
+        except self._errors.Error as error:
+            raise self._translate(error) from error
+
+    def close(self) -> None:
+        self._connection.close()
+
+    # ------------------------------------------------------------------
+    # COPY
+    # ------------------------------------------------------------------
+    def copy_rows(
+        self, table: str, columns: Sequence[str], rows: Iterable[Sequence]
+    ) -> int:
+        column_list = ", ".join(quote_identifier(column) for column in columns)
+        statement = (
+            f"COPY {quote_identifier(table)} ({column_list}) FROM STDIN"
+        )
+        cursor = self._connection.cursor()
+        try:
+            if hasattr(cursor, "copy_expert"):  # psycopg2
+                count = 0
+                lines: List[str] = []
+                for row in rows:
+                    lines.append("\t".join(copy_literal(value) for value in row))
+                    count += 1
+                if not count:
+                    return 0
+                payload = io.StringIO("\n".join(lines) + "\n")
+                cursor.copy_expert(statement, payload)
+                return count
+            # psycopg3: the streaming copy context manager.
+            count = 0
+            with cursor.copy(statement) as copy:
+                for row in rows:
+                    copy.write_row(_encode_parameters(row))
+                    count += 1
+            return count
+        except self._errors.Error as error:
+            raise self._translate(error) from error
+
+    # ------------------------------------------------------------------
+    # Introspection (CLI query / REPL surface)
+    # ------------------------------------------------------------------
+    def table_names(self) -> List[str]:
+        if self.flavor == "fake":
+            rows = self.query(
+                "SELECT name FROM sqlite_master WHERE type = 'table' "
+                "AND name NOT LIKE 'sqlite_%' ORDER BY name"
+            )
+        else:
+            rows = self.query(
+                "SELECT tablename FROM pg_catalog.pg_tables "
+                "WHERE schemaname = 'public' ORDER BY tablename"
+            )
+        return [name for (name,) in rows]
+
+    def column_names(self, table: str) -> List[str]:
+        cursor = self.execute(f"SELECT * FROM {quote_identifier(table)} LIMIT 0")
+        return [description[0] for description in cursor.description]
+
+    def row_count(self, table: str) -> int:
+        ((count,),) = self.query(f"SELECT COUNT(*) FROM {quote_identifier(table)}")
+        return count
+
+    def __enter__(self) -> "PostgresBackend":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        target = self.dsn if self.dsn is not None else f"<{self.flavor} connection>"
+        return f"PostgresBackend({target!r})"
+
+
+# ----------------------------------------------------------------------
+# Driver error taxonomies
+# ----------------------------------------------------------------------
+class _ErrorNamespace:
+    """The slice of a driver module's exception hierarchy the backend uses."""
+
+    def __init__(self, Error, IntegrityError, OperationalError, InterfaceError):
+        self.Error = Error
+        self.IntegrityError = IntegrityError
+        self.OperationalError = OperationalError
+        self.InterfaceError = InterfaceError
+
+
+def _driver_errors(module_name: str) -> _ErrorNamespace:
+    import importlib
+
+    module = importlib.import_module(module_name)
+    return _ErrorNamespace(
+        Error=module.Error,
+        IntegrityError=module.IntegrityError,
+        OperationalError=module.OperationalError,
+        InterfaceError=module.InterfaceError,
+    )
+
+
+# ----------------------------------------------------------------------
+# The protocol-conformance fake
+# ----------------------------------------------------------------------
+class FakeError(Exception):
+    """Root of the fake driver's exception taxonomy (mirrors psycopg)."""
+
+
+class FakeIntegrityError(FakeError):
+    pass
+
+
+class FakeOperationalError(FakeError):
+    pass
+
+
+class FakeInterfaceError(FakeError):
+    pass
+
+
+_FAKE_ERRORS = _ErrorNamespace(
+    Error=FakeError,
+    IntegrityError=FakeIntegrityError,
+    OperationalError=FakeOperationalError,
+    InterfaceError=FakeInterfaceError,
+)
+
+
+def _translate_format_sql(sql: str) -> str:
+    """``format`` paramstyle → ``qmark``: ``%s`` → ``?``, ``%%`` → ``%``.
+
+    Deliberately quote-*unaware*, because psycopg's own ``%``
+    interpolation is: a hostile column named ``a%sb`` must arrive here
+    already escaped to ``a%%sb`` (``insert_template`` does that when
+    building for a ``%``-style placeholder), and un-escaping it everywhere
+    is exactly what the real driver would do.  Only applied to
+    *parameterized* statements — psycopg performs no ``%`` processing when
+    ``execute()`` is called without arguments, and neither does the fake.
+    """
+    out: List[str] = []
+    i, n = 0, len(sql)
+    while i < n:
+        ch = sql[i]
+        if ch == "%" and i + 1 < n:
+            nxt = sql[i + 1]
+            if nxt == "s":
+                out.append("?")
+                i += 2
+                continue
+            if nxt == "%":
+                out.append("%")
+                i += 2
+                continue
+        out.append(ch)
+        i += 1
+    return "".join(out)
+
+
+class _FakeCursor:
+    """A psycopg-shaped cursor over a sqlite3 cursor."""
+
+    def __init__(self, connection: "FakePostgresConnection") -> None:
+        self._connection = connection
+        self._cursor = None
+
+    def _run(self, method: str, sql: str, *args):
+        raw = self._connection._sqlite
+        try:
+            self._cursor = getattr(raw, method)(sql, *args)
+        except Exception as error:
+            raise self._connection._translate(error) from error
+        return self
+
+    def execute(self, sql: str, parameters: Sequence = ()):  # noqa: D102
+        if parameters:
+            return self._run("execute", _translate_format_sql(sql), tuple(parameters))
+        return self._run("execute", sql)
+
+    def executemany(self, sql: str, seq_of_parameters: Iterable[Sequence]):
+        return self._run(
+            "executemany",
+            _translate_format_sql(sql),
+            [tuple(p) for p in seq_of_parameters],
+        )
+
+    def fetchall(self) -> List[Tuple]:
+        return self._cursor.fetchall() if self._cursor is not None else []
+
+    def fetchone(self) -> Optional[Tuple]:
+        return self._cursor.fetchone() if self._cursor is not None else None
+
+    @property
+    def description(self):
+        return self._cursor.description if self._cursor is not None else None
+
+    @property
+    def rowcount(self) -> int:
+        return self._cursor.rowcount if self._cursor is not None else -1
+
+    def copy_expert(self, sql: str, payload) -> None:
+        """The psycopg2 COPY entry point, emulated over executemany.
+
+        Parses the column list out of the generated ``COPY`` statement and
+        decodes the tab-separated text payload with the inverse of
+        :func:`repro.relational.sql.copy_literal`.
+        """
+        table, columns = _parse_copy_statement(sql)
+        placeholders = ", ".join("?" for _ in columns)
+        column_list = ", ".join(quote_identifier(c) for c in columns)
+        insert = (
+            f"INSERT INTO {quote_identifier(table)} ({column_list}) "
+            f"VALUES ({placeholders})"
+        )
+        rows = [
+            tuple(_decode_copy_field(field) for field in line.split("\t"))
+            for line in payload.read().splitlines()
+            if line
+        ]
+        try:
+            self._connection._sqlite.executemany(insert, rows)
+        except Exception as error:
+            raise self._connection._translate(error) from error
+
+    def close(self) -> None:
+        if self._cursor is not None:
+            self._cursor.close()
+
+
+def _parse_copy_statement(sql: str) -> Tuple[str, List[str]]:
+    """Recover ``(table, columns)`` from a generated ``COPY`` statement.
+
+    Only the statements :meth:`PostgresBackend.copy_rows` builds are
+    accepted — quoted identifiers, one ``(…)`` column list, ``FROM
+    STDIN`` — which is all the fake ever needs to understand.
+    """
+    text = sql.strip()
+    if not text.upper().startswith("COPY "):
+        raise FakeError(f"fake COPY cannot parse: {sql!r}")
+    rest = text[5:]
+    table, rest = _read_quoted_identifier(rest)
+    rest = rest.lstrip()
+    if not rest.startswith("("):
+        raise FakeError(f"fake COPY needs an explicit column list: {sql!r}")
+    rest = rest[1:]
+    columns: List[str] = []
+    while True:
+        rest = rest.lstrip()
+        column, rest = _read_quoted_identifier(rest)
+        columns.append(column)
+        rest = rest.lstrip()
+        if rest.startswith(","):
+            rest = rest[1:]
+            continue
+        if rest.startswith(")"):
+            break
+        raise FakeError(f"fake COPY cannot parse column list: {sql!r}")
+    return table, columns
+
+
+def _read_quoted_identifier(text: str) -> Tuple[str, str]:
+    text = text.lstrip()
+    if not text.startswith('"'):
+        raise FakeError(f"expected a quoted identifier at: {text!r}")
+    out: List[str] = []
+    i = 1
+    while i < len(text):
+        ch = text[i]
+        if ch == '"':
+            if i + 1 < len(text) and text[i + 1] == '"':
+                out.append('"')
+                i += 2
+                continue
+            return "".join(out), text[i + 1 :]
+        out.append(ch)
+        i += 1
+    raise FakeError(f"unterminated identifier in: {text!r}")
+
+
+def _decode_copy_field(field: str) -> Optional[str]:
+    if field == "\\N":
+        return None
+    return (
+        field.replace("\\r", "\r")
+        .replace("\\n", "\n")
+        .replace("\\t", "\t")
+        .replace("\\\\", "\\")
+    )
+
+
+class FakePostgresConnection:
+    """A psycopg-shaped connection over stdlib sqlite3.
+
+    Everything above the driver — placeholder style, savepoint discipline,
+    error translation, the COPY loader path — runs against this double
+    byte-for-byte as it would against a server, which keeps the tier-1
+    suite hermetic.  Deliberate divergences from a real server, documented
+    rather than papered over:
+
+    * ``repro_ordinal_column`` is ``None`` — sqlite's genuine ``rowid``
+      provides insertion order, so the DDL needs no ``BIGSERIAL`` column;
+    * sqlite's SQL dialect accepts the generated DDL/DML verbatim (all
+      ``TEXT`` columns; the ``BIGSERIAL`` type never appears for the
+      reason above).
+    """
+
+    repro_flavor = "fake"
+    repro_errors = _FAKE_ERRORS
+    repro_ordinal_column: Optional[str] = None
+
+    def __init__(self, database: str = ":memory:") -> None:
+        import sqlite3
+
+        # Cross-thread use mirrors a server connection: the service plane
+        # acquires pooled connections from worker threads.
+        self._sqlite = sqlite3.connect(
+            database, isolation_level=None, check_same_thread=False
+        )
+        self._sqlite3 = sqlite3
+        self.autocommit = True
+        self.closed = False
+
+    def _translate(self, error: Exception) -> FakeError:
+        if isinstance(error, self._sqlite3.IntegrityError):
+            return FakeIntegrityError(str(error))
+        if isinstance(error, self._sqlite3.OperationalError) and "locked" in str(
+            error
+        ):
+            # Lock contention is the one genuinely transient failure the
+            # in-process engine produces; psycopg reserves
+            # OperationalError for exactly that class of trouble.
+            return FakeOperationalError(str(error))
+        # sqlite files everything else (missing table, syntax) under
+        # OperationalError; a real server raises ProgrammingError there —
+        # a plain Error, a fact about the statement, never retried.
+        return FakeError(str(error))
+
+    def cursor(self) -> _FakeCursor:
+        if self.closed:
+            raise FakeInterfaceError("connection is closed")
+        return _FakeCursor(self)
+
+    def close(self) -> None:
+        self.closed = True
+        self._sqlite.close()
+
+
+def fake_postgres_backend(database: str = ":memory:") -> PostgresBackend:
+    """A :class:`PostgresBackend` over a :class:`FakePostgresConnection`."""
+    return PostgresBackend(connection=FakePostgresConnection(database))

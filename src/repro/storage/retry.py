@@ -1,0 +1,215 @@
+"""Bounded retries with exponential backoff for transient storage failures.
+
+A production ingestion path talks to a database over a network, where
+statements can fail for reasons that say nothing about the data —
+connection resets, failovers, deadlocks, serialization conflicts.
+Backends translate exactly those driver errors into
+:exc:`~repro.storage.backend.TransientError`; this module retries exactly
+those and nothing else:
+
+* :exc:`~repro.storage.backend.IntegrityViolation` is a fact about the
+  rows (retrying cannot make a duplicate key unique), and the loader's
+  pinpoint machinery depends on seeing it immediately;
+* a plain :exc:`~repro.storage.backend.StorageError` is a fact about the
+  statement (syntax, missing table) — retrying reruns the same failure.
+
+:class:`RetryPolicy` is the schedule: ``base_delay * multiplier**attempt``
+capped at ``max_delay``, with a *deterministic* jitter fraction drawn from
+a seeded :class:`random.Random` — the same policy over the same failures
+sleeps the same total time, which is what lets the chaos tests assert
+schedules exactly.  ``timeout`` is a per-operation budget: when the next
+backoff would overrun it, the operation gives up and re-raises the last
+transient error (a blocking DB-API call cannot be interrupted midway, so
+the budget bounds *retrying*, not a single hung attempt — drivers enforce
+socket-level timeouts themselves via the DSN).
+
+:class:`RetryingBackend` wraps any backend and applies the policy to the
+statement primitives.  Transaction verbs are delegated untouched: a
+``COMMIT`` whose outcome is unknown must not be blindly re-sent, and a
+savepoint's atomicity machinery has to reach the engine exactly once.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+
+from repro.storage.backend import Backend, Cursor, TransientError
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Backoff schedule for transient failures.
+
+    ``attempt`` counts from 0; the delay before retry *n* is::
+
+        min(max_delay, base_delay * multiplier**n) * (1 + jitter_n)
+
+    where ``jitter_n`` is drawn uniformly from ``[-jitter, +jitter]`` by a
+    :class:`random.Random` seeded with ``seed`` — deterministic across
+    runs, decorrelated across attempts.
+    """
+
+    max_attempts: int = 4
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 2.0
+    jitter: float = 0.25
+    #: Total time budget per operation (seconds); ``None`` means the
+    #: attempt count alone bounds the operation.
+    timeout: Optional[float] = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays cannot be negative")
+        if not 0 <= self.jitter <= 1:
+            raise ValueError("jitter must be a fraction in [0, 1]")
+
+    def delays(self) -> List[float]:
+        """The full backoff schedule (one delay per retry, jittered)."""
+        rng = random.Random(self.seed)
+        out: List[float] = []
+        for attempt in range(self.max_attempts - 1):
+            delay = min(self.max_delay, self.base_delay * self.multiplier ** attempt)
+            out.append(delay * (1 + rng.uniform(-self.jitter, self.jitter)))
+        return out
+
+
+def call_with_retries(
+    operation: Callable,
+    *args,
+    policy: Optional[RetryPolicy] = None,
+    sleep: Callable[[float], None] = time.sleep,
+    clock: Callable[[], float] = time.monotonic,
+    **kwargs,
+):
+    """Run ``operation`` under a policy, retrying transient errors only.
+
+    ``sleep`` and ``clock`` are injectable for tests (and for the fault
+    plan's virtual time).  Raises the *last* transient error when the
+    attempts or the time budget run out.
+    """
+    policy = policy or RetryPolicy()
+    start = clock()
+    delays = policy.delays()
+    last: Optional[TransientError] = None
+    for attempt in range(policy.max_attempts):
+        try:
+            return operation(*args, **kwargs)
+        except TransientError as error:
+            last = error
+            if attempt >= len(delays):
+                break
+            delay = delays[attempt]
+            if policy.timeout is not None and (
+                clock() - start + delay > policy.timeout
+            ):
+                break
+            sleep(delay)
+    assert last is not None
+    raise last
+
+
+class RetryingBackend(Backend):
+    """A backend wrapper that retries transient statement failures.
+
+    Statement primitives (``execute`` / ``executemany`` /
+    ``executescript`` / ``copy_rows``) run under the policy; transaction
+    verbs and savepoints are delegated to the wrapped backend verbatim —
+    re-sending transaction control whose outcome is unknown is never safe,
+    and engine-specific savepoint handling (PostgreSQL's implicit BEGIN)
+    must stay with the engine's own backend.
+
+    The retry happens at the statement level: a statement that failed
+    transiently *inside* an open transaction may leave the transaction
+    aborted on engines with PostgreSQL semantics, in which case the retry
+    surfaces the engine's aborted-transaction error and the enclosing
+    savepoint/transaction unwinds — exactly what the loader's atomicity
+    structure expects.
+    """
+
+    def __init__(
+        self,
+        inner: Backend,
+        policy: Optional[RetryPolicy] = None,
+        sleep: Callable[[float], None] = time.sleep,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.inner = inner
+        self.policy = policy or RetryPolicy()
+        self._sleep = sleep
+        self._clock = clock
+        self.placeholder = inner.placeholder
+        self.supports_copy = inner.supports_copy
+        self.ordinal_column = inner.ordinal_column
+        #: Transient failures absorbed by retries (observability hook).
+        self.retries = 0
+
+    # ------------------------------------------------------------------
+    def _call(self, operation: Callable, *args):
+        attempts = 0
+
+        def counting():
+            nonlocal attempts
+            attempts += 1
+            return operation(*args)
+
+        try:
+            return call_with_retries(
+                counting, policy=self.policy, sleep=self._sleep, clock=self._clock
+            )
+        finally:
+            self.retries += max(0, attempts - 1)
+
+    # ------------------------------------------------------------------
+    # Primitives under the policy
+    # ------------------------------------------------------------------
+    def execute(self, sql: str, parameters: Sequence = ()) -> Cursor:
+        return self._call(self.inner.execute, sql, parameters)
+
+    def executemany(self, sql: str, seq_of_parameters: Iterable[Sequence]) -> None:
+        # The parameter iterable must survive re-execution.
+        materialized = (
+            seq_of_parameters
+            if isinstance(seq_of_parameters, (list, tuple))
+            else list(seq_of_parameters)
+        )
+        return self._call(self.inner.executemany, sql, materialized)
+
+    def executescript(self, script: str) -> None:
+        return self._call(self.inner.executescript, script)
+
+    def copy_rows(
+        self, table: str, columns: Sequence[str], rows: Iterable[Sequence]
+    ) -> int:
+        materialized = rows if isinstance(rows, (list, tuple)) else list(rows)
+        return self._call(self.inner.copy_rows, table, columns, materialized)
+
+    def query(self, sql: str, parameters: Sequence = ()) -> List[Tuple]:
+        return self._call(self.inner.query, sql, parameters)
+
+    # ------------------------------------------------------------------
+    # Delegated verbatim
+    # ------------------------------------------------------------------
+    def begin(self) -> None:
+        self.inner.begin()
+
+    def commit(self) -> None:
+        self.inner.commit()
+
+    def rollback(self) -> None:
+        self.inner.rollback()
+
+    def transaction(self):
+        return self.inner.transaction()
+
+    def savepoint(self, name: str = "repro_sp"):
+        return self.inner.savepoint(name)
+
+    def close(self) -> None:
+        self.inner.close()

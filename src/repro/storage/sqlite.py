@@ -24,7 +24,12 @@ import sqlite3
 from typing import Iterable, List, Sequence, Tuple
 
 from repro.relational.instance import NullType
-from repro.storage.backend import Backend, IntegrityViolation, StorageError
+from repro.storage.backend import (
+    Backend,
+    IntegrityViolation,
+    StorageError,
+    TransientError,
+)
 
 # Bind the repository's NULL sentinel directly as SQL NULL.  This lets the
 # loader hand shredded rows to ``executemany`` without rewriting every
@@ -33,18 +38,41 @@ from repro.storage.backend import Backend, IntegrityViolation, StorageError
 sqlite3.register_adapter(NullType, lambda _null: None)
 
 
+def _translate(error: sqlite3.Error) -> StorageError:
+    """sqlite3 errors → the storage plane's taxonomy.
+
+    Lock contention is the one genuinely transient sqlite failure (another
+    connection holds the write lock; retrying after a backoff succeeds);
+    everything else operational is a fact about the statement.
+    """
+    if isinstance(error, sqlite3.IntegrityError):
+        return IntegrityViolation(str(error))
+    if isinstance(error, sqlite3.OperationalError) and "locked" in str(error):
+        return TransientError(str(error))
+    return StorageError(str(error))
+
+
 class SQLiteBackend(Backend):
     """A :class:`~repro.storage.backend.Backend` over one sqlite3 connection."""
 
-    def __init__(self, database: str = ":memory:", fast: bool = False) -> None:
+    def __init__(
+        self,
+        database: str = ":memory:",
+        fast: bool = False,
+        check_same_thread: bool = True,
+    ) -> None:
         """Open (or create) ``database`` (a path, or ``":memory:"``).
 
         ``fast=True`` relaxes durability for bulk loads (``synchronous=OFF``,
         ``journal_mode=MEMORY``) — appropriate for rebuildable shredded
-        databases, not for data of record.
+        databases, not for data of record.  ``check_same_thread=False``
+        permits cross-thread use (the service plane's pool hands a backend
+        to one worker at a time; serialized access is the pool's job).
         """
         self.database = database
-        self._connection = sqlite3.connect(database, isolation_level=None)
+        self._connection = sqlite3.connect(
+            database, isolation_level=None, check_same_thread=check_same_thread
+        )
         if fast:
             self._connection.execute("PRAGMA synchronous=OFF")
             self._connection.execute("PRAGMA journal_mode=MEMORY")
@@ -53,18 +81,14 @@ class SQLiteBackend(Backend):
     def execute(self, sql: str, parameters: Sequence = ()) -> sqlite3.Cursor:
         try:
             return self._connection.execute(sql, tuple(parameters))
-        except sqlite3.IntegrityError as error:
-            raise IntegrityViolation(str(error)) from error
         except sqlite3.Error as error:
-            raise StorageError(str(error)) from error
+            raise _translate(error) from error
 
     def executemany(self, sql: str, seq_of_parameters: Iterable[Sequence]) -> None:
         try:
             self._connection.executemany(sql, seq_of_parameters)
-        except sqlite3.IntegrityError as error:
-            raise IntegrityViolation(str(error)) from error
         except sqlite3.Error as error:
-            raise StorageError(str(error)) from error
+            raise _translate(error) from error
 
     def executescript(self, script: str) -> None:
         # sqlite3.executescript() issues an implicit COMMIT first, which
@@ -74,10 +98,8 @@ class SQLiteBackend(Backend):
         # no-op.
         try:
             self._connection.executescript(script)
-        except sqlite3.IntegrityError as error:
-            raise IntegrityViolation(str(error)) from error
         except sqlite3.Error as error:
-            raise StorageError(str(error)) from error
+            raise _translate(error) from error
 
     def close(self) -> None:
         self._connection.close()

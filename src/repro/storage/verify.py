@@ -26,10 +26,15 @@ ordinal (``rowid - 1`` on SQLite: fresh tables populated by inserts only
 number rowids 1..N in insertion order; a document column named ``rowid``
 shadows the alias, so :func:`row_ordinal_expression` picks the first
 unshadowed one of ``rowid``/``_rowid_``/``oid``), so the witnesses line
-up with the indexes of the instance whose rows were loaded.  All
-attribute references are quoted; attribute values never appear in the SQL
-text (the queries are pure column algebra), so hostile names and values
-are inert.
+up with the indexes of the instance whose rows were loaded.  Engines
+without an addressable internal row id (PostgreSQL) declare an explicit
+insertion-order column instead (``Backend.ordinal_column`` +
+``compile_ddl(ordinal_column=…)``); the queries then number the whole
+table with ``ROW_NUMBER() OVER (ORDER BY <ordinal>) - 1`` *before* any
+null filtering, which is gapless even when rolled-back savepoints left
+sequence gaps in the column itself.  All attribute references are
+quoted; attribute values never appear in the SQL text (the queries are
+pure column algebra), so hostile names and values are inert.
 """
 
 from __future__ import annotations
@@ -77,6 +82,31 @@ def _columns(schema: RelationSchema) -> List[str]:
     return list(schema.attributes)
 
 
+def _alias_map(schema: RelationSchema) -> Dict[str, str]:
+    """Collision-proof generated aliases (``__c<i>``) for every attribute."""
+    return {name: f"__c{i}" for i, name in enumerate(_columns(schema))}
+
+
+def _numbered_select(
+    schema: RelationSchema, alias: Dict[str, str], order_column: str
+) -> str:
+    """The whole table numbered by the explicit insertion-order column.
+
+    ``ROW_NUMBER()`` over the ordinal column is computed before any
+    filtering, so ``__ix`` is the gapless 0-based load ordinal even when
+    the column itself has sequence gaps (rolled-back savepoints).
+    """
+    select_list = ", ".join(
+        f"{quote_identifier(name)} AS {quote_identifier(alias[name])}"
+        for name in _columns(schema)
+    )
+    return (
+        f"SELECT ROW_NUMBER() OVER (ORDER BY "
+        f"{quote_identifier(order_column)}) - 1 AS __ix, {select_list}\n"
+        f"  FROM {quote_identifier(schema.name)}"
+    )
+
+
 def _check_attrs(schema: RelationSchema, attrs: Sequence[str], role: str) -> None:
     missing = [a for a in attrs if a not in schema.attributes]
     if missing:
@@ -91,6 +121,7 @@ def null_determinant_sql(
     lhs: AttrSetLike,
     rhs: AttrSetLike,
     reserved: Sequence[str] = (),
+    order_column: Optional[str] = None,
 ) -> Optional[str]:
     """Condition (1): a null among ``lhs`` but none among ``rhs``.
 
@@ -103,6 +134,24 @@ def null_determinant_sql(
     _check_attrs(schema, rhs_sorted, "dependent")
     if not lhs_sorted:
         return None
+    if order_column is not None:
+        # ROW_NUMBER is computed after WHERE, so the numbering must happen
+        # in a CTE over the unfiltered table.
+        alias = _alias_map(schema)
+        numbered = _numbered_select(schema, alias, order_column)
+        lhs_null = " OR ".join(
+            f"{quote_identifier(alias[a])} IS NULL" for a in lhs_sorted
+        )
+        conditions = [f"({lhs_null})"]
+        conditions.extend(
+            f"{quote_identifier(alias[a])} IS NOT NULL" for a in rhs_sorted
+        )
+        return (
+            f"WITH numbered AS (\n  {numbered}\n)\n"
+            f"SELECT __ix AS ix FROM numbered\n"
+            f"WHERE {' AND '.join(conditions)}\n"
+            f"ORDER BY ix"
+        )
     table = quote_identifier(schema.name)
     ordinal = row_ordinal_expression(schema, reserved)
     lhs_null = " OR ".join(f"{quote_identifier(a)} IS NULL" for a in lhs_sorted)
@@ -115,19 +164,34 @@ def null_determinant_sql(
     )
 
 
-def _clean_cte(
-    schema: RelationSchema, reserved: Sequence[str] = ()
+def _clean_with(
+    schema: RelationSchema,
+    reserved: Sequence[str] = (),
+    order_column: Optional[str] = None,
 ) -> Tuple[str, Dict[str, str]]:
-    """The CTE of null-free tuples, with collision-proof column aliases.
+    """The WITH clauses ending in ``clean`` (null-free, aliased tuples).
 
     Attribute names come from documents and may collide with anything, so
     every attribute is re-aliased to a generated ``__c<i>`` name inside the
     CTE; the outer queries only ever reference the aliases (plus ``__ix``,
-    the insertion ordinal).  Returns the CTE body and the attribute → alias
-    map.
+    the insertion ordinal).  Returns the clause list (without the ``WITH``
+    keyword, ready for callers to append further CTEs) and the attribute →
+    alias map.  With an explicit ``order_column`` the numbering happens in
+    a separate ``numbered`` CTE over the unfiltered table, so ``__ix``
+    stays the global load ordinal.
     """
     columns = _columns(schema)
     alias = {name: f"__c{i}" for i, name in enumerate(columns)}
+    if order_column is not None:
+        numbered = _numbered_select(schema, alias, order_column)
+        not_null = " AND ".join(
+            f"{quote_identifier(alias[name])} IS NOT NULL" for name in columns
+        )
+        clean = f"SELECT * FROM numbered\n  WHERE {not_null}"
+        return (
+            f"numbered AS (\n  {numbered}\n),\nclean AS (\n  {clean}\n)",
+            alias,
+        )
     select_list = ", ".join(
         f"{quote_identifier(name)} AS {quote_identifier(alias[name])}"
         for name in columns
@@ -140,7 +204,7 @@ def _clean_cte(
         f"  FROM {quote_identifier(schema.name)}\n"
         f"  WHERE {not_null}"
     )
-    return body, alias
+    return f"clean AS (\n  {body}\n)", alias
 
 
 def conflict_groups_sql(
@@ -148,6 +212,7 @@ def conflict_groups_sql(
     lhs: AttrSetLike,
     rhs: AttrSetLike,
     reserved: Sequence[str] = (),
+    order_column: Optional[str] = None,
 ) -> str:
     """Condition (2) as one detection aggregate: ``GROUP BY lhs HAVING``.
 
@@ -164,7 +229,7 @@ def conflict_groups_sql(
     _check_attrs(schema, rhs_sorted, "dependent")
     if not rhs_sorted:
         raise ValueError("condition (2) needs a non-empty dependent")
-    clean, alias = _clean_cte(schema, reserved)
+    clauses, alias = _clean_with(schema, reserved, order_column)
     group_columns = ", ".join(quote_identifier(alias[a]) for a in lhs_sorted)
     having = " OR ".join(
         f"MIN({quote_identifier(alias[a])}) <> MAX({quote_identifier(alias[a])})"
@@ -173,7 +238,7 @@ def conflict_groups_sql(
     select_list = (group_columns + ", " if group_columns else "") + "COUNT(*) AS group_size"
     group_by = f"GROUP BY {group_columns}\n" if group_columns else ""
     return (
-        f"WITH clean AS (\n  {clean}\n)\n"
+        f"WITH {clauses}\n"
         f"SELECT {select_list}\nFROM clean\n{group_by}HAVING {having}"
     )
 
@@ -183,6 +248,7 @@ def conflict_witness_sql(
     lhs: AttrSetLike,
     rhs: AttrSetLike,
     reserved: Sequence[str] = (),
+    order_column: Optional[str] = None,
 ) -> str:
     """Condition (2) witnesses, row for row.
 
@@ -201,7 +267,7 @@ def conflict_witness_sql(
     _check_attrs(schema, rhs_sorted, "dependent")
     if not rhs_sorted:
         raise ValueError("condition (2) needs a non-empty dependent")
-    clean, alias = _clean_cte(schema, reserved)
+    clauses, alias = _clean_with(schema, reserved, order_column)
     lhs_aliases = [quote_identifier(alias[a]) for a in lhs_sorted]
     rhs_aliases = [quote_identifier(alias[a]) for a in rhs_sorted]
 
@@ -220,7 +286,7 @@ def conflict_witness_sql(
     select_parts.extend(f"c.{a}" for a in rhs_aliases)
     differs = " OR ".join(f"c.{a} <> h.{a}" for a in rhs_aliases)
     return (
-        f"WITH clean AS (\n  {clean}\n),\n"
+        f"WITH {clauses},\n"
         f"firsts AS (\n  SELECT {firsts_select}\n  FROM clean{firsts_group}\n)\n"
         f"SELECT {', '.join(select_parts)}\n"
         f"FROM clean c\n"
@@ -242,19 +308,30 @@ class SQLVerifier:
     """
 
     def __init__(
-        self, backend: Backend, ddl: Union[StorageDDL, RelationSchema]
+        self,
+        backend: Backend,
+        ddl: Union[StorageDDL, RelationSchema],
+        ordinal_column: Optional[str] = None,
     ) -> None:
         self.backend = backend
         if isinstance(ddl, RelationSchema):
             self._schemas: Dict[str, RelationSchema] = {ddl.name: ddl}
             self._key_sets = {ddl.name: list(ddl.keys)}
             self._reserved: Tuple[str, ...] = ()
+            # A bare schema carries no plan metadata; the backend knows
+            # whether its tables need an explicit insertion-order column.
+            self._order_column = ordinal_column or getattr(
+                backend, "ordinal_column", None
+            )
         else:
             self._schemas = {name: table.schema for name, table in ddl.tables.items()}
             self._key_sets = {name: list(table.key_sets) for name, table in ddl.tables.items()}
             self._reserved = (
                 (ddl.provenance_column,) if ddl.provenance_column is not None else ()
             )
+            self._order_column = ordinal_column or ddl.ordinal_column
+        if self._order_column is not None:
+            self._reserved = self._reserved + (self._order_column,)
 
     # ------------------------------------------------------------------
     def schema(self, table: str) -> RelationSchema:
@@ -273,7 +350,11 @@ class SQLVerifier:
         rhs_sorted = sorted(attr_set(rhs))
         nulls: List[FDViolation] = []
         null_sql = null_determinant_sql(
-            schema, lhs_sorted, rhs_sorted, reserved=self._reserved
+            schema,
+            lhs_sorted,
+            rhs_sorted,
+            reserved=self._reserved,
+            order_column=self._order_column,
         )
         if null_sql is not None:
             for (index,) in self.backend.query(null_sql):
@@ -293,7 +374,13 @@ class SQLVerifier:
             return nulls
         n_lhs, n_rhs = len(lhs_sorted), len(rhs_sorted)
         for record in self.backend.query(
-            conflict_witness_sql(schema, lhs_sorted, rhs_sorted, reserved=self._reserved)
+            conflict_witness_sql(
+                schema,
+                lhs_sorted,
+                rhs_sorted,
+                reserved=self._reserved,
+                order_column=self._order_column,
+            )
         ):
             first_index, index = record[0], record[1]
             determinant = list(record[2 : 2 + n_lhs])
@@ -314,14 +401,18 @@ class SQLVerifier:
     def satisfies_fd(self, table: str, lhs: AttrSetLike, rhs: AttrSetLike) -> bool:
         """FD check via the detection aggregates only (no witness join)."""
         schema = self.schema(table)
-        null_sql = null_determinant_sql(schema, lhs, rhs, reserved=self._reserved)
+        null_sql = null_determinant_sql(
+            schema, lhs, rhs, reserved=self._reserved, order_column=self._order_column
+        )
         if null_sql is not None and self.backend.query(
             f"SELECT EXISTS (SELECT 1 FROM ({null_sql}))"
         )[0][0]:
             return False
         if not attr_set(rhs):
             return True
-        groups = conflict_groups_sql(schema, lhs, rhs, reserved=self._reserved)
+        groups = conflict_groups_sql(
+            schema, lhs, rhs, reserved=self._reserved, order_column=self._order_column
+        )
         return not self.backend.query(f"SELECT EXISTS (SELECT 1 FROM ({groups}))")[0][0]
 
     def key_violations(

@@ -1,0 +1,98 @@
+"""Tests for the tenant registry and the wire codecs."""
+
+import pytest
+
+from repro.relational.schema import RelationSchema
+from repro.service import (
+    SchemaRegistry,
+    rule_from_wire,
+    rule_to_wire,
+    schema_from_wire,
+    schema_to_wire,
+)
+from repro.transform.rule import TableRule
+
+RULE = TableRule(
+    "t",
+    fields={"a": "xa", "b": "xb"},
+    mappings=[("xi", "xr", "i"), ("xa", "xi", "a"), ("xb", "xi", "b")],
+)
+
+SCHEMA = RelationSchema("t", ["a", "b"], keys=[frozenset({"a"})])
+
+
+class TestWireCodecs:
+    def test_schema_round_trips(self):
+        wire = schema_to_wire(SCHEMA)
+        back = schema_from_wire(wire)
+        assert back.name == SCHEMA.name
+        assert list(back.attributes) == list(SCHEMA.attributes)
+        assert set(back.keys) == set(SCHEMA.keys)
+
+    def test_schema_wire_is_json_plain(self):
+        import json
+
+        json.dumps(schema_to_wire(SCHEMA))
+
+    def test_rule_round_trips(self):
+        wire = rule_to_wire(RULE)
+        back = rule_from_wire(wire)
+        assert rule_to_wire(back) == wire
+
+    def test_malformed_payloads_raise_value_error(self):
+        with pytest.raises(ValueError):
+            schema_from_wire({"name": "t"})
+        with pytest.raises(ValueError):
+            rule_from_wire({})
+
+
+class TestRegistry:
+    def test_register_namespaces_tables(self):
+        registry = SchemaRegistry()
+        config = registry.register("acme", [RULE], schema=[SCHEMA])
+        assert config.tables == {"t": "acme__t"}
+        assert config.physical("t") == "acme__t"
+        assert [rule.relation for rule in config.rules] == ["acme__t"]
+        assert set(config.ddl.tables) == {"acme__t"}
+
+    def test_unknown_relation_raises(self):
+        registry = SchemaRegistry()
+        config = registry.register("acme", [RULE])
+        with pytest.raises(KeyError):
+            config.physical("nope")
+
+    def test_duplicate_tenant_needs_replace(self):
+        registry = SchemaRegistry()
+        registry.register("acme", [RULE])
+        with pytest.raises(ValueError):
+            registry.register("acme", [RULE])
+        registry.register("acme", [RULE], replace=True)
+
+    def test_tenants_are_isolated(self):
+        registry = SchemaRegistry()
+        a = registry.register("a", [RULE], schema=[SCHEMA])
+        b = registry.register("b", [RULE], schema=[SCHEMA])
+        assert a.physical("t") != b.physical("t")
+        assert registry.tenants() == ["a", "b"]
+        assert "a" in registry and "c" not in registry
+
+    def test_inferred_schema_is_keyless(self):
+        registry = SchemaRegistry()
+        config = registry.register("acme", [RULE], mode="log")
+        table = config.ddl.tables["acme__t"]
+        assert list(table.schema.attributes) == ["a", "b"]
+
+    def test_ordinal_column_lands_in_the_plan(self):
+        registry = SchemaRegistry(ordinal_column="_rid")
+        config = registry.register("acme", [RULE], schema=[SCHEMA])
+        assert config.ddl.ordinal_column == "_rid"
+        assert '"_rid"' in config.ddl.tables["acme__t"].create
+
+    def test_logical_counts_translate_back(self):
+        registry = SchemaRegistry()
+        config = registry.register("acme", [RULE])
+        assert config.logical_counts({"acme__t": 3}) == {"t": 3}
+        config.merge_counts({"acme__t": 3})
+        config.merge_counts({"acme__t": 2})
+        assert config.loaded == {"t": 5}
+        assert config.documents == 2

@@ -1,0 +1,262 @@
+"""End-to-end tests of the asyncio ingestion service.
+
+Each test drives the service inside ``asyncio.run`` — uploads travel the
+real path: bounded queue → worker task → thread pool → connection pool →
+:class:`~repro.storage.loader.BulkLoader`.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.relational.schema import RelationSchema
+from repro.service import IngestionService
+from repro.service.registry import rule_to_wire, schema_to_wire
+from repro.storage import FaultInjectingBackend, FaultPlan, LoadError, SQLiteBackend
+from repro.storage.backend import TransientError
+from repro.transform.rule import TableRule
+
+RULES = [
+    TableRule(
+        "t",
+        fields={"a": "xa", "b": "xb"},
+        mappings=[("xi", "xr", "i"), ("xa", "xi", "a"), ("xb", "xi", "b")],
+    )
+]
+
+SCHEMA = [RelationSchema("t", ["a", "b"], keys=[frozenset({"a"})])]
+
+
+def _doc(*pairs):
+    items = "".join(f"<i><a>{a}</a><b>{b}</b></i>" for a, b in pairs)
+    return f"<r>{items}</r>"
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def _with_service(body, **kwargs):
+    service = IngestionService(**kwargs)
+    await service.start()
+    try:
+        return await body(service)
+    finally:
+        await service.stop()
+        service.close()
+
+
+class TestIngestion:
+    def test_upload_counts_rows(self):
+        async def body(service):
+            service.register_tenant("acme", RULES, schema=SCHEMA)
+            return await service.upload("acme", _doc(("1", "x"), ("2", "y")))
+
+        assert run(_with_service(body)) == {"t": 2}
+
+    def test_concurrent_uploads_across_tenants(self):
+        async def body(service):
+            service.register_tenant("acme", RULES, schema=SCHEMA)
+            service.register_tenant("beta", RULES, schema=SCHEMA)
+            results = await asyncio.gather(
+                service.upload("acme", _doc(("1", "x"))),
+                service.upload("beta", _doc(("1", "x"), ("2", "y"))),
+                service.upload("acme", _doc(("2", "y"))),
+                service.upload("beta", _doc(("3", "z"))),
+            )
+            return results, service.stats()
+
+        results, stats = run(_with_service(body, workers=4))
+        assert results == [{"t": 1}, {"t": 2}, {"t": 1}, {"t": 1}]
+        assert stats["acme"] == {"documents": 2, "rows": {"t": 2}}
+        assert stats["beta"] == {"documents": 2, "rows": {"t": 3}}
+
+    def test_unknown_tenant_fails_before_queueing(self):
+        async def body(service):
+            with pytest.raises(KeyError):
+                await service.upload("ghost", _doc(("1", "x")))
+
+        run(_with_service(body))
+
+    def test_strict_rejection_rolls_back_the_document(self):
+        async def body(service):
+            service.register_tenant("acme", RULES, schema=SCHEMA, mode="strict")
+            await service.upload("acme", _doc(("1", "x")))
+            with pytest.raises(LoadError):
+                await service.upload("acme", _doc(("2", "y"), ("1", "dup")))
+            # The rejected document vanished entirely; the service keeps
+            # serving and the next document lands.
+            counts = await service.upload("acme", _doc(("3", "z")))
+            assert counts == {"t": 1}
+            return service.stats()
+
+        stats = run(_with_service(body))
+        assert stats["acme"] == {"documents": 2, "rows": {"t": 2}}
+
+    def test_log_mode_stages_and_verify_reports(self):
+        async def body(service):
+            service.register_tenant("acme", RULES, schema=SCHEMA, mode="log")
+            await service.upload("acme", _doc(("1", "x")))
+            await service.upload("acme", _doc(("1", "conflict")))
+            return await service.verify("acme")
+
+        violations = run(_with_service(body))
+        assert set(violations) == {"t"}
+        assert violations["t"]  # logical, not physical, table names
+
+    def test_strict_tenant_verifies_clean(self):
+        async def body(service):
+            service.register_tenant("acme", RULES, schema=SCHEMA)
+            await service.upload("acme", _doc(("1", "x")))
+            return await service.verify("acme")
+
+        assert run(_with_service(body)) == {}
+
+    def test_transient_fault_fails_one_upload_not_the_service(self, tmp_path):
+        # File-backed: the pool discards the faulted backend (its
+        # connection state is suspect) and the factory's replacement must
+        # find the data again.
+        database = str(tmp_path / "service.db")
+
+        def factory():
+            # Per-backend data-statement ordinals: 0-1 are the tenant's
+            # CREATE TABLE/INDEX, 2 the first upload's batch — so 3
+            # breaks exactly the second upload.
+            backend = SQLiteBackend(database, check_same_thread=False)
+            return FaultInjectingBackend(backend, FaultPlan.failing(3))
+
+        async def body(service):
+            service.register_tenant("acme", RULES, schema=SCHEMA)
+            await service.upload("acme", _doc(("1", "x")))
+            with pytest.raises(TransientError):
+                await service.upload("acme", _doc(("2", "y")))
+            counts = await service.upload("acme", _doc(("3", "z")))
+            assert counts == {"t": 1}
+            return service.stats()
+
+        stats = run(_with_service(body, backend_factory=factory))
+        assert stats["acme"]["documents"] == 2
+
+    def test_upload_before_start_raises(self):
+        service = IngestionService()
+        service.register_tenant("acme", RULES, schema=SCHEMA)
+        with pytest.raises(RuntimeError):
+            run(service.upload("acme", _doc(("1", "x"))))
+        service.close()
+
+
+class TestDispatch:
+    def _register_request(self, tenant="acme", mode="strict"):
+        return {
+            "op": "register",
+            "tenant": tenant,
+            "rules": [rule_to_wire(rule) for rule in RULES],
+            "schema": [schema_to_wire(schema) for schema in SCHEMA],
+            "mode": mode,
+        }
+
+    def test_ping(self):
+        async def body(service):
+            return await service.dispatch({"op": "ping"})
+
+        assert run(_with_service(body)) == {"ok": True, "op": "ping"}
+
+    def test_register_upload_verify_stats(self):
+        async def body(service):
+            out = []
+            out.append(await service.dispatch(self._register_request(mode="log")))
+            out.append(
+                await service.dispatch(
+                    {"op": "upload", "tenant": "acme", "text": _doc(("1", "x"))}
+                )
+            )
+            out.append(await service.dispatch({"op": "verify", "tenant": "acme"}))
+            out.append(await service.dispatch({"op": "stats"}))
+            return out
+
+        register, upload, verify, stats = run(_with_service(body))
+        assert register == {
+            "ok": True, "tenant": "acme", "tables": ["t"], "mode": "log",
+        }
+        assert upload == {"ok": True, "rows": {"t": 1}}
+        assert verify == {"ok": True, "violations": {}}
+        assert stats["tenants"]["acme"]["documents"] == 1
+
+    def test_strict_rejection_carries_the_rows(self):
+        async def body(service):
+            await service.dispatch(self._register_request())
+            await service.dispatch(
+                {"op": "upload", "tenant": "acme", "text": _doc(("1", "x"))}
+            )
+            return await service.dispatch(
+                {
+                    "op": "upload",
+                    "tenant": "acme",
+                    "text": _doc(("1", "dup")),
+                    "document": "d2",
+                }
+            )
+
+        response = run(_with_service(body))
+        assert response["ok"] is False
+        assert response["table"] == "acme__t"
+        # The pinpointed rows carry the relation's attributes (provenance
+        # is bookkeeping, not part of the violating tuple).
+        assert response["rejected"] == [{"a": "1", "b": "dup"}]
+
+    def test_errors_never_escape_dispatch(self):
+        async def body(service):
+            return [
+                await service.dispatch({"op": "warp"}),
+                await service.dispatch({"op": "upload", "tenant": "ghost", "text": ""}),
+                await service.dispatch({"op": "register", "tenant": "x", "rules": []}),
+            ]
+
+        unknown, ghost, empty = run(_with_service(body))
+        assert not unknown["ok"] and "unknown op" in unknown["error"]
+        assert not ghost["ok"] and "ghost" in ghost["error"]
+        assert not empty["ok"]
+
+
+class TestWireProtocol:
+    def test_tcp_round_trip(self):
+        async def body(service):
+            server = await asyncio.start_server(
+                service.handle_connection, "127.0.0.1", 0
+            )
+            port = server.sockets[0].getsockname()[1]
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+
+            async def ask(request):
+                writer.write(json.dumps(request).encode() + b"\n")
+                await writer.drain()
+                return json.loads(await reader.readline())
+
+            out = []
+            out.append(await ask({"op": "ping"}))
+            out.append(
+                await ask(
+                    {
+                        "op": "register",
+                        "tenant": "acme",
+                        "rules": [rule_to_wire(rule) for rule in RULES],
+                        "schema": [schema_to_wire(schema) for schema in SCHEMA],
+                    }
+                )
+            )
+            out.append(
+                await ask({"op": "upload", "tenant": "acme", "text": _doc(("1", "x"))})
+            )
+            writer.write(b"this is not json\n")
+            await writer.drain()
+            out.append(json.loads(await reader.readline()))
+            writer.close()
+            server.close()
+            await server.wait_closed()
+            return out
+
+        ping, register, upload, garbage = run(_with_service(body))
+        assert ping["ok"] and register["ok"]
+        assert upload == {"ok": True, "rows": {"t": 1}}
+        assert not garbage["ok"] and "bad request" in garbage["error"]

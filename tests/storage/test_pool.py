@@ -1,0 +1,152 @@
+"""Tests for the service plane's backend pool."""
+
+import threading
+
+import pytest
+
+from repro.storage import ConnectionPool, SQLiteBackend, StorageError
+from repro.storage.backend import IntegrityViolation, TransientError
+from repro.storage.loader import LoadError
+from repro.storage.pool import PoolClosed
+
+
+class _Recorder(SQLiteBackend):
+    """A backend that remembers whether it was closed."""
+
+    def __init__(self):
+        super().__init__()
+        self.closed = False
+
+    def close(self):
+        self.closed = True
+        super().close()
+
+
+class TestLifecycle:
+    def test_grows_lazily_and_reuses(self):
+        made = []
+
+        def factory():
+            b = _Recorder()
+            made.append(b)
+            return b
+
+        pool = ConnectionPool(factory, max_size=4)
+        assert pool.size == 0
+        first = pool.acquire()
+        pool.release(first)
+        second = pool.acquire()
+        assert second is first
+        assert len(made) == 1
+        pool.release(second)
+        pool.close()
+        assert first.closed
+
+    def test_max_size_bounds_creation(self):
+        pool = ConnectionPool(_Recorder, max_size=2, acquire_timeout=0.05)
+        a, b = pool.acquire(), pool.acquire()
+        assert pool.size == 2
+        with pytest.raises(StorageError):
+            pool.acquire()
+        pool.release(a)
+        pool.release(b)
+        pool.close()
+
+    def test_blocked_acquire_wakes_on_release(self):
+        pool = ConnectionPool(_Recorder, max_size=1)
+        held = pool.acquire()
+        got = []
+
+        def taker():
+            backend = pool.acquire()
+            got.append(backend)
+            pool.release(backend)
+
+        thread = threading.Thread(target=taker)
+        thread.start()
+        pool.release(held)
+        thread.join(timeout=5)
+        assert got == [held]
+        pool.close()
+
+    def test_closed_pool_refuses_acquire(self):
+        pool = ConnectionPool(_Recorder)
+        pool.close()
+        with pytest.raises(PoolClosed):
+            pool.acquire()
+
+    def test_release_after_close_closes_backend(self):
+        pool = ConnectionPool(_Recorder, max_size=1)
+        backend = pool.acquire()
+        pool.close()
+        pool.release(backend)
+        assert backend.closed
+        assert pool.size == 0
+
+    def test_discard_closes_and_makes_room(self):
+        pool = ConnectionPool(_Recorder, max_size=1)
+        first = pool.acquire()
+        pool.release(first, discard=True)
+        assert first.closed
+        second = pool.acquire()
+        assert second is not first
+        pool.release(second)
+        pool.close()
+
+    def test_factory_failure_releases_the_slot(self):
+        calls = []
+
+        def flaky_factory():
+            calls.append(1)
+            if len(calls) == 1:
+                raise TransientError("server down")
+            return _Recorder()
+
+        pool = ConnectionPool(flaky_factory, max_size=1)
+        with pytest.raises(TransientError):
+            pool.acquire()
+        backend = pool.acquire()  # the slot was returned, not leaked
+        pool.release(backend)
+        pool.close()
+
+
+class TestConnectionContext:
+    def test_returns_backend_on_success(self):
+        pool = ConnectionPool(_Recorder, max_size=1)
+        with pool.connection() as backend:
+            first = backend
+        with pool.connection() as backend:
+            assert backend is first
+        pool.close()
+
+    def test_transient_error_discards(self):
+        pool = ConnectionPool(_Recorder, max_size=1)
+        with pytest.raises(TransientError):
+            with pool.connection() as backend:
+                first = backend
+                raise TransientError("connection reset")
+        assert first.closed
+        with pool.connection() as backend:
+            assert backend is not first
+        pool.close()
+
+    @pytest.mark.parametrize(
+        "error",
+        [
+            IntegrityViolation("dup"),
+            LoadError("t", []),
+            RuntimeError("app bug"),
+        ],
+    )
+    def test_data_errors_keep_the_backend(self, error):
+        # LoadError / IntegrityViolation are facts about the *data*; the
+        # connection is fine and — for :memory: databases — irreplaceable.
+        pool = ConnectionPool(_Recorder, max_size=1)
+        with pytest.raises(type(error)):
+            with pool.connection() as backend:
+                first = backend
+                raise error
+        assert not first.closed
+        with pool.connection() as backend:
+            assert backend is first
+        pool.close()

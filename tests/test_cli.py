@@ -593,3 +593,137 @@ class TestExitCodes:
             main(["check-doc", "--keys", ws["keys"], "--xml", ws["xml"],
                   "--tokenizer", "bogus"])
         assert info.value.code == 2
+
+
+class TestBackendSelection:
+    """--backend / REPRO_BACKEND route load and query to an engine."""
+
+    def test_fake_postgres_load_and_verify(self, violating_workspace, capsys):
+        ws = violating_workspace
+        code = main(
+            ["load", "--transform", ws["transform"], "--xml", ws["xml"],
+             "--db", ":memory:", "--backend", "fake-postgres",
+             "--keys", ws["keys"], "--verify"]
+        )
+        assert code == 0
+        assert "satisfies all propagated keys" in capsys.readouterr().out
+
+    def test_fake_postgres_rejects_violations_like_sqlite(
+        self, violating_workspace, capsys
+    ):
+        ws = violating_workspace
+        argv = ["load", "--transform", ws["transform"], "--xml", ws["bad_xml"],
+                "--keys", ws["keys"]]
+        assert main(argv + ["--db", ws["db"]]) == 1
+        sqlite_out = capsys.readouterr().out
+        assert main(argv + ["--db", ":memory:", "--backend", "fake-postgres"]) == 1
+        assert capsys.readouterr().out == sqlite_out
+
+    def test_unknown_backend_flag_exit_two(self, violating_workspace, capsys):
+        ws = violating_workspace
+        code = main(
+            ["load", "--transform", ws["transform"], "--xml", ws["xml"],
+             "--db", ws["db"], "--backend", "oracle"]
+        )
+        assert code == 2
+        assert "unknown storage backend" in capsys.readouterr().err
+
+    def test_query_backend_flag(self, violating_workspace, capsys):
+        ws = violating_workspace
+        assert main(["load", "--transform", ws["transform"], "--xml", ws["xml"],
+                     "--db", ws["db"], "--keys", ws["keys"]]) == 0
+        capsys.readouterr()
+        assert main(["query", "--db", ws["db"]]) == 0
+        assert "book" in capsys.readouterr().out
+
+    def test_serve_rejects_unknown_backend_before_binding(self, capsys):
+        assert main(["serve", "--backend", "oracle"]) == 2
+        assert "unknown storage backend" in capsys.readouterr().err
+
+
+class TestEnvironmentErrors:
+    """Malformed environment variables are uniform usage errors (exit 2)."""
+
+    def test_malformed_repro_jobs_exit_two(
+        self, violating_workspace, capsys, monkeypatch
+    ):
+        ws = violating_workspace
+        monkeypatch.setenv("REPRO_JOBS", "abc")
+        code = main(["shred", "--transform", ws["transform"],
+                     "--xml", ws["xml"], "--stream"])
+        assert code == 2
+        assert "REPRO_JOBS" in capsys.readouterr().err
+
+    def test_malformed_repro_tokenizer_exit_two(
+        self, violating_workspace, capsys, monkeypatch
+    ):
+        ws = violating_workspace
+        monkeypatch.setenv("REPRO_TOKENIZER", "bogus")
+        code = main(["check-doc", "--keys", ws["keys"], "--xml", ws["xml"]])
+        assert code == 2
+        assert "tokenizer" in capsys.readouterr().err
+
+    def test_malformed_repro_backend_exit_two(
+        self, violating_workspace, capsys, monkeypatch
+    ):
+        ws = violating_workspace
+        monkeypatch.setenv("REPRO_BACKEND", "oracle")
+        code = main(["load", "--transform", ws["transform"], "--xml", ws["xml"],
+                     "--db", ws["db"]])
+        assert code == 2
+        assert "unknown storage backend" in capsys.readouterr().err
+
+
+class TestCrashPaths:
+    """Ctrl-C and a hung-up stdout reader exit cleanly, not with tracebacks."""
+
+    def test_keyboard_interrupt_exits_130(self, violating_workspace, monkeypatch):
+        ws = violating_workspace
+
+        def interrupted(path):
+            raise KeyboardInterrupt()
+
+        monkeypatch.setattr("repro.cli._read", interrupted)
+        code = main(["check-doc", "--keys", ws["keys"], "--xml", ws["xml"]])
+        assert code == 130
+
+    def test_broken_pipe_exits_141(self, violating_workspace, monkeypatch):
+        ws = violating_workspace
+
+        def hung_up(path):
+            raise BrokenPipeError()
+
+        monkeypatch.setattr("repro.cli._read", hung_up)
+        # Stub the fd-level silencing: it would stomp pytest's capture of
+        # fd 1 (the subprocess test below exercises the real thing).
+        monkeypatch.setattr("repro.cli._silence_stdout", lambda: None)
+        code = main(["check-doc", "--keys", ws["keys"], "--xml", ws["xml"]])
+        assert code == 141
+
+    def test_real_pipe_hangup_has_no_traceback(self, violating_workspace):
+        # `repro query … | head -1`-shaped: the reader closes after one
+        # line while thousands remain; the process must exit 141 with an
+        # empty stderr instead of printing BrokenPipeError twice.
+        import os
+        import subprocess
+        import sys
+
+        import repro
+
+        ws = violating_workspace
+        assert main(["load", "--transform", ws["transform"], "--xml", ws["xml"],
+                     "--db", ws["db"], "--keys", ws["keys"]]) == 0
+        src = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+        env = {**os.environ, "PYTHONPATH": src}
+        big = 'WITH RECURSIVE n(i) AS (SELECT 1 UNION ALL SELECT i+1 FROM n LIMIT 100000) SELECT i FROM n'
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro", "query", "--db", ws["db"], "--sql", big],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, env=env,
+        )
+        process.stdout.readline()
+        process.stdout.close()
+        code = process.wait(timeout=60)
+        stderr = process.stderr.read().decode()
+        process.stderr.close()
+        assert code == 141, stderr
+        assert stderr == ""

@@ -8,11 +8,13 @@ consumer can run the analysis on files without writing Python::
     python -m repro cover     --keys keys.txt --transform rules.dsl --relation U
     python -m repro design    --keys keys.txt --transform rules.dsl --relation U --sql
     python -m repro shred     --transform rules.dsl --xml data.xml [--keys keys.txt] \
-                              [--sql] [--stream] [--jobs N] [--batch-size N | --copy]
-    python -m repro check-doc --keys keys.txt --xml data.xml [--dom | --jobs N]
+                              [--sql] [--stream] [--jobs N] [--batch-size N | --copy] \
+                              [--dtd schema.dtd]
+    python -m repro check-doc --keys keys.txt --xml data.xml [--dom | --jobs N] \
+                              [--dtd schema.dtd [--prune]]
     python -m repro load      --transform rules.dsl --xml data.xml [--xml more.xml ...] \
                               --db out.db [--backend sqlite|postgres|fake-postgres] \
-                              [--keys keys.txt] [--mode strict|log] \
+                              [--keys keys.txt] [--mode strict|log] [--dtd schema.dtd] \
                               [--jobs N] [--verify] [--provenance COLUMN]
     python -m repro query     --db out.db [--backend NAME] \
                               [--sql "SELECT ..." | --table R [--limit N]]
@@ -31,6 +33,21 @@ still materializes the shredded relation instances before printing them,
 so its memory is proportional to the *output* (use the library's
 ``iter_rule_rows`` → ``iter_insert_statements`` pipeline for fully
 constant-memory document-to-SQL loading).
+
+``--dtd schema.dtd`` brings the static optimization plane in.  On its own
+it *validates while shredding/checking*: the document's event stream feeds
+a streaming DTD validator alongside the other consumers — one pass, no
+DOM, same violations as the DOM validator (``check-doc --dom --dtd`` runs
+that reference validator instead).  ``check-doc --dtd --prune`` uses the
+DTD the other way: no validation, but the compiled
+:class:`~repro.xmlmodel.static.StaticPlan`'s skip set lets the tokenizer
+fast-forward subtrees no key path can reach — identical violations, also
+on documents that do not actually conform to the DTD (every skipped tag
+is verified; unverifiable subtrees are tokenized normally).  Streaming
+validation is inherently single-pass, so ``--dtd`` without ``--prune``
+rejects ``--jobs`` > 1; pruning shards fine.  ``load --dtd`` validates
+every document up front (streaming) and aborts before anything is loaded
+when one violates the schema.
 
 ``--jobs N`` (or the ``REPRO_JOBS`` environment variable, consulted when
 ``--stream`` is given without ``--jobs``) runs the same pipeline on the
@@ -171,6 +188,26 @@ def _print_violation_report(keys, found) -> int:
     return exit_code
 
 
+def _print_dtd_report(found) -> int:
+    """Print a DTD validation report; return the exit code."""
+    if found:
+        print(f"document violates its DTD ({len(found)} violation(s)):")
+        for violation in found:
+            print(f"  - {violation}")
+        return 1
+    print("document is valid against its DTD")
+    return 0
+
+
+def _load_dtd(args: argparse.Namespace):
+    """Parse ``--dtd`` when given, else ``None``."""
+    if not getattr(args, "dtd", None):
+        return None
+    from repro.xmlmodel.dtd import parse_dtd
+
+    return parse_dtd(_read(args.dtd))
+
+
 def _resolved_jobs(args: argparse.Namespace) -> int:
     """Worker count for a streaming command (``--jobs`` else ``REPRO_JOBS``)."""
     from repro.parallel import resolve_jobs
@@ -197,9 +234,17 @@ def cmd_shred(args: argparse.Namespace) -> int:
     transformation = _load_transformation(args.transform)
     keys = _load_keys(args.keys) if args.keys else []
     engine = _tokenizer_engine(args)
+    dtd = _load_dtd(args)
     exit_code = 0
     use_stream = args.stream or args.jobs is not None
     jobs = _resolved_jobs(args) if use_stream else 1
+    if dtd is not None and jobs > 1:
+        print(
+            "error: streaming DTD validation is a single-pass check and "
+            "cannot be sharded; drop --jobs or --dtd",
+            file=sys.stderr,
+        )
+        return 2
     if jobs > 1:
         # The parallel plane: shard at top-level anchor boundaries, map the
         # shards onto worker processes (shredding and key checking share
@@ -225,18 +270,31 @@ def cmd_shred(args: argparse.Namespace) -> int:
         # in bounded chunks.
         shredder = StreamShredder(transformation)
         checker = KeyStreamChecker(keys) if keys else None
+        validator = None
+        if dtd is not None:
+            # Validate while shredding: the same event pass feeds the
+            # streaming DTD validator — no extra read, no DOM.
+            from repro.xmlmodel.dtd import DTDStreamValidator
+
+            validator = DTDStreamValidator(dtd)
         for event in iter_events(Path(args.xml), engine=engine):
             shredder.feed(event)
             if checker is not None:
                 checker.feed(event)
+            if validator is not None:
+                validator.feed(event)
         instances = shredder.finish()
         if checker is not None:
             exit_code = _print_violation_report(keys, checker.finish())
+        if validator is not None:
+            exit_code = max(exit_code, _print_dtd_report(validator.finish()))
     else:
         tree = parse_document(_read(args.xml))
         if keys:
             found = [violation for key in keys for violation in violations(tree, key)]
             exit_code = _print_violation_report(keys, found)
+        if dtd is not None:
+            exit_code = max(exit_code, _print_dtd_report(dtd.validate(tree)))
         instances = evaluate_transformation(transformation, tree)
     for name, instance in instances.items():
         print()
@@ -263,24 +321,76 @@ def cmd_check_doc(args: argparse.Namespace) -> int:
     """Validate a document against a key set (the Figure 2(a) workflow)."""
     keys = _load_keys(args.keys)
     engine = _tokenizer_engine(args)
+    dtd = _load_dtd(args)
+    if args.prune and dtd is None:
+        print(
+            "error: --prune needs --dtd (the skip set is compiled from it)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.prune and args.dom:
+        print(
+            "error: --prune is a streaming-plane optimization; drop --dom",
+            file=sys.stderr,
+        )
+        return 2
+    dtd_exit = 0
     if args.dom:
         tree = parse_document(_read(args.xml))
+        if dtd is not None:
+            dtd_exit = _print_dtd_report(dtd.validate(tree))
         found = [violation for key in keys for violation in violations(tree, key)]
     elif _resolved_jobs(args) > 1:
+        if dtd is not None and not args.prune:
+            print(
+                "error: streaming DTD validation is a single-pass check and "
+                "cannot be sharded; drop --jobs, or add --prune to use the "
+                "DTD for subtree skipping only",
+                file=sys.stderr,
+            )
+            return 2
+        plan = None
+        if args.prune:
+            from repro.xmlmodel.static import compile_plan
+
+            plan = compile_plan(dtd, keys=keys)
         from repro.parallel import run_sharded
 
         found = (
             run_sharded(
-                Path(args.xml), keys=keys, jobs=_resolved_jobs(args), engine=engine
+                Path(args.xml),
+                keys=keys,
+                jobs=_resolved_jobs(args),
+                engine=engine,
+                plan=plan,
             ).violations
             or []
         )
     else:
+        # One pass feeds the key checker and (without --prune) the
+        # streaming DTD validator together.  Pruning and validation are
+        # mutually exclusive by construction: a skipped subtree elides
+        # exactly the events the validator would need to see.
+        skip = None
+        validator = None
+        if args.prune:
+            from repro.xmlmodel.static import compile_plan
+
+            plan = compile_plan(dtd, keys=keys)
+            skip = plan.skipset if plan.skipset else None
+        elif dtd is not None:
+            from repro.xmlmodel.dtd import DTDStreamValidator
+
+            validator = DTDStreamValidator(dtd)
         checker = KeyStreamChecker(keys)
-        for event in iter_events(Path(args.xml), engine=engine):
+        for event in iter_events(Path(args.xml), engine=engine, skip=skip):
             checker.feed(event)
+            if validator is not None:
+                validator.feed(event)
         found = checker.finish()
-    return _print_violation_report(keys, found)
+        if validator is not None:
+            dtd_exit = _print_dtd_report(validator.finish())
+    return max(_print_violation_report(keys, found), dtd_exit)
 
 
 def cmd_load(args: argparse.Namespace) -> int:
@@ -304,6 +414,21 @@ def cmd_load(args: argparse.Namespace) -> int:
     provenance = args.provenance
     if provenance is None and len(documents) > 1:
         provenance = "_document"
+
+    dtd = _load_dtd(args)
+    if dtd is not None:
+        # Gate the corpus on its schema before the database is touched: one
+        # streaming validation pass per document, abort on the first one
+        # that does not conform (nothing is created, nothing is loaded).
+        from repro.xmlmodel.dtd import stream_dtd_violations
+
+        for path in documents:
+            found = stream_dtd_violations(Path(path), dtd, engine=engine)
+            if found:
+                print(f"{path} violates its DTD; nothing was loaded:")
+                for violation in found:
+                    print(f"  - {violation}")
+                return 1
 
     backend = open_backend(args.db, backend=getattr(args, "backend", None))
     # One table per rule; each table's constraints come from the minimum
@@ -713,6 +838,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="with --sql: emit PostgreSQL COPY blocks instead of INSERTs",
     )
     shred.add_argument(
+        "--dtd",
+        help=(
+            "DTD file; with --stream the document is validated while it is "
+            "shredded (one pass), otherwise the DOM validator runs — "
+            "violations print after the key report, exit 1"
+        ),
+    )
+    shred.add_argument(
         "--tokenizer",
         choices=["auto", "pure", "accel", "expat", "lxml"],
         default=None,
@@ -739,6 +872,22 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "check on N worker processes over document shards "
             "(0 = one worker per CPU; default: REPRO_JOBS, else serial)"
+        ),
+    )
+    check_doc.add_argument(
+        "--dtd",
+        help=(
+            "DTD file; validates the document in the same streaming pass as "
+            "the key check (--dom uses the DOM reference validator instead)"
+        ),
+    )
+    check_doc.add_argument(
+        "--prune",
+        action="store_true",
+        help=(
+            "with --dtd: skip validation and instead compile a static plan "
+            "whose skip set fast-forwards subtrees no key path can reach — "
+            "identical violations, even on documents that violate the DTD"
         ),
     )
     check_doc.add_argument(
@@ -815,6 +964,13 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "per-document provenance column name (added automatically as "
             "'_document' when several --xml are given)"
+        ),
+    )
+    load.add_argument(
+        "--dtd",
+        help=(
+            "DTD file; every document is validated (streaming) before the "
+            "database is touched — a non-conforming document aborts the load"
         ),
     )
     load.add_argument(

@@ -350,6 +350,194 @@ def synthesize_document_chunks(
     yield "</root>"
 
 
+# ----------------------------------------------------------------------
+# Schema-shaped corpora (the static-optimization-plane workloads)
+# ----------------------------------------------------------------------
+#: DBLP-shaped schema: a flat bibliography of typed records.  Keys that
+#: target one record kind (``article``) leave every other kind's subtree
+#: invisible — the schema-selective shape the skip plane is built for.
+DBLP_DTD = """<!DOCTYPE dblp [
+<!ELEMENT dblp (article|inproceedings|phdthesis)*>
+<!ELEMENT article (author+, title, year, cite*)>
+<!ELEMENT inproceedings (author+, title, booktitle, year, pages, ee*, cite*)>
+<!ELEMENT phdthesis (author, title, year, school)>
+<!ELEMENT author (#PCDATA)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT booktitle (#PCDATA)>
+<!ELEMENT year (#PCDATA)>
+<!ELEMENT pages (#PCDATA)>
+<!ELEMENT ee (#PCDATA)>
+<!ELEMENT school (#PCDATA)>
+<!ELEMENT cite EMPTY>
+<!ATTLIST article key ID #REQUIRED>
+<!ATTLIST inproceedings key ID #REQUIRED>
+<!ATTLIST phdthesis key ID #REQUIRED>
+<!ATTLIST cite ref IDREF #REQUIRED>
+]>"""
+
+
+def dblp_shaped_chunks(
+    records: int = 1000,
+    article_every: int = 5,
+    authors: int = 2,
+    cites: int = 2,
+) -> Iterator[str]:
+    """Stream a DBLP-shaped document conforming to :data:`DBLP_DTD`.
+
+    One record in every ``article_every`` is an ``article``; the rest
+    alternate between ``inproceedings`` (the bulky kind: extra fields and
+    ``ee`` links) and ``phdthesis``.  Record keys are ``r0 … rN`` across
+    all kinds, and every ``cite/@ref`` points at an existing record, so
+    the document is ID/IDREF-clean.  A key set that targets only
+    ``article`` reaches roughly ``1/article_every`` of the subtrees — the
+    selectivity knob for the skip-plane benchmarks.
+    """
+    yield "<dblp>"
+    for i in range(records):
+        if article_every and i % article_every == 0:
+            yield f'<article key="r{i}">'
+            for j in range(authors):
+                yield f"<author>Author {i}.{j}</author>"
+            yield f"<title>On static planes, part {i}</title>"
+            yield f"<year>{1990 + i % 30}</year>"
+            for j in range(cites):
+                yield f'<cite ref="r{(i + j + 1) % records}"/>'
+            yield "</article>"
+        elif i % 2 == 0:
+            yield f'<inproceedings key="r{i}">'
+            for j in range(authors):
+                yield f"<author>Author {i}.{j}</author>"
+            yield f"<title>Workshop notes {i}</title>"
+            yield f"<booktitle>Proc. SYNTH {i % 40}</booktitle>"
+            yield f"<year>{1990 + i % 30}</year>"
+            yield f"<pages>{i}-{i + 9}</pages>"
+            yield f"<ee>https://example.org/{i}</ee>"
+            for j in range(cites):
+                yield f'<cite ref="r{(i + j + 1) % records}"/>'
+            yield "</inproceedings>"
+        else:
+            yield f'<phdthesis key="r{i}">'
+            yield f"<author>Candidate {i}</author>"
+            yield f"<title>Thesis {i}</title>"
+            yield f"<year>{1990 + i % 30}</year>"
+            yield f"<school>University {i % 25}</school>"
+            yield "</phdthesis>"
+    yield "</dblp>"
+
+
+#: Mondial-shaped schema: geography with two-level nesting and an
+#: organization membership side table (IDREF-linked to countries).
+MONDIAL_DTD = """<!DOCTYPE mondial [
+<!ELEMENT mondial (country*, organization*)>
+<!ELEMENT country (name, population, province*)>
+<!ELEMENT province (name, city*)>
+<!ELEMENT city (name, population)>
+<!ELEMENT organization (name, members*)>
+<!ELEMENT members EMPTY>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT population (#PCDATA)>
+<!ATTLIST country car_code ID #REQUIRED>
+<!ATTLIST organization abbrev ID #REQUIRED>
+<!ATTLIST members country IDREF #REQUIRED>
+]>"""
+
+
+def mondial_shaped_chunks(
+    countries: int = 60,
+    provinces: int = 4,
+    cities: int = 5,
+    organizations: int = 10,
+) -> Iterator[str]:
+    """Stream a Mondial-shaped document conforming to :data:`MONDIAL_DTD`.
+
+    Keys on ``country/@car_code`` (or per-country city names) leave the
+    ``organization`` block and the ``city`` interiors skippable; the
+    IDREF-linked ``members`` elements exercise the streaming validator's
+    global ID/IDREF state across skipped and unskipped regions.
+    """
+    yield "<mondial>"
+    for i in range(countries):
+        yield f'<country car_code="C{i}">'
+        yield f"<name>Country {i}</name><population>{1000 * (i + 1)}</population>"
+        for p in range(provinces):
+            yield f"<province><name>Province {i}.{p}</name>"
+            for c in range(cities):
+                yield (
+                    f"<city><name>City {i}.{p}.{c}</name>"
+                    f"<population>{97 * (c + 1)}</population></city>"
+                )
+            yield "</province>"
+        yield "</country>"
+    for o in range(organizations):
+        yield f'<organization abbrev="ORG{o}">'
+        yield f"<name>Organization {o}</name>"
+        for m in range(0, countries, organizations):
+            yield f'<members country="C{(o + m) % countries}"/>'
+        yield "</organization>"
+    yield "</mondial>"
+
+
+#: Deep-nesting schema: one recursive element.  Stresses the skip
+#: scanner's explicit tag stack and the consumers' frame stacks — depth
+#: is bounded only by memory, never by the interpreter's recursion limit.
+DEEP_DTD = """<!DOCTYPE chain [
+<!ELEMENT chain (link*)>
+<!ELEMENT link (link*, payload?)>
+<!ELEMENT payload (#PCDATA)>
+<!ATTLIST link n CDATA #REQUIRED>
+]>"""
+
+
+def deep_nesting_chunks(depth: int = 200, repeat: int = 20) -> Iterator[str]:
+    """Stream ``repeat`` chains of ``depth`` nested ``link`` elements."""
+    yield "<chain>"
+    for r in range(repeat):
+        for level in range(depth):
+            yield f'<link n="{r}.{level}">'
+        yield f"<payload>bottom {r}</payload>"
+        for _ in range(depth):
+            yield "</link>"
+    yield "</chain>"
+
+
+#: Entity-storm schema: records whose text payloads are dense with
+#: character and entity references.  Exercises the skip scanner's text
+#: solidity accounting (``&#32;`` is whitespace only after expansion) and
+#: the tokenizers' entity handling on both the fast and fallback paths.
+ENTITY_STORM_DTD = """<!DOCTYPE storm [
+<!ELEMENT storm (record*)>
+<!ELEMENT record (blob*)>
+<!ELEMENT blob (#PCDATA)>
+<!ATTLIST record id ID #REQUIRED>
+]>"""
+
+
+def entity_storm_chunks(records: int = 200, blobs: int = 4) -> Iterator[str]:
+    """Stream an entity-dense document conforming to :data:`ENTITY_STORM_DTD`.
+
+    Blob texts cycle through named entities, numeric and hex character
+    references, and whitespace-only-after-expansion payloads (``&#32;``
+    and friends) — the inputs where a byte-level scanner that guessed at
+    text solidity instead of expanding entities would drift from the
+    tokenizer's node-id accounting.
+    """
+    flavours = (
+        "a &amp; b &lt;tag&gt; &quot;q&quot; &apos;a&apos;",
+        "&#65;&#66;&#67; mixed &#x41;&#x42;",
+        "&#32;&#9;&#10;",  # whitespace only after expansion
+        "&#x20;&#x09;",
+        "plain text, no references",
+        "dangling & ampersand and &unknown; reference",
+    )
+    yield "<storm>"
+    for i in range(records):
+        yield f'<record id="s{i}">'
+        for b in range(blobs):
+            yield f"<blob>{flavours[(i + b) % len(flavours)]}</blob>"
+        yield "</record>"
+    yield "</storm>"
+
+
 def parallel_scaling_series(
     spec: Optional[ScenarioSpec] = None,
     jobs: Tuple[int, ...] = (1, 2, 4),

@@ -178,6 +178,7 @@ class IncrementalEngine:
         deduplicate: bool = True,
         strip_whitespace: bool = True,
         engine: Optional[str] = None,
+        plan=None,
     ) -> None:
         self.rules: List[TableRule] = (
             list(transformation) if transformation is not None else []
@@ -191,6 +192,11 @@ class IncrementalEngine:
         #: Tokenizer backend for fragment replays
         #: (:func:`repro.xmlmodel.events.iter_events`).
         self.engine = engine
+        #: Optional :class:`~repro.xmlmodel.static.StaticPlan`; its skip set
+        #: (compiled over at least these keys and rules — empty whenever a
+        #: rule captures element values) fast-forwards schema-invisible
+        #: subtrees when fragments are tokenized, states unchanged.
+        self._skip = plan.skipset if plan is not None and plan.skipset else None
         #: One shard-mode template per rule; also the shardability gate.
         self._templates: List[RuleStreamer] = []
         for rule in self.rules:
@@ -307,6 +313,7 @@ class IncrementalEngine:
             fragment,
             strip_whitespace=self.strip_whitespace,
             engine=self.engine,
+            skip=self._skip,
         ):
             for streamer in streamers:
                 streamer.feed(event)

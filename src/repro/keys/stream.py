@@ -51,7 +51,16 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.keys.key import XMLKey
 from repro.keys.satisfaction import KeyViolation
-from repro.xmlmodel.events import ATTR, END, START, TEXT, Event, EventSource, as_events
+from repro.xmlmodel.events import (
+    ATTR,
+    END,
+    SKIP,
+    START,
+    TEXT,
+    Event,
+    EventSource,
+    as_events,
+)
 from repro.xmlmodel.matching import PathNFA
 from repro.xmlmodel.paths import PathExpression, StepKind
 
@@ -293,10 +302,18 @@ class KeyStreamChecker:
         #: Node ids consumed by the shard prologue (set by begin_shard);
         #: ids below it are the root's own and are shard-invariant.
         self._prologue_ids = 0
-        #: (parent context vector, tag) → (child vector, buckets matching it)
+        #: Depth inside a *dead region*: a subtree whose context vector is
+        #: entirely empty and into which no open record's target automaton
+        #: reaches.  Nothing in such a region can match anything (an exact
+        #: automaton fact — no schema trusted), so the checker only counts
+        #: node ids until the region closes.
+        self._dead_depth = 0
+        self._dead_attrs: Optional[set] = None
+        #: (parent context vector, tag) →
+        #: (child vector, buckets matching it, child vector is all-empty)
         self._vector_cache: Dict[
             Tuple[Tuple[frozenset, ...], str],
-            Tuple[Tuple[frozenset, ...], Tuple[_ContextBucket, ...]],
+            Tuple[Tuple[frozenset, ...], Tuple[_ContextBucket, ...], bool],
         ] = {}
         self._initial_vector = tuple(b.context_nfa.initial for b in self.buckets)
         self._initial_matched = tuple(
@@ -362,6 +379,11 @@ class KeyStreamChecker:
         kind = event.kind
         frames = self._frames
         if kind == START:
+            if self._dead_depth:
+                self._dead_depth += 1
+                self._dead_attrs = None
+                self._next_id += 1
+                return
             node_id = self._next_id
             self._next_id += 1
             tag = event.name
@@ -381,9 +403,16 @@ class KeyStreamChecker:
                         for i, bucket in enumerate(self.buckets)
                         if bucket.context_nfa.matches(vector[i])
                     )
-                    cached = (vector, matched)
+                    cached = (vector, matched, not matched and not any(vector))
                     self._vector_cache[cache_key] = cached
-                vector, matched = cached
+                vector, matched, vector_dead = cached
+                if vector_dead and not parent.targets:
+                    # No context path can ever match at or below this
+                    # element and no open record's targets reach into it:
+                    # the subtree contributes node ids and nothing else.
+                    self._dead_depth = 1
+                    self._dead_attrs = None
+                    return
                 frame = _Frame(node_id, vector)
                 parent_targets = parent.targets
                 if parent_targets:
@@ -402,6 +431,15 @@ class KeyStreamChecker:
                 self._open_record(bucket, frame)
             frames.append(frame)
         elif kind == ATTR:
+            if self._dead_depth:
+                seen = self._dead_attrs
+                if seen is None:
+                    self._dead_attrs = {event.name}
+                    self._next_id += 1
+                elif event.name not in seen:
+                    seen.add(event.name)
+                    self._next_id += 1
+                return
             frame = frames[-1]
             name = event.name
             attrs = frame.attrs
@@ -417,16 +455,32 @@ class KeyStreamChecker:
             frame.attr_ids[name] = self._next_id
             self._next_id += 1
         elif kind == TEXT:
+            if self._dead_depth:
+                self._next_id += 1
+                return
             frame = frames[-1]
             if not frame.attrs_done:
                 self._resolve_attrs(frame)
             self._next_id += 1  # text nodes occupy a document-order id
         elif kind == END:
+            if self._dead_depth:
+                self._dead_depth -= 1
+                return
             frame = frames.pop()
             if not frame.attrs_done:
                 self._resolve_attrs(frame)
             for record in frame.records_here:
                 self._flushed.extend(record.flush())
+        elif kind == SKIP:
+            # The tokenizer fast-forwarded a whole subtree: advance the id
+            # counter by the ids it would have consumed.
+            if self._dead_depth:
+                self._next_id += event.value
+                return
+            frame = frames[-1]
+            if not frame.attrs_done:
+                self._resolve_attrs(frame)
+            self._next_id += event.value
 
     def _materialize(
         self, key_index: int, context_id: int, raw: _RawViolation
@@ -696,6 +750,7 @@ def stream_violations(
     strip_whitespace: bool = True,
     jobs: Optional[int] = None,
     engine: Optional[str] = None,
+    plan=None,
 ) -> List[KeyViolation]:
     """All violations of ``keys`` on the document, in one streaming pass.
 
@@ -705,12 +760,18 @@ def stream_violations(
     selects the executor: values above 1 shard string sources onto a
     process pool (:mod:`repro.parallel`) with identical output, falling
     back to the serial pass whenever the document cannot be sharded.
+    ``plan`` is an optional :class:`~repro.xmlmodel.static.StaticPlan`
+    compiled over (at least) these keys: its skip set lets the tokenizer
+    fast-forward subtrees no key path can reach, with identical output —
+    the skip plane verifies every skipped tag, so the guarantee holds on
+    documents that violate the plan's DTD too.
     """
     if isinstance(keys, XMLKey):
         keys = [keys]
     keys = list(keys)
     from repro.parallel import resolve_jobs, run_sharded
 
+    skip = plan.skipset if plan is not None and plan.skipset else None
     if resolve_jobs(jobs) > 1 and (
         isinstance(source, str) or hasattr(source, "__fspath__")
     ):
@@ -720,11 +781,14 @@ def stream_violations(
             strip_whitespace=strip_whitespace,
             jobs=jobs,
             engine=engine,
+            plan=plan,
         )
         return run.violations or []
     checker = KeyStreamChecker(keys)
     feed = checker.feed
-    for event in as_events(source, strip_whitespace=strip_whitespace, engine=engine):
+    for event in as_events(
+        source, strip_whitespace=strip_whitespace, engine=engine, skip=skip
+    ):
         feed(event)
     return checker.finish()
 
@@ -735,8 +799,14 @@ def stream_satisfies(
     strip_whitespace: bool = True,
     jobs: Optional[int] = None,
     engine: Optional[str] = None,
+    plan=None,
 ) -> bool:
     """``T ⊨ Σ`` decided in a single pass over the event stream."""
     return not stream_violations(
-        source, keys, strip_whitespace=strip_whitespace, jobs=jobs, engine=engine
+        source,
+        keys,
+        strip_whitespace=strip_whitespace,
+        jobs=jobs,
+        engine=engine,
+        plan=plan,
     )

@@ -64,7 +64,7 @@ from repro.transform.stream import (
     StreamShredder,
     merge_rule_shards,
 )
-from repro.xmlmodel.events import ATTR, iter_events
+from repro.xmlmodel.events import ATTR, SKIP, iter_events
 from repro.xmlmodel.shards import (
     DocumentShards,
     MappedDocumentShards,
@@ -107,10 +107,15 @@ def resolve_jobs(jobs: Optional[int] = None) -> int:
 # ----------------------------------------------------------------------
 @dataclass
 class ShardOutput:
-    """Everything one shard contributes: per-rule states + checker state."""
+    """Everything one shard contributes: per-rule states + checker state.
+
+    ``skipped_subtrees`` counts the subtrees the skip plane fast-forwarded
+    inside this shard — pure telemetry for the static-optimization plane.
+    """
 
     rules: List[RuleShardResult]
     checker: Optional[CheckerShardResult]
+    skipped_subtrees: int = 0
 
 
 class _ShardWorker:
@@ -123,17 +128,22 @@ class _ShardWorker:
         keys: Sequence[XMLKey],
         strip_whitespace: bool,
         engine: Optional[str] = None,
+        skip=None,
     ) -> None:
         self.shards = shards
         self.rules = list(rules)
         self.keys = list(keys)
         self.strip_whitespace = strip_whitespace
         self.engine = engine
+        #: Optional :class:`~repro.xmlmodel.static.SkipSet`; plain picklable
+        #: data, shipped to the workers with the rest of the payload.
+        self.skip = skip
 
     def run(self, index: int) -> ShardOutput:
         first = index == 0
         streamers = [RuleStreamer(rule, shard_mode=True) for rule in self.rules]
         checker = KeyStreamChecker(self.keys) if self.keys else None
+        skipped = 0
         for event in self.shards.prologue_events:
             if checker is not None:
                 checker.feed(event)
@@ -143,8 +153,13 @@ class _ShardWorker:
         if checker is not None:
             checker.begin_shard(first=first)
         for event in self.shards.shard_events(
-            index, strip_whitespace=self.strip_whitespace, engine=self.engine
+            index,
+            strip_whitespace=self.strip_whitespace,
+            engine=self.engine,
+            skip=self.skip,
         ):
+            if event.kind == SKIP:
+                skipped += 1
             for streamer in streamers:
                 streamer.feed(event)
             if checker is not None:
@@ -152,6 +167,7 @@ class _ShardWorker:
         return ShardOutput(
             rules=[streamer.shard_result() for streamer in streamers],
             checker=checker.shard_result() if checker is not None else None,
+            skipped_subtrees=skipped,
         )
 
 
@@ -178,11 +194,14 @@ class ShardedRun:
     ``instances`` is ``None`` when no transformation was given,
     ``violations`` is ``None`` when no keys were given.  ``shards`` is the
     number of shards actually executed (1 = the serial fallback ran).
+    ``skipped_subtrees`` counts the subtrees the static-plane skip set
+    fast-forwarded across all shards (0 when no plan was given).
     """
 
     instances: Optional[Dict[str, RelationInstance]]
     violations: Optional[List[KeyViolation]]
     shards: int = 1
+    skipped_subtrees: int = 0
 
 
 def _relation_schema(rule: TableRule, schema: Optional[DatabaseSchema]):
@@ -199,6 +218,7 @@ def _run_serial(
     deduplicate: bool,
     strip_whitespace: bool,
     engine: Optional[str] = None,
+    skip=None,
 ) -> ShardedRun:
     """The PR-3 single-pass plane: shredder and checker share one walk."""
     shredder = (
@@ -208,7 +228,12 @@ def _run_serial(
         else None
     )
     checker = KeyStreamChecker(keys) if keys else None
-    for event in iter_events(source, strip_whitespace=strip_whitespace, engine=engine):
+    skipped = 0
+    for event in iter_events(
+        source, strip_whitespace=strip_whitespace, engine=engine, skip=skip
+    ):
+        if event.kind == SKIP:
+            skipped += 1
         if shredder is not None:
             shredder.feed(event)
         if checker is not None:
@@ -217,6 +242,7 @@ def _run_serial(
         instances=shredder.finish() if shredder is not None else None,
         violations=checker.finish() if checker is not None else None,
         shards=1,
+        skipped_subtrees=skipped,
     )
 
 
@@ -231,6 +257,7 @@ def run_sharded(
     use_processes: Optional[bool] = None,
     engine: Optional[str] = None,
     executor=None,
+    plan=None,
 ) -> ShardedRun:
     """Shred and/or key-check a document on the sharded execution plane.
 
@@ -253,7 +280,12 @@ def run_sharded(
     instead of spinning up (and tearing down) a process pool per call —
     the shape a long-lived service wants; the worker payload is shipped
     with each task, so any executor whose workers can unpickle it works
-    (including a thread pool).
+    (including a thread pool).  ``plan`` is an optional compiled
+    :class:`~repro.xmlmodel.static.StaticPlan`; it must have been compiled
+    over (at least) these keys and rules — its skip set then fast-forwards
+    schema-invisible subtrees inside every shard, output unchanged
+    (:func:`repro.xmlmodel.static.compile_plan` empties the skip set itself
+    whenever any rule captures element values).
 
     The output is byte-identical to the serial streaming plane (and hence
     to the DOM plane): same rows in the same order, same verdicts, same
@@ -263,6 +295,7 @@ def run_sharded(
     key_list = list(keys) if keys is not None else []
     if not rules and not key_list:
         raise ValueError("run_sharded() needs a transformation, keys, or both")
+    skip = plan.skipset if plan is not None and plan.skipset else None
 
     path: Optional[str] = None
     if hasattr(source, "__fspath__"):
@@ -290,12 +323,13 @@ def run_sharded(
         shards = None
     if shards is None:
         return _run_serial(
-            source, rules, key_list, schema, deduplicate, strip_whitespace, engine
+            source, rules, key_list, schema, deduplicate, strip_whitespace, engine,
+            skip,
         )
     if path is not None:
         shards = map_document_shards(shards, path)
 
-    worker = _ShardWorker(shards, rules, key_list, strip_whitespace, engine)
+    worker = _ShardWorker(shards, rules, key_list, strip_whitespace, engine, skip)
     indices = range(len(shards))
     if use_processes is None:
         use_processes = True
@@ -345,4 +379,9 @@ def run_sharded(
             prologue_ids=shards.prologue_ids,
         )
 
-    return ShardedRun(instances=instances, violations=violations, shards=len(shards))
+    return ShardedRun(
+        instances=instances,
+        violations=violations,
+        shards=len(shards),
+        skipped_subtrees=sum(output.skipped_subtrees for output in outputs),
+    )

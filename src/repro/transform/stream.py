@@ -50,7 +50,16 @@ from repro.relational.instance import NULL, RelationInstance, Row, Value
 from repro.relational.schema import DatabaseSchema, RelationSchema
 from repro.transform.rule import TableRule, Transformation
 from repro.transform.table_tree import TableTree
-from repro.xmlmodel.events import ATTR, END, START, TEXT, Event, EventSource, as_events
+from repro.xmlmodel.events import (
+    ATTR,
+    END,
+    SKIP,
+    START,
+    TEXT,
+    Event,
+    EventSource,
+    as_events,
+)
 from repro.xmlmodel.matching import PathNFA
 from repro.xmlmodel.nodes import AttributeNode, ElementNode, Node, TextNode
 from repro.xmlmodel.tree import XMLTree
@@ -187,10 +196,17 @@ class RuleStreamer:
         self._finished = False
         #: Rows completed so far and not yet drained by the caller.
         self.ready: List[Dict[str, Value]] = []
-        #: (parent state vector, tag) → (child vector, matching anchors)
+        #: Depth inside a *dead region*: a subtree whose root advanced every
+        #: anchor NFA to the empty state without matching, under a parent
+        #: that captures nothing.  No anchor (element or attribute) can fire
+        #: anywhere below such an element — an exact automaton fact, true on
+        #: any document — so events inside it only bump this counter.
+        self._dead_depth = 0
+        #: (parent state vector, tag) → (child vector, matching anchors,
+        #: vector is dead: no match and no live state)
         self._vector_cache: Dict[
             Tuple[Tuple[frozenset, ...], str],
-            Tuple[Tuple[frozenset, ...], Optional[List[_Anchor]]],
+            Tuple[Tuple[frozenset, ...], Optional[List[_Anchor]], bool],
         ] = {}
         self._initial_vector = tuple(anchor.nfa.initial for anchor in self.anchors)
         self._initial_matched = [
@@ -217,6 +233,9 @@ class RuleStreamer:
         kind = event.kind
         frames = self._frames
         if kind == START:
+            if self._dead_depth:
+                self._dead_depth += 1
+                return
             tag = event.name
             if frames:
                 parent = frames[-1]
@@ -234,10 +253,13 @@ class RuleStreamer:
                         for i, anchor in enumerate(self.anchors)
                         if anchor.nfa.matches(states[i])
                     ] or None
-                    cached = (states, matched)
+                    cached = (states, matched, not matched and not any(states))
                     self._vector_cache[cache_key] = cached
-                states, matched = cached
+                states, matched, vector_dead = cached
                 capturing = parent.node is not None
+                if vector_dead and not capturing:
+                    self._dead_depth = 1
+                    return
             else:
                 states = self._initial_vector
                 matched = self._initial_matched
@@ -249,6 +271,8 @@ class RuleStreamer:
                     frames[-1].node.append_child(node)
             frames.append(_Frame(states, node, matched))
         elif kind == ATTR:
+            if self._dead_depth:
+                return
             frame = frames[-1]
             if frame.node is not None:
                 frame.node.set_attribute(event.name, event.value or "")
@@ -257,12 +281,17 @@ class RuleStreamer:
                     frame.pending_attrs = {}
                 frame.pending_attrs[event.name] = event.value or ""
         elif kind == TEXT:
+            if self._dead_depth:
+                return
             frame = frames[-1]
             if not frame.attrs_done:
                 self._resolve_attr_anchors(frame)
             if frame.node is not None:
                 frame.node.append_child(TextNode(event.value or ""))
         elif kind == END:
+            if self._dead_depth:
+                self._dead_depth -= 1
+                return
             frame = frames.pop()
             if not frame.attrs_done:
                 self._resolve_attr_anchors(frame)
@@ -272,6 +301,17 @@ class RuleStreamer:
             if not frames and self.root_fields and frame.node is not None:
                 row = {field: XMLTree.value(frame.node) for field in self.root_fields}
                 self._emit(row)
+        elif kind == SKIP:
+            # A skipped subtree.  The skip plane only fast-forwards labels
+            # whose entire subtree is invisible to every interesting path —
+            # and rules that capture element values disable skipping outright
+            # — so there is nothing to bind here.  The parent's attribute
+            # section is complete (a child element appeared).
+            if self._dead_depth or not frames:
+                return
+            frame = frames[-1]
+            if not frame.attrs_done:
+                self._resolve_attr_anchors(frame)
 
     def _resolve_attr_anchors(self, frame: _Frame) -> None:
         """Match attribute-anchored variables once the attr section closed.
@@ -538,6 +578,7 @@ def iter_rule_rows(
     deduplicate: bool = False,
     strip_whitespace: bool = True,
     engine: Optional[str] = None,
+    plan=None,
 ) -> Iterator[Dict[str, Value]]:
     """Lazily yield the rows ``Rule(R)`` produces over ``source``.
 
@@ -545,9 +586,16 @@ def iter_rule_rows(
     single-anchor rules).  The bag of rows equals
     ``evaluate_rule(rule, tree, deduplicate=False)``; with
     ``deduplicate=True`` each distinct row is yielded once (set semantics).
+    ``plan`` is an optional compiled :class:`~repro.xmlmodel.static
+    .StaticPlan` whose skip set (empty whenever any rule captures element
+    values) lets the tokenizer fast-forward schema-invisible subtrees with
+    identical rows.
     """
+    skip = plan.skipset if plan is not None and plan.skipset else None
     streamer = RuleStreamer(rule, deduplicate=deduplicate)
-    for event in as_events(source, strip_whitespace=strip_whitespace, engine=engine):
+    for event in as_events(
+        source, strip_whitespace=strip_whitespace, engine=engine, skip=skip
+    ):
         streamer.feed(event)
         if streamer.ready:
             yield from streamer.drain()
@@ -562,6 +610,7 @@ def stream_evaluate_rule(
     deduplicate: bool = True,
     strip_whitespace: bool = True,
     engine: Optional[str] = None,
+    plan=None,
 ) -> RelationInstance:
     """Streaming counterpart of :func:`repro.transform.evaluate.evaluate_rule`."""
     target_schema = schema if schema is not None else rule.schema()
@@ -572,6 +621,7 @@ def stream_evaluate_rule(
         deduplicate=deduplicate,
         strip_whitespace=strip_whitespace,
         engine=engine,
+        plan=plan,
     ):
         instance.add_row(row)
     return instance
@@ -625,6 +675,7 @@ class StreamShredder:
         strip_whitespace: bool = True,
         jobs: Optional[int] = None,
         engine: Optional[str] = None,
+        plan=None,
     ) -> Dict[str, RelationInstance]:
         """Shred ``source`` completely and return the relation instances.
 
@@ -633,7 +684,10 @@ class StreamShredder:
         unchanged; higher values shard string sources at top-level anchor
         boundaries and map them onto a process pool, with a byte-identical
         merged result (and an automatic serial fallback whenever the
-        document or a rule cannot be sharded).
+        document or a rule cannot be sharded).  ``plan`` is an optional
+        compiled :class:`~repro.xmlmodel.static.StaticPlan` whose skip set
+        (empty whenever any rule captures element values) fast-forwards
+        schema-invisible subtrees at the tokenizer, rows unchanged.
         """
         from repro.parallel import resolve_jobs, run_sharded
 
@@ -648,10 +702,14 @@ class StreamShredder:
                 strip_whitespace=strip_whitespace,
                 jobs=jobs,
                 engine=engine,
+                plan=plan,
             )
             self._instances = dict(run.instances or {})
             return dict(self._instances)
-        for event in as_events(source, strip_whitespace=strip_whitespace, engine=engine):
+        skip = plan.skipset if plan is not None and plan.skipset else None
+        for event in as_events(
+            source, strip_whitespace=strip_whitespace, engine=engine, skip=skip
+        ):
             self.feed(event)
         return self.finish()
 
@@ -664,9 +722,10 @@ def stream_evaluate_transformation(
     strip_whitespace: bool = True,
     jobs: Optional[int] = None,
     engine: Optional[str] = None,
+    plan=None,
 ) -> Dict[str, RelationInstance]:
     """Streaming counterpart of :func:`evaluate_transformation` (one pass)."""
     shredder = StreamShredder(transformation, schema=schema, deduplicate=deduplicate)
     return shredder.run(
-        source, strip_whitespace=strip_whitespace, jobs=jobs, engine=engine
+        source, strip_whitespace=strip_whitespace, jobs=jobs, engine=engine, plan=plan
     )

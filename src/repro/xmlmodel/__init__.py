@@ -25,6 +25,7 @@ from repro.xmlmodel.parser import parse_document, XMLSyntaxError
 from repro.xmlmodel.events import (
     ATTR,
     END,
+    SKIP,
     START,
     TEXT,
     Event,
@@ -33,6 +34,13 @@ from repro.xmlmodel.events import (
     iter_events,
     iter_tree_events,
     tree_from_events,
+)
+from repro.xmlmodel.static import (
+    LabelGraph,
+    SkipSet,
+    SpecializedNFA,
+    StaticPlan,
+    compile_plan,
 )
 from repro.xmlmodel.accel import (
     ENGINE_ENV,
@@ -72,9 +80,15 @@ __all__ = [
     "XMLSyntaxError",
     "ATTR",
     "END",
+    "SKIP",
     "START",
     "TEXT",
     "Event",
+    "LabelGraph",
+    "SkipSet",
+    "SpecializedNFA",
+    "StaticPlan",
+    "compile_plan",
     "as_events",
     "element_from_events",
     "iter_events",

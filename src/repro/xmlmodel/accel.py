@@ -54,7 +54,7 @@ import re
 from contextlib import contextmanager
 from typing import Callable, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
-from repro.xmlmodel.events import ATTR, END, START, TEXT, Event
+from repro.xmlmodel.events import ATTR, END, SKIP, START, TEXT, Event
 from repro.xmlmodel.parser import XMLSyntaxError
 
 #: Environment variable consulted when ``engine`` is not given explicitly.
@@ -297,7 +297,9 @@ def _gc_paused():
 # The expat event stream
 # ----------------------------------------------------------------------
 def _expat_segments(
-    pieces: Sequence[Union[str, bytes, memoryview]], strip_whitespace: bool
+    pieces: Sequence[Union[str, bytes, memoryview]],
+    strip_whitespace: bool,
+    skip=None,
 ) -> Iterator[List[Event]]:
     """Parse ``pieces`` with expat, yielding batches of pure-dialect events.
 
@@ -306,6 +308,17 @@ def _expat_segments(
     accelerated plane, hence the caching: START/END events are interned
     per tag, so the steady state allocates one tuple per *distinct*
     element name rather than two per element.
+
+    With a ``skip`` set the handlers run in one of two modes: normal
+    event emission, or (between a skippable non-root start tag and its
+    matching end) a count-only mode that verifies every interior tag and
+    tallies the node ids the subtree would have consumed, emitting a
+    single SKIP event at the close.  A tag the set cannot verify raises
+    :exc:`_Fallback` — expat cannot rewind, but the pure replay runs with
+    the *same* skip set and the skip decision is a deterministic function
+    of (document, skip set), so the replayed stream reproduces the
+    delivered prefix exactly (then tokenizes the offending region
+    normally, which is the correct continuation).
     """
     expat_mod = _expat_module()
     parser = expat_mod.ParserCreate()
@@ -378,6 +391,91 @@ def _expat_segments(
             if keep_all or (content and not content.isspace()):
                 append(tuple_new(Event, (TEXT, "#text", content)))
 
+    if skip:
+        skip_attempt = skip.attempt
+        # Inline SkipSet.verifies: a dict probe defaulting to the anonymous
+        # "any other label" verdict.  This runs once per elided element.
+        skip_verdict = skip.verdicts.get
+        skip_other = skip.other_safe
+        depth = 0  # open elements in normal mode (the root is never skipped)
+        skip_depth = 0
+        skip_ids = 0
+        skip_tag = ""
+        plain_start = start_element
+        plain_end = end_element
+        plain_flush = flush_misc
+
+        def start_element(name, attrs):  # noqa: F811 - skip-aware wrapper
+            nonlocal depth, skip_depth, skip_ids, skip_tag
+            if skip_depth:
+                if not skip_verdict(name, skip_other):
+                    raise _Fallback  # the pure replay re-decides identically
+                if parts:
+                    # Count the text run the full stream would have
+                    # emitted without joining the pieces: the id tally
+                    # needs only "would a text event flush here", which
+                    # is "some piece has a non-space character" (or any
+                    # flush at all in keep-whitespace mode).
+                    if keep_all:
+                        skip_ids += 1
+                    else:
+                        for piece in parts:
+                            if piece and not piece.isspace():
+                                skip_ids += 1
+                                break
+                    parts.clear()
+                skip_depth += 1
+                # One id for the element, one per attribute (expat rejects
+                # duplicate names, so every pair is distinct).
+                skip_ids += 1 + (len(attrs) >> 1)
+                return
+            if depth and name in skip_attempt:
+                if parts:  # text preceding the subtree is real output
+                    content = "".join(parts)
+                    parts.clear()
+                    if keep_all or (content and not content.isspace()):
+                        append(tuple_new(Event, (TEXT, "#text", content)))
+                skip_depth = 1
+                skip_tag = name
+                skip_ids = 1 + (len(attrs) >> 1)
+                return
+            depth += 1
+            plain_start(name, attrs)
+
+        def end_element(name):  # noqa: F811 - skip-aware wrapper
+            nonlocal depth, skip_depth, skip_ids
+            if skip_depth:
+                if parts:
+                    if keep_all:
+                        skip_ids += 1
+                    else:
+                        for piece in parts:
+                            if piece and not piece.isspace():
+                                skip_ids += 1
+                                break
+                    parts.clear()
+                skip_depth -= 1
+                if not skip_depth:
+                    append(tuple_new(Event, (SKIP, skip_tag, skip_ids)))
+                return
+            depth -= 1
+            plain_end(name)
+
+        def flush_misc(*_unused):  # noqa: F811 - skip-aware wrapper
+            nonlocal skip_ids
+            if skip_depth:
+                if parts:
+                    if keep_all:
+                        skip_ids += 1
+                    else:
+                        for piece in parts:
+                            if piece and not piece.isspace():
+                                skip_ids += 1
+                                break
+                    parts.clear()
+                return
+            plain_flush()
+
     parser.StartElementHandler = start_element
     parser.EndElementHandler = end_element
     parser.CharacterDataHandler = parts_append  # C-to-C, no Python frame
@@ -413,13 +511,18 @@ def _expat_segments(
 
 
 def _lxml_segments(
-    pieces: Sequence[Union[str, bytes, memoryview]], strip_whitespace: bool
+    pieces: Sequence[Union[str, bytes, memoryview]],
+    strip_whitespace: bool,
+    skip=None,
 ) -> Iterator[List[Event]]:
     """The lxml tier: same contract as :func:`_expat_segments`.
 
     Only reachable when lxml is installed and explicitly selected (or
     wins the ``accel`` probe); the replay fallback and the differential
-    suite provide the same oracle guarantee as for expat.
+    suite provide the same oracle guarantee as for expat.  ``skip`` is
+    accepted for signature uniformity but ignored (``_stream`` nulls it
+    for this backend): the lxml stream simply contains no SKIP events,
+    which every consumer handles correctly.
     """
     etree = _lxml_module()
 
@@ -491,6 +594,7 @@ def _stream(
     pieces: Sequence[Union[str, bytes, memoryview]],
     strip_whitespace: bool,
     replay_text: Callable[[], str],
+    skip=None,
 ) -> Iterator[Event]:
     """Run a C backend over ``pieces``; replay pure on any parse error.
 
@@ -509,17 +613,25 @@ def _stream(
     and pulled the next one.
     """
 
+    if backend == LXML:
+        skip = None  # lxml never skips; its replay must not either
+
     def batches() -> Iterator[Iterable[Event]]:
         from repro.xmlmodel import events as events_mod
 
         emitted = 0
         try:
-            for batch in _SEGMENT_SOURCES[backend](pieces, strip_whitespace):
+            for batch in _SEGMENT_SOURCES[backend](pieces, strip_whitespace, skip):
                 yield batch
                 emitted += len(batch)
         except _Fallback:
+            # The replay runs with the *same* skip set: skip decisions are
+            # a deterministic function of (document, skip set), so the
+            # pure stream reproduces the delivered prefix event-for-event
+            # and the count-based resume stays exact.
             pure = events_mod.iter_events(
-                replay_text(), strip_whitespace=strip_whitespace, engine=PURE
+                replay_text(), strip_whitespace=strip_whitespace, engine=PURE,
+                skip=skip,
             )
             if emitted:
                 next(itertools.islice(pure, emitted, emitted), None)
@@ -535,6 +647,7 @@ def _buffer_events(
     data: Union[str, bytes, bytearray, memoryview, "mmap.mmap"],
     strip_whitespace: bool,
     backend: str,
+    skip=None,
 ) -> Iterator[Event]:
     """Tokenize one fully materialized document with a C backend."""
     from repro.xmlmodel import events as events_mod
@@ -546,7 +659,8 @@ def _buffer_events(
 
     def pure() -> Iterator[Event]:
         return events_mod.iter_events(
-            replay_text(), strip_whitespace=strip_whitespace, engine=PURE
+            replay_text(), strip_whitespace=strip_whitespace, engine=PURE,
+            skip=skip,
         )
 
     if _diverges(data):
@@ -564,10 +678,12 @@ def _buffer_events(
         body: Union[str, memoryview] = data if root == 0 else data[root:]
     else:
         body = memoryview(data)[root:]
-    return _stream(backend, (body,), strip_whitespace, replay_text)
+    return _stream(backend, (body,), strip_whitespace, replay_text, skip)
 
 
-def _mapped_events(path: str, strip_whitespace: bool, backend: str) -> Iterator[Event]:
+def _mapped_events(
+    path: str, strip_whitespace: bool, backend: str, skip=None
+) -> Iterator[Event]:
     """Tokenize a file by path: ``mmap`` it and feed the map zero-copy.
 
     The mapping is released by a terminal link in the returned chain
@@ -585,11 +701,11 @@ def _mapped_events(path: str, strip_whitespace: bool, backend: str) -> Iterator[
             data = handle.read()
         finally:
             handle.close()
-        return _buffer_events(data, strip_whitespace, backend)
+        return _buffer_events(data, strip_whitespace, backend, skip)
     except BaseException:
         handle.close()
         raise
-    inner = _buffer_events(mapped, strip_whitespace, backend)
+    inner = _buffer_events(mapped, strip_whitespace, backend, skip)
     return itertools.chain(inner, _release_mapping(mapped, handle))
 
 
@@ -618,7 +734,7 @@ def _materialize(source) -> Union[str, bytes]:
 
 
 def accelerated_events(
-    source, strip_whitespace: bool, resolved: str
+    source, strip_whitespace: bool, resolved: str, skip=None
 ) -> Optional[Iterator[Event]]:
     """The accelerated side of :func:`repro.xmlmodel.events.iter_events`.
 
@@ -638,16 +754,16 @@ def accelerated_events(
         ):
             if len(source) < _AUTO_THRESHOLD:
                 return None
-            return _buffer_events(source, strip_whitespace, backend)
+            return _buffer_events(source, strip_whitespace, backend, skip)
         if hasattr(source, "__fspath__"):
-            return _mapped_events(os.fspath(source), strip_whitespace, backend)
+            return _mapped_events(os.fspath(source), strip_whitespace, backend, skip)
         return None
     backend = resolved
     if isinstance(source, (str, bytes, bytearray, memoryview, mmap.mmap)):
-        return _buffer_events(source, strip_whitespace, backend)
+        return _buffer_events(source, strip_whitespace, backend, skip)
     if hasattr(source, "__fspath__"):
-        return _mapped_events(os.fspath(source), strip_whitespace, backend)
-    return _buffer_events(_materialize(source), strip_whitespace, backend)
+        return _mapped_events(os.fspath(source), strip_whitespace, backend, skip)
+    return _buffer_events(_materialize(source), strip_whitespace, backend, skip)
 
 
 # ----------------------------------------------------------------------
@@ -658,6 +774,7 @@ def fragment_byte_events(
     fragment: Union[bytes, bytearray, memoryview],
     strip_whitespace: bool = True,
     engine: Optional[str] = None,
+    skip=None,
 ) -> Iterator[Event]:
     """Byte-buffer counterpart of :func:`repro.xmlmodel.shards.fragment_events`.
 
@@ -675,7 +792,7 @@ def fragment_byte_events(
 
         yield from shards.fragment_events(
             root_tag, decode_buffer(fragment), strip_whitespace=strip_whitespace,
-            engine=PURE,
+            engine=PURE, skip=skip,
         )
         return
 
@@ -687,7 +804,7 @@ def fragment_byte_events(
         memoryview(fragment),
         f"</{root_tag}>".encode("utf-8"),
     )
-    events = _stream(backend, pieces, strip_whitespace, replay_text)
+    events = _stream(backend, pieces, strip_whitespace, replay_text, skip)
     next(events)  # the synthetic root START (present even on replay)
     pending = next(events, None)
     for event in events:

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from repro.keys.key import XMLKey
 from repro.xmlmodel.nodes import ElementNode
@@ -73,6 +73,9 @@ class ElementDecl:
 
     name: str
     content_model: str  # raw content model text, e.g. "(title, chapter*)"
+    _allowed: Optional[FrozenSet[str]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     @property
     def is_empty(self) -> bool:
@@ -86,13 +89,21 @@ class ElementDecl:
     def allows_text(self) -> bool:
         return "#PCDATA" in self.content_model or self.is_any
 
-    def allowed_children(self) -> Set[str]:
-        """Child element names mentioned in the content model."""
+    def allowed_children(self) -> FrozenSet[str]:
+        """Child element names mentioned in the content model (cached)."""
+        cached = self._allowed
+        if cached is not None:
+            return cached
         if self.is_empty:
-            return set()
-        model = self.content_model.replace("#PCDATA", " ")
-        names = re.findall(r"[A-Za-z_][\w.\-]*", model)
-        return {name for name in names if name.upper() not in {"EMPTY", "ANY"}}
+            cached = frozenset()
+        else:
+            model = self.content_model.replace("#PCDATA", " ")
+            names = re.findall(r"[A-Za-z_][\w.\-]*", model)
+            cached = frozenset(
+                name for name in names if name.upper() not in {"EMPTY", "ANY"}
+            )
+        self._allowed = cached
+        return cached
 
 
 @dataclass(frozen=True)
@@ -320,6 +331,252 @@ def keys_from_dtd(dtd: DTD) -> List[XMLKey]:
             XMLKey(".", f"//{decl.element}", {decl.name}, name=f"dtd_id_{decl.element}_{decl.name}")
         )
     return keys
+
+
+# ----------------------------------------------------------------------
+# Validate-while-shredding: the streaming DTD validator
+# ----------------------------------------------------------------------
+class _ValidatorFrame:
+    """Per-open-element state of :class:`DTDStreamValidator`."""
+
+    __slots__ = (
+        "label",
+        "decl",
+        "node_id",
+        "seq",
+        "own",
+        "child_viols",
+        "attr_viols",
+        "attrs",
+        "attrs_done",
+    )
+
+    def __init__(self, label: str, decl: Optional[ElementDecl], node_id: int, seq: int):
+        self.label = label
+        self.decl = decl
+        self.node_id = node_id
+        self.seq = seq
+        self.own: List[DTDViolation] = []
+        self.child_viols: List[DTDViolation] = []
+        self.attr_viols: List[DTDViolation] = []
+        self.attrs: Dict[str, str] = {}
+        self.attrs_done = False
+
+
+class DTDStreamValidator:
+    """Run the :meth:`DTD.validate` checks over an event stream.
+
+    Feeding the event stream of a document (``iter_events``) and calling
+    :meth:`finish` yields *exactly* the violation list :meth:`DTD.validate`
+    produces on the parsed tree — same kinds, same detail strings, same
+    node ids, same order — without materializing a DOM.  This is the
+    validate-while-shredding plane: the checker/shredder pass and the DTD
+    validation share one tokenization.
+
+    Order parity works as follows: the DOM validator walks elements in
+    pre-order, emitting each element's child violations then its attribute
+    violations as one block.  The stream sees child violations as they
+    happen and finishes an element's attribute section at its first
+    content event, so blocks complete out of order for nested elements;
+    each completed block is therefore buffered with the element's
+    pre-order sequence number and the blocks are stitched back into
+    pre-order at :meth:`finish`.  Global ID/IDREF state is keyed by the
+    attribute-section *finish* times, which occur in pre-order — the same
+    order the DOM validator visits them.
+    """
+
+    def __init__(self, dtd: DTD) -> None:
+        self.dtd = dtd
+        self._frames: List[_ValidatorFrame] = []
+        self._blocks: List[Tuple[int, List[DTDViolation]]] = []
+        self._next_id = 0
+        self._seq = 0
+        self._seen_ids: Dict[str, int] = {}
+        self._referenced: List[Tuple[str, Optional[int]]] = []
+        self._root_violation: Optional[DTDViolation] = None
+        self._declared_cache: Dict[str, Dict[str, AttributeDecl]] = {}
+
+    # ------------------------------------------------------------------
+    def _declared_for(self, label: str) -> Dict[str, AttributeDecl]:
+        cached = self._declared_cache.get(label)
+        if cached is None:
+            cached = {decl.name: decl for decl in self.dtd.attributes_of(label)}
+            self._declared_cache[label] = cached
+        return cached
+
+    def _finish_attrs(self, frame: _ValidatorFrame) -> None:
+        frame.attrs_done = True
+        if frame.decl is None:
+            # The DOM validator skips every per-element check of an
+            # undeclared element (including ID collection).
+            return
+        declared = self._declared_for(frame.label)
+        out = frame.attr_viols
+        for name, value in frame.attrs.items():
+            decl = declared.get(name)
+            if decl is None:
+                out.append(
+                    DTDViolation(
+                        kind="undeclared-attribute",
+                        detail=f"attribute @{name} of <{frame.label}> is not declared",
+                        node_id=frame.node_id,
+                    )
+                )
+                continue
+            if decl.is_fixed and decl.fixed_value is not None and value != decl.fixed_value:
+                out.append(
+                    DTDViolation(
+                        kind="fixed-attribute-mismatch",
+                        detail=(
+                            f"attribute @{name} of <{frame.label}> must be "
+                            f"{decl.fixed_value!r}, found {value!r}"
+                        ),
+                        node_id=frame.node_id,
+                    )
+                )
+            if decl.is_id:
+                if value in self._seen_ids:
+                    out.append(
+                        DTDViolation(
+                            kind="duplicate-id",
+                            detail=f"ID value {value!r} is used more than once",
+                            node_id=frame.node_id,
+                        )
+                    )
+                else:
+                    self._seen_ids[value] = frame.node_id or -1
+            if decl.is_idref:
+                for token in value.split():
+                    self._referenced.append((token, frame.node_id))
+        for name, decl in declared.items():
+            if decl.is_required and name not in frame.attrs:
+                out.append(
+                    DTDViolation(
+                        kind="missing-required-attribute",
+                        detail=f"element <{frame.label}> lacks required attribute @{name}",
+                        node_id=frame.node_id,
+                    )
+                )
+
+    # ------------------------------------------------------------------
+    def feed(self, event) -> None:
+        kind = event.kind
+        frames = self._frames
+        if kind == "start":
+            node_id = self._next_id
+            self._next_id += 1
+            seq = self._seq
+            self._seq += 1
+            tag = event.name
+            if frames:
+                parent = frames[-1]
+                if not parent.attrs_done:
+                    self._finish_attrs(parent)
+                pdecl = parent.decl
+                if (
+                    pdecl is not None
+                    and not pdecl.is_any
+                    and tag not in pdecl.allowed_children()
+                ):
+                    parent.child_viols.append(
+                        DTDViolation(
+                            kind="unexpected-child",
+                            detail=(
+                                f"element <{parent.label}> does not allow child <{tag}> "
+                                f"(content model: {pdecl.content_model})"
+                            ),
+                            node_id=node_id,
+                        )
+                    )
+            elif self.dtd.root_name and tag != self.dtd.root_name:
+                self._root_violation = DTDViolation(
+                    kind="wrong-root",
+                    detail=(
+                        f"document root is <{tag}>, DTD declares <{self.dtd.root_name}>"
+                    ),
+                    node_id=node_id,
+                )
+            decl = self.dtd.elements.get(tag)
+            frame = _ValidatorFrame(tag, decl, node_id, seq)
+            if decl is None:
+                frame.own.append(
+                    DTDViolation(
+                        kind="undeclared-element",
+                        detail=f"element <{tag}> is not declared",
+                        node_id=node_id,
+                    )
+                )
+            frames.append(frame)
+        elif kind == "attr":
+            frame = frames[-1]
+            if event.name not in frame.attrs:
+                self._next_id += 1  # repeated names replace in place, no new id
+            frame.attrs[event.name] = event.value
+        elif kind == "text":
+            frame = frames[-1]
+            if not frame.attrs_done:
+                self._finish_attrs(frame)
+            self._next_id += 1
+            decl = frame.decl
+            if decl is not None and event.value.strip() and not decl.allows_text:
+                frame.child_viols.append(
+                    DTDViolation(
+                        kind="unexpected-text",
+                        detail=f"element <{frame.label}> does not allow character data",
+                        node_id=frame.node_id,
+                    )
+                )
+        elif kind == "end":
+            frame = frames.pop()
+            if not frame.attrs_done:
+                self._finish_attrs(frame)
+            block = frame.own + frame.child_viols + frame.attr_viols
+            if block:
+                self._blocks.append((frame.seq, block))
+        elif kind == "skip":
+            # Defensive: validation passes never run with a skip set (a
+            # skipped subtree is by definition unvalidated), but keep the
+            # node-id accounting coherent if one ever arrives.
+            frame = frames[-1]
+            if not frame.attrs_done:
+                self._finish_attrs(frame)
+            self._next_id += event.value
+
+    # ------------------------------------------------------------------
+    def finish(self) -> List[DTDViolation]:
+        """Close the pass and return the violations in DOM-validator order."""
+        violations: List[DTDViolation] = []
+        if self._root_violation is not None:
+            violations.append(self._root_violation)
+        self._blocks.sort(key=lambda item: item[0])
+        for _, block in self._blocks:
+            violations.extend(block)
+        for value, node_id in self._referenced:
+            if value not in self._seen_ids:
+                violations.append(
+                    DTDViolation(
+                        kind="dangling-idref",
+                        detail=f"IDREF value {value!r} does not match any ID in the document",
+                        node_id=node_id,
+                    )
+                )
+        return violations
+
+
+def stream_dtd_violations(
+    source,
+    dtd: DTD,
+    strip_whitespace: bool = True,
+    engine: Optional[str] = None,
+) -> List[DTDViolation]:
+    """Validate ``source`` against ``dtd`` in one streaming pass."""
+    from repro.xmlmodel.events import iter_events
+
+    validator = DTDStreamValidator(dtd)
+    feed = validator.feed
+    for event in iter_events(source, strip_whitespace=strip_whitespace, engine=engine):
+        feed(event)
+    return validator.finish()
 
 
 def existence_facts(dtd: DTD) -> Dict[str, Set[str]]:

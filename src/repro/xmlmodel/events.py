@@ -54,6 +54,7 @@ START = "start"
 ATTR = "attr"
 TEXT = "text"
 END = "end"
+SKIP = "skip"
 
 
 class Event(NamedTuple):
@@ -66,7 +67,18 @@ class Event(NamedTuple):
     ``attr``      attribute name          attribute value
     ``text``      ``"#text"``             character data
     ``end``       element tag             ``None``
+    ``skip``      element tag             node-id count (``int``)
     ============  ======================  =========================
+
+    A ``skip`` event replaces the whole event run of one element — its
+    ``start``, ``attr`` s, content and ``end`` — when a
+    :class:`~repro.xmlmodel.static.SkipSet` proved the subtree irrelevant
+    and the tokenizer fast-forwarded over it.  Its ``value`` carries (as
+    an ``int`` in the otherwise-``str`` value slot) the number of node
+    identifiers the subtree would have consumed: one per element, one per
+    attribute occurrence, one per text event the normal tokenization
+    would have flushed.  Consumers that count events for paper-compatible
+    node ids advance their counter by that amount and move on.
     """
 
     kind: str
@@ -101,6 +113,27 @@ _NAME_RE = re.compile(r"[^\s=<>/?\"']+")
 _ATTR_RE = re.compile(r"\s*([^\s=<>/?\"']+)\s*=\s*(?:\"([^\"]*)\"|'([^']*)')")
 _END_TAG_RE = re.compile(r"([^\s=<>/?\"']+)\s*>")
 
+# Bulk skip machinery: the fast-forward of `_skip_string_subtree` first
+# tries to account for a whole region with a handful of C-level scans
+# (`str.count`, `findall`, one anchored validation match) instead of a
+# per-tag Python walk.  Any doubt — entities, comments, PIs, CDATA,
+# unbalanced counts, a tag shape outside the plain `<name attr="v">`
+# grammar — punts back to the exact walk, which remains the authority.
+# The \x00 exclusions keep the validation anchored to one tag span at a
+# time once the spans are joined on "\x00".
+_TAG_SPLIT_RE = re.compile(r"(<[^>]*>)")
+_OPEN_NAME_RE = re.compile(r"<([^\s=<>/?\"']+)")
+_SIMPLE_TAG_RE = re.compile(r"<(?:/([^\s=<>/?\"']+)\s*|([^\s=<>/?\"']+)\s*/?)>\Z")
+_TAGS_OK_RE = re.compile(
+    r"(?:(?:<[^\s=<>/?\"'\x00]+"
+    r"(?:\s*[^\s=<>/?\"'\x00]+\s*=\s*(?:\"[^\"\x00]*\"|'[^'\x00]*'))*"
+    r"\s*/?>"
+    r"|</[^\s=<>/?\"'\x00]+\s*>)\x00)+\Z"
+)
+_BULK_ATTR_RE = re.compile(
+    r"[\s\"']([^\s=<>/?\"'\x00]+)\s*=\s*(?:\"[^\"\x00]*\"|'[^'\x00]*')"
+)
+
 
 # ----------------------------------------------------------------------
 # Public API
@@ -110,6 +143,7 @@ def iter_events(
     strip_whitespace: bool = True,
     chunk_size: int = _DEFAULT_CHUNK,
     engine: Optional[str] = None,
+    skip=None,
 ) -> Iterator[Event]:
     """Tokenize an XML document into a stream of events.
 
@@ -129,19 +163,43 @@ def iter_events(
       could disagree);
     * ``auto`` — accelerate in-memory strings, buffers and paths; keep
       file-like objects and chunk iterables on the pure incremental
-      tokenizer, preserving its bounded-memory contract.
+      tokenizer, preserving its bounded-memory contract.  When a
+      non-empty ``skip`` set accompanies an in-memory string, ``auto``
+      prefers the pure scanner: its bulk fast-forward elides skippable
+      regions at C speed, which beats a C parser that must still visit
+      every node.
 
     On the pure path a fully in-memory string takes a specialized
     single-buffer scanner (the hot path of the shredding benchmarks);
     everything else runs through the incremental chunked tokenizer.  All
     backends accept the same dialect and raise the same errors (pinned
     against each other, and against the DOM parser, by the test suite).
+
+    ``skip`` is an optional :class:`~repro.xmlmodel.static.SkipSet`: when a
+    non-root element opens whose label the set marks skippable, the
+    tokenizer fast-forwards to the matching close tag without
+    materializing the subtree's events, emitting one ``skip`` event in
+    their place.  Every tag inside the fast-forwarded region is verified
+    against the set; an unverifiable tag aborts the attempt and the region
+    tokenizes normally, so the (document, skip set) pair fully determines
+    the stream — including on documents that violate the schema the set
+    was compiled from.  The in-memory string scanner and the expat backend
+    implement skipping; the bounded-memory chunked tokenizer and the lxml
+    backend accept the parameter but always tokenize in full (their
+    streams simply contain no ``skip`` events, which is also correct).
     """
     from repro.xmlmodel import accel
 
     resolved = accel.resolve_engine(engine)
+    if resolved == accel.AUTO and skip and isinstance(source, str):
+        # Under a selective plan the pure scanner is the fastest backend:
+        # its bulk fast-forward settles skippable regions with a few
+        # C-level scans, while a C parser still pays a Python callback
+        # per element it visits.  Explicit engine requests (argument or
+        # environment variable) are honored unchanged.
+        return _string_events(source, strip_whitespace, skip)
     if resolved != accel.PURE:
-        accelerated = accel.accelerated_events(source, strip_whitespace, resolved)
+        accelerated = accel.accelerated_events(source, strip_whitespace, resolved, skip)
         if accelerated is not None:
             return accelerated
     if hasattr(source, "__fspath__"):
@@ -151,7 +209,7 @@ def iter_events(
     if isinstance(source, _BUFFER_TYPES):
         source = accel.decode_buffer(source)
     if isinstance(source, str):
-        return _string_events(source, strip_whitespace)
+        return _string_events(source, strip_whitespace, skip)
     return _Tokenizer(_chunks_of(source, chunk_size), strip_whitespace).events()
 
 
@@ -218,11 +276,18 @@ def _skip_string_misc(source: str, pos: int) -> int:
             return pos
 
 
-def _string_events(source: str, strip_whitespace: bool) -> Iterator[Event]:
+def _string_events(source: str, strip_whitespace: bool, skip=None) -> Iterator[Event]:
     """Tokenizer fast path over a complete in-memory string."""
     length = len(source)
     find = source.find
     startswith = source.startswith
+
+    if skip:
+        skip_attempt = skip.attempt
+        skip_verifies = skip.verifies
+    else:
+        skip_attempt = None
+        skip_verifies = None
 
     pos = _skip_string_prolog(source)
     if pos >= length or source[pos] != "<":
@@ -241,6 +306,18 @@ def _string_events(source: str, strip_whitespace: bool) -> Iterator[Event]:
                 raise XMLSyntaxError("expected a name", pos)
             name = match.group()
             pos = match.end()
+            # Any pending text was flushed before need_element was set, so
+            # a successful fast-forward replaces the element's whole event
+            # run with one SKIP event and nothing is reordered.
+            if skip_attempt is not None and stack and name in skip_attempt:
+                skipped = _skip_string_subtree(
+                    source, pos, name, skip_verifies, not strip_whitespace
+                )
+                if skipped is not None:
+                    pos, id_count = skipped
+                    yield Event(SKIP, name, id_count)
+                    need_element = False
+                    continue
             yield Event(START, name)
             while True:
                 # fast path: well-formed ``name="value"`` attributes
@@ -386,6 +463,215 @@ def _string_events(source: str, strip_whitespace: bool) -> Iterator[Event]:
         raise XMLSyntaxError("content after the root element", pos)
 
 
+def _skip_bulk_region(source, pos, name, verifies, keep_all):
+    """Account for the whole content of ``name`` with C-level scans.
+
+    ``pos`` is just past the ``>`` of the opening tag.  On success returns
+    ``(end_pos, interior_ids)``: the position just past the matching close
+    tag and the node identifiers the normal tokenization would spend on
+    everything strictly inside the element.  Returns ``None`` to punt to
+    the per-tag walk — on any entity/comment/PI/CDATA, any count the bulk
+    arithmetic cannot reconcile, any tag shape outside the plain
+    ``<name attr="v">`` grammar, or any interior label the skip set cannot
+    verify as safe (the walk then re-discovers the unsafe tag and aborts
+    the skip with canonical behavior).
+
+    The only inputs where bulk accounting accepts a region the walk would
+    reject are ill-formed documents whose per-label counts nevertheless
+    balance — interleaved mismatched pairs (``<a><b></a></b>``) and
+    tag-shaped markup hidden inside attribute values.  Well-formed
+    documents (everything the serializer emits, and everything the DOM
+    parser accepts) are counted identically by construction, which the
+    differential suites pin stream-for-stream.
+    """
+    find = source.find
+    close_token = "</" + name
+    search = pos
+    while True:
+        close = find(close_token, search)
+        if close < 0:
+            return None  # unterminated: the walk reports it canonically
+        match = _END_TAG_RE.match(source, close + 2)
+        if match is not None and match.group(1) == name:
+            break
+        search = close + 1  # a longer name sharing the prefix, keep looking
+    region = source[pos:close]
+    if "&" in region or "<!" in region or "<?" in region:
+        return None
+    n_lt = region.count("<")
+    if n_lt:
+        if region.count(">") != n_lt:
+            return None
+        n_close = region.count("</")
+        n_open = n_lt - n_close
+        if n_open != n_close + region.count("/>"):
+            return None  # some open lacks its close inside the region
+        pieces = _TAG_SPLIT_RE.split(region)
+        spans = pieces[1::2]
+        if len(spans) != n_lt:
+            return None  # a '<' hid inside a tag span
+        parts = pieces[0::2]
+        if "=" in region:
+            joined = "\x00".join(spans) + "\x00"
+            if _TAGS_OK_RE.match(joined) is None:
+                return None
+            opens = _OPEN_NAME_RE.findall(region)
+            if len(opens) != n_open:
+                return None
+            for child in set(opens):
+                if not verifies(child):
+                    return None
+            attr_ids = len(_BULK_ATTR_RE.findall(joined))
+        else:
+            # Attribute-free region: the handful of *distinct* tag spans
+            # is all that needs shape validation and safety verification.
+            attr_ids = 0
+            for span in set(spans):
+                shape = _SIMPLE_TAG_RE.match(span)
+                if shape is None:
+                    return None
+                child = shape.group(2)
+                if child is not None and not verifies(child):
+                    return None
+    else:
+        n_open = attr_ids = 0
+        parts = [region]
+    # One text run lives between consecutive tags; the walk flushes a run
+    # when it is non-empty (keep_all) or contains non-whitespace.
+    empties = parts.count("")
+    if keep_all:
+        text_ids = len(parts) - empties
+    else:
+        text_ids = len(parts) - empties - sum(map(str.isspace, parts))
+    return match.end(), n_open + attr_ids + text_ids
+
+
+def _skip_string_subtree(source, pos, name, verifies, keep_all):
+    """Fast-forward over one element without materializing its events.
+
+    ``pos`` is just past the tag name of the opened element ``name``; on
+    success returns ``(end_pos, id_count)`` where ``end_pos`` is just past
+    the matching close tag and ``id_count`` is the number of node
+    identifiers the normal tokenization would have consumed (the element
+    itself, each attribute occurrence, each flushed text event —
+    replicating the normal scanner's text segmentation and solidity rules
+    exactly).  Returns ``None`` on *any* anomaly — an interior tag the
+    skip set cannot verify as safe, or any construct the normal scanner
+    would reject — in which case the caller re-tokenizes the region
+    normally so errors keep their canonical messages and positions.
+    """
+    length = len(source)
+    find = source.find
+    startswith = source.startswith
+    ids = 1
+    tags = [name]
+    pending = False  # >= 1 text segment accumulated since the last flush
+    solid = False  # the accumulated text has non-whitespace content
+    bulk_tried = False
+    while True:
+        # --- attribute section of the just-opened tags[-1] -------------
+        while True:
+            match = _ATTR_RE.match(source, pos)
+            if match is not None:
+                ids += 1  # one attr event per occurrence, like the scanner
+                pos = match.end()
+                continue
+            while pos < length and source[pos].isspace():
+                pos += 1
+            if pos >= length:
+                return None
+            char = source[pos]
+            if char == ">":
+                pos += 1
+                break
+            if char == "/" and startswith("/>", pos):
+                pos += 2
+                tags.pop()
+                if not tags:
+                    return pos, ids
+                break
+            return None  # malformed attribute: the normal scanner raises
+        if not bulk_tried:
+            # Once, at the outer element's content start: try to settle
+            # the whole region with C-level counting before walking it.
+            bulk_tried = True
+            bulk = _skip_bulk_region(source, pos, name, verifies, keep_all)
+            if bulk is not None:
+                end, interior = bulk
+                return end, ids + interior
+        # --- content of tags[-1] ---------------------------------------
+        while True:
+            nxt = find("<", pos)
+            if nxt < 0:
+                return None  # unterminated element
+            if nxt > pos:
+                segment = source[pos:nxt]
+                if "&" in segment:
+                    segment = expand_entities(segment)
+                pending = True
+                if not solid and not segment.isspace():
+                    solid = True
+                pos = nxt
+            after = source[pos + 1] if pos + 1 < length else ""
+            if after == "/":
+                if pending and (keep_all or solid):
+                    ids += 1
+                pending = solid = False
+                match = _END_TAG_RE.match(source, pos + 2)
+                if match is None or match.group(1) != tags[-1]:
+                    return None  # malformed or mismatched end tag
+                pos = match.end()
+                tags.pop()
+                if not tags:
+                    return pos, ids
+                continue
+            if after == "!":
+                if startswith("<!--", pos):
+                    if pending and (keep_all or solid):
+                        ids += 1
+                    pending = solid = False
+                    end = find("-->", pos)
+                    if end < 0:
+                        return None
+                    pos = end + 3
+                    continue
+                if startswith("<![CDATA[", pos):
+                    end = find("]]>", pos)
+                    if end < 0:
+                        return None
+                    pending = True  # raw append, possibly empty
+                    if not solid:
+                        segment = source[pos + 9 : end]
+                        if segment and not segment.isspace():
+                            solid = True
+                    pos = end + 3
+                    continue
+                # anything else after '<!' parses as an element below
+            elif after == "?":
+                if pending and (keep_all or solid):
+                    ids += 1
+                pending = solid = False
+                end = find("?>", pos)
+                if end < 0:
+                    return None
+                pos = end + 2
+                continue
+            # --- a new start tag -------------------------------------
+            if pending and (keep_all or solid):
+                ids += 1
+            pending = solid = False
+            match = _NAME_RE.match(source, pos + 1)
+            if match is None:
+                return None
+            child = match.group()
+            if not verifies(child):
+                return None  # tag the plan cannot prove safe: abort
+            ids += 1
+            tags.append(child)
+            pos = match.end()
+            break  # back to the attribute section of the new element
+
+
 def iter_tree_events(tree_or_element: Union[XMLTree, ElementNode]) -> Iterator[Event]:
     """Replay an in-memory tree as the equivalent event stream."""
     root = tree_or_element.root if isinstance(tree_or_element, XMLTree) else tree_or_element
@@ -412,13 +698,14 @@ def as_events(
     source: EventSource,
     strip_whitespace: bool = True,
     engine: Optional[str] = None,
+    skip=None,
 ) -> Iterator[Event]:
     """Coerce any supported source into an event stream.
 
     Accepts trees/elements (replayed), strings, byte buffers, paths and
     file-like objects (tokenized via :func:`iter_events`, honoring
-    ``engine``), iterables of string chunks (tokenized) and iterables that
-    already yield :class:`Event` objects (passed through).
+    ``engine`` and ``skip``), iterables of string chunks (tokenized) and
+    iterables that already yield :class:`Event` objects (passed through).
     """
     if isinstance(source, (XMLTree, ElementNode)):
         return iter_tree_events(source)
@@ -429,7 +716,7 @@ def as_events(
         or hasattr(source, "__fspath__")
     ):
         return iter_events(
-            source, strip_whitespace=strip_whitespace, engine=engine
+            source, strip_whitespace=strip_whitespace, engine=engine, skip=skip
         )  # type: ignore[arg-type]
     iterator = iter(source)  # type: ignore[arg-type]
     try:
@@ -440,7 +727,7 @@ def as_events(
     if isinstance(first, Event):
         return rest  # type: ignore[return-value]
     return iter_events(
-        rest, strip_whitespace=strip_whitespace, engine=engine
+        rest, strip_whitespace=strip_whitespace, engine=engine, skip=skip
     )  # type: ignore[arg-type]
 
 
@@ -471,6 +758,11 @@ def element_from_events(events: Iterable[Event]) -> ElementNode:
             if not stack:
                 raise ValueError("end event without a matching start")
             stack.pop()
+        elif kind == SKIP:
+            raise ValueError(
+                "cannot rebuild a tree from a skipped stream "
+                "(a skip event elides the subtree's content)"
+            )
         else:
             raise ValueError(f"unknown event kind {kind!r}")
     if root is None or stack:

@@ -35,12 +35,20 @@ class PathNFA:
     node along the way.
     """
 
-    __slots__ = ("steps", "length", "_transitions", "initial", "has_attribute_steps")
+    __slots__ = (
+        "steps",
+        "length",
+        "_transitions",
+        "_attr_matches",
+        "initial",
+        "has_attribute_steps",
+    )
 
     def __init__(self, path: PathExpression) -> None:
         self.steps = path.steps
         self.length = len(path.steps)
         self._transitions: Dict[Tuple[State, str], State] = {}
+        self._attr_matches: Dict[Tuple[State, str], bool] = {}
         #: State of the anchor node (no steps consumed yet).
         self.initial: State = self._close({0})
         #: Whether the path can ever match an attribute node — consumers
@@ -90,7 +98,14 @@ class PathNFA:
 
         Consumes an attribute step; any remaining steps can only be ``//``
         (descendant-or-self of an attribute node is the node itself).
+        Memoised per ``(state, name)`` exactly like :meth:`advance` — the
+        same element shapes carry the same attribute names over and over.
         """
+        key = (state, name)
+        cached = self._attr_matches.get(key)
+        if cached is not None:
+            return cached
+        result = False
         steps = self.steps
         for i in state:
             if i >= self.length:
@@ -101,8 +116,10 @@ class PathNFA:
                 while j < self.length and steps[j].kind is StepKind.DESCENDANT:
                     j += 1
                 if j == self.length:
-                    return True
-        return False
+                    result = True
+                    break
+        self._attr_matches[key] = result
+        return result
 
     def live(self, state: State) -> bool:
         """Can any extension of the current label path still match?"""

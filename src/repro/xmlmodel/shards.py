@@ -110,19 +110,26 @@ class DocumentShards:
         return f"<{self.root_tag}>{self.slice_text(index)}</{self.root_tag}>"
 
     def shard_events(
-        self, index: int, strip_whitespace: bool = True, engine: Optional[str] = None
+        self,
+        index: int,
+        strip_whitespace: bool = True,
+        engine: Optional[str] = None,
+        skip=None,
     ) -> Iterator[Event]:
         """Replay one slice as events (synthetic root start/end dropped).
 
         The yielded stream is exactly the sub-sequence of the serial event
         stream between this slice's boundaries: the synthetic wrapper only
-        provides the tokenizer with a well-formed document.
+        provides the tokenizer with a well-formed document.  ``skip``
+        threads a :class:`~repro.xmlmodel.static.SkipSet` to the
+        tokenizer, as in :func:`~repro.xmlmodel.events.iter_events`.
         """
         return fragment_events(
             self.root_tag,
             self.slice_text(index),
             strip_whitespace=strip_whitespace,
             engine=engine,
+            skip=skip,
         )
 
     def replay_events(
@@ -146,6 +153,7 @@ def fragment_events(
     fragment: str,
     strip_whitespace: bool = True,
     engine: Optional[str] = None,
+    skip=None,
 ) -> Iterator[Event]:
     """Replay a content fragment as events, as if it sat under ``root_tag``.
 
@@ -164,6 +172,7 @@ def fragment_events(
         f"<{root_tag}>{fragment}</{root_tag}>",
         strip_whitespace=strip_whitespace,
         engine=engine,
+        skip=skip,
     )
     next(events)  # the synthetic root START
     pending = next(events, None)
@@ -237,7 +246,11 @@ class MappedDocumentShards:
         return bytes(self.slice_bytes(index)).decode("ascii")
 
     def shard_events(
-        self, index: int, strip_whitespace: bool = True, engine: Optional[str] = None
+        self,
+        index: int,
+        strip_whitespace: bool = True,
+        engine: Optional[str] = None,
+        skip=None,
     ) -> Iterator[Event]:
         """Replay one mapped slice as events, zero-copy into the C backend.
 
@@ -251,6 +264,7 @@ class MappedDocumentShards:
             self.slice_bytes(index),
             strip_whitespace=strip_whitespace,
             engine=engine,
+            skip=skip,
         )
 
     def replay_events(

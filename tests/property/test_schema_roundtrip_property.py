@@ -1,0 +1,132 @@
+"""Round-trip pinning of the DTD → keys → XML-Schema bridge.
+
+The constraint-interchange path has three legs: :func:`keys_from_dtd`
+derives the ``K@`` keys implied by ``ID`` attributes, :func:`keys_to_schema`
+renders any key set as ``xs:key`` / ``xs:unique`` identity constraints, and
+:func:`schema_to_keys` parses such a rendering back.  Producers publish in
+any of the three notations, so the bridge must be loss-free on the ``K@``
+fragment: for every DTD, parsing the schema rendering of its derived keys
+must reproduce those keys exactly (contexts, targets, attribute sets *and*
+names), and the same must hold for arbitrary keys — absolute and relative,
+with and without attribute fields — not just DTD-derived ones.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.keys.key import XMLKey
+from repro.keys.xmlschema import keys_to_schema, schema_to_keys
+from repro.xmlmodel.dtd import keys_from_dtd, parse_dtd
+
+pytestmark = pytest.mark.slow
+
+roundtrip_settings = settings(
+    max_examples=200, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+ELEMENTS = ["r", "book", "chapter", "section", "a", "b"]
+ATTRIBUTES = ["id", "isbn", "number", "x"]
+
+
+# ----------------------------------------------------------------------
+# Random DTD texts: a handful of element declarations with mixed content
+# models, and attribute lists mixing ID, IDREF and CDATA declarations so
+# that only a (possibly empty) subset of attributes yields keys.
+# ----------------------------------------------------------------------
+@st.composite
+def dtd_texts(draw):
+    declared = draw(
+        st.lists(st.sampled_from(ELEMENTS), min_size=1, max_size=4, unique=True)
+    )
+    lines = []
+    for label in declared:
+        model = draw(
+            st.sampled_from(
+                [
+                    "EMPTY",
+                    "ANY",
+                    "(#PCDATA)",
+                    "(" + "|".join(declared) + ")*",
+                    f"({declared[0]}*)",
+                ]
+            )
+        )
+        lines.append(f"<!ELEMENT {label} {model}>")
+    for label in declared:
+        for name in ATTRIBUTES:
+            if draw(st.booleans()):
+                attr_type = draw(st.sampled_from(["CDATA", "ID", "IDREF", "NMTOKEN"]))
+                default = draw(st.sampled_from(["#REQUIRED", "#IMPLIED"]))
+                lines.append(f"<!ATTLIST {label} {name} {attr_type} {default}>")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Arbitrary K@ keys over a small path vocabulary (the bridge must handle
+# more than the ``(., (//l, {@a}))`` shape a DTD produces).
+# ----------------------------------------------------------------------
+@st.composite
+def key_path_texts(draw):
+    parts = []
+    for _ in range(draw(st.integers(min_value=1, max_value=3))):
+        parts.append(
+            draw(st.sampled_from(["//", ""])) + draw(st.sampled_from(ELEMENTS))
+        )
+    return "/".join(parts).replace("///", "//")
+
+
+@st.composite
+def arbitrary_keys(draw):
+    keys = []
+    for index in range(draw(st.integers(min_value=1, max_value=4))):
+        context = draw(st.one_of(st.just("."), key_path_texts()))
+        target = draw(key_path_texts())
+        attributes = draw(
+            st.lists(st.sampled_from(ATTRIBUTES), max_size=2, unique=True)
+        )
+        keys.append(XMLKey(context, target, attributes, name=f"k{index}"))
+    return keys
+
+
+class TestSchemaRoundTrip:
+    @roundtrip_settings
+    @given(text=dtd_texts())
+    def test_dtd_keys_survive_schema_rendering(self, text):
+        dtd = parse_dtd(text)
+        keys = keys_from_dtd(dtd)
+        back = schema_to_keys(keys_to_schema(keys))
+        assert back == keys
+        assert [key.name for key in back] == [key.name for key in keys]
+        # The derived keys are exactly the ID attributes, in declaration
+        # order, and every one is absolute (document-wide uniqueness).
+        assert len(keys) == sum(
+            1 for decl in dtd.attributes.values() if decl.is_id
+        )
+        assert all(key.is_absolute for key in keys)
+
+    @roundtrip_settings
+    @given(text=dtd_texts())
+    def test_dtd_derivation_is_deterministic(self, text):
+        assert keys_from_dtd(parse_dtd(text)) == keys_from_dtd(parse_dtd(text))
+
+    @roundtrip_settings
+    @given(keys=arbitrary_keys())
+    def test_arbitrary_keys_round_trip(self, keys):
+        back = schema_to_keys(keys_to_schema(keys))
+        assert back == keys
+        assert [key.name for key in back] == [key.name for key in keys]
+        # Spot-check the notational split: attribute-less keys render as
+        # xs:unique, keyed ones as xs:key, and relative contexts survive
+        # the ``context :: target`` selector scoping.
+        for original, parsed in zip(keys, back):
+            assert original.context == parsed.context
+            assert original.target == parsed.target
+            assert original.attributes == parsed.attributes
+
+    @roundtrip_settings
+    @given(keys=arbitrary_keys())
+    def test_rendering_is_idempotent(self, keys):
+        once = keys_to_schema(keys)
+        twice = keys_to_schema(schema_to_keys(once))
+        assert once == twice

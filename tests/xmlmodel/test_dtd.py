@@ -221,3 +221,135 @@ class TestConstraintExtraction:
         assert facts["book"] >= {"isbn", "format"}
         assert facts["chapter"] == {"number"}
         assert "author" not in facts
+
+
+# ----------------------------------------------------------------------
+# PR 9 pins: hostile / truncated declarations, declaration caches,
+# and the streaming validator against the DOM validator.
+# ----------------------------------------------------------------------
+class TestParseErrorPinning:
+    """parse_dtd's contract on malformed input: declarations the regex
+    grammar cannot read are *ignored*; if nothing readable remains, the
+    parse fails loudly with :class:`DTDSyntaxError`."""
+
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "",
+            "   \n\t  ",
+            "<!ELEMENT",  # truncated mid-keyword
+            "<!ELEMENT r ",  # truncated before the content model
+            "random garbage, no markup at all",
+            "<!ATTLIST a >",  # ATTLIST with no attribute definitions
+            "<!ATTLIST a x CDATA>",  # attribute definition missing its default
+            "<!-- <!ELEMENT x (y)> -->",  # declarations inside comments don't count
+        ],
+        ids=[
+            "empty",
+            "whitespace",
+            "truncated-keyword",
+            "truncated-model",
+            "garbage",
+            "empty-attlist",
+            "attdef-no-default",
+            "commented-out",
+        ],
+    )
+    def test_unreadable_input_raises(self, source):
+        with pytest.raises(DTDSyntaxError):
+            parse_dtd(source)
+
+    def test_truncated_content_model_keeps_readable_prefix(self):
+        # "(a,>" is cut short at the first ">": the declaration parses and
+        # the child-name extraction still sees the labels before the cut.
+        parsed = parse_dtd("<!ELEMENT r (a,>")
+        assert parsed.elements["r"].allowed_children() == frozenset({"a"})
+
+    def test_duplicate_element_declaration_last_wins(self):
+        parsed = parse_dtd("<!ELEMENT r (a)*>\n<!ELEMENT r EMPTY>")
+        assert parsed.elements["r"].is_empty
+
+    def test_doctype_wrapper_sets_root_name(self):
+        parsed = parse_dtd("<!DOCTYPE r [ <!ELEMENT r (a)> ]>")
+        assert parsed.root_name == "r"
+
+    def test_hostile_attlist_defaults_normalized(self):
+        parsed = parse_dtd(
+            '<!ELEMENT a EMPTY>\n<!ATTLIST a x CDATA #FIXED\n\t  "v">'
+        )
+        decl = parsed.attributes[("a", "x")]
+        assert decl.is_fixed
+        assert decl.default == '#FIXED "v"'
+
+
+class TestDeclarationCaches:
+    def test_allowed_children_is_cached(self, dtd):
+        decl = dtd.elements["book"]
+        first = decl.allowed_children()
+        assert decl.allowed_children() is first
+        assert first == frozenset({"author", "title", "chapter"})
+
+    def test_path_nfa_attribute_matching_is_memoised(self):
+        from repro.xmlmodel.matching import PathNFA
+        from repro.xmlmodel.paths import parse_path
+
+        nfa = PathNFA(parse_path("//book/@isbn"))
+        state = nfa.advance(nfa.initial, "book")
+        assert nfa.matches_attribute(state, "isbn") is True
+        assert nfa.matches_attribute(state, "lang") is False
+        # Both verdicts — True and False — are memoised per (state, name).
+        assert nfa._attr_matches[(state, "isbn")] is True
+        assert nfa._attr_matches[(state, "lang")] is False
+        # And the memo answers repeated probes without recomputation.
+        assert nfa.matches_attribute(state, "isbn") is True
+        assert nfa.matches_attribute(state, "lang") is False
+
+
+class TestStreamingValidator:
+    """Deterministic pins of validate-while-shredding; the property suite
+    (tests/property/test_static_differential.py) fuzzes the same
+    equivalence on random documents and DTDs."""
+
+    def _doc(self):
+        return (
+            "<r><book isbn='x1' format='hardcover'>"
+            "<author><name>A</name></author><title>T</title>"
+            "<chapter number='1'><name>C</name></chapter>"
+            "</book></r>"
+        )
+
+    def test_valid_document_streams_clean(self, dtd):
+        from repro.xmlmodel.dtd import stream_dtd_violations
+
+        assert stream_dtd_violations(self._doc(), dtd) == []
+
+    def test_streaming_matches_dom_witness_for_witness(self, dtd):
+        from repro.xmlmodel.dtd import stream_dtd_violations
+        from repro.xmlmodel.parser import parse_document
+
+        bad = (
+            "<r><book isbn='d' format='paperback'><wat/>"
+            "<chapter><name>C</name></chapter></book>"
+            "<book isbn='d'><title>T</title></book></r>"
+        )
+        streamed = stream_dtd_violations(bad, dtd)
+        dom = dtd.validate(parse_document(bad))
+        assert [(v.kind, v.node_id, v.detail) for v in streamed] == [
+            (v.kind, v.node_id, v.detail) for v in dom
+        ]
+        kinds = {v.kind for v in streamed}
+        assert {
+            "fixed-attribute-mismatch",
+            "undeclared-element",
+            "duplicate-id",
+            "missing-required-attribute",
+        } <= kinds
+
+    def test_streaming_validator_works_per_event(self, dtd):
+        from repro.xmlmodel.dtd import DTDStreamValidator
+        from repro.xmlmodel.events import iter_events
+
+        validator = DTDStreamValidator(dtd)
+        for event in iter_events(self._doc()):
+            validator.feed(event)
+        assert validator.finish() == []

@@ -1,0 +1,368 @@
+"""Unit tests for the static optimization plane (label graph, NFA
+specialization, skip sets, plan compilation)."""
+
+import pickle
+
+import pytest
+
+from repro.keys.key import parse_key
+from repro.transform.rule import TableRule
+from repro.xmlmodel.dtd import parse_dtd
+from repro.xmlmodel.events import SKIP, iter_events
+from repro.xmlmodel.matching import PathNFA
+from repro.xmlmodel.paths import parse_path
+from repro.xmlmodel.static import (
+    OTHER_LABEL,
+    LabelGraph,
+    SkipSet,
+    SpecializedNFA,
+    StaticPlan,
+    compile_plan,
+)
+
+
+BOOK_DTD = """
+<!ELEMENT r (book*)>
+<!ELEMENT book (title, chapter*)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT chapter (title, section*)>
+<!ELEMENT section (title)>
+<!ATTLIST book isbn ID #REQUIRED>
+<!ATTLIST chapter number CDATA #REQUIRED>
+"""
+
+
+@pytest.fixture()
+def dtd():
+    return parse_dtd(BOOK_DTD)
+
+
+# ----------------------------------------------------------------------
+# LabelGraph
+# ----------------------------------------------------------------------
+class TestLabelGraph:
+    def test_children_are_declared_labels_only(self, dtd):
+        graph = LabelGraph(dtd)
+        assert graph.children("book") == frozenset({"title", "chapter"})
+        assert graph.children("title") == frozenset()
+        assert graph.children("undeclared") == frozenset()
+
+    def test_reachable_is_strict_descendant_closure(self, dtd):
+        graph = LabelGraph(dtd)
+        assert graph.reachable("book") == frozenset({"title", "chapter", "section"})
+        assert graph.reachable("section") == frozenset({"title"})
+        assert "r" not in graph.reachable("r")
+
+    def test_root_labels_pin_declared_root(self, dtd):
+        graph = LabelGraph(dtd)
+        assert graph.root_labels() == frozenset({"r"})
+
+    def test_reachable_handles_cycles(self):
+        graph = LabelGraph(parse_dtd("<!ELEMENT a (a|b)*>\n<!ELEMENT b EMPTY>"))
+        assert graph.reachable("a") == frozenset({"a", "b"})
+
+
+# ----------------------------------------------------------------------
+# SpecializedNFA: full-table transitions must agree with the on-line
+# automaton for every label, declared or not.
+# ----------------------------------------------------------------------
+PATHS = ["//chapter", "book/chapter", "//book//section", "r//title", "//chapter/@number"]
+TAG_RUNS = [
+    ["r", "book", "chapter"],
+    ["r", "book", "title"],
+    ["book", "book", "chapter", "section"],
+    ["zzz", "book", "chapter"],  # undeclared label takes the other column
+    ["r", "zzz", "zzz", "section"],
+]
+
+
+class TestSpecializedNFA:
+    @pytest.mark.parametrize("path_text", PATHS)
+    @pytest.mark.parametrize("run", TAG_RUNS, ids=["-".join(r) for r in TAG_RUNS])
+    def test_agrees_with_base_automaton(self, dtd, path_text, run):
+        path = parse_path(path_text)
+        base = PathNFA(path)
+        spec = SpecializedNFA(path, dtd)
+        base_state, spec_state = base.initial, spec.initial
+        assert spec_state == base_state
+        for tag in run:
+            base_state = base.advance(base_state, tag)
+            spec_state = spec.advance(spec_state, tag)
+            assert spec_state == base_state
+            assert spec.accepts(spec_state) == base.matches(base_state)
+            for name in ("number", "isbn", "nope"):
+                assert (name in spec.attr_names(spec_state)) == base.matches_attribute(
+                    base_state, name
+                )
+
+    def test_alphabet_covers_mentioned_and_declared(self, dtd):
+        spec = SpecializedNFA(parse_path("//chapter"), dtd)
+        assert set(spec.alphabet) == {"r", "book", "title", "chapter", "section"}
+        assert OTHER_LABEL not in spec.alphabet
+
+    def test_mismatch_state_is_dead(self, dtd):
+        spec = SpecializedNFA(parse_path("section/book"), dtd)
+        mismatch = spec.advance(spec.initial, "book")
+        assert mismatch == frozenset()
+        assert spec.dead(mismatch)
+        assert not spec.dead(spec.initial)
+
+    def test_descendant_paths_have_no_dead_states(self, dtd):
+        spec = SpecializedNFA(parse_path("//chapter"), dtd)
+        assert spec.dead_states == frozenset()
+
+    def test_without_dtd_nothing_is_dead(self):
+        spec = SpecializedNFA(parse_path("section/book"))
+        # With no content models, any label may follow any other: the
+        # mismatch state is still unable to accept, but the analysis only
+        # declares states dead relative to a DTD's declared labels.
+        assert spec.advance(spec.initial, "book") == frozenset()
+
+    def test_attribute_acceptance_at_target(self, dtd):
+        spec = SpecializedNFA(parse_path("//chapter/@number"), dtd)
+        at_chapter = spec.advance(spec.initial, "chapter")
+        assert spec.attr_names(at_chapter) == frozenset({"number"})
+        assert spec.can_accept_attribute(at_chapter)
+        assert not spec.can_accept_attribute(spec.initial) or spec.attr_names(
+            spec.initial
+        )
+
+
+# ----------------------------------------------------------------------
+# SkipSet
+# ----------------------------------------------------------------------
+class TestSkipSet:
+    def test_disabled_is_falsy_and_attempts_nothing(self):
+        skip = SkipSet.disabled()
+        assert not skip
+        assert not skip.skippable("anything")
+        assert not skip.verifies("anything")
+
+    def test_verifies_falls_back_to_other_verdict(self):
+        skip = SkipSet({"a"}, {"a": True, "b": False}, other_safe=True)
+        assert skip.verifies("a")
+        assert not skip.verifies("b")
+        assert skip.verifies("never-mentioned")
+        assert SkipSet({"a"}, {"a": True}, other_safe=False).verifies("x") is False
+
+    def test_pickles_across_process_boundaries(self):
+        skip = SkipSet({"a", "b"}, {"a": True, "b": True, "c": False}, other_safe=True)
+        clone = pickle.loads(pickle.dumps(skip))
+        assert clone.attempt == skip.attempt
+        assert clone.verdicts == skip.verdicts
+        assert clone.other_safe == skip.other_safe
+
+
+# ----------------------------------------------------------------------
+# compile_plan
+# ----------------------------------------------------------------------
+class TestCompilePlan:
+    def test_selective_key_yields_skippable_labels(self, dtd):
+        plan = compile_plan(dtd, keys=[parse_key("(., (//chapter, {@number}))")])
+        assert isinstance(plan, StaticPlan)
+        # chapter is the target (unsafe); r and book contain chapters.
+        assert plan.skipset.attempt == frozenset({"section", "title"})
+        assert plan.skipset.other_safe  # undeclared labels never match //chapter
+        assert not plan.skipset.skippable("chapter")
+        assert not plan.skipset.skippable("r")
+        assert not plan.skipset.skippable("book")
+
+    def test_key_touching_everything_disables_skipping(self, dtd):
+        plan = compile_plan(dtd, keys=[parse_key("(., (//title, {}))")])
+        # title occurs under every element: nothing is skippable.
+        assert plan.skipset.attempt == frozenset()
+        assert not plan.skipset
+
+    def test_element_capturing_rule_disables_skipping(self, dtd):
+        rule = TableRule("T")
+        rule.add_mapping("v", rule.root_variable, "//book")
+        rule.add_field("f", "v")
+        plan = compile_plan(dtd, rules=[rule])
+        assert plan.skip_disabled_by_rules
+        assert not plan.skipset
+
+    def test_attribute_anchored_rule_keeps_skipping(self, dtd):
+        rule = TableRule("T")
+        rule.add_mapping("v", rule.root_variable, "//chapter/@number")
+        rule.add_field("f", "v")
+        plan = compile_plan(dtd, rules=[rule])
+        assert not plan.skip_disabled_by_rules
+        assert plan.skipset.skippable("section")
+
+    def test_statically_dead_key_is_diagnosed(self, dtd):
+        dead = parse_key("(., (//ghost, {@x}))")
+        live = parse_key("(., (//book, {@isbn}))")
+        plan = compile_plan(dtd, keys=[dead, live])
+        assert dead in plan.dead_keys
+        assert live in plan.live_keys
+        assert dead not in plan.live_keys
+
+    def test_describe_mentions_the_essentials(self, dtd):
+        plan = compile_plan(dtd, keys=[parse_key("(., (//chapter, {@number}))")])
+        report = plan.describe()
+        assert "static plan" in report
+        assert "skippable labels" in report
+        assert "section" in report
+
+    def test_empty_workload_compiles(self, dtd):
+        plan = compile_plan(dtd)
+        assert plan.keys == ()
+        assert plan.rules == ()
+
+
+# ----------------------------------------------------------------------
+# The tokenizer-level contract: a SKIP event elides exactly the ids the
+# full stream would have spent on the subtree, so downstream node ids in
+# the pruned and unpruned streams coincide.
+# ----------------------------------------------------------------------
+DOC = (
+    "<r><book isbn='1'><title>T</title>"
+    "<chapter number='1'><title>C</title><section><title>S</title></section></chapter>"
+    "</book></r>"
+)
+
+
+class TestBulkFastForward:
+    """The C-level bulk accounting must be indistinguishable from the
+    per-tag walk: same end position, same id count, or a punt that lets
+    the walk decide.  Exercised by comparing the skip stream with the
+    bulk path enabled against the same stream with it disabled."""
+
+    DOCS = [
+        DOC,
+        # attribute-free regions (the simple-tag branch)
+        "<r><book isbn='1'><title>T</title><chapter number='2'>"
+        "<title>C</title><section><title> </title></section>"
+        "<section><title></title></section></chapter></book></r>",
+        # self-closing interior tags, single and double quotes
+        '<r><book isbn="1"><title/><chapter number="n"><title/>'
+        "<section><title>x</title></section></chapter></book></r>",
+        # whitespace-only and mixed text runs
+        "<r><book isbn='1'><title>  \n </title><chapter number='1'>"
+        "<title>a b</title><section><title>\t</title></section></chapter></book></r>",
+        # entities, comments, PIs and CDATA all punt to the walk
+        "<r><book isbn='1'><title>a&amp;b</title></book></r>",
+        "<r><book isbn='1'><title>a<!-- c -->b</title></book></r>",
+        "<r><book isbn='1'><title><?pi d?>x</title></book></r>",
+        "<r><book isbn='1'><title><![CDATA[ z ]]></title></book></r>",
+        # a close tag whose name shares the skipped label as a prefix
+        "<r><book isbn='1'><chapter number='1'><title>T</title>"
+        "<section><titlex>y</titlex></section></chapter></book></r>",
+        # attributes inside the skipped region (the validated-attr branch)
+        "<r><book isbn='1'><chapter number='1'><title>T</title>"
+        "<section><title a='1' b='2'>s</title></section></chapter></book></r>",
+    ]
+
+    def _streams(self, doc, dtd, monkeypatch):
+        from repro.xmlmodel import events as events_module
+
+        plan = compile_plan(dtd, keys=[parse_key("(., (//chapter, {@number}))")])
+        with_bulk = list(iter_events(doc, skip=plan.skipset))
+        monkeypatch.setattr(
+            events_module, "_skip_bulk_region", lambda *args: None
+        )
+        walk_only = list(iter_events(doc, skip=plan.skipset))
+        return with_bulk, walk_only
+
+    @pytest.mark.parametrize("doc", DOCS)
+    def test_bulk_and_walk_streams_identical(self, dtd, doc, monkeypatch):
+        with_bulk, walk_only = self._streams(doc, dtd, monkeypatch)
+        assert with_bulk == walk_only
+
+    @pytest.mark.parametrize("doc", DOCS)
+    def test_bulk_and_walk_agree_without_whitespace_stripping(
+        self, dtd, doc, monkeypatch
+    ):
+        from repro.xmlmodel import events as events_module
+
+        plan = compile_plan(dtd, keys=[parse_key("(., (//chapter, {@number}))")])
+        with_bulk = list(iter_events(doc, strip_whitespace=False, skip=plan.skipset))
+        monkeypatch.setattr(
+            events_module, "_skip_bulk_region", lambda *args: None
+        )
+        walk_only = list(iter_events(doc, strip_whitespace=False, skip=plan.skipset))
+        assert with_bulk == walk_only
+
+    def test_duplicate_attribute_ids_match_the_scanner(self, dtd):
+        # The scanner emits one attr event per occurrence, repeated names
+        # included; the skip accounting (walk and bulk) must agree.
+        doc = (
+            "<r><book isbn='1'><chapter number='1'><title>T</title>"
+            "<section><title a='1' a='2'>s</title></section></chapter></book></r>"
+        )
+        plan = compile_plan(dtd, keys=[parse_key("(., (//chapter, {@number}))")])
+        pruned = list(iter_events(doc, skip=plan.skipset))
+        full = list(iter_events(doc))
+        spent_full = sum(1 for e in full if e.kind in ("start", "attr", "text"))
+        spent_pruned = sum(
+            e.value if e.kind == SKIP else 1
+            for e in pruned
+            if e.kind in ("start", "attr", "text", SKIP)
+        )
+        assert spent_pruned == spent_full
+
+    def test_auto_engine_prefers_pure_scanner_under_skip(self, dtd, monkeypatch):
+        # With a non-empty skip set on an in-memory string, auto must not
+        # route through a C backend that visits every node.
+        from repro.xmlmodel import accel
+
+        plan = compile_plan(dtd, keys=[parse_key("(., (//chapter, {@number}))")])
+        calls = []
+        original = accel.accelerated_events
+
+        def spying(source, strip_whitespace, resolved, skip=None):
+            calls.append(resolved)
+            return original(source, strip_whitespace, resolved, skip)
+
+        monkeypatch.setattr(accel, "accelerated_events", spying)
+        assert any(e.kind == SKIP for e in iter_events(DOC, skip=plan.skipset))
+        assert calls == []  # the pure scanner handled it directly
+        list(iter_events(DOC, engine="expat", skip=plan.skipset))
+        assert calls == ["expat"]  # explicit requests are honored
+
+
+class TestSkipEvents:
+    def test_skip_elides_whole_subtrees(self, dtd):
+        plan = compile_plan(dtd, keys=[parse_key("(., (//chapter, {@number}))")])
+        events = list(iter_events(DOC, skip=plan.skipset))
+        skips = [event for event in events if event.kind == SKIP]
+        assert {event.name for event in skips} == {"title", "section"}
+        assert all(isinstance(event.value, int) for event in skips)
+        assert not any(
+            event.kind != SKIP and event.name in {"section"} for event in events
+        )
+
+    def test_id_accounting_matches_full_stream(self, dtd):
+        plan = compile_plan(dtd, keys=[parse_key("(., (//chapter, {@number}))")])
+        full = list(iter_events(DOC))
+        pruned = list(iter_events(DOC, skip=plan.skipset))
+        # Ids spent: every element, every attribute occurrence, every
+        # flushed text event.  The pruned stream must spend exactly as many.
+        spent_full = sum(1 for e in full if e.kind in ("start", "attr", "text"))
+        spent_pruned = sum(
+            e.value if e.kind == SKIP else 1
+            for e in pruned
+            if e.kind in ("start", "attr", "text", SKIP)
+        )
+        assert spent_pruned == spent_full
+
+    def test_unsafe_interior_tag_aborts_the_skip(self, dtd):
+        # A document that violates the DTD: a chapter nested inside a
+        # section.  The section looks skippable, but fast-forwarding must
+        # abort when it sees the chapter, and the answer stays exact.
+        doc = (
+            "<r><book isbn='1'>"
+            "<section><chapter number='9'><title>X</title></chapter></section>"
+            "</book></r>"
+        )
+        plan = compile_plan(dtd, keys=[parse_key("(., (//chapter, {@number}))")])
+        pruned = list(iter_events(doc, skip=plan.skipset))
+        # The section attempt was aborted (its events are all present);
+        # only the innocent title subtree inside the chapter was elided.
+        assert {e.name for e in pruned if e.kind == SKIP} == {"title"}
+        assert [e for e in pruned if e.name == "chapter" and e.kind == "start"]
+        assert [e for e in pruned if e.name == "section" and e.kind == "start"]
+        # And the pruned stream is the full stream minus that one subtree.
+        full = [e for e in iter_events(doc) if e.name not in ("title", "#text")]
+        skipless = [e for e in pruned if e.kind != SKIP]
+        assert skipless == full

@@ -99,6 +99,7 @@ import sys
 from pathlib import Path
 from typing import Optional, Sequence
 
+from repro import obs
 from repro.core import (
     check_propagation,
     check_schema_consistency,
@@ -110,6 +111,9 @@ from repro.relational import sql as sql_module
 from repro.relational.schema import DatabaseSchema
 from repro.transform import StreamShredder, evaluate_transformation, parse_transformation
 from repro.xmlmodel import iter_events, parse_document
+
+
+log = obs.get_logger("cli")
 
 
 def _read(path: str) -> str:
@@ -137,7 +141,7 @@ def cmd_check(args: argparse.Namespace) -> int:
         return 0 if result.holds else 1
     # No FD given: check the declared key(s) passed via --key.
     if not args.key:
-        print("error: provide either --fd or at least one --key", file=sys.stderr)
+        log.error("error: provide either --fd or at least one --key")
         return 2
     schema = DatabaseSchema([rule.schema(keys=[k.split(",") for k in args.key])])
     report = check_schema_consistency(keys, transformation, schema)
@@ -239,10 +243,9 @@ def cmd_shred(args: argparse.Namespace) -> int:
     use_stream = args.stream or args.jobs is not None
     jobs = _resolved_jobs(args) if use_stream else 1
     if dtd is not None and jobs > 1:
-        print(
+        log.error(
             "error: streaming DTD validation is a single-pass check and "
-            "cannot be sharded; drop --jobs or --dtd",
-            file=sys.stderr,
+            "cannot be sharded; drop --jobs or --dtd"
         )
         return 2
     if jobs > 1:
@@ -277,12 +280,16 @@ def cmd_shred(args: argparse.Namespace) -> int:
             from repro.xmlmodel.dtd import DTDStreamValidator
 
             validator = DTDStreamValidator(dtd)
+        events = 0
         for event in iter_events(Path(args.xml), engine=engine):
+            events += 1
             shredder.feed(event)
             if checker is not None:
                 checker.feed(event)
             if validator is not None:
                 validator.feed(event)
+        if obs.enabled():
+            obs.metrics().inc("pipeline.events", events)
         instances = shredder.finish()
         if checker is not None:
             exit_code = _print_violation_report(keys, checker.finish())
@@ -296,6 +303,11 @@ def cmd_shred(args: argparse.Namespace) -> int:
         if dtd is not None:
             exit_code = max(exit_code, _print_dtd_report(dtd.validate(tree)))
         instances = evaluate_transformation(transformation, tree)
+    log.info(
+        "shredded %d relation(s) from %s",
+        len(instances),
+        args.xml,
+    )
     for name, instance in instances.items():
         print()
         if args.sql:
@@ -323,16 +335,10 @@ def cmd_check_doc(args: argparse.Namespace) -> int:
     engine = _tokenizer_engine(args)
     dtd = _load_dtd(args)
     if args.prune and dtd is None:
-        print(
-            "error: --prune needs --dtd (the skip set is compiled from it)",
-            file=sys.stderr,
-        )
+        log.error("error: --prune needs --dtd (the skip set is compiled from it)")
         return 2
     if args.prune and args.dom:
-        print(
-            "error: --prune is a streaming-plane optimization; drop --dom",
-            file=sys.stderr,
-        )
+        log.error("error: --prune is a streaming-plane optimization; drop --dom")
         return 2
     dtd_exit = 0
     if args.dom:
@@ -342,11 +348,10 @@ def cmd_check_doc(args: argparse.Namespace) -> int:
         found = [violation for key in keys for violation in violations(tree, key)]
     elif _resolved_jobs(args) > 1:
         if dtd is not None and not args.prune:
-            print(
+            log.error(
                 "error: streaming DTD validation is a single-pass check and "
                 "cannot be sharded; drop --jobs, or add --prune to use the "
-                "DTD for subtree skipping only",
-                file=sys.stderr,
+                "DTD for subtree skipping only"
             )
             return 2
         plan = None
@@ -383,13 +388,23 @@ def cmd_check_doc(args: argparse.Namespace) -> int:
 
             validator = DTDStreamValidator(dtd)
         checker = KeyStreamChecker(keys)
+        events = 0
         for event in iter_events(Path(args.xml), engine=engine, skip=skip):
+            events += 1
             checker.feed(event)
             if validator is not None:
                 validator.feed(event)
+        if obs.enabled():
+            obs.metrics().inc("pipeline.events", events)
         found = checker.finish()
         if validator is not None:
             dtd_exit = _print_dtd_report(validator.finish())
+    log.info(
+        "checked %s against %d key(s): %d violation(s)",
+        args.xml,
+        len(keys),
+        len(found),
+    )
     return max(_print_violation_report(keys, found), dtd_exit)
 
 
@@ -478,13 +493,17 @@ def cmd_load(args: argparse.Namespace) -> int:
             # A pre-existing table carries constraints this mode did not
             # compile (e.g. log-mode loading into a strict-mode database):
             # a usage problem, not a violation report.
-            print(
-                f"error: the existing database at {args.db} enforces "
-                f"constraints the current --mode does not expect "
-                f"({error}); use a fresh --db or the matching --mode",
-                file=sys.stderr,
+            log.error(
+                "error: the existing database at %s enforces constraints "
+                "the current --mode does not expect (%s); use a fresh --db "
+                "or the matching --mode", args.db, error,
             )
             return 2
+        log.info(
+            "load finished: %d document(s), %d row(s) total",
+            len(report.documents),
+            sum(report.rows.values()),
+        )
         for table in sorted(report.rows):
             print(f"{table}: {report.rows[table]} rows")
         print(
@@ -513,10 +532,10 @@ def cmd_query(args: argparse.Namespace) -> int:
     if name == "sqlite" and args.db != ":memory:" and not Path(args.db).exists():
         raise FileNotFoundError(f"no database at {args.db}")
     if args.sql and args.table:
-        print("error: provide either --sql or --table, not both", file=sys.stderr)
+        log.error("error: provide either --sql or --table, not both")
         return 2
     if args.limit is not None and not args.table:
-        print("error: --limit only applies to --table dumps", file=sys.stderr)
+        log.error("error: --limit only applies to --table dumps")
         return 2
     backend = open_backend(args.db, backend=name)
     try:
@@ -557,6 +576,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         f"serving {args.db} on {args.host}:{args.port} "
         f"({args.mode} mode, {args.workers} worker(s))"
     )
+    if args.metrics_port is not None:
+        print(f"metrics on http://{args.host}:{args.metrics_port}/metrics")
     serve(
         args.db,
         backend=getattr(args, "backend", None),
@@ -566,6 +587,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         pool_size=args.pool_size,
         workers=args.workers,
         jobs=args.jobs if args.jobs is not None else 1,
+        metrics_port=args.metrics_port,
     )
     return 0
 
@@ -632,13 +654,13 @@ def cmd_apply_delta(args: argparse.Namespace) -> int:
     transformation = _load_transformation(args.transform) if args.transform else None
     keys = _load_keys(args.keys) if args.keys else []
     if transformation is None and not keys:
-        print("error: provide --transform, --keys, or both", file=sys.stderr)
+        log.error("error: provide --transform, --keys, or both")
         return 2
     if args.db and transformation is None:
-        print("error: --db needs --transform (rules define the tables)", file=sys.stderr)
+        log.error("error: --db needs --transform (rules define the tables)")
         return 2
     if not args.repl and not args.op:
-        print("error: provide at least one --op, or --repl", file=sys.stderr)
+        log.error("error: provide at least one --op, or --repl")
         return 2
 
     engine = IncrementalEngine(transformation, keys, engine=_tokenizer_engine(args))
@@ -673,7 +695,7 @@ def cmd_apply_delta(args: argparse.Namespace) -> int:
                     delta = _parse_delta_op(op_text)
                     report = engine.apply(delta)
                 except IndexError as error:
-                    print(f"error: {error}", file=sys.stderr)
+                    log.error("error: %s", error)
                     return 2
                 except IntegrityViolation as error:
                     print(f"delta rejected: {error}")
@@ -759,6 +781,23 @@ def _jobs_count(text: str) -> int:
     return value
 
 
+def _add_stats_flags(sub: argparse.ArgumentParser) -> None:
+    """``--stats`` / ``--stats-json``: telemetry for one invocation,
+    collected with :func:`repro.obs.collect` and printed to *stderr*
+    (stdout stays machine-parseable)."""
+    group = sub.add_mutually_exclusive_group()
+    group.add_argument(
+        "--stats",
+        action="store_true",
+        help="print pipeline metrics (counters/timings) to stderr on exit",
+    )
+    group.add_argument(
+        "--stats-json",
+        action="store_true",
+        help="like --stats, as one JSON object on stderr",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     from repro import __version__
 
@@ -768,6 +807,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--version", action="version", version=f"%(prog)s {__version__}"
+    )
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="count",
+        default=0,
+        help="more diagnostics on stderr (-v info, -vv debug)",
+    )
+    parser.add_argument(
+        "-q",
+        "--quiet",
+        action="count",
+        default=0,
+        help="only errors on stderr",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -851,6 +904,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="tokenizer backend: accel probes for the fastest C tokenizer (expat, or lxml when installed) with the pure tokenizer as the identical-output fallback; default: REPRO_TOKENIZER, else auto",
     )
+    _add_stats_flags(shred)
     shred.set_defaults(handler=cmd_shred)
 
     check_doc = subparsers.add_parser(
@@ -896,6 +950,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="tokenizer backend: accel probes for the fastest C tokenizer (expat, or lxml when installed) with the pure tokenizer as the identical-output fallback; default: REPRO_TOKENIZER, else auto",
     )
+    _add_stats_flags(check_doc)
     check_doc.set_defaults(handler=cmd_check_doc)
 
     load = subparsers.add_parser(
@@ -979,6 +1034,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="tokenizer backend: accel probes for the fastest C tokenizer (expat, or lxml when installed) with the pure tokenizer as the identical-output fallback; default: REPRO_TOKENIZER, else auto",
     )
+    _add_stats_flags(load)
     load.set_defaults(handler=cmd_load)
 
     query = subparsers.add_parser("query", help="inspect a database produced by load")
@@ -1048,6 +1104,16 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="shard each uploaded document over N worker processes",
     )
+    serve.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        metavar="P",
+        help=(
+            "also serve live metrics in Prometheus text format over HTTP "
+            "on this port (default: no metrics endpoint)"
+        ),
+    )
     serve.set_defaults(handler=cmd_serve)
 
     apply_delta = subparsers.add_parser(
@@ -1095,6 +1161,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="tokenizer backend: accel probes for the fastest C tokenizer (expat, or lxml when installed) with the pure tokenizer as the identical-output fallback; default: REPRO_TOKENIZER, else auto",
     )
+    _add_stats_flags(apply_delta)
     apply_delta.set_defaults(handler=cmd_apply_delta)
 
     bench = subparsers.add_parser("bench", help="re-run the paper's Figure 7 experiments")
@@ -1121,27 +1188,48 @@ def _silence_stdout() -> None:
         pass
 
 
+def _run_handler(args: argparse.Namespace) -> int:
+    """Dispatch to the sub-command, collecting metrics when asked.
+
+    ``--stats`` / ``--stats-json`` turn the telemetry plane on for this
+    one invocation via :func:`repro.obs.collect` and print the snapshot
+    to stderr afterwards — stdout stays the machine-parseable report.
+    """
+    if not (getattr(args, "stats", False) or getattr(args, "stats_json", False)):
+        return args.handler(args)
+    from repro.obs.render import render_json, render_table
+
+    with obs.collect() as registry:
+        code = args.handler(args)
+    snapshot = registry.snapshot()
+    render = render_json if args.stats_json else render_table
+    print(render(snapshot), file=sys.stderr)
+    return code
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    from repro.obs import setup_cli_logging
     from repro.storage.backend import StorageError
 
     parser = build_parser()
     args = parser.parse_args(argv)
+    setup_cli_logging(args.verbose - args.quiet)
     try:
-        return args.handler(args)
+        return _run_handler(args)
     except FileNotFoundError as error:
-        print(f"error: {error}", file=sys.stderr)
+        log.error("error: %s", error)
         return 2
     except (ValueError, KeyError, StorageError) as error:
         # LoadError (violations found → exit 1) is handled inside cmd_load;
         # any StorageError reaching here is a usage problem (bad SQL, a
         # missing table, an incompatible existing database).
-        print(f"error: {error}", file=sys.stderr)
+        log.error("error: %s", error)
         return 2
     except KeyboardInterrupt:
         # Ctrl-C mid-command (serve, apply-delta --repl, a long load) is a
         # clean stop, not a crash: the conventional 128+SIGINT exit code,
         # no traceback.
-        print("interrupted", file=sys.stderr)
+        log.error("interrupted")
         return 130
     except BrokenPipeError:
         # The stdout reader hung up (`repro query … | head`): close

@@ -17,8 +17,29 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 
-def time_call(fn: Callable[[], Any], repeat: int = 1) -> Tuple[float, Any]:
-    """Run ``fn`` ``repeat`` times; return (best wall-clock seconds, last result).
+@dataclass(frozen=True)
+class TimedCall:
+    """The measurement :func:`time_call` returns.
+
+    Unpacks as the historical ``(seconds, result)`` pair — every existing
+    call site keeps working — while also carrying the CPU time of the best
+    repetition and the number of GC collections (all generations) that ran
+    across the whole call.  With the collector disabled around the timed
+    region ``gc_collections`` is normally 0; a nonzero value flags a
+    measurement whose numbers jittered with allocator state.
+    """
+
+    seconds: float
+    result: Any
+    cpu_seconds: float = 0.0
+    gc_collections: int = 0
+
+    def __iter__(self):
+        return iter((self.seconds, self.result))
+
+
+def time_call(fn: Callable[[], Any], repeat: int = 1) -> TimedCall:
+    """Run ``fn`` ``repeat`` times; best wall-clock seconds plus context.
 
     The garbage collector is disabled around the timed region (and restored
     afterwards, also on error): a cycle collection landing inside one
@@ -26,20 +47,32 @@ def time_call(fn: Callable[[], Any], repeat: int = 1) -> Tuple[float, Any]:
     allocator state rather than with the measured algorithm.
     """
     best = float("inf")
+    best_cpu = float("inf")
     result: Any = None
+    collections_before = sum(s["collections"] for s in gc.get_stats())
     was_enabled = gc.isenabled()
     if was_enabled:
         gc.disable()
     try:
         for _ in range(max(1, repeat)):
+            cpu_start = time.process_time()
             start = time.perf_counter()
             result = fn()
             elapsed = time.perf_counter() - start
-            best = min(best, elapsed)
+            cpu_elapsed = time.process_time() - cpu_start
+            if elapsed < best:
+                best = elapsed
+                best_cpu = cpu_elapsed
     finally:
         if was_enabled:
             gc.enable()
-    return best, result
+    collections = sum(s["collections"] for s in gc.get_stats()) - collections_before
+    return TimedCall(
+        seconds=best,
+        result=result,
+        cpu_seconds=best_cpu,
+        gc_collections=collections,
+    )
 
 
 @dataclass

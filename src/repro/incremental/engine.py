@@ -48,6 +48,7 @@ from typing import Counter as CounterType, Dict, List, Optional, Sequence, Tuple
 
 from collections import Counter
 
+from repro import obs
 from repro.keys.key import XMLKey
 from repro.keys.satisfaction import KeyViolation
 from repro.keys.stream import CheckerShardResult, KeyStreamChecker, merge_shard_results
@@ -114,6 +115,11 @@ class DeltaReport:
     #: without an attached store).
     rows_inserted: Dict[str, int] = field(default_factory=dict)
     rows_deleted: Dict[str, int] = field(default_factory=dict)
+    #: This delta's telemetry snapshot (``None`` when the observability
+    #: plane is disabled).  Snapshots subtract exactly —
+    #: ``merge(a, b).subtract(b) == a`` — so a cumulative registry minus
+    #: one report's snapshot is the cumulative state without that delta.
+    metrics: Optional[obs.MetricsSnapshot] = None
 
 
 class _SubtreeState:
@@ -308,6 +314,7 @@ class IncrementalEngine:
                     streamer.feed(event)
         if checker is not None:
             checker.begin_shard(first=False)
+        events = 0
         for event in fragment_events(
             self._root_tag,
             fragment,
@@ -315,10 +322,13 @@ class IncrementalEngine:
             engine=self.engine,
             skip=self._skip,
         ):
+            events += 1
             for streamer in streamers:
                 streamer.feed(event)
             if checker is not None:
                 checker.feed(event)
+        if obs.enabled():
+            obs.metrics().inc("pipeline.events", events)
         return _SubtreeState(
             fragment,
             [streamer.shard_result() for streamer in streamers],
@@ -501,7 +511,26 @@ class IncrementalEngine:
         errors leave the engine untouched), the attached store syncs next
         (a rejection rolls its savepoint back and leaves the engine on the
         old document), and only then does the engine splice its state.
+
+        With the observability plane enabled, everything the delta does
+        is captured in its own registry; the snapshot lands on
+        :attr:`DeltaReport.metrics` *and* merges into the ambient
+        registry, so cumulative totals and per-delta views stay
+        consistent (cumulative minus one snapshot == cumulative without
+        that delta, exactly).
         """
+        if not obs.enabled():
+            return self._apply(delta)
+        ambient = obs.metrics()
+        with obs.collect() as registry:
+            with obs.trace("delta.apply", kind=delta.kind):
+                report = self._apply(delta)
+        snapshot = registry.snapshot()
+        ambient.merge_snapshot(snapshot)
+        report.metrics = snapshot
+        return report
+
+    def _apply(self, delta: Delta) -> DeltaReport:
         self._require_loaded()
         count = len(self._states)
         if delta.kind == "insert":
@@ -545,11 +574,24 @@ class IncrementalEngine:
         self._states = candidate
         self._invalidate()
         after = self.violations()
+        appeared = _bag_difference(after, before)
+        disappeared = _bag_difference(before, after)
+        if obs.enabled():
+            registry = obs.metrics()
+            registry.inc("delta.applied", kind=delta.kind)
+            if appeared:
+                registry.inc("delta.violations_appeared", len(appeared))
+            if disappeared:
+                registry.inc("delta.violations_disappeared", len(disappeared))
+            for table, count in rows_inserted.items():
+                registry.inc("delta.rows_inserted", count, table=table)
+            for table, count in rows_deleted.items():
+                registry.inc("delta.rows_deleted", count, table=table)
         return DeltaReport(
             delta=delta,
             subtrees=len(self._states),
-            appeared=_bag_difference(after, before),
-            disappeared=_bag_difference(before, after),
+            appeared=appeared,
+            disappeared=disappeared,
             violations=len(after),
             rows_inserted=rows_inserted,
             rows_deleted=rows_deleted,

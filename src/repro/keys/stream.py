@@ -49,6 +49,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
+from repro import obs
 from repro.keys.key import XMLKey
 from repro.keys.satisfaction import KeyViolation
 from repro.xmlmodel.events import (
@@ -517,7 +518,20 @@ class KeyStreamChecker:
 
     def finish(self) -> List[KeyViolation]:
         """All violations, ordered by key and context document order."""
-        return self._materialize_all(self._flushed)
+        found = self._materialize_all(self._flushed)
+        if obs.enabled():
+            registry = obs.metrics()
+            registry.inc("check.violations", len(found))
+            # Index sizes are additive levels (gauges summed across
+            # shards/serial passes): flushed context records plus the
+            # memoised NFA transition tables.
+            registry.gauge_add("check.flushed_contexts", len(self._flushed))
+            registry.gauge_add(
+                "check.nfa_memo_entries",
+                sum(len(bucket._transitions) for bucket in self.buckets)
+                + len(self._vector_cache),
+            )
+        return found
 
     # ------------------------------------------------------------------
     # Sharded execution
@@ -786,10 +800,35 @@ def stream_violations(
         return run.violations or []
     checker = KeyStreamChecker(keys)
     feed = checker.feed
-    for event in as_events(
+    stream = as_events(
         source, strip_whitespace=strip_whitespace, engine=engine, skip=skip
-    ):
-        feed(event)
+    )
+    if not obs.enabled():
+        # The disabled-mode hot loop carries zero instrumentation: the
+        # branch is taken once, outside the loop (bench_obs gates this).
+        for event in stream:
+            feed(event)
+        return checker.finish()
+    events = skips = elided = 0
+    if skip is None:
+        # Without a skip set the stream cannot carry SKIP events, so the
+        # enabled-mode loop pays one integer increment per event and
+        # nothing else (the <= 15% bench_obs gate covers this path).
+        for event in stream:
+            events += 1
+            feed(event)
+    else:
+        for event in stream:
+            events += 1
+            if event.kind == SKIP:
+                skips += 1
+                elided += event.value
+            feed(event)
+    registry = obs.metrics()
+    registry.inc("pipeline.events", events)
+    if skips:
+        registry.inc("pipeline.skips", skips)
+        registry.inc("pipeline.elided_ids", elided)
     return checker.finish()
 
 

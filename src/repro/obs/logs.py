@@ -1,0 +1,69 @@
+"""Structured logging for the CLI, service and storage planes.
+
+Everything under the ``repro`` logger hierarchy writes to *stderr* —
+stdout stays machine-parseable (SQL, NDJSON, violation reports).  The
+CLI's diagnostic messages keep their exact historical text (``error:
+...``) so scripts that grep stderr keep working; ``--verbose`` /
+``--quiet`` only move the level cutoff.
+
+The handler resolves ``sys.stderr`` at *emit* time rather than capturing
+the stream once at setup: test harnesses (pytest's ``capsys``) and
+``contextlib.redirect_stderr`` swap ``sys.stderr`` per test, and a
+handler bound to a dead stream would silently eat every message.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Optional
+
+__all__ = ["setup_cli_logging", "get_logger", "VERBOSITY_LEVELS"]
+
+#: ``--quiet`` → -1, default → 0, ``-v`` → 1, ``-vv`` → 2.
+VERBOSITY_LEVELS = {
+    -1: logging.ERROR,
+    0: logging.WARNING,
+    1: logging.INFO,
+    2: logging.DEBUG,
+}
+
+
+class _CurrentStderrHandler(logging.Handler):
+    """Write to whatever ``sys.stderr`` is right now."""
+
+    def emit(self, record: logging.LogRecord) -> None:
+        try:
+            message = self.format(record)
+            sys.stderr.write(message + "\n")
+        except Exception:
+            self.handleError(record)
+
+
+def setup_cli_logging(
+    verbosity: int = 0, fmt: Optional[str] = None
+) -> logging.Logger:
+    """(Re)configure the ``repro`` logger tree for one CLI invocation.
+
+    Idempotent: repeated calls replace the previous handler instead of
+    stacking duplicates, so tests can call ``main()`` many times in one
+    process.  ``verbosity`` is clamped into :data:`VERBOSITY_LEVELS`.
+    """
+    verbosity = max(min(verbosity, 2), -1)
+    root = logging.getLogger("repro")
+    for handler in list(root.handlers):
+        if isinstance(handler, _CurrentStderrHandler):
+            root.removeHandler(handler)
+    handler = _CurrentStderrHandler()
+    handler.setFormatter(logging.Formatter(fmt or "%(message)s"))
+    root.addHandler(handler)
+    root.setLevel(VERBOSITY_LEVELS[verbosity])
+    root.propagate = False
+    return root
+
+
+def get_logger(name: str) -> logging.Logger:
+    """The ``repro.<name>`` logger (accepts already-qualified names)."""
+    if not name.startswith("repro"):
+        name = f"repro.{name}"
+    return logging.getLogger(name)

@@ -1,0 +1,420 @@
+"""Mergeable metrics: counters, gauges and fixed-bucket histograms.
+
+The design mirrors the repo's shard-state algebra
+(:class:`~repro.transform.stream.RuleShardResult`,
+:class:`~repro.keys.stream.CheckerShardResult`): a
+:class:`MetricsRegistry` is the mutable accumulator, a
+:class:`MetricsSnapshot` is its immutable, picklable value.  Snapshots
+form a commutative monoid under :meth:`MetricsSnapshot.merge` with exact
+inverses under :meth:`MetricsSnapshot.subtract` —
+``merge(a, b).subtract(b) == a`` for every pair of snapshots — so
+per-shard worker metrics ship back through ``run_sharded`` and merge
+into totals identical to a serial run, and the incremental engine's
+per-delta snapshots subtract cleanly out of a cumulative one.
+
+Two consequences of that algebra are deliberate:
+
+* **Gauges merge by summation.**  Every gauge in the codebase is an
+  *additive level* (index sizes, open records, queue backlogs): the
+  total across shards is the sum of the parts, and subtraction stays
+  exact.  "Last write wins" would break the monoid.
+* **Zero entries are identity.**  Equality compares *normalized*
+  snapshots: a counter at 0, a gauge at 0 and an empty histogram are
+  indistinguishable from an absent one, exactly as an empty shard state
+  merges as the identity element.
+
+Histograms use fixed bucket boundaries declared per metric name (default
+:data:`DEFAULT_BUCKETS`, tuned for seconds-scale timings), so any two
+histogram states for the same metric are structurally compatible and
+merge/subtract bucket-by-bucket.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, Mapping, Optional, Tuple
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "HistogramState",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "NullRegistry",
+    "NULL_REGISTRY",
+]
+
+#: Label set, canonicalized as sorted ``(name, value)`` pairs.
+LabelItems = Tuple[Tuple[str, str], ...]
+
+#: One time series: metric name plus its canonical label set.
+SeriesKey = Tuple[str, LabelItems]
+
+#: Default histogram buckets (upper bounds, seconds): 100 µs … ~100 s in
+#: roughly 1-2.5-5 decades, the range every timed stage in this codebase
+#: falls into.  ``+inf`` is implicit as the final overflow bucket.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.0001, 0.00025, 0.0005,
+    0.001, 0.0025, 0.005,
+    0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0,
+    10.0, 25.0, 50.0, 100.0,
+)
+
+
+def _labels_key(labels: Mapping[str, Any]) -> LabelItems:
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+#: Histogram observations are quantized to integer nanounits so that the
+#: running sum is exact integer arithmetic: float addition is not
+#: associative, and ``merge(a, b).subtract(b) == a`` must hold *exactly*.
+_NANO = 1_000_000_000
+
+
+@dataclass(frozen=True)
+class HistogramState:
+    """One histogram's value: per-bucket counts plus sum/count.
+
+    ``buckets`` holds the upper bounds; ``counts`` has one entry per
+    bound plus a final overflow slot, so ``len(counts) ==
+    len(buckets) + 1``.  States with identical bounds merge and subtract
+    slot-by-slot.  The observation sum is kept as an integer count of
+    nanounits (``nanos``) so the merge/subtract algebra is exact.
+    """
+
+    buckets: Tuple[float, ...]
+    counts: Tuple[int, ...]
+    nanos: int = 0
+    count: int = 0
+
+    @classmethod
+    def empty(cls, buckets: Tuple[float, ...]) -> "HistogramState":
+        return cls(buckets=buckets, counts=(0,) * (len(buckets) + 1))
+
+    @property
+    def total(self) -> float:
+        """The observation sum, back in the metric's native unit."""
+        return self.nanos / _NANO
+
+    def observe(self, value: float) -> "HistogramState":
+        slot = bisect.bisect_left(self.buckets, value)
+        counts = list(self.counts)
+        counts[slot] += 1
+        return HistogramState(
+            buckets=self.buckets,
+            counts=tuple(counts),
+            nanos=self.nanos + round(value * _NANO),
+            count=self.count + 1,
+        )
+
+    def _check_compatible(self, other: "HistogramState") -> None:
+        if self.buckets != other.buckets:
+            raise ValueError(
+                "histogram bucket bounds differ: "
+                f"{self.buckets!r} vs {other.buckets!r}"
+            )
+
+    def merge(self, other: "HistogramState") -> "HistogramState":
+        self._check_compatible(other)
+        return HistogramState(
+            buckets=self.buckets,
+            counts=tuple(a + b for a, b in zip(self.counts, other.counts)),
+            nanos=self.nanos + other.nanos,
+            count=self.count + other.count,
+        )
+
+    def subtract(self, other: "HistogramState") -> "HistogramState":
+        self._check_compatible(other)
+        return HistogramState(
+            buckets=self.buckets,
+            counts=tuple(a - b for a, b in zip(self.counts, other.counts)),
+            nanos=self.nanos - other.nanos,
+            count=self.count - other.count,
+        )
+
+    @property
+    def is_zero(self) -> bool:
+        return self.count == 0 and not any(self.counts) and self.nanos == 0
+
+
+@dataclass
+class MetricsSnapshot:
+    """An immutable point-in-time value of a registry.
+
+    Plain picklable dictionaries keyed by ``(name, labels)`` series keys,
+    with :meth:`merge` / :meth:`subtract` forming the same algebra as the
+    shard-result states (associative, commutative, exact inverses).
+    Equality is up to zero entries — see :meth:`normalized`.
+    """
+
+    counters: Dict[SeriesKey, float] = field(default_factory=dict)
+    gauges: Dict[SeriesKey, float] = field(default_factory=dict)
+    histograms: Dict[SeriesKey, HistogramState] = field(default_factory=dict)
+
+    # -- algebra -------------------------------------------------------
+    def merge(self, other: "MetricsSnapshot") -> "MetricsSnapshot":
+        counters = dict(self.counters)
+        for key, value in other.counters.items():
+            counters[key] = counters.get(key, 0.0) + value
+        gauges = dict(self.gauges)
+        for key, value in other.gauges.items():
+            gauges[key] = gauges.get(key, 0.0) + value
+        histograms = dict(self.histograms)
+        for key, state in other.histograms.items():
+            mine = histograms.get(key)
+            histograms[key] = state if mine is None else mine.merge(state)
+        return MetricsSnapshot(counters, gauges, histograms)
+
+    def subtract(self, other: "MetricsSnapshot") -> "MetricsSnapshot":
+        counters = dict(self.counters)
+        for key, value in other.counters.items():
+            counters[key] = counters.get(key, 0.0) - value
+        gauges = dict(self.gauges)
+        for key, value in other.gauges.items():
+            gauges[key] = gauges.get(key, 0.0) - value
+        histograms = dict(self.histograms)
+        for key, state in other.histograms.items():
+            mine = histograms.get(key)
+            if mine is None:
+                mine = HistogramState.empty(state.buckets)
+            histograms[key] = mine.subtract(state)
+        return MetricsSnapshot(counters, gauges, histograms)
+
+    def normalized(self) -> "MetricsSnapshot":
+        """Drop zero-valued series — the identity elements of the merge."""
+        return MetricsSnapshot(
+            counters={k: v for k, v in self.counters.items() if v != 0},
+            gauges={k: v for k, v in self.gauges.items() if v != 0},
+            histograms={
+                k: h for k, h in self.histograms.items() if not h.is_zero
+            },
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MetricsSnapshot):
+            return NotImplemented
+        a, b = self.normalized(), other.normalized()
+        return (
+            a.counters == b.counters
+            and a.gauges == b.gauges
+            and a.histograms == b.histograms
+        )
+
+    __hash__ = None  # type: ignore[assignment]
+
+    # -- accessors -----------------------------------------------------
+    def counter(self, name: str, **labels: Any) -> float:
+        return self.counters.get((name, _labels_key(labels)), 0.0)
+
+    def gauge(self, name: str, **labels: Any) -> float:
+        return self.gauges.get((name, _labels_key(labels)), 0.0)
+
+    def histogram(self, name: str, **labels: Any) -> Optional[HistogramState]:
+        return self.histograms.get((name, _labels_key(labels)))
+
+    @property
+    def is_empty(self) -> bool:
+        n = self.normalized()
+        return not (n.counters or n.gauges or n.histograms)
+
+    def as_dict(self) -> Dict[str, Any]:
+        """A plain-JSON rendering (used by ``--stats-json``)."""
+
+        def series(key: SeriesKey) -> Dict[str, Any]:
+            name, labels = key
+            out: Dict[str, Any] = {"name": name}
+            if labels:
+                out["labels"] = dict(labels)
+            return out
+
+        return {
+            "counters": [
+                dict(series(key), value=value)
+                for key, value in sorted(self.counters.items())
+            ],
+            "gauges": [
+                dict(series(key), value=value)
+                for key, value in sorted(self.gauges.items())
+            ],
+            "histograms": [
+                dict(
+                    series(key),
+                    count=state.count,
+                    sum=state.total,
+                    buckets=[
+                        {"le": bound, "count": count}
+                        for bound, count in zip(state.buckets, state.counts)
+                    ]
+                    + [{"le": "+inf", "count": state.counts[-1]}],
+                )
+                for key, state in sorted(self.histograms.items())
+            ],
+        }
+
+
+class MetricsRegistry:
+    """A thread-safe accumulator of counters, gauges and histograms.
+
+    All mutators take the metric name plus free-form keyword labels; the
+    ``(name, sorted labels)`` pair identifies one series.  ``snapshot()``
+    copies the state out as a :class:`MetricsSnapshot`;
+    ``merge_snapshot()`` folds a snapshot (for example one shipped back
+    from a shard worker) into the running totals.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[SeriesKey, float] = {}
+        self._gauges: Dict[SeriesKey, float] = {}
+        self._histograms: Dict[SeriesKey, HistogramState] = {}
+        self._buckets: Dict[str, Tuple[float, ...]] = {}
+
+    # -- configuration -------------------------------------------------
+    def declare_buckets(self, name: str, buckets: Tuple[float, ...]) -> None:
+        """Pin custom bucket bounds for histogram ``name`` (sorted, > 0)."""
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ValueError("at least one bucket bound is required")
+        with self._lock:
+            self._buckets[name] = bounds
+
+    # -- mutators ------------------------------------------------------
+    def inc(self, name: str, value: float = 1, **labels: Any) -> None:
+        key = (name, _labels_key(labels))
+        with self._lock:
+            self._counters[key] = self._counters.get(key, 0.0) + value
+
+    def gauge_set(self, name: str, value: float, **labels: Any) -> None:
+        key = (name, _labels_key(labels))
+        with self._lock:
+            self._gauges[key] = float(value)
+
+    def gauge_add(self, name: str, delta: float, **labels: Any) -> None:
+        key = (name, _labels_key(labels))
+        with self._lock:
+            self._gauges[key] = self._gauges.get(key, 0.0) + delta
+
+    def observe(self, name: str, value: float, **labels: Any) -> None:
+        key = (name, _labels_key(labels))
+        with self._lock:
+            state = self._histograms.get(key)
+            if state is None:
+                state = HistogramState.empty(
+                    self._buckets.get(name, DEFAULT_BUCKETS)
+                )
+            self._histograms[key] = state.observe(value)
+
+    def time(self, name: str, **labels: Any) -> "_Timer":
+        """``with registry.time("stage.seconds", stage=...):`` — observe
+        the elapsed wall-clock seconds on exit."""
+        return _Timer(self, name, labels)
+
+    # -- reading and folding -------------------------------------------
+    def snapshot(self) -> MetricsSnapshot:
+        with self._lock:
+            return MetricsSnapshot(
+                counters=dict(self._counters),
+                gauges=dict(self._gauges),
+                histograms=dict(self._histograms),
+            )
+
+    def merge_snapshot(self, snapshot: MetricsSnapshot) -> None:
+        with self._lock:
+            for key, value in snapshot.counters.items():
+                self._counters[key] = self._counters.get(key, 0.0) + value
+            for key, value in snapshot.gauges.items():
+                self._gauges[key] = self._gauges.get(key, 0.0) + value
+            for key, state in snapshot.histograms.items():
+                mine = self._histograms.get(key)
+                self._histograms[key] = (
+                    state if mine is None else mine.merge(state)
+                )
+
+    def clear(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+
+class _Timer:
+    __slots__ = ("_registry", "_name", "_labels", "_start")
+
+    def __init__(self, registry, name: str, labels: Mapping[str, Any]) -> None:
+        self._registry = registry
+        self._name = name
+        self._labels = labels
+
+    def __enter__(self) -> "_Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self._registry.observe(
+            self._name, time.perf_counter() - self._start, **self._labels
+        )
+
+
+class _NullTimer:
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullTimer":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        pass
+
+
+_NULL_TIMER = _NullTimer()
+
+
+class NullRegistry(MetricsRegistry):
+    """The disabled-mode fast path: every mutator is a no-op.
+
+    Instrumented call sites write ``obs.metrics().inc(...)`` without
+    checking whether telemetry is on; when it is off they hit this
+    shared singleton whose methods fall through immediately.  Hot loops
+    that want literally zero per-event work should branch on
+    :func:`repro.obs.enabled` once, outside the loop.
+    """
+
+    def __init__(self) -> None:  # no lock, no dicts
+        pass
+
+    def declare_buckets(self, name, buckets) -> None:
+        pass
+
+    def inc(self, name, value=1, **labels) -> None:
+        pass
+
+    def gauge_set(self, name, value, **labels) -> None:
+        pass
+
+    def gauge_add(self, name, delta, **labels) -> None:
+        pass
+
+    def observe(self, name, value, **labels) -> None:
+        pass
+
+    def time(self, name, **labels):
+        return _NULL_TIMER
+
+    def snapshot(self) -> MetricsSnapshot:
+        return MetricsSnapshot()
+
+    def merge_snapshot(self, snapshot) -> None:
+        pass
+
+    def clear(self) -> None:
+        pass
+
+
+#: Shared no-op registry handed out by :func:`repro.obs.metrics` whenever
+#: telemetry is disabled.
+NULL_REGISTRY = NullRegistry()

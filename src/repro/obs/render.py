@@ -1,0 +1,135 @@
+"""Exposition: render a :class:`MetricsSnapshot` three ways.
+
+* :func:`render_table` — the human form behind the CLI ``--stats`` flag;
+* :func:`render_json` — the machine form behind ``--stats-json``
+  (``MetricsSnapshot.as_dict`` plus a stable envelope);
+* :func:`render_prometheus` — the Prometheus text exposition format
+  served by the ``repro serve`` ``/metrics`` endpoint.
+
+Prometheus metric names are derived mechanically: ``load.batch_seconds``
+becomes ``repro_load_batch_seconds``; counters gain the conventional
+``_total`` suffix; histograms expand into ``_bucket``/``_sum``/``_count``
+series with the cumulative ``le`` label.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Any, Dict, List, Tuple
+
+from repro.obs.metrics import MetricsSnapshot
+
+__all__ = ["render_table", "render_json", "render_prometheus"]
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _prom_name(name: str, prefix: str = "repro") -> str:
+    return f"{prefix}_{_NAME_RE.sub('_', name)}"
+
+
+def _prom_labels(labels: Tuple[Tuple[str, str], ...], extra: str = "") -> str:
+    parts = [f'{k}="{_escape(v)}"' for k, v in labels]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    if value == int(value):
+        return str(int(value))
+    return repr(value)
+
+
+def render_prometheus(snapshot: MetricsSnapshot, prefix: str = "repro") -> str:
+    """The text exposition format, one ``# TYPE`` header per metric."""
+    lines: List[str] = []
+    by_name: Dict[str, List[Tuple[Tuple[Tuple[str, str], ...], float]]] = {}
+    for (name, labels), value in sorted(snapshot.counters.items()):
+        by_name.setdefault(name, []).append((labels, value))
+    for name, series in by_name.items():
+        pname = _prom_name(name, prefix) + "_total"
+        lines.append(f"# TYPE {pname} counter")
+        for labels, value in series:
+            lines.append(f"{pname}{_prom_labels(labels)} {_format_value(value)}")
+
+    by_name = {}
+    for (name, labels), value in sorted(snapshot.gauges.items()):
+        by_name.setdefault(name, []).append((labels, value))
+    for name, series in by_name.items():
+        pname = _prom_name(name, prefix)
+        lines.append(f"# TYPE {pname} gauge")
+        for labels, value in series:
+            lines.append(f"{pname}{_prom_labels(labels)} {_format_value(value)}")
+
+    hist_by_name: Dict[str, List[Tuple[Tuple[Tuple[str, str], ...], Any]]] = {}
+    for (name, labels), state in sorted(snapshot.histograms.items()):
+        hist_by_name.setdefault(name, []).append((labels, state))
+    for name, hseries in hist_by_name.items():
+        pname = _prom_name(name, prefix)
+        lines.append(f"# TYPE {pname} histogram")
+        for labels, state in hseries:
+            cumulative = 0
+            for bound, count in zip(state.buckets, state.counts):
+                cumulative += count
+                le = 'le="' + repr(bound) + '"'
+                lines.append(
+                    f"{pname}_bucket{_prom_labels(labels, le)} {cumulative}"
+                )
+            cumulative += state.counts[-1]
+            inf = 'le="+Inf"'
+            lines.append(
+                f"{pname}_bucket{_prom_labels(labels, inf)} {cumulative}"
+            )
+            lines.append(
+                f"{pname}_sum{_prom_labels(labels)} {repr(state.total)}"
+            )
+            lines.append(f"{pname}_count{_prom_labels(labels)} {state.count}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def render_json(snapshot: MetricsSnapshot) -> str:
+    """One JSON object (the ``--stats-json`` form), sorted and stable."""
+    return json.dumps({"schema": "repro-stats/1", **snapshot.as_dict()})
+
+
+def render_table(snapshot: MetricsSnapshot) -> str:
+    """A plain aligned table for ``--stats``: name, labels, value."""
+    rows: List[Tuple[str, str, str, str]] = []
+    for (name, labels), value in sorted(snapshot.counters.items()):
+        rows.append((name, _labels_text(labels), "counter", _format_value(value)))
+    for (name, labels), value in sorted(snapshot.gauges.items()):
+        rows.append((name, _labels_text(labels), "gauge", _format_value(value)))
+    for (name, labels), state in sorted(snapshot.histograms.items()):
+        mean = state.total / state.count if state.count else 0.0
+        rows.append(
+            (
+                name,
+                _labels_text(labels),
+                "histogram",
+                f"count={state.count} sum={state.total:.6f} mean={mean:.6f}",
+            )
+        )
+    if not rows:
+        return "(no metrics recorded)"
+    headers = ("metric", "labels", "type", "value")
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in rows))
+        for i in range(4)
+    ]
+    out = [
+        "  ".join(headers[i].ljust(widths[i]) for i in range(4)).rstrip(),
+        "  ".join("-" * widths[i] for i in range(4)).rstrip(),
+    ]
+    for row in rows:
+        out.append("  ".join(row[i].ljust(widths[i]) for i in range(4)).rstrip())
+    return "\n".join(out)
+
+
+def _labels_text(labels: Tuple[Tuple[str, str], ...]) -> str:
+    return ",".join(f"{k}={v}" for k, v in labels) if labels else "-"

@@ -1,0 +1,62 @@
+"""Stage tracing: ``with trace("shred.anchor_subtree"): ...`` spans.
+
+A span is deliberately tiny: on exit it observes the elapsed wall-clock
+seconds into the ``stage.seconds`` histogram (labelled by stage name)
+and bumps the ``stage.calls`` counter of the active registry.  When
+telemetry is disabled, :func:`trace` returns one shared no-op context
+manager — a single attribute load and function call, no allocation —
+which is what keeps instrumented code paths within the disabled-overhead
+gate (:mod:`benchmarks.bench_obs`).
+
+Spans are used at *coarse* granularity (per document, per batch, per
+delta), never per event; the per-event counters live as plain local
+integers inside the hot loops and are flushed to the registry once at
+the end of the pass.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any
+
+from repro.obs.metrics import _NULL_TIMER
+
+__all__ = ["trace", "STAGE_SECONDS", "STAGE_CALLS"]
+
+#: Histogram of span durations, labelled ``stage=<name>``.
+STAGE_SECONDS = "stage.seconds"
+#: Counter of span entries, labelled ``stage=<name>``.
+STAGE_CALLS = "stage.calls"
+
+
+class _Span:
+    __slots__ = ("_name", "_extra", "_start")
+
+    def __init__(self, name: str, extra: dict) -> None:
+        self._name = name
+        self._extra = extra
+
+    def __enter__(self) -> "_Span":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        elapsed = time.perf_counter() - self._start
+        from repro import obs
+
+        registry = obs.metrics()
+        registry.observe(STAGE_SECONDS, elapsed, stage=self._name, **self._extra)
+        registry.inc(STAGE_CALLS, stage=self._name, **self._extra)
+
+
+def trace(name: str, **labels: Any):
+    """A span context manager timing one named stage.
+
+    ``labels`` are attached alongside the ``stage`` label.  Returns a
+    shared no-op when telemetry is disabled.
+    """
+    from repro import obs
+
+    if not obs.enabled():
+        return _NULL_TIMER
+    return _Span(name, labels)

@@ -48,6 +48,7 @@ import os
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Union
 
+from repro import obs
 from repro.keys.key import XMLKey
 from repro.keys.satisfaction import KeyViolation
 from repro.keys.stream import (
@@ -111,11 +112,16 @@ class ShardOutput:
 
     ``skipped_subtrees`` counts the subtrees the skip plane fast-forwarded
     inside this shard — pure telemetry for the static-optimization plane.
+    ``metrics`` is the shard's telemetry snapshot when the coordinator ran
+    with the observability plane enabled (``None`` otherwise); snapshots
+    merge associatively, so the coordinator folds them into totals
+    identical to a serial pass.
     """
 
     rules: List[RuleShardResult]
     checker: Optional[CheckerShardResult]
     skipped_subtrees: int = 0
+    metrics: Optional[obs.MetricsSnapshot] = None
 
 
 class _ShardWorker:
@@ -129,6 +135,7 @@ class _ShardWorker:
         strip_whitespace: bool,
         engine: Optional[str] = None,
         skip=None,
+        metrics_enabled: bool = False,
     ) -> None:
         self.shards = shards
         self.rules = list(rules)
@@ -138,12 +145,26 @@ class _ShardWorker:
         #: Optional :class:`~repro.xmlmodel.static.SkipSet`; plain picklable
         #: data, shipped to the workers with the rest of the payload.
         self.skip = skip
+        #: Telemetry travels in the payload, not the environment: a child
+        #: process spawned without ``REPRO_METRICS`` still collects when
+        #: the coordinator had the plane enabled.
+        self.metrics_enabled = metrics_enabled
 
     def run(self, index: int) -> ShardOutput:
+        if not self.metrics_enabled:
+            return self._run(index)
+        with obs.collect() as registry:
+            output = self._run(index)
+        output.metrics = registry.snapshot()
+        return output
+
+    def _run(self, index: int) -> ShardOutput:
         first = index == 0
         streamers = [RuleStreamer(rule, shard_mode=True) for rule in self.rules]
         checker = KeyStreamChecker(self.keys) if self.keys else None
         skipped = 0
+        events = 0
+        elided = 0
         for event in self.shards.prologue_events:
             if checker is not None:
                 checker.feed(event)
@@ -152,18 +173,32 @@ class _ShardWorker:
                     streamer.feed(event)
         if checker is not None:
             checker.begin_shard(first=first)
+        if first:
+            # The prologue belongs to the document once; shards k > 0
+            # replay it for automaton state only, so only shard 0 counts
+            # its events — summed shard counters then equal one serial
+            # pass exactly.
+            events = len(self.shards.prologue_events)
         for event in self.shards.shard_events(
             index,
             strip_whitespace=self.strip_whitespace,
             engine=self.engine,
             skip=self.skip,
         ):
+            events += 1
             if event.kind == SKIP:
                 skipped += 1
+                elided += event.value
             for streamer in streamers:
                 streamer.feed(event)
             if checker is not None:
                 checker.feed(event)
+        if self.metrics_enabled:
+            registry = obs.metrics()
+            registry.inc("pipeline.events", events)
+            if skipped:
+                registry.inc("pipeline.skips", skipped)
+                registry.inc("pipeline.elided_ids", elided)
         return ShardOutput(
             rules=[streamer.shard_result() for streamer in streamers],
             checker=checker.shard_result() if checker is not None else None,
@@ -229,15 +264,25 @@ def _run_serial(
     )
     checker = KeyStreamChecker(keys) if keys else None
     skipped = 0
+    events = 0
+    elided = 0
     for event in iter_events(
         source, strip_whitespace=strip_whitespace, engine=engine, skip=skip
     ):
+        events += 1
         if event.kind == SKIP:
             skipped += 1
+            elided += event.value
         if shredder is not None:
             shredder.feed(event)
         if checker is not None:
             checker.feed(event)
+    if obs.enabled():
+        registry = obs.metrics()
+        registry.inc("pipeline.events", events)
+        if skipped:
+            registry.inc("pipeline.skips", skipped)
+            registry.inc("pipeline.elided_ids", elided)
     return ShardedRun(
         instances=shredder.finish() if shredder is not None else None,
         violations=checker.finish() if checker is not None else None,
@@ -329,7 +374,10 @@ def run_sharded(
     if path is not None:
         shards = map_document_shards(shards, path)
 
-    worker = _ShardWorker(shards, rules, key_list, strip_whitespace, engine, skip)
+    worker = _ShardWorker(
+        shards, rules, key_list, strip_whitespace, engine, skip,
+        metrics_enabled=obs.enabled(),
+    )
     indices = range(len(shards))
     if use_processes is None:
         use_processes = True
@@ -346,6 +394,19 @@ def run_sharded(
             outputs = list(pool.map(_run_shard, indices))
     else:
         outputs = [worker.run(index) for index in indices]
+
+    if obs.enabled():
+        # Worker snapshots merge associatively into the coordinator's
+        # registry — identical totals to one serial pass for every
+        # deterministic counter (events, skips, elided ids).
+        registry = obs.metrics()
+        for output in outputs:
+            if output.metrics is not None:
+                registry.merge_snapshot(output.metrics)
+        # The document's closing root END never reaches a worker (the
+        # merge closes the root logically); count it here so the shard
+        # totals equal the serial pass event-for-event.
+        registry.inc("pipeline.events", 1)
 
     instances: Optional[Dict[str, RelationInstance]] = None
     if rules:
@@ -370,6 +431,15 @@ def run_sharded(
             for row in rows:
                 instance.add_row(row)
             instances[rule.relation] = instance
+        if obs.enabled():
+            # The serial plane records these inside StreamShredder.finish;
+            # the sharded plane only knows the final rows after the merge,
+            # and the byte-identical-output guarantee makes them equal.
+            registry = obs.metrics()
+            for relation, instance in instances.items():
+                registry.inc(
+                    "shred.rows", len(instance.rows), relation=relation
+                )
 
     violations: Optional[List[KeyViolation]] = None
     if key_list:
@@ -378,6 +448,8 @@ def run_sharded(
             [output.checker for output in outputs if output.checker is not None],
             prologue_ids=shards.prologue_ids,
         )
+        if obs.enabled():
+            obs.metrics().inc("check.violations", len(violations))
 
     return ShardedRun(
         instances=instances,

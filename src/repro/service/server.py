@@ -39,6 +39,8 @@ import json
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Dict, List, Optional
 
+from repro import obs
+from repro.obs.render import render_prometheus
 from repro.relational.instance import is_null
 from repro.service.registry import (
     DEFAULT_PROVENANCE,
@@ -58,6 +60,9 @@ from repro.storage import (
     StorageError,
     open_backend,
 )
+
+
+log = obs.get_logger("service")
 
 
 def _plain_rows(rows: List) -> List[Dict]:
@@ -93,6 +98,11 @@ class IngestionService:
         retry_policy: Optional[RetryPolicy] = None,
         backend_factory: Optional[Callable[[], Backend]] = None,
     ) -> None:
+        #: The service's own always-on registry: live introspection
+        #: (``stats`` verb, Prometheus endpoint) must work regardless of
+        #: the ``REPRO_METRICS`` switch, so the pool and retry layers get
+        #: this registry explicitly instead of the ambient one.
+        self.metrics = obs.MetricsRegistry()
         if backend_factory is None:
             backend_factory = lambda: open_backend(  # noqa: E731
                 database, backend=backend, check_same_thread=False
@@ -100,9 +110,11 @@ class IngestionService:
         if retry_policy is not None:
             inner_factory = backend_factory
             backend_factory = lambda: RetryingBackend(  # noqa: E731
-                inner_factory(), retry_policy
+                inner_factory(), retry_policy, metrics=self.metrics
             )
-        self.pool = ConnectionPool(backend_factory, max_size=pool_size)
+        self.pool = ConnectionPool(
+            backend_factory, max_size=pool_size, metrics=self.metrics
+        )
         # One probe connection decides the engine's ordinal-column needs
         # (and fails fast on a bad DSN); it goes straight back to the pool.
         probe = self.pool.acquire()
@@ -136,6 +148,10 @@ class IngestionService:
             asyncio.ensure_future(self._worker()) for _ in range(self.workers)
         ]
         self._started = True
+        log.info(
+            "service started: %d workers, queue %d, pool %d",
+            self.workers, self.queue_size, self.pool._max_size,
+        )
 
     async def stop(self) -> None:
         if not self._started:
@@ -150,6 +166,7 @@ class IngestionService:
             self._executor.shutdown(wait=True)
             self._executor = None
         self._started = False
+        log.info("service stopped")
 
     def close(self) -> None:
         self.pool.close()
@@ -179,6 +196,10 @@ class IngestionService:
         )
         with self.pool.connection() as backend:
             BulkLoader(backend, config.ddl).create_schema()
+        log.info(
+            "tenant %r registered: %d tables, mode %s",
+            tenant, len(config.tables), config.ddl.mode,
+        )
         return config
 
     def _lock_for(self, tenant: str) -> asyncio.Lock:
@@ -212,6 +233,10 @@ class IngestionService:
             document = self._next_document_id(tenant)
         assert self._queue is not None
         future: asyncio.Future = asyncio.get_running_loop().create_future()
+        # Queue depth counts accepted-but-unfinished uploads: +1 here,
+        # -1 when the worker finishes (success or rejection alike).
+        self.metrics.inc("service.uploads", tenant=tenant)
+        self.metrics.gauge_add("service.queue_depth", 1, tenant=tenant)
         await self._queue.put((tenant, document, text, future))
         return await future
 
@@ -227,14 +252,27 @@ class IngestionService:
                         self._executor, self._load_sync, config, document, text
                     )
                 config.merge_counts(counts)
+                self.metrics.inc(
+                    "service.loaded_rows", sum(counts.values()), tenant=tenant
+                )
+                log.debug(
+                    "loaded %r for tenant %r: %d rows",
+                    document, tenant, sum(counts.values()),
+                )
                 if not future.cancelled():
                     future.set_result(config.logical_counts(counts))
             except BaseException as error:  # report on the future, keep serving
+                if isinstance(error, LoadError):
+                    self.metrics.inc("service.rejections", tenant=tenant)
+                    log.info(
+                        "rejected %r for tenant %r: %s", document, tenant, error
+                    )
                 if not future.cancelled():
                     future.set_exception(error)
                 if isinstance(error, asyncio.CancelledError):
                     raise
             finally:
+                self.metrics.gauge_add("service.queue_depth", -1, tenant=tenant)
                 self._queue.task_done()
 
     def _load_sync(
@@ -266,13 +304,27 @@ class IngestionService:
         }
 
     def stats(self) -> Dict[str, Dict]:
-        return {
-            tenant: {
-                "documents": self.registry.get(tenant).documents,
-                "rows": dict(self.registry.get(tenant).loaded),
+        """Per-tenant live counters: documents, rows, queue depth,
+        rejections — read off the service's always-on registry."""
+        snapshot = self.metrics.snapshot()
+        out: Dict[str, Dict] = {}
+        for tenant in self.registry.tenants():
+            config = self.registry.get(tenant)
+            out[tenant] = {
+                "documents": config.documents,
+                "rows": dict(config.loaded),
+                "queue_depth": int(
+                    snapshot.gauge("service.queue_depth", tenant=tenant)
+                ),
+                "uploads": int(snapshot.counter("service.uploads", tenant=tenant)),
+                "loaded_rows": int(
+                    snapshot.counter("service.loaded_rows", tenant=tenant)
+                ),
+                "rejections": int(
+                    snapshot.counter("service.rejections", tenant=tenant)
+                ),
             }
-            for tenant in self.registry.tenants()
-        }
+        return out
 
     # ------------------------------------------------------------------
     # NDJSON protocol
@@ -354,14 +406,69 @@ class IngestionService:
         finally:
             writer.close()
 
-    async def serve_forever(self, host: str = "127.0.0.1", port: int = 8743) -> None:
+    # ------------------------------------------------------------------
+    # Prometheus text endpoint
+    # ------------------------------------------------------------------
+    async def _handle_metrics_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """One minimal HTTP exchange: any request → the metrics page.
+
+        A scrape endpoint needs exactly one route, so the request head is
+        consumed and discarded and the response is always the Prometheus
+        text rendering of the service registry.
+        """
+        try:
+            while True:
+                line = await reader.readline()
+                if not line or line in (b"\r\n", b"\n"):
+                    break
+            body = render_prometheus(self.metrics.snapshot()).encode("utf-8")
+            writer.write(
+                b"HTTP/1.0 200 OK\r\n"
+                b"Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+                b"Content-Length: " + str(len(body)).encode("ascii")
+                + b"\r\nConnection: close\r\n\r\n" + body
+            )
+            await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        except asyncio.CancelledError:
+            pass
+        finally:
+            writer.close()
+
+    async def serve_metrics(
+        self, host: str = "127.0.0.1", port: int = 0
+    ) -> asyncio.AbstractServer:
+        """Start the ``/metrics`` scrape endpoint; returns the server
+        (whose first socket carries the bound port — tests pass 0)."""
+        server = await asyncio.start_server(
+            self._handle_metrics_connection, host, port
+        )
+        bound = server.sockets[0].getsockname()[1] if server.sockets else port
+        log.info("metrics endpoint listening on %s:%d", host, bound)
+        return server
+
+    async def serve_forever(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8743,
+        metrics_port: Optional[int] = None,
+    ) -> None:
         """Start workers and accept NDJSON connections until cancelled."""
         await self.start()
         server = await asyncio.start_server(self.handle_connection, host, port)
+        metrics_server = None
+        if metrics_port is not None:
+            metrics_server = await self.serve_metrics(host, metrics_port)
         try:
             async with server:
                 await server.serve_forever()
         finally:
+            if metrics_server is not None:
+                metrics_server.close()
+                await metrics_server.wait_closed()
             await self.stop()
             self.close()
 
@@ -375,6 +482,7 @@ def serve(
     pool_size: int = 1,
     workers: int = 4,
     jobs: int = 1,
+    metrics_port: Optional[int] = None,
 ) -> None:
     """Blocking entry point for ``repro serve``."""
     service = IngestionService(
@@ -385,4 +493,6 @@ def serve(
         workers=workers,
         jobs=jobs,
     )
-    asyncio.run(service.serve_forever(host=host, port=port))
+    asyncio.run(
+        service.serve_forever(host=host, port=port, metrics_port=metrics_port)
+    )

@@ -33,12 +33,14 @@ remain attributable after the fact.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
 from itertools import islice
 from operator import itemgetter
 
+from repro import obs
 from repro.relational.instance import RelationInstance, Row, Value, is_null
 from repro.relational.sql import insert_template
 from repro.storage.backend import Backend, IntegrityViolation, StorageError
@@ -46,6 +48,8 @@ from repro.storage.ddl import StorageDDL, TableDDL
 from repro.transform.rule import TableRule, Transformation
 from repro.transform.stream import RuleStreamer
 from repro.xmlmodel.events import EventSource, as_events
+
+log = obs.get_logger("storage.loader")
 
 
 class LoadError(StorageError):
@@ -182,10 +186,28 @@ class _TableSink:
         # The bulk channel (COPY) when the backend has one, parameterized
         # executemany otherwise; both raise IntegrityViolation on a
         # constraint failure, so the guarded replay below works unchanged.
-        if self.use_copy:
-            self.backend.copy_rows(self.schema.name, self.columns, parameters)
-        else:
-            self.backend.executemany(self.template, parameters)
+        if not obs.enabled():
+            if self.use_copy:
+                self.backend.copy_rows(self.schema.name, self.columns, parameters)
+            else:
+                self.backend.executemany(self.template, parameters)
+            return
+        registry = obs.metrics()
+        method = "copy" if self.use_copy else "executemany"
+        started = time.perf_counter()
+        try:
+            if self.use_copy:
+                self.backend.copy_rows(self.schema.name, self.columns, parameters)
+            else:
+                self.backend.executemany(self.template, parameters)
+        finally:
+            registry.observe(
+                "load.batch_seconds",
+                time.perf_counter() - started,
+                method=method,
+                table=self.schema.name,
+            )
+            registry.inc("load.batches", method=method, table=self.schema.name)
 
     def flush_batch(self, batch: Sequence[Mapping[str, Value]]) -> None:
         parameters = self._encode_batch(batch)
@@ -282,6 +304,9 @@ class BulkLoader:
                 break
             sink.flush_batch(batch)
         if sink.rejected:
+            obs.metrics().inc(
+                "load.rejected_rows", len(sink.rejected), table=table
+            )
             raise LoadError(table, sink.rejected, document=document)
         return sink.loaded
 
@@ -332,6 +357,15 @@ class BulkLoader:
                 counts = self._load_document_streaming(
                     source, rules, document, strip_whitespace, engine
                 )
+        if obs.enabled():
+            registry = obs.metrics()
+            registry.inc("load.documents")
+            for table, count in counts.items():
+                registry.inc("load.rows", count, table=table)
+        log.debug(
+            "loaded document %s: %d row(s) across %d table(s)",
+            document, sum(counts.values()), len(counts),
+        )
         return counts
 
     def _load_document_sharded(
@@ -391,6 +425,11 @@ class BulkLoader:
             sink = sinks[rule.relation]
             sink.flush()
             if sink.rejected:
+                obs.metrics().inc(
+                    "load.rejected_rows",
+                    len(sink.rejected),
+                    table=rule.relation,
+                )
                 raise LoadError(rule.relation, sink.rejected, document=document)
             counts[rule.relation] = sink.loaded
         return counts
@@ -436,6 +475,7 @@ class BulkLoader:
             except LoadError as error:
                 if on_error == "raise":
                     raise
+                log.info("document %s rejected: %s", document_id, error)
                 report.rejected[document_id] = error
                 continue
             report.documents.append(document_id)

@@ -17,11 +17,15 @@ from __future__ import annotations
 
 import queue
 import threading
+import time
 from typing import Callable, Iterator, Optional
 
 from contextlib import contextmanager
 
+from repro import obs
 from repro.storage.backend import Backend, StorageError, TransientError
+
+log = obs.get_logger("storage.pool")
 
 
 class PoolClosed(StorageError):
@@ -41,6 +45,7 @@ class ConnectionPool:
         factory: Callable[[], Backend],
         max_size: int = 4,
         acquire_timeout: Optional[float] = None,
+        metrics: Optional[obs.MetricsRegistry] = None,
     ) -> None:
         if max_size < 1:
             raise ValueError("max_size must be at least 1")
@@ -51,6 +56,13 @@ class ConnectionPool:
         self._lock = threading.Lock()
         self._created = 0
         self._closed = False
+        #: Explicit registry for the pool counters; ``None`` falls back to
+        #: the ambient :func:`repro.obs.metrics` registry per call (the
+        #: ingestion service passes its own always-on registry here).
+        self._metrics = metrics
+
+    def _registry(self) -> obs.MetricsRegistry:
+        return self._metrics if self._metrics is not None else obs.metrics()
 
     # ------------------------------------------------------------------
     @property
@@ -65,9 +77,12 @@ class ConnectionPool:
                 if self._closed:
                     raise PoolClosed("the connection pool is closed")
                 try:
-                    return self._idle.get_nowait()
+                    backend = self._idle.get_nowait()
                 except queue.Empty:
                     pass
+                else:
+                    self._registry().inc("pool.acquires")
+                    return backend
                 if self._created < self._max_size:
                     self._created += 1
                     make = True
@@ -75,22 +90,40 @@ class ConnectionPool:
                     make = False
             if make:
                 try:
-                    return self._factory()
+                    backend = self._factory()
                 except BaseException:
                     with self._lock:
                         self._created -= 1
                     raise
+                registry = self._registry()
+                registry.inc("pool.acquires")
+                registry.inc("pool.created")
+                return backend
+            # All backends are checked out: this acquire waits, and the
+            # wait is worth a histogram point — it is the signal the
+            # capacity planning (and satellite tests) read.
+            self._registry().inc("pool.waits")
+            started = time.perf_counter()
             try:
                 backend = self._idle.get(timeout=self._acquire_timeout)
             except queue.Empty:
+                self._registry().inc("pool.wait_timeouts")
+                log.debug(
+                    "pool acquire timed out after %.3fs (size %d)",
+                    self._acquire_timeout or 0.0, self._max_size,
+                )
                 raise StorageError(
                     f"no backend became available within "
                     f"{self._acquire_timeout}s (pool size {self._max_size})"
                 ) from None
+            self._registry().observe(
+                "pool.acquire_wait_seconds", time.perf_counter() - started
+            )
             with self._lock:
                 if self._closed:
                     _close_quietly(backend)
                     raise PoolClosed("the connection pool is closed")
+            self._registry().inc("pool.acquires")
             return backend
 
     def release(self, backend: Backend, discard: bool = False) -> None:
@@ -99,6 +132,10 @@ class ConnectionPool:
         with self._lock:
             if self._closed or discard:
                 self._created -= 1
+                if discard and not self._closed:
+                    self._registry().inc("pool.discards")
+                    log.debug("discarding a suspect backend (size now %d)",
+                              self._created)
                 _close_quietly(backend)
                 return
         self._idle.put(backend)

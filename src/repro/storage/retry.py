@@ -36,7 +36,10 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.storage.backend import Backend, Cursor, TransientError
+
+log = obs.get_logger("storage.retry")
 
 
 @dataclass(frozen=True)
@@ -86,19 +89,25 @@ def call_with_retries(
     policy: Optional[RetryPolicy] = None,
     sleep: Callable[[float], None] = time.sleep,
     clock: Callable[[], float] = time.monotonic,
+    metrics: Optional[obs.MetricsRegistry] = None,
     **kwargs,
 ):
     """Run ``operation`` under a policy, retrying transient errors only.
 
     ``sleep`` and ``clock`` are injectable for tests (and for the fault
     plan's virtual time).  Raises the *last* transient error when the
-    attempts or the time budget run out.
+    attempts or the time budget run out.  ``metrics`` selects the
+    registry the attempt/backoff counters land in (default: the ambient
+    :func:`repro.obs.metrics` registry — the shared no-op when telemetry
+    is off).
     """
     policy = policy or RetryPolicy()
+    registry = metrics if metrics is not None else obs.metrics()
     start = clock()
     delays = policy.delays()
     last: Optional[TransientError] = None
     for attempt in range(policy.max_attempts):
+        registry.inc("retry.attempts")
         try:
             return operation(*args, **kwargs)
         except TransientError as error:
@@ -109,9 +118,20 @@ def call_with_retries(
             if policy.timeout is not None and (
                 clock() - start + delay > policy.timeout
             ):
+                log.debug(
+                    "transient failure, retry budget exhausted after "
+                    "%d attempts: %s", attempt + 1, error,
+                )
                 break
+            log.debug(
+                "transient failure (attempt %d/%d), backing off %.3fs: %s",
+                attempt + 1, policy.max_attempts, delay, error,
+            )
+            registry.inc("retry.retries")
+            registry.observe("retry.sleep_seconds", delay)
             sleep(delay)
     assert last is not None
+    registry.inc("retry.exhausted")
     raise last
 
 
@@ -139,11 +159,16 @@ class RetryingBackend(Backend):
         policy: Optional[RetryPolicy] = None,
         sleep: Callable[[float], None] = time.sleep,
         clock: Callable[[], float] = time.monotonic,
+        metrics: Optional[obs.MetricsRegistry] = None,
     ) -> None:
         self.inner = inner
         self.policy = policy or RetryPolicy()
         self._sleep = sleep
         self._clock = clock
+        #: Explicit registry for the retry counters; ``None`` falls back
+        #: to the ambient :func:`repro.obs.metrics` registry per call (the
+        #: ingestion service passes its own always-on registry here).
+        self._metrics = metrics
         self.placeholder = inner.placeholder
         self.supports_copy = inner.supports_copy
         self.ordinal_column = inner.ordinal_column
@@ -161,7 +186,8 @@ class RetryingBackend(Backend):
 
         try:
             return call_with_retries(
-                counting, policy=self.policy, sleep=self._sleep, clock=self._clock
+                counting, policy=self.policy, sleep=self._sleep,
+                clock=self._clock, metrics=self._metrics,
             )
         finally:
             self.retries += max(0, attempts - 1)

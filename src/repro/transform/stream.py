@@ -46,6 +46,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.relational.instance import NULL, RelationInstance, Row, Value
 from repro.relational.schema import DatabaseSchema, RelationSchema
 from repro.transform.rule import TableRule, Transformation
@@ -667,6 +668,12 @@ class StreamShredder:
             streamer.finish()
             for row in streamer.drain():
                 instance.add_row(row)
+        if obs.enabled():
+            registry = obs.metrics()
+            for relation, instance in self._instances.items():
+                registry.inc(
+                    "shred.rows", len(instance.rows), relation=relation
+                )
         return dict(self._instances)
 
     def run(

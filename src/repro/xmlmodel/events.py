@@ -44,6 +44,7 @@ import os
 import re
 from typing import IO, Iterable, Iterator, List, NamedTuple, Optional, Union
 
+from repro import obs
 from repro.xmlmodel.nodes import ElementNode, TextNode
 from repro.xmlmodel.parser import XMLSyntaxError, expand_entities
 from repro.xmlmodel.tree import XMLTree
@@ -191,6 +192,22 @@ def iter_events(
     from repro.xmlmodel import accel
 
     resolved = accel.resolve_engine(engine)
+    if obs.enabled():
+        # One registry touch per *call*, never per event: per-event
+        # counters live in the consumer loops as local integers.
+        registry = obs.metrics()
+        registry.inc("tokenizer.calls", engine=resolved)
+        if isinstance(source, str):
+            registry.inc("tokenizer.bytes", len(source))
+        elif isinstance(source, _BUFFER_TYPES):
+            registry.inc("tokenizer.bytes", len(source))
+        elif hasattr(source, "__fspath__"):
+            try:
+                registry.inc(
+                    "tokenizer.bytes", os.path.getsize(os.fspath(source))
+                )
+            except OSError:
+                pass
     if resolved == accel.AUTO and skip and isinstance(source, str):
         # Under a selective plan the pure scanner is the fastest backend:
         # its bulk fast-forward settles skippable regions with a few

@@ -1,0 +1,150 @@
+"""The module-level switch: enable/disable, scoped collection, tracing.
+
+The disabled-mode contract is that instrumented call sites never branch:
+``obs.metrics()`` hands back the shared :class:`NullRegistry` whose
+mutators fall through, and ``trace(...)`` hands back a shared no-op
+span.  These tests pin that contract plus the save/restore semantics of
+``obs.collect`` that the CLI stats flags and shard workers depend on.
+"""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro import obs
+from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry, NullRegistry
+
+
+@pytest.fixture(autouse=True)
+def _restore_ambient_state():
+    """Leave the process-wide switch exactly as each test found it."""
+    was_enabled, registry = obs._enabled, obs._registry
+    yield
+    obs._enabled, obs._registry = was_enabled, registry
+
+
+class TestSwitch:
+    def test_disabled_metrics_returns_the_shared_noop(self):
+        obs.disable()
+        assert obs.metrics() is NULL_REGISTRY
+        assert not obs.enabled()
+
+    def test_null_registry_mutators_fall_through(self):
+        null = NullRegistry()
+        null.inc("a")
+        null.gauge_set("b", 1)
+        null.gauge_add("b", 1)
+        null.observe("c", 0.5)
+        null.declare_buckets("c", (1.0,))
+        with null.time("c"):
+            pass
+        null.merge_snapshot(MetricsRegistry().snapshot())
+        assert null.snapshot().is_empty
+
+    def test_enable_installs_and_returns_a_registry(self):
+        registry = MetricsRegistry()
+        assert obs.enable(registry) is registry
+        assert obs.enabled()
+        assert obs.metrics() is registry
+        obs.disable()
+        assert obs.metrics() is NULL_REGISTRY
+
+    def test_disable_keeps_accumulated_state(self):
+        registry = obs.enable(MetricsRegistry())
+        registry.inc("kept")
+        obs.disable()
+        obs.enable()
+        assert obs.metrics().snapshot().counter("kept") == 1
+
+
+class TestCollect:
+    def test_collect_installs_a_fresh_registry_and_restores(self):
+        obs.disable()
+        with obs.collect() as registry:
+            assert obs.enabled()
+            assert obs.metrics() is registry
+            obs.metrics().inc("inner")
+        assert not obs.enabled()
+        assert registry.snapshot().counter("inner") == 1
+
+    def test_collect_accepts_an_explicit_registry(self):
+        mine = MetricsRegistry()
+        with obs.collect(mine) as registry:
+            assert registry is mine
+
+    def test_collect_nests(self):
+        with obs.collect() as outer:
+            obs.metrics().inc("events")
+            with obs.collect() as inner:
+                obs.metrics().inc("events", 5)
+            assert obs.metrics() is outer
+            outer.merge_snapshot(inner.snapshot())
+            obs.metrics().inc("events")
+        assert outer.snapshot().counter("events") == 7
+
+    def test_collect_restores_on_exception(self):
+        obs.disable()
+        with pytest.raises(RuntimeError):
+            with obs.collect():
+                raise RuntimeError("boom")
+        assert not obs.enabled()
+
+
+class TestEnvGating:
+    def _probe(self, env_value):
+        code = (
+            "import sys; from repro import obs; "
+            "sys.stdout.write('on' if obs.enabled() else 'off')"
+        )
+        import os
+
+        env = dict(os.environ, PYTHONPATH="src")
+        if env_value is None:
+            env.pop(obs.METRICS_ENV, None)
+        else:
+            env[obs.METRICS_ENV] = env_value
+        out = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True, text=True, env=env, timeout=60,
+        )
+        assert out.returncode == 0, out.stderr
+        return out.stdout
+
+    @pytest.mark.parametrize("value", ["1", "true", "YES", " on "])
+    def test_truthy_values_enable_at_import(self, value):
+        assert self._probe(value) == "on"
+
+    @pytest.mark.parametrize("value", [None, "", "0", "false", "off "])
+    def test_everything_else_stays_off(self, value):
+        assert self._probe(value) == "off"
+
+
+class TestTrace:
+    def test_disabled_trace_is_the_shared_noop(self):
+        obs.disable()
+        assert obs.trace("stage.one") is obs.trace("stage.two")
+
+    def test_enabled_trace_records_seconds_and_calls(self):
+        with obs.collect() as registry:
+            with obs.trace("shred.document", table="book"):
+                pass
+            with obs.trace("shred.document", table="book"):
+                pass
+        snap = registry.snapshot()
+        assert snap.counter(
+            obs.STAGE_CALLS, stage="shred.document", table="book"
+        ) == 2
+        hist = snap.histogram(
+            obs.STAGE_SECONDS, stage="shred.document", table="book"
+        )
+        assert hist is not None and hist.count == 2
+
+    def test_span_records_even_when_the_body_raises(self):
+        with obs.collect() as registry:
+            with pytest.raises(ValueError):
+                with obs.trace("load.batch"):
+                    raise ValueError("bad batch")
+        assert registry.snapshot().counter(
+            obs.STAGE_CALLS, stage="load.batch"
+        ) == 1

@@ -1,0 +1,196 @@
+"""Unit tests for the mergeable-metrics layer (:mod:`repro.obs.metrics`).
+
+The snapshot algebra is the load-bearing promise of the observability
+plane: per-shard metrics merge into totals identical to a serial run and
+per-delta snapshots subtract cleanly, which only works if ``merge`` is
+associative/commutative with ``subtract`` as its exact inverse.
+"""
+
+import pickle
+import threading
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    HistogramState,
+    MetricsRegistry,
+    MetricsSnapshot,
+)
+
+
+class TestRegistryBasics:
+    def test_counters_accumulate_per_label_set(self):
+        registry = MetricsRegistry()
+        registry.inc("service.uploads", tenant="acme")
+        registry.inc("service.uploads", tenant="acme")
+        registry.inc("service.uploads", 3, tenant="beta")
+        snap = registry.snapshot()
+        assert snap.counter("service.uploads", tenant="acme") == 2
+        assert snap.counter("service.uploads", tenant="beta") == 3
+        assert snap.counter("service.uploads") == 0  # unlabelled series
+
+    def test_label_order_does_not_split_series(self):
+        registry = MetricsRegistry()
+        registry.inc("x", a="1", b="2")
+        registry.inc("x", b="2", a="1")
+        assert registry.snapshot().counter("x", a="1", b="2") == 2
+
+    def test_gauges_set_and_add(self):
+        registry = MetricsRegistry()
+        registry.gauge_set("pool.size", 3)
+        registry.gauge_add("pool.size", 2)
+        registry.gauge_add("pool.size", -1)
+        assert registry.snapshot().gauge("pool.size") == 4
+
+    def test_histogram_observations_land_in_buckets(self):
+        registry = MetricsRegistry()
+        registry.observe("stage.seconds", 0.003)
+        registry.observe("stage.seconds", 0.003)
+        registry.observe("stage.seconds", 1000.0)  # overflow bucket
+        state = registry.snapshot().histogram("stage.seconds")
+        assert state.count == 3
+        assert state.buckets == DEFAULT_BUCKETS
+        assert sum(state.counts) == 3
+        assert state.counts[-1] == 1  # the +inf slot
+        assert state.total == pytest.approx(1000.006)
+
+    def test_declared_buckets_override_the_default(self):
+        registry = MetricsRegistry()
+        registry.declare_buckets("rows.per_batch", (10, 100, 1000))
+        registry.observe("rows.per_batch", 50)
+        state = registry.snapshot().histogram("rows.per_batch")
+        assert state.buckets == (10.0, 100.0, 1000.0)
+        assert state.counts == (0, 1, 0, 0)
+
+    def test_declare_buckets_rejects_empty(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.declare_buckets("x", ())
+
+    def test_timer_observes_elapsed_seconds(self):
+        registry = MetricsRegistry()
+        with registry.time("stage.seconds", stage="noop"):
+            pass
+        state = registry.snapshot().histogram("stage.seconds", stage="noop")
+        assert state is not None and state.count == 1
+
+    def test_clear_resets_everything(self):
+        registry = MetricsRegistry()
+        registry.inc("a")
+        registry.gauge_set("b", 1)
+        registry.observe("c", 0.1)
+        registry.clear()
+        assert registry.snapshot().is_empty
+
+    def test_snapshot_is_isolated_from_later_mutation(self):
+        registry = MetricsRegistry()
+        registry.inc("a")
+        snap = registry.snapshot()
+        registry.inc("a")
+        assert snap.counter("a") == 1
+        assert registry.snapshot().counter("a") == 2
+
+    def test_concurrent_increments_do_not_lose_updates(self):
+        registry = MetricsRegistry()
+        threads = 8
+        per_thread = 2000
+
+        def worker():
+            for _ in range(per_thread):
+                registry.inc("hits")
+
+        pool = [threading.Thread(target=worker) for _ in range(threads)]
+        for t in pool:
+            t.start()
+        for t in pool:
+            t.join(timeout=30)
+        assert registry.snapshot().counter("hits") == threads * per_thread
+
+
+class TestSnapshotAlgebra:
+    def _sample(self, scale=1):
+        registry = MetricsRegistry()
+        registry.inc("events", 10 * scale)
+        registry.inc("rows", 3 * scale, table="book")
+        registry.gauge_add("depth", 2 * scale, tenant="acme")
+        for _ in range(scale):
+            registry.observe("seconds", 0.25)
+        return registry.snapshot()
+
+    def test_merge_is_commutative(self):
+        a, b = self._sample(1), self._sample(5)
+        assert a.merge(b) == b.merge(a)
+
+    def test_merge_is_associative(self):
+        a, b, c = self._sample(1), self._sample(2), self._sample(3)
+        assert a.merge(b).merge(c) == a.merge(b.merge(c))
+
+    def test_empty_snapshot_is_the_identity(self):
+        a = self._sample(4)
+        empty = MetricsSnapshot()
+        assert a.merge(empty) == a
+        assert empty.merge(a) == a
+
+    def test_subtract_inverts_merge_exactly(self):
+        a, b = self._sample(3), self._sample(7)
+        assert a.merge(b).subtract(b) == a
+        assert a.merge(b).subtract(a) == b
+
+    def test_subtract_to_zero_equals_empty(self):
+        a = self._sample(2)
+        assert a.subtract(a) == MetricsSnapshot()
+        assert a.subtract(a).is_empty
+
+    def test_histogram_sum_is_exact_under_merge_subtract(self):
+        # 0.1 is not representable in binary floating point; the
+        # nanounit integer sum keeps subtract exact where a float
+        # accumulator would drift.
+        registry = MetricsRegistry()
+        for _ in range(1000):
+            registry.observe("seconds", 0.1)
+        a = registry.snapshot()
+        merged = a.merge(a).merge(a)
+        back = merged.subtract(a).subtract(a)
+        assert back == a
+        assert back.histogram("seconds").nanos == a.histogram("seconds").nanos
+
+    def test_zero_entries_do_not_break_equality(self):
+        explicit = MetricsSnapshot(
+            counters={("dead", ()): 0.0},
+            gauges={("level", ()): 0.0},
+            histograms={("h", ()): HistogramState.empty((1.0,))},
+        )
+        assert explicit == MetricsSnapshot()
+        assert explicit.is_empty
+
+    def test_incompatible_histogram_buckets_refuse_to_merge(self):
+        a = HistogramState.empty((1.0, 2.0)).observe(0.5)
+        b = HistogramState.empty((5.0,)).observe(0.5)
+        with pytest.raises(ValueError):
+            a.merge(b)
+        with pytest.raises(ValueError):
+            a.subtract(b)
+
+    def test_merge_snapshot_folds_into_registry(self):
+        shard = MetricsRegistry()
+        shard.inc("events", 4)
+        shard.observe("seconds", 0.5)
+        total = MetricsRegistry()
+        total.inc("events", 1)
+        total.merge_snapshot(shard.snapshot())
+        total.merge_snapshot(shard.snapshot())
+        snap = total.snapshot()
+        assert snap.counter("events") == 9
+        assert snap.histogram("seconds").count == 2
+
+    def test_snapshots_pickle_round_trip(self):
+        # Shard workers ship snapshots across process boundaries.
+        a = self._sample(6)
+        assert pickle.loads(pickle.dumps(a)) == a
+
+    def test_accessor_defaults(self):
+        empty = MetricsSnapshot()
+        assert empty.counter("missing") == 0.0
+        assert empty.gauge("missing") == 0.0
+        assert empty.histogram("missing") is None

@@ -1,0 +1,100 @@
+"""Exposition tests: table, JSON and Prometheus renderings."""
+
+import json
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.render import render_json, render_prometheus, render_table
+
+
+def _snapshot():
+    registry = MetricsRegistry()
+    registry.inc("service.uploads", 2, tenant="acme")
+    registry.inc("service.uploads", 1, tenant="beta")
+    registry.gauge_set("service.queue_depth", 3, tenant="acme")
+    registry.declare_buckets("load.batch_seconds", (0.1, 1.0))
+    registry.observe("load.batch_seconds", 0.05)
+    registry.observe("load.batch_seconds", 0.5)
+    registry.observe("load.batch_seconds", 5.0)
+    return registry.snapshot()
+
+
+class TestPrometheus:
+    def test_counter_names_gain_prefix_and_total(self):
+        text = render_prometheus(_snapshot())
+        assert "# TYPE repro_service_uploads_total counter" in text
+        assert 'repro_service_uploads_total{tenant="acme"} 2' in text
+        assert 'repro_service_uploads_total{tenant="beta"} 1' in text
+
+    def test_gauges_render_without_total_suffix(self):
+        text = render_prometheus(_snapshot())
+        assert "# TYPE repro_service_queue_depth gauge" in text
+        assert 'repro_service_queue_depth{tenant="acme"} 3' in text
+
+    def test_histograms_expand_with_cumulative_le(self):
+        text = render_prometheus(_snapshot())
+        assert "# TYPE repro_load_batch_seconds histogram" in text
+        assert 'repro_load_batch_seconds_bucket{le="0.1"} 1' in text
+        assert 'repro_load_batch_seconds_bucket{le="1.0"} 2' in text
+        assert 'repro_load_batch_seconds_bucket{le="+Inf"} 3' in text
+        assert "repro_load_batch_seconds_count 3" in text
+        assert "repro_load_batch_seconds_sum" in text
+
+    def test_label_values_are_escaped(self):
+        registry = MetricsRegistry()
+        registry.inc("x", path='a"b\\c')
+        text = render_prometheus(registry.snapshot())
+        assert 'path="a\\"b\\\\c"' in text
+
+    def test_metric_name_sanitization(self):
+        registry = MetricsRegistry()
+        registry.inc("shred.rows-emitted")
+        text = render_prometheus(registry.snapshot())
+        assert "repro_shred_rows_emitted_total 1" in text
+
+    def test_empty_snapshot_renders_empty(self):
+        assert render_prometheus(MetricsRegistry().snapshot()) == ""
+
+    def test_output_ends_with_newline(self):
+        assert render_prometheus(_snapshot()).endswith("\n")
+
+
+class TestJson:
+    def test_envelope_schema_and_sections(self):
+        doc = json.loads(render_json(_snapshot()))
+        assert doc["schema"] == "repro-stats/1"
+        assert {"counters", "gauges", "histograms"} <= set(doc)
+
+    def test_counter_records_carry_labels(self):
+        doc = json.loads(render_json(_snapshot()))
+        uploads = [
+            c for c in doc["counters"] if c["name"] == "service.uploads"
+        ]
+        assert {"tenant": "acme"} in [c["labels"] for c in uploads]
+        assert sum(c["value"] for c in uploads) == 3
+
+    def test_histogram_records_have_inf_bucket(self):
+        doc = json.loads(render_json(_snapshot()))
+        hist = doc["histograms"][0]
+        assert hist["name"] == "load.batch_seconds"
+        assert hist["count"] == 3
+        assert hist["buckets"][-1]["le"] == "+inf"
+
+
+class TestTable:
+    def test_rows_are_aligned_and_typed(self):
+        text = render_table(_snapshot())
+        lines = text.splitlines()
+        assert lines[0].split() == ["metric", "labels", "type", "value"]
+        assert any(
+            "service.uploads" in line and "tenant=acme" in line
+            and "counter" in line
+            for line in lines
+        )
+        assert any(
+            "load.batch_seconds" in line and "count=3" in line
+            for line in lines
+        )
+
+    def test_empty_snapshot_has_a_placeholder(self):
+        text = render_table(MetricsRegistry().snapshot())
+        assert text == "(no metrics recorded)"

@@ -193,3 +193,110 @@ class TestRetryingBackend:
         with backend.transaction():
             backend.execute('INSERT INTO "t" VALUES (?)', ("1",))
         assert [e.sql for e in faulty.history] == ['INSERT INTO "t" VALUES (?)'] * 2
+
+
+class TestRetryMetrics:
+    """PR-10: attempt/backoff counters, explicit registry and concurrency."""
+
+    def test_attempts_and_sleep_histogram(self):
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        calls = []
+
+        def flaky():
+            calls.append(None)
+            if len(calls) < 3:
+                raise TransientError("reset")
+            return "ok"
+
+        policy = RetryPolicy(max_attempts=4, base_delay=0.01, jitter=0.0)
+        result = call_with_retries(
+            flaky, policy=policy, sleep=lambda _: None, metrics=registry
+        )
+        assert result == "ok"
+        snap = registry.snapshot()
+        assert snap.counter("retry.attempts") == 3
+        assert snap.counter("retry.retries") == 2
+        assert snap.counter("retry.exhausted") == 0
+        hist = snap.histogram("retry.sleep_seconds")
+        assert hist is not None and hist.count == 2
+        assert hist.total == pytest.approx(0.01 + 0.02)
+
+    def test_exhaustion_counter(self):
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+
+        def always_fails():
+            raise TransientError("down")
+
+        policy = RetryPolicy(max_attempts=3, base_delay=0.0, jitter=0.0)
+        with pytest.raises(TransientError):
+            call_with_retries(
+                always_fails, policy=policy, sleep=lambda _: None,
+                metrics=registry,
+            )
+        snap = registry.snapshot()
+        assert snap.counter("retry.attempts") == 3
+        assert snap.counter("retry.retries") == 2
+        assert snap.counter("retry.exhausted") == 1
+
+    def test_concurrent_retrying_backends_share_one_registry(self):
+        # Many threads hammering flaky backends must land every attempt
+        # in the shared registry without losing increments (the registry
+        # lock is the only synchronization).
+        import threading
+
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        policy = RetryPolicy(max_attempts=2, base_delay=0.0, jitter=0.0)
+        threads = 8
+        per_thread = 5
+        errors = []
+
+        def worker():
+            backend = RetryingBackend(
+                FaultInjectingBackend(SQLiteBackend(), FaultPlan.failing(0)),
+                policy,
+                sleep=lambda _: None,
+                metrics=registry,
+            )
+            try:
+                backend.execute("CREATE TABLE t (a)")
+                for _ in range(per_thread - 1):
+                    backend.execute("SELECT 1")
+            except StorageError as error:
+                errors.append(error)
+            finally:
+                backend.close()
+
+        pool = [threading.Thread(target=worker) for _ in range(threads)]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join(timeout=30)
+        assert not errors
+        snap = registry.snapshot()
+        # failing(0) faults each backend's first data statement exactly
+        # once: per thread that is 5 statements + 1 retry = 6 attempts,
+        # and the shared registry must not lose a single increment.
+        assert snap.counter("retry.attempts") == threads * (per_thread + 1)
+        assert snap.counter("retry.retries") == threads
+        assert snap.counter("retry.exhausted") == 0
+
+    def test_retrying_backend_still_counts_instance_retries(self):
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        backend = RetryingBackend(
+            FaultInjectingBackend(SQLiteBackend(), FaultPlan.failing(0)),
+            RetryPolicy(max_attempts=2, base_delay=0.0, jitter=0.0),
+            sleep=lambda _: None,
+            metrics=registry,
+        )
+        backend.execute("CREATE TABLE t (a)")
+        assert backend.retries == 1
+        assert registry.snapshot().counter("retry.retries") == 1
+        backend.close()

@@ -727,3 +727,120 @@ class TestCrashPaths:
         process.stderr.close()
         assert code == 141, stderr
         assert stderr == ""
+
+
+class TestStatsFlags:
+    """PR-10: ``--stats`` / ``--stats-json`` print telemetry on stderr
+    while stdout stays byte-identical to an uninstrumented run."""
+
+    def test_stats_prints_table_on_stderr_only(self, workspace, capsys):
+        ws = workspace
+        argv = ["check-doc", "--keys", ws["keys"], "--xml", ws["xml"]]
+        code = main(argv)
+        plain = capsys.readouterr()
+        assert main(argv + ["--stats"]) == code
+        stats = capsys.readouterr()
+        assert stats.out == plain.out
+        assert plain.err == ""
+        assert "pipeline.events" in stats.err
+        assert "check.violations" in stats.err
+        assert "metric" in stats.err  # the table header
+
+    def test_stats_json_emits_the_stable_schema(self, workspace, capsys):
+        import json
+
+        ws = workspace
+        code = main(
+            ["shred", "--stream", "--transform", ws["transform"],
+             "--xml", ws["xml"], "--stats-json"]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        doc = json.loads(captured.err)
+        assert doc["schema"] == "repro-stats/1"
+        counters = {c["name"]: c for c in doc["counters"]}
+        assert counters["pipeline.events"]["value"] > 0
+        rows = [c for c in doc["counters"] if c["name"] == "shred.rows"]
+        assert {r["labels"]["relation"] for r in rows} == {"book", "chapter"}
+
+    def test_stats_flags_are_mutually_exclusive(self, workspace, capsys):
+        ws = workspace
+        with pytest.raises(SystemExit) as excinfo:
+            main(["check-doc", "--keys", ws["keys"], "--xml", ws["xml"],
+                  "--stats", "--stats-json"])
+        assert excinfo.value.code == 2
+
+    def test_stats_does_not_leak_the_telemetry_switch(self, workspace):
+        from repro import obs
+
+        ws = workspace
+        assert not obs.enabled()
+        main(["check-doc", "--keys", ws["keys"], "--xml", ws["xml"],
+              "--stats"])
+        assert not obs.enabled()
+
+    def test_stats_with_violations_keeps_exit_code(
+        self, violating_workspace, capsys
+    ):
+        ws = violating_workspace
+        code = main(
+            ["check-doc", "--keys", ws["keys"], "--xml", ws["bad_xml"],
+             "--stats"]
+        )
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "key violated" in captured.out
+        assert "check.violations" in captured.err
+
+
+class TestVerbosityFlags:
+    """PR-10: structured logging replaces ad-hoc stderr prints; the
+    default level keeps stderr quiet, ``-v`` narrates, errors always
+    show (same text, same exit codes, pinned above)."""
+
+    def test_default_run_keeps_stderr_empty(self, workspace, capsys):
+        ws = workspace
+        assert main(
+            ["check-doc", "--keys", ws["keys"], "--xml", ws["xml"]]
+        ) == 0
+        assert capsys.readouterr().err == ""
+
+    def test_verbose_narrates_on_stderr(self, workspace, capsys):
+        ws = workspace
+        assert main(
+            ["-v", "check-doc", "--keys", ws["keys"], "--xml", ws["xml"]]
+        ) == 0
+        captured = capsys.readouterr()
+        assert "checked" in captured.err
+        assert "violation(s)" in captured.err
+        assert "checked" not in captured.out
+
+    def test_verbose_shred_and_load_narrate(self, violating_workspace, capsys):
+        ws = violating_workspace
+        assert main(
+            ["-v", "shred", "--transform", ws["transform"], "--xml", ws["xml"]]
+        ) == 0
+        assert "shredded 2 relation(s)" in capsys.readouterr().err
+        assert main(
+            ["-v", "load", "--transform", ws["transform"], "--xml", ws["xml"],
+             "--db", ws["db"], "--keys", ws["keys"]]
+        ) == 0
+        assert "load finished" in capsys.readouterr().err
+
+    def test_quiet_still_shows_errors(self, workspace, tmp_path, capsys):
+        ws = workspace
+        code = main(
+            ["-q", "check-doc", "--keys", ws["keys"],
+             "--xml", str(tmp_path / "missing.xml")]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_errors_show_without_any_flag(self, workspace, tmp_path, capsys):
+        ws = workspace
+        code = main(
+            ["check-doc", "--keys", ws["keys"],
+             "--xml", str(tmp_path / "missing.xml")]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
